@@ -1,0 +1,179 @@
+//! E1 + E4 — the ClassAd language on the paper's own artifacts.
+//!
+//! * `fig_ads/*`: parse, evaluate, match, and serialize the verbatim
+//!   Figure 1 (machine) and Figure 2 (job) ads.
+//! * `undefined_logic/*`: three-valued evaluation over ads with randomly
+//!   missing attributes — the heterogeneity mechanism of §3.1 (E4).
+
+use classad::fixtures::{FIGURE1_MACHINE, FIGURE2_JOB};
+use classad::{
+    evaluate_match, parse_classad, parse_expr, ClassAd, EvalPolicy, MatchConventions,
+};
+use criterion::{black_box, criterion_group, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_figure_ads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig_ads");
+    g.bench_function("parse_figure1_machine", |b| {
+        b.iter(|| parse_classad(black_box(FIGURE1_MACHINE)).unwrap())
+    });
+    g.bench_function("parse_figure2_job", |b| {
+        b.iter(|| parse_classad(black_box(FIGURE2_JOB)).unwrap())
+    });
+
+    let machine = parse_classad(FIGURE1_MACHINE).unwrap();
+    let job = parse_classad(FIGURE2_JOB).unwrap();
+    let policy = EvalPolicy::default();
+    let conv = MatchConventions::default();
+
+    g.bench_function("evaluate_match_fig1_x_fig2", |b| {
+        b.iter(|| evaluate_match(black_box(&job), black_box(&machine), &policy, &conv))
+    });
+    g.bench_function("machine_constraint_only", |b| {
+        b.iter(|| {
+            classad::constraint_holds(black_box(&machine), black_box(&job), &policy, &conv)
+        })
+    });
+    g.bench_function("job_rank_of_machine", |b| {
+        b.iter(|| classad::rank_of(black_box(&job), black_box(&machine), &policy, &conv))
+    });
+    g.bench_function("pretty_print_figure1", |b| b.iter(|| black_box(&machine).to_string()));
+    g.bench_function("json_export_figure1", |b| {
+        b.iter(|| classad::json::to_json(black_box(&machine)))
+    });
+    let js = classad::json::to_json(&machine);
+    g.bench_function("json_import_figure1", |b| {
+        b.iter(|| classad::json::from_json(black_box(&js)).unwrap())
+    });
+    g.finish();
+}
+
+/// Build a machine ad that defines each optional attribute with
+/// probability `density` — sparse ads exercise the undefined paths.
+fn sparse_ad(rng: &mut StdRng, density: f64) -> ClassAd {
+    let mut ad = ClassAd::new();
+    ad.set_str("Type", "Machine");
+    for (name, val) in [
+        ("Mips", 104),
+        ("KFlops", 21893),
+        ("Memory", 64),
+        ("Disk", 323496),
+        ("KeyboardIdle", 1432),
+    ] {
+        if rng.gen_bool(density) {
+            ad.set_int(name, val);
+        }
+    }
+    if rng.gen_bool(density) {
+        ad.set_str("Arch", "INTEL");
+    }
+    ad
+}
+
+fn bench_undefined_logic(c: &mut Criterion) {
+    let mut g = c.benchmark_group("undefined_logic");
+    // The paper's canonical non-strict expression.
+    let nonstrict = parse_expr("Mips >= 10 || KFlops >= 1000").unwrap();
+    let strict = parse_expr(
+        r#"Arch == "INTEL" && Memory >= 32 && Disk >= 10000 && KeyboardIdle > 900"#,
+    )
+    .unwrap();
+    let guarded = parse_expr("Memory is undefined || Memory >= 32 ? true : false").unwrap();
+    let policy = EvalPolicy::default();
+
+    for density in [0.25_f64, 0.75] {
+        let mut rng = StdRng::seed_from_u64(42);
+        let ads: Vec<ClassAd> = (0..256).map(|_| sparse_ad(&mut rng, density)).collect();
+        let label = format!("density_{:02}", (density * 100.0) as u32);
+        g.bench_function(format!("nonstrict_or/{label}"), |b| {
+            b.iter(|| {
+                for ad in &ads {
+                    black_box(ad.eval_expr(black_box(&nonstrict), &policy));
+                }
+            })
+        });
+        g.bench_function(format!("strict_and/{label}"), |b| {
+            b.iter(|| {
+                for ad in &ads {
+                    black_box(ad.eval_expr(black_box(&strict), &policy));
+                }
+            })
+        });
+        g.bench_function(format!("is_undefined_guard/{label}"), |b| {
+            b.iter(|| {
+                for ad in &ads {
+                    black_box(ad.eval_expr(black_box(&guarded), &policy));
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Print the E1 reproduction row (paper-vs-measured) once per bench run.
+fn print_e1_table() {
+    let machine = parse_classad(FIGURE1_MACHINE).unwrap();
+    let mut job = parse_classad(FIGURE2_JOB).unwrap();
+    job.set_str("Name", "raman.sim2.0");
+    let policy = EvalPolicy::default();
+    let conv = MatchConventions::default();
+    let r = evaluate_match(&job, &machine, &policy, &conv);
+    println!("== E1: paper Figure 1 x Figure 2 ==");
+    println!("  job constraint accepts machine : {} (paper: true)", r.left_constraint);
+    println!("  machine constraint accepts job : {} (paper: true)", r.right_constraint);
+    println!(
+        "  job rank of machine            : {:.3} (paper: KFlops/1E3 + 64/32 = 23.893)",
+        r.left_rank
+    );
+    println!(
+        "  machine rank of job            : {:.1} (paper: research member = 10)",
+        r.right_rank
+    );
+}
+
+/// Ablation: matching with pre-flattened constraints. A matchmaker can
+/// flatten each request's constraint once and reuse it across the whole
+/// offer scan; this measures what that buys on the paper's Figure 2
+/// constraint (which folds `self.Memory` and the type literal).
+fn bench_flatten_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flatten_ablation");
+    let machine = parse_classad(FIGURE1_MACHINE).unwrap();
+    let job = parse_classad(FIGURE2_JOB).unwrap();
+    let policy = EvalPolicy::default();
+    let conv = MatchConventions::default();
+
+    g.bench_function("constraint_raw", |b| {
+        b.iter(|| classad::constraint_holds(black_box(&job), black_box(&machine), &policy, &conv))
+    });
+
+    let mut flat_job = job.clone();
+    let flat = classad::flatten::flatten(job.get("Constraint").unwrap(), &job, &policy);
+    flat_job.set("Constraint", flat);
+    g.bench_function("constraint_preflattened", |b| {
+        b.iter(|| {
+            classad::constraint_holds(black_box(&flat_job), black_box(&machine), &policy, &conv)
+        })
+    });
+    g.bench_function("flatten_cost_itself", |b| {
+        let e = job.get("Constraint").unwrap().as_ref().clone();
+        b.iter(|| classad::flatten::flatten(black_box(&e), &job, &policy))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    // Single-core CI-friendly windows; override with
+    // `cargo bench -- --warm-up-time N --measurement-time M`.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(800))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_figure_ads, bench_undefined_logic, bench_flatten_ablation
+);
+
+fn main() {
+    print_e1_table();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

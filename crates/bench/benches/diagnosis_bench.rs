@@ -1,0 +1,94 @@
+//! E8 — identifying constraints "which can never be satisfied by the
+//! pool" (paper §5): diagnosis cost vs pool size and constraint width.
+
+use classad::{ClassAd, EvalPolicy, MatchConventions};
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use gangmatch::diagnosis::diagnose;
+use std::sync::Arc;
+
+fn pool(n: usize) -> Vec<Arc<ClassAd>> {
+    (0..n)
+        .map(|i| {
+            Arc::new(
+                classad::parse_classad(&format!(
+                    r#"[ Name = "m{i}"; Type = "Machine";
+                         Arch = "{arch}"; Memory = {mem}; Mips = {mips};
+                         Disk = {disk};
+                         Constraint = other.Owner != "banned" ]"#,
+                    arch = if i % 3 == 0 { "SPARC" } else { "INTEL" },
+                    mem = 32 << (i % 3),
+                    mips = 50 + (i % 10) as i64 * 9,
+                    disk = 100_000 + 1000 * i,
+                ))
+                .unwrap(),
+            )
+        })
+        .collect()
+}
+
+fn request(constraint: &str) -> ClassAd {
+    classad::parse_classad(&format!(
+        r#"[ Name = "j"; Type = "Job"; Owner = "alice"; Constraint = {constraint} ]"#
+    ))
+    .unwrap()
+}
+
+const SATISFIABLE: &str =
+    r#"other.Type == "Machine" && other.Arch == "INTEL" && other.Memory >= 64"#;
+const IMPOSSIBLE: &str =
+    r#"other.Type == "Machine" && other.Memory >= 8192 && other.Arch == "INTEL""#;
+const WIDE: &str = r#"other.Type == "Machine" && other.Arch == "INTEL" && other.Memory >= 64
+    && other.Mips >= 60 && other.Disk >= 150000 && other.KFlops is undefined
+    && other.Name != "m0""#;
+
+fn bench_diagnosis(c: &mut Criterion) {
+    let mut g = c.benchmark_group("diagnosis");
+    g.sample_size(20);
+    let policy = EvalPolicy::default();
+    let conv = MatchConventions::default();
+    for n in [128_usize, 1024, 4096] {
+        let offers = pool(n);
+        for (label, constraint) in
+            [("satisfiable", SATISFIABLE), ("impossible", IMPOSSIBLE), ("wide", WIDE)]
+        {
+            let req = request(constraint);
+            g.bench_with_input(
+                BenchmarkId::new(label, n),
+                &(req, offers.clone()),
+                |b, (req, offers)| b.iter(|| diagnose(req, offers, &policy, &conv)),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn print_e8_table() {
+    let policy = EvalPolicy::default();
+    let conv = MatchConventions::default();
+    let offers = pool(1024);
+    println!("== E8: diagnosing an impossible request against 1024 machines ==");
+    let d = diagnose(&request(IMPOSSIBLE), &offers, &policy, &conv);
+    print!("{d}");
+    println!(
+        "  unsatisfiable: {} (the Memory conjunct kills {}/{} offers)",
+        d.unsatisfiable(),
+        d.conjuncts.iter().find(|c| c.text.contains("Memory")).map(|c| c.eliminated()).unwrap_or(0),
+        d.pool_size,
+    );
+}
+
+criterion_group!(
+    name = benches;
+    // Single-core CI-friendly windows; override with
+    // `cargo bench -- --warm-up-time N --measurement-time M`.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(800))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_diagnosis
+);
+
+fn main() {
+    print_e8_table();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

@@ -1,0 +1,165 @@
+//! E5 — fair matching from past usage (paper §4).
+//!
+//! Two parts:
+//! * a micro-benchmark of the priority tracker (charge / effective
+//!   priority / user ordering), which sits on the negotiation hot path;
+//! * a printed experiment: competing users with skewed demand on a scarce
+//!   simulated pool — the heavy user's decayed usage pushes their
+//!   priority down and capacity splits fairly, including the half-life
+//!   ablation called out in DESIGN.md §6.
+
+use condor_sim::scenario::{NegotiatorSettings, PolicyConfig, Scenario};
+use condor_sim::workload::{FleetSpec, UserSpec};
+use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
+use matchmaker::priority::{PriorityConfig, PriorityTracker};
+
+fn bench_tracker(c: &mut Criterion) {
+    let mut g = c.benchmark_group("priority_tracker");
+    g.bench_function("charge", |b| {
+        let mut t = PriorityTracker::default();
+        let mut now = 0u64;
+        b.iter(|| {
+            now += 60;
+            t.charge(black_box("alice"), 300.0, now);
+        })
+    });
+    g.bench_function("effective_priority", |b| {
+        let mut t = PriorityTracker::default();
+        for (i, u) in ["a", "b", "c", "d"].iter().enumerate() {
+            t.charge(u, 1000.0 * (i + 1) as f64, 0);
+        }
+        b.iter(|| t.effective_priority(black_box("c"), 5000))
+    });
+    for users in [10_usize, 100, 1000] {
+        let mut t = PriorityTracker::default();
+        let names: Vec<String> = (0..users).map(|i| format!("user{i}")).collect();
+        for (i, n) in names.iter().enumerate() {
+            t.charge(n, (i * 37 % 991) as f64, 0);
+        }
+        g.bench_with_input(BenchmarkId::new("order_users", users), &names, |b, names| {
+            b.iter(|| t.order_users(names.iter().map(|s| s.as_str()), 1000))
+        });
+    }
+    g.finish();
+}
+
+fn fairshare_scenario(heavy_jobs: usize, light_jobs: usize) -> Scenario {
+    Scenario {
+        seed: 99,
+        fleet: FleetSpec { count: 4, ..Default::default() },
+        policy: PolicyConfig::Always,
+        users: vec![
+            UserSpec {
+                mean_interarrival_ms: 0.0,
+                mean_duration_ms: 10.0 * 60_000.0,
+                arch_constraint_prob: 0.0,
+                ..UserSpec::standard("heavy", heavy_jobs)
+            },
+            UserSpec {
+                // The light user arrives two hours in, after `heavy` has
+                // monopolized the pool and accumulated usage.
+                mean_interarrival_ms: 2.0 * 3_600_000.0 / light_jobs.max(1) as f64,
+                mean_duration_ms: 10.0 * 60_000.0,
+                arch_constraint_prob: 0.0,
+                ..UserSpec::standard("light", light_jobs)
+            },
+        ],
+        negotiator: NegotiatorSettings { charge_per_match: 600.0, ..Default::default() },
+        duration_ms: 24 * 3_600 * 1000,
+        ..Default::default()
+    }
+}
+
+fn print_e5_experiment() {
+    // One machine, three users with identical demand. Each negotiation
+    // cycle grants the single machine to the best-priority user; past
+    // usage is what rotates service among them. With the usage memory
+    // ablated (half-life ~0: charges decay instantly), every user ties at
+    // the floor and the deterministic name tie-break starves the
+    // late-alphabet user. With a real half-life, accumulated usage
+    // handicaps whoever ran last and capacity rotates fairly.
+    println!("== E5: fair matching from past usage (1 machine, 3 users x 10 jobs) ==");
+    for (label, halflife_ms) in [("no usage memory", 1.0_f64), ("halflife 1 h", 3_600_000.0)] {
+        let mut s = Scenario {
+            seed: 99,
+            fleet: FleetSpec { count: 1, ..Default::default() },
+            policy: PolicyConfig::Always,
+            users: ["alice", "mid", "zed"]
+                .iter()
+                .map(|u| UserSpec {
+                    mean_interarrival_ms: 0.0,
+                    mean_duration_ms: 10.0 * 60_000.0,
+                    arch_constraint_prob: 0.0,
+                    ..UserSpec::standard(u, 10)
+                })
+                .collect(),
+            negotiator: NegotiatorSettings { charge_per_match: 600.0, ..Default::default() },
+            duration_ms: 100 * 3_600 * 1000,
+            ..Default::default()
+        };
+        s.negotiator.priority_halflife_ms = Some(halflife_ms);
+        let mut sim = s.build();
+        sim.run_until(s.duration_ms);
+        let m = sim.metrics();
+        let mean_wait = |user: &str| {
+            let recs: Vec<_> = m.completed.iter().filter(|r| r.owner == user).collect();
+            if recs.is_empty() {
+                return f64::NAN;
+            }
+            recs.iter()
+                .map(|r| (r.first_start.unwrap_or(r.completed_at) - r.submitted_at) as f64)
+                .sum::<f64>()
+                / recs.len() as f64
+                / 3_600_000.0
+        };
+        println!(
+            "  {label:<18} mean wait (h): alice {:>5.1}  mid {:>5.1}  zed {:>5.1}",
+            mean_wait("alice"),
+            mean_wait("mid"),
+            mean_wait("zed"),
+        );
+    }
+    // Priority-value evolution, shown directly on the tracker.
+    println!("\n  priority decay (tracker-level, halflife = 1 h):");
+    let mut t = PriorityTracker::new(PriorityConfig { halflife: 3_600_000.0, ..Default::default() });
+    t.charge("heavy", 14_400.0, 0); // 4 machine-hours
+    for hours in [0u64, 1, 2, 4, 8] {
+        let now = hours * 3_600_000;
+        println!(
+            "    t+{hours}h  heavy priority = {:>10.1}   light priority = {:>6.1}",
+            t.effective_priority("heavy", now),
+            t.effective_priority("light", now),
+        );
+    }
+}
+
+fn bench_fairshare_cycle(c: &mut Criterion) {
+    // One negotiation-heavy simulated hour as a macro-benchmark.
+    let mut g = c.benchmark_group("fairshare_sim");
+    g.sample_size(10);
+    g.bench_function("one_hour_4mach_2users", |b| {
+        b.iter(|| {
+            let s = fairshare_scenario(10, 5);
+            let mut sim = s.build();
+            sim.run_until(3_600_000);
+            sim.metrics().matches
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    // Single-core CI-friendly windows; override with
+    // `cargo bench -- --warm-up-time N --measurement-time M`.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(800))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_tracker, bench_fairshare_cycle
+);
+
+fn main() {
+    print_e5_experiment();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

@@ -1,0 +1,140 @@
+//! E3 — matchmaker scalability: negotiation-cycle cost vs pool size, and
+//! the serial-vs-parallel match-scan ablation.
+//!
+//! The paper argues the stateless matchmaker "makes the system more
+//! scalable"; the measurable claim is that a cycle is a linear scan per
+//! request, embarrassingly parallel over offers. The series here shows
+//! cycle time growing linearly in the number of machines and the parallel
+//! scan's speedup on large pools.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use matchmaker::prelude::*;
+use matchmaker::negotiate::NegotiatorConfig;
+
+fn machine_adv(i: usize) -> Advertisement {
+    let ad = classad::parse_classad(&format!(
+        r#"[ Name = "m{i}"; Type = "Machine"; Mips = {mips}; Memory = {mem};
+             Arch = "{arch}"; State = "Unclaimed";
+             Constraint = other.Type == "Job" && other.Memory <= Memory;
+             Rank = 0 ]"#,
+        mips = 50 + (i * 13) % 100,
+        mem = 32 << (i % 3),
+        arch = if i.is_multiple_of(4) { "SPARC" } else { "INTEL" },
+    ))
+    .unwrap();
+    Advertisement {
+        kind: EntityKind::Provider,
+        ad,
+        contact: format!("m{i}:9614"),
+        ticket: None,
+        expires_at: u64::MAX,
+    }
+}
+
+fn job_adv(i: usize) -> Advertisement {
+    let ad = classad::parse_classad(&format!(
+        r#"[ Name = "j{i}"; Type = "Job"; Owner = "user{owner}"; Memory = {mem};
+             Constraint = other.Type == "Machine" && other.Arch == "INTEL"
+                          && other.Memory >= self.Memory;
+             Rank = other.Mips ]"#,
+        owner = i % 8,
+        mem = 16 << (i % 3),
+    ))
+    .unwrap();
+    Advertisement {
+        kind: EntityKind::Customer,
+        ad,
+        contact: format!("ca{}:1", i % 8),
+        ticket: None,
+        expires_at: u64::MAX,
+    }
+}
+
+fn build_store(machines: usize, jobs: usize) -> AdStore {
+    let proto = AdvertisingProtocol::default();
+    let mut store = AdStore::new();
+    for i in 0..machines {
+        store.advertise(machine_adv(i), 0, &proto).unwrap();
+    }
+    for i in 0..jobs {
+        store.advertise(job_adv(i), 0, &proto).unwrap();
+    }
+    store
+}
+
+fn bench_pool_size_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("negotiation_cycle_vs_pool");
+    g.sample_size(10);
+    for machines in [64_usize, 256, 1024, 4096] {
+        let store = build_store(machines, 32);
+        g.bench_with_input(BenchmarkId::new("machines", machines), &store, |b, store| {
+            b.iter(|| {
+                let mut neg = Negotiator::default();
+                neg.negotiate(store, 0)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_job_batch_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("negotiation_cycle_vs_jobs");
+    g.sample_size(10);
+    for jobs in [8_usize, 32, 128] {
+        let store = build_store(512, jobs);
+        g.bench_with_input(BenchmarkId::new("jobs", jobs), &store, |b, store| {
+            b.iter(|| {
+                let mut neg = Negotiator::default();
+                neg.negotiate(store, 0)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_parallel_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parallel_scan_ablation");
+    g.sample_size(10);
+    let store = build_store(4096, 16);
+    for threads in [1_usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &threads| {
+            b.iter(|| {
+                let mut neg =
+                    Negotiator::new(NegotiatorConfig { threads, ..Default::default() });
+                neg.negotiate(&store, 0)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn print_e3_table() {
+    println!("== E3: cycle outcome sanity (512 machines, 128 jobs) ==");
+    let store = build_store(512, 128);
+    let mut neg = Negotiator::default();
+    let out = neg.negotiate(&store, 0);
+    println!(
+        "  offers={} requests={} matches={} unmatched={} rounds={}",
+        out.stats.offers_considered,
+        out.stats.requests_considered,
+        out.stats.matches,
+        out.stats.unmatched_requests,
+        out.stats.rounds,
+    );
+}
+
+criterion_group!(
+    name = benches;
+    // Single-core CI-friendly windows; override with
+    // `cargo bench -- --warm-up-time N --measurement-time M`.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(800))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_pool_size_scaling, bench_job_batch_scaling, bench_parallel_ablation
+);
+
+fn main() {
+    print_e3_table();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

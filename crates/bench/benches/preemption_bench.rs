@@ -1,0 +1,184 @@
+//! E6 — preemption: a claimed RA "is still interested in hearing from
+//! higher priority customers" (paper §4).
+//!
+//! The printed experiment runs the same contended scenario with
+//! preemption on and off, showing the high-rank user's turnaround improve
+//! (and the displaced work's cost). The criterion series measures the
+//! negotiator's preemption retry path against pools of claimed machines.
+
+use condor_sim::scenario::{NegotiatorSettings, PolicyConfig, Scenario};
+use condor_sim::workload::{FleetSpec, UserSpec};
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use matchmaker::negotiate::{Negotiator, NegotiatorConfig};
+use matchmaker::prelude::*;
+
+/// Pool of machines that are all claimed at low rank; requests arrive at
+/// a higher machine-rank and must displace.
+fn claimed_store(machines: usize, requests: usize) -> AdStore {
+    let proto = AdvertisingProtocol::default();
+    let mut store = AdStore::new();
+    for i in 0..machines {
+        let ad = classad::parse_classad(&format!(
+            r#"[ Name = "m{i}"; Type = "Machine"; Mips = 100;
+                 State = "Claimed"; RemoteOwner = "olduser";
+                 CurrentRank = 1;
+                 Constraint = other.Type == "Job";
+                 Rank = other.JobPrio ]"#
+        ))
+        .unwrap();
+        store
+            .advertise(
+                Advertisement {
+                    kind: EntityKind::Provider,
+                    ad,
+                    contact: format!("m{i}:9614"),
+                    ticket: None,
+                    expires_at: u64::MAX,
+                },
+                0,
+                &proto,
+            )
+            .unwrap();
+    }
+    for i in 0..requests {
+        let ad = classad::parse_classad(&format!(
+            r#"[ Name = "j{i}"; Type = "Job"; Owner = "research"; JobPrio = 10;
+                 Constraint = other.Type == "Machine"; Rank = 0 ]"#
+        ))
+        .unwrap();
+        store
+            .advertise(
+                Advertisement {
+                    kind: EntityKind::Customer,
+                    ad,
+                    contact: "ca:1".into(),
+                    ticket: None,
+                    expires_at: u64::MAX,
+                },
+                0,
+                &proto,
+            )
+            .unwrap();
+    }
+    store
+}
+
+fn bench_preemption_scan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("preemption_cycle");
+    g.sample_size(10);
+    for machines in [128_usize, 1024] {
+        let store = claimed_store(machines, 16);
+        g.bench_with_input(
+            BenchmarkId::new("preempting_claimed_pool", machines),
+            &store,
+            |b, store| {
+                b.iter(|| {
+                    let mut neg = Negotiator::default();
+                    let out = neg.negotiate(store, 0);
+                    assert_eq!(out.stats.preemptions, out.stats.matches);
+                    out.stats.matches
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("preemption_disabled", machines),
+            &store,
+            |b, store| {
+                b.iter(|| {
+                    let mut neg = Negotiator::new(NegotiatorConfig {
+                        preemption: false,
+                        ..Default::default()
+                    });
+                    let out = neg.negotiate(store, 0);
+                    assert_eq!(out.stats.matches, 0);
+                    out.stats.unmatched_requests
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn contended_scenario(preemption: bool) -> Scenario {
+    // Owners permanently absent: contention comes purely from customers.
+    let mut fleet = FleetSpec { count: 2, ..Default::default() };
+    fleet.activity.initially_present_prob = 0.0;
+    fleet.activity.mean_away_ms = 1e12;
+    Scenario {
+        seed: 4242,
+        fleet,
+        policy: PolicyConfig::Figure1 {
+            research: vec!["vip".into()],
+            friends: vec!["worker".into()],
+            untrusted: vec![],
+        },
+        users: vec![
+            UserSpec {
+                mean_interarrival_ms: 0.0,
+                mean_duration_ms: 60.0 * 60_000.0,
+                arch_constraint_prob: 0.0,
+                checkpoint_prob: 1.0,
+                ..UserSpec::standard("worker", 2)
+            },
+            UserSpec {
+                mean_interarrival_ms: 30.0 * 60_000.0,
+                mean_duration_ms: 10.0 * 60_000.0,
+                arch_constraint_prob: 0.0,
+                ..UserSpec::standard("vip", 4)
+            },
+        ],
+        negotiator: NegotiatorSettings { preemption, ..Default::default() },
+        duration_ms: 12 * 3_600 * 1000,
+        ..Default::default()
+    }
+}
+
+fn print_e6_experiment() {
+    println!("== E6: preemption on a contended 2-machine pool ==");
+    println!("  worker: two 60-min jobs at t=0 (rank 1); vip: four 10-min jobs from t~30min (rank 10)");
+    println!(
+        "  {:<16}{:>12}{:>18}{:>16}{:>12}",
+        "preemption", "preempted", "vip mean wait", "vip turnaround", "badput"
+    );
+    for preemption in [false, true] {
+        let s = contended_scenario(preemption);
+        let mut sim = s.build();
+        sim.run_until(s.duration_ms);
+        let m = sim.metrics();
+        let vip: Vec<_> = m.completed.iter().filter(|r| r.owner == "vip").collect();
+        let mean = |f: &dyn Fn(&&condor_sim::JobRecord) -> f64| {
+            if vip.is_empty() {
+                f64::NAN
+            } else {
+                vip.iter().map(f).sum::<f64>() / vip.len() as f64
+            }
+        };
+        let wait = mean(&|r| (r.first_start.unwrap_or(r.completed_at) - r.submitted_at) as f64)
+            / 60_000.0;
+        let turn = mean(&|r| (r.completed_at - r.submitted_at) as f64) / 60_000.0;
+        println!(
+            "  {:<16}{:>12}{:>14.1} min{:>12.1} min{:>8.1} min",
+            if preemption { "on" } else { "off" },
+            m.preempted_by_rank,
+            wait,
+            turn,
+            m.badput_ms as f64 / 60_000.0,
+        );
+    }
+}
+
+criterion_group!(
+    name = benches;
+    // Single-core CI-friendly windows; override with
+    // `cargo bench -- --warm-up-time N --measurement-time M`.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(800))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_preemption_scan
+);
+
+fn main() {
+    print_e6_experiment();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

@@ -1,0 +1,141 @@
+//! E2 — the Figure 3 protocol: message framing cost and the full
+//! advertise → match → notify → claim transaction, including the
+//! stale-ad rejection path (weak consistency).
+
+use classad::fixtures::{FIGURE1_MACHINE, FIGURE2_JOB};
+use classad::parse_classad;
+use criterion::{black_box, criterion_group, Criterion};
+use matchmaker::prelude::*;
+use matchmaker::protocol::Message;
+
+fn figure_advertisements(ticket: Ticket) -> (Advertisement, Advertisement) {
+    let machine = parse_classad(FIGURE1_MACHINE).unwrap();
+    let mut job = parse_classad(FIGURE2_JOB).unwrap();
+    job.set_str("Name", "raman.sim2.0");
+    (
+        Advertisement {
+            kind: EntityKind::Provider,
+            ad: machine,
+            contact: "leonardo:9614".into(),
+            ticket: Some(ticket),
+            expires_at: u64::MAX,
+        },
+        Advertisement {
+            kind: EntityKind::Customer,
+            ad: job,
+            contact: "raman-ca:1".into(),
+            ticket: None,
+            expires_at: u64::MAX,
+        },
+    )
+}
+
+fn bench_framing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire_format");
+    let (m_adv, _) = figure_advertisements(Ticket::from_raw(7));
+    let msg = Message::Advertise(m_adv);
+    g.bench_function("encode_figure1_advertise", |b| b.iter(|| black_box(&msg).encode()));
+    let bytes = msg.encode();
+    g.bench_function("decode_figure1_advertise", |b| {
+        b.iter(|| Message::decode(black_box(bytes.clone())).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_full_transaction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figure3_protocol");
+    let proto = AdvertisingProtocol::default();
+
+    g.bench_function("advertise_negotiate_notify_claim", |b| {
+        b.iter(|| {
+            // Step 0: provider issues a ticket for this advertisement.
+            let mut tickets = TicketIssuer::new(9);
+            let ticket = tickets.issue();
+            let mut handler = ClaimHandler::new();
+            handler.set_ticket(ticket);
+            let (m_adv, j_adv) = figure_advertisements(ticket);
+            let machine_ad = m_adv.ad.clone();
+            let job_ad = j_adv.ad.clone();
+
+            // Step 1: advertise (over the wire format).
+            let mut store = AdStore::new();
+            for msg in [Message::Advertise(m_adv), Message::Advertise(j_adv)] {
+                let Message::Advertise(adv) = Message::decode(msg.encode()).unwrap() else {
+                    unreachable!()
+                };
+                store.advertise(adv, 0, &proto).unwrap();
+            }
+
+            // Step 2: match.
+            let mut neg = Negotiator::default();
+            let outcome = neg.negotiate(&store, 0);
+
+            // Step 3: notify.
+            let (to_customer, _) = outcome.matches[0].notifications();
+
+            // Step 4: claim.
+            let (resp, _) = handler.handle_claim(
+                &ClaimRequest {
+                    ticket: to_customer.ticket.unwrap(),
+                    customer_ad: job_ad,
+                    customer_contact: "raman-ca:1".into(),
+                },
+                &machine_ad,
+                1,
+                |_| false,
+            );
+            assert!(resp.accepted);
+            resp
+        })
+    });
+
+    g.bench_function("claim_rejected_stale_state", |b| {
+        // The cheap failure path: the provider state changed; the claim
+        // re-verification rejects in O(one constraint evaluation).
+        let mut tickets = TicketIssuer::new(10);
+        let ticket = tickets.issue();
+        let mut stale_machine = parse_classad(FIGURE1_MACHINE).unwrap();
+        stale_machine.set_int("KeyboardIdle", 5);
+        stale_machine.set_int("DayTime", 14 * 3600);
+        let mut job = parse_classad(FIGURE2_JOB).unwrap();
+        job.set_str("Owner", "stranger");
+        let req = ClaimRequest {
+            ticket,
+            customer_ad: job,
+            customer_contact: "x:1".into(),
+        };
+        b.iter(|| {
+            let mut handler = ClaimHandler::new();
+            handler.set_ticket(ticket);
+            let (resp, _) = handler.handle_claim(&req, &stale_machine, 0, |_| false);
+            assert!(!resp.accepted);
+            resp
+        })
+    });
+    g.finish();
+}
+
+fn print_e2_table() {
+    let (m_adv, j_adv) = figure_advertisements(Ticket::from_raw(7));
+    let m_len = Message::Advertise(m_adv).encode().len();
+    let j_len = Message::Advertise(j_adv).encode().len();
+    println!("== E2: protocol frame sizes ==");
+    println!("  Figure 1 machine advertise frame: {m_len} bytes");
+    println!("  Figure 2 job advertise frame    : {j_len} bytes");
+}
+
+criterion_group!(
+    name = benches;
+    // Single-core CI-friendly windows; override with
+    // `cargo bench -- --warm-up-time N --measurement-time M`.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(800))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_framing, bench_full_transaction
+);
+
+fn main() {
+    print_e2_table();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

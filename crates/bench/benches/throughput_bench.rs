@@ -1,0 +1,144 @@
+//! E9 + E10 — whole-system throughput under opportunistic scheduling, and
+//! the cost of weak consistency.
+//!
+//! * The E10 table sweeps pool size against a fixed job load and reports
+//!   the high-throughput metrics (jobs/hour, mean turnaround,
+//!   utilization) on a diurnal, owner-occupied fleet.
+//! * The E9 table sweeps the advertisement refresh period: longer leases
+//!   mean staler ads at match time, which the claiming protocol converts
+//!   into claim rejections rather than wrong allocations — the paper's
+//!   weak-consistency argument made measurable.
+//! * The criterion group benchmarks simulator throughput itself
+//!   (events/second), the substrate's own headline number.
+
+use condor_sim::scenario::{NegotiatorSettings, PolicyConfig, Scenario};
+use condor_sim::workload::{FleetSpec, OwnerActivity, UserSpec};
+use criterion::{criterion_group, BenchmarkId, Criterion};
+
+fn scenario(machines: usize, jobs_per_user: usize) -> Scenario {
+    Scenario {
+        seed: 31337,
+        fleet: FleetSpec {
+            count: machines,
+            activity: OwnerActivity {
+                mean_active_ms: 20.0 * 60_000.0,
+                mean_away_ms: 40.0 * 60_000.0,
+                initially_present_prob: 0.4,
+                day_length_ms: 24 * 3_600 * 1000,
+                night_away_factor: 3.0,
+            },
+            ..Default::default()
+        },
+        policy: PolicyConfig::OwnerIdle { min_keyboard_idle_s: 300 },
+        users: (0..4)
+            .map(|i| UserSpec {
+                mean_interarrival_ms: 60_000.0,
+                mean_duration_ms: 12.0 * 60_000.0,
+                arch_constraint_prob: 0.0,
+                ..UserSpec::standard(&format!("user{i}"), jobs_per_user)
+            })
+            .collect(),
+        negotiator: NegotiatorSettings { charge_per_match: 120.0, ..Default::default() },
+        advertise_period_ms: 60_000,
+        negotiation_period_ms: 60_000,
+        duration_ms: 12 * 3_600 * 1000,
+        ..Default::default()
+    }
+}
+
+fn print_e10_table() {
+    println!("== E10: opportunistic throughput vs pool size (4 users x 25 jobs, 12 h) ==");
+    println!(
+        "  {:<10}{:>12}{:>14}{:>16}{:>14}{:>12}",
+        "machines", "completed", "jobs/hour", "turnaround", "utilization", "vacated"
+    );
+    for machines in [8_usize, 16, 32, 64] {
+        let s = scenario(machines, 25);
+        let mut sim = s.build();
+        sim.run_until(s.duration_ms);
+        let summary = sim.metrics().summary(s.duration_ms, machines);
+        println!(
+            "  {:<10}{:>12}{:>14.1}{:>12.1} min{:>13.1}%{:>12}",
+            machines,
+            summary.jobs_completed,
+            summary.throughput_per_hour,
+            summary.mean_turnaround_ms / 60_000.0,
+            summary.utilization * 100.0,
+            sim.metrics().vacated_by_owner,
+        );
+    }
+}
+
+fn print_e9_table() {
+    println!("\n== E9: weak consistency — ad refresh period vs claim failures ==");
+    println!("  (16 machines, owner churn every ~6 min, 2 users x 20 jobs, 12 h)");
+    println!(
+        "  {:<18}{:>14}{:>16}{:>14}{:>12}",
+        "refresh period", "matches", "claim rejects", "reject rate", "completed"
+    );
+    for period_s in [30_u64, 60, 120, 300, 600] {
+        let mut s = scenario(16, 20);
+        s.users.truncate(2);
+        s.fleet.activity.mean_active_ms = 3.0 * 60_000.0;
+        s.fleet.activity.mean_away_ms = 6.0 * 60_000.0;
+        s.advertise_period_ms = period_s * 1000;
+        s.negotiation_period_ms = period_s * 1000;
+        // Periodic refresh only: staleness grows with the period, and the
+        // claiming protocol turns it into rejections.
+        s.push_ads_on_change = false;
+        let mut sim = s.build();
+        sim.run_until(s.duration_ms);
+        let m = sim.metrics();
+        let rejects = m.claims_rejected_total();
+        let rate = if m.claim_attempts > 0 {
+            rejects as f64 / m.claim_attempts as f64 * 100.0
+        } else {
+            0.0
+        };
+        println!(
+            "  {:<18}{:>14}{:>16}{:>13.1}%{:>12}",
+            format!("{period_s} s"),
+            m.matches,
+            rejects,
+            rate,
+            m.jobs_completed,
+        );
+    }
+}
+
+fn bench_sim_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_engine");
+    g.sample_size(10);
+    for machines in [16_usize, 64] {
+        g.bench_with_input(
+            BenchmarkId::new("one_sim_hour", machines),
+            &machines,
+            |b, &machines| {
+                b.iter(|| {
+                    let s = scenario(machines, 10);
+                    let mut sim = s.build();
+                    sim.run_until(3_600_000);
+                    sim.events_processed()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    // Single-core CI-friendly windows; override with
+    // `cargo bench -- --warm-up-time N --measurement-time M`.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(800))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_sim_engine
+);
+
+fn main() {
+    print_e10_table();
+    print_e9_table();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

@@ -1,0 +1,3 @@
+//! Benchmark-harness crate: all content lives in `benches/` (one Criterion
+//! target per reproduced paper artifact — see DESIGN.md §2 and
+//! EXPERIMENTS.md). This library is intentionally empty.

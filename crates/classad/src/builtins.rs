@@ -1,0 +1,941 @@
+//! The built-in function library.
+//!
+//! Function names, like attribute names, are case-insensitive. Unknown
+//! functions and arity/type violations evaluate to `error`; `undefined`
+//! arguments propagate per each function's strictness (most are strict,
+//! the type predicates and `ifThenElse` are not).
+//!
+//! The set covers the paper's `member()` plus the classic utility functions
+//! a working pool depends on (string/list manipulation, numeric conversion,
+//! aggregation, type tests).
+
+use crate::ast::{BinOp, Expr};
+use crate::eval::{Evaluator, Side};
+use crate::value::{apply_strict_binary, case_insensitive_cmp, Value};
+use std::cmp::Ordering;
+
+/// Dispatch a function call. `name` must already be canonical (lowercase).
+pub fn call(ev: &mut Evaluator<'_>, side: Side, name: &str, args: &[Expr]) -> Value {
+    match name {
+        // ---- list membership -------------------------------------------
+        "member" => member(ev, side, args, MemberMode::Equality),
+        "identicalmember" => member(ev, side, args, MemberMode::Identity),
+        // ---- type predicates (non-strict by design) --------------------
+        "isundefined" => type_test(ev, side, args, |v| v.is_undefined()),
+        "iserror" => type_test(ev, side, args, |v| v.is_error()),
+        "isstring" => type_test(ev, side, args, |v| matches!(v, Value::Str(_))),
+        "isinteger" => type_test(ev, side, args, |v| matches!(v, Value::Int(_))),
+        "isreal" => type_test(ev, side, args, |v| matches!(v, Value::Real(_))),
+        "isboolean" => type_test(ev, side, args, |v| matches!(v, Value::Bool(_))),
+        "islist" => type_test(ev, side, args, |v| matches!(v, Value::List(_))),
+        "isclassad" => type_test(ev, side, args, |v| matches!(v, Value::Ad(_))),
+        // ---- conditionals ----------------------------------------------
+        "ifthenelse" => if_then_else(ev, side, args),
+        // ---- numeric ----------------------------------------------------
+        "floor" => numeric1(ev, side, args, |r| r.floor()),
+        "ceiling" => numeric1(ev, side, args, |r| r.ceil()),
+        "round" => numeric1(ev, side, args, |r| r.round()),
+        "pow" => pow(ev, side, args),
+        "quantize" => quantize(ev, side, args),
+        "int" => to_int(ev, side, args),
+        "real" => to_real(ev, side, args),
+        "abs" => abs(ev, side, args),
+        // ---- strings ----------------------------------------------------
+        "string" => to_string_fn(ev, side, args),
+        "strcat" => strcat(ev, side, args),
+        "substr" => substr(ev, side, args),
+        "strcmp" => strcmp(ev, side, args, true),
+        "stricmp" => strcmp(ev, side, args, false),
+        "toupper" => map_string(ev, side, args, |s| s.to_ascii_uppercase()),
+        "tolower" => map_string(ev, side, args, |s| s.to_ascii_lowercase()),
+        "split" => split(ev, side, args),
+        "join" => join(ev, side, args),
+        // ---- string lists (Condor convention: delimited strings) -------
+        "stringlistmember" => string_list_member(ev, side, args, true),
+        "stringlistimember" => string_list_member(ev, side, args, false),
+        "stringlistsize" => string_list_size(ev, side, args),
+        // ---- aggregates over lists --------------------------------------
+        "size" => size(ev, side, args),
+        "sum" => fold_numeric(ev, side, args, Fold::Sum),
+        "avg" => fold_numeric(ev, side, args, Fold::Avg),
+        "min" => fold_numeric(ev, side, args, Fold::Min),
+        "max" => fold_numeric(ev, side, args, Fold::Max),
+        "anycompare" => any_all_compare(ev, side, args, false),
+        "allcompare" => any_all_compare(ev, side, args, true),
+        // ---- regular expressions ----------------------------------------
+        "regexp" => regexp_fn(ev, side, args),
+        "stringlistregexpmember" => string_list_regexp_member(ev, side, args),
+        // ---- environment -------------------------------------------------
+        "time" => time(ev, args),
+        "random" => random(ev, side, args),
+        _ => Value::Error,
+    }
+}
+
+fn eval_args(ev: &mut Evaluator<'_>, side: Side, args: &[Expr]) -> Vec<Value> {
+    args.iter().map(|a| ev.eval(a, side)).collect()
+}
+
+/// Strict screen over already-evaluated arguments: error dominates,
+/// then undefined.
+fn screen_args(vals: &[Value]) -> Option<Value> {
+    if vals.iter().any(Value::is_error) {
+        Some(Value::Error)
+    } else if vals.iter().any(Value::is_undefined) {
+        Some(Value::Undefined)
+    } else {
+        None
+    }
+}
+
+enum MemberMode {
+    /// `member`: element-wise `==` (strings case-insensitive).
+    Equality,
+    /// `identicalMember`: element-wise `is`.
+    Identity,
+}
+
+fn member(ev: &mut Evaluator<'_>, side: Side, args: &[Expr], mode: MemberMode) -> Value {
+    if args.len() != 2 {
+        return Value::Error;
+    }
+    let target = ev.eval(&args[0], side);
+    let list = ev.eval(&args[1], side);
+    if target.is_error() || list.is_error() {
+        return Value::Error;
+    }
+    if target.is_undefined() || list.is_undefined() {
+        return Value::Undefined;
+    }
+    let Some(items) = list.as_list() else {
+        return Value::Error;
+    };
+    for item in items {
+        let hit = match mode {
+            MemberMode::Equality => {
+                apply_strict_binary(BinOp::Eq, item, &target).as_bool() == Some(true)
+            }
+            MemberMode::Identity => item.same_as(&target),
+        };
+        if hit {
+            return Value::Bool(true);
+        }
+    }
+    Value::Bool(false)
+}
+
+fn type_test(
+    ev: &mut Evaluator<'_>,
+    side: Side,
+    args: &[Expr],
+    pred: impl Fn(&Value) -> bool,
+) -> Value {
+    if args.len() != 1 {
+        return Value::Error;
+    }
+    let v = ev.eval(&args[0], side);
+    Value::Bool(pred(&v))
+}
+
+fn if_then_else(ev: &mut Evaluator<'_>, side: Side, args: &[Expr]) -> Value {
+    if args.len() != 3 {
+        return Value::Error;
+    }
+    let c = ev.eval(&args[0], side);
+    let truthy = match &c {
+        Value::Bool(b) => *b,
+        Value::Int(i) => *i != 0,
+        Value::Real(r) => *r != 0.0,
+        Value::Undefined => return Value::Undefined,
+        _ => return Value::Error,
+    };
+    if truthy {
+        ev.eval(&args[1], side)
+    } else {
+        ev.eval(&args[2], side)
+    }
+}
+
+fn numeric1(ev: &mut Evaluator<'_>, side: Side, args: &[Expr], f: impl Fn(f64) -> f64) -> Value {
+    if args.len() != 1 {
+        return Value::Error;
+    }
+    let v = ev.eval(&args[0], side);
+    if let Some(s) = screen_args(std::slice::from_ref(&v)) {
+        return s;
+    }
+    match v {
+        Value::Int(i) => Value::Int(i),
+        Value::Real(r) => {
+            let out = f(r);
+            if out.is_finite() && out.abs() < i64::MAX as f64 {
+                Value::Int(out as i64)
+            } else {
+                Value::Error
+            }
+        }
+        _ => Value::Error,
+    }
+}
+
+fn abs(ev: &mut Evaluator<'_>, side: Side, args: &[Expr]) -> Value {
+    if args.len() != 1 {
+        return Value::Error;
+    }
+    match ev.eval(&args[0], side) {
+        Value::Int(i) => i.checked_abs().map(Value::Int).unwrap_or(Value::Error),
+        Value::Real(r) => Value::Real(r.abs()),
+        Value::Undefined => Value::Undefined,
+        _ => Value::Error,
+    }
+}
+
+fn pow(ev: &mut Evaluator<'_>, side: Side, args: &[Expr]) -> Value {
+    if args.len() != 2 {
+        return Value::Error;
+    }
+    let vals = eval_args(ev, side, args);
+    if let Some(s) = screen_args(&vals) {
+        return s;
+    }
+    match (&vals[0], &vals[1]) {
+        (Value::Int(b), Value::Int(e)) if *e >= 0 => match b.checked_pow((*e).min(u32::MAX as i64) as u32) {
+            Some(v) => Value::Int(v),
+            None => Value::Error,
+        },
+        _ => match (vals[0].as_f64(), vals[1].as_f64()) {
+            (Some(b), Some(e)) => {
+                let r = b.powf(e);
+                if r.is_nan() {
+                    Value::Error
+                } else {
+                    Value::Real(r)
+                }
+            }
+            _ => Value::Error,
+        },
+    }
+}
+
+/// `quantize(a, b)`: round `a` up to the next multiple of `b` (a classic
+/// Condor helper for slot-size rounding).
+fn quantize(ev: &mut Evaluator<'_>, side: Side, args: &[Expr]) -> Value {
+    if args.len() != 2 {
+        return Value::Error;
+    }
+    let vals = eval_args(ev, side, args);
+    if let Some(s) = screen_args(&vals) {
+        return s;
+    }
+    match (&vals[0], &vals[1]) {
+        (Value::Int(a), Value::Int(b)) if *b > 0 => {
+            let rem = a.rem_euclid(*b);
+            if rem == 0 {
+                Value::Int(*a)
+            } else {
+                match a.checked_add(b - rem) {
+                    Some(v) => Value::Int(v),
+                    None => Value::Error,
+                }
+            }
+        }
+        _ => match (vals[0].as_f64(), vals[1].as_f64()) {
+            (Some(a), Some(b)) if b > 0.0 => Value::Real((a / b).ceil() * b),
+            _ => Value::Error,
+        },
+    }
+}
+
+fn to_int(ev: &mut Evaluator<'_>, side: Side, args: &[Expr]) -> Value {
+    if args.len() != 1 {
+        return Value::Error;
+    }
+    match ev.eval(&args[0], side) {
+        Value::Int(i) => Value::Int(i),
+        Value::Real(r) if r.is_finite() && r.abs() < i64::MAX as f64 => Value::Int(r as i64),
+        Value::Bool(b) => Value::Int(b as i64),
+        Value::Str(s) => match s.trim().parse::<i64>() {
+            Ok(i) => Value::Int(i),
+            Err(_) => match s.trim().parse::<f64>() {
+                Ok(r) if r.is_finite() => Value::Int(r as i64),
+                _ => Value::Error,
+            },
+        },
+        Value::Undefined => Value::Undefined,
+        _ => Value::Error,
+    }
+}
+
+fn to_real(ev: &mut Evaluator<'_>, side: Side, args: &[Expr]) -> Value {
+    if args.len() != 1 {
+        return Value::Error;
+    }
+    match ev.eval(&args[0], side) {
+        Value::Int(i) => Value::Real(i as f64),
+        Value::Real(r) => Value::Real(r),
+        Value::Bool(b) => Value::Real(b as i64 as f64),
+        Value::Str(s) => match s.trim().parse::<f64>() {
+            Ok(r) => Value::Real(r),
+            Err(_) => Value::Error,
+        },
+        Value::Undefined => Value::Undefined,
+        _ => Value::Error,
+    }
+}
+
+fn to_string_fn(ev: &mut Evaluator<'_>, side: Side, args: &[Expr]) -> Value {
+    if args.len() != 1 {
+        return Value::Error;
+    }
+    let v = ev.eval(&args[0], side);
+    match &v {
+        Value::Str(_) => v,
+        Value::Int(i) => Value::from(i.to_string()),
+        Value::Real(r) => Value::from(format_real(*r)),
+        Value::Bool(b) => Value::str(if *b { "true" } else { "false" }),
+        Value::Undefined => Value::Undefined,
+        _ => Value::Error,
+    }
+}
+
+/// Format a real the way the pretty-printer does (always with a `.` or
+/// exponent so it re-parses as a real).
+pub(crate) fn format_real(r: f64) -> String {
+    if r.is_nan() {
+        return "real(\"NaN\")".to_string();
+    }
+    if r.is_infinite() {
+        return if r > 0.0 { "real(\"INF\")" } else { "real(\"-INF\")" }.to_string();
+    }
+    let abs = r.abs();
+    // Scientific notation for extreme magnitudes keeps literals short
+    // (Rust's `{}` would expand 1e300 to 300 digits).
+    let s = if abs != 0.0 && !(1e-4..1e16).contains(&abs) {
+        format!("{r:e}")
+    } else {
+        format!("{r}")
+    };
+    if s.contains('.') || s.contains('e') || s.contains('E') {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+fn strcat(ev: &mut Evaluator<'_>, side: Side, args: &[Expr]) -> Value {
+    let vals = eval_args(ev, side, args);
+    if let Some(s) = screen_args(&vals) {
+        return s;
+    }
+    let mut out = String::new();
+    for v in &vals {
+        match v {
+            Value::Str(s) => out.push_str(s),
+            Value::Int(i) => out.push_str(&i.to_string()),
+            Value::Real(r) => out.push_str(&format_real(*r)),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            _ => return Value::Error,
+        }
+    }
+    Value::from(out)
+}
+
+fn substr(ev: &mut Evaluator<'_>, side: Side, args: &[Expr]) -> Value {
+    if !(args.len() == 2 || args.len() == 3) {
+        return Value::Error;
+    }
+    let vals = eval_args(ev, side, args);
+    if let Some(s) = screen_args(&vals) {
+        return s;
+    }
+    let (Some(s), Some(off)) = (vals[0].as_str(), vals[1].as_int()) else {
+        return Value::Error;
+    };
+    let len = s.len() as i64;
+    // Negative offset counts from the end, as in the classad spec.
+    let start = if off < 0 { (len + off).max(0) } else { off.min(len) } as usize;
+    let take = match vals.get(2) {
+        None => len as usize,
+        Some(v) => match v.as_int() {
+            // Negative length means "leave this many off the end".
+            Some(l) if l < 0 => ((len - start as i64 + l).max(0)) as usize,
+            Some(l) => l as usize,
+            None => return Value::Error,
+        },
+    };
+    let out: String = s.chars().skip(start).take(take).collect();
+    Value::from(out)
+}
+
+fn strcmp(ev: &mut Evaluator<'_>, side: Side, args: &[Expr], case_sensitive: bool) -> Value {
+    if args.len() != 2 {
+        return Value::Error;
+    }
+    let vals = eval_args(ev, side, args);
+    if let Some(s) = screen_args(&vals) {
+        return s;
+    }
+    let (Some(a), Some(b)) = (vals[0].as_str(), vals[1].as_str()) else {
+        return Value::Error;
+    };
+    let ord = if case_sensitive { a.cmp(b) } else { case_insensitive_cmp(a, b) };
+    Value::Int(match ord {
+        Ordering::Less => -1,
+        Ordering::Equal => 0,
+        Ordering::Greater => 1,
+    })
+}
+
+fn map_string(ev: &mut Evaluator<'_>, side: Side, args: &[Expr], f: impl Fn(&str) -> String) -> Value {
+    if args.len() != 1 {
+        return Value::Error;
+    }
+    match ev.eval(&args[0], side) {
+        Value::Str(s) => Value::from(f(&s)),
+        Value::Undefined => Value::Undefined,
+        _ => Value::Error,
+    }
+}
+
+fn split(ev: &mut Evaluator<'_>, side: Side, args: &[Expr]) -> Value {
+    if !(args.len() == 1 || args.len() == 2) {
+        return Value::Error;
+    }
+    let vals = eval_args(ev, side, args);
+    if let Some(s) = screen_args(&vals) {
+        return s;
+    }
+    let Some(s) = vals[0].as_str() else {
+        return Value::Error;
+    };
+    let delims: &str = match vals.get(1) {
+        None => " ,",
+        Some(v) => match v.as_str() {
+            Some(d) => d,
+            None => return Value::Error,
+        },
+    };
+    let parts: Vec<Value> = s
+        .split(|c: char| delims.contains(c))
+        .filter(|p| !p.is_empty())
+        .map(Value::str)
+        .collect();
+    Value::list(parts)
+}
+
+fn join(ev: &mut Evaluator<'_>, side: Side, args: &[Expr]) -> Value {
+    if !(args.len() == 1 || args.len() == 2) {
+        return Value::Error;
+    }
+    let vals = eval_args(ev, side, args);
+    if let Some(s) = screen_args(&vals) {
+        return s;
+    }
+    let (sep, list) = if vals.len() == 2 {
+        let Some(sep) = vals[0].as_str() else {
+            return Value::Error;
+        };
+        (sep, &vals[1])
+    } else {
+        ("", &vals[0])
+    };
+    let Some(items) = list.as_list() else {
+        return Value::Error;
+    };
+    let mut out = String::new();
+    for (i, v) in items.iter().enumerate() {
+        if i > 0 {
+            out.push_str(sep);
+        }
+        match v {
+            Value::Str(s) => out.push_str(s),
+            Value::Int(n) => out.push_str(&n.to_string()),
+            Value::Real(r) => out.push_str(&format_real(*r)),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            _ => return Value::Error,
+        }
+    }
+    Value::from(out)
+}
+
+fn string_list_member(
+    ev: &mut Evaluator<'_>,
+    side: Side,
+    args: &[Expr],
+    case_sensitive: bool,
+) -> Value {
+    if !(args.len() == 2 || args.len() == 3) {
+        return Value::Error;
+    }
+    let vals = eval_args(ev, side, args);
+    if let Some(s) = screen_args(&vals) {
+        return s;
+    }
+    let (Some(needle), Some(hay)) = (vals[0].as_str(), vals[1].as_str()) else {
+        return Value::Error;
+    };
+    let delims: &str = match vals.get(2) {
+        None => " ,",
+        Some(v) => match v.as_str() {
+            Some(d) => d,
+            None => return Value::Error,
+        },
+    };
+    let found = hay
+        .split(|c: char| delims.contains(c))
+        .filter(|p| !p.is_empty())
+        .any(|p| if case_sensitive { p == needle } else { p.eq_ignore_ascii_case(needle) });
+    Value::Bool(found)
+}
+
+fn string_list_size(ev: &mut Evaluator<'_>, side: Side, args: &[Expr]) -> Value {
+    if !(args.len() == 1 || args.len() == 2) {
+        return Value::Error;
+    }
+    let vals = eval_args(ev, side, args);
+    if let Some(s) = screen_args(&vals) {
+        return s;
+    }
+    let Some(hay) = vals[0].as_str() else {
+        return Value::Error;
+    };
+    let delims: &str = match vals.get(1) {
+        None => " ,",
+        Some(v) => match v.as_str() {
+            Some(d) => d,
+            None => return Value::Error,
+        },
+    };
+    let n = hay.split(|c: char| delims.contains(c)).filter(|p| !p.is_empty()).count();
+    Value::Int(n as i64)
+}
+
+fn size(ev: &mut Evaluator<'_>, side: Side, args: &[Expr]) -> Value {
+    if args.len() != 1 {
+        return Value::Error;
+    }
+    match ev.eval(&args[0], side) {
+        Value::Str(s) => Value::Int(s.chars().count() as i64),
+        Value::List(l) => Value::Int(l.len() as i64),
+        Value::Ad(a) => Value::Int(a.len() as i64),
+        Value::Undefined => Value::Undefined,
+        _ => Value::Error,
+    }
+}
+
+enum Fold {
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+fn fold_numeric(ev: &mut Evaluator<'_>, side: Side, args: &[Expr], fold: Fold) -> Value {
+    if args.len() != 1 {
+        return Value::Error;
+    }
+    let v = ev.eval(&args[0], side);
+    if v.is_error() {
+        return Value::Error;
+    }
+    if v.is_undefined() {
+        return Value::Undefined;
+    }
+    let Some(items) = v.as_list() else {
+        return Value::Error;
+    };
+    if items.is_empty() {
+        return Value::Undefined;
+    }
+    let mut all_int = true;
+    let mut nums = Vec::with_capacity(items.len());
+    for item in items {
+        match item {
+            Value::Int(i) => nums.push(*i as f64),
+            Value::Real(r) => {
+                all_int = false;
+                nums.push(*r);
+            }
+            Value::Undefined => return Value::Undefined,
+            _ => return Value::Error,
+        }
+    }
+    let out = match fold {
+        Fold::Sum => nums.iter().sum::<f64>(),
+        Fold::Avg => {
+            all_int = false;
+            nums.iter().sum::<f64>() / nums.len() as f64
+        }
+        Fold::Min => nums.iter().copied().fold(f64::INFINITY, f64::min),
+        Fold::Max => nums.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+    };
+    if all_int {
+        Value::Int(out as i64)
+    } else {
+        Value::Real(out)
+    }
+}
+
+/// `anyCompare(op, list, v)` / `allCompare(op, list, v)`: does any/every
+/// element of `list` satisfy `elem <op> v`?
+fn any_all_compare(ev: &mut Evaluator<'_>, side: Side, args: &[Expr], all: bool) -> Value {
+    if args.len() != 3 {
+        return Value::Error;
+    }
+    let vals = eval_args(ev, side, args);
+    if let Some(s) = screen_args(&vals) {
+        return s;
+    }
+    let Some(op_name) = vals[0].as_str() else {
+        return Value::Error;
+    };
+    let op = match op_name {
+        "<" => BinOp::Lt,
+        "<=" => BinOp::Le,
+        ">" => BinOp::Gt,
+        ">=" => BinOp::Ge,
+        "==" => BinOp::Eq,
+        "!=" => BinOp::Ne,
+        _ => return Value::Error,
+    };
+    let Some(items) = vals[1].as_list() else {
+        return Value::Error;
+    };
+    let target = &vals[2];
+    for item in items {
+        match apply_strict_binary(op, item, target) {
+            Value::Bool(true) if !all => return Value::Bool(true),
+            Value::Bool(false) if all => return Value::Bool(false),
+            Value::Bool(_) => {}
+            _ => return Value::Error,
+        }
+    }
+    Value::Bool(all)
+}
+
+/// `regexp(pattern, target [, options])` — does the pattern match the
+/// target string? Options: `i` (case-insensitive), `f` (full match).
+/// Malformed patterns and options evaluate to `error`.
+fn regexp_fn(ev: &mut Evaluator<'_>, side: Side, args: &[Expr]) -> Value {
+    if !(args.len() == 2 || args.len() == 3) {
+        return Value::Error;
+    }
+    let vals = eval_args(ev, side, args);
+    if let Some(s) = screen_args(&vals) {
+        return s;
+    }
+    let (Some(pattern), Some(target)) = (vals[0].as_str(), vals[1].as_str()) else {
+        return Value::Error;
+    };
+    let options = match vals.get(2) {
+        None => crate::regex::RegexOptions::default(),
+        Some(v) => match v.as_str().map(crate::regex::RegexOptions::parse) {
+            Some(Ok(o)) => o,
+            _ => return Value::Error,
+        },
+    };
+    match crate::regex::Regex::new(pattern, options) {
+        Ok(re) => Value::Bool(re.is_match(target)),
+        Err(_) => Value::Error,
+    }
+}
+
+/// `stringListRegexpMember(pattern, list [, delims [, options]])` — does
+/// any element of the delimited string list match the pattern?
+fn string_list_regexp_member(ev: &mut Evaluator<'_>, side: Side, args: &[Expr]) -> Value {
+    if !(2..=4).contains(&args.len()) {
+        return Value::Error;
+    }
+    let vals = eval_args(ev, side, args);
+    if let Some(s) = screen_args(&vals) {
+        return s;
+    }
+    let (Some(pattern), Some(hay)) = (vals[0].as_str(), vals[1].as_str()) else {
+        return Value::Error;
+    };
+    let delims: &str = match vals.get(2) {
+        None => " ,",
+        Some(v) => match v.as_str() {
+            Some(d) => d,
+            None => return Value::Error,
+        },
+    };
+    let options = match vals.get(3) {
+        None => crate::regex::RegexOptions::default(),
+        Some(v) => match v.as_str().map(crate::regex::RegexOptions::parse) {
+            Some(Ok(o)) => o,
+            _ => return Value::Error,
+        },
+    };
+    let Ok(re) = crate::regex::Regex::new(pattern, options) else {
+        return Value::Error;
+    };
+    let found = hay
+        .split(|c: char| delims.contains(c))
+        .filter(|p| !p.is_empty())
+        .any(|p| re.is_match(p));
+    Value::Bool(found)
+}
+
+fn time(ev: &mut Evaluator<'_>, args: &[Expr]) -> Value {
+    if !args.is_empty() {
+        return Value::Error;
+    }
+    match ev.policy().now {
+        Some(t) => Value::Int(t),
+        None => Value::Error,
+    }
+}
+
+fn random(ev: &mut Evaluator<'_>, side: Side, args: &[Expr]) -> Value {
+    match args.len() {
+        0 => {
+            let r = ev.next_random();
+            Value::Real((r >> 11) as f64 / (1u64 << 53) as f64)
+        }
+        1 => {
+            let v = ev.eval(&args[0], side);
+            match v {
+                Value::Int(n) if n > 0 => Value::Int((ev.next_random() % n as u64) as i64),
+                Value::Undefined => Value::Undefined,
+                _ => Value::Error,
+            }
+        }
+        _ => Value::Error,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::EvalPolicy;
+    use crate::parser::{parse_classad, parse_expr};
+
+    fn eval(src: &str) -> Value {
+        eval_with(src, &EvalPolicy::default())
+    }
+
+    fn eval_with(src: &str, policy: &EvalPolicy) -> Value {
+        let ad = parse_classad("[]").unwrap();
+        let e = parse_expr(src).unwrap();
+        ad.eval_expr(&e, policy)
+    }
+
+    fn eval_in(ad: &str, src: &str) -> Value {
+        let ad = parse_classad(ad).unwrap();
+        let e = parse_expr(src).unwrap();
+        ad.eval_expr(&e, &EvalPolicy::default())
+    }
+
+    #[test]
+    fn member_equality() {
+        assert_eq!(eval(r#"member("b", {"a", "b"})"#), Value::Bool(true));
+        assert_eq!(eval(r#"member("B", {"a", "b"})"#), Value::Bool(true), "== is case-insensitive");
+        assert_eq!(eval(r#"member("c", {"a", "b"})"#), Value::Bool(false));
+        assert_eq!(eval(r#"member(2, {1, 2.0, 3})"#), Value::Bool(true), "numeric unification");
+        assert_eq!(eval(r#"member("x", "notalist")"#), Value::Error);
+        assert_eq!(eval(r#"member(Missing, {1})"#), Value::Undefined);
+        assert_eq!(eval(r#"member(1, Missing)"#), Value::Undefined);
+        assert_eq!(eval(r#"member(1)"#), Value::Error);
+    }
+
+    #[test]
+    fn identical_member() {
+        assert_eq!(eval(r#"identicalMember("B", {"a", "b"})"#), Value::Bool(false));
+        assert_eq!(eval(r#"identicalMember("b", {"a", "b"})"#), Value::Bool(true));
+        assert_eq!(eval(r#"identicalMember(2, {2.0})"#), Value::Bool(false));
+    }
+
+    #[test]
+    fn type_predicates_are_nonstrict() {
+        assert_eq!(eval("isUndefined(Missing)"), Value::Bool(true));
+        assert_eq!(eval("isUndefined(1)"), Value::Bool(false));
+        assert_eq!(eval("isError(1/0)"), Value::Bool(true));
+        assert_eq!(eval("isString(\"x\")"), Value::Bool(true));
+        assert_eq!(eval("isInteger(1)"), Value::Bool(true));
+        assert_eq!(eval("isReal(1.0)"), Value::Bool(true));
+        assert_eq!(eval("isBoolean(true)"), Value::Bool(true));
+        assert_eq!(eval("isList({1})"), Value::Bool(true));
+        assert_eq!(eval("isClassAd([a=1])"), Value::Bool(true));
+    }
+
+    #[test]
+    fn if_then_else_lazy() {
+        assert_eq!(eval("ifThenElse(true, 1, 1/0)"), Value::Int(1));
+        assert_eq!(eval("ifThenElse(false, 1/0, 2)"), Value::Int(2));
+        assert_eq!(eval("ifThenElse(Missing, 1, 2)"), Value::Undefined);
+        assert_eq!(eval("ifThenElse(3, 1, 2)"), Value::Int(1), "nonzero int is true");
+        assert_eq!(eval("ifThenElse(0.0, 1, 2)"), Value::Int(2));
+        assert_eq!(eval("ifThenElse(\"s\", 1, 2)"), Value::Error);
+    }
+
+    #[test]
+    fn numeric_functions() {
+        assert_eq!(eval("floor(2.7)"), Value::Int(2));
+        assert_eq!(eval("ceiling(2.1)"), Value::Int(3));
+        assert_eq!(eval("round(2.5)"), Value::Int(3));
+        assert_eq!(eval("floor(7)"), Value::Int(7));
+        assert_eq!(eval("abs(-3)"), Value::Int(3));
+        assert_eq!(eval("abs(-3.5)"), Value::Real(3.5));
+        assert_eq!(eval("pow(2, 10)"), Value::Int(1024));
+        assert_eq!(eval("pow(2.0, -1)"), Value::Real(0.5));
+        assert_eq!(eval("quantize(13, 8)"), Value::Int(16));
+        assert_eq!(eval("quantize(16, 8)"), Value::Int(16));
+        assert_eq!(eval("quantize(0, 8)"), Value::Int(0));
+        assert_eq!(eval("floor(\"x\")"), Value::Error);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(eval("int(2.9)"), Value::Int(2));
+        assert_eq!(eval("int(\"42\")"), Value::Int(42));
+        assert_eq!(eval("int(\" 42 \")"), Value::Int(42));
+        assert_eq!(eval("int(\"3.9\")"), Value::Int(3));
+        assert_eq!(eval("int(true)"), Value::Int(1));
+        assert_eq!(eval("int(\"zap\")"), Value::Error);
+        assert_eq!(eval("real(2)"), Value::Real(2.0));
+        assert_eq!(eval("real(\"0.5\")"), Value::Real(0.5));
+        assert_eq!(eval("string(42)"), Value::str("42"));
+        assert_eq!(eval("string(1.5)"), Value::str("1.5"));
+        assert_eq!(eval("string(true)"), Value::str("true"));
+        assert_eq!(eval("string(Missing)"), Value::Undefined);
+    }
+
+    #[test]
+    fn string_functions() {
+        assert_eq!(eval(r#"strcat("a", 1, "-", 2.5)"#), Value::str("a1-2.5"));
+        assert_eq!(eval(r#"substr("workstation", 4)"#), Value::str("station"));
+        assert_eq!(eval(r#"substr("workstation", 0, 4)"#), Value::str("work"));
+        assert_eq!(eval(r#"substr("workstation", -7, 3)"#), Value::str("sta"));
+        assert_eq!(eval(r#"substr("abcdef", 1, -1)"#), Value::str("bcde"));
+        assert_eq!(eval(r#"strcmp("a", "b")"#), Value::Int(-1));
+        assert_eq!(eval(r#"strcmp("b", "a")"#), Value::Int(1));
+        assert_eq!(eval(r#"strcmp("A", "a")"#), Value::Int(-1), "strcmp is case-sensitive");
+        assert_eq!(eval(r#"stricmp("A", "a")"#), Value::Int(0));
+        assert_eq!(eval(r#"toUpper("MiXeD")"#), Value::str("MIXED"));
+        assert_eq!(eval(r#"toLower("MiXeD")"#), Value::str("mixed"));
+    }
+
+    #[test]
+    fn split_and_join() {
+        assert_eq!(
+            eval(r#"split("a, b,c")"#),
+            Value::list(vec![Value::str("a"), Value::str("b"), Value::str("c")])
+        );
+        assert_eq!(
+            eval(r#"split("a:b::c", ":")"#),
+            Value::list(vec![Value::str("a"), Value::str("b"), Value::str("c")])
+        );
+        assert_eq!(eval(r#"join(", ", {"x", "y"})"#), Value::str("x, y"));
+        assert_eq!(eval(r#"join({"x", "y"})"#), Value::str("xy"));
+        assert_eq!(eval(r#"join("-", {1, 2})"#), Value::str("1-2"));
+    }
+
+    #[test]
+    fn string_lists() {
+        assert_eq!(eval(r#"stringListMember("b", "a, b, c")"#), Value::Bool(true));
+        assert_eq!(eval(r#"stringListMember("B", "a, b, c")"#), Value::Bool(false));
+        assert_eq!(eval(r#"stringListIMember("B", "a, b, c")"#), Value::Bool(true));
+        assert_eq!(eval(r#"stringListSize("a, b, c")"#), Value::Int(3));
+        assert_eq!(eval(r#"stringListSize("a:b", ":")"#), Value::Int(2));
+    }
+
+    #[test]
+    fn size_function() {
+        assert_eq!(eval(r#"size("hello")"#), Value::Int(5));
+        assert_eq!(eval("size({1, 2, 3})"), Value::Int(3));
+        assert_eq!(eval("size([a = 1; b = 2])"), Value::Int(2));
+        assert_eq!(eval("size(1)"), Value::Error);
+    }
+
+    #[test]
+    fn aggregates() {
+        assert_eq!(eval("sum({1, 2, 3})"), Value::Int(6));
+        assert_eq!(eval("sum({1, 2.5})"), Value::Real(3.5));
+        assert_eq!(eval("avg({1, 2, 3, 4})"), Value::Real(2.5));
+        assert_eq!(eval("min({3, 1, 2})"), Value::Int(1));
+        assert_eq!(eval("max({3, 1.5, 2})"), Value::Real(3.0));
+        assert_eq!(eval("sum({})"), Value::Undefined);
+        assert_eq!(eval("sum({1, \"x\"})"), Value::Error);
+        assert_eq!(eval("sum({1, Missing})"), Value::Undefined);
+    }
+
+    #[test]
+    fn any_all_compare_fn() {
+        assert_eq!(eval(r#"anyCompare("<", {5, 10}, 6)"#), Value::Bool(true));
+        assert_eq!(eval(r#"anyCompare("<", {8, 10}, 6)"#), Value::Bool(false));
+        assert_eq!(eval(r#"allCompare(">=", {6, 10}, 6)"#), Value::Bool(true));
+        assert_eq!(eval(r#"allCompare(">=", {5, 10}, 6)"#), Value::Bool(false));
+        assert_eq!(eval(r#"anyCompare("zap", {1}, 1)"#), Value::Error);
+    }
+
+    #[test]
+    fn time_uses_policy_clock() {
+        assert_eq!(eval("time()"), Value::Error, "no clock configured");
+        let p = EvalPolicy { now: Some(1_000_000), ..EvalPolicy::default() };
+        assert_eq!(eval_with("time()", &p), Value::Int(1_000_000));
+        assert_eq!(eval_with("time(1)", &p), Value::Error);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_policy_seed() {
+        let a = eval("random(100)");
+        let b = eval("random(100)");
+        assert_eq!(a, b, "same seed, same stream position");
+        match eval("random()") {
+            Value::Real(r) => assert!((0.0..1.0).contains(&r)),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(eval("random(-1)"), Value::Error);
+        assert_eq!(eval("random(0)"), Value::Error);
+    }
+
+    #[test]
+    fn regexp_builtin() {
+        assert_eq!(eval(r#"regexp("wisc", "leonardo.cs.wisc.edu")"#), Value::Bool(true));
+        assert_eq!(eval(r#"regexp("^node[0-9]+$", "node42")"#), Value::Bool(true));
+        assert_eq!(eval(r#"regexp("^node[0-9]+$", "nodeX")"#), Value::Bool(false));
+        assert_eq!(eval(r#"regexp("INTEL", "intel", "i")"#), Value::Bool(true));
+        assert_eq!(eval(r#"regexp("abc", "xabcx", "f")"#), Value::Bool(false));
+        assert_eq!(eval(r#"regexp("(", "x")"#), Value::Error, "bad pattern");
+        assert_eq!(eval(r#"regexp("a", "b", "z")"#), Value::Error, "bad options");
+        assert_eq!(eval(r#"regexp(1, "x")"#), Value::Error);
+        assert_eq!(eval(r#"regexp(Missing, "x")"#), Value::Undefined);
+    }
+
+    #[test]
+    fn string_list_regexp_member_builtin() {
+        assert_eq!(
+            eval(r#"stringListRegexpMember("^b", "alpha, beta, gamma")"#),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval(r#"stringListRegexpMember("^z", "alpha, beta, gamma")"#),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            eval(r#"stringListRegexpMember("^B", "alpha:beta", ":", "i")"#),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn unknown_function_is_error() {
+        assert_eq!(eval("noSuchFn(1, 2)"), Value::Error);
+    }
+
+    #[test]
+    fn functions_resolve_attrs() {
+        assert_eq!(
+            eval_in(r#"[Friends = {"tannenba", "wright"}]"#, r#"member("wright", Friends)"#),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn format_real_roundtrippable() {
+        assert_eq!(format_real(1.0), "1.0");
+        assert_eq!(format_real(0.5), "0.5");
+        assert_eq!(format_real(1e300), "1e300");
+    }
+}

@@ -1,0 +1,212 @@
+//! Error types for lexing, parsing, and evaluation.
+//!
+//! Lex and parse errors carry a [`Span`] pointing into the source text so
+//! tools (and the diagnosis machinery in the `gangmatch` crate) can report
+//! precise locations. Evaluation, by the paper's semantics, never fails
+//! with `Err`: runtime problems are *values* (`undefined` and `error`), so
+//! there is no evaluation-error type at all.
+
+use std::fmt;
+
+/// A half-open byte range into the source text, with 1-based line/column of
+/// its start for human-readable diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// Byte offset of the first byte of the spanned text.
+    pub start: usize,
+    /// Byte offset one past the last byte of the spanned text.
+    pub end: usize,
+    /// 1-based line number of `start`.
+    pub line: u32,
+    /// 1-based column number (in bytes) of `start`.
+    pub col: u32,
+}
+
+impl Span {
+    /// Create a span covering `start..end` at the given line/column.
+    pub fn new(start: usize, end: usize, line: u32, col: u32) -> Self {
+        Span { start, end, line, col }
+    }
+
+    /// The span covering both `self` and `other` (keeps `self`'s position).
+    pub fn to(self, other: Span) -> Span {
+        Span { start: self.start, end: other.end.max(self.end), line: self.line, col: self.col }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// An error produced while tokenizing classad source text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Where in the input the problem was found.
+    pub span: Span,
+    /// What went wrong.
+    pub kind: LexErrorKind,
+}
+
+/// The specific category of lexical error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LexErrorKind {
+    /// A byte that can never begin a token (e.g. `#`, `@`).
+    UnexpectedChar(char),
+    /// A string literal with no closing quote before end of input.
+    UnterminatedString,
+    /// A `/* ... */` comment with no closing `*/`.
+    UnterminatedComment,
+    /// A numeric literal that does not scan as an integer or real.
+    MalformedNumber(String),
+    /// A backslash escape inside a string that is not recognised.
+    BadEscape(char),
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            LexErrorKind::UnexpectedChar(c) => {
+                write!(f, "{}: unexpected character {c:?}", self.span)
+            }
+            LexErrorKind::UnterminatedString => {
+                write!(f, "{}: unterminated string literal", self.span)
+            }
+            LexErrorKind::UnterminatedComment => {
+                write!(f, "{}: unterminated block comment", self.span)
+            }
+            LexErrorKind::MalformedNumber(s) => {
+                write!(f, "{}: malformed numeric literal `{s}`", self.span)
+            }
+            LexErrorKind::BadEscape(c) => {
+                write!(f, "{}: unknown string escape `\\{c}`", self.span)
+            }
+        }
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// An error produced while parsing a token stream into an expression or ad.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Where in the input the problem was found.
+    pub span: Span,
+    /// Human-readable description of what was expected/found.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Construct a parse error at `span` with the given message.
+    pub fn new(span: Span, message: impl Into<String>) -> Self {
+        ParseError { span, message: message.into() }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl ParseError {
+    /// Render the error with a source snippet and caret, e.g.
+    ///
+    /// ```text
+    /// error: expected `]`, found end of input
+    ///   |
+    /// 2 |     Memory = 64;
+    ///   |                 ^
+    /// ```
+    pub fn render(&self, src: &str) -> String {
+        let mut out = format!("error: {}
+", self.message);
+        let Some(line_text) = src.lines().nth(self.span.line.saturating_sub(1) as usize)
+        else {
+            return out;
+        };
+        let line_no = self.span.line.max(1);
+        let gutter = line_no.to_string().len();
+        out.push_str(&format!("{:width$} |
+", "", width = gutter));
+        out.push_str(&format!("{line_no} | {line_text}
+"));
+        // Column is byte-based; clamp the caret to the rendered line.
+        let col = (self.span.col.saturating_sub(1) as usize).min(line_text.len());
+        out.push_str(&format!(
+            "{:width$} | {:col$}^
+",
+            "",
+            "",
+            width = gutter,
+            col = col
+        ));
+        out
+    }
+}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError { span: e.span, message: e.to_string() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_join_covers_both() {
+        let a = Span::new(0, 3, 1, 1);
+        let b = Span::new(10, 14, 2, 4);
+        let j = a.to(b);
+        assert_eq!(j.start, 0);
+        assert_eq!(j.end, 14);
+        assert_eq!(j.line, 1);
+        assert_eq!(j.col, 1);
+    }
+
+    #[test]
+    fn span_join_is_monotone_even_reversed() {
+        let a = Span::new(10, 14, 2, 4);
+        let b = Span::new(0, 3, 1, 1);
+        let j = a.to(b);
+        assert_eq!(j.end, 14, "end never shrinks");
+    }
+
+    #[test]
+    fn display_formats() {
+        let e = LexError { span: Span::new(5, 6, 2, 3), kind: LexErrorKind::UnexpectedChar('#') };
+        assert_eq!(e.to_string(), "2:3: unexpected character '#'");
+        let p = ParseError::new(Span::new(0, 1, 1, 1), "expected `]`");
+        assert_eq!(p.to_string(), "1:1: expected `]`");
+    }
+
+    #[test]
+    fn render_points_at_the_problem() {
+        let src = "[ Memory = 64;
+  Arch == \"INTEL\" ]";
+        let err = crate::parser::parse_classad(src).unwrap_err();
+        let rendered = err.render(src);
+        assert!(rendered.starts_with("error: "), "{rendered}");
+        assert!(rendered.contains("2 |   Arch == "), "{rendered}");
+        assert!(rendered.lines().last().unwrap().trim_end().ends_with('^'), "{rendered}");
+    }
+
+    #[test]
+    fn render_survives_out_of_range_span() {
+        let err = ParseError::new(Span::new(999, 999, 40, 70), "synthetic");
+        let rendered = err.render("short");
+        assert!(rendered.contains("synthetic"));
+    }
+
+    #[test]
+    fn lex_error_converts_to_parse_error() {
+        let e = LexError { span: Span::new(0, 1, 1, 1), kind: LexErrorKind::UnterminatedString };
+        let p: ParseError = e.into();
+        assert!(p.message.contains("unterminated string"));
+    }
+}

@@ -1,0 +1,88 @@
+//! The verbatim example classads from the paper, shipped as fixtures so
+//! tests, examples, and benchmarks all exercise exactly the ads the paper
+//! presents.
+//!
+//! Values that the conference PDF renders illegibly (the `Disk` constant,
+//! the `DayTime` sample, the job's `Args`) are filled with representative
+//! constants; every attribute *name* and every expression structure is as
+//! published.
+
+/// Figure 1: "A classad describing a workstation" — `leonardo.cs.wisc.edu`,
+/// including the owner's usage policy: users in `Untrusted` are never
+/// served; research-group members always are (`Rank >= 10`); friends only
+/// when the workstation is idle; everyone else only outside 8am–6pm.
+pub const FIGURE1_MACHINE: &str = r#"
+[
+    Type         = "Machine";
+    Activity     = "Idle";
+    DayTime      = 36107;        // current time in seconds since midnight
+    KeyboardIdle = 1432;         // seconds
+    Disk         = 323496;       // kbytes
+    Memory       = 64;           // megabytes
+    State        = "Unclaimed";
+    LoadAvg      = 0.042969;
+    Mips         = 104;
+    Arch         = "INTEL";
+    OpSys        = "SOLARIS251";
+    KFlops       = 21893;
+    Name         = "leonardo.cs.wisc.edu";
+    ResearchGroup = { "raman", "miron", "solomon", "jbasney" };
+    Friends       = { "tannenba", "wright" };
+    Untrusted     = { "rival", "riffraff" };
+    Rank = member(other.Owner, ResearchGroup) * 10 +
+           member(other.Owner, Friends);
+    Constraint = !member(other.Owner, Untrusted) && Rank >= 10 ? true :
+                 Rank > 0 ? LoadAvg < 0.3 && KeyboardIdle > 15*60 :
+                 DayTime < 8*60*60 || DayTime > 18*60*60;
+]
+"#;
+
+/// Figure 2: "A classad describing a submitted job" — user `raman`'s
+/// `run_sim` job, requiring an INTEL/SOLARIS251 machine with enough disk
+/// and memory, and preferring fast machines with spare memory.
+pub const FIGURE2_JOB: &str = r#"
+[
+    Type               = "Job";
+    QDate              = 886799469;  // submit time, secs past 1/1/1970
+    CompletionDate     = 0;
+    Owner              = "raman";
+    Cmd                = "run_sim";
+    WantRemoteSyscalls = 1;
+    WantCheckpoint     = 1;
+    Iwd                = "/usr/raman/sim2";
+    Args               = "-Q 17 3200 10";
+    Memory             = 31;
+    Rank       = KFlops/1E3 + other.Memory/32;
+    Constraint = other.Type == "Machine" && Arch == "INTEL" &&
+                 OpSys == "SOLARIS251" && Disk >= 10000 &&
+                 other.Memory >= self.Memory;
+]
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_classad;
+
+    #[test]
+    fn figure1_parses_with_expected_attributes() {
+        let ad = parse_classad(FIGURE1_MACHINE).unwrap();
+        assert_eq!(ad.len(), 18);
+        for attr in [
+            "Type", "Activity", "DayTime", "KeyboardIdle", "Disk", "Memory", "State", "LoadAvg",
+            "Mips", "Arch", "OpSys", "KFlops", "Name", "ResearchGroup", "Friends", "Untrusted",
+            "Rank", "Constraint",
+        ] {
+            assert!(ad.contains(attr), "missing {attr}");
+        }
+        assert_eq!(ad.get_string("Name"), Some("leonardo.cs.wisc.edu"));
+    }
+
+    #[test]
+    fn figure2_parses_with_expected_attributes() {
+        let ad = parse_classad(FIGURE2_JOB).unwrap();
+        assert_eq!(ad.len(), 12);
+        assert_eq!(ad.get_string("Owner"), Some("raman"));
+        assert_eq!(ad.get_int("Memory"), Some(31));
+    }
+}

@@ -1,0 +1,347 @@
+//! Partial evaluation ("flattening") of expressions against one ad.
+//!
+//! Flattening reduces everything an expression can know *now* — its own
+//! ad's attributes, arithmetic over constants, conditionals with decided
+//! conditions — while leaving references to the *other* ad (and anything
+//! unresolvable) symbolic. The classic ClassAd library exposes the same
+//! operation; matchmakers use it to pre-digest constraints once per ad
+//! instead of re-deriving the local parts for every candidate, and
+//! diagnosis tools use it to show users the *effective* constraint their
+//! ad exports.
+//!
+//! ```
+//! use classad::{parse_classad, parse_expr};
+//! use classad::flatten::flatten;
+//! use classad::EvalPolicy;
+//!
+//! let ad = parse_classad("[ MinMemory = 32; Threshold = MinMemory * 2 ]").unwrap();
+//! let e = parse_expr("other.Memory >= Threshold && other.Arch == Arch").unwrap();
+//! let flat = flatten(&e, &ad, &EvalPolicy::default());
+//! assert_eq!(flat.to_string(), "other.Memory >= 64 && other.Arch == Arch");
+//! ```
+//!
+//! Semantics preservation is the contract: for any pair evaluation,
+//! `flatten(e, left)` evaluates to the same value as `e` (property-tested
+//! in `tests/proptests.rs`). To honour it the folder is conservative:
+//!
+//! * only *fully constant, pure* subtrees are evaluated (calls to
+//!   `time()`/`random()` never fold);
+//! * three-valued shortcuts are applied only where they are dominant for
+//!   **every** operand type: `false && x → false`, `true || x → true`,
+//!   and constant-condition `?:`;
+//! * a bare name defined by the ad is inlined only when its own
+//!   definition flattens to a constant — otherwise the reference stays
+//!   symbolic (it may involve the other ad).
+
+use crate::ast::{AttrName, BinOp, Expr, Literal, Scope};
+use crate::classad::ClassAd;
+use crate::eval::{value_to_expr, EvalPolicy, Evaluator, Side};
+use std::collections::HashSet;
+
+/// Is this expression a fully materialized constant (no references, no
+/// calls)?
+pub fn is_constant(e: &Expr) -> bool {
+    match e {
+        Expr::Lit(_) => true,
+        Expr::List(items) => items.iter().all(is_constant),
+        Expr::Record(fields) => fields.iter().all(|(_, fe)| is_constant(fe)),
+        _ => false,
+    }
+}
+
+/// Functions whose results depend on evaluation context, not just their
+/// arguments; folding them would freeze time or randomness.
+fn is_impure_call(name: &AttrName) -> bool {
+    matches!(name.canonical(), "random" | "time")
+}
+
+/// Flatten `expr` against `ad`: fold everything locally decidable, keep
+/// the rest symbolic.
+pub fn flatten(expr: &Expr, ad: &ClassAd, policy: &EvalPolicy) -> Expr {
+    let mut in_progress = HashSet::new();
+    go(expr, ad, policy, &mut in_progress)
+}
+
+/// Evaluate an already-constant expression to a value and re-embed it
+/// (normalizes e.g. list constructors of literals).
+fn eval_constant(e: &Expr, policy: &EvalPolicy) -> Expr {
+    let empty = ClassAd::new();
+    let mut ev = Evaluator::single(&empty, policy);
+    value_to_expr(&ev.eval(e, Side::Left))
+}
+
+fn go(expr: &Expr, ad: &ClassAd, policy: &EvalPolicy, seen: &mut HashSet<String>) -> Expr {
+    match expr {
+        Expr::Lit(_) => expr.clone(),
+        Expr::ScopedAttr(Scope::Target, _) => expr.clone(),
+        Expr::Attr(name) | Expr::ScopedAttr(Scope::My, name) => {
+            let key = name.canonical().to_string();
+            // Cycle guard: a self-referential definition stays symbolic.
+            if seen.contains(&key) {
+                return expr.clone();
+            }
+            match ad.get(name.canonical()) {
+                Some(def) => {
+                    seen.insert(key.clone());
+                    let flat = go(def, ad, policy, seen);
+                    seen.remove(&key);
+                    if is_constant(&flat) {
+                        flat
+                    } else {
+                        expr.clone()
+                    }
+                }
+                None => match expr {
+                    // `self.X` with X absent can never resolve elsewhere.
+                    Expr::ScopedAttr(Scope::My, _) => Expr::Lit(Literal::Undefined),
+                    // A bare name may still resolve in the other ad.
+                    _ => expr.clone(),
+                },
+            }
+        }
+        Expr::Unary(op, inner) => {
+            let i = go(inner, ad, policy, seen);
+            let node = Expr::Unary(*op, Box::new(i));
+            if is_foldable(&node) {
+                eval_constant(&node, policy)
+            } else {
+                node
+            }
+        }
+        Expr::Binary(op, l, r) => {
+            let lf = go(l, ad, policy, seen);
+            let rf = go(r, ad, policy, seen);
+            // Dominant three-valued shortcuts, valid for ANY other operand
+            // (including error and non-boolean):
+            //   false && x == x && false == false
+            //   true  || x == x || true  == true
+            match op {
+                BinOp::And
+                    if (is_bool_lit(&lf, false) || is_bool_lit(&rf, false)) => {
+                        return Expr::bool(false);
+                    }
+                BinOp::Or
+                    if (is_bool_lit(&lf, true) || is_bool_lit(&rf, true)) => {
+                        return Expr::bool(true);
+                    }
+                _ => {}
+            }
+            let node = Expr::Binary(*op, Box::new(lf), Box::new(rf));
+            if is_foldable(&node) {
+                eval_constant(&node, policy)
+            } else {
+                node
+            }
+        }
+        Expr::Cond(c, t, e) => {
+            let cf = go(c, ad, policy, seen);
+            match &cf {
+                Expr::Lit(Literal::Bool(true)) => go(t, ad, policy, seen),
+                Expr::Lit(Literal::Bool(false)) => go(e, ad, policy, seen),
+                Expr::Lit(Literal::Undefined) => Expr::Lit(Literal::Undefined),
+                Expr::Lit(_) => Expr::Lit(Literal::Error),
+                _ => Expr::Cond(
+                    Box::new(cf),
+                    Box::new(go(t, ad, policy, seen)),
+                    Box::new(go(e, ad, policy, seen)),
+                ),
+            }
+        }
+        Expr::Call(name, args) => {
+            let flat_args: Vec<Expr> = args.iter().map(|a| go(a, ad, policy, seen)).collect();
+            let node = Expr::Call(name.clone(), flat_args);
+            if !is_impure_call(name) && is_foldable(&node) {
+                eval_constant(&node, policy)
+            } else {
+                node
+            }
+        }
+        Expr::List(items) => {
+            Expr::List(items.iter().map(|i| go(i, ad, policy, seen)).collect())
+        }
+        Expr::Record(fields) => Expr::Record(
+            fields.iter().map(|(n, fe)| (n.clone(), go(fe, ad, policy, seen))).collect(),
+        ),
+        Expr::Select(base, name) => {
+            let b = go(base, ad, policy, seen);
+            let node = Expr::Select(Box::new(b), name.clone());
+            if is_foldable(&node) {
+                eval_constant(&node, policy)
+            } else {
+                node
+            }
+        }
+        Expr::Index(base, idx) => {
+            let b = go(base, ad, policy, seen);
+            let i = go(idx, ad, policy, seen);
+            let node = Expr::Index(Box::new(b), Box::new(i));
+            if is_foldable(&node) {
+                eval_constant(&node, policy)
+            } else {
+                node
+            }
+        }
+    }
+}
+
+fn is_bool_lit(e: &Expr, want: bool) -> bool {
+    matches!(e, Expr::Lit(Literal::Bool(b)) if *b == want)
+}
+
+/// A node folds when every immediate child is a constant (the node itself
+/// being a pure operator).
+fn is_foldable(e: &Expr) -> bool {
+    match e {
+        Expr::Unary(_, i) => is_constant(i),
+        Expr::Binary(_, l, r) => is_constant(l) && is_constant(r),
+        Expr::Call(_, args) => args.iter().all(is_constant),
+        Expr::Select(b, _) => is_constant(b),
+        Expr::Index(b, i) => is_constant(b) && is_constant(i),
+        _ => false,
+    }
+}
+
+impl ClassAd {
+    /// Flatten one of this ad's attributes against the ad itself — the
+    /// "effective constraint" the ad exports to the matchmaker.
+    pub fn flatten_attr(&self, name: &str, policy: &EvalPolicy) -> Option<Expr> {
+        let e = self.get(name)?;
+        Some(flatten(e, self, policy))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_classad, parse_expr};
+
+    fn flat(ad_src: &str, expr_src: &str) -> String {
+        let ad = parse_classad(ad_src).unwrap();
+        let e = parse_expr(expr_src).unwrap();
+        flatten(&e, &ad, &EvalPolicy::default()).to_string()
+    }
+
+    #[test]
+    fn constants_fold() {
+        assert_eq!(flat("[]", "1 + 2 * 3"), "7");
+        assert_eq!(flat("[]", "(1 < 2) && (3 < 4)"), "true");
+        assert_eq!(flat("[]", "strcat(\"a\", \"b\")"), "\"ab\"");
+        assert_eq!(flat("[]", "{1, 1 + 1}[1]"), "2");
+    }
+
+    #[test]
+    fn local_attrs_inline() {
+        assert_eq!(flat("[MinMemory = 32]", "other.Memory >= MinMemory"), "other.Memory >= 32");
+        assert_eq!(flat("[A = 2; B = A * 3]", "B + 1"), "7");
+        assert_eq!(flat("[X = 5]", "self.X * self.X"), "25");
+    }
+
+    #[test]
+    fn target_refs_stay_symbolic() {
+        assert_eq!(flat("[Memory = 64]", "other.Memory >= Memory"), "other.Memory >= 64");
+        assert_eq!(flat("[]", "other.Arch == \"INTEL\""), "other.Arch == \"INTEL\"");
+    }
+
+    #[test]
+    fn unresolved_bare_names_stay_symbolic() {
+        // `Arch` may resolve against the other ad at match time.
+        assert_eq!(flat("[]", "Arch == \"INTEL\""), "Arch == \"INTEL\"");
+    }
+
+    #[test]
+    fn missing_self_ref_folds_to_undefined() {
+        assert_eq!(flat("[]", "self.Nope"), "undefined");
+        // And propagates through strict operators.
+        assert_eq!(flat("[]", "self.Nope + 1"), "undefined");
+    }
+
+    #[test]
+    fn attr_defined_by_target_expression_not_inlined() {
+        // M's definition mentions the other ad: the reference must stay.
+        assert_eq!(flat("[M = other.Memory * 2]", "M >= 64"), "M >= 64");
+    }
+
+    #[test]
+    fn dominant_shortcuts() {
+        assert_eq!(flat("[]", "false && other.X > 1"), "false");
+        assert_eq!(flat("[]", "other.X > 1 && false"), "false");
+        assert_eq!(flat("[]", "true || other.X > 1"), "true");
+        // Non-dominant cases must NOT simplify (true && 5 is error, not 5).
+        assert_eq!(flat("[]", "true && other.X > 1"), "true && other.X > 1");
+        assert_eq!(flat("[]", "other.X > 1 || false"), "other.X > 1 || false");
+    }
+
+    #[test]
+    fn conditional_decides_when_condition_constant() {
+        assert_eq!(flat("[Fast = true]", "Fast ? other.Mips : 0"), "other.Mips");
+        assert_eq!(flat("[Fast = false]", "Fast ? other.Mips : 0"), "0");
+        assert_eq!(flat("[]", "self.Nope ? 1 : 2"), "undefined");
+        assert_eq!(flat("[]", "3 ? 1 : 2"), "error");
+        assert_eq!(
+            flat("[]", "other.B ? 1 + 1 : 2 + 2"),
+            "other.B ? 2 : 4",
+            "branches still flatten under a symbolic condition"
+        );
+    }
+
+    #[test]
+    fn impure_calls_never_fold() {
+        assert_eq!(flat("[]", "random(10)"), "random(10)");
+        assert_eq!(flat("[]", "time()"), "time()");
+        // But their arguments flatten.
+        assert_eq!(flat("[N = 5]", "random(N * 2)"), "random(10)");
+    }
+
+    #[test]
+    fn cycles_stay_symbolic() {
+        assert_eq!(flat("[X = X + 1]", "X > 0"), "X > 0");
+        assert_eq!(flat("[A = B; B = A]", "A"), "A");
+    }
+
+    #[test]
+    fn figure2_constraint_flattens_against_job() {
+        let job = parse_classad(crate::fixtures::FIGURE2_JOB).unwrap();
+        let flatc = job.flatten_attr("Constraint", &EvalPolicy::default()).unwrap();
+        let s = flatc.to_string();
+        // `self.Memory` has been folded to 31; the target side remains.
+        assert!(s.contains("other.Memory >= 31"), "{s}");
+        assert!(s.contains("other.Type == \"Machine\""), "{s}");
+        // Bare refs that the job ad cannot resolve are still there.
+        assert!(s.contains("Arch == \"INTEL\""), "{s}");
+    }
+
+    #[test]
+    fn figure1_rank_flattens_list_sources() {
+        let machine = parse_classad(crate::fixtures::FIGURE1_MACHINE).unwrap();
+        let flat_rank = machine.flatten_attr("Rank", &EvalPolicy::default()).unwrap();
+        let s = flat_rank.to_string();
+        // The member() calls reference other.Owner so they stay, but the
+        // list arguments inline.
+        assert!(s.contains("\"raman\""), "{s}");
+        assert!(s.contains("other.Owner"), "{s}");
+    }
+
+    #[test]
+    fn flatten_preserves_evaluation_pairwise() {
+        // Hand-picked pairs; the exhaustive version is a proptest.
+        let policy = EvalPolicy::default();
+        let left = parse_classad(
+            r#"[ Memory = 31; T = "Machine"; C = other.Type == T && other.Memory >= Memory ]"#,
+        )
+        .unwrap();
+        let right =
+            parse_classad(r#"[ Type = "Machine"; Memory = 64; Constraint = true ]"#).unwrap();
+        let orig = left.get("C").unwrap().as_ref().clone();
+        let flatc = flatten(&orig, &left, &policy);
+        let v1 = Evaluator::pair(&left, &right, &policy).eval(&orig, Side::Left);
+        let v2 = Evaluator::pair(&left, &right, &policy).eval(&flatc, Side::Left);
+        assert!(v1.same_as(&v2), "{v1:?} vs {v2:?} (flat: {flatc})");
+    }
+
+    #[test]
+    fn is_constant_classifier() {
+        assert!(is_constant(&parse_expr("{1, \"a\", [x = 1]}").unwrap()));
+        assert!(!is_constant(&parse_expr("{1, y}").unwrap()));
+        assert!(!is_constant(&parse_expr("f()").unwrap()));
+    }
+}

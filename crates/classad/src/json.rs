@@ -1,0 +1,495 @@
+//! JSON import/export for classads.
+//!
+//! The mapping keeps classads interoperable with ordinary tooling while
+//! remaining lossless:
+//!
+//! * literal integers, reals, strings and booleans map to JSON scalars;
+//! * lists map to arrays and nested records map to objects;
+//! * `undefined` maps to `null`, `error` maps to `{"$error": true}`;
+//! * any *computed* expression (the interesting part of a classad — its
+//!   `Constraint` and `Rank`) maps to `{"$expr": "<classad source>"}`.
+//!
+//! The JSON reader/writer here is self-contained (no external crates),
+//! handles `\uXXXX` escapes including surrogate pairs, and rejects malformed
+//! input with positioned errors.
+
+use crate::ast::{AttrName, Expr, Literal};
+use crate::classad::ClassAd;
+use crate::error::{ParseError, Span};
+use crate::parser::parse_expr;
+use crate::pretty::escape_string as classad_escape;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Serialize a classad to a compact JSON string.
+pub fn to_json(ad: &ClassAd) -> String {
+    let mut out = String::new();
+    write_ad(&mut out, ad);
+    out
+}
+
+fn write_ad(out: &mut String, ad: &ClassAd) {
+    out.push('{');
+    for (i, (name, expr)) in ad.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_json_string(out, name.as_str());
+        out.push(':');
+        write_expr(out, expr);
+    }
+    out.push('}');
+}
+
+fn write_expr(out: &mut String, e: &Expr) {
+    match e {
+        Expr::Lit(Literal::Undefined) => out.push_str("null"),
+        Expr::Lit(Literal::Error) => out.push_str("{\"$error\":true}"),
+        Expr::Lit(Literal::Bool(b)) => out.push_str(if *b { "true" } else { "false" }),
+        Expr::Lit(Literal::Int(i)) => {
+            let _ = write!(out, "{i}");
+        }
+        Expr::Lit(Literal::Real(r)) => {
+            if r.is_finite() {
+                let s = format!("{r}");
+                out.push_str(&s);
+                if !(s.contains('.') || s.contains('e') || s.contains('E')) {
+                    out.push_str(".0");
+                }
+            } else {
+                // JSON has no infinities; fall back to an expression marker.
+                let _ = write!(out, "{{\"$expr\":{}}}", json_quote(&format!("{e}")));
+            }
+        }
+        Expr::Lit(Literal::Str(s)) => write_json_string(out, s),
+        Expr::List(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_expr(out, item);
+            }
+            out.push(']');
+        }
+        Expr::Record(fields) => {
+            out.push('{');
+            for (i, (n, fe)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_json_string(out, n.as_str());
+                out.push(':');
+                write_expr(out, fe);
+            }
+            out.push('}');
+        }
+        other => {
+            let _ = write!(out, "{{\"$expr\":{}}}", json_quote(&format!("{other}")));
+        }
+    }
+}
+
+fn json_quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    write_json_string(&mut out, s);
+    out
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parse a JSON document (in the mapping produced by [`to_json`]) into a
+/// classad. The top-level value must be an object.
+pub fn from_json(src: &str) -> Result<ClassAd, ParseError> {
+    let mut p = JsonParser { src: src.as_bytes(), text: src, pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != src.len() {
+        return Err(p.err("trailing data after JSON document"));
+    }
+    match v {
+        mut v @ Expr::Record(_) => {
+            let Expr::Record(fields) = &mut v else { unreachable!() };
+            let mut ad = ClassAd::with_capacity(fields.len());
+            for (n, e) in fields.drain(..) {
+                ad.insert(n, Arc::new(e));
+            }
+            Ok(ad)
+        }
+        _ => Err(ParseError::new(Span::default(), "top-level JSON value must be an object")),
+    }
+}
+
+struct JsonParser<'a> {
+    src: &'a [u8],
+    text: &'a str,
+    pos: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn err(&self, msg: &str) -> ParseError {
+        // Count newlines over bytes: `pos` may sit mid-character when the
+        // error is a malformed multi-byte sequence, and slicing the &str
+        // there would panic.
+        let upto = self.pos.min(self.src.len());
+        let line = 1 + self.src[..upto].iter().filter(|&&b| b == b'\n').count() as u32;
+        ParseError::new(Span::new(self.pos, self.pos, line, 1), msg.to_string())
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.src.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.eat(b) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn lit(&mut self, word: &str) -> bool {
+        if self.text[self.pos..].starts_with(word) {
+            self.pos += word.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Expr, ParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => {
+                if self.lit("null") {
+                    Ok(Expr::Lit(Literal::Undefined))
+                } else {
+                    Err(self.err("invalid literal"))
+                }
+            }
+            Some(b't') => {
+                if self.lit("true") {
+                    Ok(Expr::bool(true))
+                } else {
+                    Err(self.err("invalid literal"))
+                }
+            }
+            Some(b'f') => {
+                if self.lit("false") {
+                    Ok(Expr::bool(false))
+                } else {
+                    Err(self.err("invalid literal"))
+                }
+            }
+            Some(b'"') => {
+                let s = self.string()?;
+                Ok(Expr::Lit(Literal::Str(Arc::from(s.as_str()))))
+            }
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.eat(b']') {
+                    return Ok(Expr::List(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    if self.eat(b',') {
+                        continue;
+                    }
+                    self.expect(b']')?;
+                    return Ok(Expr::List(items));
+                }
+            }
+            Some(b'{') => self.object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Expr, ParseError> {
+        self.expect(b'{')?;
+        let mut fields: Vec<(AttrName, Expr)> = Vec::new();
+        self.skip_ws();
+        if self.eat(b'}') {
+            return Ok(Expr::Record(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.value()?;
+            fields.push((AttrName::new(&key), val));
+            self.skip_ws();
+            if self.eat(b',') {
+                continue;
+            }
+            self.expect(b'}')?;
+            break;
+        }
+        // Marker objects.
+        if fields.len() == 1 {
+            let (k, v) = &fields[0];
+            match k.canonical() {
+                "$error" => return Ok(Expr::Lit(Literal::Error)),
+                "$expr" => {
+                    if let Expr::Lit(Literal::Str(src)) = v {
+                        return parse_expr(src);
+                    }
+                    return Err(self.err("$expr marker must hold a string"));
+                }
+                _ => {}
+            }
+        }
+        Ok(Expr::Record(fields))
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair.
+                                if !(self.eat(b'\\') && self.eat(b'u')) {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let cp = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(cp).ok_or_else(|| self.err("bad code point"))?
+                            } else {
+                                char::from_u32(hi).ok_or_else(|| self.err("bad code point"))?
+                            };
+                            out.push(c);
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                b if b < 0x80 => out.push(b as char),
+                _ => {
+                    // Multi-byte UTF-8: copy the whole char.
+                    let start = self.pos - 1;
+                    let c = self.text[start..].chars().next().ok_or_else(|| self.err("bad utf8"))?;
+                    self.pos = start + c.len_utf8();
+                    out.push(c);
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        // `get` instead of indexing: a multi-byte char inside the escape
+        // (e.g. `\u00é0`) would otherwise cut a char boundary and panic.
+        let s = self
+            .text
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| self.err("truncated or malformed \\u escape"))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| self.err("bad \\u escape"))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Expr, ParseError> {
+        let start = self.pos;
+        self.eat(b'-');
+        while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_real = false;
+        if self.eat(b'.') {
+            is_real = true;
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            is_real = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = &self.text[start..self.pos];
+        if is_real {
+            text.parse::<f64>().map(Expr::real).map_err(|_| self.err("bad number"))
+        } else {
+            match text.parse::<i64>() {
+                Ok(i) => Ok(Expr::int(i)),
+                Err(_) => text.parse::<f64>().map(Expr::real).map_err(|_| self.err("bad number")),
+            }
+        }
+    }
+}
+
+/// Escape helper shared with textual classads (re-exported for tools that
+/// emit both formats).
+pub fn classad_string_literal(s: &str) -> String {
+    classad_escape(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_classad;
+
+    fn roundtrip(src: &str) {
+        let ad = parse_classad(src).unwrap();
+        let js = to_json(&ad);
+        let back = from_json(&js).unwrap_or_else(|e| panic!("bad json `{js}`: {e}"));
+        assert_eq!(ad, back, "json round-trip changed ad; json was `{js}`");
+    }
+
+    #[test]
+    fn scalars_roundtrip() {
+        roundtrip(r#"[ a = 1; b = 2.5; c = "hi"; d = true; e = false ]"#);
+    }
+
+    #[test]
+    fn undefined_and_error_roundtrip() {
+        roundtrip("[ u = undefined; e = error ]");
+        let ad = parse_classad("[ u = undefined ]").unwrap();
+        assert_eq!(to_json(&ad), "{\"u\":null}");
+    }
+
+    #[test]
+    fn lists_and_records_roundtrip() {
+        roundtrip(r#"[ xs = { 1, "two", 3.0 }; r = [ nested = { true } ] ]"#);
+    }
+
+    #[test]
+    fn computed_expressions_roundtrip() {
+        roundtrip(r#"[ Rank = KFlops/1E3 + other.Memory/32; Constraint = a && b || !c ]"#);
+    }
+
+    #[test]
+    fn figure_ads_roundtrip_via_json() {
+        roundtrip(crate::fixtures::FIGURE1_MACHINE);
+        roundtrip(crate::fixtures::FIGURE2_JOB);
+    }
+
+    #[test]
+    fn expr_marker_format() {
+        let ad = parse_classad("[ Rank = 1 + 2 ]").unwrap();
+        assert_eq!(to_json(&ad), "{\"Rank\":{\"$expr\":\"1 + 2\"}}");
+    }
+
+    #[test]
+    fn real_formatting_keeps_type() {
+        let ad = parse_classad("[ x = 2.0 ]").unwrap();
+        let js = to_json(&ad);
+        assert_eq!(js, "{\"x\":2.0}");
+        let back = from_json(&js).unwrap();
+        assert_eq!(back.get("x").map(|e| e.as_ref().clone()), Some(Expr::real(2.0)));
+    }
+
+    #[test]
+    fn string_escapes() {
+        roundtrip(r#"[ s = "line\nquote\"tab\t" ]"#);
+        let back = from_json(r#"{"s":"Aé"}"#).unwrap();
+        assert_eq!(back.get_string("s"), Some("Aé"));
+        let back = from_json(r#"{"s":"😀"}"#).unwrap();
+        assert_eq!(back.get_string("s"), Some("😀"));
+    }
+
+    #[test]
+    fn multibyte_char_inside_escape_is_error_not_panic() {
+        assert!(from_json("{\"s\":\"\\u00é0\"}").is_err());
+        assert!(from_json("{\"s\":\"\\uﬀﬀ\"}").is_err());
+    }
+
+    #[test]
+    fn malformed_json_rejected() {
+        assert!(from_json("{").is_err());
+        assert!(from_json("{\"a\":}").is_err());
+        assert!(from_json("[1]").is_err(), "top level must be object");
+        assert!(from_json("{\"a\":1} extra").is_err());
+        assert!(from_json("{\"a\":tru}").is_err());
+        assert!(from_json("{\"s\":\"\\ud83d\"}").is_err(), "lone surrogate");
+    }
+
+    #[test]
+    fn numbers_parse_types() {
+        let ad = from_json(r#"{"i": -42, "r": 1e3, "d": 0.5}"#).unwrap();
+        assert_eq!(ad.get_int("i"), Some(-42));
+        assert_eq!(ad.get("r").map(|e| e.as_ref().clone()), Some(Expr::real(1000.0)));
+        assert_eq!(ad.get("d").map(|e| e.as_ref().clone()), Some(Expr::real(0.5)));
+    }
+
+    #[test]
+    fn nested_objects_become_records() {
+        let ad = from_json(r#"{"outer": {"inner": [1, 2]}}"#).unwrap();
+        match ad.get("outer").map(|e| e.as_ref()) {
+            Some(Expr::Record(fields)) => {
+                assert_eq!(fields.len(), 1);
+                assert_eq!(fields[0].0.as_str(), "inner");
+                assert!(matches!(fields[0].1, Expr::List(_)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! # classad — the Classified Advertisement language
+//!
+//! An implementation of the ClassAd data model from *Raman, Livny &
+//! Solomon, "Matchmaking: Distributed Resource Management for High
+//! Throughput Computing" (HPDC 1998)*.
+//!
+//! A **classad** is a semi-structured mapping from case-insensitive
+//! attribute names to expressions. The model folds the query language into
+//! the data itself: an ad's `Constraint` attribute *is* its query over
+//! candidate ads, and its `Rank` attribute is its preference function.
+//! Expressions evaluate under a three-valued logic where missing
+//! information yields `undefined` and contradictory information yields
+//! `error`, so ads with entirely different schemas can still be matched
+//! safely.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use classad::{parse_classad, symmetric_match, EvalPolicy, MatchConventions};
+//!
+//! let machine = parse_classad(r#"[
+//!     Type = "Machine"; Arch = "INTEL"; Memory = 64;
+//!     Constraint = other.Type == "Job";
+//! ]"#).unwrap();
+//!
+//! let job = parse_classad(r#"[
+//!     Type = "Job"; Memory = 31;
+//!     Constraint = other.Type == "Machine" && Arch == "INTEL"
+//!                  && other.Memory >= self.Memory;
+//! ]"#).unwrap();
+//!
+//! let policy = EvalPolicy::default();
+//! let conv = MatchConventions::default();
+//! assert!(symmetric_match(&job, &machine, &policy, &conv));
+//! ```
+//!
+//! ## Module map
+//!
+//! * [`lexer`] / [`parser`] — text → AST ([`Expr`], [`ClassAd`]).
+//! * [`value`] — runtime [`Value`]s and strict operator semantics.
+//! * [`eval`] — the [`Evaluator`]: `self`/`other` resolution, cycle
+//!   detection, resource limits.
+//! * [`builtins`] — the function library (`member`, `strcmp`, `size`, …).
+//! * [`matching`] — [`symmetric_match`], [`rank_of`], [`evaluate_match`].
+//! * [`pretty`] — unparser; `Display` impls that round-trip.
+//! * [`json`] — JSON import/export for interop and trace files.
+//! * [`fixtures`] — the paper's Figure 1 and Figure 2 ads, verbatim.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ast;
+pub mod builtins;
+pub mod classad;
+pub mod error;
+pub mod eval;
+pub mod fixtures;
+pub mod flatten;
+pub mod json;
+pub mod lexer;
+pub mod matching;
+pub mod parser;
+pub mod pretty;
+pub mod regex;
+pub mod token;
+pub mod value;
+
+pub use ast::{AttrName, BinOp, Expr, Literal, Scope, UnOp};
+pub use classad::ClassAd;
+pub use error::{LexError, ParseError, Span};
+pub use eval::{EvalPolicy, Evaluator, Side};
+pub use matching::{
+    constraint_holds, evaluate_match, rank_of, rank_value, symmetric_match, MatchConventions,
+    MatchResult,
+};
+pub use parser::{parse_classad, parse_classads, parse_expr};
+pub use value::{Value, ValueKind};

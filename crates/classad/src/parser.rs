@@ -1,0 +1,709 @@
+//! Recursive-descent parser for ClassAd expressions and ads.
+//!
+//! Operator precedence, lowest to highest:
+//!
+//! | level | operators |
+//! |-------|-----------|
+//! | 1 | `?:` (right-associative) |
+//! | 2 | `||` |
+//! | 3 | `&&` |
+//! | 4 | `|` |
+//! | 5 | `^` |
+//! | 6 | `&` |
+//! | 7 | `==` `!=` `is` `isnt` |
+//! | 8 | `<` `<=` `>` `>=` |
+//! | 9 | `<<` `>>` `>>>` |
+//! | 10 | `+` `-` |
+//! | 11 | `*` `/` `%` |
+//! | 12 | unary `-` `+` `!` `~` |
+//! | 13 | postfix `.attr`, `[index]` |
+//!
+//! `[ name = expr ; ... ]` constructs a (nested) classad and `{ e1, e2 }`
+//! constructs a list, as in the paper's figures.
+
+use crate::ast::{AttrName, BinOp, Expr, Literal, Scope, UnOp};
+use crate::classad::ClassAd;
+use crate::error::{ParseError, Span};
+use crate::lexer::tokenize;
+use crate::token::{Token, TokenKind};
+use std::sync::Arc;
+
+/// Parse a single expression from source text. Trailing input is an error.
+pub fn parse_expr(src: &str) -> Result<Expr, ParseError> {
+    let mut p = Parser::new(src)?;
+    let e = p.expr()?;
+    p.expect_eof()?;
+    Ok(e)
+}
+
+/// Parse a single classad (`[ attr = expr; ... ]`) from source text.
+/// Trailing input is an error.
+pub fn parse_classad(src: &str) -> Result<ClassAd, ParseError> {
+    let mut p = Parser::new(src)?;
+    let ad = p.classad()?;
+    p.expect_eof()?;
+    Ok(ad)
+}
+
+/// Parse a sequence of classads (e.g. the contents of an ad file).
+pub fn parse_classads(src: &str) -> Result<Vec<ClassAd>, ParseError> {
+    let mut p = Parser::new(src)?;
+    let mut out = Vec::new();
+    while !p.at_eof() {
+        out.push(p.classad()?);
+    }
+    Ok(out)
+}
+
+/// Maximum expression nesting depth. Guards the parser's recursion against
+/// stack exhaustion on adversarial input (e.g. ten thousand `(`s); beyond
+/// this the parser reports an error instead of crashing.
+const MAX_NESTING: u32 = 100;
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+    depth: u32,
+}
+
+impl Parser {
+    fn new(src: &str) -> Result<Self, ParseError> {
+        Ok(Parser { toks: tokenize(src)?, pos: 0, depth: 0 })
+    }
+
+    fn peek(&self) -> &TokenKind {
+        &self.toks[self.pos].kind
+    }
+
+    fn peek_span(&self) -> Span {
+        self.toks[self.pos].span
+    }
+
+    fn at_eof(&self) -> bool {
+        *self.peek() == TokenKind::Eof
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.toks[self.pos].clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, k: &TokenKind) -> bool {
+        if self.peek() == k {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, k: TokenKind) -> Result<Token, ParseError> {
+        if self.peek() == &k {
+            Ok(self.bump())
+        } else {
+            Err(self.unexpected(&format!("expected {}", k.describe())))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), ParseError> {
+        if self.at_eof() {
+            Ok(())
+        } else {
+            Err(self.unexpected("expected end of input"))
+        }
+    }
+
+    fn unexpected(&self, what: &str) -> ParseError {
+        ParseError::new(
+            self.peek_span(),
+            format!("{what}, found {}", self.peek().describe()),
+        )
+    }
+
+    fn ident(&mut self) -> Result<AttrName, ParseError> {
+        match self.peek() {
+            TokenKind::Ident(_) => {
+                let t = self.bump();
+                match t.kind {
+                    TokenKind::Ident(s) => Ok(AttrName::new(&s)),
+                    _ => unreachable!(),
+                }
+            }
+            // Keywords can be used as attribute names after a dot or in
+            // definitions would be ambiguous; only `error`/`undefined` are
+            // reserved, which matches common classad usage.
+            _ => Err(self.unexpected("expected an identifier")),
+        }
+    }
+
+    fn classad(&mut self) -> Result<ClassAd, ParseError> {
+        self.expect(TokenKind::LBracket)?;
+        let mut ad = ClassAd::new();
+        loop {
+            if self.eat(&TokenKind::RBracket) {
+                return Ok(ad);
+            }
+            let name = self.ident()?;
+            self.expect(TokenKind::Assign)?;
+            let e = self.expr()?;
+            ad.insert(name, Arc::new(e));
+            if !self.eat(&TokenKind::Semi) {
+                self.expect(TokenKind::RBracket)?;
+                return Ok(ad);
+            }
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        if self.depth >= MAX_NESTING {
+            return Err(ParseError::new(self.peek_span(), "expression nesting too deep"));
+        }
+        self.depth += 1;
+        let r = self.conditional();
+        self.depth -= 1;
+        r
+    }
+
+    fn conditional(&mut self) -> Result<Expr, ParseError> {
+        let cond = self.or()?;
+        if self.eat(&TokenKind::Question) {
+            let then = self.expr()?;
+            self.expect(TokenKind::Colon)?;
+            let els = self.expr()?;
+            Ok(Expr::Cond(Box::new(cond), Box::new(then), Box::new(els)))
+        } else {
+            Ok(cond)
+        }
+    }
+
+    fn or(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.and()?;
+        while self.eat(&TokenKind::OrOr) {
+            let rhs = self.and()?;
+            lhs = Expr::bin(BinOp::Or, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn and(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.bit_or()?;
+        while self.eat(&TokenKind::AndAnd) {
+            let rhs = self.bit_or()?;
+            lhs = Expr::bin(BinOp::And, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn bit_or(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.bit_xor()?;
+        while self.eat(&TokenKind::Pipe) {
+            let rhs = self.bit_xor()?;
+            lhs = Expr::bin(BinOp::BitOr, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn bit_xor(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.bit_and()?;
+        while self.eat(&TokenKind::Caret) {
+            let rhs = self.bit_and()?;
+            lhs = Expr::bin(BinOp::BitXor, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn bit_and(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.equality()?;
+        while self.eat(&TokenKind::Amp) {
+            let rhs = self.equality()?;
+            lhs = Expr::bin(BinOp::BitAnd, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn equality(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.relational()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::EqEq => BinOp::Eq,
+                TokenKind::NotEq => BinOp::Ne,
+                TokenKind::Is => BinOp::Is,
+                TokenKind::Isnt => BinOp::Isnt,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.relational()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+    }
+
+    fn relational(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.shift()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Lt => BinOp::Lt,
+                TokenKind::Le => BinOp::Le,
+                TokenKind::Gt => BinOp::Gt,
+                TokenKind::Ge => BinOp::Ge,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.shift()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+    }
+
+    fn shift(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.additive()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Shl => BinOp::Shl,
+                TokenKind::Shr => BinOp::Shr,
+                TokenKind::Ushr => BinOp::Ushr,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.additive()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+    }
+
+    fn additive(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.multiplicative()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                TokenKind::Percent => BinOp::Mod,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.unary()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        // Collect prefix operators iteratively (no recursion), then apply
+        // them inside-out.
+        let mut ops = Vec::new();
+        loop {
+            let op = match self.peek() {
+                TokenKind::Minus => UnOp::Neg,
+                TokenKind::Plus => UnOp::Pos,
+                TokenKind::Bang => UnOp::Not,
+                TokenKind::Tilde => UnOp::BitNot,
+                _ => break,
+            };
+            self.bump();
+            ops.push(op);
+        }
+        let mut e = self.postfix()?;
+        for op in ops.into_iter().rev() {
+            // Constant-fold negative numeric literals so `-1` is a literal,
+            // which keeps pretty-printed ads round-trippable.
+            if op == UnOp::Neg {
+                if let Expr::Lit(Literal::Int(i)) = &e {
+                    if let Some(n) = i.checked_neg() {
+                        e = Expr::int(n);
+                        continue;
+                    }
+                }
+                if let Expr::Lit(Literal::Real(r)) = &e {
+                    e = Expr::real(-r);
+                    continue;
+                }
+            }
+            e = Expr::Unary(op, Box::new(e));
+        }
+        Ok(e)
+    }
+
+    fn postfix(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.primary()?;
+        loop {
+            if self.eat(&TokenKind::Dot) {
+                let name = self.ident()?;
+                e = match scope_of(&e) {
+                    Some(scope) => Expr::ScopedAttr(scope, name),
+                    None => Expr::Select(Box::new(e), name),
+                };
+            } else if self.eat(&TokenKind::LBracket) {
+                let idx = self.expr()?;
+                self.expect(TokenKind::RBracket)?;
+                e = Expr::Index(Box::new(e), Box::new(idx));
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(Expr::int(v))
+            }
+            TokenKind::Real(v) => {
+                self.bump();
+                Ok(Expr::real(v))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(Expr::Lit(Literal::Str(Arc::from(s.as_str()))))
+            }
+            TokenKind::True => {
+                self.bump();
+                Ok(Expr::bool(true))
+            }
+            TokenKind::False => {
+                self.bump();
+                Ok(Expr::bool(false))
+            }
+            TokenKind::Undefined => {
+                self.bump();
+                Ok(Expr::Lit(Literal::Undefined))
+            }
+            TokenKind::ErrorKw => {
+                self.bump();
+                Ok(Expr::Lit(Literal::Error))
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                if self.eat(&TokenKind::LParen) {
+                    let mut args = Vec::new();
+                    if !self.eat(&TokenKind::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.eat(&TokenKind::Comma) {
+                                continue;
+                            }
+                            self.expect(TokenKind::RParen)?;
+                            break;
+                        }
+                    }
+                    Ok(Expr::Call(AttrName::new(&name), args))
+                } else {
+                    Ok(Expr::Attr(AttrName::new(&name)))
+                }
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::LBracket => {
+                let ad = self.classad()?;
+                Ok(Expr::Record(
+                    ad.iter().map(|(n, e)| (n.clone(), e.as_ref().clone())).collect(),
+                ))
+            }
+            TokenKind::LBrace => {
+                self.bump();
+                let mut items = Vec::new();
+                if !self.eat(&TokenKind::RBrace) {
+                    loop {
+                        items.push(self.expr()?);
+                        if self.eat(&TokenKind::Comma) {
+                            if self.eat(&TokenKind::RBrace) {
+                                break; // trailing comma
+                            }
+                            continue;
+                        }
+                        self.expect(TokenKind::RBrace)?;
+                        break;
+                    }
+                }
+                Ok(Expr::List(items))
+            }
+            _ => Err(self.unexpected("expected an expression")),
+        }
+    }
+}
+
+/// If `e` is a bare `self`/`my`/`other`/`target` reference, the scope it
+/// names; selection through these pseudo-attributes becomes a scoped
+/// reference rather than a `Select`.
+fn scope_of(e: &Expr) -> Option<Scope> {
+    match e {
+        Expr::Attr(n) => match n.canonical() {
+            "self" | "my" => Some(Scope::My),
+            "other" | "target" => Some(Scope::Target),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::BinOp::*;
+
+    #[test]
+    fn literals() {
+        assert_eq!(parse_expr("42").unwrap(), Expr::int(42));
+        assert_eq!(parse_expr("3.5").unwrap(), Expr::real(3.5));
+        assert_eq!(parse_expr("\"x\"").unwrap(), Expr::str("x"));
+        assert_eq!(parse_expr("true").unwrap(), Expr::bool(true));
+        assert_eq!(parse_expr("UNDEFINED").unwrap(), Expr::Lit(Literal::Undefined));
+        assert_eq!(parse_expr("error").unwrap(), Expr::Lit(Literal::Error));
+        assert_eq!(parse_expr("-7").unwrap(), Expr::int(-7));
+        assert_eq!(parse_expr("-2.5").unwrap(), Expr::real(-2.5));
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let e = parse_expr("1 + 2 * 3").unwrap();
+        assert_eq!(e, Expr::bin(Add, Expr::int(1), Expr::bin(Mul, Expr::int(2), Expr::int(3))));
+    }
+
+    #[test]
+    fn precedence_parens() {
+        let e = parse_expr("(1 + 2) * 3").unwrap();
+        assert_eq!(e, Expr::bin(Mul, Expr::bin(Add, Expr::int(1), Expr::int(2)), Expr::int(3)));
+    }
+
+    #[test]
+    fn left_associativity() {
+        let e = parse_expr("10 - 4 - 3").unwrap();
+        assert_eq!(e, Expr::bin(Sub, Expr::bin(Sub, Expr::int(10), Expr::int(4)), Expr::int(3)));
+    }
+
+    #[test]
+    fn comparison_over_logic() {
+        let e = parse_expr("a < 1 && b > 2").unwrap();
+        assert_eq!(
+            e,
+            Expr::bin(
+                And,
+                Expr::bin(Lt, Expr::attr("a"), Expr::int(1)),
+                Expr::bin(Gt, Expr::attr("b"), Expr::int(2)),
+            )
+        );
+    }
+
+    #[test]
+    fn ternary_right_associative_and_nested() {
+        // The Figure 1 constraint shape: a ? x : b ? y : z
+        let e = parse_expr("a ? 1 : b ? 2 : 3").unwrap();
+        assert_eq!(
+            e,
+            Expr::Cond(
+                Box::new(Expr::attr("a")),
+                Box::new(Expr::int(1)),
+                Box::new(Expr::Cond(
+                    Box::new(Expr::attr("b")),
+                    Box::new(Expr::int(2)),
+                    Box::new(Expr::int(3)),
+                )),
+            )
+        );
+    }
+
+    #[test]
+    fn scoped_attrs() {
+        assert_eq!(parse_expr("self.Memory").unwrap(), Expr::self_("Memory"));
+        assert_eq!(parse_expr("other.Memory").unwrap(), Expr::other("Memory"));
+        assert_eq!(parse_expr("MY.x").unwrap(), Expr::self_("x"));
+        assert_eq!(parse_expr("TARGET.x").unwrap(), Expr::other("x"));
+    }
+
+    #[test]
+    fn selection_from_expression() {
+        let e = parse_expr("a.b.c").unwrap();
+        assert_eq!(
+            e,
+            Expr::Select(Box::new(Expr::Select(Box::new(Expr::attr("a")), "b".into())), "c".into())
+        );
+    }
+
+    #[test]
+    fn subscript() {
+        let e = parse_expr("xs[2]").unwrap();
+        assert_eq!(e, Expr::Index(Box::new(Expr::attr("xs")), Box::new(Expr::int(2))));
+    }
+
+    #[test]
+    fn function_call() {
+        let e = parse_expr("member(other.Owner, ResearchGroup)").unwrap();
+        assert_eq!(
+            e,
+            Expr::Call("member".into(), vec![Expr::other("Owner"), Expr::attr("ResearchGroup")])
+        );
+        assert_eq!(parse_expr("f()").unwrap(), Expr::Call("f".into(), vec![]));
+    }
+
+    #[test]
+    fn list_constructor() {
+        let e = parse_expr(r#"{ "raman", "miron", "solomon" }"#).unwrap();
+        assert_eq!(e, Expr::List(vec![Expr::str("raman"), Expr::str("miron"), Expr::str("solomon")]));
+        assert_eq!(parse_expr("{}").unwrap(), Expr::List(vec![]));
+        assert_eq!(parse_expr("{1,}").unwrap(), Expr::List(vec![Expr::int(1)]));
+    }
+
+    #[test]
+    fn record_constructor() {
+        let e = parse_expr("[a = 1; b = \"x\"]").unwrap();
+        match &e {
+            Expr::Record(fields) => {
+                assert_eq!(fields.len(), 2);
+                assert_eq!(fields[0].0.as_str(), "a");
+                assert_eq!(fields[1].1, Expr::str("x"));
+            }
+            other => panic!("expected record, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn classad_basic() {
+        let ad = parse_classad(r#"[ Type = "Machine"; Memory = 64; ]"#).unwrap();
+        assert_eq!(ad.len(), 2);
+        assert_eq!(ad.get_string("type"), Some("Machine"));
+        assert_eq!(ad.get_int("memory"), Some(64));
+    }
+
+    #[test]
+    fn classad_trailing_semi_optional() {
+        assert_eq!(parse_classad("[a=1]").unwrap().len(), 1);
+        assert_eq!(parse_classad("[a=1;]").unwrap().len(), 1);
+        assert_eq!(parse_classad("[]").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn classads_sequence() {
+        let ads = parse_classads("[a=1] [b=2] [c=3]").unwrap();
+        assert_eq!(ads.len(), 3);
+        assert_eq!(ads[2].get_int("c"), Some(3));
+    }
+
+    #[test]
+    fn deep_nesting_rejected_not_crash() {
+        let src = format!("{}1{}", "(".repeat(5000), ")".repeat(5000));
+        let err = parse_expr(&src).unwrap_err();
+        assert!(err.message.contains("nesting too deep"), "{}", err.message);
+        // Deep unary chains are handled iteratively and succeed.
+        let src = format!("{}x", "!".repeat(5000));
+        assert!(parse_expr(&src).is_ok());
+        // Long non-nested chains are iterative too.
+        let src = (0..10_000).map(|i| i.to_string()).collect::<Vec<_>>().join(" + ");
+        assert!(parse_expr(&src).is_ok());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse_expr("1 2").is_err());
+        assert!(parse_classad("[a=1] junk").is_err());
+    }
+
+    #[test]
+    fn error_messages_carry_position() {
+        let err = parse_expr("1 +").unwrap_err();
+        assert!(err.message.contains("expected an expression"), "{}", err.message);
+        let err = parse_classad("[a 1]").unwrap_err();
+        assert!(err.message.contains("expected `=`"), "{}", err.message);
+    }
+
+    #[test]
+    fn bitwise_precedence_chain() {
+        // a | b ^ c & d == e  parses as  a | (b ^ (c & (d == e)))
+        let e = parse_expr("a | b ^ c & d == e").unwrap();
+        match &e {
+            Expr::Binary(BitOr, _, rhs) => match rhs.as_ref() {
+                Expr::Binary(BitXor, _, rhs2) => match rhs2.as_ref() {
+                    Expr::Binary(BitAnd, _, rhs3) => {
+                        assert!(matches!(rhs3.as_ref(), Expr::Binary(Eq, _, _)))
+                    }
+                    other => panic!("{other:?}"),
+                },
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn is_isnt_parse() {
+        let e = parse_expr("other.Memory is undefined").unwrap();
+        assert_eq!(e, Expr::bin(Is, Expr::other("Memory"), Expr::Lit(Literal::Undefined)));
+        let e = parse_expr("x =?= y").unwrap();
+        assert_eq!(e, Expr::bin(Is, Expr::attr("x"), Expr::attr("y")));
+        let e = parse_expr("x =!= y").unwrap();
+        assert_eq!(e, Expr::bin(Isnt, Expr::attr("x"), Expr::attr("y")));
+    }
+
+    #[test]
+    fn figure1_classad_parses() {
+        let src = r#"
+        [
+            Type = "Machine";
+            Activity = "Idle";
+            KeyboardIdle = 1432;
+            Disk = 323496;
+            Memory = 64;
+            State = "Unclaimed";
+            LoadAvg = 0.042969;
+            Mips = 104;
+            Arch = "INTEL";
+            OpSys = "SOLARIS251";
+            KFlops = 21893;
+            Name = "leonardo.cs.wisc.edu";
+            ResearchGroup = { "raman", "miron", "solomon", "jbasney" };
+            Friends = { "tannenba", "wright" };
+            Untrusted = { "rival", "riffraff" };
+            Rank = member(other.Owner, ResearchGroup) * 10 +
+                   member(other.Owner, Friends);
+            Constraint = !member(other.Owner, Untrusted) && Rank >= 10 ? true :
+                         Rank > 0 ? LoadAvg < 0.3 && KeyboardIdle > 15*60 :
+                         DayTime < 8*60*60 || DayTime > 18*60*60;
+        ]
+        "#;
+        let ad = parse_classad(src).unwrap();
+        assert_eq!(ad.len(), 17);
+        assert!(ad.contains("Constraint"));
+        assert!(ad.contains("rank"));
+    }
+
+    #[test]
+    fn figure2_classad_parses() {
+        let src = r#"
+        [
+            Type = "Job";
+            QDate = 886799469;
+            CompletionDate = 0;
+            Owner = "raman";
+            Cmd = "run_sim";
+            WantRemoteSyscalls = 1;
+            WantCheckpoint = 1;
+            Iwd = "/usr/raman/sim2";
+            Args = "-Q 17 3200 10";
+            Memory = 31;
+            Rank = KFlops/1E3 + other.Memory/32;
+            Constraint = other.Type == "Machine" && Arch == "INTEL" &&
+                         OpSys == "SOLARIS251" && Disk >= 10000 &&
+                         other.Memory >= self.Memory;
+        ]
+        "#;
+        let ad = parse_classad(src).unwrap();
+        assert_eq!(ad.len(), 12);
+        assert_eq!(ad.get_string("Cmd"), Some("run_sim"));
+    }
+}

@@ -1,0 +1,363 @@
+//! Unparsing: turning expressions, values, and ads back into source text.
+//!
+//! The printer emits minimal parentheses (it knows the parser's precedence
+//! table) and produces text that re-parses to a structurally equal AST —
+//! a property the test suite checks exhaustively with proptest.
+
+use crate::ast::{BinOp, Expr, Literal, Scope, UnOp};
+use crate::builtins::format_real as fmt_real;
+use crate::classad::ClassAd;
+use crate::value::Value;
+use std::fmt;
+
+fn bin_prec(op: BinOp) -> u8 {
+    match op {
+        BinOp::Or => 2,
+        BinOp::And => 3,
+        BinOp::BitOr => 4,
+        BinOp::BitXor => 5,
+        BinOp::BitAnd => 6,
+        BinOp::Eq | BinOp::Ne | BinOp::Is | BinOp::Isnt => 7,
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 8,
+        BinOp::Shl | BinOp::Shr | BinOp::Ushr => 9,
+        BinOp::Add | BinOp::Sub => 10,
+        BinOp::Mul | BinOp::Div | BinOp::Mod => 11,
+    }
+}
+
+const PREC_COND: u8 = 1;
+const PREC_UNARY: u8 = 12;
+const PREC_POSTFIX: u8 = 13;
+
+/// Escape a string into a double-quoted classad string literal.
+pub fn escape_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            '\0' => out.push_str("\\0"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn write_expr(f: &mut fmt::Formatter<'_>, e: &Expr, parent_prec: u8) -> fmt::Result {
+    let my_prec = prec_of(e);
+    let need_parens = my_prec < parent_prec;
+    if need_parens {
+        f.write_str("(")?;
+    }
+    write_bare(f, e)?;
+    if need_parens {
+        f.write_str(")")?;
+    }
+    Ok(())
+}
+
+fn prec_of(e: &Expr) -> u8 {
+    match e {
+        Expr::Cond(..) => PREC_COND,
+        Expr::Binary(op, ..) => bin_prec(*op),
+        Expr::Unary(..) => PREC_UNARY,
+        Expr::Select(..) | Expr::Index(..) => PREC_POSTFIX,
+        // Negative numeric literals print with a leading `-`, which binds
+        // like a unary operator: as the base of `[...]`/`.attr` they must
+        // be parenthesized or `-1[0]` would reparse as `-(1[0])`.
+        Expr::Lit(Literal::Int(i)) if *i < 0 => PREC_UNARY,
+        Expr::Lit(Literal::Real(r)) if r.is_sign_negative() => PREC_UNARY,
+        _ => u8::MAX, // atoms never need parens
+    }
+}
+
+fn write_bare(f: &mut fmt::Formatter<'_>, e: &Expr) -> fmt::Result {
+    match e {
+        Expr::Lit(l) => write_literal(f, l),
+        Expr::Attr(n) => write!(f, "{}", n.as_str()),
+        Expr::ScopedAttr(Scope::My, n) => write!(f, "self.{}", n.as_str()),
+        Expr::ScopedAttr(Scope::Target, n) => write!(f, "other.{}", n.as_str()),
+        Expr::Select(base, n) => {
+            write_expr(f, base, PREC_POSTFIX)?;
+            write!(f, ".{}", n.as_str())
+        }
+        Expr::Index(base, idx) => {
+            write_expr(f, base, PREC_POSTFIX)?;
+            f.write_str("[")?;
+            write_expr(f, idx, 0)?;
+            f.write_str("]")
+        }
+        Expr::Unary(op, inner) => {
+            f.write_str(op.symbol())?;
+            // `- -x` must not print as `--x`; a space is harmless either way.
+            if matches!(op, UnOp::Neg) && matches!(**inner, Expr::Unary(UnOp::Neg, _)) {
+                f.write_str(" ")?;
+            }
+            write_expr(f, inner, PREC_UNARY)
+        }
+        Expr::Binary(op, l, r) => {
+            let p = bin_prec(*op);
+            write_expr(f, l, p)?;
+            write!(f, " {} ", op.symbol())?;
+            // Left-associative: the right operand needs strictly higher
+            // precedence to avoid parens.
+            write_expr(f, r, p + 1)
+        }
+        Expr::Cond(c, t, els) => {
+            write_expr(f, c, PREC_COND + 1)?;
+            f.write_str(" ? ")?;
+            write_expr(f, t, 0)?;
+            f.write_str(" : ")?;
+            write_expr(f, els, 0)
+        }
+        Expr::Call(name, args) => {
+            write!(f, "{}(", name.as_str())?;
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write_expr(f, a, 0)?;
+            }
+            f.write_str(")")
+        }
+        Expr::List(items) => {
+            if items.is_empty() {
+                return f.write_str("{}");
+            }
+            f.write_str("{ ")?;
+            for (i, it) in items.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write_expr(f, it, 0)?;
+            }
+            f.write_str(" }")
+        }
+        Expr::Record(fields) => {
+            if fields.is_empty() {
+                return f.write_str("[]");
+            }
+            f.write_str("[ ")?;
+            for (i, (n, fe)) in fields.iter().enumerate() {
+                if i > 0 {
+                    f.write_str("; ")?;
+                }
+                write!(f, "{} = ", n.as_str())?;
+                write_expr(f, fe, 0)?;
+            }
+            f.write_str(" ]")
+        }
+    }
+}
+
+fn write_literal(f: &mut fmt::Formatter<'_>, l: &Literal) -> fmt::Result {
+    match l {
+        Literal::Undefined => f.write_str("undefined"),
+        Literal::Error => f.write_str("error"),
+        Literal::Bool(true) => f.write_str("true"),
+        Literal::Bool(false) => f.write_str("false"),
+        Literal::Int(i) => write!(f, "{i}"),
+        Literal::Real(r) => f.write_str(&fmt_real(*r)),
+        Literal::Str(s) => f.write_str(&escape_string(s)),
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_expr(f, self, 0)
+    }
+}
+
+impl fmt::Display for ClassAd {
+    /// Compact single-line form: `[ A = 1; B = "x" ]`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return f.write_str("[]");
+        }
+        f.write_str("[ ")?;
+        for (i, (n, e)) in self.iter().enumerate() {
+            if i > 0 {
+                f.write_str("; ")?;
+            }
+            write!(f, "{} = ", n.as_str())?;
+            write_expr(f, e, 0)?;
+        }
+        f.write_str(" ]")
+    }
+}
+
+impl ClassAd {
+    /// Indented multi-line rendering, one attribute per line.
+    pub fn pretty(&self) -> String {
+        let mut out = String::from("[\n");
+        for (n, e) in self.iter() {
+            out.push_str("    ");
+            out.push_str(n.as_str());
+            out.push_str(" = ");
+            out.push_str(&e.to_string());
+            out.push_str(";\n");
+        }
+        out.push(']');
+        out
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Undefined => f.write_str("undefined"),
+            Value::Error => f.write_str("error"),
+            Value::Bool(true) => f.write_str("true"),
+            Value::Bool(false) => f.write_str("false"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Real(r) => f.write_str(&fmt_real(*r)),
+            Value::Str(s) => f.write_str(&escape_string(s)),
+            Value::List(items) => {
+                if items.is_empty() {
+                    return f.write_str("{}");
+                }
+                f.write_str("{ ")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str(" }")
+            }
+            Value::Ad(ad) => write!(f, "{ad}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_classad, parse_expr};
+
+    fn roundtrip(src: &str) {
+        let e1 = parse_expr(src).unwrap();
+        let printed = e1.to_string();
+        let e2 = parse_expr(&printed).unwrap_or_else(|err| {
+            panic!("reprinted `{printed}` failed to parse: {err}");
+        });
+        assert_eq!(e1, e2, "round-trip changed AST: `{src}` -> `{printed}`");
+    }
+
+    #[test]
+    fn literals_print() {
+        assert_eq!(parse_expr("42").unwrap().to_string(), "42");
+        assert_eq!(parse_expr("1.5").unwrap().to_string(), "1.5");
+        assert_eq!(parse_expr("1E3").unwrap().to_string(), "1000.0");
+        assert_eq!(parse_expr("\"x\\\"y\"").unwrap().to_string(), "\"x\\\"y\"");
+        assert_eq!(parse_expr("true").unwrap().to_string(), "true");
+        assert_eq!(parse_expr("undefined").unwrap().to_string(), "undefined");
+    }
+
+    #[test]
+    fn minimal_parens() {
+        assert_eq!(parse_expr("1 + 2 * 3").unwrap().to_string(), "1 + 2 * 3");
+        assert_eq!(parse_expr("(1 + 2) * 3").unwrap().to_string(), "(1 + 2) * 3");
+        assert_eq!(parse_expr("1 - (2 - 3)").unwrap().to_string(), "1 - (2 - 3)");
+        assert_eq!(parse_expr("(a && b) || c").unwrap().to_string(), "a && b || c");
+        assert_eq!(parse_expr("a && (b || c)").unwrap().to_string(), "a && (b || c)");
+    }
+
+    #[test]
+    fn scoped_and_calls() {
+        assert_eq!(
+            parse_expr("member(other.Owner, ResearchGroup) * 10").unwrap().to_string(),
+            "member(other.Owner, ResearchGroup) * 10"
+        );
+        assert_eq!(parse_expr("self.Memory").unwrap().to_string(), "self.Memory");
+    }
+
+    #[test]
+    fn cond_prints() {
+        assert_eq!(
+            parse_expr("a ? 1 : b ? 2 : 3").unwrap().to_string(),
+            "a ? 1 : b ? 2 : 3"
+        );
+        roundtrip("(a ? 1 : 2) + 3");
+    }
+
+    #[test]
+    fn nested_negation() {
+        roundtrip("- -x");
+        roundtrip("!!a");
+        roundtrip("-(1 + x)");
+    }
+
+    #[test]
+    fn lists_and_records() {
+        assert_eq!(parse_expr("{ 1, 2 }").unwrap().to_string(), "{ 1, 2 }");
+        assert_eq!(parse_expr("{}").unwrap().to_string(), "{}");
+        assert_eq!(parse_expr("[ a = 1 ]").unwrap().to_string(), "[ a = 1 ]");
+        roundtrip("[ a = 1; b = { \"x\", 2.5 } ]");
+        roundtrip("xs[1 + 2]");
+        roundtrip("r.a.b");
+    }
+
+    #[test]
+    fn classad_display_roundtrips() {
+        let src = r#"[ Type = "Machine"; Memory = 64; Rank = member(other.Owner, Friends) ]"#;
+        let ad = parse_classad(src).unwrap();
+        let printed = ad.to_string();
+        let back = parse_classad(&printed).unwrap();
+        assert_eq!(ad, back);
+    }
+
+    #[test]
+    fn figure_ads_roundtrip() {
+        for src in [crate::fixtures::FIGURE1_MACHINE, crate::fixtures::FIGURE2_JOB] {
+            let ad = parse_classad(src).unwrap();
+            let back = parse_classad(&ad.to_string()).unwrap();
+            assert_eq!(ad, back, "compact");
+            let back = parse_classad(&ad.pretty()).unwrap();
+            assert_eq!(ad, back, "pretty");
+        }
+    }
+
+    #[test]
+    fn pretty_is_multiline() {
+        let ad = parse_classad("[a = 1; b = 2]").unwrap();
+        let p = ad.pretty();
+        assert!(p.starts_with("[\n"));
+        assert!(p.contains("    a = 1;\n"));
+        assert!(p.ends_with(']'));
+    }
+
+    #[test]
+    fn value_display() {
+        assert_eq!(Value::Int(5).to_string(), "5");
+        assert_eq!(Value::Real(2.5).to_string(), "2.5");
+        assert_eq!(Value::Real(2.0).to_string(), "2.0");
+        assert_eq!(Value::str("hi").to_string(), "\"hi\"");
+        assert_eq!(Value::Undefined.to_string(), "undefined");
+        assert_eq!(
+            Value::list(vec![Value::Int(1), Value::str("x")]).to_string(),
+            "{ 1, \"x\" }"
+        );
+    }
+
+    #[test]
+    fn operator_coverage_roundtrip() {
+        for src in [
+            "a | b ^ c & d",
+            "a << 2 >> 1 >>> 3",
+            "a is undefined",
+            "a isnt error",
+            "~x % 3",
+            "+x - -y",
+            "a == b != c",
+            "a < b <= c > d >= e",
+        ] {
+            roundtrip(src);
+        }
+    }
+}

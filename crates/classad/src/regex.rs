@@ -1,0 +1,644 @@
+//! A small regular-expression engine for the `regexp()` builtin.
+//!
+//! Self-contained (no external crates), linear-time: patterns compile to a
+//! Thompson NFA which is simulated with explicit state sets, so there is
+//! no backtracking and no pathological input — important because patterns
+//! arrive in *ads*, i.e. from untrusted remote entities.
+//!
+//! Supported syntax: literals, `.`, `*`, `+`, `?`, alternation `|`,
+//! grouping `(...)`, character classes `[a-z]` / negated `[^...]`,
+//! anchors `^` `$`, and the escapes `\d \D \w \W \s \S` plus escaped
+//! metacharacters. Matching is *unanchored* by default (find anywhere),
+//! like HTCondor's PCRE-based `regexp()`; compile with
+//! [`RegexOptions::full_match`] to require the whole string.
+
+use std::fmt;
+
+/// Errors from pattern compilation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegexError {
+    /// Byte position in the pattern.
+    pub pos: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for RegexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "regex error at {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for RegexError {}
+
+/// Compilation options.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegexOptions {
+    /// ASCII case-insensitive matching (the classad `"i"` option).
+    pub case_insensitive: bool,
+    /// Require the pattern to cover the entire string (the classad `"f"`
+    /// option in this implementation).
+    pub full_match: bool,
+}
+
+impl RegexOptions {
+    /// Parse an HTCondor-style option string; unknown letters are errors.
+    pub fn parse(s: &str) -> Result<RegexOptions, RegexError> {
+        let mut o = RegexOptions::default();
+        for (i, c) in s.chars().enumerate() {
+            match c {
+                'i' | 'I' => o.case_insensitive = true,
+                'f' | 'F' => o.full_match = true,
+                // m/s/x accepted and ignored for PCRE-option compatibility.
+                'm' | 's' | 'x' => {}
+                other => {
+                    return Err(RegexError {
+                        pos: i,
+                        message: format!("unknown option `{other}`"),
+                    })
+                }
+            }
+        }
+        Ok(o)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pattern AST
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Node {
+    Empty,
+    Char(char),
+    Any,
+    Class { negated: bool, items: Vec<ClassItem> },
+    StartAnchor,
+    EndAnchor,
+    Concat(Vec<Node>),
+    Alt(Vec<Node>),
+    Star(Box<Node>),
+    Plus(Box<Node>),
+    Opt(Box<Node>),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ClassItem {
+    Single(char),
+    Range(char, char),
+    Digit(bool),
+    Word(bool),
+    Space(bool),
+}
+
+struct PatternParser<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    src: &'a str,
+}
+
+impl<'a> PatternParser<'a> {
+    fn err(&self, message: impl Into<String>) -> RegexError {
+        RegexError { pos: self.pos.min(self.chars.len()), message: message.into() }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        Some(c)
+    }
+
+    fn parse_alt(&mut self) -> Result<Node, RegexError> {
+        let mut branches = vec![self.parse_concat()?];
+        while self.peek() == Some('|') {
+            self.bump();
+            branches.push(self.parse_concat()?);
+        }
+        Ok(if branches.len() == 1 { branches.pop().unwrap() } else { Node::Alt(branches) })
+    }
+
+    fn parse_concat(&mut self) -> Result<Node, RegexError> {
+        let mut items = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            items.push(self.parse_repeat()?);
+        }
+        Ok(match items.len() {
+            0 => Node::Empty,
+            1 => items.pop().unwrap(),
+            _ => Node::Concat(items),
+        })
+    }
+
+    fn parse_repeat(&mut self) -> Result<Node, RegexError> {
+        let atom = self.parse_atom()?;
+        match self.peek() {
+            Some('*') => {
+                self.bump();
+                Ok(Node::Star(Box::new(atom)))
+            }
+            Some('+') => {
+                self.bump();
+                Ok(Node::Plus(Box::new(atom)))
+            }
+            Some('?') => {
+                self.bump();
+                Ok(Node::Opt(Box::new(atom)))
+            }
+            Some('{') => Err(self.err("counted repetition `{m,n}` is not supported")),
+            _ => Ok(atom),
+        }
+    }
+
+    fn parse_atom(&mut self) -> Result<Node, RegexError> {
+        match self.bump() {
+            None => Err(self.err("unexpected end of pattern")),
+            Some('(') => {
+                let inner = self.parse_alt()?;
+                if self.bump() != Some(')') {
+                    return Err(self.err("unclosed group"));
+                }
+                Ok(inner)
+            }
+            Some(')') => Err(self.err("unmatched `)`")),
+            Some('[') => self.parse_class(),
+            Some('.') => Ok(Node::Any),
+            Some('^') => Ok(Node::StartAnchor),
+            Some('$') => Ok(Node::EndAnchor),
+            Some('*') | Some('+') | Some('?') => Err(self.err("repetition with nothing to repeat")),
+            Some('\\') => self.parse_escape(),
+            Some(c) => Ok(Node::Char(c)),
+        }
+    }
+
+    fn parse_escape(&mut self) -> Result<Node, RegexError> {
+        let Some(c) = self.bump() else {
+            return Err(self.err("dangling backslash"));
+        };
+        Ok(match c {
+            'd' => Node::Class { negated: false, items: vec![ClassItem::Digit(false)] },
+            'D' => Node::Class { negated: false, items: vec![ClassItem::Digit(true)] },
+            'w' => Node::Class { negated: false, items: vec![ClassItem::Word(false)] },
+            'W' => Node::Class { negated: false, items: vec![ClassItem::Word(true)] },
+            's' => Node::Class { negated: false, items: vec![ClassItem::Space(false)] },
+            'S' => Node::Class { negated: false, items: vec![ClassItem::Space(true)] },
+            'n' => Node::Char('\n'),
+            't' => Node::Char('\t'),
+            'r' => Node::Char('\r'),
+            // Any escaped punctuation matches itself.
+            c if !c.is_alphanumeric() => Node::Char(c),
+            other => return Err(self.err(format!("unknown escape `\\{other}`"))),
+        })
+    }
+
+    fn parse_class(&mut self) -> Result<Node, RegexError> {
+        let negated = if self.peek() == Some('^') {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let mut items = Vec::new();
+        loop {
+            let Some(c) = self.bump() else {
+                return Err(self.err("unclosed character class"));
+            };
+            if c == ']' && !items.is_empty() {
+                break;
+            }
+            let lo = if c == '\\' {
+                let Some(e) = self.bump() else {
+                    return Err(self.err("dangling backslash in class"));
+                };
+                match e {
+                    'd' => {
+                        items.push(ClassItem::Digit(false));
+                        continue;
+                    }
+                    'w' => {
+                        items.push(ClassItem::Word(false));
+                        continue;
+                    }
+                    's' => {
+                        items.push(ClassItem::Space(false));
+                        continue;
+                    }
+                    'n' => '\n',
+                    't' => '\t',
+                    'r' => '\r',
+                    other => other,
+                }
+            } else {
+                c
+            };
+            if self.peek() == Some('-') && self.chars.get(self.pos + 1) != Some(&']') {
+                self.bump(); // '-'
+                let Some(hi) = self.bump() else {
+                    return Err(self.err("unterminated range"));
+                };
+                if hi < lo {
+                    return Err(self.err(format!("invalid range `{lo}-{hi}`")));
+                }
+                items.push(ClassItem::Range(lo, hi));
+            } else {
+                items.push(ClassItem::Single(lo));
+            }
+        }
+        let _ = self.src;
+        Ok(Node::Class { negated, items })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// NFA compilation
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Inst {
+    /// Match one character satisfying the test, advance.
+    Consume(CharTest),
+    /// Split: try both successors.
+    Split(usize, usize),
+    /// Unconditional jump.
+    Jmp(usize),
+    /// Match only at string start.
+    AssertStart,
+    /// Match only at string end.
+    AssertEnd,
+    /// Accept.
+    Accept,
+}
+
+#[derive(Debug, Clone)]
+enum CharTest {
+    Char(char),
+    Any,
+    Class { negated: bool, items: Vec<ClassItem> },
+}
+
+impl CharTest {
+    fn matches(&self, c: char, ci: bool) -> bool {
+        let norm = |x: char| if ci { x.to_ascii_lowercase() } else { x };
+        match self {
+            CharTest::Char(p) => norm(*p) == norm(c),
+            CharTest::Any => true,
+            CharTest::Class { negated, items } => {
+                let c2 = norm(c);
+                let mut hit = false;
+                for item in items {
+                    hit |= match *item {
+                        ClassItem::Single(s) => norm(s) == c2,
+                        ClassItem::Range(lo, hi) => {
+                            (norm(lo)..=norm(hi)).contains(&c2)
+                                || (lo..=hi).contains(&c)
+                        }
+                        ClassItem::Digit(neg) => c.is_ascii_digit() != neg,
+                        ClassItem::Word(neg) => (c.is_alphanumeric() || c == '_') != neg,
+                        ClassItem::Space(neg) => c.is_whitespace() != neg,
+                    };
+                    if hit {
+                        break;
+                    }
+                }
+                hit != *negated
+            }
+        }
+    }
+}
+
+/// A compiled regular expression.
+#[derive(Debug, Clone)]
+pub struct Regex {
+    prog: Vec<Inst>,
+    options: RegexOptions,
+}
+
+/// Guard against pathological pattern sizes arriving in ads.
+const MAX_PATTERN_LEN: usize = 4096;
+
+impl Regex {
+    /// Compile `pattern` with `options`.
+    pub fn new(pattern: &str, options: RegexOptions) -> Result<Regex, RegexError> {
+        if pattern.len() > MAX_PATTERN_LEN {
+            return Err(RegexError { pos: 0, message: "pattern too long".into() });
+        }
+        let mut p = PatternParser { chars: pattern.chars().collect(), pos: 0, src: pattern };
+        let ast = p.parse_alt()?;
+        if p.pos != p.chars.len() {
+            return Err(p.err("trailing pattern input"));
+        }
+        let mut prog = Vec::new();
+        compile(&ast, &mut prog);
+        prog.push(Inst::Accept);
+        Ok(Regex { prog, options })
+    }
+
+    /// Does the pattern match `text` (unanchored unless `full_match`)?
+    pub fn is_match(&self, text: &str) -> bool {
+        let chars: Vec<char> = text.chars().collect();
+        if self.options.full_match {
+            return self.run(&chars, 0, true);
+        }
+        // Unanchored: try every start offset. The state-set simulation is
+        // O(prog) per char, so the whole search is O(n² · prog) worst
+        // case — fine for ad-sized strings, and still immune to
+        // exponential blowup.
+        (0..=chars.len()).any(|start| self.run(&chars, start, false))
+    }
+
+    fn run(&self, chars: &[char], start: usize, to_end: bool) -> bool {
+        let ci = self.options.case_insensitive;
+        let mut current: Vec<usize> = Vec::with_capacity(self.prog.len());
+        let mut on_current = vec![false; self.prog.len()];
+        let mut next: Vec<usize> = Vec::with_capacity(self.prog.len());
+        let mut on_next = vec![false; self.prog.len()];
+
+        // ε-closure insert.
+        fn add(
+            prog: &[Inst],
+            pc: usize,
+            set: &mut Vec<usize>,
+            on: &mut [bool],
+            at_start: bool,
+            at_end: bool,
+        ) {
+            if on[pc] {
+                return;
+            }
+            on[pc] = true;
+            match &prog[pc] {
+                Inst::Split(a, b) => {
+                    add(prog, *a, set, on, at_start, at_end);
+                    add(prog, *b, set, on, at_start, at_end);
+                }
+                Inst::Jmp(t) => add(prog, *t, set, on, at_start, at_end),
+                Inst::AssertStart => {
+                    if at_start {
+                        add(prog, pc + 1, set, on, at_start, at_end);
+                    }
+                }
+                Inst::AssertEnd => {
+                    if at_end {
+                        add(prog, pc + 1, set, on, at_start, at_end);
+                    }
+                }
+                _ => set.push(pc),
+            }
+        }
+
+        let n = chars.len();
+        add(&self.prog, 0, &mut current, &mut on_current, start == 0, start == n);
+        for (offset, &c) in chars[start..].iter().enumerate() {
+            let i = start + offset;
+            // Accept before consuming more input (unanchored suffix).
+            if !to_end && current.iter().any(|&pc| matches!(self.prog[pc], Inst::Accept)) {
+                return true;
+            }
+            next.clear();
+            on_next.iter_mut().for_each(|b| *b = false);
+            for &pc in &current {
+                match &self.prog[pc] {
+                    Inst::Consume(test) if test.matches(c, ci) => {
+                        add(&self.prog, pc + 1, &mut next, &mut on_next, false, i + 1 == n);
+                    }
+                    _ => {}
+                }
+            }
+            std::mem::swap(&mut current, &mut next);
+            std::mem::swap(&mut on_current, &mut on_next);
+            if current.is_empty() {
+                return false;
+            }
+        }
+        current.iter().any(|&pc| matches!(self.prog[pc], Inst::Accept))
+    }
+}
+
+fn compile(node: &Node, prog: &mut Vec<Inst>) {
+    match node {
+        Node::Empty => {}
+        Node::Char(c) => prog.push(Inst::Consume(CharTest::Char(*c))),
+        Node::Any => prog.push(Inst::Consume(CharTest::Any)),
+        Node::Class { negated, items } => prog.push(Inst::Consume(CharTest::Class {
+            negated: *negated,
+            items: items.clone(),
+        })),
+        Node::StartAnchor => prog.push(Inst::AssertStart),
+        Node::EndAnchor => prog.push(Inst::AssertEnd),
+        Node::Concat(items) => {
+            for item in items {
+                compile(item, prog);
+            }
+        }
+        Node::Alt(branches) => {
+            // Chain of splits; each branch jumps to the common end.
+            let mut jmp_slots = Vec::new();
+            for (i, b) in branches.iter().enumerate() {
+                if i + 1 < branches.len() {
+                    let split_at = prog.len();
+                    prog.push(Inst::Split(0, 0)); // patched below
+                    let branch_start = prog.len();
+                    compile(b, prog);
+                    jmp_slots.push(prog.len());
+                    prog.push(Inst::Jmp(0)); // patched below
+                    let after = prog.len();
+                    prog[split_at] = Inst::Split(branch_start, after);
+                } else {
+                    compile(b, prog);
+                }
+            }
+            let end = prog.len();
+            for slot in jmp_slots {
+                prog[slot] = Inst::Jmp(end);
+            }
+        }
+        Node::Star(inner) => {
+            let split_at = prog.len();
+            prog.push(Inst::Split(0, 0));
+            let body = prog.len();
+            compile(inner, prog);
+            prog.push(Inst::Jmp(split_at));
+            let after = prog.len();
+            prog[split_at] = Inst::Split(body, after);
+        }
+        Node::Plus(inner) => {
+            let body = prog.len();
+            compile(inner, prog);
+            let split_at = prog.len();
+            prog.push(Inst::Split(0, 0));
+            prog[split_at] = Inst::Split(body, split_at + 1);
+        }
+        Node::Opt(inner) => {
+            let split_at = prog.len();
+            prog.push(Inst::Split(0, 0));
+            let body = prog.len();
+            compile(inner, prog);
+            let after = prog.len();
+            prog[split_at] = Inst::Split(body, after);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(pat: &str, text: &str) -> bool {
+        Regex::new(pat, RegexOptions::default()).unwrap().is_match(text)
+    }
+
+    fn mf(pat: &str, text: &str) -> bool {
+        Regex::new(pat, RegexOptions { full_match: true, ..Default::default() })
+            .unwrap()
+            .is_match(text)
+    }
+
+    #[test]
+    fn literals_unanchored() {
+        assert!(m("wisc", "leonardo.cs.wisc.edu"));
+        assert!(!m("mit", "leonardo.cs.wisc.edu"));
+        assert!(m("", "anything"));
+        assert!(m("", ""));
+    }
+
+    #[test]
+    fn dot_and_escapes() {
+        assert!(m(r"cs\.wisc", "leonardo.cs.wisc.edu"));
+        assert!(!m(r"cs\.wisc", "csXwisc"));
+        assert!(m("c.w", "cXw"));
+        assert!(m(r"\d\d\d", "node042x"));
+        assert!(!m(r"\d\d\d", "node42"));
+        assert!(m(r"\w+", "a_b9"));
+        assert!(m(r"\s", "a b"));
+        assert!(!m(r"\s", "ab"));
+        assert!(m(r"\D", "7a7"));
+        assert!(!m(r"\D", "77"));
+    }
+
+    #[test]
+    fn repetition() {
+        assert!(m("ab*c", "ac"));
+        assert!(m("ab*c", "abbbc"));
+        assert!(!m("ab+c", "ac"));
+        assert!(m("ab+c", "abc"));
+        assert!(m("ab?c", "ac"));
+        assert!(m("ab?c", "abc"));
+        assert!(!mf("ab?c", "abbc"));
+    }
+
+    #[test]
+    fn alternation_and_groups() {
+        assert!(m("INTEL|SPARC", "SPARC"));
+        assert!(m("node(0|1)+", "node0110"));
+        assert!(!mf("node(0|1)+", "node2"));
+        assert!(m("(ab)+", "abab"));
+        assert!(mf("(a|b)*", "abba"));
+        assert!(mf("(a|b)*", ""));
+    }
+
+    #[test]
+    fn classes() {
+        assert!(m("[a-z]+", "HELLO there"));
+        assert!(!mf("[a-z]+", "HELLO"));
+        assert!(m("[^0-9]", "a1"));
+        assert!(!m("[^0-9a]", "a1"));
+        assert!(m(r"[\d]", "x5"));
+        assert!(m("[-x]", "-"));
+        assert!(m("[]x]", "]"), "leading ] is literal");
+        assert!(mf("node[0-9][0-9]", "node42"));
+    }
+
+    #[test]
+    fn anchors() {
+        assert!(m("^node", "node42"));
+        assert!(!m("^node", "xnode42"));
+        assert!(m("edu$", "cs.wisc.edu"));
+        assert!(!m("edu$", "edu.wisc"));
+        assert!(m("^exact$", "exact"));
+        assert!(!m("^exact$", "inexact"));
+    }
+
+    #[test]
+    fn case_insensitive() {
+        let re = Regex::new(
+            "intel",
+            RegexOptions { case_insensitive: true, ..Default::default() },
+        )
+        .unwrap();
+        assert!(re.is_match("INTEL"));
+        assert!(re.is_match("Intel inside"));
+        assert!(!Regex::new("intel", RegexOptions::default()).unwrap().is_match("INTEL"));
+        // Classes and ranges fold too.
+        let re = Regex::new(
+            "^[a-z]+$",
+            RegexOptions { case_insensitive: true, full_match: false },
+        )
+        .unwrap();
+        assert!(re.is_match("MiXeD"));
+    }
+
+    #[test]
+    fn full_match_option() {
+        assert!(mf("abc", "abc"));
+        assert!(!mf("abc", "xabcx"));
+        assert!(m("abc", "xabcx"));
+    }
+
+    #[test]
+    fn no_exponential_blowup() {
+        // The classic backtracking killer: (a*)*b against aⁿ.
+        let pat = "(a*)*b";
+        let text = "a".repeat(2000);
+        let re = Regex::new(pat, RegexOptions::default()).unwrap();
+        let start = std::time::Instant::now();
+        assert!(!re.is_match(&text));
+        assert!(start.elapsed().as_secs() < 5, "NFA must stay polynomial");
+    }
+
+    #[test]
+    fn compile_errors() {
+        assert!(Regex::new("(", RegexOptions::default()).is_err());
+        assert!(Regex::new(")", RegexOptions::default()).is_err());
+        assert!(Regex::new("[abc", RegexOptions::default()).is_err());
+        assert!(Regex::new("*a", RegexOptions::default()).is_err());
+        assert!(Regex::new("a{2,3}", RegexOptions::default()).is_err());
+        assert!(Regex::new(r"\q", RegexOptions::default()).is_err());
+        assert!(Regex::new("[z-a]", RegexOptions::default()).is_err());
+        let e = Regex::new("(", RegexOptions::default()).unwrap_err();
+        assert!(e.to_string().contains("regex error"));
+    }
+
+    #[test]
+    fn options_parse() {
+        assert_eq!(
+            RegexOptions::parse("if").unwrap(),
+            RegexOptions { case_insensitive: true, full_match: true }
+        );
+        assert_eq!(RegexOptions::parse("").unwrap(), RegexOptions::default());
+        assert!(RegexOptions::parse("msx").is_ok(), "pcre options tolerated");
+        assert!(RegexOptions::parse("z").is_err());
+    }
+
+    #[test]
+    fn unicode_text() {
+        assert!(m("é+", "caféééé"));
+        assert!(mf(".+", "日本語"));
+    }
+
+    #[test]
+    fn realistic_ad_patterns() {
+        // Hostname pattern over machine names.
+        assert!(m(r"^node\d+\.pool\.example$", "node0042.pool.example"));
+        assert!(!m(r"^node\d+\.pool\.example$", "node42.pool.example.evil"));
+        // OS version pattern.
+        assert!(m("^SOLARIS2(51|6)$", "SOLARIS251"));
+        assert!(m("^SOLARIS2(51|6)$", "SOLARIS26"));
+        assert!(!m("^SOLARIS2(51|6)$", "SOLARIS25"));
+    }
+}

@@ -1,0 +1,187 @@
+//! Token definitions for the ClassAd lexer.
+
+use crate::error::Span;
+use std::fmt;
+
+/// A lexical token with its source location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token's kind and payload.
+    pub kind: TokenKind,
+    /// Source location of the token.
+    pub span: Span,
+}
+
+/// The kinds of tokens in the ClassAd grammar.
+///
+/// Keywords (`true`, `false`, `undefined`, `error`, `is`, `isnt`) are
+/// recognised case-insensitively, matching the language's case-insensitive
+/// identifier rules.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Integer literal, e.g. `42`. Hex (`0x2a`) and octal (`052`) accepted.
+    Int(i64),
+    /// Real literal, e.g. `3.25`, `1E3`, `.5`.
+    Real(f64),
+    /// String literal with escapes resolved, e.g. `"INTEL"`.
+    Str(String),
+    /// Identifier (attribute name or function name); original case preserved.
+    Ident(String),
+    /// `true` (any case).
+    True,
+    /// `false` (any case).
+    False,
+    /// `undefined` (any case).
+    Undefined,
+    /// `error` (any case).
+    ErrorKw,
+    /// `is` — non-strict identity comparison.
+    Is,
+    /// `isnt` — non-strict identity inequality.
+    Isnt,
+
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+    /// `~`
+    Tilde,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `<<`
+    Shl,
+    /// `>>` (arithmetic shift right)
+    Shr,
+    /// `>>>` (logical shift right)
+    Ushr,
+    /// `?`
+    Question,
+    /// `:`
+    Colon,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `=`
+    Assign,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// A short human-readable name used in parse-error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Int(n) => format!("integer `{n}`"),
+            TokenKind::Real(r) => format!("real `{r}`"),
+            TokenKind::Str(s) => format!("string {s:?}"),
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::True => "`true`".into(),
+            TokenKind::False => "`false`".into(),
+            TokenKind::Undefined => "`undefined`".into(),
+            TokenKind::ErrorKw => "`error`".into(),
+            TokenKind::Is => "`is`".into(),
+            TokenKind::Isnt => "`isnt`".into(),
+            TokenKind::Plus => "`+`".into(),
+            TokenKind::Minus => "`-`".into(),
+            TokenKind::Star => "`*`".into(),
+            TokenKind::Slash => "`/`".into(),
+            TokenKind::Percent => "`%`".into(),
+            TokenKind::Lt => "`<`".into(),
+            TokenKind::Le => "`<=`".into(),
+            TokenKind::Gt => "`>`".into(),
+            TokenKind::Ge => "`>=`".into(),
+            TokenKind::EqEq => "`==`".into(),
+            TokenKind::NotEq => "`!=`".into(),
+            TokenKind::AndAnd => "`&&`".into(),
+            TokenKind::OrOr => "`||`".into(),
+            TokenKind::Bang => "`!`".into(),
+            TokenKind::Tilde => "`~`".into(),
+            TokenKind::Amp => "`&`".into(),
+            TokenKind::Pipe => "`|`".into(),
+            TokenKind::Caret => "`^`".into(),
+            TokenKind::Shl => "`<<`".into(),
+            TokenKind::Shr => "`>>`".into(),
+            TokenKind::Ushr => "`>>>`".into(),
+            TokenKind::Question => "`?`".into(),
+            TokenKind::Colon => "`:`".into(),
+            TokenKind::Semi => "`;`".into(),
+            TokenKind::Comma => "`,`".into(),
+            TokenKind::Dot => "`.`".into(),
+            TokenKind::Assign => "`=`".into(),
+            TokenKind::LParen => "`(`".into(),
+            TokenKind::RParen => "`)`".into(),
+            TokenKind::LBracket => "`[`".into(),
+            TokenKind::RBracket => "`]`".into(),
+            TokenKind::LBrace => "`{`".into(),
+            TokenKind::RBrace => "`}`".into(),
+            TokenKind::Eof => "end of input".into(),
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.describe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn describe_literals() {
+        assert_eq!(TokenKind::Int(7).describe(), "integer `7`");
+        assert_eq!(TokenKind::Str("a".into()).describe(), "string \"a\"");
+        assert_eq!(TokenKind::Ushr.describe(), "`>>>`");
+    }
+
+    #[test]
+    fn display_matches_describe() {
+        let k = TokenKind::Ident("Rank".into());
+        assert_eq!(format!("{k}"), k.describe());
+    }
+}

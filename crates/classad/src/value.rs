@@ -1,0 +1,755 @@
+//! Runtime values and the strict operator semantics of the ClassAd language.
+//!
+//! The paper (§3.1) specifies a three-valued logic: references to missing
+//! attributes evaluate to the constant `undefined`; most operators are
+//! *strict* with respect to `undefined` (and to `error`), while `&&`, `||`,
+//! `is` and `isnt` are non-strict. Runtime failures (type mismatches,
+//! division by zero, unknown functions) produce the `error` value rather
+//! than aborting evaluation, so one malformed ad can never take down a
+//! matchmaker.
+//!
+//! Semantics implemented here, in decreasing precedence of the special
+//! values: if any operand of a strict operator is `error` the result is
+//! `error`; otherwise if any operand is `undefined` the result is
+//! `undefined`; otherwise the operation applies (or yields `error` on a type
+//! mismatch).
+
+use crate::ast::BinOp;
+use crate::classad::ClassAd;
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+/// A runtime ClassAd value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// The distinguished `undefined` constant (missing information).
+    Undefined,
+    /// The distinguished `error` constant (contradictory/ill-typed
+    /// information).
+    Error,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// IEEE-754 double.
+    Real(f64),
+    /// Immutable string (cheap to clone).
+    Str(Arc<str>),
+    /// List of values.
+    List(Arc<Vec<Value>>),
+    /// Nested classad.
+    Ad(Arc<ClassAd>),
+}
+
+/// Coarse classification of a value, used in diagnostics and type tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValueKind {
+    /// `undefined`
+    Undefined,
+    /// `error`
+    Error,
+    /// Boolean
+    Bool,
+    /// Integer
+    Int,
+    /// Real
+    Real,
+    /// String
+    String,
+    /// List
+    List,
+    /// ClassAd
+    Ad,
+}
+
+impl fmt::Display for ValueKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ValueKind::Undefined => "undefined",
+            ValueKind::Error => "error",
+            ValueKind::Bool => "boolean",
+            ValueKind::Int => "integer",
+            ValueKind::Real => "real",
+            ValueKind::String => "string",
+            ValueKind::List => "list",
+            ValueKind::Ad => "classad",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A numeric value after int/real unification.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Num {
+    /// Integer-typed number.
+    Int(i64),
+    /// Real-typed number.
+    Real(f64),
+}
+
+impl Num {
+    /// The value as an `f64`.
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Num::Int(i) => i as f64,
+            Num::Real(r) => r,
+        }
+    }
+}
+
+impl Value {
+    /// Construct a string value.
+    pub fn str(s: &str) -> Value {
+        Value::Str(Arc::from(s))
+    }
+
+    /// Construct a list value.
+    pub fn list(items: Vec<Value>) -> Value {
+        Value::List(Arc::new(items))
+    }
+
+    /// The value's kind.
+    pub fn kind(&self) -> ValueKind {
+        match self {
+            Value::Undefined => ValueKind::Undefined,
+            Value::Error => ValueKind::Error,
+            Value::Bool(_) => ValueKind::Bool,
+            Value::Int(_) => ValueKind::Int,
+            Value::Real(_) => ValueKind::Real,
+            Value::Str(_) => ValueKind::String,
+            Value::List(_) => ValueKind::List,
+            Value::Ad(_) => ValueKind::Ad,
+        }
+    }
+
+    /// `true` iff this is the `undefined` constant.
+    pub fn is_undefined(&self) -> bool {
+        matches!(self, Value::Undefined)
+    }
+
+    /// `true` iff this is the `error` constant.
+    pub fn is_error(&self) -> bool {
+        matches!(self, Value::Error)
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this is an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload (integers widen), if this is a number.
+    pub fn as_num(&self) -> Option<Num> {
+        match self {
+            Value::Int(i) => Some(Num::Int(*i)),
+            Value::Real(r) => Some(Num::Real(*r)),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        self.as_num().map(Num::as_f64)
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The list payload, if this is a list.
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// The classad payload, if this is a nested ad.
+    pub fn as_ad(&self) -> Option<&Arc<ClassAd>> {
+        match self {
+            Value::Ad(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Identity ("same value") comparison used by `is`/`isnt`: never
+    /// `undefined` or `error`; type-and-value equality with **case-sensitive**
+    /// strings; `undefined is undefined` and `error is error` are `true`.
+    /// Lists and ads compare structurally. An integer is never identical to a
+    /// real (`1 is 1.0` is `false`), matching the operator's "same type, same
+    /// value" contract.
+    pub fn same_as(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Undefined, Value::Undefined) => true,
+            (Value::Error, Value::Error) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Real(a), Value::Real(b)) => a == b,
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::List(a), Value::List(b)) => {
+                a.len() == b.len() && a.iter().zip(b.iter()).all(|(x, y)| x.same_as(y))
+            }
+            (Value::Ad(a), Value::Ad(b)) => ads_same(a, b),
+            _ => false,
+        }
+    }
+}
+
+fn ads_same(a: &ClassAd, b: &ClassAd) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    a.iter().all(|(name, expr)| match b.get(name.canonical()) {
+        Some(other_expr) => **expr == **other_expr,
+        None => false,
+    })
+}
+
+impl PartialEq for Value {
+    /// Structural equality for tests and collections; `same_as` semantics.
+    fn eq(&self, other: &Self) -> bool {
+        self.same_as(other)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(r: f64) -> Self {
+        Value::Real(r)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(Arc::from(s.as_str()))
+    }
+}
+
+/// Outcome of the strict-value screen shared by all strict operators.
+enum Screen {
+    /// An operand was `error`.
+    Error,
+    /// An operand was `undefined` (and none were `error`).
+    Undefined,
+    /// Both operands are ordinary values.
+    Go,
+}
+
+fn screen(a: &Value, b: &Value) -> Screen {
+    if a.is_error() || b.is_error() {
+        Screen::Error
+    } else if a.is_undefined() || b.is_undefined() {
+        Screen::Undefined
+    } else {
+        Screen::Go
+    }
+}
+
+/// Three-valued conjunction (symmetric, non-strict):
+/// `false && x == false` for every `x`, including `error`.
+pub fn combine_and(a: &Value, b: &Value) -> Value {
+    let fa = definite_bool(a);
+    let fb = definite_bool(b);
+    match (fa, fb) {
+        (Some(false), _) | (_, Some(false)) => Value::Bool(false),
+        _ => {
+            if bool_rank(a) == BoolRank::Error || bool_rank(b) == BoolRank::Error {
+                Value::Error
+            } else if bool_rank(a) == BoolRank::Undefined || bool_rank(b) == BoolRank::Undefined {
+                Value::Undefined
+            } else {
+                Value::Bool(true)
+            }
+        }
+    }
+}
+
+/// Three-valued disjunction (symmetric, non-strict):
+/// `true || x == true` for every `x`, including `error`.
+pub fn combine_or(a: &Value, b: &Value) -> Value {
+    let fa = definite_bool(a);
+    let fb = definite_bool(b);
+    match (fa, fb) {
+        (Some(true), _) | (_, Some(true)) => Value::Bool(true),
+        _ => {
+            if bool_rank(a) == BoolRank::Error || bool_rank(b) == BoolRank::Error {
+                Value::Error
+            } else if bool_rank(a) == BoolRank::Undefined || bool_rank(b) == BoolRank::Undefined {
+                Value::Undefined
+            } else {
+                Value::Bool(false)
+            }
+        }
+    }
+}
+
+#[derive(PartialEq)]
+enum BoolRank {
+    Bool,
+    Undefined,
+    Error,
+}
+
+fn bool_rank(v: &Value) -> BoolRank {
+    match v {
+        Value::Bool(_) => BoolRank::Bool,
+        Value::Undefined => BoolRank::Undefined,
+        // Non-boolean operands of a logical operator are type errors.
+        _ => BoolRank::Error,
+    }
+}
+
+fn definite_bool(v: &Value) -> Option<bool> {
+    v.as_bool()
+}
+
+/// Logical negation: `!undefined == undefined`, `!error == error`,
+/// non-booleans are `error`.
+pub fn logical_not(v: &Value) -> Value {
+    match v {
+        Value::Bool(b) => Value::Bool(!b),
+        Value::Undefined => Value::Undefined,
+        _ => Value::Error,
+    }
+}
+
+/// Arithmetic negation.
+pub fn arith_neg(v: &Value) -> Value {
+    match v {
+        Value::Int(i) => match i.checked_neg() {
+            Some(n) => Value::Int(n),
+            None => Value::Error,
+        },
+        Value::Real(r) => Value::Real(-r),
+        Value::Undefined => Value::Undefined,
+        _ => Value::Error,
+    }
+}
+
+/// Arithmetic identity `+e`: numbers pass through, everything else is
+/// screened exactly like negation.
+pub fn arith_pos(v: &Value) -> Value {
+    match v {
+        Value::Int(_) | Value::Real(_) => v.clone(),
+        Value::Undefined => Value::Undefined,
+        _ => Value::Error,
+    }
+}
+
+/// Bitwise complement (integers only).
+pub fn bit_not(v: &Value) -> Value {
+    match v {
+        Value::Int(i) => Value::Int(!i),
+        Value::Undefined => Value::Undefined,
+        _ => Value::Error,
+    }
+}
+
+/// Apply a *strict* binary operator (everything except `&&`, `||`, `is`,
+/// `isnt`, which have dedicated non-strict entry points).
+pub fn apply_strict_binary(op: BinOp, a: &Value, b: &Value) -> Value {
+    match screen(a, b) {
+        Screen::Error => return Value::Error,
+        Screen::Undefined => return Value::Undefined,
+        Screen::Go => {}
+    }
+    match op {
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => arith(op, a, b),
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => relational(op, a, b),
+        BinOp::Eq | BinOp::Ne => equality(op, a, b),
+        BinOp::BitAnd | BinOp::BitOr | BinOp::BitXor | BinOp::Shl | BinOp::Shr | BinOp::Ushr => {
+            bitwise(op, a, b)
+        }
+        BinOp::And | BinOp::Or | BinOp::Is | BinOp::Isnt => {
+            unreachable!("non-strict operators have dedicated entry points")
+        }
+    }
+}
+
+fn arith(op: BinOp, a: &Value, b: &Value) -> Value {
+    // Booleans promote to integers (true = 1) in arithmetic, as in classic
+    // classads; Figure 1's `member(...) * 10 + member(...)` rank depends
+    // on this.
+    let promote = |v: &Value| match v {
+        Value::Bool(b) => Some(Num::Int(*b as i64)),
+        _ => v.as_num(),
+    };
+    let (Some(x), Some(y)) = (promote(a), promote(b)) else {
+        return Value::Error;
+    };
+    match (x, y) {
+        (Num::Int(i), Num::Int(j)) => int_arith(op, i, j),
+        _ => real_arith(op, x.as_f64(), y.as_f64()),
+    }
+}
+
+fn int_arith(op: BinOp, i: i64, j: i64) -> Value {
+    let r = match op {
+        BinOp::Add => i.checked_add(j),
+        BinOp::Sub => i.checked_sub(j),
+        BinOp::Mul => i.checked_mul(j),
+        BinOp::Div => {
+            if j == 0 {
+                None
+            } else {
+                i.checked_div(j)
+            }
+        }
+        BinOp::Mod => {
+            if j == 0 {
+                None
+            } else {
+                i.checked_rem(j)
+            }
+        }
+        _ => unreachable!(),
+    };
+    // Overflow and division by zero are runtime errors, not panics.
+    match r {
+        Some(v) => Value::Int(v),
+        None => Value::Error,
+    }
+}
+
+fn real_arith(op: BinOp, x: f64, y: f64) -> Value {
+    match op {
+        BinOp::Add => Value::Real(x + y),
+        BinOp::Sub => Value::Real(x - y),
+        BinOp::Mul => Value::Real(x * y),
+        BinOp::Div => {
+            if y == 0.0 {
+                Value::Error
+            } else {
+                Value::Real(x / y)
+            }
+        }
+        BinOp::Mod => {
+            if y == 0.0 {
+                Value::Error
+            } else {
+                Value::Real(x % y)
+            }
+        }
+        _ => unreachable!(),
+    }
+}
+
+fn relational(op: BinOp, a: &Value, b: &Value) -> Value {
+    let ord = match (a, b) {
+        (Value::Str(x), Value::Str(y)) => case_insensitive_cmp(x, y),
+        _ => match (a.as_num(), b.as_num()) {
+            (Some(x), Some(y)) => match x.as_f64().partial_cmp(&y.as_f64()) {
+                Some(o) => o,
+                // NaN comparisons are errors rather than silently false.
+                None => return Value::Error,
+            },
+            _ => return Value::Error,
+        },
+    };
+    let r = match op {
+        BinOp::Lt => ord == Ordering::Less,
+        BinOp::Le => ord != Ordering::Greater,
+        BinOp::Gt => ord == Ordering::Greater,
+        BinOp::Ge => ord != Ordering::Less,
+        _ => unreachable!(),
+    };
+    Value::Bool(r)
+}
+
+/// Case-insensitive (ASCII) string ordering, the language's native string
+/// collation.
+pub fn case_insensitive_cmp(a: &str, b: &str) -> Ordering {
+    let mut ai = a.bytes().map(|c| c.to_ascii_lowercase());
+    let mut bi = b.bytes().map(|c| c.to_ascii_lowercase());
+    loop {
+        match (ai.next(), bi.next()) {
+            (None, None) => return Ordering::Equal,
+            (None, Some(_)) => return Ordering::Less,
+            (Some(_), None) => return Ordering::Greater,
+            (Some(x), Some(y)) => match x.cmp(&y) {
+                Ordering::Equal => continue,
+                o => return o,
+            },
+        }
+    }
+}
+
+fn equality(op: BinOp, a: &Value, b: &Value) -> Value {
+    let eq = match (a, b) {
+        (Value::Str(x), Value::Str(y)) => case_insensitive_cmp(x, y) == Ordering::Equal,
+        (Value::Bool(x), Value::Bool(y)) => x == y,
+        _ => match (a.as_num(), b.as_num()) {
+            (Some(x), Some(y)) => x.as_f64() == y.as_f64(),
+            // Lists, ads, and cross-type comparisons are not `==`-comparable.
+            _ => return Value::Error,
+        },
+    };
+    Value::Bool(if op == BinOp::Eq { eq } else { !eq })
+}
+
+fn bitwise(op: BinOp, a: &Value, b: &Value) -> Value {
+    let (Some(i), Some(j)) = (a.as_int(), b.as_int()) else {
+        return Value::Error;
+    };
+    let v = match op {
+        BinOp::BitAnd => i & j,
+        BinOp::BitOr => i | j,
+        BinOp::BitXor => i ^ j,
+        BinOp::Shl | BinOp::Shr | BinOp::Ushr => {
+            if !(0..64).contains(&j) {
+                return Value::Error;
+            }
+            match op {
+                BinOp::Shl => ((i as u64) << j) as i64,
+                BinOp::Shr => i >> j,
+                BinOp::Ushr => ((i as u64) >> j) as i64,
+                _ => unreachable!(),
+            }
+        }
+        _ => unreachable!(),
+    };
+    Value::Int(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::BinOp::*;
+
+    fn i(v: i64) -> Value {
+        Value::Int(v)
+    }
+    fn r(v: f64) -> Value {
+        Value::Real(v)
+    }
+    fn s(v: &str) -> Value {
+        Value::str(v)
+    }
+    fn b(v: bool) -> Value {
+        Value::Bool(v)
+    }
+    const U: Value = Value::Undefined;
+    const E: Value = Value::Error;
+
+    #[test]
+    fn arithmetic_int() {
+        assert_eq!(apply_strict_binary(Add, &i(2), &i(3)), i(5));
+        assert_eq!(apply_strict_binary(Sub, &i(2), &i(3)), i(-1));
+        assert_eq!(apply_strict_binary(Mul, &i(4), &i(3)), i(12));
+        assert_eq!(apply_strict_binary(Div, &i(7), &i(2)), i(3));
+        assert_eq!(apply_strict_binary(Mod, &i(7), &i(2)), i(1));
+    }
+
+    #[test]
+    fn arithmetic_mixed_promotes_to_real() {
+        assert_eq!(apply_strict_binary(Add, &i(1), &r(0.5)), r(1.5));
+        assert_eq!(apply_strict_binary(Div, &i(1), &r(2.0)), r(0.5));
+        assert_eq!(apply_strict_binary(Div, &r(1.0), &i(4)), r(0.25));
+    }
+
+    #[test]
+    fn bool_promotes_in_arithmetic() {
+        // Figure 1: Rank = member(...)*10 + member(...).
+        assert_eq!(apply_strict_binary(Mul, &b(true), &i(10)), i(10));
+        assert_eq!(apply_strict_binary(Add, &i(10), &b(false)), i(10));
+        assert_eq!(apply_strict_binary(Add, &b(true), &b(true)), i(2));
+    }
+
+    #[test]
+    fn division_by_zero_is_error() {
+        assert_eq!(apply_strict_binary(Div, &i(1), &i(0)), E);
+        assert_eq!(apply_strict_binary(Mod, &i(1), &i(0)), E);
+        assert_eq!(apply_strict_binary(Div, &r(1.0), &r(0.0)), E);
+    }
+
+    #[test]
+    fn int_overflow_is_error_not_panic() {
+        assert_eq!(apply_strict_binary(Add, &i(i64::MAX), &i(1)), E);
+        assert_eq!(apply_strict_binary(Mul, &i(i64::MAX), &i(2)), E);
+        assert_eq!(arith_neg(&i(i64::MIN)), E);
+    }
+
+    #[test]
+    fn strict_undefined_propagation() {
+        // Paper §3.1: comparison operators are strict; all of these are
+        // undefined when one operand is undefined.
+        for op in [Gt, Eq, Ne, Lt, Ge, Le, Add, Sub, Mul, Div, Mod] {
+            assert_eq!(apply_strict_binary(op, &U, &i(32)), U, "{op:?}");
+            assert_eq!(apply_strict_binary(op, &i(32), &U), U, "{op:?}");
+        }
+    }
+
+    #[test]
+    fn error_beats_undefined() {
+        assert_eq!(apply_strict_binary(Add, &E, &U), E);
+        assert_eq!(apply_strict_binary(Eq, &U, &E), E);
+    }
+
+    #[test]
+    fn string_equality_case_insensitive() {
+        assert_eq!(apply_strict_binary(Eq, &s("INTEL"), &s("intel")), b(true));
+        assert_eq!(apply_strict_binary(Ne, &s("INTEL"), &s("intel")), b(false));
+        assert_eq!(apply_strict_binary(Eq, &s("a"), &s("b")), b(false));
+    }
+
+    #[test]
+    fn string_ordering_case_insensitive() {
+        assert_eq!(apply_strict_binary(Lt, &s("Apple"), &s("banana")), b(true));
+        assert_eq!(apply_strict_binary(Ge, &s("ZED"), &s("alpha")), b(true));
+        assert_eq!(apply_strict_binary(Le, &s("same"), &s("SAME")), b(true));
+    }
+
+    #[test]
+    fn cross_type_comparison_is_error() {
+        assert_eq!(apply_strict_binary(Eq, &s("1"), &i(1)), E);
+        assert_eq!(apply_strict_binary(Lt, &b(true), &b(false)), E);
+        assert_eq!(apply_strict_binary(Eq, &Value::list(vec![]), &Value::list(vec![])), E);
+    }
+
+    #[test]
+    fn bool_equality_allowed() {
+        assert_eq!(apply_strict_binary(Eq, &b(true), &b(true)), b(true));
+        assert_eq!(apply_strict_binary(Ne, &b(true), &b(false)), b(true));
+    }
+
+    #[test]
+    fn nan_relational_is_error() {
+        assert_eq!(apply_strict_binary(Lt, &r(f64::NAN), &r(1.0)), E);
+    }
+
+    #[test]
+    fn and_truth_table() {
+        // Kleene logic with error dominance except against definite false.
+        assert_eq!(combine_and(&b(true), &b(true)), b(true));
+        assert_eq!(combine_and(&b(true), &b(false)), b(false));
+        assert_eq!(combine_and(&b(false), &U), b(false));
+        assert_eq!(combine_and(&U, &b(false)), b(false));
+        assert_eq!(combine_and(&b(false), &E), b(false));
+        assert_eq!(combine_and(&E, &b(false)), b(false));
+        assert_eq!(combine_and(&b(true), &U), U);
+        assert_eq!(combine_and(&U, &U), U);
+        assert_eq!(combine_and(&b(true), &E), E);
+        assert_eq!(combine_and(&U, &E), E);
+        // Non-boolean operand acts like error.
+        assert_eq!(combine_and(&i(1), &b(true)), E);
+        assert_eq!(combine_and(&i(1), &b(false)), b(false));
+    }
+
+    #[test]
+    fn or_truth_table() {
+        assert_eq!(combine_or(&b(false), &b(false)), b(false));
+        assert_eq!(combine_or(&b(true), &U), b(true));
+        assert_eq!(combine_or(&U, &b(true)), b(true));
+        assert_eq!(combine_or(&E, &b(true)), b(true));
+        assert_eq!(combine_or(&b(false), &U), U);
+        assert_eq!(combine_or(&U, &E), E);
+        assert_eq!(combine_or(&s("x"), &b(false)), E);
+    }
+
+    #[test]
+    fn paper_nonstrict_example() {
+        // "Mips >= 10 || Kflops >= 1000 evaluates to true whenever either
+        // of the attributes exists and satisfies the indicated bound."
+        let mips_missing = U; // Mips >= 10 with Mips undefined
+        let kflops_ok = b(true);
+        assert_eq!(combine_or(&mips_missing, &kflops_ok), b(true));
+    }
+
+    #[test]
+    fn not_semantics() {
+        assert_eq!(logical_not(&b(true)), b(false));
+        assert_eq!(logical_not(&U), U);
+        assert_eq!(logical_not(&E), E);
+        assert_eq!(logical_not(&i(1)), E);
+    }
+
+    #[test]
+    fn same_as_identity() {
+        assert!(U.same_as(&U));
+        assert!(E.same_as(&E));
+        assert!(!U.same_as(&E));
+        assert!(s("a").same_as(&s("a")));
+        // `is` strings are case-SENSITIVE, unlike `==`.
+        assert!(!s("a").same_as(&s("A")));
+        // `is` does not unify int and real.
+        assert!(!i(1).same_as(&r(1.0)));
+        assert!(Value::list(vec![i(1), s("x")]).same_as(&Value::list(vec![i(1), s("x")])));
+        assert!(!Value::list(vec![i(1)]).same_as(&Value::list(vec![i(2)])));
+    }
+
+    #[test]
+    fn bitwise_ops() {
+        assert_eq!(apply_strict_binary(BitAnd, &i(0b1100), &i(0b1010)), i(0b1000));
+        assert_eq!(apply_strict_binary(BitOr, &i(0b1100), &i(0b1010)), i(0b1110));
+        assert_eq!(apply_strict_binary(BitXor, &i(0b1100), &i(0b1010)), i(0b0110));
+        assert_eq!(apply_strict_binary(Shl, &i(1), &i(4)), i(16));
+        assert_eq!(apply_strict_binary(Shr, &i(-8), &i(1)), i(-4));
+        assert_eq!(apply_strict_binary(Ushr, &i(-1), &i(60)), i(15));
+        assert_eq!(apply_strict_binary(Shl, &i(1), &i(64)), E);
+        assert_eq!(apply_strict_binary(Shl, &i(1), &i(-1)), E);
+        assert_eq!(apply_strict_binary(BitAnd, &i(1), &r(1.0)), E);
+    }
+
+    #[test]
+    fn unary_arith() {
+        assert_eq!(arith_neg(&i(5)), i(-5));
+        assert_eq!(arith_neg(&r(2.5)), r(-2.5));
+        assert_eq!(arith_neg(&U), U);
+        assert_eq!(arith_neg(&s("x")), E);
+        assert_eq!(arith_pos(&i(5)), i(5));
+        assert_eq!(arith_pos(&s("x")), E);
+        assert_eq!(bit_not(&i(0)), i(-1));
+        assert_eq!(bit_not(&r(1.0)), E);
+    }
+
+    #[test]
+    fn kind_reporting() {
+        assert_eq!(i(1).kind(), ValueKind::Int);
+        assert_eq!(r(1.0).kind(), ValueKind::Real);
+        assert_eq!(s("x").kind(), ValueKind::String);
+        assert_eq!(U.kind(), ValueKind::Undefined);
+        assert_eq!(Value::list(vec![]).kind(), ValueKind::List);
+        assert_eq!(format!("{}", ValueKind::Ad), "classad");
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(i(3).as_f64(), Some(3.0));
+        assert_eq!(r(0.5).as_f64(), Some(0.5));
+        assert_eq!(s("x").as_f64(), None);
+        assert_eq!(b(true).as_bool(), Some(true));
+        assert_eq!(Value::list(vec![i(1)]).as_list().map(|l| l.len()), Some(1));
+    }
+}

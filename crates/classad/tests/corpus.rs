@@ -1,0 +1,231 @@
+//! Golden-corpus test: a breadth of realistic classads (machines, jobs,
+//! licenses, storage, queries, gang envelopes) pushed through the whole
+//! pipeline — parse, evaluate, match, pretty-print round-trip, JSON
+//! round-trip — with expected match outcomes pinned.
+
+use classad::{
+    evaluate_match, parse_classad, parse_classads, symmetric_match, ClassAd, EvalPolicy,
+    MatchConventions, Value,
+};
+
+const CORPUS: &str = r#"
+// -- a dedicated compute node ------------------------------------------
+[
+    Name = "crush.cs.wisc.edu";
+    Type = "Machine";
+    Arch = "INTEL"; OpSys = "LINUX";
+    Mips = 210; KFlops = 41900; Memory = 256; Disk = 2000000;
+    State = "Unclaimed"; LoadAvg = 0.01; KeyboardIdle = 999999;
+    Subnet = "128.105.165";
+    Constraint = other.Type == "Job";
+    Rank = other.Department is "CS" ? 5 : 0;
+]
+
+// -- a desktop with an elaborate owner policy --------------------------
+[
+    Name = "vger.cs.wisc.edu";
+    Type = "Machine";
+    Arch = "SPARC"; OpSys = "SOLARIS251";
+    Mips = 80; Memory = 128; Disk = 450000;
+    State = "Unclaimed"; LoadAvg = 0.12; KeyboardIdle = 2400;
+    DayTime = 81000;  // 22:30
+    Friends = { "pruyne", "epema" };
+    Constraint = other.Type == "Job" &&
+                 (member(other.Owner, Friends)
+                  || (DayTime < 7*60*60 || DayTime > 20*60*60));
+    Rank = member(other.Owner, Friends);
+]
+
+// -- a software license ------------------------------------------------
+[
+    Name = "matlab-license-3";
+    Type = "License";
+    Product = "matlab"; Version = 5; Seats = 2;
+    Constraint = other.Type == "Job" && other.WantMatlab is true;
+    Rank = 0;
+]
+
+// -- a storage server ---------------------------------------------------
+[
+    Name = "vault.cs.wisc.edu";
+    Type = "Storage";
+    CapacityGB = 400; FreeGB = 212;
+    Subnet = "128.105.165";
+    Constraint = other.NeedGB <= FreeGB;
+    Rank = -other.NeedGB;   // prefer small requests
+]
+
+// -- a checkpointing batch job -----------------------------------------
+[
+    Name = "epema.sim.12";
+    Type = "Job";
+    Owner = "epema"; Department = "CS";
+    Cmd = "flock_sim"; Args = "-n 1000";
+    Memory = 96; WantCheckpoint = 1;
+    ImageSize = 48210;
+    Constraint = other.Type == "Machine" && other.Memory >= self.Memory
+                 && other.OpSys == "SOLARIS251";
+    Rank = other.Mips + (other.KeyboardIdle / 60);
+]
+
+// -- a picky job nobody can serve --------------------------------------
+[
+    Name = "doomed.1";
+    Type = "Job";
+    Owner = "doomed";
+    Constraint = other.Type == "Machine" && other.Memory >= 100000;
+    Rank = 0;
+]
+
+// -- an administrative query (one-way) ----------------------------------
+[
+    Name = "status-probe";
+    Constraint = other.State == "Unclaimed" && other.LoadAvg < 0.3;
+]
+"#;
+
+fn corpus() -> Vec<ClassAd> {
+    parse_classads(CORPUS).expect("corpus parses")
+}
+
+fn by_name<'a>(ads: &'a [ClassAd], name: &str) -> &'a ClassAd {
+    ads.iter()
+        .find(|a| a.get_string("Name") == Some(name))
+        .unwrap_or_else(|| panic!("{name} not in corpus"))
+}
+
+#[test]
+fn corpus_parses_completely() {
+    let ads = corpus();
+    assert_eq!(ads.len(), 7);
+    for ad in &ads {
+        assert!(ad.contains("Name"));
+        assert!(ad.contains("Constraint"));
+    }
+}
+
+#[test]
+fn corpus_round_trips_pretty_and_json() {
+    for ad in corpus() {
+        let back = parse_classad(&ad.to_string()).unwrap();
+        assert_eq!(ad, back, "pretty round-trip: {}", ad.get_string("Name").unwrap());
+        let back = classad::json::from_json(&classad::json::to_json(&ad)).unwrap();
+        assert_eq!(ad, back, "json round-trip: {}", ad.get_string("Name").unwrap());
+    }
+}
+
+#[test]
+fn pinned_match_outcomes() {
+    let ads = corpus();
+    let policy = EvalPolicy::default();
+    let conv = MatchConventions::default();
+    let cases: &[(&str, &str, bool)] = &[
+        // The CS job matches the SPARC/Solaris desktop (memory OK, night).
+        ("epema.sim.12", "vger.cs.wisc.edu", true),
+        // But not the Linux node (OpSys mismatch) even though it's willing.
+        ("epema.sim.12", "crush.cs.wisc.edu", false),
+        // The doomed job matches nothing.
+        ("doomed.1", "crush.cs.wisc.edu", false),
+        ("doomed.1", "vger.cs.wisc.edu", false),
+        // The license only accepts jobs that declare WantMatlab.
+        ("epema.sim.12", "matlab-license-3", false),
+        // Machines don't match machines.
+        ("crush.cs.wisc.edu", "vger.cs.wisc.edu", false),
+    ];
+    for (a, b, want) in cases {
+        let got = symmetric_match(by_name(&ads, a), by_name(&ads, b), &policy, &conv);
+        assert_eq!(got, *want, "{a} x {b}");
+    }
+}
+
+#[test]
+fn ranks_behave_as_designed() {
+    let ads = corpus();
+    let policy = EvalPolicy::default();
+    let conv = MatchConventions::default();
+    // epema is a friend of vger: rank 1 (friendship) on the machine side.
+    let r = evaluate_match(
+        by_name(&ads, "epema.sim.12"),
+        by_name(&ads, "vger.cs.wisc.edu"),
+        &policy,
+        &conv,
+    );
+    assert!(r.matched());
+    assert_eq!(r.right_rank, 1.0, "vger prefers friends");
+    // Job's rank of vger: Mips + KeyboardIdle/60 = 80 + 40 = 120.
+    assert_eq!(r.left_rank, 120.0);
+    // The storage server prefers smaller requests: rank is negative demand.
+    let mut req = parse_classad(
+        r#"[ Name = "stage"; Type = "Transfer"; NeedGB = 50; Constraint = true ]"#,
+    )
+    .unwrap();
+    let rank = classad::rank_of(by_name(&ads, "vault.cs.wisc.edu"), &req, &policy, &conv);
+    assert_eq!(rank, -50.0);
+    req.set_int("NeedGB", 10);
+    let rank2 = classad::rank_of(by_name(&ads, "vault.cs.wisc.edu"), &req, &policy, &conv);
+    assert!(rank2 > rank, "smaller request ranks higher");
+}
+
+#[test]
+fn wantmatlab_is_comparison_gates_license() {
+    let ads = corpus();
+    let policy = EvalPolicy::default();
+    let conv = MatchConventions::default();
+    let lic = by_name(&ads, "matlab-license-3");
+    let mut job = parse_classad(
+        r#"[ Name = "j"; Type = "Job"; Owner = "u"; WantMatlab = true;
+             Constraint = other.Type == "License" && other.Product == "MATLAB" ]"#,
+    )
+    .unwrap();
+    // Product comparison is case-insensitive (==), WantMatlab `is true`.
+    assert!(symmetric_match(&job, lic, &policy, &conv));
+    // `is` is exact: WantMatlab = 1 (integer) does NOT satisfy `is true`.
+    job.set_int("WantMatlab", 1);
+    assert!(!symmetric_match(&job, lic, &policy, &conv));
+}
+
+#[test]
+fn one_way_query_semantics_over_corpus() {
+    let ads = corpus();
+    let policy = EvalPolicy::default();
+    let conv = MatchConventions::default();
+    let probe = by_name(&ads, "status-probe");
+    let hits: Vec<&str> = ads
+        .iter()
+        .filter(|target| classad::constraint_holds(probe, target, &policy, &conv))
+        .map(|t| t.get_string("Name").unwrap())
+        .collect();
+    assert_eq!(hits, vec!["crush.cs.wisc.edu", "vger.cs.wisc.edu"]);
+}
+
+#[test]
+fn storage_constraint_uses_fallback_resolution() {
+    // `other.NeedGB <= FreeGB`: FreeGB resolves in the storage ad itself.
+    let ads = corpus();
+    let policy = EvalPolicy::default();
+    let vault = by_name(&ads, "vault.cs.wisc.edu");
+    let small = parse_classad(r#"[ Name = "s"; NeedGB = 100; Constraint = true ]"#).unwrap();
+    let big = parse_classad(r#"[ Name = "b"; NeedGB = 300; Constraint = true ]"#).unwrap();
+    let conv = MatchConventions::default();
+    assert!(classad::constraint_holds(vault, &small, &policy, &conv));
+    assert!(!classad::constraint_holds(vault, &big, &policy, &conv));
+}
+
+#[test]
+fn corpus_evaluation_values_spot_checks() {
+    let ads = corpus();
+    let policy = EvalPolicy::default();
+    let vger = by_name(&ads, "vger.cs.wisc.edu");
+    assert_eq!(vger.eval_attr("DayTime", &policy), Value::Int(81_000));
+    // 22:30 is after 20:00, so the night clause holds for strangers.
+    let stranger = parse_classad(
+        r#"[ Name = "x"; Type = "Job"; Owner = "nobody"; Constraint = true ]"#,
+    )
+    .unwrap();
+    assert!(classad::constraint_holds(
+        vger,
+        &stranger,
+        &policy,
+        &MatchConventions::default()
+    ));
+}

@@ -1,0 +1,233 @@
+//! The ad store: the matchmaker's only state.
+//!
+//! The matchmaker holds *soft* state — ads with leases that lapse unless
+//! refreshed. This is what makes the service effectively stateless with
+//! respect to matches (paper §3.2): losing the store loses nothing that the
+//! next round of periodic advertisements does not restore.
+
+use crate::protocol::{Advertisement, AdvertisingProtocol, EntityKind, ProtocolError, Timestamp};
+use crate::ticket::Ticket;
+use classad::{ClassAd, EvalPolicy, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A stored advertisement, frozen behind `Arc` so match scans can snapshot
+/// the pool without copying ads.
+#[derive(Debug, Clone)]
+pub struct StoredAd {
+    /// Entity name (from the ad's `Name` attribute), original spelling.
+    pub name: String,
+    /// Provider or customer.
+    pub kind: EntityKind,
+    /// The classad.
+    pub ad: Arc<ClassAd>,
+    /// Contact address for claiming.
+    pub contact: String,
+    /// Provider's authorization ticket, if any.
+    pub ticket: Option<Ticket>,
+    /// Lease expiry (absolute seconds).
+    pub expires_at: Timestamp,
+    /// Monotone sequence number: larger = fresher.
+    pub seq: u64,
+}
+
+/// In-memory ad store keyed by `(kind, lowercase name)`.
+///
+/// Re-advertising under the same name *replaces* the old ad (and renews the
+/// lease); ads whose lease lapses are dropped by [`AdStore::expire`].
+#[derive(Debug, Default)]
+pub struct AdStore {
+    ads: HashMap<(EntityKind, String), StoredAd>,
+    next_seq: u64,
+    eval_policy: EvalPolicy,
+}
+
+impl AdStore {
+    /// Create an empty store.
+    pub fn new() -> Self {
+        AdStore::default()
+    }
+
+    /// Number of live ads (including any whose lease has lapsed but which
+    /// have not yet been swept by [`AdStore::expire`]).
+    pub fn len(&self) -> usize {
+        self.ads.len()
+    }
+
+    /// `true` if no ads are stored.
+    pub fn is_empty(&self) -> bool {
+        self.ads.is_empty()
+    }
+
+    /// Admit an advertisement, validating it against the advertising
+    /// protocol. Returns the entity's name key.
+    pub fn advertise(
+        &mut self,
+        adv: Advertisement,
+        now: Timestamp,
+        proto: &AdvertisingProtocol,
+    ) -> Result<String, ProtocolError> {
+        proto.validate(&adv, now)?;
+        let name = match adv.ad.eval_attr("Name", &self.eval_policy) {
+            Value::Str(s) => s.to_string(),
+            _ => return Err(ProtocolError::MissingAttribute("Name".into())),
+        };
+        let key = (adv.kind, name.to_ascii_lowercase());
+        self.next_seq += 1;
+        let stored = StoredAd {
+            name: name.clone(),
+            kind: adv.kind,
+            ad: Arc::new(adv.ad),
+            contact: adv.contact,
+            ticket: adv.ticket,
+            expires_at: adv.expires_at,
+            seq: self.next_seq,
+        };
+        self.ads.insert(key, stored);
+        Ok(name)
+    }
+
+    /// Remove an entity's ad (e.g. clean shutdown). Returns `true` if it
+    /// was present.
+    pub fn withdraw(&mut self, kind: EntityKind, name: &str) -> bool {
+        self.ads.remove(&(kind, name.to_ascii_lowercase())).is_some()
+    }
+
+    /// Look up an ad by kind and name.
+    pub fn get(&self, kind: EntityKind, name: &str) -> Option<&StoredAd> {
+        self.ads.get(&(kind, name.to_ascii_lowercase()))
+    }
+
+    /// Drop all ads whose lease has lapsed. Returns how many were dropped.
+    pub fn expire(&mut self, now: Timestamp) -> usize {
+        let before = self.ads.len();
+        self.ads.retain(|_, s| s.expires_at > now);
+        before - self.ads.len()
+    }
+
+    /// Snapshot the live ads of one kind, freshest first. The `Arc`s make
+    /// this cheap; match scans work on the snapshot while new ads arrive.
+    pub fn snapshot(&self, kind: EntityKind, now: Timestamp) -> Vec<StoredAd> {
+        let mut v: Vec<StoredAd> = self
+            .ads
+            .values()
+            .filter(|s| s.kind == kind && s.expires_at > now)
+            .cloned()
+            .collect();
+        v.sort_by_key(|s| std::cmp::Reverse(s.seq));
+        v
+    }
+
+    /// Iterate over all stored ads.
+    pub fn iter(&self) -> impl Iterator<Item = &StoredAd> {
+        self.ads.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use classad::parse_classad;
+
+    fn adv(name: &str, kind: EntityKind, expires_at: Timestamp) -> Advertisement {
+        let ad = parse_classad(&format!(
+            r#"[ Name = "{name}"; Constraint = true; Rank = 0 ]"#
+        ))
+        .unwrap();
+        Advertisement { kind, ad, contact: format!("{name}:1"), ticket: None, expires_at }
+    }
+
+    fn proto() -> AdvertisingProtocol {
+        AdvertisingProtocol::default()
+    }
+
+    #[test]
+    fn advertise_and_get() {
+        let mut store = AdStore::new();
+        let name = store.advertise(adv("leonardo", EntityKind::Provider, 100), 0, &proto()).unwrap();
+        assert_eq!(name, "leonardo");
+        assert_eq!(store.len(), 1);
+        let s = store.get(EntityKind::Provider, "LEONARDO").unwrap();
+        assert_eq!(s.name, "leonardo");
+        assert_eq!(s.contact, "leonardo:1");
+    }
+
+    #[test]
+    fn same_name_different_kind_coexist() {
+        let mut store = AdStore::new();
+        store.advertise(adv("x", EntityKind::Provider, 100), 0, &proto()).unwrap();
+        store.advertise(adv("x", EntityKind::Customer, 100), 0, &proto()).unwrap();
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn readvertise_replaces_and_renews() {
+        let mut store = AdStore::new();
+        store.advertise(adv("m", EntityKind::Provider, 50), 0, &proto()).unwrap();
+        let first_seq = store.get(EntityKind::Provider, "m").unwrap().seq;
+        store.advertise(adv("m", EntityKind::Provider, 150), 10, &proto()).unwrap();
+        assert_eq!(store.len(), 1);
+        let s = store.get(EntityKind::Provider, "m").unwrap();
+        assert!(s.seq > first_seq);
+        assert_eq!(s.expires_at, 150);
+    }
+
+    #[test]
+    fn expire_sweeps_lapsed_leases() {
+        let mut store = AdStore::new();
+        store.advertise(adv("a", EntityKind::Provider, 50), 0, &proto()).unwrap();
+        store.advertise(adv("b", EntityKind::Provider, 150), 0, &proto()).unwrap();
+        assert_eq!(store.expire(100), 1);
+        assert_eq!(store.len(), 1);
+        assert!(store.get(EntityKind::Provider, "a").is_none());
+        assert!(store.get(EntityKind::Provider, "b").is_some());
+    }
+
+    #[test]
+    fn snapshot_filters_kind_and_lease_and_orders_by_freshness() {
+        let mut store = AdStore::new();
+        store.advertise(adv("old", EntityKind::Provider, 150), 0, &proto()).unwrap();
+        store.advertise(adv("lapsed", EntityKind::Provider, 60), 0, &proto()).unwrap();
+        store.advertise(adv("fresh", EntityKind::Provider, 150), 0, &proto()).unwrap();
+        store.advertise(adv("job", EntityKind::Customer, 150), 0, &proto()).unwrap();
+        let snap = store.snapshot(EntityKind::Provider, 100);
+        let names: Vec<&str> = snap.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["fresh", "old"]);
+    }
+
+    #[test]
+    fn withdraw_removes() {
+        let mut store = AdStore::new();
+        store.advertise(adv("m", EntityKind::Provider, 100), 0, &proto()).unwrap();
+        assert!(store.withdraw(EntityKind::Provider, "M"));
+        assert!(!store.withdraw(EntityKind::Provider, "M"));
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn validation_errors_propagate() {
+        let mut store = AdStore::new();
+        let mut bad = adv("m", EntityKind::Provider, 100);
+        bad.ad.remove("Name");
+        assert!(store.advertise(bad, 0, &proto()).is_err());
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn computed_name_is_evaluated() {
+        let mut store = AdStore::new();
+        let ad = parse_classad(
+            r#"[ Base = "node"; Name = strcat(Base, "-", 7); Constraint = true ]"#,
+        )
+        .unwrap();
+        let a = Advertisement {
+            kind: EntityKind::Provider,
+            ad,
+            contact: "c:1".into(),
+            ticket: None,
+            expires_at: 100,
+        };
+        let name = store.advertise(a, 0, &proto()).unwrap();
+        assert_eq!(name, "node-7");
+    }
+}

@@ -1,0 +1,182 @@
+//! Stream framing for protocol messages.
+//!
+//! [`Message::encode`] produces a self-contained frame; this module adds
+//! the length-prefix layer needed to carry frames over a byte stream
+//! (TCP-like transports): a 4-byte big-endian length followed by the
+//! frame body. [`FrameDecoder`] accepts arbitrarily fragmented input and
+//! yields complete messages as they become available.
+
+use crate::protocol::{Message, ProtocolError};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Upper bound on a single frame. A classad-bearing message is a few KB;
+/// anything beyond this is a corrupt stream or an attack, and the decoder
+/// refuses it rather than buffering unboundedly.
+pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
+/// Encode a message with its length prefix.
+pub fn encode_framed(msg: &Message) -> Bytes {
+    let body = msg.encode();
+    let mut out = BytesMut::with_capacity(4 + body.len());
+    out.put_u32(body.len() as u32);
+    out.put_slice(&body);
+    out.freeze()
+}
+
+/// Incremental decoder for a stream of length-prefixed frames.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: BytesMut,
+    poisoned: bool,
+}
+
+impl FrameDecoder {
+    /// A fresh decoder.
+    pub fn new() -> Self {
+        FrameDecoder::default()
+    }
+
+    /// Feed received bytes into the decoder.
+    pub fn push(&mut self, data: &[u8]) {
+        self.buf.put_slice(data);
+    }
+
+    /// Bytes currently buffered (awaiting a complete frame).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Try to decode the next complete message. `Ok(None)` means "need
+    /// more bytes". After any `Err` the stream is poisoned: framing sync
+    /// is lost and every subsequent call errors.
+    pub fn next_message(&mut self) -> Result<Option<Message>, ProtocolError> {
+        if self.poisoned {
+            return Err(ProtocolError::BadFrame("stream poisoned by earlier error".into()));
+        }
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
+        if len > MAX_FRAME_LEN {
+            self.poisoned = true;
+            return Err(ProtocolError::BadFrame(format!(
+                "frame of {len} bytes exceeds the {MAX_FRAME_LEN}-byte limit"
+            )));
+        }
+        if self.buf.len() < 4 + len {
+            return Ok(None);
+        }
+        self.buf.advance(4);
+        let body = self.buf.split_to(len).freeze();
+        match Message::decode(body) {
+            Ok(m) => Ok(Some(m)),
+            Err(e) => {
+                self.poisoned = true;
+                Err(e)
+            }
+        }
+    }
+
+    /// Drain all currently-decodable messages.
+    pub fn drain(&mut self) -> Result<Vec<Message>, ProtocolError> {
+        let mut out = Vec::new();
+        while let Some(m) = self.next_message()? {
+            out.push(m);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{Advertisement, EntityKind};
+    use crate::ticket::Ticket;
+
+    fn sample_messages() -> Vec<Message> {
+        let ad = classad::parse_classad(
+            r#"[ Name = "m"; Type = "Machine"; Constraint = other.Type == "Job" ]"#,
+        )
+        .unwrap();
+        vec![
+            Message::Advertise(Advertisement {
+                kind: EntityKind::Provider,
+                ad,
+                contact: "m:9614".into(),
+                ticket: Some(Ticket::from_raw(1)),
+                expires_at: 100,
+            }),
+            Message::Release { ticket: Ticket::from_raw(2) },
+            Message::Release { ticket: Ticket::from_raw(3) },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_single_frame() {
+        let msgs = sample_messages();
+        let mut dec = FrameDecoder::new();
+        dec.push(&encode_framed(&msgs[0]));
+        assert_eq!(dec.next_message().unwrap(), Some(msgs[0].clone()));
+        assert_eq!(dec.next_message().unwrap(), None);
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn multiple_frames_in_one_push() {
+        let msgs = sample_messages();
+        let mut wire = Vec::new();
+        for m in &msgs {
+            wire.extend_from_slice(&encode_framed(m));
+        }
+        let mut dec = FrameDecoder::new();
+        dec.push(&wire);
+        assert_eq!(dec.drain().unwrap(), msgs);
+    }
+
+    #[test]
+    fn byte_at_a_time_fragmentation() {
+        let msgs = sample_messages();
+        let mut wire = Vec::new();
+        for m in &msgs {
+            wire.extend_from_slice(&encode_framed(m));
+        }
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for b in wire {
+            dec.push(&[b]);
+            while let Some(m) = dec.next_message().unwrap() {
+                got.push(m);
+            }
+        }
+        assert_eq!(got, msgs);
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn oversized_frame_rejected_and_poisons() {
+        let mut dec = FrameDecoder::new();
+        dec.push(&(u32::MAX).to_be_bytes());
+        assert!(dec.next_message().is_err());
+        // Even valid data afterwards is refused: sync is lost.
+        dec.push(&encode_framed(&sample_messages()[1]));
+        assert!(dec.next_message().is_err());
+    }
+
+    #[test]
+    fn corrupt_body_poisons() {
+        let mut dec = FrameDecoder::new();
+        dec.push(&4u32.to_be_bytes());
+        dec.push(&[0xFF, 0xFF, 0xFF, 0xFF]);
+        assert!(dec.next_message().is_err());
+        assert!(dec.next_message().is_err());
+    }
+
+    #[test]
+    fn partial_prefix_waits() {
+        let mut dec = FrameDecoder::new();
+        dec.push(&[0, 0]);
+        assert_eq!(dec.next_message().unwrap(), None);
+        dec.push(&[0, 0]); // length = 0 -> empty body -> decode error
+        assert!(dec.next_message().is_err());
+    }
+}

@@ -1,0 +1,289 @@
+//! The match engine: scan a pool of offer ads for the best match to a
+//! request ad.
+//!
+//! The selection rule is the paper's (§3.2): among provider ads whose
+//! constraints are mutually satisfied with the customer ad, choose the one
+//! with the highest customer (`Rank`) value, "breaking ties according to
+//! the provider's Rank value". Remaining ties go to the lowest index, which
+//! in a freshest-first snapshot means the most recently advertised offer —
+//! and, crucially, makes serial and parallel scans return identical
+//! results.
+//!
+//! Scans are embarrassingly parallel over the offer list; the parallel
+//! implementation chunks the slice across crossbeam scoped threads, each
+//! reducing to a local best, followed by a final reduce. Data-race freedom
+//! is by construction: ads are shared immutably (`Arc<ClassAd>`), and each
+//! thread writes only its own slot.
+
+use classad::{constraint_holds, rank_of, ClassAd, EvalPolicy, MatchConventions};
+use std::sync::Arc;
+
+/// A scored candidate from a match scan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Candidate {
+    /// Index into the offers slice.
+    pub index: usize,
+    /// The request's rank of this offer.
+    pub request_rank: f64,
+    /// The offer's rank of the request.
+    pub offer_rank: f64,
+}
+
+impl Candidate {
+    /// The deterministic "better" relation: higher request rank, then
+    /// higher offer rank, then lower index.
+    fn better_than(&self, other: &Candidate) -> bool {
+        (self.request_rank, self.offer_rank, std::cmp::Reverse(self.index))
+            > (other.request_rank, other.offer_rank, std::cmp::Reverse(other.index))
+    }
+}
+
+/// Configuration and entry points for match scans.
+#[derive(Debug, Clone, Default)]
+pub struct MatchEngine {
+    /// Evaluation policy used for constraint/rank evaluation.
+    pub policy: EvalPolicy,
+    /// Attribute-name conventions (`Constraint`/`Requirements`, `Rank`).
+    pub conventions: MatchConventions,
+}
+
+impl MatchEngine {
+    /// Create an engine with default policy and conventions.
+    pub fn new() -> Self {
+        MatchEngine::default()
+    }
+
+    /// Score one request/offer pair, if they match symmetrically.
+    pub fn score(&self, request: &ClassAd, offer: &ClassAd, index: usize) -> Option<Candidate> {
+        if !constraint_holds(request, offer, &self.policy, &self.conventions) {
+            return None;
+        }
+        if !constraint_holds(offer, request, &self.policy, &self.conventions) {
+            return None;
+        }
+        Some(Candidate {
+            index,
+            request_rank: rank_of(request, offer, &self.policy, &self.conventions),
+            offer_rank: rank_of(offer, request, &self.policy, &self.conventions),
+        })
+    }
+
+    /// Serial scan: the best-ranked matching offer, or `None`.
+    ///
+    /// `eligible` filters offers before evaluation (e.g. "not already
+    /// claimed this cycle"); pass `|_| true` to consider all.
+    pub fn best_match(
+        &self,
+        request: &ClassAd,
+        offers: &[Arc<ClassAd>],
+        eligible: impl Fn(usize) -> bool,
+    ) -> Option<Candidate> {
+        let mut best: Option<Candidate> = None;
+        for (i, offer) in offers.iter().enumerate() {
+            if !eligible(i) {
+                continue;
+            }
+            if let Some(c) = self.score(request, offer, i) {
+                if best.as_ref().is_none_or(|b| c.better_than(b)) {
+                    best = Some(c);
+                }
+            }
+        }
+        best
+    }
+
+    /// Parallel scan over `threads` workers. Returns exactly what
+    /// [`MatchEngine::best_match`] returns.
+    ///
+    /// The eligibility predicate must be `Sync` since all workers consult
+    /// it.
+    pub fn best_match_parallel(
+        &self,
+        request: &ClassAd,
+        offers: &[Arc<ClassAd>],
+        threads: usize,
+        eligible: impl Fn(usize) -> bool + Sync,
+    ) -> Option<Candidate> {
+        let threads = threads.max(1);
+        if threads == 1 || offers.len() < 2 * threads {
+            return self.best_match(request, offers, eligible);
+        }
+        let chunk = offers.len().div_ceil(threads);
+        let mut locals: Vec<Option<Candidate>> = vec![None; threads];
+        crossbeam::scope(|s| {
+            for (t, (slot, part)) in locals.iter_mut().zip(offers.chunks(chunk)).enumerate() {
+                let eligible = &eligible;
+                s.spawn(move |_| {
+                    let base = t * chunk;
+                    let mut best: Option<Candidate> = None;
+                    for (i, offer) in part.iter().enumerate() {
+                        let global = base + i;
+                        if !eligible(global) {
+                            continue;
+                        }
+                        if let Some(c) = self.score(request, offer, global) {
+                            if best.as_ref().is_none_or(|b| c.better_than(b)) {
+                                best = Some(c);
+                            }
+                        }
+                    }
+                    *slot = best;
+                });
+            }
+        })
+        .expect("match scan worker panicked");
+        locals
+            .into_iter()
+            .flatten()
+            .fold(None, |acc: Option<Candidate>, c| match acc {
+                Some(b) if b.better_than(&c) => Some(b),
+                _ => Some(c),
+            })
+    }
+
+    /// All matching offers, in index order (used by one-way queries and
+    /// gang matching).
+    pub fn all_matches(
+        &self,
+        request: &ClassAd,
+        offers: &[Arc<ClassAd>],
+    ) -> Vec<Candidate> {
+        offers
+            .iter()
+            .enumerate()
+            .filter_map(|(i, o)| self.score(request, o, i))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use classad::parse_classad;
+
+    fn mk(src: &str) -> Arc<ClassAd> {
+        Arc::new(parse_classad(src).unwrap())
+    }
+
+    fn machines(mips: &[i64]) -> Vec<Arc<ClassAd>> {
+        mips.iter()
+            .enumerate()
+            .map(|(i, m)| {
+                mk(&format!(
+                    r#"[ Name = "m{i}"; Type = "Machine"; Mips = {m};
+                        Constraint = other.Type == "Job"; Rank = 0 ]"#
+                ))
+            })
+            .collect()
+    }
+
+    fn job() -> Arc<ClassAd> {
+        mk(r#"[ Name = "j"; Type = "Job";
+                Constraint = other.Type == "Machine";
+                Rank = other.Mips ]"#)
+    }
+
+    #[test]
+    fn picks_highest_request_rank() {
+        let engine = MatchEngine::new();
+        let offers = machines(&[10, 104, 50]);
+        let best = engine.best_match(&job(), &offers, |_| true).unwrap();
+        assert_eq!(best.index, 1);
+        assert_eq!(best.request_rank, 104.0);
+    }
+
+    #[test]
+    fn offer_rank_breaks_ties() {
+        let engine = MatchEngine::new();
+        let offers = vec![
+            mk(r#"[ Name = "a"; Type = "Machine"; Mips = 100;
+                    Constraint = true; Rank = 1 ]"#),
+            mk(r#"[ Name = "b"; Type = "Machine"; Mips = 100;
+                    Constraint = true; Rank = 5 ]"#),
+        ];
+        let best = engine.best_match(&job(), &offers, |_| true).unwrap();
+        assert_eq!(best.index, 1, "provider rank 5 beats 1");
+        assert_eq!(best.offer_rank, 5.0);
+    }
+
+    #[test]
+    fn remaining_ties_go_to_lowest_index() {
+        let engine = MatchEngine::new();
+        let offers = machines(&[100, 100, 100]);
+        let best = engine.best_match(&job(), &offers, |_| true).unwrap();
+        assert_eq!(best.index, 0);
+    }
+
+    #[test]
+    fn no_match_when_constraints_fail() {
+        let engine = MatchEngine::new();
+        let offers = vec![mk(r#"[ Name = "m"; Type = "Machine"; Constraint = false ]"#)];
+        assert!(engine.best_match(&job(), &offers, |_| true).is_none());
+    }
+
+    #[test]
+    fn eligibility_filter_respected() {
+        let engine = MatchEngine::new();
+        let offers = machines(&[10, 104, 50]);
+        let best = engine.best_match(&job(), &offers, |i| i != 1).unwrap();
+        assert_eq!(best.index, 2, "104-mips machine excluded; 50 wins");
+    }
+
+    #[test]
+    fn empty_pool_matches_nothing() {
+        let engine = MatchEngine::new();
+        assert!(engine.best_match(&job(), &[], |_| true).is_none());
+    }
+
+    #[test]
+    fn all_matches_in_order() {
+        let engine = MatchEngine::new();
+        let mut offers = machines(&[10, 20]);
+        offers.push(mk(r#"[ Name = "no"; Type = "Machine"; Constraint = false ]"#));
+        let all = engine.all_matches(&job(), &offers);
+        let idx: Vec<usize> = all.iter().map(|c| c.index).collect();
+        assert_eq!(idx, vec![0, 1]);
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let engine = MatchEngine::new();
+        // Ranks with deliberate duplicates to exercise tie-breaking.
+        let mips: Vec<i64> = (0..500).map(|i| (i * 37) % 97).collect();
+        let offers = machines(&mips);
+        let j = job();
+        for threads in [1, 2, 3, 4, 8, 13] {
+            let serial = engine.best_match(&j, &offers, |_| true);
+            let parallel = engine.best_match_parallel(&j, &offers, threads, |_| true);
+            assert_eq!(serial, parallel, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_respects_eligibility() {
+        let engine = MatchEngine::new();
+        let mips: Vec<i64> = (0..200).map(|i| i as i64).collect();
+        let offers = machines(&mips);
+        let j = job();
+        let elig = |i: usize| i.is_multiple_of(3);
+        let serial = engine.best_match(&j, &offers, elig);
+        let parallel = engine.best_match_parallel(&j, &offers, 4, elig);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.unwrap().index, 198);
+    }
+
+    #[test]
+    fn bilateral_rejection_by_offer() {
+        // The offer vetoes customers it doesn't like — the novel half of
+        // the paper's matching model.
+        let engine = MatchEngine::new();
+        let offers = vec![mk(r#"[ Name = "m"; Type = "Machine"; Mips = 10;
+            Constraint = other.Owner != "riffraff" ]"#)];
+        let good = mk(r#"[ Name = "j"; Type = "Job"; Owner = "raman";
+            Constraint = other.Type == "Machine" ]"#);
+        let bad = mk(r#"[ Name = "j2"; Type = "Job"; Owner = "riffraff";
+            Constraint = other.Type == "Machine" ]"#);
+        assert!(engine.best_match(&good, &offers, |_| true).is_some());
+        assert!(engine.best_match(&bad, &offers, |_| true).is_none());
+    }
+}

@@ -1,0 +1,589 @@
+//! The negotiation cycle: the matchmaking algorithm plus the fair-matching
+//! policy (paper §4).
+//!
+//! "Periodically, the pool manager enters a negotiation cycle. This phase
+//! invokes the matchmaking algorithm, which determines which CAs require
+//! matchmaking services, obtains requests from these CAs, and matches them
+//! with compatible RA ads."
+//!
+//! Fairness is implemented in two cooperating layers:
+//!
+//! * **across cycles** — past usage decays into an effective user priority
+//!   ([`crate::priority`]), and users are served best-priority-first;
+//! * **within a cycle** — users are served in *rounds* (one request per
+//!   user per round), so a user with a thousand queued jobs cannot starve
+//!   everyone behind them in a single cycle.
+//!
+//! Preemption follows the paper's model: a claimed resource "may also send
+//! an ad when it starts running the job, indicating that although the
+//! workstation is currently busy, it is still interested in hearing from
+//! higher priority customers. The specification of what constitutes higher
+//! priority is completely under the control of the RA" — i.e. a claimed
+//! offer is matched only when the offer's *own* `Rank` of the new request
+//! strictly exceeds its rank of the current claimant (advertised as
+//! `CurrentRank`).
+
+use crate::admanager::{AdStore, StoredAd};
+use crate::matcher::{Candidate, MatchEngine};
+use crate::priority::PriorityTracker;
+use crate::protocol::{EntityKind, MatchNotification, Timestamp};
+use crate::ticket::Ticket;
+use classad::{ClassAd, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Attribute names the negotiator reads from ads (beyond the match
+/// conventions).
+const ATTR_OWNER: &str = "Owner";
+const ATTR_STATE: &str = "State";
+const ATTR_CURRENT_RANK: &str = "CurrentRank";
+const ATTR_REMOTE_OWNER: &str = "RemoteOwner";
+const STATE_CLAIMED: &str = "Claimed";
+
+/// Negotiator tunables.
+#[derive(Debug, Clone)]
+pub struct NegotiatorConfig {
+    /// Worker threads for the match scan (1 = serial).
+    pub threads: usize,
+    /// Whether claimed resources may be matched to better-ranked requests.
+    pub preemption: bool,
+    /// How much the offer must prefer the new request over its current
+    /// claimant (`offer_rank > CurrentRank + margin`).
+    pub preemption_rank_margin: f64,
+    /// Usage (resource-seconds) charged to a user per successful match, as
+    /// an advance estimate; agents report actual usage later through
+    /// [`Negotiator::charge_usage`].
+    pub charge_per_match: f64,
+}
+
+impl Default for NegotiatorConfig {
+    fn default() -> Self {
+        NegotiatorConfig {
+            threads: 1,
+            preemption: true,
+            preemption_rank_margin: 0.0,
+            charge_per_match: 0.0,
+        }
+    }
+}
+
+/// One match produced by a negotiation cycle.
+#[derive(Debug, Clone)]
+pub struct MatchRecord {
+    /// Customer-side (request) ad name.
+    pub request_name: String,
+    /// The request's owner (user).
+    pub owner: String,
+    /// The request ad as matched.
+    pub request_ad: Arc<ClassAd>,
+    /// Customer contact address.
+    pub customer_contact: String,
+    /// Provider-side (offer) ad name.
+    pub offer_name: String,
+    /// The offer ad as matched.
+    pub offer_ad: Arc<ClassAd>,
+    /// Provider contact address.
+    pub provider_contact: String,
+    /// Provider's authorization ticket to relay to the customer.
+    pub ticket: Option<Ticket>,
+    /// The request's rank of the offer.
+    pub request_rank: f64,
+    /// The offer's rank of the request.
+    pub offer_rank: f64,
+    /// If this match preempts a running claim, the displaced user.
+    pub preempts: Option<String>,
+}
+
+impl MatchRecord {
+    /// Build the two step-3 notifications (customer copy carries the
+    /// ticket; provider copy does not need it).
+    pub fn notifications(&self) -> (MatchNotification, MatchNotification) {
+        let to_customer = MatchNotification {
+            own_ad: (*self.request_ad).clone(),
+            peer_ad: (*self.offer_ad).clone(),
+            peer_contact: self.provider_contact.clone(),
+            ticket: self.ticket,
+        };
+        let to_provider = MatchNotification {
+            own_ad: (*self.offer_ad).clone(),
+            peer_ad: (*self.request_ad).clone(),
+            peer_contact: self.customer_contact.clone(),
+            ticket: None,
+        };
+        (to_customer, to_provider)
+    }
+}
+
+/// Aggregate statistics for one cycle.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CycleStats {
+    /// Requests in the store at cycle start.
+    pub requests_considered: usize,
+    /// Offers in the store at cycle start.
+    pub offers_considered: usize,
+    /// Matches produced.
+    pub matches: usize,
+    /// Of which preemptions.
+    pub preemptions: usize,
+    /// Requests that found no compatible offer.
+    pub unmatched_requests: usize,
+    /// Distinct users that received at least one match.
+    pub users_served: usize,
+    /// Fairness rounds executed.
+    pub rounds: usize,
+}
+
+/// The outcome of a negotiation cycle.
+#[derive(Debug, Clone, Default)]
+pub struct CycleOutcome {
+    /// Matches, in the order they were granted.
+    pub matches: Vec<MatchRecord>,
+    /// Statistics.
+    pub stats: CycleStats,
+}
+
+/// The pool manager's negotiator.
+#[derive(Debug, Default)]
+pub struct Negotiator {
+    /// The match engine (evaluation policy + conventions).
+    pub engine: MatchEngine,
+    /// The fair-share priority tracker.
+    pub priorities: PriorityTracker,
+    /// Tunables.
+    pub config: NegotiatorConfig,
+}
+
+impl Negotiator {
+    /// Create a negotiator with default engine, priorities, and config.
+    pub fn new(config: NegotiatorConfig) -> Self {
+        Negotiator { engine: MatchEngine::new(), priorities: PriorityTracker::default(), config }
+    }
+
+    /// Report actual resource usage (resource-seconds) for a user, e.g.
+    /// when a claim is released.
+    pub fn charge_usage(&mut self, user: &str, seconds: f64, now: Timestamp) {
+        self.priorities.charge(user, seconds, now);
+    }
+
+    fn string_attr(&self, ad: &ClassAd, name: &str) -> Option<String> {
+        match ad.eval_attr(name, &self.engine.policy) {
+            Value::Str(s) => Some(s.to_string()),
+            _ => None,
+        }
+    }
+
+    fn number_attr(&self, ad: &ClassAd, name: &str) -> Option<f64> {
+        ad.eval_attr(name, &self.engine.policy).as_f64()
+    }
+
+    /// Run one negotiation cycle over the ads in `store` at time `now`.
+    pub fn negotiate(&mut self, store: &AdStore, now: Timestamp) -> CycleOutcome {
+        let offers: Vec<StoredAd> = store.snapshot(EntityKind::Provider, now);
+        let mut requests: Vec<StoredAd> = store.snapshot(EntityKind::Customer, now);
+        // Multi-port (gang) requests are served by the gang matcher (see
+        // the `gangmatch` crate), not the bilateral algorithm: a request
+        // with a `Ports` list must be granted atomically or not at all.
+        requests.retain(|r| !r.ad.contains("Ports"));
+        // FIFO within a user: oldest advertisement first.
+        requests.sort_by_key(|r| r.seq);
+
+        let offer_ads: Vec<Arc<ClassAd>> = offers.iter().map(|o| o.ad.clone()).collect();
+        // Which offers are already claimed (per their own advertised state),
+        // and at what rank they value their current claimant.
+        let claimed_rank: Vec<Option<f64>> = offers
+            .iter()
+            .map(|o| {
+                let state = self.string_attr(&o.ad, ATTR_STATE);
+                if state.as_deref() == Some(STATE_CLAIMED) {
+                    Some(self.number_attr(&o.ad, ATTR_CURRENT_RANK).unwrap_or(0.0))
+                } else {
+                    None
+                }
+            })
+            .collect();
+
+        // Group request indices by owner.
+        let mut by_owner: HashMap<String, Vec<usize>> = HashMap::new();
+        for (i, r) in requests.iter().enumerate() {
+            let owner =
+                self.string_attr(&r.ad, ATTR_OWNER).unwrap_or_else(|| "<unknown>".to_string());
+            by_owner.entry(owner).or_default().push(i);
+        }
+        let users =
+            self.priorities.order_users(by_owner.keys().map(|s| s.as_str()), now);
+
+        let mut outcome = CycleOutcome::default();
+        outcome.stats.requests_considered = requests.len();
+        outcome.stats.offers_considered = offers.len();
+
+        let mut taken = vec![false; offers.len()];
+        let mut cursor: HashMap<&str, usize> = HashMap::new();
+        let mut served_users: HashMap<String, bool> = HashMap::new();
+        let mut no_match: usize = 0;
+
+        // Fairness rounds: one request per user per round, best-priority
+        // user first, until a full round makes no progress.
+        loop {
+            let mut progress = false;
+            outcome.stats.rounds += 1;
+            for user in &users {
+                let Some(queue) = by_owner.get(user.as_str()) else { continue };
+                let pos = cursor.entry(user.as_str()).or_insert(0);
+                // Skip requests that already failed or matched.
+                if *pos >= queue.len() {
+                    continue;
+                }
+                let req_idx = queue[*pos];
+                *pos += 1;
+                progress = true;
+
+                let request = &requests[req_idx];
+                let preemption_on = self.config.preemption;
+                let margin = self.config.preemption_rank_margin;
+
+                // A per-request scan with retry: the best-ranked offer may
+                // be claimed and not preemptible by this request, in which
+                // case it is excluded and the scan repeats.
+                let mut excluded: Vec<bool> = vec![false; offers.len()];
+                let chosen: Option<(Candidate, Option<String>)> = loop {
+                    // With preemption disabled, claimed offers can never be
+                    // granted: filter them up front rather than excluding
+                    // them one rescan at a time (keeps the no-preemption
+                    // cycle linear in the pool size).
+                    let eligible = |i: usize| {
+                        !taken[i]
+                            && !excluded[i]
+                            && (preemption_on || claimed_rank[i].is_none())
+                    };
+                    let best = if self.config.threads > 1 {
+                        self.engine.best_match_parallel(
+                            &request.ad,
+                            &offer_ads,
+                            self.config.threads,
+                            eligible,
+                        )
+                    } else {
+                        self.engine.best_match(&request.ad, &offer_ads, eligible)
+                    };
+                    match best {
+                        None => break None,
+                        Some(c) => match claimed_rank[c.index] {
+                            None => break Some((c, None)),
+                            Some(current) => {
+                                if preemption_on && c.offer_rank > current + margin {
+                                    let displaced =
+                                        self.string_attr(&offers[c.index].ad, ATTR_REMOTE_OWNER);
+                                    break Some((c, Some(displaced.unwrap_or_default())));
+                                }
+                                excluded[c.index] = true;
+                            }
+                        },
+                    }
+                };
+
+                match chosen {
+                    None => no_match += 1,
+                    Some((c, preempts)) => {
+                        taken[c.index] = true;
+                        let offer = &offers[c.index];
+                        if preempts.is_some() {
+                            outcome.stats.preemptions += 1;
+                        }
+                        served_users.insert(user.clone(), true);
+                        if self.config.charge_per_match > 0.0 {
+                            self.priorities.charge(user, self.config.charge_per_match, now);
+                        }
+                        outcome.matches.push(MatchRecord {
+                            request_name: request.name.clone(),
+                            owner: user.clone(),
+                            request_ad: request.ad.clone(),
+                            customer_contact: request.contact.clone(),
+                            offer_name: offer.name.clone(),
+                            offer_ad: offer.ad.clone(),
+                            provider_contact: offer.contact.clone(),
+                            ticket: offer.ticket,
+                            request_rank: c.request_rank,
+                            offer_rank: c.offer_rank,
+                            preempts,
+                        });
+                    }
+                }
+            }
+            if !progress {
+                break;
+            }
+        }
+
+        outcome.stats.matches = outcome.matches.len();
+        outcome.stats.unmatched_requests = no_match;
+        outcome.stats.users_served = served_users.len();
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{Advertisement, AdvertisingProtocol};
+    use classad::parse_classad;
+
+    fn proto() -> AdvertisingProtocol {
+        AdvertisingProtocol::default()
+    }
+
+    fn machine_ad(name: &str, mips: i64) -> Advertisement {
+        let ad = parse_classad(&format!(
+            r#"[ Name = "{name}"; Type = "Machine"; Mips = {mips};
+                State = "Unclaimed";
+                Constraint = other.Type == "Job"; Rank = 0 ]"#
+        ))
+        .unwrap();
+        Advertisement {
+            kind: EntityKind::Provider,
+            ad,
+            contact: format!("{name}:9614"),
+            ticket: Some(Ticket::from_raw(name.len() as u128)),
+            expires_at: 10_000,
+        }
+    }
+
+    fn claimed_machine_ad(name: &str, remote_owner: &str, current_rank: f64) -> Advertisement {
+        let ad = parse_classad(&format!(
+            r#"[ Name = "{name}"; Type = "Machine"; Mips = 100;
+                State = "Claimed"; RemoteOwner = "{remote_owner}";
+                CurrentRank = {current_rank};
+                Constraint = other.Type == "Job";
+                Rank = other.JobPrio ]"#
+        ))
+        .unwrap();
+        Advertisement {
+            kind: EntityKind::Provider,
+            ad,
+            contact: format!("{name}:9614"),
+            ticket: None,
+            expires_at: 10_000,
+        }
+    }
+
+    fn job_ad(name: &str, owner: &str) -> Advertisement {
+        job_ad_with(name, owner, "")
+    }
+
+    fn job_ad_with(name: &str, owner: &str, extra: &str) -> Advertisement {
+        let ad = parse_classad(&format!(
+            r#"[ Name = "{name}"; Type = "Job"; Owner = "{owner}"; {extra}
+                Constraint = other.Type == "Machine"; Rank = other.Mips ]"#
+        ))
+        .unwrap();
+        Advertisement {
+            kind: EntityKind::Customer,
+            ad,
+            contact: format!("{owner}-ca:1"),
+            ticket: None,
+            expires_at: 10_000,
+        }
+    }
+
+    fn store_with(ads: Vec<Advertisement>) -> AdStore {
+        let mut store = AdStore::new();
+        for a in ads {
+            store.advertise(a, 0, &proto()).unwrap();
+        }
+        store
+    }
+
+    #[test]
+    fn single_job_gets_best_machine() {
+        let store = store_with(vec![
+            machine_ad("slow", 10),
+            machine_ad("fast", 104),
+            job_ad("j1", "raman"),
+        ]);
+        let mut neg = Negotiator::default();
+        let out = neg.negotiate(&store, 0);
+        assert_eq!(out.stats.matches, 1);
+        assert_eq!(out.matches[0].offer_name, "fast");
+        assert_eq!(out.matches[0].request_rank, 104.0);
+        assert_eq!(out.stats.unmatched_requests, 0);
+    }
+
+    #[test]
+    fn each_offer_granted_once_per_cycle() {
+        let store = store_with(vec![
+            machine_ad("m1", 50),
+            job_ad("j1", "alice"),
+            job_ad("j2", "alice"),
+            job_ad("j3", "alice"),
+        ]);
+        let mut neg = Negotiator::default();
+        let out = neg.negotiate(&store, 0);
+        assert_eq!(out.stats.matches, 1);
+        assert_eq!(out.stats.unmatched_requests, 2);
+    }
+
+    #[test]
+    fn round_robin_across_users_within_cycle() {
+        // Two machines, two users with two jobs each: each user must get
+        // exactly one machine even though alice's jobs sort first.
+        let store = store_with(vec![
+            machine_ad("m1", 50),
+            machine_ad("m2", 60),
+            job_ad("a1", "alice"),
+            job_ad("a2", "alice"),
+            job_ad("b1", "bob"),
+            job_ad("b2", "bob"),
+        ]);
+        let mut neg = Negotiator::default();
+        let out = neg.negotiate(&store, 0);
+        assert_eq!(out.stats.matches, 2);
+        let mut owners: Vec<&str> = out.matches.iter().map(|m| m.owner.as_str()).collect();
+        owners.sort();
+        assert_eq!(owners, vec!["alice", "bob"]);
+        assert_eq!(out.stats.users_served, 2);
+    }
+
+    #[test]
+    fn priority_order_decides_who_gets_scarce_resource() {
+        let store = store_with(vec![
+            machine_ad("only", 50),
+            job_ad("a1", "heavy"),
+            job_ad("b1", "light"),
+        ]);
+        let mut neg = Negotiator::default();
+        neg.priorities.charge("heavy", 100_000.0, 0);
+        let out = neg.negotiate(&store, 0);
+        assert_eq!(out.stats.matches, 1);
+        assert_eq!(out.matches[0].owner, "light");
+    }
+
+    #[test]
+    fn fifo_within_user() {
+        let store = store_with(vec![
+            machine_ad("m1", 50),
+            job_ad("first", "alice"),
+            job_ad("second", "alice"),
+        ]);
+        let mut neg = Negotiator::default();
+        let out = neg.negotiate(&store, 0);
+        assert_eq!(out.matches[0].request_name, "first");
+    }
+
+    #[test]
+    fn preemption_when_offer_prefers_new_request() {
+        let store = store_with(vec![
+            claimed_machine_ad("busy", "olduser", 5.0),
+            job_ad_with("hot", "newuser", "JobPrio = 10;"),
+        ]);
+        let mut neg = Negotiator::default();
+        let out = neg.negotiate(&store, 0);
+        assert_eq!(out.stats.matches, 1);
+        assert_eq!(out.stats.preemptions, 1);
+        assert_eq!(out.matches[0].preempts.as_deref(), Some("olduser"));
+    }
+
+    #[test]
+    fn no_preemption_when_rank_not_higher() {
+        let store = store_with(vec![
+            claimed_machine_ad("busy", "olduser", 5.0),
+            job_ad_with("cold", "newuser", "JobPrio = 5;"), // equal, not higher
+        ]);
+        let mut neg = Negotiator::default();
+        let out = neg.negotiate(&store, 0);
+        assert_eq!(out.stats.matches, 0);
+        assert_eq!(out.stats.unmatched_requests, 1);
+    }
+
+    #[test]
+    fn preemption_disabled_by_config() {
+        let store = store_with(vec![
+            claimed_machine_ad("busy", "olduser", 5.0),
+            job_ad_with("hot", "newuser", "JobPrio = 10;"),
+        ]);
+        let mut neg =
+            Negotiator::new(NegotiatorConfig { preemption: false, ..Default::default() });
+        let out = neg.negotiate(&store, 0);
+        assert_eq!(out.stats.matches, 0);
+    }
+
+    #[test]
+    fn preemption_retry_falls_back_to_unclaimed() {
+        // Best-ranked machine is claimed and non-preemptible; the job must
+        // fall back to the unclaimed slower machine.
+        let store = store_with(vec![
+            claimed_machine_ad("busy", "olduser", 50.0), // Mips 100 but won't preempt
+            machine_ad("free", 10),
+            job_ad_with("j", "alice", "JobPrio = 1;"),
+        ]);
+        let mut neg = Negotiator::default();
+        let out = neg.negotiate(&store, 0);
+        assert_eq!(out.stats.matches, 1);
+        assert_eq!(out.matches[0].offer_name, "free");
+    }
+
+    #[test]
+    fn charge_per_match_feeds_priorities() {
+        let store = store_with(vec![
+            machine_ad("m1", 50),
+            machine_ad("m2", 50),
+            job_ad("a1", "alice"),
+        ]);
+        let mut neg = Negotiator::new(NegotiatorConfig {
+            charge_per_match: 300.0,
+            ..Default::default()
+        });
+        assert_eq!(neg.priorities.usage("alice", 0), 0.0);
+        neg.negotiate(&store, 0);
+        assert_eq!(neg.priorities.usage("alice", 0), 300.0);
+    }
+
+    #[test]
+    fn parallel_negotiation_matches_serial() {
+        let mut ads = vec![];
+        for i in 0..40 {
+            ads.push(machine_ad(&format!("m{i}"), (i * 13) % 97));
+        }
+        for i in 0..20 {
+            ads.push(job_ad(&format!("j{i}"), if i % 2 == 0 { "alice" } else { "bob" }));
+        }
+        let store = store_with(ads);
+        let mut serial = Negotiator::default();
+        let mut parallel =
+            Negotiator::new(NegotiatorConfig { threads: 4, ..Default::default() });
+        let a = serial.negotiate(&store, 0);
+        let b = parallel.negotiate(&store, 0);
+        assert_eq!(a.stats, b.stats);
+        let names_a: Vec<(&str, &str)> = a
+            .matches
+            .iter()
+            .map(|m| (m.request_name.as_str(), m.offer_name.as_str()))
+            .collect();
+        let names_b: Vec<(&str, &str)> = b
+            .matches
+            .iter()
+            .map(|m| (m.request_name.as_str(), m.offer_name.as_str()))
+            .collect();
+        assert_eq!(names_a, names_b);
+    }
+
+    #[test]
+    fn notifications_relay_ticket_to_customer_only() {
+        let store = store_with(vec![machine_ad("m", 50), job_ad("j", "alice")]);
+        let mut neg = Negotiator::default();
+        let out = neg.negotiate(&store, 0);
+        let (to_customer, to_provider) = out.matches[0].notifications();
+        assert!(to_customer.ticket.is_some());
+        assert!(to_provider.ticket.is_none());
+        assert_eq!(to_customer.peer_contact, "m:9614");
+        assert_eq!(to_provider.peer_contact, "alice-ca:1");
+        assert_eq!(to_customer.peer_ad, *out.matches[0].offer_ad);
+    }
+
+    #[test]
+    fn empty_store_yields_empty_cycle() {
+        let store = AdStore::new();
+        let mut neg = Negotiator::default();
+        let out = neg.negotiate(&store, 0);
+        assert_eq!(out.stats.matches, 0);
+        assert_eq!(out.stats.requests_considered, 0);
+    }
+}

@@ -1,0 +1,641 @@
+//! The advertising, matchmaking, and claiming protocol messages (paper §3).
+//!
+//! The framework decomposes into five parts; this module defines the
+//! *conventions and messages* for three of them:
+//!
+//! * the **advertising protocol** — what a classad must contain to
+//!   participate in matchmaking ([`AdvertisingProtocol`],
+//!   [`Advertisement`]);
+//! * the **matchmaking protocol** — how matched parties are notified
+//!   ([`MatchNotification`]);
+//! * the **claiming protocol** — how a customer claims a provider directly,
+//!   bypassing the matchmaker ([`ClaimRequest`], [`ClaimResponse`]).
+//!
+//! Messages carry their classads by value and encode to a length-prefixed
+//! binary frame (see [`Message::encode`]) so agents can exchange them over
+//! any byte stream. The matchmaker itself stays stateless with respect to
+//! matches: once a [`MatchNotification`] is sent, everything else happens
+//! between the two entities.
+
+use crate::ticket::Ticket;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use classad::json::{from_json, to_json};
+use classad::{ClassAd, MatchConventions};
+use std::fmt;
+
+/// Logical timestamps, in seconds. The simulator drives these from its
+/// virtual clock; a live deployment would use wall-clock seconds.
+pub type Timestamp = u64;
+
+/// Which side of a match an entity advertises as.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EntityKind {
+    /// A service/resource provider (e.g. a workstation's Resource-owner
+    /// Agent).
+    Provider,
+    /// A service customer (e.g. a Customer Agent holding a job queue).
+    Customer,
+}
+
+impl fmt::Display for EntityKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            EntityKind::Provider => "provider",
+            EntityKind::Customer => "customer",
+        })
+    }
+}
+
+/// A classad submitted for matchmaking, together with the envelope data the
+/// advertising protocol requires.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Advertisement {
+    /// Provider or customer.
+    pub kind: EntityKind,
+    /// The advertised classad.
+    pub ad: ClassAd,
+    /// Where the advertising entity can be reached for claiming.
+    pub contact: String,
+    /// Authorization ticket a provider hands to the matchmaker; relayed to
+    /// the matched customer and verified at claim time (paper §4).
+    pub ticket: Option<Ticket>,
+    /// When this ad lapses if not refreshed (absolute, seconds).
+    pub expires_at: Timestamp,
+}
+
+/// Errors the advertising protocol can raise when admitting an ad.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// A required attribute is missing from the classad.
+    MissingAttribute(String),
+    /// The contact address is empty.
+    MissingContact,
+    /// The ad has already expired at submission time.
+    AlreadyExpired,
+    /// A frame failed to decode.
+    BadFrame(String),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::MissingAttribute(a) => write!(f, "ad lacks required attribute `{a}`"),
+            ProtocolError::MissingContact => f.write_str("ad has no contact address"),
+            ProtocolError::AlreadyExpired => f.write_str("ad is already expired"),
+            ProtocolError::BadFrame(m) => write!(f, "malformed frame: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// The matchmaker's advertising protocol: which attributes an ad must carry
+/// to be admitted, and which attribute names carry match semantics.
+///
+/// The paper's pool manager "states that every classad should include
+/// expressions named Constraint and Rank" plus a contact address and, for
+/// providers, an optional authorization ticket.
+#[derive(Debug, Clone)]
+pub struct AdvertisingProtocol {
+    /// Attributes every ad must define (checked case-insensitively).
+    pub required_attrs: Vec<String>,
+    /// Attribute names carrying match semantics (`Constraint`, `Rank`).
+    pub conventions: MatchConventions,
+    /// Default lease length granted to ads that will be refreshed
+    /// periodically, in seconds.
+    pub default_lease: u64,
+}
+
+impl Default for AdvertisingProtocol {
+    fn default() -> Self {
+        AdvertisingProtocol {
+            // `Name` identifies the entity; `Constraint`/`Rank` presence is
+            // checked through the conventions (either spelling accepted).
+            required_attrs: vec!["Name".to_string()],
+            conventions: MatchConventions::default(),
+            default_lease: 300,
+        }
+    }
+}
+
+impl AdvertisingProtocol {
+    /// Validate an advertisement against the protocol.
+    pub fn validate(&self, adv: &Advertisement, now: Timestamp) -> Result<(), ProtocolError> {
+        for attr in &self.required_attrs {
+            if !adv.ad.contains(attr) {
+                return Err(ProtocolError::MissingAttribute(attr.clone()));
+            }
+        }
+        if self.conventions.constraint_attr_of(&adv.ad).is_none() {
+            return Err(ProtocolError::MissingAttribute(
+                self.conventions.constraint_attrs[0].clone(),
+            ));
+        }
+        if adv.contact.is_empty() {
+            return Err(ProtocolError::MissingContact);
+        }
+        if adv.expires_at <= now {
+            return Err(ProtocolError::AlreadyExpired);
+        }
+        Ok(())
+    }
+}
+
+/// Sent by the matchmaker to both matched parties (step 3 in the paper's
+/// Figure 3): each side receives the *other* side's ad, the peer's contact
+/// address, and — for the customer — the provider's authorization ticket.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatchNotification {
+    /// The ad of the entity being notified, as the matchmaker saw it
+    /// (lets the entity detect how stale the matched state is).
+    pub own_ad: ClassAd,
+    /// The matched peer's ad.
+    pub peer_ad: ClassAd,
+    /// The peer's contact address.
+    pub peer_contact: String,
+    /// The provider's authorization ticket (present on the customer's copy).
+    pub ticket: Option<Ticket>,
+}
+
+/// Step 4: the customer contacts the provider directly to establish the
+/// claim.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClaimRequest {
+    /// The ticket relayed through the matchmaker.
+    pub ticket: Ticket,
+    /// The customer's *current* ad — the provider re-verifies its
+    /// constraint against this, not against the possibly-stale ad it
+    /// advertised with.
+    pub customer_ad: ClassAd,
+    /// Customer contact address for the duration of the claim.
+    pub customer_contact: String,
+}
+
+/// Why a provider refused a claim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClaimRejection {
+    /// The ticket did not match the one the provider issued.
+    BadTicket,
+    /// The provider's constraint no longer accepts the customer (state
+    /// changed since the ad was sent — the weak-consistency case).
+    ConstraintFailed,
+    /// The customer's constraint no longer accepts the provider's current
+    /// state.
+    CustomerConstraintFailed,
+    /// The provider is already claimed and not preemptible by this request.
+    Busy,
+}
+
+impl fmt::Display for ClaimRejection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ClaimRejection::BadTicket => "authorization ticket mismatch",
+            ClaimRejection::ConstraintFailed => "provider constraint no longer satisfied",
+            ClaimRejection::CustomerConstraintFailed => "customer constraint no longer satisfied",
+            ClaimRejection::Busy => "provider busy and not preemptible",
+        })
+    }
+}
+
+/// The provider's answer to a [`ClaimRequest`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClaimResponse {
+    /// Accepted or not.
+    pub accepted: bool,
+    /// Populated when rejected.
+    pub rejection: Option<ClaimRejection>,
+    /// The provider's current ad (so the customer can re-advertise
+    /// accurately after a rejection).
+    pub provider_ad: ClassAd,
+}
+
+/// All protocol messages, for framing over a byte stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Step 1: an entity advertises.
+    Advertise(Advertisement),
+    /// Step 3: the matchmaker notifies a matched entity.
+    Notify(MatchNotification),
+    /// Step 4a: the customer claims the provider.
+    Claim(ClaimRequest),
+    /// Step 4b: the provider answers.
+    ClaimReply(ClaimResponse),
+    /// A customer releases an established claim.
+    Release {
+        /// Ticket of the claim being released.
+        ticket: Ticket,
+    },
+    /// A one-way query from a status/administrative tool (paper §4).
+    Query {
+        /// Constraint expression source selecting target ads.
+        constraint: String,
+        /// Restrict to providers/customers, or both when `None`.
+        kind: Option<EntityKind>,
+        /// Attributes to project in results; empty = whole ads.
+        projection: Vec<String>,
+    },
+    /// The matchmaker's answer to a [`Message::Query`].
+    QueryReply {
+        /// The matching (possibly projected) ads.
+        ads: Vec<ClassAd>,
+    },
+}
+
+const TAG_ADVERTISE: u8 = 1;
+const TAG_NOTIFY: u8 = 2;
+const TAG_CLAIM: u8 = 3;
+const TAG_CLAIM_REPLY: u8 = 4;
+const TAG_RELEASE: u8 = 5;
+const TAG_QUERY: u8 = 6;
+const TAG_QUERY_REPLY: u8 = 7;
+
+fn put_string(buf: &mut BytesMut, s: &str) {
+    buf.put_u32(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn put_ad(buf: &mut BytesMut, ad: &ClassAd) {
+    put_string(buf, &to_json(ad));
+}
+
+fn put_opt_ticket(buf: &mut BytesMut, t: &Option<Ticket>) {
+    match t {
+        Some(t) => {
+            buf.put_u8(1);
+            buf.put_u128(t.raw());
+        }
+        None => buf.put_u8(0),
+    }
+}
+
+struct Reader {
+    buf: Bytes,
+}
+
+impl Reader {
+    fn need(&self, n: usize) -> Result<(), ProtocolError> {
+        if self.buf.remaining() < n {
+            Err(ProtocolError::BadFrame(format!(
+                "needed {n} bytes, {} remaining",
+                self.buf.remaining()
+            )))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtocolError> {
+        self.need(1)?;
+        Ok(self.buf.get_u8())
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtocolError> {
+        self.need(4)?;
+        Ok(self.buf.get_u32())
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtocolError> {
+        self.need(8)?;
+        Ok(self.buf.get_u64())
+    }
+
+    fn u128(&mut self) -> Result<u128, ProtocolError> {
+        self.need(16)?;
+        Ok(self.buf.get_u128())
+    }
+
+    fn string(&mut self) -> Result<String, ProtocolError> {
+        self.need(4)?;
+        let len = self.buf.get_u32() as usize;
+        self.need(len)?;
+        let bytes = self.buf.copy_to_bytes(len);
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| ProtocolError::BadFrame(format!("invalid utf-8: {e}")))
+    }
+
+    fn ad(&mut self) -> Result<ClassAd, ProtocolError> {
+        let js = self.string()?;
+        from_json(&js).map_err(|e| ProtocolError::BadFrame(format!("bad ad json: {e}")))
+    }
+
+    fn opt_ticket(&mut self) -> Result<Option<Ticket>, ProtocolError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(Ticket::from_raw(self.u128()?))),
+            other => Err(ProtocolError::BadFrame(format!("bad option tag {other}"))),
+        }
+    }
+}
+
+impl Message {
+    /// Encode to a self-describing binary frame. The classads inside travel
+    /// as JSON (see [`classad::json`]), everything else as fixed-width
+    /// fields.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(256);
+        match self {
+            Message::Advertise(adv) => {
+                buf.put_u8(TAG_ADVERTISE);
+                buf.put_u8(match adv.kind {
+                    EntityKind::Provider => 0,
+                    EntityKind::Customer => 1,
+                });
+                put_ad(&mut buf, &adv.ad);
+                put_string(&mut buf, &adv.contact);
+                put_opt_ticket(&mut buf, &adv.ticket);
+                buf.put_u64(adv.expires_at);
+            }
+            Message::Notify(n) => {
+                buf.put_u8(TAG_NOTIFY);
+                put_ad(&mut buf, &n.own_ad);
+                put_ad(&mut buf, &n.peer_ad);
+                put_string(&mut buf, &n.peer_contact);
+                put_opt_ticket(&mut buf, &n.ticket);
+            }
+            Message::Claim(c) => {
+                buf.put_u8(TAG_CLAIM);
+                buf.put_u128(c.ticket.raw());
+                put_ad(&mut buf, &c.customer_ad);
+                put_string(&mut buf, &c.customer_contact);
+            }
+            Message::ClaimReply(r) => {
+                buf.put_u8(TAG_CLAIM_REPLY);
+                buf.put_u8(r.accepted as u8);
+                buf.put_u8(match r.rejection {
+                    None => 0,
+                    Some(ClaimRejection::BadTicket) => 1,
+                    Some(ClaimRejection::ConstraintFailed) => 2,
+                    Some(ClaimRejection::CustomerConstraintFailed) => 3,
+                    Some(ClaimRejection::Busy) => 4,
+                });
+                put_ad(&mut buf, &r.provider_ad);
+            }
+            Message::Release { ticket } => {
+                buf.put_u8(TAG_RELEASE);
+                buf.put_u128(ticket.raw());
+            }
+            Message::Query { constraint, kind, projection } => {
+                buf.put_u8(TAG_QUERY);
+                buf.put_u8(match kind {
+                    None => 0,
+                    Some(EntityKind::Provider) => 1,
+                    Some(EntityKind::Customer) => 2,
+                });
+                put_string(&mut buf, constraint);
+                buf.put_u32(projection.len() as u32);
+                for p in projection {
+                    put_string(&mut buf, p);
+                }
+            }
+            Message::QueryReply { ads } => {
+                buf.put_u8(TAG_QUERY_REPLY);
+                buf.put_u32(ads.len() as u32);
+                for ad in ads {
+                    put_ad(&mut buf, ad);
+                }
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decode a frame produced by [`Message::encode`].
+    pub fn decode(bytes: Bytes) -> Result<Message, ProtocolError> {
+        let mut r = Reader { buf: bytes };
+        let tag = r.u8()?;
+        let msg = match tag {
+            TAG_ADVERTISE => {
+                let kind = match r.u8()? {
+                    0 => EntityKind::Provider,
+                    1 => EntityKind::Customer,
+                    k => return Err(ProtocolError::BadFrame(format!("bad entity kind {k}"))),
+                };
+                Message::Advertise(Advertisement {
+                    kind,
+                    ad: r.ad()?,
+                    contact: r.string()?,
+                    ticket: r.opt_ticket()?,
+                    expires_at: r.u64()?,
+                })
+            }
+            TAG_NOTIFY => Message::Notify(MatchNotification {
+                own_ad: r.ad()?,
+                peer_ad: r.ad()?,
+                peer_contact: r.string()?,
+                ticket: r.opt_ticket()?,
+            }),
+            TAG_CLAIM => Message::Claim(ClaimRequest {
+                ticket: Ticket::from_raw(r.u128()?),
+                customer_ad: r.ad()?,
+                customer_contact: r.string()?,
+            }),
+            TAG_CLAIM_REPLY => {
+                let accepted = r.u8()? != 0;
+                let rejection = match r.u8()? {
+                    0 => None,
+                    1 => Some(ClaimRejection::BadTicket),
+                    2 => Some(ClaimRejection::ConstraintFailed),
+                    3 => Some(ClaimRejection::CustomerConstraintFailed),
+                    4 => Some(ClaimRejection::Busy),
+                    k => return Err(ProtocolError::BadFrame(format!("bad rejection {k}"))),
+                };
+                Message::ClaimReply(ClaimResponse { accepted, rejection, provider_ad: r.ad()? })
+            }
+            TAG_RELEASE => Message::Release { ticket: Ticket::from_raw(r.u128()?) },
+            TAG_QUERY => {
+                let kind = match r.u8()? {
+                    0 => None,
+                    1 => Some(EntityKind::Provider),
+                    2 => Some(EntityKind::Customer),
+                    k => return Err(ProtocolError::BadFrame(format!("bad query kind {k}"))),
+                };
+                let constraint = r.string()?;
+                let n = r.u32()? as usize;
+                if n > 1024 {
+                    return Err(ProtocolError::BadFrame(format!("projection of {n} attrs")));
+                }
+                let mut projection = Vec::with_capacity(n);
+                for _ in 0..n {
+                    projection.push(r.string()?);
+                }
+                Message::Query { constraint, kind, projection }
+            }
+            TAG_QUERY_REPLY => {
+                let n = r.u32()? as usize;
+                if n > 1_000_000 {
+                    return Err(ProtocolError::BadFrame(format!("reply of {n} ads")));
+                }
+                let mut ads = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    ads.push(r.ad()?);
+                }
+                Message::QueryReply { ads }
+            }
+            other => return Err(ProtocolError::BadFrame(format!("unknown tag {other}"))),
+        };
+        if r.buf.has_remaining() {
+            return Err(ProtocolError::BadFrame(format!(
+                "{} trailing bytes",
+                r.buf.remaining()
+            )));
+        }
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use classad::parse_classad;
+
+    fn sample_ad() -> ClassAd {
+        parse_classad(
+            r#"[ Name = "leonardo"; Type = "Machine"; Memory = 64;
+                Constraint = other.Type == "Job"; Rank = 0 ]"#,
+        )
+        .unwrap()
+    }
+
+    fn sample_adv() -> Advertisement {
+        Advertisement {
+            kind: EntityKind::Provider,
+            ad: sample_ad(),
+            contact: "leonardo.cs.wisc.edu:9614".into(),
+            ticket: Some(Ticket::from_raw(0xDEAD_BEEF)),
+            expires_at: 1000,
+        }
+    }
+
+    #[test]
+    fn validation_accepts_conforming_ad() {
+        let proto = AdvertisingProtocol::default();
+        assert_eq!(proto.validate(&sample_adv(), 10), Ok(()));
+    }
+
+    #[test]
+    fn validation_requires_name() {
+        let proto = AdvertisingProtocol::default();
+        let mut adv = sample_adv();
+        adv.ad.remove("Name");
+        assert_eq!(
+            proto.validate(&adv, 10),
+            Err(ProtocolError::MissingAttribute("Name".into()))
+        );
+    }
+
+    #[test]
+    fn validation_requires_constraint_by_either_spelling() {
+        let proto = AdvertisingProtocol::default();
+        let mut adv = sample_adv();
+        adv.ad.remove("Constraint");
+        assert!(matches!(proto.validate(&adv, 10), Err(ProtocolError::MissingAttribute(_))));
+        adv.ad.set("Requirements", classad::Expr::bool(true));
+        assert_eq!(proto.validate(&adv, 10), Ok(()));
+    }
+
+    #[test]
+    fn validation_requires_contact_and_lease() {
+        let proto = AdvertisingProtocol::default();
+        let mut adv = sample_adv();
+        adv.contact.clear();
+        assert_eq!(proto.validate(&adv, 10), Err(ProtocolError::MissingContact));
+        let mut adv = sample_adv();
+        adv.expires_at = 10;
+        assert_eq!(proto.validate(&adv, 10), Err(ProtocolError::AlreadyExpired));
+    }
+
+    #[test]
+    fn advertise_roundtrips() {
+        let msg = Message::Advertise(sample_adv());
+        let bytes = msg.encode();
+        assert_eq!(Message::decode(bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn notify_roundtrips() {
+        let msg = Message::Notify(MatchNotification {
+            own_ad: sample_ad(),
+            peer_ad: parse_classad("[ Name = \"job-1\"; Constraint = true ]").unwrap(),
+            peer_contact: "ca.cs.wisc.edu:1234".into(),
+            ticket: None,
+        });
+        assert_eq!(Message::decode(msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn claim_and_reply_roundtrip() {
+        let claim = Message::Claim(ClaimRequest {
+            ticket: Ticket::from_raw(42),
+            customer_ad: sample_ad(),
+            customer_contact: "ca:1".into(),
+        });
+        assert_eq!(Message::decode(claim.encode()).unwrap(), claim);
+        for rejection in [
+            None,
+            Some(ClaimRejection::BadTicket),
+            Some(ClaimRejection::ConstraintFailed),
+            Some(ClaimRejection::CustomerConstraintFailed),
+            Some(ClaimRejection::Busy),
+        ] {
+            let reply = Message::ClaimReply(ClaimResponse {
+                accepted: rejection.is_none(),
+                rejection,
+                provider_ad: sample_ad(),
+            });
+            assert_eq!(Message::decode(reply.encode()).unwrap(), reply);
+        }
+    }
+
+    #[test]
+    fn release_roundtrips() {
+        let msg = Message::Release { ticket: Ticket::from_raw(7) };
+        assert_eq!(Message::decode(msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn query_and_reply_roundtrip() {
+        let q = Message::Query {
+            constraint: r#"other.Arch == "INTEL" && other.Memory >= 64"#.into(),
+            kind: Some(EntityKind::Provider),
+            projection: vec!["Name".into(), "Mips".into()],
+        };
+        assert_eq!(Message::decode(q.encode()).unwrap(), q);
+        let q = Message::Query { constraint: "true".into(), kind: None, projection: vec![] };
+        assert_eq!(Message::decode(q.encode()).unwrap(), q);
+        let reply = Message::QueryReply {
+            ads: vec![sample_ad(), parse_classad("[ x = 1 ]").unwrap()],
+        };
+        assert_eq!(Message::decode(reply.encode()).unwrap(), reply);
+        let empty = Message::QueryReply { ads: vec![] };
+        assert_eq!(Message::decode(empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Message::decode(Bytes::from_static(&[])).is_err());
+        assert!(Message::decode(Bytes::from_static(&[99])).is_err());
+        assert!(Message::decode(Bytes::from_static(&[TAG_RELEASE, 1, 2])).is_err());
+        // Trailing bytes after a valid message.
+        let mut good = Message::Release { ticket: Ticket::from_raw(7) }.encode().to_vec();
+        good.push(0);
+        assert!(Message::decode(Bytes::from(good)).is_err());
+    }
+
+    #[test]
+    fn computed_expressions_survive_framing() {
+        // Constraint/Rank are computed expressions; framing must not
+        // flatten them to values.
+        let msg = Message::Advertise(sample_adv());
+        let Message::Advertise(back) = Message::decode(msg.encode()).unwrap() else {
+            panic!()
+        };
+        let c = back.ad.get("Constraint").unwrap();
+        assert_eq!(c.to_string(), "other.Type == \"Job\"");
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(ProtocolError::MissingAttribute("X".into()).to_string().contains('X'));
+        assert!(ClaimRejection::BadTicket.to_string().contains("ticket"));
+        assert_eq!(EntityKind::Provider.to_string(), "provider");
+    }
+}

@@ -1,0 +1,214 @@
+//! One-way query matching (paper §4): "One-way matching protocols are used
+//! to find all objects matching a given pattern. For example, there are
+//! tools to check on the status of job queues and browse existing
+//! resources."
+//!
+//! A query is itself a classad (the data model folds the query language
+//! in); only the *query's* constraint must hold — the target's constraint
+//! is not consulted, since browsing a resource is not claiming it.
+
+use crate::admanager::{AdStore, StoredAd};
+use crate::protocol::{EntityKind, Timestamp};
+use classad::ast::Expr;
+use classad::{constraint_holds, ClassAd, EvalPolicy, MatchConventions, ParseError};
+use std::sync::Arc;
+
+/// A one-way query over the ad store.
+#[derive(Debug, Clone)]
+pub struct Query {
+    /// The query ad; its `Constraint` selects targets.
+    pub ad: ClassAd,
+    /// Restrict to one kind of ad, or search both.
+    pub kind: Option<EntityKind>,
+    /// Attributes to project in results (`None` = whole ads).
+    pub projection: Option<Vec<String>>,
+}
+
+impl Query {
+    /// Build a query from a bare constraint expression, e.g.
+    /// `other.Memory >= 64 && other.Arch == "INTEL"`.
+    pub fn from_constraint(src: &str) -> Result<Query, ParseError> {
+        let expr = classad::parse_expr(src)?;
+        let mut ad = ClassAd::new();
+        ad.set("Name", Expr::str("query"));
+        ad.set("Constraint", expr);
+        Ok(Query { ad, kind: None, projection: None })
+    }
+
+    /// Restrict the query to providers or customers.
+    pub fn of_kind(mut self, kind: EntityKind) -> Query {
+        self.kind = Some(kind);
+        self
+    }
+
+    /// Project only the named attributes into the results.
+    pub fn select(mut self, attrs: &[&str]) -> Query {
+        self.projection = Some(attrs.iter().map(|s| s.to_string()).collect());
+        self
+    }
+
+    /// Run the query, returning matching stored ads (freshest first, as
+    /// returned by the store snapshot).
+    pub fn run(
+        &self,
+        store: &AdStore,
+        now: Timestamp,
+        policy: &EvalPolicy,
+        conv: &MatchConventions,
+    ) -> Vec<StoredAd> {
+        let kinds: &[EntityKind] = match self.kind {
+            Some(EntityKind::Provider) => &[EntityKind::Provider],
+            Some(EntityKind::Customer) => &[EntityKind::Customer],
+            None => &[EntityKind::Provider, EntityKind::Customer],
+        };
+        let mut out = Vec::new();
+        for kind in kinds {
+            for stored in store.snapshot(*kind, now) {
+                if constraint_holds(&self.ad, &stored.ad, policy, conv) {
+                    out.push(stored);
+                }
+            }
+        }
+        out
+    }
+
+    /// Run the query and return (possibly projected) result ads.
+    pub fn run_projected(
+        &self,
+        store: &AdStore,
+        now: Timestamp,
+        policy: &EvalPolicy,
+        conv: &MatchConventions,
+    ) -> Vec<ClassAd> {
+        self.run(store, now, policy, conv)
+            .into_iter()
+            .map(|s| match &self.projection {
+                None => (*s.ad).clone(),
+                Some(attrs) => project(&s.ad, attrs, policy),
+            })
+            .collect()
+    }
+}
+
+/// Project the named attributes of an ad into a new ad, **evaluating** each
+/// (status tools want values, not formulas). Missing attributes are
+/// omitted.
+pub fn project(ad: &Arc<ClassAd>, attrs: &[String], policy: &EvalPolicy) -> ClassAd {
+    let mut out = ClassAd::with_capacity(attrs.len());
+    for name in attrs {
+        let v = ad.eval_attr(name, policy);
+        if !v.is_undefined() {
+            out.set(name.as_str(), classad::eval::value_to_expr(&v));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{Advertisement, AdvertisingProtocol};
+    use classad::parse_classad;
+
+    fn store() -> AdStore {
+        let proto = AdvertisingProtocol::default();
+        let mut s = AdStore::new();
+        let ads = [
+            (
+                EntityKind::Provider,
+                r#"[ Name = "intel1"; Type = "Machine"; Arch = "INTEL"; Memory = 64;
+                     Constraint = other.Type == "Job" ]"#,
+            ),
+            (
+                EntityKind::Provider,
+                r#"[ Name = "sparc1"; Type = "Machine"; Arch = "SPARC"; Memory = 128;
+                     Constraint = false ]"#,
+            ),
+            (
+                EntityKind::Customer,
+                r#"[ Name = "job1"; Type = "Job"; Owner = "raman"; Memory = 31;
+                     Constraint = other.Type == "Machine" ]"#,
+            ),
+        ];
+        for (kind, src) in ads {
+            s.advertise(
+                Advertisement {
+                    kind,
+                    ad: parse_classad(src).unwrap(),
+                    contact: "c:1".into(),
+                    ticket: None,
+                    expires_at: 1000,
+                },
+                0,
+                &proto,
+            )
+            .unwrap();
+        }
+        s
+    }
+
+    fn run(q: &Query, s: &AdStore) -> Vec<String> {
+        let mut names: Vec<String> = q
+            .run(s, 0, &EvalPolicy::default(), &MatchConventions::default())
+            .into_iter()
+            .map(|r| r.name)
+            .collect();
+        names.sort();
+        names
+    }
+
+    #[test]
+    fn query_by_attribute_value() {
+        let s = store();
+        let q = Query::from_constraint(r#"other.Arch == "INTEL""#).unwrap();
+        assert_eq!(run(&q, &s), vec!["intel1"]);
+    }
+
+    #[test]
+    fn query_ignores_target_constraint() {
+        // sparc1's own Constraint is false, but one-way browsing still
+        // finds it.
+        let s = store();
+        let q = Query::from_constraint("other.Memory >= 64").unwrap();
+        assert_eq!(run(&q, &s), vec!["intel1", "sparc1"]);
+    }
+
+    #[test]
+    fn query_kind_restriction() {
+        let s = store();
+        let q = Query::from_constraint("other.Memory > 0").unwrap();
+        assert_eq!(run(&q, &s), vec!["intel1", "job1", "sparc1"]);
+        let q = q.of_kind(EntityKind::Customer);
+        assert_eq!(run(&q, &s), vec!["job1"]);
+    }
+
+    #[test]
+    fn query_with_undefined_is_no_match() {
+        let s = store();
+        let q = Query::from_constraint("other.NoSuchAttr > 5").unwrap();
+        assert!(run(&q, &s).is_empty());
+        // But `is undefined` finds everything lacking the attribute.
+        let q = Query::from_constraint("other.NoSuchAttr is undefined").unwrap();
+        assert_eq!(run(&q, &s).len(), 3);
+    }
+
+    #[test]
+    fn projection_evaluates_and_omits_missing() {
+        let s = store();
+        let q = Query::from_constraint(r#"other.Arch == "INTEL""#)
+            .unwrap()
+            .select(&["Name", "Memory", "NoSuch"]);
+        let results =
+            q.run_projected(&s, 0, &EvalPolicy::default(), &MatchConventions::default());
+        assert_eq!(results.len(), 1);
+        let r = &results[0];
+        assert_eq!(r.len(), 2, "{r}");
+        assert_eq!(r.get_string("Name"), Some("intel1"));
+        assert_eq!(r.get_int("Memory"), Some(64));
+    }
+
+    #[test]
+    fn bad_constraint_is_parse_error() {
+        assert!(Query::from_constraint("this is not ) valid").is_err());
+    }
+}

@@ -1,0 +1,331 @@
+//! The matchmaker as a shareable service.
+//!
+//! The paper's matchmaker is "a general service which does not depend on
+//! the kinds of services and resources that are being matched" and holds
+//! only soft state. This module packages the ad store, negotiator, and
+//! advertising protocol behind a thread-safe facade so a server (or a
+//! multi-threaded benchmark) can accept advertisements concurrently with
+//! negotiation cycles and queries.
+//!
+//! Locking discipline: the ad store sits behind a `parking_lot::RwLock`
+//! (advertisements are frequent and brief; negotiation snapshots under a
+//! read lock); the negotiator — which carries the priority state — behind
+//! a `Mutex` taken only for the duration of a cycle. Statistics are
+//! relaxed atomics: they are monotone counters with no ordering
+//! requirements.
+
+use crate::admanager::AdStore;
+use crate::negotiate::{CycleOutcome, Negotiator, NegotiatorConfig};
+use crate::protocol::{
+    Advertisement, AdvertisingProtocol, EntityKind, Message, ProtocolError, Timestamp,
+};
+use crate::query::Query;
+use classad::ClassAd;
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotone service counters (readable without locks).
+#[derive(Debug, Default)]
+pub struct ServiceStats {
+    /// Advertisements accepted.
+    pub ads_accepted: AtomicU64,
+    /// Advertisements rejected by the advertising protocol.
+    pub ads_rejected: AtomicU64,
+    /// Negotiation cycles run.
+    pub cycles: AtomicU64,
+    /// Matches produced over all cycles.
+    pub matches: AtomicU64,
+    /// Queries served.
+    pub queries: AtomicU64,
+}
+
+/// Snapshot of [`ServiceStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Advertisements accepted.
+    pub ads_accepted: u64,
+    /// Advertisements rejected.
+    pub ads_rejected: u64,
+    /// Cycles run.
+    pub cycles: u64,
+    /// Matches produced.
+    pub matches: u64,
+    /// Queries served.
+    pub queries: u64,
+}
+
+/// A thread-safe matchmaking service.
+#[derive(Debug)]
+pub struct Matchmaker {
+    store: RwLock<AdStore>,
+    negotiator: Mutex<Negotiator>,
+    protocol: AdvertisingProtocol,
+    stats: ServiceStats,
+}
+
+impl Matchmaker {
+    /// Create a service with the given negotiator configuration and the
+    /// default advertising protocol.
+    pub fn new(config: NegotiatorConfig) -> Self {
+        Matchmaker {
+            store: RwLock::new(AdStore::new()),
+            negotiator: Mutex::new(Negotiator::new(config)),
+            protocol: AdvertisingProtocol::default(),
+            stats: ServiceStats::default(),
+        }
+    }
+
+    /// The advertising protocol in force.
+    pub fn protocol(&self) -> &AdvertisingProtocol {
+        &self.protocol
+    }
+
+    /// Accept one advertisement.
+    pub fn advertise(&self, adv: Advertisement, now: Timestamp) -> Result<String, ProtocolError> {
+        let result = self.store.write().advertise(adv, now, &self.protocol);
+        match &result {
+            Ok(_) => self.stats.ads_accepted.fetch_add(1, Ordering::Relaxed),
+            Err(_) => self.stats.ads_rejected.fetch_add(1, Ordering::Relaxed),
+        };
+        result
+    }
+
+    /// Accept a raw protocol frame. `Advertise` mutates the store (no
+    /// response); `Query` returns a `QueryReply` frame. Anything else is a
+    /// protocol violation at this endpoint (notifications flow *from* the
+    /// matchmaker, claims bypass it entirely).
+    pub fn handle_frame(
+        &self,
+        frame: bytes::Bytes,
+        now: Timestamp,
+    ) -> Result<Option<bytes::Bytes>, ProtocolError> {
+        match Message::decode(frame)? {
+            Message::Advertise(adv) => {
+                self.advertise(adv, now)?;
+                Ok(None)
+            }
+            Message::Query { constraint, kind, projection } => {
+                let mut q = Query::from_constraint(&constraint)
+                    .map_err(|e| ProtocolError::BadFrame(format!("bad query constraint: {e}")))?;
+                q.kind = kind;
+                if !projection.is_empty() {
+                    q.projection = Some(projection);
+                }
+                let ads = self.query(&q, now);
+                Ok(Some(Message::QueryReply { ads }.encode()))
+            }
+            other => Err(ProtocolError::BadFrame(format!(
+                "matchmaker endpoint only accepts advertisements and queries, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Withdraw an entity's ad.
+    pub fn withdraw(&self, kind: EntityKind, name: &str) -> bool {
+        self.store.write().withdraw(kind, name)
+    }
+
+    /// Number of stored ads.
+    pub fn ad_count(&self) -> usize {
+        self.store.read().len()
+    }
+
+    /// Run one negotiation cycle at `now`. Expired ads are swept first.
+    pub fn negotiate(&self, now: Timestamp) -> CycleOutcome {
+        let mut negotiator = self.negotiator.lock();
+        // Sweep under the write lock, then release it: the cycle itself
+        // snapshots the store under a read lock so advertisement ingest
+        // continues during matching.
+        self.store.write().expire(now);
+        let outcome = {
+            let store = self.store.read();
+            negotiator.negotiate(&store, now)
+        };
+        // Matched ads leave the store until their owners re-advertise.
+        {
+            let mut store = self.store.write();
+            for m in &outcome.matches {
+                store.withdraw(EntityKind::Customer, &m.request_name);
+                store.withdraw(EntityKind::Provider, &m.offer_name);
+            }
+        }
+        self.stats.cycles.fetch_add(1, Ordering::Relaxed);
+        self.stats.matches.fetch_add(outcome.stats.matches as u64, Ordering::Relaxed);
+        outcome
+    }
+
+    /// Report actual usage for fair-share accounting.
+    pub fn charge_usage(&self, user: &str, seconds: f64, now: Timestamp) {
+        self.negotiator.lock().charge_usage(user, seconds, now);
+    }
+
+    /// Serve a one-way query.
+    pub fn query(&self, q: &Query, now: Timestamp) -> Vec<ClassAd> {
+        self.stats.queries.fetch_add(1, Ordering::Relaxed);
+        let negotiator = self.negotiator.lock();
+        let policy = negotiator.engine.policy.clone();
+        let conv = negotiator.engine.conventions.clone();
+        drop(negotiator);
+        let store = self.store.read();
+        q.run_projected(&store, now, &policy, &conv)
+    }
+
+    /// A consistent snapshot of the counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            ads_accepted: self.stats.ads_accepted.load(Ordering::Relaxed),
+            ads_rejected: self.stats.ads_rejected.load(Ordering::Relaxed),
+            cycles: self.stats.cycles.load(Ordering::Relaxed),
+            matches: self.stats.matches.load(Ordering::Relaxed),
+            queries: self.stats.queries.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use classad::parse_classad;
+
+    fn machine_adv(i: usize) -> Advertisement {
+        Advertisement {
+            kind: EntityKind::Provider,
+            ad: parse_classad(&format!(
+                r#"[ Name = "m{i}"; Type = "Machine"; Mips = {};
+                     Constraint = other.Type == "Job"; Rank = 0 ]"#,
+                50 + i
+            ))
+            .unwrap(),
+            contact: format!("m{i}:1"),
+            ticket: None,
+            expires_at: 1_000_000,
+        }
+    }
+
+    fn job_adv(i: usize) -> Advertisement {
+        Advertisement {
+            kind: EntityKind::Customer,
+            ad: parse_classad(&format!(
+                r#"[ Name = "j{i}"; Type = "Job"; Owner = "u{}";
+                     Constraint = other.Type == "Machine"; Rank = other.Mips ]"#,
+                i % 4
+            ))
+            .unwrap(),
+            contact: "ca:1".into(),
+            ticket: None,
+            expires_at: 1_000_000,
+        }
+    }
+
+    #[test]
+    fn advertise_negotiate_and_stats() {
+        let svc = Matchmaker::new(NegotiatorConfig::default());
+        for i in 0..4 {
+            svc.advertise(machine_adv(i), 0).unwrap();
+        }
+        for i in 0..2 {
+            svc.advertise(job_adv(i), 0).unwrap();
+        }
+        assert_eq!(svc.ad_count(), 6);
+        let outcome = svc.negotiate(0);
+        assert_eq!(outcome.stats.matches, 2);
+        // Matched ads were withdrawn.
+        assert_eq!(svc.ad_count(), 2);
+        let s = svc.stats();
+        assert_eq!(s.ads_accepted, 6);
+        assert_eq!(s.cycles, 1);
+        assert_eq!(s.matches, 2);
+    }
+
+    #[test]
+    fn rejected_ads_counted() {
+        let svc = Matchmaker::new(NegotiatorConfig::default());
+        let mut bad = machine_adv(0);
+        bad.ad.remove("Name");
+        assert!(svc.advertise(bad, 0).is_err());
+        assert_eq!(svc.stats().ads_rejected, 1);
+        assert_eq!(svc.ad_count(), 0);
+    }
+
+    #[test]
+    fn frames_accepted_only_for_advertise_and_query() {
+        let svc = Matchmaker::new(NegotiatorConfig::default());
+        let adv = Message::Advertise(machine_adv(1));
+        assert_eq!(svc.handle_frame(adv.encode(), 0).unwrap(), None);
+        let release = Message::Release { ticket: crate::ticket::Ticket::from_raw(1) };
+        assert!(svc.handle_frame(release.encode(), 0).is_err());
+        assert!(svc.handle_frame(bytes::Bytes::from_static(&[9, 9]), 0).is_err());
+    }
+
+    #[test]
+    fn query_frames_get_reply_frames() {
+        let svc = Matchmaker::new(NegotiatorConfig::default());
+        for i in 0..3 {
+            svc.advertise(machine_adv(i), 0).unwrap();
+        }
+        let q = Message::Query {
+            constraint: "other.Mips >= 51".into(),
+            kind: Some(EntityKind::Provider),
+            projection: vec!["Name".into(), "Mips".into()],
+        };
+        let reply = svc.handle_frame(q.encode(), 0).unwrap().expect("query gets a reply");
+        let Message::QueryReply { ads } = Message::decode(reply).unwrap() else { panic!() };
+        assert_eq!(ads.len(), 2);
+        assert_eq!(ads[0].len(), 2, "projected to Name and Mips");
+        // A malformed constraint is a protocol error, not a panic.
+        let bad = Message::Query { constraint: "((".into(), kind: None, projection: vec![] };
+        assert!(svc.handle_frame(bad.encode(), 0).is_err());
+    }
+
+    #[test]
+    fn queries_run_against_live_store() {
+        let svc = Matchmaker::new(NegotiatorConfig::default());
+        for i in 0..3 {
+            svc.advertise(machine_adv(i), 0).unwrap();
+        }
+        let q = Query::from_constraint("other.Mips >= 51").unwrap();
+        let results = svc.query(&q, 0);
+        assert_eq!(results.len(), 2);
+        assert_eq!(svc.stats().queries, 1);
+    }
+
+    #[test]
+    fn concurrent_advertising_and_negotiation() {
+        // The service must stay consistent under concurrent writers and
+        // cycle-runners: every accepted ad is either matched (and
+        // withdrawn) or still stored.
+        let svc = Matchmaker::new(NegotiatorConfig::default());
+        let threads = 4;
+        let per_thread = 50;
+        crossbeam::scope(|s| {
+            for t in 0..threads {
+                let svc = &svc;
+                s.spawn(move |_| {
+                    for i in 0..per_thread {
+                        let idx = t * per_thread + i;
+                        svc.advertise(machine_adv(idx), 0).unwrap();
+                        if idx % 5 == 0 {
+                            svc.advertise(job_adv(idx), 0).unwrap();
+                        }
+                    }
+                });
+            }
+            let svc = &svc;
+            s.spawn(move |_| {
+                for _ in 0..10 {
+                    svc.negotiate(0);
+                }
+            });
+        })
+        .unwrap();
+        // Final cycle to drain any remaining pairs.
+        svc.negotiate(0);
+        let s = svc.stats();
+        let expected_ads = (threads * per_thread) as u64 + s.ads_rejected
+            + (0..threads * per_thread).filter(|i| i % 5 == 0).count() as u64;
+        assert_eq!(s.ads_accepted + s.ads_rejected, expected_ads);
+        assert_eq!(s.ads_rejected, 0);
+        // All 40 jobs eventually matched (machines outnumber them).
+        assert_eq!(s.matches, (0..threads * per_thread).filter(|i| i % 5 == 0).count() as u64);
+    }
+}

@@ -1,0 +1,111 @@
+//! Authorization tickets for the claiming protocol.
+//!
+//! The paper (§4): an RA "includes an authorization ticket with its ad";
+//! the pool manager relays the ticket to the matched customer, and "the RA
+//! accepts the resource request only if the ticket matches the one that it
+//! gave the pool manager". A ticket is an unforgeable-by-guessing 128-bit
+//! nonce; real deployments would derive it from a keyed MAC, which slots in
+//! behind the same interface.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// An opaque authorization ticket.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ticket(u128);
+
+impl Ticket {
+    /// Reconstruct a ticket from its raw value (wire decoding).
+    pub fn from_raw(v: u128) -> Self {
+        Ticket(v)
+    }
+
+    /// The raw value (wire encoding).
+    pub fn raw(&self) -> u128 {
+        self.0
+    }
+
+    /// Constant-time comparison: claim verification must not leak ticket
+    /// bits through early-exit timing.
+    pub fn verify(&self, presented: &Ticket) -> bool {
+        let x = self.0 ^ presented.0;
+        let mut acc: u8 = 0;
+        for i in 0..16 {
+            acc |= ((x >> (i * 8)) & 0xFF) as u8;
+        }
+        acc == 0
+    }
+}
+
+impl fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Never print full ticket material in logs.
+        write!(f, "Ticket({:04x}…)", (self.0 >> 112) as u16)
+    }
+}
+
+/// Issues fresh tickets from a seeded CSPRNG-style stream.
+///
+/// Seeding is explicit so simulations are reproducible; production callers
+/// seed from the OS.
+#[derive(Debug)]
+pub struct TicketIssuer {
+    rng: StdRng,
+}
+
+impl TicketIssuer {
+    /// Create an issuer from a seed.
+    pub fn new(seed: u64) -> Self {
+        TicketIssuer { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Issue a fresh ticket.
+    pub fn issue(&mut self) -> Ticket {
+        Ticket(self.rng.gen())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn issue_is_deterministic_per_seed() {
+        let mut a = TicketIssuer::new(7);
+        let mut b = TicketIssuer::new(7);
+        assert_eq!(a.issue(), b.issue());
+        assert_eq!(a.issue(), b.issue());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = TicketIssuer::new(1);
+        let mut b = TicketIssuer::new(2);
+        assert_ne!(a.issue(), b.issue());
+    }
+
+    #[test]
+    fn successive_tickets_differ() {
+        let mut a = TicketIssuer::new(1);
+        let t1 = a.issue();
+        let t2 = a.issue();
+        assert_ne!(t1, t2);
+    }
+
+    #[test]
+    fn verify_matches_equality() {
+        let t = Ticket::from_raw(0x0123_4567_89AB_CDEF_0011_2233_4455_6677);
+        assert!(t.verify(&Ticket::from_raw(t.raw())));
+        assert!(!t.verify(&Ticket::from_raw(t.raw() ^ 1)));
+        assert!(!t.verify(&Ticket::from_raw(t.raw() ^ (1 << 127))));
+    }
+
+    #[test]
+    fn debug_does_not_leak() {
+        let t = Ticket::from_raw(u128::MAX);
+        let s = format!("{t:?}");
+        assert!(s.len() < 20, "{s}");
+        assert!(!s.contains("ffffffffffffffff"), "{s}");
+    }
+}

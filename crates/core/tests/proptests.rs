@@ -1,0 +1,298 @@
+//! Property-based tests for the matchmaking framework: negotiation
+//! invariants, ad-store model checking, and wire-format robustness.
+
+use classad::{symmetric_match, ClassAd, EvalPolicy, MatchConventions};
+use matchmaker::framing::{encode_framed, FrameDecoder};
+use matchmaker::prelude::*;
+use matchmaker::protocol::Message;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+// ---------------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct MachineSpec {
+    mips: i64,
+    memory: i64,
+    arch: bool, // true = INTEL, false = SPARC
+    claimed: Option<f64>,
+}
+
+fn arb_machine() -> impl Strategy<Value = MachineSpec> {
+    (10i64..200, prop_oneof![Just(32i64), Just(64), Just(128)], any::<bool>(), prop_oneof![
+        3 => Just(None),
+        1 => (0.0f64..5.0).prop_map(Some)
+    ])
+        .prop_map(|(mips, memory, arch, claimed)| MachineSpec { mips, memory, arch, claimed })
+}
+
+#[derive(Debug, Clone)]
+struct JobSpec {
+    owner: u8,
+    memory: i64,
+    needs_intel: bool,
+    prio: i64,
+}
+
+fn arb_job() -> impl Strategy<Value = JobSpec> {
+    (0u8..4, prop_oneof![Just(16i64), Just(48), Just(96)], any::<bool>(), 0i64..10)
+        .prop_map(|(owner, memory, needs_intel, prio)| JobSpec { owner, memory, needs_intel, prio })
+}
+
+fn machine_ad(i: usize, m: &MachineSpec) -> ClassAd {
+    let claimed_part = match m.claimed {
+        Some(rank) => format!(
+            r#"State = "Claimed"; RemoteOwner = "prev"; CurrentRank = {rank};"#
+        ),
+        None => r#"State = "Unclaimed";"#.to_string(),
+    };
+    classad::parse_classad(&format!(
+        r#"[ Name = "m{i}"; Type = "Machine"; Mips = {mips}; Memory = {memory};
+             Arch = "{arch}"; {claimed_part}
+             Constraint = other.Type == "Job" && other.Memory <= Memory;
+             Rank = other.JobPrio ]"#,
+        mips = m.mips,
+        memory = m.memory,
+        arch = if m.arch { "INTEL" } else { "SPARC" },
+    ))
+    .unwrap()
+}
+
+fn job_ad(i: usize, j: &JobSpec) -> ClassAd {
+    let arch_clause = if j.needs_intel { r#" && other.Arch == "INTEL""# } else { "" };
+    classad::parse_classad(&format!(
+        r#"[ Name = "j{i}"; Type = "Job"; Owner = "user{}"; Memory = {};
+             JobPrio = {};
+             Constraint = other.Type == "Machine" && other.Memory >= self.Memory{arch_clause};
+             Rank = other.Mips ]"#,
+        j.owner, j.memory, j.prio,
+    ))
+    .unwrap()
+}
+
+fn build_store(machines: &[MachineSpec], jobs: &[JobSpec]) -> AdStore {
+    let proto = AdvertisingProtocol::default();
+    let mut store = AdStore::new();
+    for (i, m) in machines.iter().enumerate() {
+        store
+            .advertise(
+                Advertisement {
+                    kind: EntityKind::Provider,
+                    ad: machine_ad(i, m),
+                    contact: format!("m{i}:1"),
+                    ticket: Some(Ticket::from_raw(i as u128)),
+                    expires_at: u64::MAX,
+                },
+                0,
+                &proto,
+            )
+            .unwrap();
+    }
+    for (i, j) in jobs.iter().enumerate() {
+        store
+            .advertise(
+                Advertisement {
+                    kind: EntityKind::Customer,
+                    ad: job_ad(i, j),
+                    contact: format!("ca{}:1", j.owner),
+                    ticket: None,
+                    expires_at: u64::MAX,
+                },
+                0,
+                &proto,
+            )
+            .unwrap();
+    }
+    store
+}
+
+// ---------------------------------------------------------------------------
+// Negotiation invariants
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn negotiation_invariants(
+        machines in proptest::collection::vec(arb_machine(), 0..24),
+        jobs in proptest::collection::vec(arb_job(), 0..16),
+        preemption in any::<bool>(),
+    ) {
+        let store = build_store(&machines, &jobs);
+        let mut neg = Negotiator::new(NegotiatorConfig { preemption, ..Default::default() });
+        let out = neg.negotiate(&store, 0);
+        let policy = EvalPolicy::default();
+        let conv = MatchConventions::default();
+
+        // 1. No offer is granted twice.
+        let mut offers_seen = std::collections::HashSet::new();
+        for m in &out.matches {
+            prop_assert!(offers_seen.insert(m.offer_name.clone()), "offer {} granted twice", m.offer_name);
+        }
+        // 2. No request is granted twice.
+        let mut reqs_seen = std::collections::HashSet::new();
+        for m in &out.matches {
+            prop_assert!(reqs_seen.insert(m.request_name.clone()));
+        }
+        // 3. Every match satisfies both constraints.
+        for m in &out.matches {
+            prop_assert!(
+                symmetric_match(&m.request_ad, &m.offer_ad, &policy, &conv),
+                "granted pair does not match: {} x {}", m.request_name, m.offer_name
+            );
+        }
+        // 4. Preemptions only with preemption enabled, and only of claimed
+        //    offers the offer itself ranks lower.
+        for m in &out.matches {
+            if m.preempts.is_some() {
+                prop_assert!(preemption);
+                let state = m.offer_ad.eval_attr("State", &policy);
+                prop_assert_eq!(state.as_str(), Some("Claimed"));
+                let current = m.offer_ad.eval_attr("CurrentRank", &policy).as_f64().unwrap();
+                prop_assert!(m.offer_rank > current);
+            }
+        }
+        // 5. Bookkeeping adds up.
+        prop_assert_eq!(out.stats.matches, out.matches.len());
+        prop_assert_eq!(out.stats.matches + out.stats.unmatched_requests, jobs.len());
+        prop_assert_eq!(out.stats.requests_considered, jobs.len());
+        prop_assert_eq!(out.stats.offers_considered, machines.len());
+    }
+
+    #[test]
+    fn negotiation_is_deterministic(
+        machines in proptest::collection::vec(arb_machine(), 0..12),
+        jobs in proptest::collection::vec(arb_job(), 0..8),
+    ) {
+        let store = build_store(&machines, &jobs);
+        let pairs = |out: &matchmaker::negotiate::CycleOutcome| -> Vec<(String, String)> {
+            out.matches.iter().map(|m| (m.request_name.clone(), m.offer_name.clone())).collect()
+        };
+        let a = Negotiator::default().negotiate(&store, 0);
+        let b = Negotiator::default().negotiate(&store, 0);
+        prop_assert_eq!(pairs(&a), pairs(&b));
+        // And the parallel scan agrees with serial.
+        let mut par = Negotiator::new(NegotiatorConfig { threads: 3, ..Default::default() });
+        let c = par.negotiate(&store, 0);
+        prop_assert_eq!(pairs(&a), pairs(&c));
+    }
+
+    // -----------------------------------------------------------------------
+    // Ad store model check
+    // -----------------------------------------------------------------------
+
+    #[test]
+    fn ad_store_matches_model(ops in proptest::collection::vec(
+        (0u8..3, 0usize..8, 1u64..100), 0..60
+    )) {
+        // Model: a map name -> expires_at. Ops: 0 = advertise, 1 = withdraw,
+        // 2 = expire sweep at the op's timestamp.
+        let proto = AdvertisingProtocol::default();
+        let mut store = AdStore::new();
+        let mut model: HashMap<String, u64> = HashMap::new();
+        let mut clock = 0u64;
+        for (op, idx, dt) in ops {
+            match op {
+                0 => {
+                    let name = format!("e{idx}");
+                    let expires = clock + dt;
+                    let ad = classad::parse_classad(&format!(
+                        r#"[ Name = "{name}"; Constraint = true ]"#
+                    )).unwrap();
+                    let r = store.advertise(Advertisement {
+                        kind: EntityKind::Provider,
+                        ad,
+                        contact: "c:1".into(),
+                        ticket: None,
+                        expires_at: expires,
+                    }, clock, &proto);
+                    prop_assert!(r.is_ok());
+                    model.insert(name, expires);
+                }
+                1 => {
+                    let name = format!("e{idx}");
+                    let was_in_model = model.remove(&name).is_some();
+                    let was_in_store = store.withdraw(EntityKind::Provider, &name);
+                    prop_assert_eq!(was_in_model, was_in_store);
+                }
+                _ => {
+                    clock += dt;
+                    store.expire(clock);
+                    model.retain(|_, &mut exp| exp > clock);
+                }
+            }
+            // Live sets agree after every op.
+            let mut live_store: Vec<String> = store
+                .snapshot(EntityKind::Provider, clock)
+                .into_iter()
+                .map(|s| s.name)
+                .collect();
+            live_store.sort();
+            let mut live_model: Vec<String> = model
+                .iter()
+                .filter(|(_, &exp)| exp > clock)
+                .map(|(n, _)| n.clone())
+                .collect();
+            live_model.sort();
+            prop_assert_eq!(live_store, live_model);
+        }
+    }
+
+    // -----------------------------------------------------------------------
+    // Wire format
+    // -----------------------------------------------------------------------
+
+    #[test]
+    fn messages_survive_arbitrary_fragmentation(
+        machines in proptest::collection::vec(arb_machine(), 1..5),
+        cuts in proptest::collection::vec(1usize..64, 0..20),
+    ) {
+        let msgs: Vec<Message> = machines
+            .iter()
+            .enumerate()
+            .map(|(i, m)| Message::Advertise(Advertisement {
+                kind: EntityKind::Provider,
+                ad: machine_ad(i, m),
+                contact: format!("m{i}:1"),
+                ticket: Some(Ticket::from_raw(i as u128)),
+                expires_at: 42,
+            }))
+            .collect();
+        let mut wire = Vec::new();
+        for m in &msgs {
+            wire.extend_from_slice(&encode_framed(m));
+        }
+        // Split the stream at pseudo-random cut widths.
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        let mut pos = 0;
+        let fallback = [7usize];
+        let mut cut_iter =
+            if cuts.is_empty() { fallback.iter().cycle() } else { cuts.iter().cycle() };
+        while pos < wire.len() {
+            let step = (*cut_iter.next().unwrap()).min(wire.len() - pos);
+            dec.push(&wire[pos..pos + step]);
+            pos += step;
+            while let Some(m) = dec.next_message().unwrap() {
+                got.push(m);
+            }
+        }
+        prop_assert_eq!(got, msgs);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let mut dec = FrameDecoder::new();
+        dec.push(&data);
+        // Errors are fine; panics are not.
+        while let Ok(Some(_)) = dec.next_message() {}
+    }
+
+    #[test]
+    fn message_decode_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Message::decode(bytes::Bytes::from(data));
+    }
+}

@@ -1,0 +1,374 @@
+//! Gang matching: atomic co-allocation of multiple resources (paper §5).
+//!
+//! "Classads are first-class objects in the model. They can be arbitrarily
+//! nested, leading to a natural language for expressing resource
+//! aggregates or co-allocation requests" (§3.1), and §5 proposes group
+//! matching to "service co-allocation requests".
+//!
+//! A gang request is a classad whose `Ports` attribute is a list of nested
+//! request ads — e.g. a job that needs a workstation *and* a software
+//! license *and* a tape drive. A gang matches only if **every** port can
+//! be matched to a **distinct** offer (all-or-nothing).
+//!
+//! The solver is a rank-greedy backtracking search: ports are ordered by
+//! candidate-set size (most-constrained first), each port tries its
+//! candidates in descending request-rank order, and a node budget bounds
+//! worst-case behaviour. This finds a feasible gang whenever one exists
+//! (within budget) and is rank-greedy, not globally rank-optimal — the
+//! classic trade-off for NP-hard assignment with preferences.
+
+use classad::ast::Expr;
+use classad::{ClassAd, EvalPolicy, MatchConventions};
+use matchmaker::matcher::MatchEngine;
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors extracting a gang request from a classad.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GangError {
+    /// The ad has no `Ports` attribute.
+    NoPorts,
+    /// `Ports` is not a list of record constructors.
+    BadPorts(String),
+    /// A gang must have at least one port.
+    Empty,
+}
+
+impl fmt::Display for GangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GangError::NoPorts => f.write_str("gang request has no Ports attribute"),
+            GangError::BadPorts(m) => write!(f, "malformed Ports: {m}"),
+            GangError::Empty => f.write_str("gang request has zero ports"),
+        }
+    }
+}
+
+impl std::error::Error for GangError {}
+
+/// A parsed gang request: the shared envelope ad plus one request ad per
+/// port.
+#[derive(Debug, Clone)]
+pub struct GangRequest {
+    /// The envelope ad (common attributes like `Owner`).
+    pub envelope: ClassAd,
+    /// Per-port request ads. Envelope attributes are folded into each port
+    /// (port attributes win) so port constraints can reference them.
+    pub ports: Vec<ClassAd>,
+}
+
+impl GangRequest {
+    /// Extract a gang request from an ad with a `Ports = { [..], [..] }`
+    /// attribute.
+    ///
+    /// The nested records are lifted from the **AST** (not evaluated), so
+    /// port `Constraint`/`Rank` expressions stay symbolic.
+    pub fn from_ad(ad: &ClassAd) -> Result<GangRequest, GangError> {
+        let ports_expr = ad.get("Ports").ok_or(GangError::NoPorts)?;
+        let Expr::List(items) = ports_expr.as_ref() else {
+            return Err(GangError::BadPorts(format!(
+                "expected a list, found `{ports_expr}`"
+            )));
+        };
+        if items.is_empty() {
+            return Err(GangError::Empty);
+        }
+        let mut envelope = ad.clone();
+        envelope.remove("Ports");
+        let mut ports = Vec::with_capacity(items.len());
+        for (i, item) in items.iter().enumerate() {
+            let Expr::Record(fields) = item else {
+                return Err(GangError::BadPorts(format!(
+                    "port {i} is not a record: `{item}`"
+                )));
+            };
+            let mut port = envelope.clone();
+            for (n, e) in fields {
+                port.set(n.canonical(), e.clone());
+            }
+            ports.push(port);
+        }
+        Ok(GangRequest { envelope, ports })
+    }
+}
+
+/// Result of a gang match: one offer index per port.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GangMatch {
+    /// `assignment[p]` is the offer index granted to port `p`.
+    pub assignment: Vec<usize>,
+    /// Sum of per-port request ranks (the greedy objective).
+    pub total_rank: f64,
+}
+
+/// Gang solver configuration.
+#[derive(Debug, Clone)]
+pub struct GangSolver {
+    /// The match engine used for port/offer scoring.
+    pub engine: MatchEngine,
+    /// Backtracking node budget (guards worst-case blowup).
+    pub node_budget: usize,
+}
+
+impl Default for GangSolver {
+    fn default() -> Self {
+        GangSolver { engine: MatchEngine::new(), node_budget: 100_000 }
+    }
+}
+
+impl GangSolver {
+    /// Create a solver with the given evaluation policy/conventions.
+    pub fn new(policy: EvalPolicy, conventions: MatchConventions) -> Self {
+        GangSolver { engine: MatchEngine { policy, conventions }, node_budget: 100_000 }
+    }
+
+    /// Match every port of `gang` to a distinct offer, or `None` if no
+    /// complete assignment is found (within budget).
+    pub fn solve(&self, gang: &GangRequest, offers: &[Arc<ClassAd>]) -> Option<GangMatch> {
+        // Candidate lists per port, sorted by descending request rank.
+        let mut candidates: Vec<Vec<(usize, f64)>> = gang
+            .ports
+            .iter()
+            .map(|port| {
+                let mut c: Vec<(usize, f64)> = offers
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, o)| {
+                        self.engine.score(port, o, i).map(|cand| (i, cand.request_rank))
+                    })
+                    .collect();
+                c.sort_by(|a, b| {
+                    b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+                });
+                c
+            })
+            .collect();
+
+        // All-or-nothing: a port with zero candidates fails the gang.
+        if candidates.iter().any(|c| c.is_empty()) {
+            return None;
+        }
+
+        // Most-constrained port first.
+        let mut order: Vec<usize> = (0..gang.ports.len()).collect();
+        order.sort_by_key(|&p| candidates[p].len());
+
+        let mut used = vec![false; offers.len()];
+        let mut assignment = vec![usize::MAX; gang.ports.len()];
+        let mut total_rank = 0.0;
+        let mut budget = self.node_budget;
+        if self.dfs(&order, 0, &mut candidates, &mut used, &mut assignment, &mut total_rank, &mut budget) {
+            Some(GangMatch { assignment, total_rank })
+        } else {
+            None
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn dfs(
+        &self,
+        order: &[usize],
+        depth: usize,
+        candidates: &mut [Vec<(usize, f64)>],
+        used: &mut [bool],
+        assignment: &mut [usize],
+        total_rank: &mut f64,
+        budget: &mut usize,
+    ) -> bool {
+        if depth == order.len() {
+            return true;
+        }
+        let port = order[depth];
+        let cands = candidates[port].clone();
+        for (offer, rank) in cands {
+            if used[offer] {
+                continue;
+            }
+            if *budget == 0 {
+                return false;
+            }
+            *budget -= 1;
+            used[offer] = true;
+            assignment[port] = offer;
+            *total_rank += rank;
+            if self.dfs(order, depth + 1, candidates, used, assignment, total_rank, budget) {
+                return true;
+            }
+            used[offer] = false;
+            assignment[port] = usize::MAX;
+            *total_rank -= rank;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use classad::parse_classad;
+
+    fn offer(name: &str, kind: &str, extra: &str) -> Arc<ClassAd> {
+        Arc::new(
+            parse_classad(&format!(
+                r#"[ Name = "{name}"; Type = "{kind}"; {extra}
+                     Constraint = true; Rank = 0 ]"#
+            ))
+            .unwrap(),
+        )
+    }
+
+    fn pool() -> Vec<Arc<ClassAd>> {
+        vec![
+            offer("cpu1", "Machine", "Mips = 100; Memory = 64;"),
+            offer("cpu2", "Machine", "Mips = 50; Memory = 128;"),
+            offer("lic1", "License", r#"Product = "matlab";"#),
+            offer("tape1", "TapeDrive", "CapacityGB = 40;"),
+        ]
+    }
+
+    fn gang_ad(src: &str) -> GangRequest {
+        GangRequest::from_ad(&parse_classad(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn parse_gang_request() {
+        let g = gang_ad(
+            r#"[ Name = "g"; Owner = "raman";
+                 Ports = {
+                     [ Constraint = other.Type == "Machine"; Rank = other.Mips ],
+                     [ Constraint = other.Type == "License" ]
+                 } ]"#,
+        );
+        assert_eq!(g.ports.len(), 2);
+        // Envelope attributes are visible in each port.
+        assert_eq!(g.ports[0].get_string("Owner"), Some("raman"));
+        assert!(!g.envelope.contains("Ports"));
+    }
+
+    #[test]
+    fn parse_errors() {
+        let no_ports = parse_classad("[ a = 1 ]").unwrap();
+        assert_eq!(GangRequest::from_ad(&no_ports).unwrap_err(), GangError::NoPorts);
+        let bad = parse_classad("[ Ports = 42 ]").unwrap();
+        assert!(matches!(GangRequest::from_ad(&bad).unwrap_err(), GangError::BadPorts(_)));
+        let empty = parse_classad("[ Ports = {} ]").unwrap();
+        assert_eq!(GangRequest::from_ad(&empty).unwrap_err(), GangError::Empty);
+        let bad_item = parse_classad("[ Ports = { 1 } ]").unwrap();
+        assert!(matches!(GangRequest::from_ad(&bad_item).unwrap_err(), GangError::BadPorts(_)));
+    }
+
+    #[test]
+    fn three_way_coallocation() {
+        let g = gang_ad(
+            r#"[ Name = "g"; Owner = "raman";
+                 Ports = {
+                     [ Constraint = other.Type == "Machine" && other.Memory >= 32;
+                       Rank = other.Mips ],
+                     [ Constraint = other.Type == "License" && other.Product == "matlab" ],
+                     [ Constraint = other.Type == "TapeDrive" && other.CapacityGB >= 20 ]
+                 } ]"#,
+        );
+        let offers = pool();
+        let m = GangSolver::default().solve(&g, &offers).unwrap();
+        assert_eq!(m.assignment.len(), 3);
+        // Port 0 got the fast machine (rank-greedy).
+        assert_eq!(m.assignment[0], 0);
+        assert_eq!(m.assignment[1], 2);
+        assert_eq!(m.assignment[2], 3);
+    }
+
+    #[test]
+    fn all_or_nothing() {
+        // Second port is unsatisfiable: the whole gang fails even though
+        // port 0 has candidates.
+        let g = gang_ad(
+            r#"[ Ports = {
+                     [ Constraint = other.Type == "Machine" ],
+                     [ Constraint = other.Type == "Hologram" ]
+                 } ]"#,
+        );
+        assert!(GangSolver::default().solve(&g, &pool()).is_none());
+    }
+
+    #[test]
+    fn distinct_offers_enforced() {
+        // Two ports both need a machine; there are exactly two machines.
+        let g = gang_ad(
+            r#"[ Ports = {
+                     [ Constraint = other.Type == "Machine" ],
+                     [ Constraint = other.Type == "Machine" ]
+                 } ]"#,
+        );
+        let m = GangSolver::default().solve(&g, &pool()).unwrap();
+        assert_ne!(m.assignment[0], m.assignment[1]);
+    }
+
+    #[test]
+    fn backtracking_resolves_contention() {
+        // Port A can use cpu1 or cpu2; port B can only use cpu1. Greedy
+        // would hand cpu1 (higher mips) to A first; backtracking must
+        // reassign.
+        let g = gang_ad(
+            r#"[ Ports = {
+                     [ Constraint = other.Type == "Machine"; Rank = other.Mips ],
+                     [ Constraint = other.Type == "Machine" && other.Memory < 100 ]
+                 } ]"#,
+        );
+        let m = GangSolver::default().solve(&g, &pool()).unwrap();
+        // Port 1 (most constrained: only cpu1 has Memory < 100) is placed
+        // first; port 0 falls back to cpu2.
+        assert_eq!(m.assignment[1], 0);
+        assert_eq!(m.assignment[0], 1);
+    }
+
+    #[test]
+    fn offers_can_veto_ports() {
+        // Bilateral matching holds per port: a license that refuses the
+        // gang's owner blocks the gang.
+        let offers = vec![
+            offer("cpu1", "Machine", "Mips = 100; Memory = 64;"),
+            Arc::new(
+                parse_classad(
+                    r#"[ Name = "lic"; Type = "License";
+                         Constraint = other.Owner != "rival"; Rank = 0 ]"#,
+                )
+                .unwrap(),
+            ),
+        ];
+        let good = gang_ad(
+            r#"[ Owner = "raman";
+                 Ports = { [ Constraint = other.Type == "License" ] } ]"#,
+        );
+        let bad = gang_ad(
+            r#"[ Owner = "rival";
+                 Ports = { [ Constraint = other.Type == "License" ] } ]"#,
+        );
+        let solver = GangSolver::default();
+        assert!(solver.solve(&good, &offers).is_some());
+        assert!(solver.solve(&bad, &offers).is_none());
+    }
+
+    #[test]
+    fn single_port_gang_reduces_to_best_match_feasibility() {
+        let g = gang_ad(
+            r#"[ Ports = { [ Constraint = other.Type == "TapeDrive"; Rank = 0 ] } ]"#,
+        );
+        let m = GangSolver::default().solve(&g, &pool()).unwrap();
+        assert_eq!(m.assignment, vec![3]);
+    }
+
+    #[test]
+    fn node_budget_bounds_search() {
+        // A pathological gang with many interchangeable ports still
+        // terminates under a tiny budget (result may be None).
+        let ports: Vec<String> = (0..8)
+            .map(|_| "[ Constraint = other.Type == \"Machine\" ]".to_string())
+            .collect();
+        let src = format!("[ Ports = {{ {} }} ]", ports.join(", "));
+        let g = gang_ad(&src);
+        let offers = pool();
+        let solver = GangSolver { node_budget: 3, ..Default::default() };
+        // 8 ports, 2 machines: infeasible; must return quickly.
+        assert!(solver.solve(&g, &offers).is_none());
+    }
+}

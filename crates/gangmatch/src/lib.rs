@@ -1,0 +1,26 @@
+//! # gangmatch — aggregation, co-allocation, and diagnosis
+//!
+//! The paper's §5 sketches three research directions beyond the core
+//! framework; this crate implements all three:
+//!
+//! * [`aggregate`] — detect the structural/value **regularity** of real
+//!   pools and match against aggregated templates ("group matching"),
+//!   trading `O(pool)` constraint evaluations for `O(templates)`;
+//! * [`coalloc`] — **gang matching**: atomic co-allocation of several
+//!   resources to one multi-port request expressed with nested classads;
+//! * [`diagnosis`] — explain **why a request cannot match**: per-conjunct
+//!   elimination statistics, offer-side veto attribution, and pool-profile
+//!   hints for never-satisfiable constraints.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod aggregate;
+pub mod coalloc;
+pub mod diagnosis;
+pub mod service;
+
+pub use aggregate::{group_match_batch, regularity, AggregatedPool, RegularityReport, Template};
+pub use coalloc::{GangError, GangMatch, GangRequest, GangSolver};
+pub use diagnosis::{diagnose, profile_attr, AttrProfile, ConjunctReport, Diagnosis};
+pub use service::{negotiate_gangs, GangCycleOutcome, GangGrant, PortGrant};

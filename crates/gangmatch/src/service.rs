@@ -1,0 +1,278 @@
+//! Gang-aware negotiation: serving co-allocation requests from a live ad
+//! store.
+//!
+//! Gang requests are ordinary customer advertisements whose ad carries a
+//! `Ports` list (see [`crate::coalloc`]). This pass runs *after* (or
+//! instead of) the bilateral negotiation cycle: it snapshots the provider
+//! pool, solves each gang atomically against the offers that are still
+//! free, and emits one grant per gang with the provider contact/ticket
+//! details a customer needs to claim every port.
+
+use crate::coalloc::{GangRequest, GangSolver};
+use classad::ClassAd;
+use matchmaker::admanager::{AdStore, StoredAd};
+use matchmaker::protocol::{EntityKind, Timestamp};
+use matchmaker::ticket::Ticket;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// One granted port of a gang.
+#[derive(Debug, Clone)]
+pub struct PortGrant {
+    /// Index of the port in the gang request.
+    pub port: usize,
+    /// The granted provider's ad name.
+    pub offer_name: String,
+    /// The granted provider's ad.
+    pub offer_ad: Arc<ClassAd>,
+    /// Provider contact for claiming.
+    pub provider_contact: String,
+    /// Provider's authorization ticket.
+    pub ticket: Option<Ticket>,
+}
+
+/// A fully granted gang.
+#[derive(Debug, Clone)]
+pub struct GangGrant {
+    /// The gang request's ad name.
+    pub gang_name: String,
+    /// The requesting user.
+    pub owner: String,
+    /// Customer contact.
+    pub customer_contact: String,
+    /// One grant per port, in port order.
+    pub ports: Vec<PortGrant>,
+    /// The solver's greedy objective (sum of port request-ranks).
+    pub total_rank: f64,
+}
+
+/// Outcome of a gang negotiation pass.
+#[derive(Debug, Clone, Default)]
+pub struct GangCycleOutcome {
+    /// Gangs granted, in service order.
+    pub granted: Vec<GangGrant>,
+    /// Gangs that could not be completely allocated (all-or-nothing).
+    pub failed: Vec<String>,
+    /// Gang ads that were malformed (no/invalid `Ports`).
+    pub malformed: Vec<String>,
+}
+
+/// Serve every gang request in `store` against the providers in `store`.
+///
+/// Offers already granted to an earlier gang in the same pass are not
+/// reused; gangs are served freshest-advertisement-last (FIFO by
+/// sequence), mirroring the bilateral negotiator's within-user order.
+pub fn negotiate_gangs(
+    store: &AdStore,
+    now: Timestamp,
+    solver: &GangSolver,
+) -> GangCycleOutcome {
+    let offers: Vec<StoredAd> = store.snapshot(EntityKind::Provider, now);
+    let offer_ads: Vec<Arc<ClassAd>> = offers.iter().map(|o| o.ad.clone()).collect();
+
+    let mut gangs: Vec<StoredAd> = store
+        .snapshot(EntityKind::Customer, now)
+        .into_iter()
+        .filter(|s| s.ad.contains("Ports"))
+        .collect();
+    gangs.sort_by_key(|g| g.seq);
+
+    let mut outcome = GangCycleOutcome::default();
+    let mut taken: HashSet<usize> = HashSet::new();
+
+    for gang_ad in gangs {
+        let gang = match GangRequest::from_ad(&gang_ad.ad) {
+            Ok(g) => g,
+            Err(_) => {
+                outcome.malformed.push(gang_ad.name.clone());
+                continue;
+            }
+        };
+        // Offers consumed by earlier gangs are masked out by substituting
+        // a never-matching placeholder (indices must stay stable so port
+        // assignments map back to the pool).
+        let masked: Vec<Arc<ClassAd>> = offer_ads
+            .iter()
+            .enumerate()
+            .map(|(i, ad)| {
+                if taken.contains(&i) {
+                    Arc::new(ClassAd::from_pairs([(
+                        "Constraint",
+                        classad::Expr::bool(false),
+                    )]))
+                } else {
+                    ad.clone()
+                }
+            })
+            .collect();
+        match solver.solve(&gang, &masked) {
+            None => outcome.failed.push(gang_ad.name.clone()),
+            Some(m) => {
+                let owner = gang_ad
+                    .ad
+                    .eval_attr("Owner", &solver.engine.policy)
+                    .as_str()
+                    .map(str::to_string)
+                    .unwrap_or_default();
+                let ports = m
+                    .assignment
+                    .iter()
+                    .enumerate()
+                    .map(|(port, &idx)| {
+                        taken.insert(idx);
+                        let offer = &offers[idx];
+                        PortGrant {
+                            port,
+                            offer_name: offer.name.clone(),
+                            offer_ad: offer.ad.clone(),
+                            provider_contact: offer.contact.clone(),
+                            ticket: offer.ticket,
+                        }
+                    })
+                    .collect();
+                outcome.granted.push(GangGrant {
+                    gang_name: gang_ad.name.clone(),
+                    owner,
+                    customer_contact: gang_ad.contact.clone(),
+                    ports,
+                    total_rank: m.total_rank,
+                });
+            }
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matchmaker::protocol::{Advertisement, AdvertisingProtocol};
+
+    fn provider(name: &str, kind: &str, extra: &str) -> Advertisement {
+        Advertisement {
+            kind: EntityKind::Provider,
+            ad: classad::parse_classad(&format!(
+                r#"[ Name = "{name}"; Type = "{kind}"; {extra}
+                     Constraint = true; Rank = 0 ]"#
+            ))
+            .unwrap(),
+            contact: format!("{name}:9614"),
+            ticket: Some(Ticket::from_raw(name.len() as u128)),
+            expires_at: 10_000,
+        }
+    }
+
+    fn gang(name: &str, owner: &str, ports: &[&str]) -> Advertisement {
+        let ports_src = ports.join(", ");
+        Advertisement {
+            kind: EntityKind::Customer,
+            ad: classad::parse_classad(&format!(
+                r#"[ Name = "{name}"; Type = "Gang"; Owner = "{owner}";
+                     Constraint = true;
+                     Ports = {{ {ports_src} }} ]"#
+            ))
+            .unwrap(),
+            contact: format!("{owner}-ca:1"),
+            ticket: None,
+            expires_at: 10_000,
+        }
+    }
+
+    fn store_with(ads: Vec<Advertisement>) -> AdStore {
+        let proto = AdvertisingProtocol::default();
+        let mut store = AdStore::new();
+        for a in ads {
+            store.advertise(a, 0, &proto).unwrap();
+        }
+        store
+    }
+
+    const CPU_PORT: &str = r#"[ Constraint = other.Type == "Machine"; Rank = other.Mips ]"#;
+    const LIC_PORT: &str = r#"[ Constraint = other.Type == "License" ]"#;
+
+    #[test]
+    fn single_gang_granted_with_claim_details() {
+        let store = store_with(vec![
+            provider("cpu1", "Machine", "Mips = 100;"),
+            provider("lic1", "License", ""),
+            gang("g1", "raman", &[CPU_PORT, LIC_PORT]),
+        ]);
+        let out = negotiate_gangs(&store, 0, &GangSolver::default());
+        assert_eq!(out.granted.len(), 1);
+        assert!(out.failed.is_empty());
+        let g = &out.granted[0];
+        assert_eq!(g.gang_name, "g1");
+        assert_eq!(g.owner, "raman");
+        assert_eq!(g.ports.len(), 2);
+        assert_eq!(g.ports[0].offer_name, "cpu1");
+        assert_eq!(g.ports[1].offer_name, "lic1");
+        assert!(g.ports[0].ticket.is_some(), "tickets relayed per port");
+        assert_eq!(g.ports[0].provider_contact, "cpu1:9614");
+    }
+
+    #[test]
+    fn gangs_compete_for_offers_fifo() {
+        // Two gangs both need the single license; only the first wins.
+        let store = store_with(vec![
+            provider("cpu1", "Machine", "Mips = 100;"),
+            provider("cpu2", "Machine", "Mips = 50;"),
+            provider("lic1", "License", ""),
+            gang("first", "a", &[CPU_PORT, LIC_PORT]),
+            gang("second", "b", &[CPU_PORT, LIC_PORT]),
+        ]);
+        let out = negotiate_gangs(&store, 0, &GangSolver::default());
+        assert_eq!(out.granted.len(), 1);
+        assert_eq!(out.granted[0].gang_name, "first");
+        assert_eq!(out.failed, vec!["second".to_string()]);
+    }
+
+    #[test]
+    fn non_gang_customers_ignored() {
+        let store = store_with(vec![
+            provider("cpu1", "Machine", "Mips = 100;"),
+            Advertisement {
+                kind: EntityKind::Customer,
+                ad: classad::parse_classad(
+                    r#"[ Name = "plain"; Type = "Job"; Owner = "x"; Constraint = true ]"#,
+                )
+                .unwrap(),
+                contact: "x:1".into(),
+                ticket: None,
+                expires_at: 10_000,
+            },
+            gang("g1", "raman", &[CPU_PORT]),
+        ]);
+        let out = negotiate_gangs(&store, 0, &GangSolver::default());
+        assert_eq!(out.granted.len(), 1);
+        assert_eq!(out.granted[0].gang_name, "g1");
+    }
+
+    #[test]
+    fn malformed_gangs_reported() {
+        let store = store_with(vec![
+            provider("cpu1", "Machine", "Mips = 100;"),
+            Advertisement {
+                kind: EntityKind::Customer,
+                ad: classad::parse_classad(
+                    r#"[ Name = "bad"; Type = "Gang"; Owner = "x"; Ports = 42;
+                         Constraint = true ]"#,
+                )
+                .unwrap(),
+                contact: "x:1".into(),
+                ticket: None,
+                expires_at: 10_000,
+            },
+        ]);
+        let out = negotiate_gangs(&store, 0, &GangSolver::default());
+        assert_eq!(out.malformed, vec!["bad".to_string()]);
+    }
+
+    #[test]
+    fn expired_offers_excluded() {
+        let mut short = provider("cpu1", "Machine", "Mips = 100;");
+        short.expires_at = 5;
+        let store = store_with(vec![short, gang("g1", "raman", &[CPU_PORT])]);
+        let out = negotiate_gangs(&store, 100, &GangSolver::default());
+        assert_eq!(out.failed, vec!["g1".to_string()]);
+    }
+}

@@ -1,0 +1,88 @@
+//! The context handed to agent handlers: virtual clock, RNG stream,
+//! message transmission through the network model, and timer scheduling.
+
+use crate::engine::{EventQueue, SimTime};
+use crate::metrics::Metrics;
+use crate::network::NetworkModel;
+use crate::types::{Event, NodeId, SimMsg};
+use rand::rngs::SmallRng;
+use std::collections::HashMap;
+
+/// Mutable view of the simulation an agent gets while handling an event.
+pub struct Ctx<'a> {
+    /// Current virtual time (ms).
+    pub now: SimTime,
+    /// The simulation-wide RNG stream.
+    pub rng: &'a mut SmallRng,
+    /// Metrics sink.
+    pub metrics: &'a mut Metrics,
+    /// Contact-address → node directory (simulated name service).
+    pub directory: &'a HashMap<String, NodeId>,
+    /// The event queue.
+    pub queue: &'a mut EventQueue<Event>,
+    /// The network model applied to sends.
+    pub network: &'a NetworkModel,
+}
+
+impl Ctx<'_> {
+    /// Is this message carried best-effort (periodic soft-state traffic,
+    /// subject to loss) or over a connection (claim/teardown RPCs)?
+    ///
+    /// The paper's architecture tolerates losing *advertisements and
+    /// notifications* — soft state regenerates on the next period. The
+    /// direct working relationship between matched entities (claim
+    /// handshake, completion/vacate notices) runs over a connection, as in
+    /// Condor; the network model applies latency to both but loss only to
+    /// the best-effort class.
+    fn best_effort(msg: &SimMsg) -> bool {
+        matches!(
+            msg,
+            SimMsg::Proto(matchmaker::protocol::Message::Advertise(_))
+                | SimMsg::Proto(matchmaker::protocol::Message::Notify(_))
+        )
+    }
+
+    /// Send a message to a node through the network model. Returns `false`
+    /// if the network dropped it.
+    pub fn send_to_node(&mut self, to: NodeId, msg: SimMsg) -> bool {
+        self.metrics.messages_sent += 1;
+        let droppable = Self::best_effort(&msg);
+        match self.network.sample(self.rng) {
+            Some(latency) => {
+                self.queue.schedule(latency, Event::Deliver { to, msg });
+                true
+            }
+            None if droppable => {
+                self.metrics.messages_dropped += 1;
+                false
+            }
+            None => {
+                // Reliable class: loss shows up as retransmission delay,
+                // not as message loss.
+                let latency =
+                    self.network.base_latency_ms + self.network.jitter_ms + 1;
+                self.queue.schedule(latency * 3, Event::Deliver { to, msg });
+                true
+            }
+        }
+    }
+
+    /// Send to a contact address (e.g. `"node0001.pool.example:9614"`).
+    /// Unknown addresses count as drops.
+    pub fn send_to_contact(&mut self, contact: &str, msg: SimMsg) -> bool {
+        match self.directory.get(contact) {
+            Some(&node) => self.send_to_node(node, msg),
+            None => {
+                self.metrics.messages_sent += 1;
+                self.metrics.messages_dropped += 1;
+                false
+            }
+        }
+    }
+
+    /// Schedule an event `delay` ms from now (timers are local and
+    /// reliable — they do not traverse the network).
+    pub fn schedule(&mut self, delay: SimTime, ev: Event) {
+        self.queue.schedule(delay, ev);
+    }
+}

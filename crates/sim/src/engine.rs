@@ -1,0 +1,178 @@
+//! The discrete-event engine: a virtual clock and an ordered event queue.
+//!
+//! Determinism contract: given the same scenario and seed, a simulation
+//! replays identically. The queue breaks time ties by insertion sequence,
+//! and all randomness flows from seeded [`rand::rngs::SmallRng`] streams.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Simulation time, in **milliseconds** since simulation start.
+pub type SimTime = u64;
+
+/// Milliseconds per second, for converting to the protocol's second-based
+/// quantities.
+pub const MS_PER_SEC: u64 = 1000;
+
+/// An event scheduled on the queue.
+#[derive(Debug)]
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        other.at.cmp(&self.at).then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// An event queue with a virtual clock.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    now: SimTime,
+    next_seq: u64,
+    processed: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue { heap: BinaryHeap::new(), now: 0, next_seq: 0, processed: 0 }
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// A fresh queue at time zero.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Schedule `payload` to fire `delay` ms from now.
+    pub fn schedule(&mut self, delay: SimTime, payload: E) {
+        self.schedule_at(self.now.saturating_add(delay), payload);
+    }
+
+    /// Schedule `payload` at an absolute time (clamped to `now` — events
+    /// cannot fire in the past).
+    pub fn schedule_at(&mut self, at: SimTime, payload: E) {
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, payload });
+    }
+
+    /// Pop the next event, advancing the clock to its time.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let s = self.heap.pop()?;
+        debug_assert!(s.at >= self.now, "time went backwards");
+        self.now = s.at;
+        self.processed += 1;
+        Some((s.at, s.payload))
+    }
+
+    /// Peek at the next event time without advancing.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(30, "c");
+        q.schedule(10, "a");
+        q.schedule(20, "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule(10, 1);
+        q.schedule(10, 2);
+        q.schedule(10, 3);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.schedule(50, ());
+        q.schedule(10, ());
+        assert_eq!(q.now(), 0);
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, 10);
+        assert_eq!(q.now(), 10);
+        // Scheduling "in the past" clamps to now.
+        q.schedule_at(5, ());
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, 10);
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, 50);
+        assert_eq!(q.processed(), 3);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(10, "first");
+        let (_, e) = q.pop().unwrap();
+        assert_eq!(e, "first");
+        q.schedule(5, "second"); // at t=15
+        q.schedule(2, "third"); // at t=12
+        assert_eq!(q.peek_time(), Some(12));
+        assert_eq!(q.pop().unwrap(), (12, "third"));
+        assert_eq!(q.pop().unwrap(), (15, "second"));
+        assert!(q.pop().is_none());
+        assert_eq!(q.pending(), 0);
+    }
+
+    #[test]
+    fn saturating_far_future() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::MAX, ());
+        q.schedule(1, ());
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, 1);
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime::MAX);
+    }
+}

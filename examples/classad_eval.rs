@@ -1,0 +1,93 @@
+//! A command-line ClassAd evaluator — the smallest useful tool on top of
+//! the language crate.
+//!
+//! Usage:
+//!
+//! ```console
+//! # Evaluate an expression against an ad:
+//! cargo run --example classad_eval -- '[Memory = 64]' 'Memory * 2'
+//!
+//! # Evaluate in a match context (two ads + expression each side can see):
+//! cargo run --example classad_eval -- '[Memory = 31]' '[Memory = 64]' \
+//!     'other.Memory >= self.Memory'
+//!
+//! # No arguments: run the built-in demo script.
+//! cargo run --example classad_eval
+//! ```
+
+use classad::flatten::flatten;
+use classad::{parse_classad, parse_expr, EvalPolicy, Evaluator, Side};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let policy = EvalPolicy::default();
+
+    match args.len() {
+        2 => {
+            let ad = parse_classad(&args[0]).unwrap_or_else(|e| die(&format!("bad ad: {e}")));
+            let expr =
+                parse_expr(&args[1]).unwrap_or_else(|e| die(&format!("bad expression: {e}")));
+            println!("{}", ad.eval_expr(&expr, &policy));
+        }
+        3 => {
+            let left = parse_classad(&args[0]).unwrap_or_else(|e| die(&format!("bad left ad: {e}")));
+            let right =
+                parse_classad(&args[1]).unwrap_or_else(|e| die(&format!("bad right ad: {e}")));
+            let expr =
+                parse_expr(&args[2]).unwrap_or_else(|e| die(&format!("bad expression: {e}")));
+            let v = Evaluator::pair(&left, &right, &policy).eval(&expr, Side::Left);
+            println!("{v}");
+        }
+        0 => demo(&policy),
+        _ => die("expected: <ad> <expr>  |  <left-ad> <right-ad> <expr>  |  (no args)"),
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("classad_eval: {msg}");
+    std::process::exit(2);
+}
+
+fn demo(policy: &EvalPolicy) {
+    println!("classad_eval demo — expression semantics at a glance\n");
+    let ad = parse_classad(
+        r#"[
+            Memory = 64; Mips = 104; Arch = "INTEL";
+            Friends = { "tannenba", "wright" };
+            Threshold = Memory / 2;
+        ]"#,
+    )
+    .unwrap();
+    println!("ad = {}\n", ad.pretty());
+
+    let cases = [
+        "Memory * 2",
+        "Threshold",
+        "Mips >= 100 && Arch == \"intel\"",
+        "member(\"wright\", Friends)",
+        "NoSuchAttr",
+        "NoSuchAttr > 10",
+        "NoSuchAttr is undefined",
+        "1/0",
+        "1/0 == 1/0",
+        "(1/0) is error",
+        "Mips >= 10 || Kflops >= 1000",
+        "ifThenElse(Memory > 32, \"big\", \"small\")",
+        "regexp(\"^INT\", Arch)",
+        "substr(Arch, 0, 3)",
+        "quantize(Memory + 1, 16)",
+    ];
+    for src in cases {
+        let e = parse_expr(src).unwrap();
+        println!("  {:45} => {}", src, ad.eval_expr(&e, policy));
+    }
+
+    println!("\npartial evaluation (flattening) against the ad:");
+    for src in [
+        "other.Memory >= Threshold && other.Arch == Arch",
+        "member(other.Owner, Friends) ? other.Mips : 0",
+    ] {
+        let e = parse_expr(src).unwrap();
+        println!("  {:45} => {}", src, flatten(&e, &ad, policy));
+    }
+}

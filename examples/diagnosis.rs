@@ -1,0 +1,87 @@
+//! "Why doesn't my job run?" — the paper's §5 diagnosis direction.
+//!
+//! Builds a small heterogeneous pool and diagnoses three requests: one
+//! satisfiable, one with an impossible numeric bound, one rejected by the
+//! machines' own policies.
+//!
+//! Run with: `cargo run --example diagnosis`
+
+use classad::{parse_classad, ClassAd, EvalPolicy, MatchConventions};
+use gangmatch::diagnosis::diagnose;
+use std::sync::Arc;
+
+fn pool() -> Vec<Arc<ClassAd>> {
+    (0..12)
+        .map(|i| {
+            Arc::new(
+                parse_classad(&format!(
+                    r#"[ Name = "node{i:02}"; Type = "Machine";
+                         Arch = "{arch}"; OpSys = "SOLARIS251";
+                         Memory = {mem}; Mips = {mips}; Disk = {disk};
+                         Constraint = other.Owner != "riffraff";
+                         Rank = 0 ]"#,
+                    arch = if i % 3 == 0 { "SPARC" } else { "INTEL" },
+                    mem = 32 << (i % 3),       // 32 / 64 / 128
+                    mips = 60 + 7 * i,
+                    disk = 50_000 + 40_000 * i,
+                ))
+                .unwrap(),
+            )
+        })
+        .collect()
+}
+
+fn diagnose_and_print(title: &str, job_src: &str, offers: &[Arc<ClassAd>]) {
+    let job = parse_classad(job_src).unwrap();
+    let d = diagnose(&job, offers, &EvalPolicy::default(), &MatchConventions::default());
+    println!("--- {title} ---");
+    println!("constraint: {}", job.get("Constraint").unwrap());
+    print!("{d}");
+    if d.unsatisfiable() {
+        println!("verdict: UNSATISFIABLE in this pool\n");
+    } else {
+        println!("verdict: {} machine(s) can serve this job\n", d.matches);
+    }
+}
+
+fn main() {
+    let offers = pool();
+    println!("pool: {} machines (INTEL/SPARC, 32–128 MB, 60–137 mips)\n", offers.len());
+
+    diagnose_and_print(
+        "a reasonable job",
+        r#"[ Name = "ok"; Type = "Job"; Owner = "raman";
+            Constraint = other.Type == "Machine" && other.Arch == "INTEL"
+                         && other.Memory >= 64 ]"#,
+        &offers,
+    );
+
+    diagnose_and_print(
+        "an impossible memory requirement",
+        r#"[ Name = "big"; Type = "Job"; Owner = "raman";
+            Constraint = other.Type == "Machine" && other.Memory >= 1024
+                         && other.Arch == "INTEL" ]"#,
+        &offers,
+    );
+
+    diagnose_and_print(
+        "a typo'd architecture",
+        r#"[ Name = "typo"; Type = "Job"; Owner = "raman";
+            Constraint = other.Type == "Machine" && other.Arch == "INTLE" ]"#,
+        &offers,
+    );
+
+    diagnose_and_print(
+        "an attribute nobody advertises",
+        r#"[ Name = "gpu"; Type = "Job"; Owner = "raman";
+            Constraint = other.Type == "Machine" && other.GPUs >= 2 ]"#,
+        &offers,
+    );
+
+    diagnose_and_print(
+        "a banned user (offer-side veto)",
+        r#"[ Name = "banned"; Type = "Job"; Owner = "riffraff";
+            Constraint = other.Type == "Machine" ]"#,
+        &offers,
+    );
+}

@@ -1,0 +1,116 @@
+//! Exploring the paper's Figure 1 owner policy: who may use
+//! `leonardo.cs.wisc.edu`, and when?
+//!
+//! The policy, verbatim from the paper:
+//! * users in `Untrusted` are never served;
+//! * research-group members (rank 10) are always served;
+//! * friends (rank 1) only when the workstation is idle (load < 0.3 and
+//!   keyboard idle > 15 min);
+//! * everyone else only outside 8:00–18:00.
+//!
+//! Run with: `cargo run --example owner_policy`
+
+use classad::fixtures::FIGURE1_MACHINE;
+use classad::{constraint_holds, parse_classad, rank_of, ClassAd, EvalPolicy, MatchConventions};
+
+fn job_for(owner: &str) -> ClassAd {
+    parse_classad(&format!(
+        r#"[ Name = "probe"; Type = "Job"; Owner = "{owner}";
+             Constraint = other.Type == "Machine" ]"#
+    ))
+    .unwrap()
+}
+
+fn main() {
+    let base = parse_classad(FIGURE1_MACHINE).unwrap();
+    let policy = EvalPolicy::default();
+    let conv = MatchConventions::default();
+
+    let owners = ["raman", "miron", "tannenba", "stranger", "riffraff"];
+    type Tweak = Box<dyn Fn(&mut ClassAd)>;
+    let situations: [(&str, Tweak); 4] = [
+        ("idle afternoon (14:00, kbd 24 min)", Box::new(|ad: &mut ClassAd| {
+            ad.set_int("DayTime", 14 * 3600);
+            ad.set_int("KeyboardIdle", 1432);
+            ad.set_real("LoadAvg", 0.042969);
+        })),
+        ("busy afternoon (14:00, kbd 30 s)", Box::new(|ad: &mut ClassAd| {
+            ad.set_int("DayTime", 14 * 3600);
+            ad.set_int("KeyboardIdle", 30);
+            ad.set_real("LoadAvg", 0.8);
+        })),
+        ("idle night (23:00, kbd 2 h)", Box::new(|ad: &mut ClassAd| {
+            ad.set_int("DayTime", 23 * 3600);
+            ad.set_int("KeyboardIdle", 7200);
+            ad.set_real("LoadAvg", 0.01);
+        })),
+        ("busy night (23:00, kbd 10 s)", Box::new(|ad: &mut ClassAd| {
+            ad.set_int("DayTime", 23 * 3600);
+            ad.set_int("KeyboardIdle", 10);
+            ad.set_real("LoadAvg", 1.5);
+        })),
+    ];
+
+    println!("Figure 1 policy decision matrix for leonardo.cs.wisc.edu\n");
+    print!("{:38}", "");
+    for o in owners {
+        print!("{o:>10}");
+    }
+    println!();
+    println!(
+        "{:38}{:>10}{:>10}{:>10}{:>10}{:>10}",
+        "(relationship)", "research", "research", "friend", "other", "untrusted"
+    );
+
+    for (label, tweak) in &situations {
+        let mut machine = base.clone();
+        tweak(&mut machine);
+        print!("{label:<38}");
+        for owner in owners {
+            let job = job_for(owner);
+            let ok = constraint_holds(&machine, &job, &policy, &conv);
+            print!("{:>10}", if ok { "serve" } else { "-" });
+        }
+        println!();
+    }
+
+    println!("\nmachine's rank of each customer (match preference):");
+    for owner in owners {
+        let job = job_for(owner);
+        println!("  {owner:10} rank = {}", rank_of(&base, &job, &policy, &conv));
+    }
+
+    println!("\nthe published constraint:");
+    println!("  Constraint = {}", base.get("Constraint").unwrap());
+    println!("  Rank       = {}", base.get("Rank").unwrap());
+
+    // A faithful-reproduction footnote: with standard `?:` precedence the
+    // figure's expression parses as `(!member(...) && Rank >= 10) ? ... :
+    // ... : <night rule>`, so an *untrusted* user falls through to the
+    // night rule — visible in the matrix above, where riffraff is served
+    // at 23:00. The paper's prose says untrusted users are never served;
+    // that intent needs the untrusted test conjoined outside the cascade:
+    let mut fixed = base.clone();
+    fixed.set(
+        "Constraint",
+        classad::parse_expr(
+            "!member(other.Owner, Untrusted) && \
+             (Rank >= 10 ? true : \
+              Rank > 0 ? LoadAvg < 0.3 && KeyboardIdle > 15*60 : \
+              DayTime < 8*60*60 || DayTime > 18*60*60)",
+        )
+        .unwrap(),
+    );
+    fixed.set_int("DayTime", 23 * 3600);
+    fixed.set_int("KeyboardIdle", 7200);
+    let riffraff = job_for("riffraff");
+    println!("\nprecedence quirk (see EXPERIMENTS.md E1):");
+    println!(
+        "  figure text, idle night, riffraff : {}",
+        if constraint_holds(&{ let mut m = base.clone(); m.set_int("DayTime", 23*3600); m.set_int("KeyboardIdle", 7200); m }, &riffraff, &policy, &conv) { "serve (!)"} else { "-" }
+    );
+    println!(
+        "  prose-faithful, idle night        : {}",
+        if constraint_holds(&fixed, &riffraff, &policy, &conv) { "serve (!)" } else { "- (never serve untrusted)" }
+    );
+}

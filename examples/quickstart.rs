@@ -1,0 +1,91 @@
+//! Quickstart: the paper's Figure 1 and Figure 2 ads, matched exactly as
+//! §3.2 describes, then pushed through a full negotiation cycle.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use classad::fixtures::{FIGURE1_MACHINE, FIGURE2_JOB};
+use classad::{evaluate_match, parse_classad, EvalPolicy, MatchConventions};
+use matchmaker::prelude::*;
+
+fn main() {
+    // --- 1. The classad data model -------------------------------------
+    let machine = parse_classad(FIGURE1_MACHINE).expect("figure 1 parses");
+    let mut job = parse_classad(FIGURE2_JOB).expect("figure 2 parses");
+    // Figure 2 carries no Name; the advertising protocol requires one (it
+    // keys the matchmaker's ad store), so name it as a CA would.
+    job.set_str("Name", "raman.sim2.0");
+
+    println!("Machine ad (paper, Figure 1):\n{}\n", machine.pretty());
+    println!("Job ad (paper, Figure 2):\n{}\n", job.pretty());
+
+    // --- 2. Bilateral matching -----------------------------------------
+    // Both Constraint expressions must evaluate to true, each ad seeing
+    // the other through `other.*`; Rank orders compatible candidates.
+    let policy = EvalPolicy::default();
+    let conv = MatchConventions::default();
+    let result = evaluate_match(&job, &machine, &policy, &conv);
+    println!("job constraint accepts machine: {}", result.left_constraint);
+    println!("machine constraint accepts job: {}", result.right_constraint);
+    println!("job's rank of machine:  {:.3}  (KFlops/1E3 + Memory/32)", result.left_rank);
+    println!("machine's rank of job:  {:.3}  (research group member)", result.right_rank);
+    assert!(result.matched());
+
+    // --- 3. A negotiation cycle ----------------------------------------
+    // Entities advertise to the matchmaker; the negotiator pairs them and
+    // produces match notifications. The matchmaker keeps no match state.
+    let proto = AdvertisingProtocol::default();
+    let mut store = AdStore::new();
+    let mut tickets = TicketIssuer::new(42);
+    let ticket = tickets.issue();
+    store
+        .advertise(
+            Advertisement {
+                kind: EntityKind::Provider,
+                ad: machine,
+                contact: "leonardo.cs.wisc.edu:9614".into(),
+                ticket: Some(ticket),
+                expires_at: 600,
+            },
+            0,
+            &proto,
+        )
+        .expect("machine ad admitted");
+    store
+        .advertise(
+            Advertisement {
+                kind: EntityKind::Customer,
+                ad: job,
+                contact: "raman-ca:1".into(),
+                ticket: None,
+                expires_at: 600,
+            },
+            0,
+            &proto,
+        )
+        .expect("job ad admitted");
+
+    let mut negotiator = Negotiator::default();
+    let outcome = negotiator.negotiate(&store, 0);
+    println!("\nnegotiation cycle: {} match(es)", outcome.stats.matches);
+    let m = &outcome.matches[0];
+    println!(
+        "  {} (owner {}) <-> {}  [request rank {:.3}, offer rank {:.1}]",
+        m.request_name, m.owner, m.offer_name, m.request_rank, m.offer_rank
+    );
+
+    // --- 4. Claiming ----------------------------------------------------
+    // The customer contacts the provider directly, presenting the ticket;
+    // the provider re-verifies everything against *current* state.
+    let (to_customer, _to_provider) = m.notifications();
+    let mut handler = ClaimHandler::new();
+    handler.set_ticket(ticket);
+    let req = ClaimRequest {
+        ticket: to_customer.ticket.expect("customer copy carries the ticket"),
+        customer_ad: to_customer.own_ad.clone(),
+        customer_contact: "raman-ca:1".into(),
+    };
+    let (resp, _) = handler.handle_claim(&req, &to_customer.peer_ad, 5, |_| false);
+    println!("\nclaim accepted: {}", resp.accepted);
+    assert!(resp.accepted);
+    println!("claim state: {:?}", handler.state());
+}

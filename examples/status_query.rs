@@ -1,0 +1,126 @@
+//! A `condor_status`-style browsing tool built on one-way query matching
+//! (paper §4: "One-way matching protocols are used to find all objects
+//! matching a given pattern").
+//!
+//! Run with: `cargo run --example status_query`
+
+use classad::{EvalPolicy, MatchConventions, Value};
+use matchmaker::prelude::*;
+use matchmaker::protocol::Timestamp;
+
+fn advertise_pool(store: &mut AdStore, proto: &AdvertisingProtocol) {
+    let machines = [
+        ("leonardo", "INTEL", "SOLARIS251", 104, 64, "Unclaimed"),
+        ("raphael", "INTEL", "SOLARIS251", 120, 128, "Claimed"),
+        ("donatello", "SPARC", "SOLARIS251", 80, 256, "Unclaimed"),
+        ("michelangelo", "INTEL", "LINUX", 140, 64, "Owner"),
+        ("splinter", "SPARC", "SOLARIS251", 60, 64, "Unclaimed"),
+    ];
+    for (name, arch, os, mips, mem, state) in machines {
+        let ad = classad::parse_classad(&format!(
+            r#"[ Name = "{name}"; Type = "Machine"; Arch = "{arch}"; OpSys = "{os}";
+                 Mips = {mips}; Memory = {mem}; State = "{state}";
+                 Constraint = other.Type == "Job"; Rank = 0 ]"#
+        ))
+        .unwrap();
+        store
+            .advertise(
+                Advertisement {
+                    kind: EntityKind::Provider,
+                    ad,
+                    contact: format!("{name}:9614"),
+                    ticket: None,
+                    expires_at: 1000,
+                },
+                0,
+                proto,
+            )
+            .unwrap();
+    }
+    for (name, owner, mem) in [("raman.0", "raman", 31), ("miron.0", "miron", 64)] {
+        let ad = classad::parse_classad(&format!(
+            r#"[ Name = "{name}"; Type = "Job"; Owner = "{owner}"; Memory = {mem};
+                 Constraint = other.Type == "Machine"; Rank = 0 ]"#
+        ))
+        .unwrap();
+        store
+            .advertise(
+                Advertisement {
+                    kind: EntityKind::Customer,
+                    ad,
+                    contact: format!("{owner}-ca:1"),
+                    ticket: None,
+                    expires_at: 1000,
+                },
+                0,
+                proto,
+            )
+            .unwrap();
+    }
+}
+
+fn show(store: &AdStore, title: &str, constraint: &str, kind: Option<EntityKind>) {
+    let policy = EvalPolicy::default();
+    let conv = MatchConventions::default();
+    let mut q = Query::from_constraint(constraint)
+        .unwrap()
+        .select(&["Name", "Arch", "OpSys", "Mips", "Memory", "State", "Owner"]);
+    q.kind = kind;
+    let now: Timestamp = 0;
+    let results = q.run_projected(store, now, &policy, &conv);
+    println!("$ condor_status -constraint '{constraint}'   # {title}");
+    println!(
+        "{:<14}{:<8}{:<12}{:>6}{:>8}  {:<10}{:<8}",
+        "NAME", "ARCH", "OPSYS", "MIPS", "MEMORY", "STATE", "OWNER"
+    );
+    for ad in &results {
+        let s = |attr: &str| match ad.eval_attr(attr, &policy) {
+            Value::Str(v) => v.to_string(),
+            Value::Int(v) => v.to_string(),
+            _ => String::new(),
+        };
+        println!(
+            "{:<14}{:<8}{:<12}{:>6}{:>8}  {:<10}{:<8}",
+            s("Name"),
+            s("Arch"),
+            s("OpSys"),
+            s("Mips"),
+            s("Memory"),
+            s("State"),
+            s("Owner"),
+        );
+    }
+    println!("  ({} ad(s) matched)\n", results.len());
+}
+
+fn main() {
+    let proto = AdvertisingProtocol::default();
+    let mut store = AdStore::new();
+    advertise_pool(&mut store, &proto);
+
+    show(&store, "everything", "true", None);
+    show(
+        &store,
+        "available fast INTEL machines",
+        r#"other.Type == "Machine" && other.Arch == "INTEL" && other.State == "Unclaimed" && other.Mips >= 100"#,
+        Some(EntityKind::Provider),
+    );
+    show(
+        &store,
+        "big-memory machines (any state)",
+        r#"other.Type == "Machine" && other.Memory >= 128"#,
+        Some(EntityKind::Provider),
+    );
+    show(
+        &store,
+        "the job queue",
+        r#"other.Type == "Job""#,
+        Some(EntityKind::Customer),
+    );
+    show(
+        &store,
+        "ads with no State attribute (three-valued logic at work)",
+        "other.State is undefined",
+        None,
+    );
+}

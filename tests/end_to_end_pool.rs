@@ -1,0 +1,335 @@
+//! Whole-pool integration tests: simulated Condor pools exercising
+//! opportunistic scheduling, fairness, preemption, checkpointing, and
+//! failure tolerance.
+
+use condor_sim::scenario::{NegotiatorSettings, PolicyConfig, Scenario};
+use condor_sim::workload::{FleetSpec, MachineTemplate, OwnerActivity, UserSpec};
+use condor_sim::{JobState, NetworkModel};
+
+fn base_scenario() -> Scenario {
+    Scenario {
+        seed: 7,
+        fleet: FleetSpec { count: 12, ..Default::default() },
+        policy: PolicyConfig::Always,
+        users: vec![UserSpec {
+            mean_interarrival_ms: 20_000.0,
+            mean_duration_ms: 5.0 * 60_000.0,
+            arch_constraint_prob: 0.0,
+            ..UserSpec::standard("alice", 15)
+        }],
+        network: NetworkModel::default(),
+        advertise_period_ms: 30_000,
+        negotiation_period_ms: 30_000,
+        push_ads_on_change: true,
+        negotiator: NegotiatorSettings::default(),
+        duration_ms: 6 * 3_600 * 1000,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn all_jobs_complete_on_dedicated_pool() {
+    let (summary, sim) = base_scenario().run();
+    assert_eq!(summary.jobs_completed, 15, "{summary:?}");
+    assert!(sim.drained());
+    // Dedicated machines: nothing is ever vacated.
+    assert_eq!(sim.metrics().vacated_by_owner, 0);
+    assert!((summary.goodput_fraction - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn per_job_accounting_is_consistent() {
+    let (_, sim) = base_scenario().run();
+    let m = sim.metrics();
+    assert_eq!(m.completed.len() as u64, m.jobs_completed);
+    for rec in &m.completed {
+        let start = rec.first_start.expect("completed jobs must have started");
+        assert!(start >= rec.submitted_at);
+        assert!(rec.completed_at > start);
+        assert!(rec.work_ms > 0);
+    }
+    // Claims accepted bounds jobs completed (each completion needed at
+    // least one successful claim).
+    assert!(m.claims_accepted >= m.jobs_completed);
+    // Every customer agent agrees everything completed.
+    for ca in sim.customers() {
+        assert!(ca.jobs.iter().all(|j| matches!(j.state, JobState::Completed { .. })));
+    }
+}
+
+#[test]
+fn opportunistic_pool_vacates_and_recovers() {
+    let mut s = base_scenario();
+    s.policy = PolicyConfig::OwnerIdle { min_keyboard_idle_s: 60 };
+    // Owners churn fast, forcing vacations mid-job.
+    s.fleet.activity = OwnerActivity {
+        mean_active_ms: 4.0 * 60_000.0,
+        mean_away_ms: 8.0 * 60_000.0,
+        initially_present_prob: 0.5,
+        day_length_ms: 0,
+        night_away_factor: 1.0,
+    };
+    s.users[0].mean_duration_ms = 10.0 * 60_000.0;
+    s.users[0].checkpoint_prob = 1.0;
+    s.duration_ms = 20 * 3_600 * 1000;
+    let (summary, sim) = s.run();
+    assert!(sim.metrics().vacated_by_owner > 0, "owner churn must vacate jobs");
+    assert_eq!(summary.jobs_completed, 15, "checkpointing jobs survive churn: {summary:?}");
+    // Checkpointed jobs lose nothing.
+    assert_eq!(sim.metrics().badput_ms, 0);
+}
+
+#[test]
+fn no_checkpoint_wastes_work() {
+    let mut s = base_scenario();
+    s.policy = PolicyConfig::OwnerIdle { min_keyboard_idle_s: 60 };
+    s.fleet.activity = OwnerActivity {
+        mean_active_ms: 5.0 * 60_000.0,
+        mean_away_ms: 10.0 * 60_000.0,
+        initially_present_prob: 0.5,
+        day_length_ms: 0,
+        night_away_factor: 1.0,
+    };
+    s.users[0].mean_duration_ms = 8.0 * 60_000.0;
+    s.users[0].checkpoint_prob = 0.0;
+    s.duration_ms = 30 * 3_600 * 1000;
+    let (summary, sim) = s.run();
+    if sim.metrics().vacated_by_owner > 0 {
+        assert!(sim.metrics().badput_ms > 0, "restarts must register badput");
+        assert!(summary.goodput_fraction < 1.0);
+    }
+    assert_eq!(summary.jobs_completed, 15, "{summary:?}");
+}
+
+#[test]
+fn fair_share_splits_scarce_pool() {
+    // Two machines, two users with equal instantaneous demand: round-robin
+    // within cycles should split capacity roughly evenly.
+    let mut s = base_scenario();
+    s.fleet.count = 2;
+    s.users = vec![
+        UserSpec {
+            mean_interarrival_ms: 0.0,
+            mean_duration_ms: 10.0 * 60_000.0,
+            arch_constraint_prob: 0.0,
+            ..UserSpec::standard("alice", 12)
+        },
+        UserSpec {
+            mean_interarrival_ms: 0.0,
+            mean_duration_ms: 10.0 * 60_000.0,
+            arch_constraint_prob: 0.0,
+            ..UserSpec::standard("bob", 12)
+        },
+    ];
+    s.negotiator.charge_per_match = 600.0;
+    s.duration_ms = 48 * 3_600 * 1000;
+    let (summary, sim) = s.run();
+    assert_eq!(summary.jobs_completed, 24, "{summary:?}");
+    let a = sim.metrics().per_user_goodput["alice"] as f64;
+    let b = sim.metrics().per_user_goodput["bob"] as f64;
+    let ratio = a.max(b) / a.min(b).max(1.0);
+    assert!(ratio < 2.0, "goodput split alice={a} bob={b}");
+}
+
+#[test]
+fn figure1_policy_pool_serves_research_first() {
+    let mut s = base_scenario();
+    s.policy = PolicyConfig::Figure1 {
+        research: vec!["raman".into()],
+        friends: vec![],
+        untrusted: vec!["riffraff".into()],
+    };
+    // Owners never present: machines idle, stranger path active by day
+    // only; research user always served.
+    s.fleet.activity.initially_present_prob = 0.0;
+    s.fleet.activity.mean_away_ms = 1e9;
+    s.users = vec![
+        UserSpec {
+            mean_interarrival_ms: 0.0,
+            mean_duration_ms: 3.0 * 60_000.0,
+            arch_constraint_prob: 0.0,
+            ..UserSpec::standard("raman", 6)
+        },
+        UserSpec {
+            mean_interarrival_ms: 0.0,
+            mean_duration_ms: 3.0 * 60_000.0,
+            arch_constraint_prob: 0.0,
+            ..UserSpec::standard("riffraff", 6)
+        },
+    ];
+    s.duration_ms = 12 * 3_600 * 1000;
+    let (_, sim) = s.run();
+    let m = sim.metrics();
+    assert_eq!(m.per_user_goodput.get("riffraff"), None, "untrusted user never served");
+    assert!(m.per_user_goodput["raman"] > 0);
+    // riffraff's jobs are all still idle.
+    let riffraff = sim.customers().find(|c| c.user == "riffraff").unwrap();
+    assert!(riffraff.jobs.iter().all(|j| j.state == JobState::Idle));
+}
+
+#[test]
+fn heterogeneous_pool_respects_arch_constraints() {
+    let mut s = base_scenario();
+    s.fleet = FleetSpec {
+        count: 10,
+        templates: vec![MachineTemplate::intel_solaris(), MachineTemplate::sparc_solaris()],
+        activity: OwnerActivity::default(),
+    };
+    s.users[0].arch_constraint_prob = 1.0;
+    s.users[0].required_arch = "INTEL".into();
+    s.duration_ms = 12 * 3_600 * 1000;
+    let (summary, sim) = s.run();
+    assert_eq!(summary.jobs_completed, 15, "{summary:?}");
+    // Every machine that ran something is INTEL: check via metrics — the
+    // simulator has no cross-check hook, so assert through machines'
+    // specs: SPARC machines never got claims (busy_ms implies claims, but
+    // it's aggregate). Instead verify no SPARC machine is busy at end and
+    // the job constraints were honoured by construction of the matcher.
+    for machine in sim.machines() {
+        if machine.spec.arch != "INTEL" {
+            assert!(!machine.is_busy(), "SPARC machine should never run INTEL-only jobs");
+        }
+    }
+}
+
+#[test]
+fn drop_heavy_network_converges_slowly_but_converges() {
+    let mut s = base_scenario();
+    s.network = NetworkModel { base_latency_ms: 10, jitter_ms: 30, drop_prob: 0.10 };
+    s.duration_ms = 24 * 3_600 * 1000;
+    let (summary, sim) = s.run();
+    assert!(sim.metrics().messages_dropped > 0);
+    assert_eq!(summary.jobs_completed, 15, "soft state must tolerate 10% loss: {summary:?}");
+}
+
+#[test]
+fn determinism_across_runs() {
+    let s = base_scenario();
+    let (a, sim_a) = s.run();
+    let (b, sim_b) = s.run();
+    assert_eq!(sim_a.events_processed(), sim_b.events_processed());
+    assert_eq!(sim_a.metrics().messages_sent, sim_b.metrics().messages_sent);
+    assert!((a.mean_turnaround_ms - b.mean_turnaround_ms).abs() < 1e-12);
+    // Job-by-job identical outcomes.
+    let recs = |sim: &condor_sim::Simulation| {
+        let mut v: Vec<(u64, u64)> =
+            sim.metrics().completed.iter().map(|r| (r.id, r.completed_at)).collect();
+        v.sort();
+        v
+    };
+    assert_eq!(recs(&sim_a), recs(&sim_b));
+}
+
+#[test]
+fn gangs_coallocate_in_simulation() {
+    use condor_sim::scenario::GangLoadSpec;
+    // Plain jobs and gangs share the pool; gangs need a machine AND one
+    // of two license seats, atomically.
+    let mut s = base_scenario();
+    s.fleet.count = 6;
+    s.licenses = 2;
+    s.users[0].job_count = 6;
+    s.gang_users = vec![GangLoadSpec {
+        user: "raman".into(),
+        count: 5,
+        mean_interarrival_ms: 60_000.0,
+        mean_duration_ms: 8.0 * 60_000.0,
+        memory: 31,
+    }];
+    s.duration_ms = 12 * 3_600 * 1000;
+    let (summary, mut sim) = s.run();
+    // Let in-flight teardown (license releases) deliver.
+    let flush_to = sim.now() + 60_000;
+    sim.flush_until(flush_to);
+    let m = sim.metrics();
+    assert!(m.gangs_granted >= 5, "each gang granted at least once: {m:?}");
+    assert_eq!(summary.jobs_completed, 11, "6 plain + 5 gang jobs: {summary:?}");
+    // The gang customers all drained.
+    let total_gangs_incomplete: usize =
+        sim.nodes_gang_incomplete();
+    assert_eq!(total_gangs_incomplete, 0);
+    // License seats are free again at the end.
+    assert!(sim.licenses_claimed() == 0, "licenses must be released after completion");
+}
+
+#[test]
+fn gangs_blocked_when_no_license_exists() {
+    use condor_sim::scenario::GangLoadSpec;
+    let mut s = base_scenario();
+    s.licenses = 0; // no license in the pool: gangs can never be granted
+    s.users.clear();
+    s.gang_users = vec![GangLoadSpec {
+        user: "raman".into(),
+        count: 2,
+        mean_interarrival_ms: 0.0,
+        mean_duration_ms: 60_000.0,
+        memory: 31,
+    }];
+    s.duration_ms = 2 * 3_600 * 1000;
+    let (summary, sim) = s.run();
+    assert_eq!(summary.jobs_completed, 0);
+    assert_eq!(sim.metrics().gangs_granted, 0);
+    assert!(sim.metrics().gangs_unmatched > 0, "all-or-nothing: no partial grants");
+}
+
+#[test]
+fn trace_log_is_coherent_with_metrics() {
+    use condor_sim::TraceEvent;
+    let s = base_scenario();
+    let mut sim = s.build();
+    sim.enable_trace(100_000);
+    sim.run_until(s.duration_ms);
+    let m = sim.metrics();
+    let count = |pred: &dyn Fn(&TraceEvent) -> bool| m.trace.filter(pred).count() as u64;
+    assert_eq!(count(&|e| matches!(e, TraceEvent::Match { .. })), m.matches);
+    assert_eq!(
+        count(&|e| matches!(e, TraceEvent::ClaimAccepted { .. })),
+        m.claims_accepted
+    );
+    assert_eq!(
+        count(&|e| matches!(e, TraceEvent::JobFinished { .. })),
+        m.jobs_completed
+    );
+    // Timestamps are monotone.
+    let times: Vec<u64> = m.trace.records.iter().map(|r| r.at).collect();
+    assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    // The JSONL export parses line by line.
+    for line in m.trace.to_jsonl().lines().take(50) {
+        classad::json::from_json(line).expect("valid trace JSON");
+    }
+}
+
+#[test]
+fn preemption_by_rank_in_simulation() {
+    // Machines prefer research jobs (Figure-1-style rank). A stranger's
+    // long job gets preempted when the research user shows up.
+    let mut s = base_scenario();
+    s.policy = PolicyConfig::Figure1 {
+        research: vec!["raman".into()],
+        friends: vec!["stranger".into()], // stranger is a "friend": rank 1
+        untrusted: vec![],
+    };
+    s.fleet.count = 1;
+    s.fleet.activity.initially_present_prob = 0.0;
+    s.fleet.activity.mean_away_ms = 1e9;
+    s.users = vec![
+        UserSpec {
+            mean_interarrival_ms: 0.0,
+            mean_duration_ms: 60.0 * 60_000.0, // 1 h job
+            arch_constraint_prob: 0.0,
+            checkpoint_prob: 1.0,
+            ..UserSpec::standard("stranger", 1)
+        },
+        UserSpec {
+            // Arrives ~20 min later.
+            mean_interarrival_ms: 20.0 * 60_000.0,
+            mean_duration_ms: 5.0 * 60_000.0,
+            arch_constraint_prob: 0.0,
+            ..UserSpec::standard("raman", 1)
+        },
+    ];
+    s.duration_ms = 6 * 3_600 * 1000;
+    let (summary, sim) = s.run();
+    assert!(sim.metrics().preempted_by_rank >= 1, "research job must preempt: {:?}", sim.metrics());
+    assert_eq!(summary.jobs_completed, 2, "{summary:?}");
+}
