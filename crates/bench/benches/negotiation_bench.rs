@@ -108,6 +108,99 @@ fn bench_parallel_ablation(c: &mut Criterion) {
     g.finish();
 }
 
+/// One member of an N-users × M-identical-jobs batch: every job carries
+/// the same Constraint/Rank and the same attribute values those read, so
+/// autoclustering folds the whole batch into one equivalence class.
+fn clustered_job_adv(i: usize, users: usize) -> Advertisement {
+    let ad = classad::parse_classad(&format!(
+        r#"[ Name = "j{i}"; Type = "Job"; Owner = "user{owner}"; Memory = 16;
+             Constraint = other.Type == "Machine" && other.Memory >= self.Memory;
+             Rank = other.Mips ]"#,
+        owner = i % users,
+    ))
+    .unwrap();
+    Advertisement {
+        kind: EntityKind::Customer,
+        ad,
+        contact: format!("ca{}:1", i % users),
+        ticket: None,
+        expires_at: u64::MAX,
+    }
+}
+
+fn build_clustered_store(machines: usize, jobs: usize, users: usize) -> AdStore {
+    let proto = AdvertisingProtocol::default();
+    let mut store = AdStore::new();
+    for i in 0..machines {
+        store.advertise(machine_adv(i), 0, &proto).unwrap();
+    }
+    for i in 0..jobs {
+        store.advertise(clustered_job_adv(i, users), 0, &proto).unwrap();
+    }
+    store
+}
+
+/// The headline ablation for the autocluster + match-list fast path: a
+/// redundant workload (8 users × identical jobs) negotiated with
+/// clustering on vs off. The off path pays one full scan per request; the
+/// on path pays one scan per *cluster*.
+fn bench_clustered_workload(c: &mut Criterion) {
+    let mut g = c.benchmark_group("clustered_workload");
+    g.sample_size(10);
+    for (machines, jobs) in [(256_usize, 256_usize), (1000, 1000)] {
+        let store = build_clustered_store(machines, jobs, 8);
+        for autocluster in [true, false] {
+            let label = if autocluster { "autocluster_on" } else { "autocluster_off" };
+            g.bench_with_input(
+                BenchmarkId::new(label, format!("{machines}x{jobs}")),
+                &store,
+                |b, store| {
+                    b.iter(|| {
+                        let mut neg = Negotiator::new(NegotiatorConfig {
+                            autocluster,
+                            ..Default::default()
+                        });
+                        neg.negotiate(store, 0)
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+/// Export every measurement (plus the derived clustered-workload speedup)
+/// as machine-readable JSON next to the human-readable criterion lines.
+fn write_bench_json(path: &str) {
+    let results = criterion::take_results();
+    let find = |id: &str| results.iter().find(|r| r.id == id).map(|r| r.mean_ns);
+    let on = find("clustered_workload/autocluster_on/1000x1000");
+    let off = find("clustered_workload/autocluster_off/1000x1000");
+    let speedup = match (on, off) {
+        (Some(on), Some(off)) if on > 0.0 => off / on,
+        _ => 0.0,
+    };
+
+    let mut json = String::from("{\n  \"benchmark\": \"negotiation\",\n  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"id\": \"{}\", \"mean_ns\": {:.1}, \"iterations\": {}}}{}\n",
+            r.id, r.mean_ns, r.iterations, comma
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"clustered_1000x1000\": {{\"autocluster_on_ns\": {}, \"autocluster_off_ns\": {}, \"speedup\": {:.2}}}\n}}\n",
+        on.map_or("null".to_string(), |v| format!("{v:.1}")),
+        off.map_or("null".to_string(), |v| format!("{v:.1}")),
+        speedup
+    ));
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path} (clustered 1000x1000 speedup: {speedup:.2}x)"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
 fn print_e3_table() {
     println!("== E3: cycle outcome sanity (512 machines, 128 jobs) ==");
     let store = build_store(512, 128);
@@ -130,11 +223,14 @@ criterion_group!(
     config = Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(800))
         .measurement_time(std::time::Duration::from_secs(2));
-    targets = bench_pool_size_scaling, bench_job_batch_scaling, bench_parallel_ablation
+    targets = bench_pool_size_scaling, bench_job_batch_scaling, bench_parallel_ablation,
+        bench_clustered_workload
 );
 
 fn main() {
     print_e3_table();
     benches();
     Criterion::default().configure_from_args().final_summary();
+    // Anchor at the workspace root regardless of cargo's bench CWD.
+    write_bench_json(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_negotiation.json"));
 }

@@ -40,6 +40,13 @@ impl AttrName {
     pub fn canonical(&self) -> &str {
         &self.canon
     }
+
+    /// The cached canonical form as a shared handle. Cloning an `Arc<str>`
+    /// is a refcount bump, so hot paths (cycle-detection keys, dependency
+    /// sets) can key on the canonical name without re-folding or copying.
+    pub fn canonical_arc(&self) -> Arc<str> {
+        self.canon.clone()
+    }
 }
 
 impl PartialEq for AttrName {

@@ -124,11 +124,24 @@ impl ClassAd {
     }
 
     fn lookup(&self, name: &str) -> Option<usize> {
-        if name.bytes().any(|b| b.is_ascii_uppercase()) {
+        if !name.bytes().any(|b| b.is_ascii_uppercase()) {
+            return self.index.get(name).copied();
+        }
+        // Mixed-case probe: fold into a stack buffer instead of allocating
+        // a String per lookup (this is the match-scan hot path). ASCII
+        // lowercasing only rewrites bytes < 0x80, so UTF-8 stays valid.
+        let bytes = name.as_bytes();
+        if bytes.len() <= 64 {
+            let mut buf = [0u8; 64];
+            for (dst, src) in buf.iter_mut().zip(bytes) {
+                *dst = src.to_ascii_lowercase();
+            }
+            let lower = std::str::from_utf8(&buf[..bytes.len()])
+                .expect("ASCII case folding preserves UTF-8");
+            self.index.get(lower).copied()
+        } else {
             let lower = name.to_ascii_lowercase();
             self.index.get(lower.as_str()).copied()
-        } else {
-            self.index.get(name).copied()
         }
     }
 

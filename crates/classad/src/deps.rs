@@ -1,0 +1,134 @@
+//! Static attribute-dependency analysis over expressions.
+//!
+//! Matchmaking evaluates each request's `Constraint`/`Rank` against every
+//! offer; the negotiator's autoclustering layer (crates/core) partitions
+//! requests into equivalence classes whose members are guaranteed to score
+//! identically against any offer. That guarantee rests on knowing, for a
+//! given expression, *which attributes of which ad* its evaluation may
+//! read. This module computes that statically.
+//!
+//! Soundness notes (why a syntactic walk suffices):
+//!
+//! * Attribute reads only happen through [`Expr::Attr`] (bare name,
+//!   resolved self-then-other under the default policy) and
+//!   [`Expr::ScopedAttr`] (`self.X` / `other.X`). `Select`/`Index` pick
+//!   components out of already-computed *values*, and record constructors
+//!   evaluate eagerly, so their inner references appear in the same tree
+//!   and are seen by the walk.
+//! * No builtin resolves an attribute from a runtime-computed string, so
+//!   the reference set of an expression is closed under its syntax.
+//! * `random()` draws from a stream seeded purely by
+//!   [`crate::eval::EvalPolicy::random_seed`] (fresh per evaluator) and
+//!   `time()` returns the policy clock, so two structurally identical
+//!   expressions evaluated under the same policy read the same stream.
+
+use crate::ast::{Expr, Scope};
+use crate::classad::ClassAd;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Canonical names of attributes `expr` may read from the ad that contains
+/// it: bare references (which resolve in `self` first) plus `self.X`.
+pub fn self_refs(expr: &Expr, out: &mut BTreeSet<Arc<str>>) {
+    expr.visit(&mut |e| match e {
+        Expr::Attr(n) | Expr::ScopedAttr(Scope::My, n) => {
+            out.insert(n.canonical_arc());
+        }
+        _ => {}
+    });
+}
+
+/// Canonical names of attributes `expr` may read from the *other* ad of a
+/// match: `other.X` plus bare references (which fall back to the other ad
+/// when absent in `self` under the default policy).
+pub fn other_refs(expr: &Expr, out: &mut BTreeSet<Arc<str>>) {
+    expr.visit(&mut |e| match e {
+        Expr::Attr(n) | Expr::ScopedAttr(Scope::Target, n) => {
+            out.insert(n.canonical_arc());
+        }
+        _ => {}
+    });
+}
+
+/// Expand a seed set of canonical attribute names to everything reachable
+/// from it through `ad`'s own attribute expressions.
+///
+/// For every name in the set that is bound in `ad`, the bound expression's
+/// [`self_refs`] are added, transitively, until a fixed point. Names not
+/// bound in `ad` stay in the set (the *absence* of a binding is itself
+/// information the caller may need — e.g. for cluster signatures, where
+/// "missing" must distinguish from "bound to X").
+///
+/// Cycles (`X = X + 1`) terminate naturally: the visited set only grows.
+pub fn dependency_closure(ad: &ClassAd, seeds: BTreeSet<Arc<str>>) -> BTreeSet<Arc<str>> {
+    let mut visited = seeds;
+    let mut work: Vec<Arc<str>> = visited.iter().cloned().collect();
+    while let Some(name) = work.pop() {
+        if let Some(expr) = ad.get(&name) {
+            let mut refs = BTreeSet::new();
+            self_refs(expr, &mut refs);
+            for r in refs {
+                if visited.insert(r.clone()) {
+                    work.push(r);
+                }
+            }
+        }
+    }
+    visited
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_classad, parse_expr};
+
+    fn names(set: &BTreeSet<Arc<str>>) -> Vec<&str> {
+        set.iter().map(|s| s.as_ref()).collect()
+    }
+
+    #[test]
+    fn self_refs_collects_bare_and_my() {
+        let e = parse_expr("self.Memory >= 32 && Arch == \"INTEL\" && other.Mips > 10").unwrap();
+        let mut out = BTreeSet::new();
+        self_refs(&e, &mut out);
+        assert_eq!(names(&out), vec!["arch", "memory"]);
+    }
+
+    #[test]
+    fn other_refs_collects_bare_and_target() {
+        let e = parse_expr("self.Memory >= 32 && Arch == \"INTEL\" && other.Mips > 10").unwrap();
+        let mut out = BTreeSet::new();
+        other_refs(&e, &mut out);
+        assert_eq!(names(&out), vec!["arch", "mips"]);
+    }
+
+    #[test]
+    fn refs_reach_nested_structures() {
+        // References inside selects, indexes, calls, lists and records are
+        // all part of the same syntactic tree.
+        let e = parse_expr("[a = Inner].a + Xs[Idx] + member(Needle, {Hay1, Hay2})").unwrap();
+        let mut out = BTreeSet::new();
+        self_refs(&e, &mut out);
+        assert_eq!(names(&out), vec!["hay1", "hay2", "idx", "inner", "needle", "xs"]);
+    }
+
+    #[test]
+    fn closure_follows_chains_and_survives_cycles() {
+        let ad = parse_classad(
+            "[ Rank = Score * 2; Score = Base + Boost; Base = 1; Looper = Looper + 1 ]",
+        )
+        .unwrap();
+        let seeds: BTreeSet<Arc<str>> = [Arc::from("rank"), Arc::from("looper")].into();
+        let closed = dependency_closure(&ad, seeds);
+        // `boost` is unbound but stays in the set; `looper` self-cycle ends.
+        assert_eq!(names(&closed), vec!["base", "boost", "looper", "rank", "score"]);
+    }
+
+    #[test]
+    fn closure_keeps_unbound_seeds() {
+        let ad = parse_classad("[ A = 1 ]").unwrap();
+        let seeds: BTreeSet<Arc<str>> = [Arc::from("zzz")].into();
+        let closed = dependency_closure(&ad, seeds);
+        assert_eq!(names(&closed), vec!["zzz"]);
+    }
+}

@@ -154,7 +154,9 @@ impl<'a> Evaluator<'a> {
         expr: &Expr,
         side: Side,
     ) -> Value {
-        let key = (ad as *const ClassAd as usize, Arc::from(name.canonical()));
+        // `canonical_arc` shares the AttrName's cached fold — no allocation
+        // per attribute evaluation on the match-scan hot path.
+        let key = (ad as *const ClassAd as usize, name.canonical_arc());
         if self.in_progress.iter().any(|(p, n)| *p == key.0 && **n == *key.1) {
             // Circular reference, e.g. `X = X + 1`.
             return Value::Error;

@@ -52,6 +52,7 @@
 pub mod ast;
 pub mod builtins;
 pub mod classad;
+pub mod deps;
 pub mod error;
 pub mod eval;
 pub mod fixtures;

@@ -9,7 +9,7 @@
 //! |-----------------|--------|
 //! | 1. classad specification | the [`classad`] crate |
 //! | 2. advertising protocol | [`protocol`] ([`AdvertisingProtocol`]), [`admanager`] |
-//! | 3. matchmaking algorithm | [`matcher`], [`negotiate`], [`priority`] |
+//! | 3. matchmaking algorithm | [`matcher`], [`autocluster`], [`negotiate`], [`priority`] |
 //! | 4. matchmaking protocol | [`protocol`] ([`MatchNotification`]) |
 //! | 5. claiming protocol | [`protocol`], [`claim`], [`ticket`] |
 //!
@@ -59,6 +59,7 @@
 #![forbid(unsafe_code)]
 
 pub mod admanager;
+pub mod autocluster;
 pub mod claim;
 pub mod framing;
 pub mod matcher;
@@ -70,6 +71,7 @@ pub mod service;
 pub mod ticket;
 
 pub use admanager::{AdStore, StoredAd};
+pub use autocluster::{Clustering, MatchList, OfferMeta};
 pub use claim::{ClaimHandler, ClaimState};
 pub use framing::{encode_framed, FrameDecoder};
 pub use matcher::{Candidate, MatchEngine};

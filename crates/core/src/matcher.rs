@@ -32,9 +32,25 @@ pub struct Candidate {
 impl Candidate {
     /// The deterministic "better" relation: higher request rank, then
     /// higher offer rank, then lower index.
-    fn better_than(&self, other: &Candidate) -> bool {
+    ///
+    /// This tuple comparison is a *total* order only because ranks are
+    /// guaranteed finite (see [`normalize_rank`]); a NaN would make every
+    /// comparison false and the selection order-dependent.
+    pub(crate) fn better_than(&self, other: &Candidate) -> bool {
         (self.request_rank, self.offer_rank, std::cmp::Reverse(self.index))
             > (other.request_rank, other.offer_rank, std::cmp::Reverse(other.index))
+    }
+}
+
+/// Clamp a rank to the finite domain `better_than` requires. Rank
+/// evaluation already maps non-numeric values to 0.0; this re-asserts the
+/// invariant at the engine boundary so no future rank source can poison
+/// candidate ordering with NaN or ±∞.
+fn normalize_rank(r: f64) -> f64 {
+    if r.is_finite() {
+        r
+    } else {
+        0.0
     }
 }
 
@@ -63,8 +79,8 @@ impl MatchEngine {
         }
         Some(Candidate {
             index,
-            request_rank: rank_of(request, offer, &self.policy, &self.conventions),
-            offer_rank: rank_of(offer, request, &self.policy, &self.conventions),
+            request_rank: normalize_rank(rank_of(request, offer, &self.policy, &self.conventions)),
+            offer_rank: normalize_rank(rank_of(offer, request, &self.policy, &self.conventions)),
         })
     }
 
@@ -153,6 +169,54 @@ impl MatchEngine {
             .enumerate()
             .filter_map(|(i, o)| self.score(request, o, i))
             .collect()
+    }
+
+    /// Score *every* offer (no eligibility filter) and return the matching
+    /// candidates sorted best-first by the same total order `best_match`
+    /// selects with. This is the build step for a per-cluster match list
+    /// (see [`crate::autocluster`]): eligibility, claims, and preemption
+    /// checks happen at consumption time, so the scored list is valid for
+    /// every request in an equivalence class for a whole cycle.
+    pub fn scored_candidates(
+        &self,
+        request: &ClassAd,
+        offers: &[Arc<ClassAd>],
+        threads: usize,
+    ) -> Vec<Candidate> {
+        let threads = threads.max(1);
+        let mut scored: Vec<Candidate> = if threads == 1 || offers.len() < 2 * threads {
+            self.all_matches(request, offers)
+        } else {
+            let chunk = offers.len().div_ceil(threads);
+            let mut locals: Vec<Vec<Candidate>> = vec![Vec::new(); threads];
+            crossbeam::scope(|s| {
+                for (t, (slot, part)) in locals.iter_mut().zip(offers.chunks(chunk)).enumerate() {
+                    s.spawn(move |_| {
+                        let base = t * chunk;
+                        *slot = part
+                            .iter()
+                            .enumerate()
+                            .filter_map(|(i, o)| self.score(request, o, base + i))
+                            .collect();
+                    });
+                }
+            })
+            .expect("match scoring worker panicked");
+            locals.into_iter().flatten().collect()
+        };
+        // `better_than` is total on finite ranks and distinct indices, so
+        // the comparator never reports equality for distinct entries and
+        // sort stability is irrelevant to determinism.
+        scored.sort_by(|a, b| {
+            if a.better_than(b) {
+                std::cmp::Ordering::Less
+            } else if b.better_than(a) {
+                std::cmp::Ordering::Greater
+            } else {
+                std::cmp::Ordering::Equal
+            }
+        });
+        scored
     }
 }
 

@@ -24,6 +24,7 @@
 //! `CurrentRank`).
 
 use crate::admanager::{AdStore, StoredAd};
+use crate::autocluster::{cluster_requests, offer_external_refs, MatchList, OfferMeta};
 use crate::matcher::{Candidate, MatchEngine};
 use crate::priority::PriorityTracker;
 use crate::protocol::{EntityKind, MatchNotification, Timestamp};
@@ -54,6 +55,12 @@ pub struct NegotiatorConfig {
     /// an advance estimate; agents report actual usage later through
     /// [`Negotiator::charge_usage`].
     pub charge_per_match: f64,
+    /// Partition requests into equivalence classes and serve each class
+    /// from one shared, sorted match list per cycle
+    /// ([`crate::autocluster`]) instead of rescanning the offer pool per
+    /// request. Produces byte-identical matches to the full scan; disable
+    /// only to run the oracle path (testing, benchmarking).
+    pub autocluster: bool,
 }
 
 impl Default for NegotiatorConfig {
@@ -63,6 +70,7 @@ impl Default for NegotiatorConfig {
             preemption: true,
             preemption_rank_margin: 0.0,
             charge_per_match: 0.0,
+            autocluster: true,
         }
     }
 }
@@ -131,6 +139,14 @@ pub struct CycleStats {
     pub users_served: usize,
     /// Fairness rounds executed.
     pub rounds: usize,
+    /// Request equivalence classes formed (0 with autoclustering off).
+    pub clusters_formed: usize,
+    /// Requests served from an already-built cluster match list.
+    pub matchlist_hits: usize,
+    /// Full scans of the offer pool: match-list builds on the clustered
+    /// path, every best-match invocation (including preemption-exclusion
+    /// rescans) on the oracle path.
+    pub full_scans: usize,
 }
 
 /// The outcome of a negotiation cycle.
@@ -188,16 +204,24 @@ impl Negotiator {
         requests.sort_by_key(|r| r.seq);
 
         let offer_ads: Vec<Arc<ClassAd>> = offers.iter().map(|o| o.ad.clone()).collect();
-        // Which offers are already claimed (per their own advertised state),
-        // and at what rank they value their current claimant.
-        let claimed_rank: Vec<Option<f64>> = offers
+        // Per-offer claim snapshot, evaluated once per cycle: whether the
+        // offer is claimed (per its own advertised state), at what rank it
+        // values its current claimant, and who that claimant is. Grant-time
+        // code reads these instead of re-evaluating `State`/`CurrentRank`/
+        // `RemoteOwner` per request.
+        let offer_meta: Vec<OfferMeta> = offers
             .iter()
             .map(|o| {
                 let state = self.string_attr(&o.ad, ATTR_STATE);
                 if state.as_deref() == Some(STATE_CLAIMED) {
-                    Some(self.number_attr(&o.ad, ATTR_CURRENT_RANK).unwrap_or(0.0))
+                    OfferMeta {
+                        claimed_rank: Some(
+                            self.number_attr(&o.ad, ATTR_CURRENT_RANK).unwrap_or(0.0),
+                        ),
+                        remote_owner: self.string_attr(&o.ad, ATTR_REMOTE_OWNER),
+                    }
                 } else {
-                    None
+                    OfferMeta::default()
                 }
             })
             .collect();
@@ -215,6 +239,27 @@ impl Negotiator {
         let mut outcome = CycleOutcome::default();
         outcome.stats.requests_considered = requests.len();
         outcome.stats.offers_considered = offers.len();
+
+        // Autoclustering: partition requests into equivalence classes whose
+        // members score identically against every offer, then serve each
+        // class from one shared match list built on first use.
+        let clustering = if self.config.autocluster {
+            let external = offer_external_refs(&self.engine.conventions, &offer_ads);
+            Some(cluster_requests(
+                &self.engine.conventions,
+                requests.iter().map(|r| r.ad.as_ref()),
+                &external,
+            ))
+        } else {
+            None
+        };
+        let mut match_lists: Vec<Option<MatchList>> = match &clustering {
+            Some(c) => {
+                outcome.stats.clusters_formed = c.num_clusters;
+                (0..c.num_clusters).map(|_| None).collect()
+            }
+            None => Vec::new(),
+        };
 
         let mut taken = vec![false; offers.len()];
         let mut cursor: HashMap<&str, usize> = HashMap::new();
@@ -241,43 +286,74 @@ impl Negotiator {
                 let preemption_on = self.config.preemption;
                 let margin = self.config.preemption_rank_margin;
 
-                // A per-request scan with retry: the best-ranked offer may
-                // be claimed and not preemptible by this request, in which
-                // case it is excluded and the scan repeats.
-                let mut excluded: Vec<bool> = vec![false; offers.len()];
-                let chosen: Option<(Candidate, Option<String>)> = loop {
-                    // With preemption disabled, claimed offers can never be
-                    // granted: filter them up front rather than excluding
-                    // them one rescan at a time (keeps the no-preemption
-                    // cycle linear in the pool size).
-                    let eligible = |i: usize| {
-                        !taken[i]
-                            && !excluded[i]
-                            && (preemption_on || claimed_rank[i].is_none())
-                    };
-                    let best = if self.config.threads > 1 {
-                        self.engine.best_match_parallel(
-                            &request.ad,
-                            &offer_ads,
-                            self.config.threads,
-                            eligible,
-                        )
-                    } else {
-                        self.engine.best_match(&request.ad, &offer_ads, eligible)
-                    };
-                    match best {
-                        None => break None,
-                        Some(c) => match claimed_rank[c.index] {
-                            None => break Some((c, None)),
-                            Some(current) => {
-                                if preemption_on && c.offer_rank > current + margin {
-                                    let displaced =
-                                        self.string_attr(&offers[c.index].ad, ATTR_REMOTE_OWNER);
-                                    break Some((c, Some(displaced.unwrap_or_default())));
+                let chosen: Option<(Candidate, Option<String>)> = if let Some(cl) = &clustering
+                {
+                    // Clustered path: the first member of an equivalence
+                    // class pays one full scan to build the sorted match
+                    // list; everyone else in the class consumes from it.
+                    let cid = cl.cluster_of[req_idx];
+                    match &mut match_lists[cid] {
+                        slot @ None => {
+                            outcome.stats.full_scans += 1;
+                            let list = MatchList::build(
+                                &self.engine,
+                                &request.ad,
+                                &offer_ads,
+                                self.config.threads,
+                            );
+                            slot.insert(list).pop_next(
+                                &taken,
+                                &offer_meta,
+                                preemption_on,
+                                margin,
+                            )
+                        }
+                        Some(list) => {
+                            outcome.stats.matchlist_hits += 1;
+                            list.pop_next(&taken, &offer_meta, preemption_on, margin)
+                        }
+                    }
+                } else {
+                    // Oracle path: a per-request scan with retry. The
+                    // best-ranked offer may be claimed and not preemptible
+                    // by this request, in which case it is excluded and the
+                    // scan repeats.
+                    let mut excluded: Vec<bool> = vec![false; offers.len()];
+                    loop {
+                        // With preemption disabled, claimed offers can
+                        // never be granted: filter them up front rather
+                        // than excluding them one rescan at a time (keeps
+                        // the no-preemption cycle linear in the pool size).
+                        let eligible = |i: usize| {
+                            !taken[i]
+                                && !excluded[i]
+                                && (preemption_on || offer_meta[i].claimed_rank.is_none())
+                        };
+                        outcome.stats.full_scans += 1;
+                        let best = if self.config.threads > 1 {
+                            self.engine.best_match_parallel(
+                                &request.ad,
+                                &offer_ads,
+                                self.config.threads,
+                                eligible,
+                            )
+                        } else {
+                            self.engine.best_match(&request.ad, &offer_ads, eligible)
+                        };
+                        match best {
+                            None => break None,
+                            Some(c) => match offer_meta[c.index].claimed_rank {
+                                None => break Some((c, None)),
+                                Some(current) => {
+                                    if preemption_on && c.offer_rank > current + margin {
+                                        let displaced =
+                                            offer_meta[c.index].remote_owner.clone();
+                                        break Some((c, Some(displaced.unwrap_or_default())));
+                                    }
+                                    excluded[c.index] = true;
                                 }
-                                excluded[c.index] = true;
-                            }
-                        },
+                            },
+                        }
                     }
                 };
 
@@ -563,6 +639,81 @@ mod tests {
             .map(|m| (m.request_name.as_str(), m.offer_name.as_str()))
             .collect();
         assert_eq!(names_a, names_b);
+    }
+
+    #[test]
+    fn autocluster_shares_one_scan_per_equivalence_class() {
+        let mut ads = vec![
+            machine_ad("m1", 50),
+            machine_ad("m2", 60),
+            machine_ad("m3", 70),
+        ];
+        for i in 0..5 {
+            ads.push(job_ad(&format!("j{i}"), "alice"));
+        }
+        let store = store_with(ads);
+        let mut neg = Negotiator::default();
+        let out = neg.negotiate(&store, 0);
+        assert_eq!(out.stats.clusters_formed, 1, "identical jobs form one cluster");
+        assert_eq!(out.stats.full_scans, 1, "one scan builds the shared match list");
+        assert_eq!(out.stats.matchlist_hits, 4, "remaining jobs reuse the list");
+        assert_eq!(out.stats.matches, 3);
+        assert_eq!(out.stats.unmatched_requests, 2);
+    }
+
+    #[test]
+    fn oracle_path_counts_scans_and_forms_no_clusters() {
+        let store = store_with(vec![
+            machine_ad("m1", 50),
+            job_ad("j1", "alice"),
+            job_ad("j2", "alice"),
+        ]);
+        let mut neg =
+            Negotiator::new(NegotiatorConfig { autocluster: false, ..Default::default() });
+        let out = neg.negotiate(&store, 0);
+        assert_eq!(out.stats.clusters_formed, 0);
+        assert_eq!(out.stats.matchlist_hits, 0);
+        assert_eq!(out.stats.full_scans, 2, "one scan per request");
+    }
+
+    #[test]
+    fn autocluster_matches_oracle_on_mixed_pool() {
+        let mut ads = vec![];
+        for i in 0..12 {
+            ads.push(machine_ad(&format!("m{i}"), (i * 13) % 97));
+        }
+        ads.push(claimed_machine_ad("busy-lo", "olduser", 2.0));
+        ads.push(claimed_machine_ad("busy-hi", "olduser", 50.0));
+        for i in 0..9 {
+            let owner = ["alice", "bob", "carol"][i % 3];
+            ads.push(job_ad_with(&format!("j{i}"), owner, &format!("JobPrio = {};", i)));
+        }
+        let store = store_with(ads);
+        let mut fast = Negotiator::default();
+        let mut oracle =
+            Negotiator::new(NegotiatorConfig { autocluster: false, ..Default::default() });
+        let a = fast.negotiate(&store, 0);
+        let b = oracle.negotiate(&store, 0);
+        let key = |o: &CycleOutcome| {
+            o.matches
+                .iter()
+                .map(|m| {
+                    (
+                        m.request_name.clone(),
+                        m.offer_name.clone(),
+                        m.request_rank.to_bits(),
+                        m.offer_rank.to_bits(),
+                        m.preempts.clone(),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(key(&a), key(&b));
+        assert_eq!(a.stats.matches, b.stats.matches);
+        assert_eq!(a.stats.preemptions, b.stats.preemptions);
+        assert_eq!(a.stats.unmatched_requests, b.stats.unmatched_requests);
+        assert_eq!(a.stats.users_served, b.stats.users_served);
+        assert!(a.stats.full_scans < b.stats.full_scans);
     }
 
     #[test]

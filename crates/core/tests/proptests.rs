@@ -180,6 +180,57 @@ proptest! {
         prop_assert_eq!(pairs(&a), pairs(&c));
     }
 
+    #[test]
+    fn autocluster_is_equivalent_to_full_scan(
+        machines in proptest::collection::vec(arb_machine(), 0..24),
+        jobs in proptest::collection::vec(arb_job(), 0..20),
+        preemption in any::<bool>(),
+        margin in prop_oneof![Just(0.0f64), Just(1.5)],
+    ) {
+        // The clustered fast path must reproduce the oracle's grant
+        // sequence byte for byte — same requests, same offers, same ranks,
+        // same preemption victims — across claimed machines (preemptible
+        // and not) and eligibility filters (arch/memory constraints).
+        let store = build_store(&machines, &jobs);
+        let config = NegotiatorConfig {
+            preemption,
+            preemption_rank_margin: margin,
+            ..Default::default()
+        };
+        let mut fast = Negotiator::new(NegotiatorConfig { autocluster: true, ..config.clone() });
+        let mut oracle =
+            Negotiator::new(NegotiatorConfig { autocluster: false, ..config });
+        let a = fast.negotiate(&store, 0);
+        let b = oracle.negotiate(&store, 0);
+
+        let records = |out: &matchmaker::negotiate::CycleOutcome| {
+            out.matches
+                .iter()
+                .map(|m| (
+                    m.request_name.clone(),
+                    m.owner.clone(),
+                    m.offer_name.clone(),
+                    m.ticket,
+                    m.request_rank.to_bits(),
+                    m.offer_rank.to_bits(),
+                    m.preempts.clone(),
+                ))
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(records(&a), records(&b));
+        // Everything but the cache counters agrees.
+        prop_assert_eq!(a.stats.matches, b.stats.matches);
+        prop_assert_eq!(a.stats.preemptions, b.stats.preemptions);
+        prop_assert_eq!(a.stats.unmatched_requests, b.stats.unmatched_requests);
+        prop_assert_eq!(a.stats.users_served, b.stats.users_served);
+        prop_assert_eq!(a.stats.rounds, b.stats.rounds);
+        // And the fast path never scans more than the oracle: each request
+        // is a build or a hit, while the oracle pays at least one scan per
+        // request (plus preemption-exclusion rescans).
+        prop_assert!(a.stats.full_scans <= b.stats.full_scans);
+        prop_assert!(a.stats.full_scans + a.stats.matchlist_hits <= b.stats.full_scans);
+    }
+
     // -----------------------------------------------------------------------
     // Ad store model check
     // -----------------------------------------------------------------------

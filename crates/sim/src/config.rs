@@ -328,6 +328,7 @@ pub fn scenario_to_ad(s: &Scenario) -> ClassAd {
         ("Threads", Expr::int(s.negotiator.threads as i64)),
         ("Preemption", Expr::bool(s.negotiator.preemption)),
         ("ChargePerMatch", Expr::real(s.negotiator.charge_per_match)),
+        ("Autocluster", Expr::bool(s.negotiator.autocluster)),
     ];
     if let Some(h) = s.negotiator.priority_halflife_ms {
         neg.push(("PriorityHalflifeMs", Expr::real(h)));
@@ -474,6 +475,7 @@ pub fn scenario_from_ad(ad: &ClassAd) -> Result<Scenario, ConfigError> {
                 } else {
                     None
                 },
+                autocluster: nr.bool("Autocluster", d.autocluster)?,
             }
         }
     };
@@ -544,6 +546,7 @@ mod tests {
                 preemption: false,
                 charge_per_match: 3.5,
                 priority_halflife_ms: Some(4.5),
+                autocluster: false,
             },
             duration_ms: 333,
         }

@@ -110,6 +110,9 @@ impl ManagerNode {
         ctx.metrics.matches += outcome.stats.matches as u64;
         ctx.metrics.requests_considered += outcome.stats.requests_considered as u64;
         ctx.metrics.unmatched_requests += outcome.stats.unmatched_requests as u64;
+        ctx.metrics.clusters_formed += outcome.stats.clusters_formed as u64;
+        ctx.metrics.matchlist_hits += outcome.stats.matchlist_hits as u64;
+        ctx.metrics.full_scans += outcome.stats.full_scans as u64;
         for m in &outcome.matches {
             ctx.metrics.trace.record(
                 ctx.now,

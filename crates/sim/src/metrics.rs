@@ -46,6 +46,12 @@ pub struct Metrics {
     pub requests_considered: u64,
     /// Requests that found no offer, across cycles.
     pub unmatched_requests: u64,
+    /// Request equivalence classes formed by autoclustering, across cycles.
+    pub clusters_formed: u64,
+    /// Requests served from a cluster's cached match list, across cycles.
+    pub matchlist_hits: u64,
+    /// Full offer-pool scans performed by the negotiator, across cycles.
+    pub full_scans: u64,
     /// Claim requests sent by customers.
     pub claim_attempts: u64,
     /// Claims accepted by providers.

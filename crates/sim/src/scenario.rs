@@ -68,6 +68,9 @@ pub struct NegotiatorSettings {
     /// simulator clocks the tracker in milliseconds). `None` keeps the
     /// tracker default.
     pub priority_halflife_ms: Option<f64>,
+    /// Autocluster requests and share per-cluster match lists within a
+    /// cycle (the negotiation fast path; `false` forces full scans).
+    pub autocluster: bool,
 }
 
 impl Default for NegotiatorSettings {
@@ -77,6 +80,7 @@ impl Default for NegotiatorSettings {
             preemption: true,
             charge_per_match: 0.0,
             priority_halflife_ms: None,
+            autocluster: true,
         }
     }
 }
@@ -169,6 +173,7 @@ impl Scenario {
                 preemption: self.negotiator.preemption,
                 preemption_rank_margin: 0.0,
                 charge_per_match: self.negotiator.charge_per_match,
+                autocluster: self.negotiator.autocluster,
             },
             self.negotiation_period_ms,
         );

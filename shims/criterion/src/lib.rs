@@ -1,0 +1,348 @@
+//! Offline stand-in for `criterion`. Same surface API as the subset the
+//! bench targets use, but the statistics are deliberately simple: each
+//! benchmark warms up for `warm_up_time`, then runs for roughly
+//! `measurement_time` and reports the mean wall-clock time per iteration.
+//!
+//! Results are also pushed into a process-global registry
+//! ([`take_results`]) so custom `main` functions can export
+//! machine-readable summaries (e.g. `BENCH_negotiation.json`).
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One completed measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// `group/function` identifier.
+    pub id: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Iterations measured (after warm-up).
+    pub iterations: u64,
+}
+
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+/// Drain all results recorded so far (in execution order).
+pub fn take_results() -> Vec<BenchResult> {
+    std::mem::take(&mut *RESULTS.lock().unwrap())
+}
+
+fn record(id: String, mean_ns: f64, iterations: u64) {
+    let unit = if mean_ns >= 1e6 {
+        format!("{:.3} ms", mean_ns / 1e6)
+    } else if mean_ns >= 1e3 {
+        format!("{:.3} µs", mean_ns / 1e3)
+    } else {
+        format!("{mean_ns:.1} ns")
+    };
+    println!("{id:<56} time: {unit}   ({iterations} iters)");
+    RESULTS.lock().unwrap().push(BenchResult { id, mean_ns, iterations });
+}
+
+/// Benchmark identifier: a function name plus a parameter, rendered as
+/// `name/param`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Build an id like `name/param`.
+    pub fn new(name: impl Into<String>, param: impl std::fmt::Display) -> Self {
+        BenchmarkId { full: format!("{}/{}", name.into(), param) }
+    }
+}
+
+/// Anything acceptable as a benchmark id (`&str`, `String`, `BenchmarkId`).
+pub trait IntoBenchmarkId {
+    /// Render to the flat string form.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.full
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Batch-size hint for `iter_batched`; only used to pick how often setup
+/// runs relative to the routine.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Fresh input per small batch.
+    SmallInput,
+    /// Fresh input per large batch.
+    LargeInput,
+    /// Fresh input every iteration.
+    PerIteration,
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    /// Filled in by `iter`; consumed by the group.
+    out: Option<(f64, u64)>,
+}
+
+impl Bencher {
+    /// Measure `f` (mean over as many iterations as fit the window).
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let warm_end = Instant::now() + self.warm_up;
+        loop {
+            black_box(f());
+            if Instant::now() >= warm_end {
+                break;
+            }
+        }
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        let mut elapsed;
+        loop {
+            black_box(f());
+            iters += 1;
+            elapsed = start.elapsed();
+            if elapsed >= self.measurement {
+                break;
+            }
+        }
+        self.out = Some((elapsed.as_nanos() as f64 / iters as f64, iters));
+    }
+
+    /// Measure `routine` on values produced by `setup`; setup time is
+    /// excluded from the reported mean.
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        let warm_end = Instant::now() + self.warm_up;
+        loop {
+            let input = setup();
+            black_box(routine(input));
+            if Instant::now() >= warm_end {
+                break;
+            }
+        }
+        let deadline = Instant::now() + self.measurement;
+        let mut iters: u64 = 0;
+        let mut measured = Duration::ZERO;
+        loop {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            measured += t0.elapsed();
+            iters += 1;
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        self.out = Some((measured.as_nanos() as f64 / iters as f64, iters));
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    crit: &'a Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Accepted for API compatibility; the shim's sampling is time-based.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    fn run(&mut self, id: String, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher {
+            warm_up: self.crit.warm_up,
+            measurement: self.crit.measurement,
+            out: None,
+        };
+        f(&mut b);
+        if let Some((mean_ns, iters)) = b.out {
+            record(format!("{}/{}", self.name, id), mean_ns, iters);
+        }
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_id();
+        self.run(id, |b| f(b));
+        self
+    }
+
+    /// Benchmark a closure against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into_id();
+        self.run(id, |b| f(b, input));
+        self
+    }
+
+    /// End the group (prints nothing extra in the shim).
+    pub fn finish(self) {}
+}
+
+/// Top-level harness configuration.
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(800),
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the warm-up window.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Set the measurement window.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Honor `--warm-up-time N` / `--measurement-time M` (seconds) and a
+    /// `BENCH_FAST=1` env override that shrinks both windows.
+    pub fn configure_from_args(mut self) -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--warm-up-time" => {
+                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse::<f64>().ok()) {
+                        self.warm_up = Duration::from_secs_f64(v);
+                        i += 1;
+                    }
+                }
+                "--measurement-time" => {
+                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse::<f64>().ok()) {
+                        self.measurement = Duration::from_secs_f64(v);
+                        i += 1;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        if std::env::var_os("BENCH_FAST").is_some() {
+            self.warm_up = Duration::from_millis(50);
+            self.measurement = Duration::from_millis(150);
+        }
+        self
+    }
+
+    /// Open a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("-- group: {name} --");
+        BenchmarkGroup { name, crit: self }
+    }
+
+    /// End-of-run hook (prints a terse footer).
+    pub fn final_summary(&self) {
+        println!("(criterion shim: wall-clock means; see lines above)");
+    }
+}
+
+/// Define a named runner over a list of benchmark functions, mirroring
+/// criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Standard entry point for groups that do not define their own `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+            $crate::Criterion::default().configure_from_args().final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_records() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10);
+        g.bench_function("f", |b| b.iter(|| black_box(1 + 1)));
+        g.bench_with_input(BenchmarkId::new("with", 3), &3u64, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        g.finish();
+        let res = take_results();
+        assert_eq!(res.len(), 2);
+        assert_eq!(res[0].id, "g/f");
+        assert_eq!(res[1].id, "g/with/3");
+        assert!(res[0].iterations > 0 && res[0].mean_ns >= 0.0);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut g = c.benchmark_group("b");
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+        assert_eq!(take_results().len(), 1);
+    }
+}

@@ -1,0 +1,75 @@
+//! Offline stand-in for `crossbeam`: the scoped-thread API used by the
+//! parallel match scan, backed by `std::thread::scope` (which did not
+//! exist when crossbeam's version was written, and makes the shim small).
+//!
+//! Semantics difference worth knowing: `crossbeam::scope` returns `Err`
+//! when a child thread panicked, while `std::thread::scope` re-raises the
+//! panic after joining. Callers here use `.expect(...)`, so a child panic
+//! aborts the test/process either way.
+
+use std::any::Any;
+use std::thread::{Scope as StdScope, ScopedJoinHandle};
+
+/// Handle for spawning scoped threads (mirrors `crossbeam::thread::Scope`).
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope StdScope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a thread that may borrow from the enclosing scope. The
+    /// closure receives the scope handle, as crossbeam's does.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        self.inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Run `f` with a scope handle; all spawned threads are joined before this
+/// returns (mirrors `crossbeam::scope`).
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+/// Module alias matching crossbeam's layout.
+pub mod thread {
+    pub use crate::{scope, Scope};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_share_borrows() {
+        let data = [1u64, 2, 3, 4];
+        let mut partials = vec![0u64; 2];
+        super::scope(|s| {
+            for (slot, chunk) in partials.iter_mut().zip(data.chunks(2)) {
+                s.spawn(move |_| {
+                    *slot = chunk.iter().sum();
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(partials, vec![3, 7]);
+    }
+
+    #[test]
+    fn nested_spawn_through_handle() {
+        let total = std::sync::atomic::AtomicU64::new(0);
+        super::scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| {
+                    total.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                });
+            });
+        })
+        .unwrap();
+        assert_eq!(total.load(std::sync::atomic::Ordering::SeqCst), 1);
+    }
+}

@@ -1,0 +1,847 @@
+//! Offline stand-in for `proptest`: deterministic strategy-based random
+//! testing with the same surface API the workspace's property tests use.
+//!
+//! Differences from the real crate, by design:
+//! * no shrinking — a failing case reports the full generated input;
+//! * seeds are derived from the test name, so runs are reproducible
+//!   without a persistence file (`.proptest-regressions` is ignored);
+//! * `string_regex` implements only the tiny regex subset the tests use
+//!   (char classes, `\PC`, `{m,n}` quantifiers, literals).
+//!
+//! `PROPTEST_CASES=<n>` overrides every test's case count (useful to
+//! shorten CI runs).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::rc::Rc;
+
+/// RNG threaded through all strategies.
+pub type TestRng = SmallRng;
+
+// ---------------------------------------------------------------------------
+// Core strategy trait + combinators
+// ---------------------------------------------------------------------------
+
+/// A generator of values of type `Self::Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: std::fmt::Debug;
+
+    /// Produce one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<U: std::fmt::Debug, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keep only values satisfying `pred` (retries internally; panics if
+    /// the predicate rejects persistently).
+    fn prop_filter<F>(self, whence: impl Into<String>, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, whence: whence.into(), pred }
+    }
+
+    /// Build a recursive strategy: `recurse` receives a strategy for the
+    /// inner level and returns the compound level. `depth` bounds nesting;
+    /// the other two parameters are accepted for API compatibility.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+        R: Strategy<Value = Self::Value> + 'static,
+    {
+        let base = self.boxed();
+        let mut current = base.clone();
+        for _ in 0..depth {
+            // At each level: 2 parts leaf, 1 part one-level-deeper compound.
+            current = strategy::union(vec![(2, base.clone()), (1, recurse(current).boxed())]);
+        }
+        current
+    }
+
+    /// Type-erase into a cloneable handle.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy { inner: Rc::new(self) }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: std::fmt::Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn new_value(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    whence: String,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.new_value(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter {:?} rejected 1000 candidates in a row", self.whence);
+    }
+}
+
+trait DynStrategy<T> {
+    fn dyn_value(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_value(&self, rng: &mut TestRng) -> S::Value {
+        self.new_value(rng)
+    }
+}
+
+/// Cloneable, type-erased strategy handle.
+pub struct BoxedStrategy<T> {
+    inner: Rc<dyn DynStrategy<T>>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy { inner: Rc::clone(&self.inner) }
+    }
+}
+
+impl<T: std::fmt::Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        self.inner.dyn_value(rng)
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + std::fmt::Debug>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy building blocks used by the `prop_oneof!` macro.
+pub mod strategy {
+    use super::*;
+
+    /// Weighted choice among boxed alternatives.
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+        total: u32,
+    }
+
+    /// Build a [`Union`]; weights must not all be zero.
+    pub fn union<T>(arms: Vec<(u32, BoxedStrategy<T>)>) -> BoxedStrategy<T>
+    where
+        T: std::fmt::Debug + 'static,
+    {
+        let total: u32 = arms.iter().map(|(w, _)| *w).sum();
+        assert!(total > 0, "prop_oneof: all weights zero");
+        Union { arms, total }.boxed()
+    }
+
+    impl<T: std::fmt::Debug> Strategy for Union<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.gen_range(0..self.total);
+            for (w, s) in &self.arms {
+                if pick < *w {
+                    return s.new_value(rng);
+                }
+                pick -= w;
+            }
+            unreachable!("weighted pick out of range")
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive strategies: ranges, any::<T>(), tuples, &str regexes
+// ---------------------------------------------------------------------------
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+/// Types with a canonical "anything" strategy.
+pub trait Arbitrary: Sized + std::fmt::Debug {
+    /// Produce an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.gen()
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Full bit-pattern coverage (NaN and infinities included) so
+        // `prop_filter("finite", ..)` actually filters something.
+        f64::from_bits(rng.gen::<u64>())
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        f32::from_bits(rng.gen::<u32>())
+    }
+}
+
+/// Strategy wrapper for [`Arbitrary`].
+pub struct Any<A>(std::marker::PhantomData<A>);
+
+impl<A: Arbitrary> Strategy for Any<A> {
+    type Value = A;
+    fn new_value(&self, rng: &mut TestRng) -> A {
+        A::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()` — unconstrained values of `T`.
+pub fn any<A: Arbitrary>() -> Any<A> {
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy!(
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+);
+
+/// A string literal is a regex strategy (proptest convention).
+impl Strategy for &'static str {
+    type Value = String;
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        string::compile_regex(self)
+            .unwrap_or_else(|e| panic!("bad regex strategy {self:?}: {e:?}"))
+            .generate(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// collection / string / char modules
+// ---------------------------------------------------------------------------
+
+/// Collection strategies (`vec`).
+pub mod collection {
+    use super::*;
+
+    /// Length specification for [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize, // inclusive
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { min: r.start, max: r.end - 1 }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { min: *r.start(), max: *r.end() }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `vec(element, 0..8)` — vectors of generated elements.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.min..=self.size.max);
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+/// Character strategies.
+pub mod char {
+    use super::*;
+
+    /// Inclusive character range strategy.
+    pub struct CharRange {
+        lo: u32,
+        hi: u32,
+    }
+
+    /// `range('a', 'z')` — chars in the inclusive range.
+    pub fn range(lo: ::core::primitive::char, hi: ::core::primitive::char) -> CharRange {
+        assert!(lo <= hi);
+        CharRange { lo: lo as u32, hi: hi as u32 }
+    }
+
+    impl Strategy for CharRange {
+        type Value = ::core::primitive::char;
+        fn new_value(&self, rng: &mut TestRng) -> ::core::primitive::char {
+            loop {
+                let v = rng.gen_range(self.lo..=self.hi);
+                if let Some(c) = ::core::primitive::char::from_u32(v) {
+                    return c;
+                }
+            }
+        }
+    }
+}
+
+/// String strategies (regex-driven generation).
+pub mod string {
+    use super::*;
+
+    /// Error from compiling an unsupported/invalid pattern.
+    #[derive(Debug, Clone)]
+    pub struct Error(pub String);
+
+    #[derive(Debug, Clone)]
+    enum CharGen {
+        /// Inclusive codepoint ranges.
+        Class(Vec<(u32, u32)>),
+        /// Any non-control scalar value (regex `\PC`).
+        NonControl,
+    }
+
+    impl CharGen {
+        fn generate(&self, rng: &mut TestRng) -> ::core::primitive::char {
+            match self {
+                CharGen::Class(ranges) => {
+                    let total: u32 = ranges.iter().map(|(lo, hi)| hi - lo + 1).sum();
+                    let mut pick = rng.gen_range(0..total);
+                    for (lo, hi) in ranges {
+                        let span = hi - lo + 1;
+                        if pick < span {
+                            return ::core::primitive::char::from_u32(lo + pick)
+                                .expect("class range covers invalid codepoint");
+                        }
+                        pick -= span;
+                    }
+                    unreachable!()
+                }
+                CharGen::NonControl => loop {
+                    // Mostly printable ASCII, sometimes wider BMP, so
+                    // generated strings exercise unicode paths too.
+                    let v = if rng.gen_bool(0.85) {
+                        rng.gen_range(0x20u32..=0x7E)
+                    } else {
+                        rng.gen_range(0x20u32..=0xFFFF)
+                    };
+                    if let Some(c) = ::core::primitive::char::from_u32(v) {
+                        if !c.is_control() {
+                            return c;
+                        }
+                    }
+                },
+            }
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    struct Atom {
+        gen: CharGen,
+        min: u32,
+        max: u32,
+    }
+
+    /// Compiled pattern: a sequence of quantified atoms.
+    #[derive(Debug, Clone)]
+    pub struct RegexGen {
+        atoms: Vec<Atom>,
+    }
+
+    impl RegexGen {
+        /// Produce one matching string.
+        pub fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for atom in &self.atoms {
+                let n = rng.gen_range(atom.min..=atom.max);
+                for _ in 0..n {
+                    out.push(atom.gen.generate(rng));
+                }
+            }
+            out
+        }
+    }
+
+    impl Strategy for RegexGen {
+        type Value = String;
+        fn new_value(&self, rng: &mut TestRng) -> String {
+            self.generate(rng)
+        }
+    }
+
+    pub(crate) fn compile_regex(pattern: &str) -> Result<RegexGen, Error> {
+        let chars: Vec<::core::primitive::char> = pattern.chars().collect();
+        let mut atoms = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let gen = match chars[i] {
+                '[' => {
+                    i += 1;
+                    let mut ranges = Vec::new();
+                    while i < chars.len() && chars[i] != ']' {
+                        let lo = chars[i];
+                        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                            let hi = chars[i + 2];
+                            if (lo as u32) > (hi as u32) {
+                                return Err(Error(format!("bad class range {lo}-{hi}")));
+                            }
+                            ranges.push((lo as u32, hi as u32));
+                            i += 3;
+                        } else {
+                            ranges.push((lo as u32, lo as u32));
+                            i += 1;
+                        }
+                    }
+                    if i >= chars.len() {
+                        return Err(Error("unterminated character class".into()));
+                    }
+                    i += 1; // consume ']'
+                    if ranges.is_empty() {
+                        return Err(Error("empty character class".into()));
+                    }
+                    CharGen::Class(ranges)
+                }
+                '\\' => {
+                    i += 1;
+                    match chars.get(i) {
+                        Some('P') => match chars.get(i + 1) {
+                            Some('C') => {
+                                i += 2;
+                                CharGen::NonControl
+                            }
+                            other => {
+                                return Err(Error(format!("unsupported \\P{other:?}")));
+                            }
+                        },
+                        Some(&c) => {
+                            i += 1;
+                            CharGen::Class(vec![(c as u32, c as u32)])
+                        }
+                        None => return Err(Error("dangling backslash".into())),
+                    }
+                }
+                c => {
+                    i += 1;
+                    CharGen::Class(vec![(c as u32, c as u32)])
+                }
+            };
+            // Optional {m,n} / {m} quantifier.
+            let (min, max) = if chars.get(i) == Some(&'{') {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .ok_or_else(|| Error("unterminated quantifier".into()))?;
+                let body: String = chars[i + 1..i + close].iter().collect();
+                i += close + 1;
+                let parse = |s: &str| {
+                    s.parse::<u32>().map_err(|_| Error(format!("bad quantifier {body:?}")))
+                };
+                match body.split_once(',') {
+                    Some((lo, hi)) => (parse(lo)?, parse(hi)?),
+                    None => {
+                        let n = parse(&body)?;
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            if min > max {
+                return Err(Error("quantifier min > max".into()));
+            }
+            atoms.push(Atom { gen, min, max });
+        }
+        Ok(RegexGen { atoms })
+    }
+
+    /// Strategy for strings matching `pattern` (supported subset only).
+    pub fn string_regex(pattern: &str) -> Result<RegexGen, Error> {
+        compile_regex(pattern)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------------
+
+/// Config + error types, mirroring `proptest::test_runner`.
+pub mod test_runner {
+    /// Per-test configuration; only `cases` is honored.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Config with an explicit case count.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// Assertion failure: the property is violated.
+        Fail(String),
+        /// `prop_assume!` rejected the input; try another.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// Build a failure.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// Build a rejection.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// Result of one test case body.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+}
+
+use test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+
+fn seed_for(test_name: &str) -> u64 {
+    // FNV-1a over the name: stable across runs and platforms.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Drive one property test: generate inputs from `strat`, run `body`,
+/// panic with the offending input on failure. Used by the `proptest!`
+/// macro expansion; not part of the real proptest API.
+pub fn run_cases<S, F>(test_name: &str, config: &ProptestConfig, strat: S, body: F)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> TestCaseResult,
+{
+    let cases = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+        .unwrap_or(config.cases);
+    let mut rng = TestRng::seed_from_u64(seed_for(test_name));
+    let mut passed: u32 = 0;
+    let mut rejected: u32 = 0;
+    let max_rejects = cases.saturating_mul(5).saturating_add(100);
+    while passed < cases {
+        let value = strat.new_value(&mut rng);
+        let desc = format!("{value:?}");
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(value)));
+        match outcome {
+            Ok(Ok(())) => passed += 1,
+            Ok(Err(TestCaseError::Reject(why))) => {
+                rejected += 1;
+                if rejected > max_rejects {
+                    eprintln!(
+                        "proptest {test_name}: giving up after {rejected} rejections \
+                         (last: {why}); {passed}/{cases} cases passed"
+                    );
+                    return;
+                }
+            }
+            Ok(Err(TestCaseError::Fail(msg))) => {
+                panic!(
+                    "proptest {test_name} failed at case #{passed}: {msg}\n\
+                     input: {desc}"
+                );
+            }
+            Err(payload) => {
+                eprintln!("proptest {test_name} panicked at case #{passed}\ninput: {desc}");
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Weighted or unweighted choice among strategies of a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($item:expr $(,)?) => { $item };
+    ($($item:expr),+ $(,)?) => {
+        $crate::strategy::union(vec![
+            $( (1u32, $crate::Strategy::boxed($item)) ),+
+        ])
+    };
+    ($($weight:expr => $item:expr),+ $(,)?) => {
+        $crate::strategy::union(vec![
+            $( ($weight as u32, $crate::Strategy::boxed($item)) ),+
+        ])
+    };
+}
+
+/// Property-test block: optional `#![proptest_config(..)]`, then
+/// `#[test] fn name(pat in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { @cfg($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            @cfg($crate::test_runner::ProptestConfig::default())
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (@cfg($config:expr)) => {};
+    (@cfg($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($argpat:pat in $argstrat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let strat = ($($argstrat,)+);
+            $crate::run_cases(stringify!($name), &config, strat, |values| {
+                let ($($argpat,)+) = values;
+                $body
+                Ok(())
+            });
+        }
+        $crate::__proptest_items! { @cfg($config) $($rest)* }
+    };
+}
+
+/// Assert inside a proptest body; failure reports the generated input.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Equality assertion inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `left == right`\n  left: {:?}\n right: {:?}",
+            left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)+), left, right
+        );
+    }};
+}
+
+/// Reject the current input (not counted as a case) when `cond` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+/// One-stop imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn regex_generation_matches_shape() {
+        use rand::SeedableRng;
+        let mut rng = crate::TestRng::seed_from_u64(9);
+        let pat = crate::string::string_regex("[A-Za-z_][A-Za-z0-9_]{0,6}[0-9]").unwrap();
+        for _ in 0..200 {
+            let s: String = pat.generate(&mut rng);
+            let cs: Vec<char> = s.chars().collect();
+            assert!(cs.len() >= 2 && cs.len() <= 8, "{s:?}");
+            assert!(cs[0].is_ascii_alphabetic() || cs[0] == '_', "{s:?}");
+            assert!(cs[cs.len() - 1].is_ascii_digit(), "{s:?}");
+        }
+        let pc = crate::string::string_regex("\\PC{0,20}").unwrap();
+        for _ in 0..200 {
+            let s = pc.generate(&mut rng);
+            assert!(s.chars().count() <= 20);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn strategies_compose() {
+        use rand::SeedableRng;
+        let mut rng = crate::TestRng::seed_from_u64(4);
+        let strat = crate::collection::vec(
+            prop_oneof![3 => Just(0i64), 1 => (10i64..20)],
+            0..5,
+        )
+        .prop_map(|v| v.len());
+        for _ in 0..50 {
+            let n = strat.new_value(&mut rng);
+            assert!(n < 5);
+        }
+        let filtered = any::<f64>().prop_filter("finite", |f| f.is_finite());
+        for _ in 0..50 {
+            assert!(filtered.new_value(&mut rng).is_finite());
+        }
+    }
+
+    #[test]
+    fn recursive_strategy_is_bounded() {
+        use rand::SeedableRng;
+        #[derive(Debug, Clone)]
+        enum Tree {
+            Leaf(i64),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(cs) => 1 + cs.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = (0i64..10).prop_map(Tree::Leaf).prop_recursive(4, 16, 3, |inner| {
+            crate::collection::vec(inner, 0..3).prop_map(Tree::Node)
+        });
+        let mut rng = crate::TestRng::seed_from_u64(11);
+        for _ in 0..100 {
+            let t = strat.new_value(&mut rng);
+            assert!(depth(&t) <= 5, "depth {} too deep: {t:?}", depth(&t));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_plumbing_works(x in 0i64..100, mut v in crate::collection::vec(0u8..4, 0..4)) {
+            prop_assume!(x != 13);
+            v.push(1);
+            prop_assert!(x >= 0 && x < 100);
+            prop_assert_eq!(v.last().copied(), Some(1), "x was {}", x);
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`. The workspace derives
+//! Serialize/Deserialize for documentation purposes but performs all real
+//! serialization by hand (see `crates/sim/src/scenario.rs`), so the
+//! traits here are empty markers with blanket impls and the derives are
+//! no-ops re-exported from the `serde_derive` shim.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde_derive`. The workspace only *derives*
+//! Serialize/Deserialize (nothing actually serializes through serde —
+//! JSON output is hand-rolled), so the derives expand to nothing and the
+//! marker traits are implemented blanket-style in the `serde` shim.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
