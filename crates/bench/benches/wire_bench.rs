@@ -1,0 +1,200 @@
+//! Live-wire throughput: what the TCP substrate adds on top of the
+//! in-memory protocol stack.
+//!
+//! Three measurements against a real `MatchmakerDaemon` on loopback:
+//! advertisement ingest rate when a resource agent streams ads down one
+//! connection (the steady-state load of a large pool's heartbeats), the
+//! full connect → query → reply round trip a status tool pays, and a
+//! negotiation cycle driven end to end over sockets. The headline number
+//! exported to `BENCH_wire.json` is ads/second through the daemon.
+
+use condor_pool::wire::{self, IoConfig};
+use condor_pool::{DaemonConfig, MatchmakerDaemon};
+use criterion::{criterion_group, Criterion};
+use matchmaker::framing::FrameDecoder;
+use matchmaker::protocol::{Advertisement, EntityKind, Message};
+use std::time::{Duration, Instant};
+
+/// Ads streamed per connection in the ingest benchmark.
+const BATCH: usize = 256;
+
+fn machine_adv(i: usize) -> Advertisement {
+    let ad = classad::parse_classad(&format!(
+        r#"[ Name = "m{i}"; Type = "Machine"; Mips = {mips}; Memory = {mem};
+             Arch = "INTEL"; State = "Unclaimed";
+             Constraint = other.Type == "Job" && other.Memory <= Memory;
+             Rank = 0 ]"#,
+        mips = 50 + (i * 13) % 100,
+        mem = 32 << (i % 3),
+    ))
+    .unwrap();
+    Advertisement {
+        kind: EntityKind::Provider,
+        ad,
+        contact: "127.0.0.1:9".into(),
+        ticket: None,
+        expires_at: wire::unix_now() + 3600,
+    }
+}
+
+/// A daemon whose ticker stays out of the way (cycles are driven manually
+/// where the benchmark wants them).
+fn quiet_daemon() -> MatchmakerDaemon {
+    MatchmakerDaemon::spawn(DaemonConfig {
+        cycle_interval: Duration::from_secs(3600),
+        ..DaemonConfig::default()
+    })
+    .expect("loopback daemon should start")
+}
+
+/// Send `msg` and wait for its reply on an open connection.
+fn roundtrip(stream: &mut std::net::TcpStream, msg: &Message, io: &IoConfig) -> Message {
+    wire::send(stream, msg).unwrap();
+    let mut dec = FrameDecoder::new();
+    wire::recv(stream, &mut dec, Instant::now() + io.read_timeout).unwrap()
+}
+
+/// Ingest rate: one connection streaming `BATCH` advertisements, closed by
+/// a cheap query round trip so every ad is known to be processed (the
+/// daemon serves a connection's frames in order).
+fn bench_advertise_stream(c: &mut Criterion) {
+    let daemon = quiet_daemon();
+    let addr = daemon.addr().to_string();
+    let io = IoConfig::default();
+    let ads: Vec<Message> =
+        (0..BATCH).map(|i| Message::Advertise(machine_adv(i))).collect();
+    let sync = Message::Query { constraint: "false".into(), kind: None, projection: vec![] };
+
+    let mut g = c.benchmark_group("wire_loopback");
+    g.sample_size(10);
+    g.bench_function("advertise_stream_256", |b| {
+        b.iter(|| {
+            let mut stream = wire::connect(&addr, &io).unwrap();
+            for ad in &ads {
+                wire::send(&mut stream, ad).unwrap();
+            }
+            roundtrip(&mut stream, &sync, &io)
+        })
+    });
+    g.finish();
+    drop(daemon);
+}
+
+/// The status-tool cost: connect, query 256 stored ads with a projection,
+/// read the reply, disconnect — a fresh connection every time, as remote
+/// tools do.
+fn bench_query_roundtrip(c: &mut Criterion) {
+    let daemon = quiet_daemon();
+    let addr = daemon.addr().to_string();
+    let io = IoConfig::default();
+    let mut stream = wire::connect(&addr, &io).unwrap();
+    for i in 0..BATCH {
+        wire::send(&mut stream, &Message::Advertise(machine_adv(i))).unwrap();
+    }
+    let q = Message::Query {
+        constraint: "other.Mips >= 100".into(),
+        kind: Some(EntityKind::Provider),
+        projection: vec!["Name".into(), "Mips".into()],
+    };
+    // Sync: make sure all ads are ingested before measuring.
+    roundtrip(&mut stream, &q, &io);
+    drop(stream);
+
+    let mut g = c.benchmark_group("wire_loopback");
+    g.sample_size(10);
+    g.bench_function("query_roundtrip_256ads", |b| {
+        b.iter(|| {
+            let reply = wire::request_reply(&addr, &q, &io).unwrap();
+            let Message::QueryReply { ads } = reply else { panic!("{reply:?}") };
+            assert!(!ads.is_empty());
+            ads.len()
+        })
+    });
+    g.finish();
+    drop(daemon);
+}
+
+/// A negotiation cycle over the wire: 64 machines + 16 jobs ingested via
+/// TCP, one cycle run on the service. Notification dials go to dead
+/// contacts and fail fast — the measured path is ingest + match.
+fn bench_cycle_over_sockets(c: &mut Criterion) {
+    let io = IoConfig::default();
+    let job = |i: usize| {
+        let ad = classad::parse_classad(&format!(
+            r#"[ Name = "j{i}"; Type = "Job"; Owner = "user{}"; Memory = 16;
+                 Constraint = other.Type == "Machine" && other.Memory >= self.Memory;
+                 Rank = other.Mips ]"#,
+            i % 4,
+        ))
+        .unwrap();
+        Message::Advertise(Advertisement {
+            kind: EntityKind::Customer,
+            ad,
+            contact: "127.0.0.1:9".into(),
+            ticket: None,
+            expires_at: wire::unix_now() + 3600,
+        })
+    };
+    let sync = Message::Query { constraint: "false".into(), kind: None, projection: vec![] };
+
+    let mut g = c.benchmark_group("wire_loopback");
+    g.sample_size(10);
+    g.bench_function("negotiate_64x16_over_tcp", |b| {
+        b.iter(|| {
+            let daemon = quiet_daemon();
+            let addr = daemon.addr().to_string();
+            let mut stream = wire::connect(&addr, &io).unwrap();
+            for i in 0..64 {
+                wire::send(&mut stream, &Message::Advertise(machine_adv(i))).unwrap();
+            }
+            for i in 0..16 {
+                wire::send(&mut stream, &job(i)).unwrap();
+            }
+            roundtrip(&mut stream, &sync, &io);
+            let out = daemon.service().negotiate(wire::unix_now());
+            assert_eq!(out.matches.len(), 16);
+            out.matches.len()
+        })
+    });
+    g.finish();
+}
+
+/// Export the measurements, with ads/second as the headline figure.
+fn write_bench_json(path: &str) {
+    let results = criterion::take_results();
+    let find = |id: &str| results.iter().find(|r| r.id == id).map(|r| r.mean_ns);
+    let stream = find("wire_loopback/advertise_stream_256");
+    let ads_per_sec = stream.map(|ns| BATCH as f64 * 1e9 / ns).unwrap_or(0.0);
+
+    let mut json = String::from("{\n  \"benchmark\": \"wire\",\n  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"id\": \"{}\", \"mean_ns\": {:.1}, \"iterations\": {}}}{}\n",
+            r.id, r.mean_ns, r.iterations, comma
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"loopback_ads_per_sec\": {:.0},\n  \"batch\": {}\n}}\n",
+        ads_per_sec, BATCH
+    ));
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path} (loopback ingest: {ads_per_sec:.0} ads/sec)"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_advertise_stream, bench_query_roundtrip, bench_cycle_over_sockets
+);
+
+fn main() {
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+    // Anchor at the workspace root regardless of cargo's bench CWD.
+    write_bench_json(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_wire.json"));
+}

@@ -70,6 +70,14 @@ impl ClaimHandler {
         self.outstanding_ticket = Some(t);
     }
 
+    /// The ticket currently outstanding, if any. A live agent renewing its
+    /// lease re-advertises the *same* outstanding ticket (so a claim racing
+    /// a refresh still verifies) and only issues a fresh one after the old
+    /// ticket was consumed by an accepted claim.
+    pub fn outstanding_ticket(&self) -> Option<Ticket> {
+        self.outstanding_ticket
+    }
+
     /// Adjudicate a claim request against the provider's current ad.
     ///
     /// `preemptible` reports whether the provider is willing to displace

@@ -9,31 +9,58 @@
 use crate::protocol::{Message, ProtocolError};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
-/// Upper bound on a single frame. A classad-bearing message is a few KB;
-/// anything beyond this is a corrupt stream or an attack, and the decoder
-/// refuses it rather than buffering unboundedly.
+/// Default upper bound on a single frame. A classad-bearing message is a
+/// few KB; anything beyond this is a corrupt stream or an attack, and the
+/// decoder refuses it rather than buffering unboundedly.
 pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
 
-/// Encode a message with its length prefix.
-pub fn encode_framed(msg: &Message) -> Bytes {
-    let body = msg.encode();
+/// Add the 4-byte length prefix to an already-encoded message body.
+pub fn frame_body(body: &[u8]) -> Bytes {
     let mut out = BytesMut::with_capacity(4 + body.len());
     out.put_u32(body.len() as u32);
-    out.put_slice(&body);
+    out.put_slice(body);
     out.freeze()
 }
 
+/// Encode a message with its length prefix.
+pub fn encode_framed(msg: &Message) -> Bytes {
+    frame_body(&msg.encode())
+}
+
 /// Incremental decoder for a stream of length-prefixed frames.
-#[derive(Debug, Default)]
+///
+/// The maximum accepted frame length is configurable per decoder
+/// ([`FrameDecoder::with_max_frame_len`]): a daemon terminating
+/// connections from untrusted peers wants a bound matched to its largest
+/// legitimate message, so a hostile length prefix can never make it
+/// buffer unboundedly.
+#[derive(Debug)]
 pub struct FrameDecoder {
     buf: BytesMut,
     poisoned: bool,
+    max_frame_len: usize,
+}
+
+impl Default for FrameDecoder {
+    fn default() -> Self {
+        FrameDecoder { buf: BytesMut::new(), poisoned: false, max_frame_len: MAX_FRAME_LEN }
+    }
 }
 
 impl FrameDecoder {
-    /// A fresh decoder.
+    /// A fresh decoder with the default [`MAX_FRAME_LEN`] bound.
     pub fn new() -> Self {
         FrameDecoder::default()
+    }
+
+    /// A decoder that rejects frames longer than `max_frame_len` bytes.
+    pub fn with_max_frame_len(max_frame_len: usize) -> Self {
+        FrameDecoder { max_frame_len, ..FrameDecoder::default() }
+    }
+
+    /// The configured frame-length bound.
+    pub fn max_frame_len(&self) -> usize {
+        self.max_frame_len
     }
 
     /// Feed received bytes into the decoder.
@@ -57,10 +84,11 @@ impl FrameDecoder {
             return Ok(None);
         }
         let len = u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
-        if len > MAX_FRAME_LEN {
+        if len > self.max_frame_len {
             self.poisoned = true;
             return Err(ProtocolError::BadFrame(format!(
-                "frame of {len} bytes exceeds the {MAX_FRAME_LEN}-byte limit"
+                "frame of {len} bytes exceeds the {}-byte limit",
+                self.max_frame_len
             )));
         }
         if self.buf.len() < 4 + len {
@@ -160,6 +188,26 @@ mod tests {
         // Even valid data afterwards is refused: sync is lost.
         dec.push(&encode_framed(&sample_messages()[1]));
         assert!(dec.next_message().is_err());
+    }
+
+    #[test]
+    fn configurable_limit_rejects_merely_large_frames() {
+        // A frame fine for the default decoder is refused by a tighter one.
+        let msg = &sample_messages()[0];
+        let framed = encode_framed(msg);
+        let mut strict = FrameDecoder::with_max_frame_len(16);
+        assert_eq!(strict.max_frame_len(), 16);
+        strict.push(&framed);
+        assert!(strict.next_message().is_err(), "oversized for the configured bound");
+        let mut lax = FrameDecoder::new();
+        lax.push(&framed);
+        assert_eq!(lax.next_message().unwrap().as_ref(), Some(msg));
+        // The refusal happens on the length prefix alone: no buffering of
+        // the (hostile) advertised length is needed.
+        let mut strict = FrameDecoder::with_max_frame_len(1024);
+        strict.push(&u32::MAX.to_be_bytes());
+        assert!(strict.next_message().is_err());
+        assert!(strict.buffered() < 8, "nothing beyond the prefix was retained");
     }
 
     #[test]

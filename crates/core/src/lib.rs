@@ -73,7 +73,7 @@ pub mod ticket;
 pub use admanager::{AdStore, StoredAd};
 pub use autocluster::{Clustering, MatchList, OfferMeta};
 pub use claim::{ClaimHandler, ClaimState};
-pub use framing::{encode_framed, FrameDecoder};
+pub use framing::{encode_framed, frame_body, FrameDecoder, MAX_FRAME_LEN};
 pub use matcher::{Candidate, MatchEngine};
 pub use negotiate::{CycleOutcome, CycleStats, MatchRecord, Negotiator, NegotiatorConfig};
 pub use priority::{PriorityConfig, PriorityTracker};
@@ -82,7 +82,7 @@ pub use protocol::{
     MatchNotification, Message, ProtocolError, Timestamp,
 };
 pub use query::Query;
-pub use service::{Matchmaker, ServiceStats, StatsSnapshot};
+pub use service::{FrameRejection, Matchmaker, ServiceStats, StatsSnapshot};
 pub use ticket::{Ticket, TicketIssuer};
 
 /// Convenient glob-import of the crate's main types.

@@ -70,6 +70,9 @@ pub enum ProtocolError {
     MissingAttribute(String),
     /// The contact address is empty.
     MissingContact,
+    /// The contact address is not a resolvable `host:port` (only raised
+    /// when the protocol demands real socket contacts — live deployments).
+    BadContact(String),
     /// The ad has already expired at submission time.
     AlreadyExpired,
     /// A frame failed to decode.
@@ -81,6 +84,9 @@ impl fmt::Display for ProtocolError {
         match self {
             ProtocolError::MissingAttribute(a) => write!(f, "ad lacks required attribute `{a}`"),
             ProtocolError::MissingContact => f.write_str("ad has no contact address"),
+            ProtocolError::BadContact(c) => {
+                write!(f, "contact `{c}` is not a usable host:port address")
+            }
             ProtocolError::AlreadyExpired => f.write_str("ad is already expired"),
             ProtocolError::BadFrame(m) => write!(f, "malformed frame: {m}"),
         }
@@ -104,6 +110,11 @@ pub struct AdvertisingProtocol {
     /// Default lease length granted to ads that will be refreshed
     /// periodically, in seconds.
     pub default_lease: u64,
+    /// Require `contact` to parse as a real socket address (`host:port`).
+    /// Off by default so in-memory pools and the simulator can use symbolic
+    /// contacts; a live TCP daemon turns this on, because it must be able
+    /// to dial the contact back to deliver match notifications.
+    pub require_socket_contact: bool,
 }
 
 impl Default for AdvertisingProtocol {
@@ -114,6 +125,7 @@ impl Default for AdvertisingProtocol {
             required_attrs: vec!["Name".to_string()],
             conventions: MatchConventions::default(),
             default_lease: 300,
+            require_socket_contact: false,
         }
     }
 }
@@ -133,6 +145,17 @@ impl AdvertisingProtocol {
         }
         if adv.contact.is_empty() {
             return Err(ProtocolError::MissingContact);
+        }
+        if self.require_socket_contact {
+            use std::net::ToSocketAddrs;
+            let resolvable = adv
+                .contact
+                .to_socket_addrs()
+                .map(|mut a| a.next().is_some())
+                .unwrap_or(false);
+            if !resolvable {
+                return Err(ProtocolError::BadContact(adv.contact.clone()));
+            }
         }
         if adv.expires_at <= now {
             return Err(ProtocolError::AlreadyExpired);
@@ -239,6 +262,14 @@ pub enum Message {
         /// The matching (possibly projected) ads.
         ads: Vec<ClassAd>,
     },
+    /// A structured rejection an endpoint sends before closing the
+    /// connection when the peer's frame was malformed or violated the
+    /// endpoint's protocol — so a request/reply peer sees *why* instead of
+    /// waiting on a stream whose decoder lost sync.
+    Error {
+        /// Human-readable description of what was rejected.
+        detail: String,
+    },
 }
 
 const TAG_ADVERTISE: u8 = 1;
@@ -248,6 +279,7 @@ const TAG_CLAIM_REPLY: u8 = 4;
 const TAG_RELEASE: u8 = 5;
 const TAG_QUERY: u8 = 6;
 const TAG_QUERY_REPLY: u8 = 7;
+const TAG_ERROR: u8 = 8;
 
 fn put_string(buf: &mut BytesMut, s: &str) {
     buf.put_u32(s.len() as u32);
@@ -394,6 +426,10 @@ impl Message {
                     put_ad(&mut buf, ad);
                 }
             }
+            Message::Error { detail } => {
+                buf.put_u8(TAG_ERROR);
+                put_string(&mut buf, detail);
+            }
         }
         buf.freeze()
     }
@@ -470,6 +506,7 @@ impl Message {
                 }
                 Message::QueryReply { ads }
             }
+            TAG_ERROR => Message::Error { detail: r.string()? },
             other => return Err(ProtocolError::BadFrame(format!("unknown tag {other}"))),
         };
         if r.buf.has_remaining() {
@@ -607,6 +644,30 @@ mod tests {
         assert_eq!(Message::decode(reply.encode()).unwrap(), reply);
         let empty = Message::QueryReply { ads: vec![] };
         assert_eq!(Message::decode(empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn error_roundtrips() {
+        let msg = Message::Error { detail: "malformed frame: unknown tag 99".into() };
+        assert_eq!(Message::decode(msg.encode()).unwrap(), msg);
+        let empty = Message::Error { detail: String::new() };
+        assert_eq!(Message::decode(empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn socket_contact_enforced_when_required() {
+        let proto = AdvertisingProtocol { require_socket_contact: true, ..Default::default() };
+        let mut adv = sample_adv();
+        adv.contact = "127.0.0.1:9614".into();
+        assert_eq!(proto.validate(&adv, 10), Ok(()));
+        adv.contact = "leonardo".into(); // no port
+        assert_eq!(
+            proto.validate(&adv, 10),
+            Err(ProtocolError::BadContact("leonardo".into()))
+        );
+        // The default protocol keeps accepting symbolic contacts.
+        let lax = AdvertisingProtocol::default();
+        assert_eq!(lax.validate(&adv, 10), Ok(()));
     }
 
     #[test]

@@ -54,6 +54,38 @@ pub struct StatsSnapshot {
     pub queries: u64,
 }
 
+/// A frame the matchmaker endpoint refused, carrying the encoded
+/// [`Message::Error`] reply the server should send the peer before
+/// closing the connection — so a request/reply peer learns *why* instead
+/// of waiting forever on a stream whose decoder the error poisoned.
+#[derive(Debug)]
+pub struct FrameRejection {
+    /// Why the frame was refused.
+    pub error: ProtocolError,
+    /// Encoded [`Message::Error`] frame to send before closing.
+    pub reply: bytes::Bytes,
+}
+
+impl FrameRejection {
+    /// Wrap a protocol error together with its wire-level error reply.
+    pub fn new(error: ProtocolError) -> Self {
+        let reply = Message::Error { detail: error.to_string() }.encode();
+        FrameRejection { error, reply }
+    }
+}
+
+impl std::fmt::Display for FrameRejection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.error.fmt(f)
+    }
+}
+
+impl std::error::Error for FrameRejection {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
 /// A thread-safe matchmaking service.
 #[derive(Debug)]
 pub struct Matchmaker {
@@ -67,10 +99,16 @@ impl Matchmaker {
     /// Create a service with the given negotiator configuration and the
     /// default advertising protocol.
     pub fn new(config: NegotiatorConfig) -> Self {
+        Matchmaker::with_protocol(config, AdvertisingProtocol::default())
+    }
+
+    /// Create a service with an explicit advertising protocol (e.g. one
+    /// that demands real `host:port` contact addresses for live pools).
+    pub fn with_protocol(config: NegotiatorConfig, protocol: AdvertisingProtocol) -> Self {
         Matchmaker {
             store: RwLock::new(AdStore::new()),
             negotiator: Mutex::new(Negotiator::new(config)),
-            protocol: AdvertisingProtocol::default(),
+            protocol,
             stats: ServiceStats::default(),
         }
     }
@@ -91,15 +129,31 @@ impl Matchmaker {
     }
 
     /// Accept a raw protocol frame. `Advertise` mutates the store (no
-    /// response); `Query` returns a `QueryReply` frame. Anything else is a
-    /// protocol violation at this endpoint (notifications flow *from* the
-    /// matchmaker, claims bypass it entirely).
+    /// response); `Query` returns a `QueryReply` frame. A malformed or
+    /// out-of-protocol frame is rejected with a [`FrameRejection`] whose
+    /// `reply` is an encoded [`Message::Error`]: the server sends it and
+    /// then closes, instead of leaving the peer waiting on a poisoned
+    /// decoder.
     pub fn handle_frame(
         &self,
         frame: bytes::Bytes,
         now: Timestamp,
+    ) -> Result<Option<bytes::Bytes>, FrameRejection> {
+        let msg = Message::decode(frame).map_err(FrameRejection::new)?;
+        self.handle_message(msg, now).map_err(FrameRejection::new)
+    }
+
+    /// Accept one already-decoded protocol message (servers with their own
+    /// stream decoder skip the redundant re-decode `handle_frame` would
+    /// do). Anything but `Advertise` and `Query` is a protocol violation
+    /// at this endpoint (notifications flow *from* the matchmaker, claims
+    /// bypass it entirely).
+    pub fn handle_message(
+        &self,
+        msg: Message,
+        now: Timestamp,
     ) -> Result<Option<bytes::Bytes>, ProtocolError> {
-        match Message::decode(frame)? {
+        match msg {
             Message::Advertise(adv) => {
                 self.advertise(adv, now)?;
                 Ok(None)
@@ -255,6 +309,23 @@ mod tests {
         let release = Message::Release { ticket: crate::ticket::Ticket::from_raw(1) };
         assert!(svc.handle_frame(release.encode(), 0).is_err());
         assert!(svc.handle_frame(bytes::Bytes::from_static(&[9, 9]), 0).is_err());
+    }
+
+    #[test]
+    fn rejections_carry_an_error_reply_frame() {
+        // A peer that sends garbage gets a decodable Message::Error back
+        // (to be written before the connection closes), not silence.
+        let svc = Matchmaker::new(NegotiatorConfig::default());
+        let rej = svc.handle_frame(bytes::Bytes::from_static(&[9, 9]), 0).unwrap_err();
+        let Message::Error { detail } = Message::decode(rej.reply.clone()).unwrap() else {
+            panic!("rejection reply must be a Message::Error")
+        };
+        assert_eq!(detail, rej.error.to_string());
+        assert!(!detail.is_empty());
+        // Out-of-protocol (but well-formed) messages reject the same way.
+        let release = Message::Release { ticket: crate::ticket::Ticket::from_raw(1) };
+        let rej = svc.handle_frame(release.encode(), 0).unwrap_err();
+        assert!(matches!(Message::decode(rej.reply).unwrap(), Message::Error { .. }));
     }
 
     #[test]

@@ -335,6 +335,43 @@ proptest! {
     }
 
     #[test]
+    fn every_single_split_point_reassembles_identically(
+        machines in proptest::collection::vec(arb_machine(), 1..4),
+    ) {
+        // Exhaustive over split positions: a TCP stream can hand the
+        // decoder the bytes in two reads cut *anywhere* — including inside
+        // the length prefix and at the exact frame boundary — and the
+        // reassembled messages must be byte-for-byte identical every time.
+        let msgs: Vec<Message> = machines
+            .iter()
+            .enumerate()
+            .map(|(i, m)| Message::Advertise(Advertisement {
+                kind: EntityKind::Provider,
+                ad: machine_ad(i, m),
+                contact: format!("m{i}:1"),
+                ticket: Some(Ticket::from_raw(i as u128)),
+                expires_at: 42,
+            }))
+            .collect();
+        let mut wire = Vec::new();
+        for m in &msgs {
+            wire.extend_from_slice(&encode_framed(m));
+        }
+        for cut in 0..=wire.len() {
+            let mut dec = FrameDecoder::new();
+            let mut got = Vec::new();
+            for half in [&wire[..cut], &wire[cut..]] {
+                dec.push(half);
+                while let Some(m) = dec.next_message().unwrap() {
+                    got.push(m);
+                }
+            }
+            prop_assert_eq!(&got, &msgs, "stream split at byte {} diverged", cut);
+            prop_assert_eq!(dec.buffered(), 0, "split at {} left residue", cut);
+        }
+    }
+
+    #[test]
     fn decoder_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..512)) {
         let mut dec = FrameDecoder::new();
         dec.push(&data);

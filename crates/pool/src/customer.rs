@@ -1,0 +1,595 @@
+//! The customer agent (CA): a user's live runtime.
+//!
+//! Advertises one request per pending job, listens for the matchmaker's
+//! [`MatchNotification`], and dials the matched provider **directly** to
+//! claim it (paper step 4) — presenting the relayed ticket and the job's
+//! current ad for the provider's re-verification. A rejected or failed
+//! claim re-queues the job behind a capped exponential [`Backoff`]; the
+//! matchmaker simply matches it again, usually elsewhere. Exhausting the
+//! retry budget marks the job [`JobStatus::Failed`].
+//!
+//! [`MatchNotification`]: matchmaker::protocol::MatchNotification
+
+use crate::retry::Backoff;
+use crate::wire::{self, IoConfig};
+use classad::ClassAd;
+use matchmaker::protocol::{Advertisement, ClaimRequest, EntityKind, MatchNotification, Message};
+use parking_lot::Mutex;
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Customer-agent tunables.
+#[derive(Debug, Clone)]
+pub struct CustomerConfig {
+    /// The submitting user (written into each job's `Owner` attribute).
+    pub user: String,
+    /// Matchmaker daemon address (`host:port`).
+    pub matchmaker: String,
+    /// Listen address for match notifications; port 0 picks one.
+    pub bind: String,
+    /// Period between advertisement passes over pending jobs.
+    pub heartbeat: Duration,
+    /// Lease length granted with each request advertisement.
+    pub lease: Duration,
+    /// Socket deadlines.
+    pub io: IoConfig,
+    /// Resubmission schedule after a rejected or failed claim; exhausting
+    /// it marks the job [`JobStatus::Failed`].
+    pub backoff: Backoff,
+}
+
+impl Default for CustomerConfig {
+    fn default() -> Self {
+        CustomerConfig {
+            user: "user".into(),
+            matchmaker: String::new(),
+            bind: "127.0.0.1:0".into(),
+            heartbeat: Duration::from_secs(60),
+            lease: Duration::from_secs(300),
+            io: IoConfig::default(),
+            backoff: Backoff::default(),
+        }
+    }
+}
+
+/// Where a job stands in the advertise → match → claim lifecycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Advertised (or awaiting its backoff delay) but not yet placed.
+    Idle,
+    /// Successfully claimed a provider.
+    Claimed {
+        /// The provider's contact address.
+        provider_contact: String,
+        /// The provider's advertised name.
+        provider_name: String,
+    },
+    /// The claim retry budget is exhausted; the job will not be resubmitted.
+    Failed,
+}
+
+struct Job {
+    name: String,
+    ad: ClassAd,
+    status: JobStatus,
+    /// A claim dial is in flight; skip re-advertising and ignore duplicate
+    /// notifications until it resolves.
+    claiming: bool,
+    /// Claim failures so far (indexes into the backoff schedule).
+    attempts: u32,
+    /// Earliest instant the job may be re-advertised.
+    not_before: Instant,
+}
+
+#[derive(Debug, Default)]
+struct CaStats {
+    ads_sent: AtomicU64,
+    ad_failures: AtomicU64,
+    notifications_received: AtomicU64,
+    claims_accepted: AtomicU64,
+    claims_rejected: AtomicU64,
+    claim_dial_failures: AtomicU64,
+    jobs_failed: AtomicU64,
+}
+
+/// Point-in-time copy of the customer-agent counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CustomerStatsSnapshot {
+    /// Request advertisements delivered to the matchmaker.
+    pub ads_sent: u64,
+    /// Advertisement dials that failed.
+    pub ad_failures: u64,
+    /// Match notifications received.
+    pub notifications_received: u64,
+    /// Direct claims the provider accepted.
+    pub claims_accepted: u64,
+    /// Direct claims the provider rejected (stale state, bad ticket, busy).
+    pub claims_rejected: u64,
+    /// Claim dials that never reached the provider (death, timeout).
+    pub claim_dial_failures: u64,
+    /// Jobs abandoned after exhausting the retry budget.
+    pub jobs_failed: u64,
+}
+
+struct CaShared {
+    cfg: CustomerConfig,
+    contact: String,
+    jobs: Mutex<Vec<Job>>,
+    shutdown: AtomicBool,
+    stats: CaStats,
+    claimers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A live customer agent; see the module docs.
+pub struct CustomerAgent {
+    shared: Arc<CaShared>,
+    addr: SocketAddr,
+    listener: Option<JoinHandle<()>>,
+    advertiser: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for CustomerAgent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CustomerAgent")
+            .field("user", &self.shared.cfg.user)
+            .field("addr", &self.addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl CustomerAgent {
+    /// Start the agent with an initial batch of `(name, ad)` jobs. Each
+    /// ad gets its `Name` and `Owner` attributes overwritten.
+    pub fn spawn(
+        cfg: CustomerConfig,
+        jobs: Vec<(String, ClassAd)>,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&cfg.bind)?;
+        let addr = listener.local_addr()?;
+        let user = cfg.user.clone();
+        let shared = Arc::new(CaShared {
+            contact: addr.to_string(),
+            cfg,
+            jobs: Mutex::new(Vec::new()),
+            shutdown: AtomicBool::new(false),
+            stats: CaStats::default(),
+            claimers: Mutex::new(Vec::new()),
+        });
+        for (name, ad) in jobs {
+            push_job(&shared, &user, name, ad);
+        }
+        let listen_thread = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("ca-listen".into())
+                .spawn(move || listen_loop(&shared, listener))?
+        };
+        let advertiser = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("ca-advertise".into())
+                .spawn(move || advertise_loop(&shared))?
+        };
+        Ok(CustomerAgent {
+            shared,
+            addr,
+            listener: Some(listen_thread),
+            advertiser: Some(advertiser),
+        })
+    }
+
+    /// The agent's notification-listener address — its advertised contact.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The submitting user.
+    pub fn user(&self) -> &str {
+        &self.shared.cfg.user
+    }
+
+    /// Submit another job after spawn.
+    pub fn add_job(&self, name: impl Into<String>, ad: ClassAd) {
+        push_job(&self.shared, &self.shared.cfg.user.clone(), name.into(), ad);
+    }
+
+    /// Every job's `(name, status)`.
+    pub fn jobs(&self) -> Vec<(String, JobStatus)> {
+        self.shared
+            .jobs
+            .lock()
+            .iter()
+            .map(|j| (j.name.clone(), j.status.clone()))
+            .collect()
+    }
+
+    /// `true` once every job is [`JobStatus::Claimed`].
+    pub fn all_claimed(&self) -> bool {
+        let jobs = self.shared.jobs.lock();
+        !jobs.is_empty() && jobs.iter().all(|j| matches!(j.status, JobStatus::Claimed { .. }))
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CustomerStatsSnapshot {
+        let s = &self.shared.stats;
+        CustomerStatsSnapshot {
+            ads_sent: s.ads_sent.load(Ordering::Relaxed),
+            ad_failures: s.ad_failures.load(Ordering::Relaxed),
+            notifications_received: s.notifications_received.load(Ordering::Relaxed),
+            claims_accepted: s.claims_accepted.load(Ordering::Relaxed),
+            claims_rejected: s.claims_rejected.load(Ordering::Relaxed),
+            claim_dial_failures: s.claim_dial_failures.load(Ordering::Relaxed),
+            jobs_failed: s.jobs_failed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Release every established claim (dialing each provider), withdraw
+    /// pending request ads by collapsing their leases, and stop all
+    /// threads.
+    pub fn shutdown(mut self) {
+        self.teardown(true);
+    }
+
+    fn teardown(&mut self, graceful: bool) {
+        if graceful && !self.shared.shutdown.load(Ordering::SeqCst) {
+            let io = &self.shared.cfg.io;
+            let jobs = self.shared.jobs.lock();
+            for j in jobs.iter() {
+                match &j.status {
+                    JobStatus::Claimed { provider_contact, .. } => {
+                        // The ticket was consumed at claim time; Release is
+                        // addressed by connection, any ticket value works.
+                        let _ = wire::send_oneway(
+                            provider_contact,
+                            &Message::Release { ticket: matchmaker::ticket::Ticket::from_raw(0) },
+                            io,
+                        );
+                    }
+                    JobStatus::Idle => {
+                        let adv = Advertisement {
+                            kind: EntityKind::Customer,
+                            ad: j.ad.clone(),
+                            contact: self.shared.contact.clone(),
+                            ticket: None,
+                            expires_at: wire::unix_now() + 1,
+                        };
+                        let _ = wire::send_oneway(
+                            &self.shared.cfg.matchmaker,
+                            &Message::Advertise(adv),
+                            io,
+                        );
+                    }
+                    JobStatus::Failed => {}
+                }
+            }
+        }
+        if !self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            let _ = TcpStream::connect(self.addr);
+        }
+        if let Some(h) = self.listener.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.advertiser.take() {
+            let _ = h.join();
+        }
+        let claimers = std::mem::take(&mut *self.shared.claimers.lock());
+        for h in claimers {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for CustomerAgent {
+    fn drop(&mut self) {
+        self.teardown(false);
+    }
+}
+
+fn push_job(shared: &Arc<CaShared>, user: &str, name: String, mut ad: ClassAd) {
+    ad.set_str("Name", &name);
+    ad.set_str("Owner", user);
+    shared.jobs.lock().push(Job {
+        name,
+        ad,
+        status: JobStatus::Idle,
+        claiming: false,
+        attempts: 0,
+        not_before: Instant::now(),
+    });
+}
+
+fn advertise_loop(shared: &Arc<CaShared>) {
+    loop {
+        advertise_pending(shared);
+        if wire::interruptible_sleep(&shared.shutdown, shared.cfg.heartbeat) {
+            return;
+        }
+    }
+}
+
+fn advertise_pending(shared: &Arc<CaShared>) {
+    let now = Instant::now();
+    let pending: Vec<Advertisement> = {
+        let jobs = shared.jobs.lock();
+        jobs.iter()
+            .filter(|j| j.status == JobStatus::Idle && !j.claiming && j.not_before <= now)
+            .map(|j| Advertisement {
+                kind: EntityKind::Customer,
+                ad: j.ad.clone(),
+                contact: shared.contact.clone(),
+                ticket: None,
+                expires_at: wire::unix_now() + shared.cfg.lease.as_secs(),
+            })
+            .collect()
+    };
+    for adv in pending {
+        match wire::send_oneway(&shared.cfg.matchmaker, &Message::Advertise(adv), &shared.cfg.io)
+        {
+            Ok(()) => {
+                shared.stats.ads_sent.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                shared.stats.ad_failures.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+fn listen_loop(shared: &Arc<CaShared>, listener: TcpListener) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        if let Some(note) = read_notification(shared, stream) {
+            shared.stats.notifications_received.fetch_add(1, Ordering::Relaxed);
+            // Claim on a separate thread: a slow or dead provider must not
+            // block notifications for the agent's other jobs.
+            let claim_shared = Arc::clone(shared);
+            if let Ok(h) = std::thread::Builder::new()
+                .name("ca-claim".into())
+                .spawn(move || attempt_claim(&claim_shared, note))
+            {
+                let mut claimers = shared.claimers.lock();
+                claimers.retain(|h| !h.is_finished());
+                claimers.push(h);
+            }
+        }
+    }
+}
+
+fn read_notification(shared: &Arc<CaShared>, mut stream: TcpStream) -> Option<MatchNotification> {
+    let _ = stream.set_read_timeout(Some(shared.cfg.io.read_timeout));
+    let mut dec = matchmaker::framing::FrameDecoder::new();
+    let deadline = Instant::now() + shared.cfg.io.read_timeout;
+    match wire::recv(&mut stream, &mut dec, deadline) {
+        Ok(Message::Notify(n)) => Some(n),
+        _ => None,
+    }
+}
+
+fn attempt_claim(shared: &Arc<CaShared>, note: MatchNotification) {
+    let Some(job_name) = note.own_ad.get_string("Name").map(str::to_owned) else { return };
+    // Take the job for claiming (at most one dial in flight per job).
+    let current_ad = {
+        let mut jobs = shared.jobs.lock();
+        let Some(job) = jobs
+            .iter_mut()
+            .find(|j| j.name == job_name && j.status == JobStatus::Idle && !j.claiming)
+        else {
+            return; // unknown, already placed, or being claimed right now
+        };
+        job.claiming = true;
+        job.ad.clone()
+    };
+    let outcome = match note.ticket {
+        // A notification without a ticket cannot be claimed; treat it as a
+        // failed attempt so the job backs off and re-advertises.
+        None => Err(()),
+        Some(ticket) => {
+            let req = Message::Claim(ClaimRequest {
+                ticket,
+                customer_ad: current_ad,
+                customer_contact: shared.contact.clone(),
+            });
+            match wire::request_reply(&note.peer_contact, &req, &shared.cfg.io) {
+                Ok(Message::ClaimReply(r)) if r.accepted => {
+                    shared.stats.claims_accepted.fetch_add(1, Ordering::Relaxed);
+                    Ok(r.provider_ad.get_string("Name").unwrap_or_default().to_owned())
+                }
+                Ok(Message::ClaimReply(r)) => {
+                    debug_assert!(r.rejection.is_some());
+                    shared.stats.claims_rejected.fetch_add(1, Ordering::Relaxed);
+                    Err(())
+                }
+                Ok(_) => Err(()),
+                Err(_) => {
+                    shared.stats.claim_dial_failures.fetch_add(1, Ordering::Relaxed);
+                    Err(())
+                }
+            }
+        }
+    };
+    let mut jobs = shared.jobs.lock();
+    let Some(job) = jobs.iter_mut().find(|j| j.name == job_name) else { return };
+    job.claiming = false;
+    match outcome {
+        Ok(provider_name) => {
+            job.status = JobStatus::Claimed {
+                provider_contact: note.peer_contact.clone(),
+                provider_name,
+            };
+        }
+        Err(()) => {
+            job.attempts += 1;
+            match shared.cfg.backoff.delay(job.attempts) {
+                Some(delay) => {
+                    // Resubmit after the backoff: the matchmaker withdrew
+                    // the matched pair, so re-advertising re-enters the
+                    // next cycle — usually landing elsewhere.
+                    job.status = JobStatus::Idle;
+                    job.not_before = Instant::now() + delay;
+                }
+                None => {
+                    job.status = JobStatus::Failed;
+                    shared.stats.jobs_failed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use classad::parse_classad;
+    use matchmaker::framing::FrameDecoder;
+    use matchmaker::ticket::Ticket;
+
+    fn job_ad() -> ClassAd {
+        parse_classad(r#"[ Type = "Job"; Constraint = other.Type == "Machine"; Rank = 0 ]"#)
+            .unwrap()
+    }
+
+    /// A fake matchmaker endpoint collecting advertisements.
+    fn recv_one_ad(listener: &TcpListener) -> Advertisement {
+        let (mut s, _) = listener.accept().unwrap();
+        let _ = s.set_read_timeout(Some(Duration::from_secs(5)));
+        let mut dec = FrameDecoder::new();
+        let msg = wire::recv(&mut s, &mut dec, Instant::now() + Duration::from_secs(5)).unwrap();
+        match msg {
+            Message::Advertise(a) => a,
+            other => panic!("expected Advertise, got {other:?}"),
+        }
+    }
+
+    fn fast_cfg(mm: String) -> CustomerConfig {
+        CustomerConfig {
+            user: "miron".into(),
+            matchmaker: mm,
+            heartbeat: Duration::from_millis(50),
+            backoff: Backoff {
+                initial: Duration::from_millis(5),
+                max_attempts: 2,
+                ..Backoff::default()
+            },
+            ..CustomerConfig::default()
+        }
+    }
+
+    #[test]
+    fn advertises_jobs_with_owner_and_name() {
+        let mm = TcpListener::bind("127.0.0.1:0").unwrap();
+        let ca = CustomerAgent::spawn(
+            fast_cfg(mm.local_addr().unwrap().to_string()),
+            vec![("job-1".into(), job_ad())],
+        )
+        .unwrap();
+        let adv = recv_one_ad(&mm);
+        assert_eq!(adv.kind, EntityKind::Customer);
+        assert_eq!(adv.ad.get_string("Name"), Some("job-1"));
+        assert_eq!(adv.ad.get_string("Owner"), Some("miron"));
+        assert_eq!(adv.contact, ca.addr().to_string());
+        assert_eq!(ca.jobs(), vec![("job-1".to_string(), JobStatus::Idle)]);
+        ca.shutdown();
+    }
+
+    #[test]
+    fn notification_triggers_claim_and_placement() {
+        let mm = TcpListener::bind("127.0.0.1:0").unwrap();
+        // Stand-in provider that accepts whatever it is sent.
+        let provider = TcpListener::bind("127.0.0.1:0").unwrap();
+        let provider_addr = provider.local_addr().unwrap().to_string();
+        let ticket = Ticket::from_raw(42);
+        let provider_thread = std::thread::spawn(move || {
+            let (mut s, _) = provider.accept().unwrap();
+            let _ = s.set_read_timeout(Some(Duration::from_secs(5)));
+            let mut dec = FrameDecoder::new();
+            let msg =
+                wire::recv(&mut s, &mut dec, Instant::now() + Duration::from_secs(5)).unwrap();
+            let Message::Claim(req) = msg else { panic!("{msg:?}") };
+            assert_eq!(req.ticket, ticket);
+            assert_eq!(req.customer_ad.get_string("Name"), Some("job-1"));
+            wire::send(
+                &mut s,
+                &Message::ClaimReply(matchmaker::protocol::ClaimResponse {
+                    accepted: true,
+                    rejection: None,
+                    provider_ad: parse_classad(r#"[ Name = "leonardo" ]"#).unwrap(),
+                }),
+            )
+            .unwrap();
+        });
+
+        let ca = CustomerAgent::spawn(
+            fast_cfg(mm.local_addr().unwrap().to_string()),
+            vec![("job-1".into(), job_ad())],
+        )
+        .unwrap();
+        let adv = recv_one_ad(&mm);
+        // Play matchmaker: notify the CA of the match.
+        let note = MatchNotification {
+            own_ad: adv.ad.clone(),
+            peer_ad: parse_classad(r#"[ Name = "leonardo" ]"#).unwrap(),
+            peer_contact: provider_addr.clone(),
+            ticket: Some(ticket),
+        };
+        wire::send_oneway(&adv.contact, &Message::Notify(note), &IoConfig::default()).unwrap();
+
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !ca.all_claimed() {
+            assert!(Instant::now() < deadline, "claim never landed: {:?}", ca.jobs());
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        provider_thread.join().unwrap();
+        match &ca.jobs()[0].1 {
+            JobStatus::Claimed { provider_contact, provider_name } => {
+                assert_eq!(provider_contact, &provider_addr);
+                assert_eq!(provider_name, "leonardo");
+            }
+            s => panic!("{s:?}"),
+        }
+        assert_eq!(ca.stats().claims_accepted, 1);
+        ca.shutdown();
+    }
+
+    #[test]
+    fn dead_provider_exhausts_budget_and_fails_the_job() {
+        let mm = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mm_addr = mm.local_addr().unwrap().to_string();
+        let dead_provider = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        // The listener's backlog absorbs the CA's ads without an accept loop.
+        let ca = CustomerAgent::spawn(fast_cfg(mm_addr), vec![("job-1".into(), job_ad())]).unwrap();
+        let note = |ad: ClassAd| MatchNotification {
+            own_ad: ad,
+            peer_ad: parse_classad(r#"[ Name = "ghost" ]"#).unwrap(),
+            peer_contact: dead_provider.clone(),
+            ticket: Some(Ticket::from_raw(1)),
+        };
+        let contact = ca.addr().to_string();
+        let mut own = job_ad();
+        own.set_str("Name", "job-1");
+        // Each failed dial burns one attempt; budget is 2.
+        let deadline = Instant::now() + Duration::from_secs(20);
+        while ca.stats().jobs_failed == 0 {
+            assert!(Instant::now() < deadline, "job never failed: {:?}", ca.jobs());
+            let _ = wire::send_oneway(&contact, &Message::Notify(note(own.clone())), &IoConfig::default());
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert_eq!(ca.jobs()[0].1, JobStatus::Failed);
+        assert!(ca.stats().claim_dial_failures >= 3);
+        ca.shutdown();
+        drop(mm);
+    }
+}

@@ -1,0 +1,440 @@
+//! The matchmaker as a long-running TCP daemon.
+//!
+//! One listener thread accepts connections into a bounded pool of
+//! connection-handler threads; each connection gets its own
+//! [`FrameDecoder`] (with the daemon's frame-size guard) and the stream's
+//! read timeout doubles as an idle timeout. A background ticker runs
+//! negotiation cycles and dials both matched parties' contact addresses
+//! to deliver the step-3 notifications — which is why this daemon's
+//! advertising protocol demands real `host:port` contacts.
+//!
+//! Protocol violations never strand a peer: the offending connection gets
+//! a structured [`Message::Error`] reply and is then closed.
+
+use crate::wire::{self, IoConfig};
+use matchmaker::framing::FrameDecoder;
+use matchmaker::negotiate::NegotiatorConfig;
+use matchmaker::protocol::{AdvertisingProtocol, Message};
+use matchmaker::service::Matchmaker;
+use parking_lot::Mutex;
+use std::io::{ErrorKind, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Daemon tunables.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Listen address; port 0 picks an ephemeral port.
+    pub bind: String,
+    /// Connections served concurrently; excess connections are refused
+    /// with a [`Message::Error`] and closed immediately.
+    pub max_connections: usize,
+    /// Socket deadlines for serving connections and dialing notifications.
+    pub io: IoConfig,
+    /// Period between negotiation cycles.
+    pub cycle_interval: Duration,
+    /// Negotiator tunables for the wrapped service.
+    pub negotiator: NegotiatorConfig,
+    /// Largest frame a peer may send (see
+    /// [`FrameDecoder::with_max_frame_len`]).
+    pub max_frame_len: usize,
+    /// Demand `host:port` contact addresses in ads (on by default: the
+    /// daemon must dial contacts back to deliver notifications).
+    pub require_socket_contact: bool,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            bind: "127.0.0.1:0".into(),
+            max_connections: 64,
+            io: IoConfig::default(),
+            cycle_interval: Duration::from_secs(2),
+            negotiator: NegotiatorConfig::default(),
+            max_frame_len: 4 * 1024 * 1024,
+            require_socket_contact: true,
+        }
+    }
+}
+
+/// Monotone daemon counters (relaxed atomics; see snapshot()).
+#[derive(Debug, Default)]
+struct DaemonStats {
+    connections_accepted: AtomicU64,
+    connections_refused: AtomicU64,
+    frames_handled: AtomicU64,
+    error_replies: AtomicU64,
+    cycles: AtomicU64,
+    notifications_sent: AtomicU64,
+    notifications_failed: AtomicU64,
+}
+
+/// Point-in-time copy of the daemon counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DaemonStatsSnapshot {
+    /// Connections admitted into the handler pool.
+    pub connections_accepted: u64,
+    /// Connections refused because the pool was full.
+    pub connections_refused: u64,
+    /// Decoded frames dispatched to the service.
+    pub frames_handled: u64,
+    /// Structured error replies sent before closing a connection.
+    pub error_replies: u64,
+    /// Negotiation cycles run by the ticker.
+    pub cycles: u64,
+    /// Match notifications delivered to contact addresses.
+    pub notifications_sent: u64,
+    /// Notification dials that failed (soft state: costs one cycle).
+    pub notifications_failed: u64,
+}
+
+struct Shared {
+    service: Matchmaker,
+    cfg: DaemonConfig,
+    stats: DaemonStats,
+    shutdown: AtomicBool,
+    active: AtomicUsize,
+    conns: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A live matchmaker listening on TCP.
+#[derive(Debug)]
+pub struct MatchmakerDaemon {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    ticker: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared").field("cfg", &self.cfg).finish_non_exhaustive()
+    }
+}
+
+impl MatchmakerDaemon {
+    /// Bind the listener and start the accept and negotiation threads.
+    pub fn spawn(cfg: DaemonConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&cfg.bind)?;
+        let addr = listener.local_addr()?;
+        let protocol = AdvertisingProtocol {
+            require_socket_contact: cfg.require_socket_contact,
+            ..AdvertisingProtocol::default()
+        };
+        let shared = Arc::new(Shared {
+            service: Matchmaker::with_protocol(cfg.negotiator.clone(), protocol),
+            cfg,
+            stats: DaemonStats::default(),
+            shutdown: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+            conns: Mutex::new(Vec::new()),
+        });
+
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("mm-accept".into())
+                .spawn(move || accept_loop(&shared, listener))?
+        };
+        let ticker = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("mm-ticker".into())
+                .spawn(move || ticker_loop(&shared))?
+        };
+        Ok(MatchmakerDaemon { shared, addr, accept: Some(accept), ticker: Some(ticker) })
+    }
+
+    /// The bound listen address (dial this as `addr().to_string()`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The wrapped thread-safe service (for in-process inspection; remote
+    /// parties use the socket).
+    pub fn service(&self) -> &Matchmaker {
+        &self.shared.service
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> DaemonStatsSnapshot {
+        let s = &self.shared.stats;
+        DaemonStatsSnapshot {
+            connections_accepted: s.connections_accepted.load(Ordering::Relaxed),
+            connections_refused: s.connections_refused.load(Ordering::Relaxed),
+            frames_handled: s.frames_handled.load(Ordering::Relaxed),
+            error_replies: s.error_replies.load(Ordering::Relaxed),
+            cycles: s.cycles.load(Ordering::Relaxed),
+            notifications_sent: s.notifications_sent.load(Ordering::Relaxed),
+            notifications_failed: s.notifications_failed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stop accepting, finish in-flight connections, and join every
+    /// thread. Idempotent; also run by `Drop`.
+    pub fn shutdown(&mut self) {
+        if !self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            // Wake the accept loop with a throwaway connection.
+            let _ = TcpStream::connect(self.addr);
+        }
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.ticker.take() {
+            let _ = h.join();
+        }
+        let conns = std::mem::take(&mut *self.shared.conns.lock());
+        for h in conns {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MatchmakerDaemon {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        if shared.active.load(Ordering::SeqCst) >= shared.cfg.max_connections {
+            shared.stats.connections_refused.fetch_add(1, Ordering::Relaxed);
+            let mut stream = stream;
+            let _ = stream.set_write_timeout(Some(shared.cfg.io.write_timeout));
+            let _ = wire::send(
+                &mut stream,
+                &Message::Error { detail: "connection limit reached, retry later".into() },
+            );
+            continue;
+        }
+        shared.active.fetch_add(1, Ordering::SeqCst);
+        shared.stats.connections_accepted.fetch_add(1, Ordering::Relaxed);
+        let conn_shared = Arc::clone(shared);
+        let handle = std::thread::Builder::new().name("mm-conn".into()).spawn(move || {
+            serve_connection(&conn_shared, stream);
+            conn_shared.active.fetch_sub(1, Ordering::SeqCst);
+        });
+        match handle {
+            Ok(h) => {
+                let mut conns = shared.conns.lock();
+                conns.retain(|h| !h.is_finished());
+                conns.push(h);
+            }
+            Err(_) => {
+                shared.active.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+    }
+}
+
+fn serve_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(shared.cfg.io.read_timeout));
+    let _ = stream.set_write_timeout(Some(shared.cfg.io.write_timeout));
+    let mut dec = FrameDecoder::with_max_frame_len(shared.cfg.max_frame_len);
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        // Drain everything decodable before blocking again.
+        loop {
+            match dec.next_message() {
+                Ok(Some(msg)) => {
+                    shared.stats.frames_handled.fetch_add(1, Ordering::Relaxed);
+                    match shared.service.handle_message(msg, wire::unix_now()) {
+                        Ok(Some(reply)) => {
+                            if wire::send_body(&mut stream, &reply).is_err() {
+                                return;
+                            }
+                        }
+                        Ok(None) => {}
+                        Err(e) => {
+                            // Structured rejection, then close: the peer
+                            // sees why instead of a silent hangup.
+                            shared.stats.error_replies.fetch_add(1, Ordering::Relaxed);
+                            let _ = wire::send(
+                                &mut stream,
+                                &Message::Error { detail: e.to_string() },
+                            );
+                            return;
+                        }
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    shared.stats.error_replies.fetch_add(1, Ordering::Relaxed);
+                    let _ =
+                        wire::send(&mut stream, &Message::Error { detail: e.to_string() });
+                    return;
+                }
+            }
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => return,
+            Ok(n) => dec.push(&buf[..n]),
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            // Idle past the read timeout: close (clients reconnect per
+            // exchange, long-lived silence is a leak, not a session).
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => return,
+            Err(_) => return,
+        }
+    }
+}
+
+fn ticker_loop(shared: &Arc<Shared>) {
+    loop {
+        if wire::interruptible_sleep(&shared.shutdown, shared.cfg.cycle_interval) {
+            return;
+        }
+        let outcome = shared.service.negotiate(wire::unix_now());
+        shared.stats.cycles.fetch_add(1, Ordering::Relaxed);
+        for m in &outcome.matches {
+            let (to_customer, to_provider) = m.notifications();
+            for (contact, note) in
+                [(&m.provider_contact, to_provider), (&m.customer_contact, to_customer)]
+            {
+                match wire::send_oneway(contact, &Message::Notify(note), &shared.cfg.io) {
+                    Ok(()) => {
+                        shared.stats.notifications_sent.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(_) => {
+                        // Soft state: an undeliverable notification wastes
+                        // this match; both parties re-advertise.
+                        shared.stats.notifications_failed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matchmaker::protocol::{Advertisement, EntityKind};
+    use std::time::Instant;
+
+    fn machine_adv(name: &str, contact: &str) -> Advertisement {
+        Advertisement {
+            kind: EntityKind::Provider,
+            ad: classad::parse_classad(&format!(
+                r#"[ Name = "{name}"; Type = "Machine"; Mips = 100;
+                     Constraint = other.Type == "Job"; Rank = 0 ]"#
+            ))
+            .unwrap(),
+            contact: contact.into(),
+            ticket: None,
+            expires_at: wire::unix_now() + 300,
+        }
+    }
+
+    fn quiet_daemon() -> MatchmakerDaemon {
+        MatchmakerDaemon::spawn(DaemonConfig {
+            cycle_interval: Duration::from_secs(3600),
+            io: IoConfig {
+                read_timeout: Duration::from_millis(400),
+                ..IoConfig::default()
+            },
+            ..DaemonConfig::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn advertise_and_query_over_tcp() {
+        let mut daemon = quiet_daemon();
+        let addr = daemon.addr().to_string();
+        let io = IoConfig::default();
+        // Stream several ads over one connection, then query over another.
+        let mut stream = wire::connect(&addr, &io).unwrap();
+        for i in 0..3 {
+            wire::send(&mut stream, &Message::Advertise(machine_adv(&format!("m{i}"), "127.0.0.1:9")))
+                .unwrap();
+        }
+        drop(stream);
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while daemon.service().ad_count() < 3 {
+            assert!(Instant::now() < deadline, "ads never arrived");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let q = Message::Query {
+            constraint: "other.Mips >= 50".into(),
+            kind: Some(EntityKind::Provider),
+            projection: vec!["Name".into()],
+        };
+        let reply = wire::request_reply(&addr, &q, &io).unwrap();
+        let Message::QueryReply { ads } = reply else { panic!("{reply:?}") };
+        assert_eq!(ads.len(), 3);
+        daemon.shutdown();
+        assert_eq!(daemon.stats().frames_handled, 4);
+    }
+
+    #[test]
+    fn symbolic_contact_rejected_with_error_reply() {
+        let mut daemon = quiet_daemon();
+        let addr = daemon.addr().to_string();
+        let err = wire::request_reply(
+            &addr,
+            &Message::Advertise(machine_adv("m", "leonardo")),
+            &IoConfig::default(),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, WireError::Remote(ref d) if d.contains("leonardo")),
+            "{err}"
+        );
+        daemon.shutdown();
+        assert_eq!(daemon.stats().error_replies, 1);
+        assert_eq!(daemon.service().ad_count(), 0);
+    }
+
+    use crate::wire::WireError;
+
+    #[test]
+    fn connection_limit_refuses_with_error() {
+        let mut daemon = MatchmakerDaemon::spawn(DaemonConfig {
+            max_connections: 0,
+            cycle_interval: Duration::from_secs(3600),
+            ..DaemonConfig::default()
+        })
+        .unwrap();
+        let addr = daemon.addr().to_string();
+        let err = wire::request_reply(
+            &addr,
+            &Message::Query { constraint: "true".into(), kind: None, projection: vec![] },
+            &IoConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, WireError::Remote(ref d) if d.contains("limit")), "{err}");
+        daemon.shutdown();
+        assert_eq!(daemon.stats().connections_refused, 1);
+        assert_eq!(daemon.stats().connections_accepted, 0);
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_joins() {
+        let mut daemon = quiet_daemon();
+        let addr = daemon.addr().to_string();
+        let _ = wire::send_oneway(
+            &addr,
+            &Message::Advertise(machine_adv("m", "127.0.0.1:9")),
+            &IoConfig::default(),
+        );
+        daemon.shutdown();
+        daemon.shutdown();
+        // Post-shutdown dials fail (listener gone).
+        assert!(wire::connect(&addr, &IoConfig::default()).is_err());
+    }
+}

@@ -1,0 +1,208 @@
+//! Assemble a whole pool — daemon, resource agents, customer agents — on
+//! loopback, for integration tests, demos, and benches.
+//!
+//! [`PoolBuilder`] holds fast-loopback defaults (sub-second cycle and
+//! heartbeat intervals) so a full advertise → negotiate → notify → claim
+//! round completes in well under a second; [`PoolHandle`] owns every
+//! component and tears the whole pool down — agents first, daemon last —
+//! in one [`PoolHandle::shutdown`] call that joins every thread.
+
+use crate::customer::{CustomerAgent, CustomerConfig};
+use crate::daemon::{DaemonConfig, MatchmakerDaemon};
+use crate::resource::{ResourceAgent, ResourceConfig};
+use crate::retry::Backoff;
+use classad::ClassAd;
+use std::time::{Duration, Instant};
+
+/// Declarative pool assembly; see the module docs.
+#[derive(Debug)]
+pub struct PoolBuilder {
+    /// Daemon settings (the bind address defaults to loopback).
+    pub daemon: DaemonConfig,
+    /// Template for every resource agent (`name`, `matchmaker`, and
+    /// `ticket_seed` are filled in per machine at spawn).
+    pub resource_template: ResourceConfig,
+    /// Template for every customer agent (`user` and `matchmaker` are
+    /// filled in per user at spawn).
+    pub customer_template: CustomerConfig,
+    machines: Vec<(String, ClassAd)>,
+    users: Vec<(String, Vec<(String, ClassAd)>)>,
+}
+
+impl Default for PoolBuilder {
+    fn default() -> Self {
+        PoolBuilder::new()
+    }
+}
+
+impl PoolBuilder {
+    /// A builder tuned for loopback: fast cycles, fast heartbeats, short
+    /// retry delays.
+    pub fn new() -> Self {
+        let backoff = Backoff {
+            initial: Duration::from_millis(25),
+            max_delay: Duration::from_millis(250),
+            ..Backoff::default()
+        };
+        PoolBuilder {
+            daemon: DaemonConfig {
+                cycle_interval: Duration::from_millis(150),
+                ..DaemonConfig::default()
+            },
+            resource_template: ResourceConfig {
+                heartbeat: Duration::from_millis(100),
+                lease: Duration::from_secs(30),
+                backoff: backoff.clone(),
+                ..ResourceConfig::default()
+            },
+            customer_template: CustomerConfig {
+                heartbeat: Duration::from_millis(100),
+                lease: Duration::from_secs(30),
+                backoff,
+                ..CustomerConfig::default()
+            },
+            machines: Vec::new(),
+            users: Vec::new(),
+        }
+    }
+
+    /// Add a machine advertising `ad` under `name`.
+    pub fn machine(mut self, name: impl Into<String>, ad: ClassAd) -> Self {
+        self.machines.push((name.into(), ad));
+        self
+    }
+
+    /// Add a user submitting the given `(job name, ad)` batch.
+    pub fn user(
+        mut self,
+        user: impl Into<String>,
+        jobs: Vec<(String, ClassAd)>,
+    ) -> Self {
+        self.users.push((user.into(), jobs));
+        self
+    }
+
+    /// Spawn the daemon, then every agent pointed at it.
+    pub fn spawn(self) -> std::io::Result<PoolHandle> {
+        let daemon = MatchmakerDaemon::spawn(self.daemon)?;
+        let mm = daemon.addr().to_string();
+        let mut resources = Vec::with_capacity(self.machines.len());
+        for (i, (name, ad)) in self.machines.into_iter().enumerate() {
+            let cfg = ResourceConfig {
+                name,
+                matchmaker: mm.clone(),
+                ticket_seed: self.resource_template.ticket_seed.wrapping_add(i as u64),
+                ..self.resource_template.clone()
+            };
+            resources.push(ResourceAgent::spawn(cfg, ad)?);
+        }
+        let mut handle = PoolHandle {
+            daemon,
+            resources,
+            customers: Vec::new(),
+            customer_template: self.customer_template,
+        };
+        for (user, jobs) in self.users {
+            handle.add_customer(user, jobs)?;
+        }
+        Ok(handle)
+    }
+}
+
+/// A running pool; owns every component.
+#[derive(Debug)]
+pub struct PoolHandle {
+    daemon: MatchmakerDaemon,
+    resources: Vec<ResourceAgent>,
+    customers: Vec<CustomerAgent>,
+    customer_template: CustomerConfig,
+}
+
+impl PoolHandle {
+    /// The matchmaker daemon.
+    pub fn daemon(&self) -> &MatchmakerDaemon {
+        &self.daemon
+    }
+
+    /// Every running resource agent.
+    pub fn resources(&self) -> &[ResourceAgent] {
+        &self.resources
+    }
+
+    /// Every running customer agent.
+    pub fn customers(&self) -> &[CustomerAgent] {
+        &self.customers
+    }
+
+    /// Look up a resource agent by machine name.
+    pub fn resource(&self, name: &str) -> Option<&ResourceAgent> {
+        self.resources.iter().find(|r| r.name() == name)
+    }
+
+    /// Look up a customer agent by user.
+    pub fn customer(&self, user: &str) -> Option<&CustomerAgent> {
+        self.customers.iter().find(|c| c.user() == user)
+    }
+
+    /// Spawn another customer agent against the running daemon.
+    pub fn add_customer(
+        &mut self,
+        user: impl Into<String>,
+        jobs: Vec<(String, ClassAd)>,
+    ) -> std::io::Result<&CustomerAgent> {
+        let cfg = CustomerConfig {
+            user: user.into(),
+            matchmaker: self.daemon.addr().to_string(),
+            ..self.customer_template.clone()
+        };
+        self.customers.push(CustomerAgent::spawn(cfg, jobs)?);
+        Ok(self.customers.last().expect("just pushed"))
+    }
+
+    /// Kill the named resource agent **abruptly** — no withdraw, listener
+    /// closed, threads joined — leaving its stale ad behind in the
+    /// matchmaker (the fault the claim protocol is built to absorb).
+    /// Returns `false` if no such machine is running.
+    pub fn kill_resource(&mut self, name: &str) -> bool {
+        match self.resources.iter().position(|r| r.name() == name) {
+            Some(i) => {
+                self.resources.swap_remove(i).kill();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// `true` once every job of every customer is claimed.
+    pub fn all_claimed(&self) -> bool {
+        !self.customers.is_empty() && self.customers.iter().all(|c| c.all_claimed())
+    }
+
+    /// Poll `pred` every few milliseconds until it holds or `timeout`
+    /// elapses; returns whether it held.
+    pub fn wait_for(&self, timeout: Duration, pred: impl Fn(&Self) -> bool) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if pred(self) {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    /// Graceful teardown: customers release claims and withdraw request
+    /// ads, resources withdraw their ads, and the daemon drains last.
+    /// Every thread in the pool is joined before this returns.
+    pub fn shutdown(mut self) {
+        for c in self.customers.drain(..) {
+            c.shutdown();
+        }
+        for r in self.resources.drain(..) {
+            r.shutdown();
+        }
+        self.daemon.shutdown();
+    }
+}

@@ -1,0 +1,87 @@
+//! Bounded exponential backoff for agent retries.
+//!
+//! Everything an agent retries — re-dialing the matchmaker, resubmitting
+//! a request after a rejected or failed claim — is paced by a [`Backoff`]:
+//! deterministic (no jitter, so tests and simulations reproduce),
+//! exponentially growing, capped, and exhaustible.
+
+use std::time::Duration;
+
+/// Capped exponential backoff schedule.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    /// Delay before the first retry.
+    pub initial: Duration,
+    /// Growth factor per subsequent retry.
+    pub multiplier: f64,
+    /// Ceiling on any single delay.
+    pub max_delay: Duration,
+    /// Retries allowed before giving up (`u32::MAX` ≈ never give up).
+    pub max_attempts: u32,
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Backoff {
+            initial: Duration::from_millis(100),
+            multiplier: 2.0,
+            max_delay: Duration::from_secs(5),
+            max_attempts: 8,
+        }
+    }
+}
+
+impl Backoff {
+    /// A schedule that never exhausts (for heartbeat-style loops that must
+    /// keep trying as long as the agent lives).
+    pub fn unlimited(initial: Duration, max_delay: Duration) -> Self {
+        Backoff { initial, max_delay, max_attempts: u32::MAX, ..Backoff::default() }
+    }
+
+    /// Delay before retry number `attempt` (1-based: `delay(1)` follows the
+    /// first failure). `None` once the attempt budget is exhausted.
+    pub fn delay(&self, attempt: u32) -> Option<Duration> {
+        if attempt == 0 || attempt > self.max_attempts {
+            return None;
+        }
+        let factor = self.multiplier.powi(attempt.saturating_sub(1).min(63) as i32);
+        let secs = (self.initial.as_secs_f64() * factor).min(self.max_delay.as_secs_f64());
+        Some(Duration::from_secs_f64(secs.max(0.0)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_grows_then_caps() {
+        let b = Backoff::default();
+        assert_eq!(b.delay(1), Some(Duration::from_millis(100)));
+        assert_eq!(b.delay(2), Some(Duration::from_millis(200)));
+        assert_eq!(b.delay(3), Some(Duration::from_millis(400)));
+        // Monotone non-decreasing up to the cap.
+        let mut prev = Duration::ZERO;
+        for attempt in 1..=b.max_attempts {
+            let d = b.delay(attempt).unwrap();
+            assert!(d >= prev);
+            assert!(d <= b.max_delay);
+            prev = d;
+        }
+        assert_eq!(b.delay(7), Some(Duration::from_secs(5)), "capped at max_delay");
+    }
+
+    #[test]
+    fn budget_exhausts() {
+        let b = Backoff { max_attempts: 3, ..Backoff::default() };
+        assert!(b.delay(3).is_some());
+        assert_eq!(b.delay(4), None);
+        assert_eq!(b.delay(0), None, "attempt numbering is 1-based");
+    }
+
+    #[test]
+    fn unlimited_never_exhausts() {
+        let b = Backoff::unlimited(Duration::from_millis(50), Duration::from_secs(1));
+        assert_eq!(b.delay(1_000_000), Some(Duration::from_secs(1)));
+    }
+}

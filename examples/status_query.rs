@@ -2,11 +2,24 @@
 //! (paper §4: "One-way matching protocols are used to find all objects
 //! matching a given pattern").
 //!
-//! Run with: `cargo run --example status_query`
+//! Run with: `cargo run --example status_query` for a self-contained
+//! in-memory pool, or point it at a live matchmaker daemon (see
+//! `examples/live_pool.rs`) with:
+//!
+//! ```text
+//! cargo run --example status_query -- --connect 127.0.0.1:9618
+//! ```
+//!
+//! In `--connect` mode every query goes over TCP as a framed `Query`
+//! message and the table is rendered from the `QueryReply` — the same
+//! bytes a remote administration tool would exchange.
 
-use classad::{EvalPolicy, MatchConventions, Value};
+use classad::{ClassAd, EvalPolicy, MatchConventions, Value};
+use condor_pool::wire::{self, IoConfig};
 use matchmaker::prelude::*;
-use matchmaker::protocol::Timestamp;
+use matchmaker::protocol::{Message, Timestamp};
+
+const COLUMNS: [&str; 7] = ["Name", "Arch", "OpSys", "Mips", "Memory", "State", "Owner"];
 
 fn advertise_pool(store: &mut AdStore, proto: &AdvertisingProtocol) {
     let machines = [
@@ -59,21 +72,14 @@ fn advertise_pool(store: &mut AdStore, proto: &AdvertisingProtocol) {
     }
 }
 
-fn show(store: &AdStore, title: &str, constraint: &str, kind: Option<EntityKind>) {
+fn print_table(title: &str, constraint: &str, results: &[ClassAd]) {
     let policy = EvalPolicy::default();
-    let conv = MatchConventions::default();
-    let mut q = Query::from_constraint(constraint)
-        .unwrap()
-        .select(&["Name", "Arch", "OpSys", "Mips", "Memory", "State", "Owner"]);
-    q.kind = kind;
-    let now: Timestamp = 0;
-    let results = q.run_projected(store, now, &policy, &conv);
     println!("$ condor_status -constraint '{constraint}'   # {title}");
     println!(
         "{:<14}{:<8}{:<12}{:>6}{:>8}  {:<10}{:<8}",
         "NAME", "ARCH", "OPSYS", "MIPS", "MEMORY", "STATE", "OWNER"
     );
-    for ad in &results {
+    for ad in results {
         let s = |attr: &str| match ad.eval_attr(attr, &policy) {
             Value::Str(v) => v.to_string(),
             Value::Int(v) => v.to_string(),
@@ -93,32 +99,82 @@ fn show(store: &AdStore, title: &str, constraint: &str, kind: Option<EntityKind>
     println!("  ({} ad(s) matched)\n", results.len());
 }
 
-fn main() {
-    let proto = AdvertisingProtocol::default();
-    let mut store = AdStore::new();
-    advertise_pool(&mut store, &proto);
+/// Run one query against the in-memory store.
+fn query_local(store: &AdStore, constraint: &str, kind: Option<EntityKind>) -> Vec<ClassAd> {
+    let policy = EvalPolicy::default();
+    let conv = MatchConventions::default();
+    let mut q = Query::from_constraint(constraint).unwrap().select(&COLUMNS);
+    q.kind = kind;
+    let now: Timestamp = 0;
+    q.run_projected(store, now, &policy, &conv)
+}
 
-    show(&store, "everything", "true", None);
-    show(
-        &store,
+/// Run one query against a live daemon over TCP.
+fn query_remote(addr: &str, constraint: &str, kind: Option<EntityKind>) -> Vec<ClassAd> {
+    let msg = Message::Query {
+        constraint: constraint.to_string(),
+        kind,
+        projection: COLUMNS.iter().map(|s| s.to_string()).collect(),
+    };
+    match wire::request_reply(addr, &msg, &IoConfig::default()) {
+        Ok(Message::QueryReply { ads }) => ads,
+        Ok(other) => {
+            eprintln!("unexpected reply from {addr}: {other:?}");
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("query to {addr} failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    // `--connect host:port` switches from the built-in demo pool to a live
+    // matchmaker daemon.
+    let args: Vec<String> = std::env::args().collect();
+    let connect = args
+        .iter()
+        .position(|a| a == "--connect")
+        .map(|i| args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("usage: status_query [--connect host:port]");
+            std::process::exit(2);
+        }));
+
+    let local_store = if connect.is_none() {
+        let proto = AdvertisingProtocol::default();
+        let mut store = AdStore::new();
+        advertise_pool(&mut store, &proto);
+        Some(store)
+    } else {
+        None
+    };
+
+    let run = |title: &str, constraint: &str, kind: Option<EntityKind>| {
+        let results = match (&connect, &local_store) {
+            (Some(addr), _) => query_remote(addr, constraint, kind),
+            (None, Some(store)) => query_local(store, constraint, kind),
+            (None, None) => unreachable!(),
+        };
+        print_table(title, constraint, &results);
+    };
+
+    if let Some(addr) = &connect {
+        println!("querying live matchmaker at {addr} over TCP\n");
+    }
+    run("everything", "true", None);
+    run(
         "available fast INTEL machines",
         r#"other.Type == "Machine" && other.Arch == "INTEL" && other.State == "Unclaimed" && other.Mips >= 100"#,
         Some(EntityKind::Provider),
     );
-    show(
-        &store,
+    run(
         "big-memory machines (any state)",
         r#"other.Type == "Machine" && other.Memory >= 128"#,
         Some(EntityKind::Provider),
     );
-    show(
-        &store,
-        "the job queue",
-        r#"other.Type == "Job""#,
-        Some(EntityKind::Customer),
-    );
-    show(
-        &store,
+    run("the job queue", r#"other.Type == "Job""#, Some(EntityKind::Customer));
+    run(
         "ads with no State attribute (three-valued logic at work)",
         "other.State is undefined",
         None,

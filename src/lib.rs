@@ -6,7 +6,7 @@
 //! Throughput Computing" (HPDC 1998)* — the ClassAd framework that
 //! underpins Condor/HTCondor.
 //!
-//! The system is split into four crates, re-exported here:
+//! The system is split into five crates, re-exported here:
 //!
 //! * [`classad`] — the ClassAd language: parser, three-valued evaluator,
 //!   builtin functions, bilateral matching semantics, pretty-printer,
@@ -20,11 +20,16 @@
 //! * [`gangmatch`] — the paper's §5 directions, implemented: regularity
 //!   aggregation / group matching, gang co-allocation, and
 //!   unsatisfiable-constraint diagnosis.
+//! * [`condor_pool`] — the live runtime: the matchmaker as a TCP daemon
+//!   plus resource/customer agent runtimes with soft-state leases,
+//!   deadlines, and bounded retry, speaking the same wire format over
+//!   real sockets.
 //!
 //! See `examples/quickstart.rs` for a three-minute tour, and DESIGN.md /
 //! EXPERIMENTS.md for the paper-artifact map.
 
 pub use classad;
+pub use condor_pool;
 pub use condor_sim;
 pub use gangmatch;
 pub use matchmaker;
