@@ -34,7 +34,11 @@ fn pool(n: usize, templates: usize) -> Vec<Arc<ClassAd>> {
                     // 2048 unique ads).
                     mips = 50 + t as i64,
                     mem = 32 << (t % 3),
-                    arch = if t.is_multiple_of(2) { "INTEL" } else { "SPARC" },
+                    arch = if t.is_multiple_of(2) {
+                        "INTEL"
+                    } else {
+                        "SPARC"
+                    },
                 ))
                 .unwrap(),
             )
@@ -117,10 +121,8 @@ fn bench_gang_solver(c: &mut Criterion) {
         let mut port_srcs = vec![
             r#"[ Constraint = other.Type == "Machine" && other.Memory >= 32; Rank = other.Mips ]"#
                 .to_string(),
-            r#"[ Constraint = other.Type == "License" && other.Product == "matlab" ]"#
-                .to_string(),
-            r#"[ Constraint = other.Type == "TapeDrive" && other.CapacityGB >= 100 ]"#
-                .to_string(),
+            r#"[ Constraint = other.Type == "License" && other.Product == "matlab" ]"#.to_string(),
+            r#"[ Constraint = other.Type == "TapeDrive" && other.CapacityGB >= 100 ]"#.to_string(),
             r#"[ Constraint = other.Type == "Machine" && other.Arch == "SPARC" ]"#.to_string(),
             r#"[ Constraint = other.Type == "Machine"; Rank = -other.Mips ]"#.to_string(),
         ];

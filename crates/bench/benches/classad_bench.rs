@@ -6,9 +6,7 @@
 //!   missing attributes — the heterogeneity mechanism of §3.1 (E4).
 
 use classad::fixtures::{FIGURE1_MACHINE, FIGURE2_JOB};
-use classad::{
-    evaluate_match, parse_classad, parse_expr, ClassAd, EvalPolicy, MatchConventions,
-};
+use classad::{evaluate_match, parse_classad, parse_expr, ClassAd, EvalPolicy, MatchConventions};
 use criterion::{black_box, criterion_group, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -31,14 +29,14 @@ fn bench_figure_ads(c: &mut Criterion) {
         b.iter(|| evaluate_match(black_box(&job), black_box(&machine), &policy, &conv))
     });
     g.bench_function("machine_constraint_only", |b| {
-        b.iter(|| {
-            classad::constraint_holds(black_box(&machine), black_box(&job), &policy, &conv)
-        })
+        b.iter(|| classad::constraint_holds(black_box(&machine), black_box(&job), &policy, &conv))
     });
     g.bench_function("job_rank_of_machine", |b| {
         b.iter(|| classad::rank_of(black_box(&job), black_box(&machine), &policy, &conv))
     });
-    g.bench_function("pretty_print_figure1", |b| b.iter(|| black_box(&machine).to_string()));
+    g.bench_function("pretty_print_figure1", |b| {
+        b.iter(|| black_box(&machine).to_string())
+    });
     g.bench_function("json_export_figure1", |b| {
         b.iter(|| classad::json::to_json(black_box(&machine)))
     });
@@ -75,10 +73,9 @@ fn bench_undefined_logic(c: &mut Criterion) {
     let mut g = c.benchmark_group("undefined_logic");
     // The paper's canonical non-strict expression.
     let nonstrict = parse_expr("Mips >= 10 || KFlops >= 1000").unwrap();
-    let strict = parse_expr(
-        r#"Arch == "INTEL" && Memory >= 32 && Disk >= 10000 && KeyboardIdle > 900"#,
-    )
-    .unwrap();
+    let strict =
+        parse_expr(r#"Arch == "INTEL" && Memory >= 32 && Disk >= 10000 && KeyboardIdle > 900"#)
+            .unwrap();
     let guarded = parse_expr("Memory is undefined || Memory >= 32 ? true : false").unwrap();
     let policy = EvalPolicy::default();
 
@@ -120,8 +117,14 @@ fn print_e1_table() {
     let conv = MatchConventions::default();
     let r = evaluate_match(&job, &machine, &policy, &conv);
     println!("== E1: paper Figure 1 x Figure 2 ==");
-    println!("  job constraint accepts machine : {} (paper: true)", r.left_constraint);
-    println!("  machine constraint accepts job : {} (paper: true)", r.right_constraint);
+    println!(
+        "  job constraint accepts machine : {} (paper: true)",
+        r.left_constraint
+    );
+    println!(
+        "  machine constraint accepts job : {} (paper: true)",
+        r.right_constraint
+    );
     println!(
         "  job rank of machine            : {:.3} (paper: KFlops/1E3 + 64/32 = 23.893)",
         r.left_rank

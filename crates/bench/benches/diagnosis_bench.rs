@@ -48,9 +48,11 @@ fn bench_diagnosis(c: &mut Criterion) {
     let conv = MatchConventions::default();
     for n in [128_usize, 1024, 4096] {
         let offers = pool(n);
-        for (label, constraint) in
-            [("satisfiable", SATISFIABLE), ("impossible", IMPOSSIBLE), ("wide", WIDE)]
-        {
+        for (label, constraint) in [
+            ("satisfiable", SATISFIABLE),
+            ("impossible", IMPOSSIBLE),
+            ("wide", WIDE),
+        ] {
             let req = request(constraint);
             g.bench_with_input(
                 BenchmarkId::new(label, n),
@@ -72,7 +74,11 @@ fn print_e8_table() {
     println!(
         "  unsatisfiable: {} (the Memory conjunct kills {}/{} offers)",
         d.unsatisfiable(),
-        d.conjuncts.iter().find(|c| c.text.contains("Memory")).map(|c| c.eliminated()).unwrap_or(0),
+        d.conjuncts
+            .iter()
+            .find(|c| c.text.contains("Memory"))
+            .map(|c| c.eliminated())
+            .unwrap_or(0),
         d.pool_size,
     );
 }

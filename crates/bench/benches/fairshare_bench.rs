@@ -36,9 +36,11 @@ fn bench_tracker(c: &mut Criterion) {
         for (i, n) in names.iter().enumerate() {
             t.charge(n, (i * 37 % 991) as f64, 0);
         }
-        g.bench_with_input(BenchmarkId::new("order_users", users), &names, |b, names| {
-            b.iter(|| t.order_users(names.iter().map(|s| s.as_str()), 1000))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("order_users", users),
+            &names,
+            |b, names| b.iter(|| t.order_users(names.iter().map(|s| s.as_str()), 1000)),
+        );
     }
     g.finish();
 }
@@ -46,7 +48,10 @@ fn bench_tracker(c: &mut Criterion) {
 fn fairshare_scenario(heavy_jobs: usize, light_jobs: usize) -> Scenario {
     Scenario {
         seed: 99,
-        fleet: FleetSpec { count: 4, ..Default::default() },
+        fleet: FleetSpec {
+            count: 4,
+            ..Default::default()
+        },
         policy: PolicyConfig::Always,
         users: vec![
             UserSpec {
@@ -64,7 +69,10 @@ fn fairshare_scenario(heavy_jobs: usize, light_jobs: usize) -> Scenario {
                 ..UserSpec::standard("light", light_jobs)
             },
         ],
-        negotiator: NegotiatorSettings { charge_per_match: 600.0, ..Default::default() },
+        negotiator: NegotiatorSettings {
+            charge_per_match: 600.0,
+            ..Default::default()
+        },
         duration_ms: 24 * 3_600 * 1000,
         ..Default::default()
     }
@@ -82,7 +90,10 @@ fn print_e5_experiment() {
     for (label, halflife_ms) in [("no usage memory", 1.0_f64), ("halflife 1 h", 3_600_000.0)] {
         let mut s = Scenario {
             seed: 99,
-            fleet: FleetSpec { count: 1, ..Default::default() },
+            fleet: FleetSpec {
+                count: 1,
+                ..Default::default()
+            },
             policy: PolicyConfig::Always,
             users: ["alice", "mid", "zed"]
                 .iter()
@@ -93,7 +104,10 @@ fn print_e5_experiment() {
                     ..UserSpec::standard(u, 10)
                 })
                 .collect(),
-            negotiator: NegotiatorSettings { charge_per_match: 600.0, ..Default::default() },
+            negotiator: NegotiatorSettings {
+                charge_per_match: 600.0,
+                ..Default::default()
+            },
             duration_ms: 100 * 3_600 * 1000,
             ..Default::default()
         };
@@ -121,7 +135,10 @@ fn print_e5_experiment() {
     }
     // Priority-value evolution, shown directly on the tracker.
     println!("\n  priority decay (tracker-level, halflife = 1 h):");
-    let mut t = PriorityTracker::new(PriorityConfig { halflife: 3_600_000.0, ..Default::default() });
+    let mut t = PriorityTracker::new(PriorityConfig {
+        halflife: 3_600_000.0,
+        ..Default::default()
+    });
     t.charge("heavy", 14_400.0, 0); // 4 machine-hours
     for hours in [0u64, 1, 2, 4, 8] {
         let now = hours * 3_600_000;

@@ -8,8 +8,8 @@
 //! scan's speedup on large pools.
 
 use criterion::{criterion_group, BenchmarkId, Criterion};
-use matchmaker::prelude::*;
 use matchmaker::negotiate::NegotiatorConfig;
+use matchmaker::prelude::*;
 
 fn machine_adv(i: usize) -> Advertisement {
     let ad = classad::parse_classad(&format!(
@@ -19,7 +19,11 @@ fn machine_adv(i: usize) -> Advertisement {
              Rank = 0 ]"#,
         mips = 50 + (i * 13) % 100,
         mem = 32 << (i % 3),
-        arch = if i.is_multiple_of(4) { "SPARC" } else { "INTEL" },
+        arch = if i.is_multiple_of(4) {
+            "SPARC"
+        } else {
+            "INTEL"
+        },
     ))
     .unwrap();
     Advertisement {
@@ -67,12 +71,16 @@ fn bench_pool_size_scaling(c: &mut Criterion) {
     g.sample_size(10);
     for machines in [64_usize, 256, 1024, 4096] {
         let store = build_store(machines, 32);
-        g.bench_with_input(BenchmarkId::new("machines", machines), &store, |b, store| {
-            b.iter(|| {
-                let mut neg = Negotiator::default();
-                neg.negotiate(store, 0)
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("machines", machines),
+            &store,
+            |b, store| {
+                b.iter(|| {
+                    let mut neg = Negotiator::default();
+                    neg.negotiate(store, 0)
+                })
+            },
+        );
     }
     g.finish();
 }
@@ -97,13 +105,19 @@ fn bench_parallel_ablation(c: &mut Criterion) {
     g.sample_size(10);
     let store = build_store(4096, 16);
     for threads in [1_usize, 2, 4, 8] {
-        g.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &threads| {
-            b.iter(|| {
-                let mut neg =
-                    Negotiator::new(NegotiatorConfig { threads, ..Default::default() });
-                neg.negotiate(&store, 0)
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let mut neg = Negotiator::new(NegotiatorConfig {
+                        threads,
+                        ..Default::default()
+                    });
+                    neg.negotiate(&store, 0)
+                })
+            },
+        );
     }
     g.finish();
 }
@@ -135,7 +149,9 @@ fn build_clustered_store(machines: usize, jobs: usize, users: usize) -> AdStore 
         store.advertise(machine_adv(i), 0, &proto).unwrap();
     }
     for i in 0..jobs {
-        store.advertise(clustered_job_adv(i, users), 0, &proto).unwrap();
+        store
+            .advertise(clustered_job_adv(i, users), 0, &proto)
+            .unwrap();
     }
     store
 }
@@ -150,7 +166,11 @@ fn bench_clustered_workload(c: &mut Criterion) {
     for (machines, jobs) in [(256_usize, 256_usize), (1000, 1000)] {
         let store = build_clustered_store(machines, jobs, 8);
         for autocluster in [true, false] {
-            let label = if autocluster { "autocluster_on" } else { "autocluster_off" };
+            let label = if autocluster {
+                "autocluster_on"
+            } else {
+                "autocluster_off"
+            };
             g.bench_with_input(
                 BenchmarkId::new(label, format!("{machines}x{jobs}")),
                 &store,
@@ -232,5 +252,8 @@ fn main() {
     benches();
     Criterion::default().configure_from_args().final_summary();
     // Anchor at the workspace root regardless of cargo's bench CWD.
-    write_bench_json(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_negotiation.json"));
+    write_bench_json(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_negotiation.json"
+    ));
 }

@@ -101,7 +101,10 @@ fn bench_preemption_scan(c: &mut Criterion) {
 
 fn contended_scenario(preemption: bool) -> Scenario {
     // Owners permanently absent: contention comes purely from customers.
-    let mut fleet = FleetSpec { count: 2, ..Default::default() };
+    let mut fleet = FleetSpec {
+        count: 2,
+        ..Default::default()
+    };
     fleet.activity.initially_present_prob = 0.0;
     fleet.activity.mean_away_ms = 1e12;
     Scenario {
@@ -127,7 +130,10 @@ fn contended_scenario(preemption: bool) -> Scenario {
                 ..UserSpec::standard("vip", 4)
             },
         ],
-        negotiator: NegotiatorSettings { preemption, ..Default::default() },
+        negotiator: NegotiatorSettings {
+            preemption,
+            ..Default::default()
+        },
         duration_ms: 12 * 3_600 * 1000,
         ..Default::default()
     }
@@ -135,7 +141,9 @@ fn contended_scenario(preemption: bool) -> Scenario {
 
 fn print_e6_experiment() {
     println!("== E6: preemption on a contended 2-machine pool ==");
-    println!("  worker: two 60-min jobs at t=0 (rank 1); vip: four 10-min jobs from t~30min (rank 10)");
+    println!(
+        "  worker: two 60-min jobs at t=0 (rank 1); vip: four 10-min jobs from t~30min (rank 10)"
+    );
     println!(
         "  {:<16}{:>12}{:>18}{:>16}{:>12}",
         "preemption", "preempted", "vip mean wait", "vip turnaround", "badput"
@@ -153,8 +161,8 @@ fn print_e6_experiment() {
                 vip.iter().map(f).sum::<f64>() / vip.len() as f64
             }
         };
-        let wait = mean(&|r| (r.first_start.unwrap_or(r.completed_at) - r.submitted_at) as f64)
-            / 60_000.0;
+        let wait =
+            mean(&|r| (r.first_start.unwrap_or(r.completed_at) - r.submitted_at) as f64) / 60_000.0;
         let turn = mean(&|r| (r.completed_at - r.submitted_at) as f64) / 60_000.0;
         println!(
             "  {:<16}{:>12}{:>14.1} min{:>12.1} min{:>8.1} min",

@@ -34,7 +34,9 @@ fn bench_framing(c: &mut Criterion) {
     let mut g = c.benchmark_group("wire_format");
     let (m_adv, _) = figure_advertisements(Ticket::from_raw(7));
     let msg = Message::Advertise(m_adv);
-    g.bench_function("encode_figure1_advertise", |b| b.iter(|| black_box(&msg).encode()));
+    g.bench_function("encode_figure1_advertise", |b| {
+        b.iter(|| black_box(&msg).encode())
+    });
     let bytes = msg.encode();
     g.bench_function("decode_figure1_advertise", |b| {
         b.iter(|| Message::decode(black_box(bytes.clone())).unwrap())

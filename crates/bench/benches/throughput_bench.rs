@@ -29,7 +29,9 @@ fn scenario(machines: usize, jobs_per_user: usize) -> Scenario {
             },
             ..Default::default()
         },
-        policy: PolicyConfig::OwnerIdle { min_keyboard_idle_s: 300 },
+        policy: PolicyConfig::OwnerIdle {
+            min_keyboard_idle_s: 300,
+        },
         users: (0..4)
             .map(|i| UserSpec {
                 mean_interarrival_ms: 60_000.0,
@@ -38,7 +40,10 @@ fn scenario(machines: usize, jobs_per_user: usize) -> Scenario {
                 ..UserSpec::standard(&format!("user{i}"), jobs_per_user)
             })
             .collect(),
-        negotiator: NegotiatorSettings { charge_per_match: 120.0, ..Default::default() },
+        negotiator: NegotiatorSettings {
+            charge_per_match: 120.0,
+            ..Default::default()
+        },
         advertise_period_ms: 60_000,
         negotiation_period_ms: 60_000,
         duration_ms: 12 * 3_600 * 1000,

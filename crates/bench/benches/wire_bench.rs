@@ -61,9 +61,14 @@ fn bench_advertise_stream(c: &mut Criterion) {
     let daemon = quiet_daemon();
     let addr = daemon.addr().to_string();
     let io = IoConfig::default();
-    let ads: Vec<Message> =
-        (0..BATCH).map(|i| Message::Advertise(machine_adv(i))).collect();
-    let sync = Message::Query { constraint: "false".into(), kind: None, projection: vec![] };
+    let ads: Vec<Message> = (0..BATCH)
+        .map(|i| Message::Advertise(machine_adv(i)))
+        .collect();
+    let sync = Message::Query {
+        constraint: "false".into(),
+        kind: None,
+        projection: vec![],
+    };
 
     let mut g = c.benchmark_group("wire_loopback");
     g.sample_size(10);
@@ -105,7 +110,9 @@ fn bench_query_roundtrip(c: &mut Criterion) {
     g.bench_function("query_roundtrip_256ads", |b| {
         b.iter(|| {
             let reply = wire::request_reply(&addr, &q, &io).unwrap();
-            let Message::QueryReply { ads } = reply else { panic!("{reply:?}") };
+            let Message::QueryReply { ads } = reply else {
+                panic!("{reply:?}")
+            };
             assert!(!ads.is_empty());
             ads.len()
         })
@@ -135,7 +142,11 @@ fn bench_cycle_over_sockets(c: &mut Criterion) {
             expires_at: wire::unix_now() + 3600,
         })
     };
-    let sync = Message::Query { constraint: "false".into(), kind: None, projection: vec![] };
+    let sync = Message::Query {
+        constraint: "false".into(),
+        kind: None,
+        projection: vec![],
+    };
 
     let mut g = c.benchmark_group("wire_loopback");
     g.sample_size(10);
@@ -196,5 +207,8 @@ fn main() {
     benches();
     Criterion::default().configure_from_args().final_summary();
     // Anchor at the workspace root regardless of cargo's bench CWD.
-    write_bench_json(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_wire.json"));
+    write_bench_json(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_wire.json"
+    ));
 }

@@ -456,7 +456,11 @@ mod tests {
             Expr::bin(BinOp::Eq, Expr::other("Arch"), Expr::str("INTEL")),
             Expr::bin(BinOp::Ge, Expr::attr("Disk"), Expr::self_("MinDisk")),
         );
-        let refs: Vec<String> = e.external_refs().iter().map(|n| n.canonical().to_string()).collect();
+        let refs: Vec<String> = e
+            .external_refs()
+            .iter()
+            .map(|n| n.canonical().to_string())
+            .collect();
         assert_eq!(refs, vec!["arch", "disk"]);
     }
 

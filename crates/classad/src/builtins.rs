@@ -199,10 +199,12 @@ fn pow(ev: &mut Evaluator<'_>, side: Side, args: &[Expr]) -> Value {
         return s;
     }
     match (&vals[0], &vals[1]) {
-        (Value::Int(b), Value::Int(e)) if *e >= 0 => match b.checked_pow((*e).min(u32::MAX as i64) as u32) {
-            Some(v) => Value::Int(v),
-            None => Value::Error,
-        },
+        (Value::Int(b), Value::Int(e)) if *e >= 0 => {
+            match b.checked_pow((*e).min(u32::MAX as i64) as u32) {
+                Some(v) => Value::Int(v),
+                None => Value::Error,
+            }
+        }
         _ => match (vals[0].as_f64(), vals[1].as_f64()) {
             (Some(b), Some(e)) => {
                 let r = b.powf(e);
@@ -305,7 +307,12 @@ pub(crate) fn format_real(r: f64) -> String {
         return "real(\"NaN\")".to_string();
     }
     if r.is_infinite() {
-        return if r > 0.0 { "real(\"INF\")" } else { "real(\"-INF\")" }.to_string();
+        return if r > 0.0 {
+            "real(\"INF\")"
+        } else {
+            "real(\"-INF\")"
+        }
+        .to_string();
     }
     let abs = r.abs();
     // Scientific notation for extreme magnitudes keeps literals short
@@ -353,7 +360,11 @@ fn substr(ev: &mut Evaluator<'_>, side: Side, args: &[Expr]) -> Value {
     };
     let len = s.len() as i64;
     // Negative offset counts from the end, as in the classad spec.
-    let start = if off < 0 { (len + off).max(0) } else { off.min(len) } as usize;
+    let start = if off < 0 {
+        (len + off).max(0)
+    } else {
+        off.min(len)
+    } as usize;
     let take = match vals.get(2) {
         None => len as usize,
         Some(v) => match v.as_int() {
@@ -378,7 +389,11 @@ fn strcmp(ev: &mut Evaluator<'_>, side: Side, args: &[Expr], case_sensitive: boo
     let (Some(a), Some(b)) = (vals[0].as_str(), vals[1].as_str()) else {
         return Value::Error;
     };
-    let ord = if case_sensitive { a.cmp(b) } else { case_insensitive_cmp(a, b) };
+    let ord = if case_sensitive {
+        a.cmp(b)
+    } else {
+        case_insensitive_cmp(a, b)
+    };
     Value::Int(match ord {
         Ordering::Less => -1,
         Ordering::Equal => 0,
@@ -386,7 +401,12 @@ fn strcmp(ev: &mut Evaluator<'_>, side: Side, args: &[Expr], case_sensitive: boo
     })
 }
 
-fn map_string(ev: &mut Evaluator<'_>, side: Side, args: &[Expr], f: impl Fn(&str) -> String) -> Value {
+fn map_string(
+    ev: &mut Evaluator<'_>,
+    side: Side,
+    args: &[Expr],
+    f: impl Fn(&str) -> String,
+) -> Value {
     if args.len() != 1 {
         return Value::Error;
     }
@@ -484,7 +504,13 @@ fn string_list_member(
     let found = hay
         .split(|c: char| delims.contains(c))
         .filter(|p| !p.is_empty())
-        .any(|p| if case_sensitive { p == needle } else { p.eq_ignore_ascii_case(needle) });
+        .any(|p| {
+            if case_sensitive {
+                p == needle
+            } else {
+                p.eq_ignore_ascii_case(needle)
+            }
+        });
     Value::Bool(found)
 }
 
@@ -506,7 +532,10 @@ fn string_list_size(ev: &mut Evaluator<'_>, side: Side, args: &[Expr]) -> Value 
             None => return Value::Error,
         },
     };
-    let n = hay.split(|c: char| delims.contains(c)).filter(|p| !p.is_empty()).count();
+    let n = hay
+        .split(|c: char| delims.contains(c))
+        .filter(|p| !p.is_empty())
+        .count();
     Value::Int(n as i64)
 }
 
@@ -730,9 +759,17 @@ mod tests {
     #[test]
     fn member_equality() {
         assert_eq!(eval(r#"member("b", {"a", "b"})"#), Value::Bool(true));
-        assert_eq!(eval(r#"member("B", {"a", "b"})"#), Value::Bool(true), "== is case-insensitive");
+        assert_eq!(
+            eval(r#"member("B", {"a", "b"})"#),
+            Value::Bool(true),
+            "== is case-insensitive"
+        );
         assert_eq!(eval(r#"member("c", {"a", "b"})"#), Value::Bool(false));
-        assert_eq!(eval(r#"member(2, {1, 2.0, 3})"#), Value::Bool(true), "numeric unification");
+        assert_eq!(
+            eval(r#"member(2, {1, 2.0, 3})"#),
+            Value::Bool(true),
+            "numeric unification"
+        );
         assert_eq!(eval(r#"member("x", "notalist")"#), Value::Error);
         assert_eq!(eval(r#"member(Missing, {1})"#), Value::Undefined);
         assert_eq!(eval(r#"member(1, Missing)"#), Value::Undefined);
@@ -741,8 +778,14 @@ mod tests {
 
     #[test]
     fn identical_member() {
-        assert_eq!(eval(r#"identicalMember("B", {"a", "b"})"#), Value::Bool(false));
-        assert_eq!(eval(r#"identicalMember("b", {"a", "b"})"#), Value::Bool(true));
+        assert_eq!(
+            eval(r#"identicalMember("B", {"a", "b"})"#),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            eval(r#"identicalMember("b", {"a", "b"})"#),
+            Value::Bool(true)
+        );
         assert_eq!(eval(r#"identicalMember(2, {2.0})"#), Value::Bool(false));
     }
 
@@ -764,7 +807,11 @@ mod tests {
         assert_eq!(eval("ifThenElse(true, 1, 1/0)"), Value::Int(1));
         assert_eq!(eval("ifThenElse(false, 1/0, 2)"), Value::Int(2));
         assert_eq!(eval("ifThenElse(Missing, 1, 2)"), Value::Undefined);
-        assert_eq!(eval("ifThenElse(3, 1, 2)"), Value::Int(1), "nonzero int is true");
+        assert_eq!(
+            eval("ifThenElse(3, 1, 2)"),
+            Value::Int(1),
+            "nonzero int is true"
+        );
         assert_eq!(eval("ifThenElse(0.0, 1, 2)"), Value::Int(2));
         assert_eq!(eval("ifThenElse(\"s\", 1, 2)"), Value::Error);
     }
@@ -810,7 +857,11 @@ mod tests {
         assert_eq!(eval(r#"substr("abcdef", 1, -1)"#), Value::str("bcde"));
         assert_eq!(eval(r#"strcmp("a", "b")"#), Value::Int(-1));
         assert_eq!(eval(r#"strcmp("b", "a")"#), Value::Int(1));
-        assert_eq!(eval(r#"strcmp("A", "a")"#), Value::Int(-1), "strcmp is case-sensitive");
+        assert_eq!(
+            eval(r#"strcmp("A", "a")"#),
+            Value::Int(-1),
+            "strcmp is case-sensitive"
+        );
         assert_eq!(eval(r#"stricmp("A", "a")"#), Value::Int(0));
         assert_eq!(eval(r#"toUpper("MiXeD")"#), Value::str("MIXED"));
         assert_eq!(eval(r#"toLower("MiXeD")"#), Value::str("mixed"));
@@ -833,9 +884,18 @@ mod tests {
 
     #[test]
     fn string_lists() {
-        assert_eq!(eval(r#"stringListMember("b", "a, b, c")"#), Value::Bool(true));
-        assert_eq!(eval(r#"stringListMember("B", "a, b, c")"#), Value::Bool(false));
-        assert_eq!(eval(r#"stringListIMember("B", "a, b, c")"#), Value::Bool(true));
+        assert_eq!(
+            eval(r#"stringListMember("b", "a, b, c")"#),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval(r#"stringListMember("B", "a, b, c")"#),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            eval(r#"stringListIMember("B", "a, b, c")"#),
+            Value::Bool(true)
+        );
         assert_eq!(eval(r#"stringListSize("a, b, c")"#), Value::Int(3));
         assert_eq!(eval(r#"stringListSize("a:b", ":")"#), Value::Int(2));
     }
@@ -872,7 +932,10 @@ mod tests {
     #[test]
     fn time_uses_policy_clock() {
         assert_eq!(eval("time()"), Value::Error, "no clock configured");
-        let p = EvalPolicy { now: Some(1_000_000), ..EvalPolicy::default() };
+        let p = EvalPolicy {
+            now: Some(1_000_000),
+            ..EvalPolicy::default()
+        };
         assert_eq!(eval_with("time()", &p), Value::Int(1_000_000));
         assert_eq!(eval_with("time(1)", &p), Value::Error);
     }
@@ -892,13 +955,26 @@ mod tests {
 
     #[test]
     fn regexp_builtin() {
-        assert_eq!(eval(r#"regexp("wisc", "leonardo.cs.wisc.edu")"#), Value::Bool(true));
-        assert_eq!(eval(r#"regexp("^node[0-9]+$", "node42")"#), Value::Bool(true));
-        assert_eq!(eval(r#"regexp("^node[0-9]+$", "nodeX")"#), Value::Bool(false));
+        assert_eq!(
+            eval(r#"regexp("wisc", "leonardo.cs.wisc.edu")"#),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval(r#"regexp("^node[0-9]+$", "node42")"#),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval(r#"regexp("^node[0-9]+$", "nodeX")"#),
+            Value::Bool(false)
+        );
         assert_eq!(eval(r#"regexp("INTEL", "intel", "i")"#), Value::Bool(true));
         assert_eq!(eval(r#"regexp("abc", "xabcx", "f")"#), Value::Bool(false));
         assert_eq!(eval(r#"regexp("(", "x")"#), Value::Error, "bad pattern");
-        assert_eq!(eval(r#"regexp("a", "b", "z")"#), Value::Error, "bad options");
+        assert_eq!(
+            eval(r#"regexp("a", "b", "z")"#),
+            Value::Error,
+            "bad options"
+        );
         assert_eq!(eval(r#"regexp(1, "x")"#), Value::Error);
         assert_eq!(eval(r#"regexp(Missing, "x")"#), Value::Undefined);
     }
@@ -927,7 +1003,10 @@ mod tests {
     #[test]
     fn functions_resolve_attrs() {
         assert_eq!(
-            eval_in(r#"[Friends = {"tannenba", "wright"}]"#, r#"member("wright", Friends)"#),
+            eval_in(
+                r#"[Friends = {"tannenba", "wright"}]"#,
+                r#"member("wright", Friends)"#
+            ),
             Value::Bool(true)
         );
     }

@@ -35,7 +35,10 @@ impl ClassAd {
 
     /// Create an empty ad with capacity for `n` attributes.
     pub fn with_capacity(n: usize) -> Self {
-        ClassAd { entries: Vec::with_capacity(n), index: HashMap::with_capacity(n) }
+        ClassAd {
+            entries: Vec::with_capacity(n),
+            index: HashMap::with_capacity(n),
+        }
     }
 
     /// Number of attributes.
@@ -274,7 +277,10 @@ mod tests {
         let mut ad = ClassAd::new();
         ad.set_str("Arch", "INTEL");
         ad.set_int("Mips", 104);
-        ad.set("Computed", Expr::bin(crate::ast::BinOp::Add, Expr::int(1), Expr::int(2)));
+        ad.set(
+            "Computed",
+            Expr::bin(crate::ast::BinOp::Add, Expr::int(1), Expr::int(2)),
+        );
         assert_eq!(ad.get_string("arch"), Some("INTEL"));
         assert_eq!(ad.get_int("mips"), Some(104));
         assert_eq!(ad.get_string("mips"), None);

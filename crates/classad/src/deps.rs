@@ -109,7 +109,10 @@ mod tests {
         let e = parse_expr("[a = Inner].a + Xs[Idx] + member(Needle, {Hay1, Hay2})").unwrap();
         let mut out = BTreeSet::new();
         self_refs(&e, &mut out);
-        assert_eq!(names(&out), vec!["hay1", "hay2", "idx", "inner", "needle", "xs"]);
+        assert_eq!(
+            names(&out),
+            vec!["hay1", "hay2", "idx", "inner", "needle", "xs"]
+        );
     }
 
     #[test]
@@ -121,7 +124,10 @@ mod tests {
         let seeds: BTreeSet<Arc<str>> = [Arc::from("rank"), Arc::from("looper")].into();
         let closed = dependency_closure(&ad, seeds);
         // `boost` is unbound but stays in the set; `looper` self-cycle ends.
-        assert_eq!(names(&closed), vec!["base", "boost", "looper", "rank", "score"]);
+        assert_eq!(
+            names(&closed),
+            vec!["base", "boost", "looper", "rank", "score"]
+        );
     }
 
     #[test]

@@ -25,12 +25,22 @@ pub struct Span {
 impl Span {
     /// Create a span covering `start..end` at the given line/column.
     pub fn new(start: usize, end: usize, line: u32, col: u32) -> Self {
-        Span { start, end, line, col }
+        Span {
+            start,
+            end,
+            line,
+            col,
+        }
     }
 
     /// The span covering both `self` and `other` (keeps `self`'s position).
     pub fn to(self, other: Span) -> Span {
-        Span { start: self.start, end: other.end.max(self.end), line: self.line, col: self.col }
+        Span {
+            start: self.start,
+            end: other.end.max(self.end),
+            line: self.line,
+            col: self.col,
+        }
     }
 }
 
@@ -100,7 +110,10 @@ pub struct ParseError {
 impl ParseError {
     /// Construct a parse error at `span` with the given message.
     pub fn new(span: Span, message: impl Into<String>) -> Self {
-        ParseError { span, message: message.into() }
+        ParseError {
+            span,
+            message: message.into(),
+        }
     }
 }
 
@@ -122,18 +135,26 @@ impl ParseError {
     ///   |                 ^
     /// ```
     pub fn render(&self, src: &str) -> String {
-        let mut out = format!("error: {}
-", self.message);
-        let Some(line_text) = src.lines().nth(self.span.line.saturating_sub(1) as usize)
-        else {
+        let mut out = format!(
+            "error: {}
+",
+            self.message
+        );
+        let Some(line_text) = src.lines().nth(self.span.line.saturating_sub(1) as usize) else {
             return out;
         };
         let line_no = self.span.line.max(1);
         let gutter = line_no.to_string().len();
-        out.push_str(&format!("{:width$} |
-", "", width = gutter));
-        out.push_str(&format!("{line_no} | {line_text}
-"));
+        out.push_str(&format!(
+            "{:width$} |
+",
+            "",
+            width = gutter
+        ));
+        out.push_str(&format!(
+            "{line_no} | {line_text}
+"
+        ));
         // Column is byte-based; clamp the caret to the rendered line.
         let col = (self.span.col.saturating_sub(1) as usize).min(line_text.len());
         out.push_str(&format!(
@@ -150,7 +171,10 @@ impl ParseError {
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
-        ParseError { span: e.span, message: e.to_string() }
+        ParseError {
+            span: e.span,
+            message: e.to_string(),
+        }
     }
 }
 
@@ -179,7 +203,10 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        let e = LexError { span: Span::new(5, 6, 2, 3), kind: LexErrorKind::UnexpectedChar('#') };
+        let e = LexError {
+            span: Span::new(5, 6, 2, 3),
+            kind: LexErrorKind::UnexpectedChar('#'),
+        };
         assert_eq!(e.to_string(), "2:3: unexpected character '#'");
         let p = ParseError::new(Span::new(0, 1, 1, 1), "expected `]`");
         assert_eq!(p.to_string(), "1:1: expected `]`");
@@ -193,7 +220,10 @@ mod tests {
         let rendered = err.render(src);
         assert!(rendered.starts_with("error: "), "{rendered}");
         assert!(rendered.contains("2 |   Arch == "), "{rendered}");
-        assert!(rendered.lines().last().unwrap().trim_end().ends_with('^'), "{rendered}");
+        assert!(
+            rendered.lines().last().unwrap().trim_end().ends_with('^'),
+            "{rendered}"
+        );
     }
 
     #[test]
@@ -205,7 +235,10 @@ mod tests {
 
     #[test]
     fn lex_error_converts_to_parse_error() {
-        let e = LexError { span: Span::new(0, 1, 1, 1), kind: LexErrorKind::UnterminatedString };
+        let e = LexError {
+            span: Span::new(0, 1, 1, 1),
+            kind: LexErrorKind::UnterminatedString,
+        };
         let p: ParseError = e.into();
         assert!(p.message.contains("unterminated string"));
     }

@@ -24,8 +24,7 @@ use crate::ast::{AttrName, BinOp, Expr, Literal, Scope, UnOp};
 use crate::builtins;
 use crate::classad::ClassAd;
 use crate::value::{
-    apply_strict_binary, arith_neg, arith_pos, bit_not, combine_and, combine_or, logical_not,
-    Value,
+    apply_strict_binary, arith_neg, arith_pos, bit_not, combine_and, combine_or, logical_not, Value,
 };
 use std::sync::Arc;
 
@@ -157,7 +156,11 @@ impl<'a> Evaluator<'a> {
         // `canonical_arc` shares the AttrName's cached fold — no allocation
         // per attribute evaluation on the match-scan hot path.
         let key = (ad as *const ClassAd as usize, name.canonical_arc());
-        if self.in_progress.iter().any(|(p, n)| *p == key.0 && **n == *key.1) {
+        if self
+            .in_progress
+            .iter()
+            .any(|(p, n)| *p == key.0 && **n == *key.1)
+        {
             // Circular reference, e.g. `X = X + 1`.
             return Value::Error;
         }
@@ -359,9 +362,11 @@ pub fn value_to_expr(v: &Value) -> Expr {
         Value::Real(r) => Expr::real(*r),
         Value::Str(s) => Expr::Lit(Literal::Str(s.clone())),
         Value::List(items) => Expr::List(items.iter().map(value_to_expr).collect()),
-        Value::Ad(ad) => {
-            Expr::Record(ad.iter().map(|(n, e)| (n.clone(), e.as_ref().clone())).collect())
-        }
+        Value::Ad(ad) => Expr::Record(
+            ad.iter()
+                .map(|(n, e)| (n.clone(), e.as_ref().clone()))
+                .collect(),
+        ),
     }
 }
 
@@ -449,7 +454,11 @@ mod tests {
             Value::Bool(true)
         );
         assert_eq!(
-            eval2("[]", "[Memory = 64]", "other.Memory is undefined || other.Memory < 32"),
+            eval2(
+                "[]",
+                "[Memory = 64]",
+                "other.Memory is undefined || other.Memory < 32"
+            ),
             Value::Bool(false)
         );
     }
@@ -457,7 +466,11 @@ mod tests {
     #[test]
     fn self_and_other_resolution() {
         assert_eq!(
-            eval2("[Memory = 31]", "[Memory = 64]", "other.Memory >= self.Memory"),
+            eval2(
+                "[Memory = 31]",
+                "[Memory = 64]",
+                "other.Memory >= self.Memory"
+            ),
             Value::Bool(true)
         );
         assert_eq!(
@@ -465,7 +478,11 @@ mod tests {
             Value::Bool(true)
         );
         assert_eq!(
-            eval2("[Memory = 128]", "[Memory = 64]", "other.Memory >= self.Memory"),
+            eval2(
+                "[Memory = 128]",
+                "[Memory = 64]",
+                "other.Memory >= self.Memory"
+            ),
             Value::Bool(false)
         );
     }
@@ -474,7 +491,10 @@ mod tests {
     fn bare_name_falls_back_to_other() {
         // The job ad has no Arch; the reference must resolve in the machine
         // ad (paper Figure 2).
-        assert_eq!(eval2("[]", r#"[Arch = "INTEL"]"#, r#"Arch == "INTEL""#), Value::Bool(true));
+        assert_eq!(
+            eval2("[]", r#"[Arch = "INTEL"]"#, r#"Arch == "INTEL""#),
+            Value::Bool(true)
+        );
     }
 
     #[test]
@@ -482,15 +502,25 @@ mod tests {
         let l = parse_classad("[]").unwrap();
         let r = parse_classad(r#"[Arch = "INTEL"]"#).unwrap();
         let e = parse_expr(r#"Arch == "INTEL""#).unwrap();
-        let p = EvalPolicy { fallback_to_other: false, ..pol() };
-        assert_eq!(Evaluator::pair(&l, &r, &p).eval(&e, Side::Left), Value::Undefined);
+        let p = EvalPolicy {
+            fallback_to_other: false,
+            ..pol()
+        };
+        assert_eq!(
+            Evaluator::pair(&l, &r, &p).eval(&e, Side::Left),
+            Value::Undefined
+        );
     }
 
     #[test]
     fn other_attribute_evaluates_in_its_own_context() {
         // right.Score references right's own Base, not left's.
         assert_eq!(
-            eval2("[Base = 100]", "[Base = 1; Score = Base + 1]", "other.Score"),
+            eval2(
+                "[Base = 100]",
+                "[Base = 1; Score = Base + 1]",
+                "other.Score"
+            ),
             Value::Int(2)
         );
     }

@@ -69,9 +69,24 @@ mod tests {
         let ad = parse_classad(FIGURE1_MACHINE).unwrap();
         assert_eq!(ad.len(), 18);
         for attr in [
-            "Type", "Activity", "DayTime", "KeyboardIdle", "Disk", "Memory", "State", "LoadAvg",
-            "Mips", "Arch", "OpSys", "KFlops", "Name", "ResearchGroup", "Friends", "Untrusted",
-            "Rank", "Constraint",
+            "Type",
+            "Activity",
+            "DayTime",
+            "KeyboardIdle",
+            "Disk",
+            "Memory",
+            "State",
+            "LoadAvg",
+            "Mips",
+            "Arch",
+            "OpSys",
+            "KFlops",
+            "Name",
+            "ResearchGroup",
+            "Friends",
+            "Untrusted",
+            "Rank",
+            "Constraint",
         ] {
             assert!(ad.contains(attr), "missing {attr}");
         }

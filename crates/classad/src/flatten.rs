@@ -116,14 +116,12 @@ fn go(expr: &Expr, ad: &ClassAd, policy: &EvalPolicy, seen: &mut HashSet<String>
             //   false && x == x && false == false
             //   true  || x == x || true  == true
             match op {
-                BinOp::And
-                    if (is_bool_lit(&lf, false) || is_bool_lit(&rf, false)) => {
-                        return Expr::bool(false);
-                    }
-                BinOp::Or
-                    if (is_bool_lit(&lf, true) || is_bool_lit(&rf, true)) => {
-                        return Expr::bool(true);
-                    }
+                BinOp::And if (is_bool_lit(&lf, false) || is_bool_lit(&rf, false)) => {
+                    return Expr::bool(false);
+                }
+                BinOp::Or if (is_bool_lit(&lf, true) || is_bool_lit(&rf, true)) => {
+                    return Expr::bool(true);
+                }
                 _ => {}
             }
             let node = Expr::Binary(*op, Box::new(lf), Box::new(rf));
@@ -156,11 +154,12 @@ fn go(expr: &Expr, ad: &ClassAd, policy: &EvalPolicy, seen: &mut HashSet<String>
                 node
             }
         }
-        Expr::List(items) => {
-            Expr::List(items.iter().map(|i| go(i, ad, policy, seen)).collect())
-        }
+        Expr::List(items) => Expr::List(items.iter().map(|i| go(i, ad, policy, seen)).collect()),
         Expr::Record(fields) => Expr::Record(
-            fields.iter().map(|(n, fe)| (n.clone(), go(fe, ad, policy, seen))).collect(),
+            fields
+                .iter()
+                .map(|(n, fe)| (n.clone(), go(fe, ad, policy, seen)))
+                .collect(),
         ),
         Expr::Select(base, name) => {
             let b = go(base, ad, policy, seen);
@@ -231,15 +230,24 @@ mod tests {
 
     #[test]
     fn local_attrs_inline() {
-        assert_eq!(flat("[MinMemory = 32]", "other.Memory >= MinMemory"), "other.Memory >= 32");
+        assert_eq!(
+            flat("[MinMemory = 32]", "other.Memory >= MinMemory"),
+            "other.Memory >= 32"
+        );
         assert_eq!(flat("[A = 2; B = A * 3]", "B + 1"), "7");
         assert_eq!(flat("[X = 5]", "self.X * self.X"), "25");
     }
 
     #[test]
     fn target_refs_stay_symbolic() {
-        assert_eq!(flat("[Memory = 64]", "other.Memory >= Memory"), "other.Memory >= 64");
-        assert_eq!(flat("[]", "other.Arch == \"INTEL\""), "other.Arch == \"INTEL\"");
+        assert_eq!(
+            flat("[Memory = 64]", "other.Memory >= Memory"),
+            "other.Memory >= 64"
+        );
+        assert_eq!(
+            flat("[]", "other.Arch == \"INTEL\""),
+            "other.Arch == \"INTEL\""
+        );
     }
 
     #[test]
@@ -301,7 +309,9 @@ mod tests {
     #[test]
     fn figure2_constraint_flattens_against_job() {
         let job = parse_classad(crate::fixtures::FIGURE2_JOB).unwrap();
-        let flatc = job.flatten_attr("Constraint", &EvalPolicy::default()).unwrap();
+        let flatc = job
+            .flatten_attr("Constraint", &EvalPolicy::default())
+            .unwrap();
         let s = flatc.to_string();
         // `self.Memory` has been folded to 31; the target side remains.
         assert!(s.contains("other.Memory >= 31"), "{s}");
@@ -313,7 +323,9 @@ mod tests {
     #[test]
     fn figure1_rank_flattens_list_sources() {
         let machine = parse_classad(crate::fixtures::FIGURE1_MACHINE).unwrap();
-        let flat_rank = machine.flatten_attr("Rank", &EvalPolicy::default()).unwrap();
+        let flat_rank = machine
+            .flatten_attr("Rank", &EvalPolicy::default())
+            .unwrap();
         let s = flat_rank.to_string();
         // The member() calls reference other.Owner so they stay, but the
         // list arguments inline.

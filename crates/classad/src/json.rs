@@ -117,7 +117,11 @@ fn write_json_string(out: &mut String, s: &str) {
 /// Parse a JSON document (in the mapping produced by [`to_json`]) into a
 /// classad. The top-level value must be an object.
 pub fn from_json(src: &str) -> Result<ClassAd, ParseError> {
-    let mut p = JsonParser { src: src.as_bytes(), text: src, pos: 0 };
+    let mut p = JsonParser {
+        src: src.as_bytes(),
+        text: src,
+        pos: 0,
+    };
     p.skip_ws();
     let v = p.value()?;
     p.skip_ws();
@@ -126,14 +130,19 @@ pub fn from_json(src: &str) -> Result<ClassAd, ParseError> {
     }
     match v {
         mut v @ Expr::Record(_) => {
-            let Expr::Record(fields) = &mut v else { unreachable!() };
+            let Expr::Record(fields) = &mut v else {
+                unreachable!()
+            };
             let mut ad = ClassAd::with_capacity(fields.len());
             for (n, e) in fields.drain(..) {
                 ad.insert(n, Arc::new(e));
             }
             Ok(ad)
         }
-        _ => Err(ParseError::new(Span::default(), "top-level JSON value must be an object")),
+        _ => Err(ParseError::new(
+            Span::default(),
+            "top-level JSON value must be an object",
+        )),
     }
 }
 
@@ -331,7 +340,10 @@ impl<'a> JsonParser<'a> {
                 _ => {
                     // Multi-byte UTF-8: copy the whole char.
                     let start = self.pos - 1;
-                    let c = self.text[start..].chars().next().ok_or_else(|| self.err("bad utf8"))?;
+                    let c = self.text[start..]
+                        .chars()
+                        .next()
+                        .ok_or_else(|| self.err("bad utf8"))?;
                     self.pos = start + c.len_utf8();
                     out.push(c);
                 }
@@ -376,11 +388,16 @@ impl<'a> JsonParser<'a> {
         }
         let text = &self.text[start..self.pos];
         if is_real {
-            text.parse::<f64>().map(Expr::real).map_err(|_| self.err("bad number"))
+            text.parse::<f64>()
+                .map(Expr::real)
+                .map_err(|_| self.err("bad number"))
         } else {
             match text.parse::<i64>() {
                 Ok(i) => Ok(Expr::int(i)),
-                Err(_) => text.parse::<f64>().map(Expr::real).map_err(|_| self.err("bad number")),
+                Err(_) => text
+                    .parse::<f64>()
+                    .map(Expr::real)
+                    .map_err(|_| self.err("bad number")),
             }
         }
     }
@@ -444,7 +461,10 @@ mod tests {
         let js = to_json(&ad);
         assert_eq!(js, "{\"x\":2.0}");
         let back = from_json(&js).unwrap();
-        assert_eq!(back.get("x").map(|e| e.as_ref().clone()), Some(Expr::real(2.0)));
+        assert_eq!(
+            back.get("x").map(|e| e.as_ref().clone()),
+            Some(Expr::real(2.0))
+        );
     }
 
     #[test]
@@ -476,8 +496,14 @@ mod tests {
     fn numbers_parse_types() {
         let ad = from_json(r#"{"i": -42, "r": 1e3, "d": 0.5}"#).unwrap();
         assert_eq!(ad.get_int("i"), Some(-42));
-        assert_eq!(ad.get("r").map(|e| e.as_ref().clone()), Some(Expr::real(1000.0)));
-        assert_eq!(ad.get("d").map(|e| e.as_ref().clone()), Some(Expr::real(0.5)));
+        assert_eq!(
+            ad.get("r").map(|e| e.as_ref().clone()),
+            Some(Expr::real(1000.0))
+        );
+        assert_eq!(
+            ad.get("d").map(|e| e.as_ref().clone()),
+            Some(Expr::real(0.5))
+        );
     }
 
     #[test]

@@ -20,7 +20,13 @@ pub struct Lexer<'a> {
 impl<'a> Lexer<'a> {
     /// Create a lexer over `src`.
     pub fn new(src: &'a str) -> Self {
-        Lexer { src, bytes: src.as_bytes(), pos: 0, line: 1, col: 1 }
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
     }
 
     /// Tokenize the entire input, appending a final [`TokenKind::Eof`] token.
@@ -69,7 +75,10 @@ impl<'a> Lexer<'a> {
     }
 
     fn err(&self, start: Span, kind: LexErrorKind) -> LexError {
-        LexError { span: self.span_from(start), kind }
+        LexError {
+            span: self.span_from(start),
+            kind,
+        }
     }
 
     fn skip_trivia(&mut self) -> Result<(), LexError> {
@@ -92,9 +101,7 @@ impl<'a> Lexer<'a> {
                     self.bump();
                     loop {
                         match self.peek() {
-                            None => {
-                                return Err(self.err(start, LexErrorKind::UnterminatedComment))
-                            }
+                            None => return Err(self.err(start, LexErrorKind::UnterminatedComment)),
                             Some(b'*') if self.peek2() == Some(b'/') => {
                                 self.bump();
                                 self.bump();
@@ -115,7 +122,10 @@ impl<'a> Lexer<'a> {
         self.skip_trivia()?;
         let start = self.here();
         let Some(b) = self.peek() else {
-            return Ok(Token { kind: TokenKind::Eof, span: start });
+            return Ok(Token {
+                kind: TokenKind::Eof,
+                span: start,
+            });
         };
         let kind = match b {
             b'0'..=b'9' => return self.number(start),
@@ -284,7 +294,10 @@ impl<'a> Lexer<'a> {
                 return Err(self.err(start, LexErrorKind::UnexpectedChar(c)));
             }
         };
-        Ok(Token { kind, span: self.span_from(start) })
+        Ok(Token {
+            kind,
+            span: self.span_from(start),
+        })
     }
 
     fn ident(&mut self, start: Span) -> Token {
@@ -297,7 +310,10 @@ impl<'a> Lexer<'a> {
         }
         let text = &self.src[start.start..self.pos];
         let kind = match_keyword(text).unwrap_or_else(|| TokenKind::Ident(text.to_string()));
-        Token { kind, span: self.span_from(start) }
+        Token {
+            kind,
+            span: self.span_from(start),
+        }
     }
 
     fn number(&mut self, start: Span) -> Result<Token, LexError> {
@@ -320,7 +336,10 @@ impl<'a> Lexer<'a> {
             }
             let val = i64::from_str_radix(digits, 16)
                 .map_err(|_| self.err(start, LexErrorKind::MalformedNumber(text.into())))?;
-            return Ok(Token { kind: TokenKind::Int(val), span: self.span_from(start) });
+            return Ok(Token {
+                kind: TokenKind::Int(val),
+                span: self.span_from(start),
+            });
         }
 
         let mut saw_dot = false;
@@ -364,7 +383,10 @@ impl<'a> Lexer<'a> {
                 .parse()
                 .map_err(|_| self.err(start, LexErrorKind::MalformedNumber(text.into())))?;
             TokenKind::Real(v)
-        } else if text.len() > 1 && text.starts_with('0') && text.bytes().all(|b| (b'0'..=b'7').contains(&b)) {
+        } else if text.len() > 1
+            && text.starts_with('0')
+            && text.bytes().all(|b| (b'0'..=b'7').contains(&b))
+        {
             // Octal, per C tradition (kept for compatibility with classic ads).
             let v = i64::from_str_radix(&text[1..], 8)
                 .map_err(|_| self.err(start, LexErrorKind::MalformedNumber(text.into())))?;
@@ -382,7 +404,10 @@ impl<'a> Lexer<'a> {
                 },
             }
         };
-        Ok(Token { kind, span: self.span_from(start) })
+        Ok(Token {
+            kind,
+            span: self.span_from(start),
+        })
     }
 
     fn string(&mut self, start: Span) -> Result<Token, LexError> {
@@ -421,7 +446,10 @@ impl<'a> Lexer<'a> {
                 }
             }
         }
-        Ok(Token { kind: TokenKind::Str(out), span: self.span_from(start) })
+        Ok(Token {
+            kind: TokenKind::Str(out),
+            span: self.span_from(start),
+        })
     }
 }
 
@@ -487,7 +515,10 @@ mod tests {
         assert_eq!(kinds(".5"), vec![TokenKind::Real(0.5), TokenKind::Eof]);
         assert_eq!(kinds("1E3"), vec![TokenKind::Real(1000.0), TokenKind::Eof]);
         assert_eq!(kinds("2e-2"), vec![TokenKind::Real(0.02), TokenKind::Eof]);
-        assert_eq!(kinds("1.5e+2"), vec![TokenKind::Real(150.0), TokenKind::Eof]);
+        assert_eq!(
+            kinds("1.5e+2"),
+            vec![TokenKind::Real(150.0), TokenKind::Eof]
+        );
     }
 
     #[test]
@@ -523,18 +554,28 @@ mod tests {
     fn exponent_not_followed_by_digit_splits() {
         assert_eq!(
             kinds("1Exy"),
-            vec![TokenKind::Int(1), TokenKind::Ident("Exy".into()), TokenKind::Eof]
+            vec![
+                TokenKind::Int(1),
+                TokenKind::Ident("Exy".into()),
+                TokenKind::Eof
+            ]
         );
     }
 
     #[test]
     fn strings_and_escapes() {
-        assert_eq!(kinds(r#""INTEL""#), vec![TokenKind::Str("INTEL".into()), TokenKind::Eof]);
+        assert_eq!(
+            kinds(r#""INTEL""#),
+            vec![TokenKind::Str("INTEL".into()), TokenKind::Eof]
+        );
         assert_eq!(
             kinds(r#""a\nb\t\"q\"""#),
             vec![TokenKind::Str("a\nb\t\"q\"".into()), TokenKind::Eof]
         );
-        assert_eq!(kinds("\"héllo\""), vec![TokenKind::Str("héllo".into()), TokenKind::Eof]);
+        assert_eq!(
+            kinds("\"héllo\""),
+            vec![TokenKind::Str("héllo".into()), TokenKind::Eof]
+        );
     }
 
     #[test]
@@ -553,7 +594,10 @@ mod tests {
     fn keywords_case_insensitive() {
         assert_eq!(kinds("TRUE"), vec![TokenKind::True, TokenKind::Eof]);
         assert_eq!(kinds("False"), vec![TokenKind::False, TokenKind::Eof]);
-        assert_eq!(kinds("UNDEFINED"), vec![TokenKind::Undefined, TokenKind::Eof]);
+        assert_eq!(
+            kinds("UNDEFINED"),
+            vec![TokenKind::Undefined, TokenKind::Eof]
+        );
         assert_eq!(kinds("Error"), vec![TokenKind::ErrorKw, TokenKind::Eof]);
         assert_eq!(kinds("IS"), vec![TokenKind::Is, TokenKind::Eof]);
         assert_eq!(kinds("IsNt"), vec![TokenKind::Isnt, TokenKind::Eof]);
@@ -634,7 +678,12 @@ mod tests {
     fn comments_are_trivia() {
         assert_eq!(
             kinds("1 // comment\n+ /* block\nspanning */ 2"),
-            vec![TokenKind::Int(1), TokenKind::Plus, TokenKind::Int(2), TokenKind::Eof]
+            vec![
+                TokenKind::Int(1),
+                TokenKind::Plus,
+                TokenKind::Int(2),
+                TokenKind::Eof
+            ]
         );
     }
 

@@ -41,7 +41,10 @@ impl Default for MatchConventions {
 impl MatchConventions {
     /// The name of the constraint attribute present in `ad`, if any.
     pub fn constraint_attr_of(&self, ad: &ClassAd) -> Option<&str> {
-        self.constraint_attrs.iter().map(|s| s.as_str()).find(|n| ad.contains(n))
+        self.constraint_attrs
+            .iter()
+            .map(|s| s.as_str())
+            .find(|n| ad.contains(n))
     }
 }
 
@@ -99,10 +102,7 @@ pub fn rank_of(
 pub fn rank_value(v: &Value) -> f64 {
     match v {
         Value::Int(i) => *i as f64,
-        Value::Real(r)
-            if r.is_finite() => {
-                *r
-            }
+        Value::Real(r) if r.is_finite() => *r,
         Value::Bool(b) => *b as i64 as f64,
         _ => 0.0,
     }
@@ -155,7 +155,11 @@ mod tests {
         assert!(r.matched(), "{r:?}");
         assert!(r.left_constraint);
         assert!(r.right_constraint);
-        assert!((r.left_rank - 23.893).abs() < 1e-9, "job rank of machine: {}", r.left_rank);
+        assert!(
+            (r.left_rank - 23.893).abs() < 1e-9,
+            "job rank of machine: {}",
+            r.left_rank
+        );
         assert_eq!(r.right_rank, 10.0, "machine rank of research-group job");
     }
 
@@ -193,7 +197,10 @@ mod tests {
         let bare = parse_classad("[x = 1]").unwrap();
         let other = parse_classad("[Constraint = true]").unwrap();
         assert!(symmetric_match(&bare, &other, &pol(), &conv()));
-        let strict = MatchConventions { missing_constraint_matches: false, ..conv() };
+        let strict = MatchConventions {
+            missing_constraint_matches: false,
+            ..conv()
+        };
         assert!(!symmetric_match(&bare, &other, &pol(), &strict));
     }
 

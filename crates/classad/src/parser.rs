@@ -68,7 +68,11 @@ struct Parser {
 
 impl Parser {
     fn new(src: &str) -> Result<Self, ParseError> {
-        Ok(Parser { toks: tokenize(src)?, pos: 0, depth: 0 })
+        Ok(Parser {
+            toks: tokenize(src)?,
+            pos: 0,
+            depth: 0,
+        })
     }
 
     fn peek(&self) -> &TokenKind {
@@ -159,7 +163,10 @@ impl Parser {
 
     fn expr(&mut self) -> Result<Expr, ParseError> {
         if self.depth >= MAX_NESTING {
-            return Err(ParseError::new(self.peek_span(), "expression nesting too deep"));
+            return Err(ParseError::new(
+                self.peek_span(),
+                "expression nesting too deep",
+            ));
         }
         self.depth += 1;
         let r = self.conditional();
@@ -413,7 +420,9 @@ impl Parser {
             TokenKind::LBracket => {
                 let ad = self.classad()?;
                 Ok(Expr::Record(
-                    ad.iter().map(|(n, e)| (n.clone(), e.as_ref().clone())).collect(),
+                    ad.iter()
+                        .map(|(n, e)| (n.clone(), e.as_ref().clone()))
+                        .collect(),
                 ))
             }
             TokenKind::LBrace => {
@@ -464,7 +473,10 @@ mod tests {
         assert_eq!(parse_expr("3.5").unwrap(), Expr::real(3.5));
         assert_eq!(parse_expr("\"x\"").unwrap(), Expr::str("x"));
         assert_eq!(parse_expr("true").unwrap(), Expr::bool(true));
-        assert_eq!(parse_expr("UNDEFINED").unwrap(), Expr::Lit(Literal::Undefined));
+        assert_eq!(
+            parse_expr("UNDEFINED").unwrap(),
+            Expr::Lit(Literal::Undefined)
+        );
         assert_eq!(parse_expr("error").unwrap(), Expr::Lit(Literal::Error));
         assert_eq!(parse_expr("-7").unwrap(), Expr::int(-7));
         assert_eq!(parse_expr("-2.5").unwrap(), Expr::real(-2.5));
@@ -473,19 +485,40 @@ mod tests {
     #[test]
     fn precedence_mul_over_add() {
         let e = parse_expr("1 + 2 * 3").unwrap();
-        assert_eq!(e, Expr::bin(Add, Expr::int(1), Expr::bin(Mul, Expr::int(2), Expr::int(3))));
+        assert_eq!(
+            e,
+            Expr::bin(
+                Add,
+                Expr::int(1),
+                Expr::bin(Mul, Expr::int(2), Expr::int(3))
+            )
+        );
     }
 
     #[test]
     fn precedence_parens() {
         let e = parse_expr("(1 + 2) * 3").unwrap();
-        assert_eq!(e, Expr::bin(Mul, Expr::bin(Add, Expr::int(1), Expr::int(2)), Expr::int(3)));
+        assert_eq!(
+            e,
+            Expr::bin(
+                Mul,
+                Expr::bin(Add, Expr::int(1), Expr::int(2)),
+                Expr::int(3)
+            )
+        );
     }
 
     #[test]
     fn left_associativity() {
         let e = parse_expr("10 - 4 - 3").unwrap();
-        assert_eq!(e, Expr::bin(Sub, Expr::bin(Sub, Expr::int(10), Expr::int(4)), Expr::int(3)));
+        assert_eq!(
+            e,
+            Expr::bin(
+                Sub,
+                Expr::bin(Sub, Expr::int(10), Expr::int(4)),
+                Expr::int(3)
+            )
+        );
     }
 
     #[test]
@@ -532,14 +565,20 @@ mod tests {
         let e = parse_expr("a.b.c").unwrap();
         assert_eq!(
             e,
-            Expr::Select(Box::new(Expr::Select(Box::new(Expr::attr("a")), "b".into())), "c".into())
+            Expr::Select(
+                Box::new(Expr::Select(Box::new(Expr::attr("a")), "b".into())),
+                "c".into()
+            )
         );
     }
 
     #[test]
     fn subscript() {
         let e = parse_expr("xs[2]").unwrap();
-        assert_eq!(e, Expr::Index(Box::new(Expr::attr("xs")), Box::new(Expr::int(2))));
+        assert_eq!(
+            e,
+            Expr::Index(Box::new(Expr::attr("xs")), Box::new(Expr::int(2)))
+        );
     }
 
     #[test]
@@ -547,7 +586,10 @@ mod tests {
         let e = parse_expr("member(other.Owner, ResearchGroup)").unwrap();
         assert_eq!(
             e,
-            Expr::Call("member".into(), vec![Expr::other("Owner"), Expr::attr("ResearchGroup")])
+            Expr::Call(
+                "member".into(),
+                vec![Expr::other("Owner"), Expr::attr("ResearchGroup")]
+            )
         );
         assert_eq!(parse_expr("f()").unwrap(), Expr::Call("f".into(), vec![]));
     }
@@ -555,7 +597,14 @@ mod tests {
     #[test]
     fn list_constructor() {
         let e = parse_expr(r#"{ "raman", "miron", "solomon" }"#).unwrap();
-        assert_eq!(e, Expr::List(vec![Expr::str("raman"), Expr::str("miron"), Expr::str("solomon")]));
+        assert_eq!(
+            e,
+            Expr::List(vec![
+                Expr::str("raman"),
+                Expr::str("miron"),
+                Expr::str("solomon")
+            ])
+        );
         assert_eq!(parse_expr("{}").unwrap(), Expr::List(vec![]));
         assert_eq!(parse_expr("{1,}").unwrap(), Expr::List(vec![Expr::int(1)]));
     }
@@ -604,7 +653,10 @@ mod tests {
         let src = format!("{}x", "!".repeat(5000));
         assert!(parse_expr(&src).is_ok());
         // Long non-nested chains are iterative too.
-        let src = (0..10_000).map(|i| i.to_string()).collect::<Vec<_>>().join(" + ");
+        let src = (0..10_000)
+            .map(|i| i.to_string())
+            .collect::<Vec<_>>()
+            .join(" + ");
         assert!(parse_expr(&src).is_ok());
     }
 
@@ -617,7 +669,11 @@ mod tests {
     #[test]
     fn error_messages_carry_position() {
         let err = parse_expr("1 +").unwrap_err();
-        assert!(err.message.contains("expected an expression"), "{}", err.message);
+        assert!(
+            err.message.contains("expected an expression"),
+            "{}",
+            err.message
+        );
         let err = parse_classad("[a 1]").unwrap_err();
         assert!(err.message.contains("expected `=`"), "{}", err.message);
     }
@@ -643,7 +699,10 @@ mod tests {
     #[test]
     fn is_isnt_parse() {
         let e = parse_expr("other.Memory is undefined").unwrap();
-        assert_eq!(e, Expr::bin(Is, Expr::other("Memory"), Expr::Lit(Literal::Undefined)));
+        assert_eq!(
+            e,
+            Expr::bin(Is, Expr::other("Memory"), Expr::Lit(Literal::Undefined))
+        );
         let e = parse_expr("x =?= y").unwrap();
         assert_eq!(e, Expr::bin(Is, Expr::attr("x"), Expr::attr("y")));
         let e = parse_expr("x =!= y").unwrap();

@@ -262,19 +262,36 @@ mod tests {
     #[test]
     fn minimal_parens() {
         assert_eq!(parse_expr("1 + 2 * 3").unwrap().to_string(), "1 + 2 * 3");
-        assert_eq!(parse_expr("(1 + 2) * 3").unwrap().to_string(), "(1 + 2) * 3");
-        assert_eq!(parse_expr("1 - (2 - 3)").unwrap().to_string(), "1 - (2 - 3)");
-        assert_eq!(parse_expr("(a && b) || c").unwrap().to_string(), "a && b || c");
-        assert_eq!(parse_expr("a && (b || c)").unwrap().to_string(), "a && (b || c)");
+        assert_eq!(
+            parse_expr("(1 + 2) * 3").unwrap().to_string(),
+            "(1 + 2) * 3"
+        );
+        assert_eq!(
+            parse_expr("1 - (2 - 3)").unwrap().to_string(),
+            "1 - (2 - 3)"
+        );
+        assert_eq!(
+            parse_expr("(a && b) || c").unwrap().to_string(),
+            "a && b || c"
+        );
+        assert_eq!(
+            parse_expr("a && (b || c)").unwrap().to_string(),
+            "a && (b || c)"
+        );
     }
 
     #[test]
     fn scoped_and_calls() {
         assert_eq!(
-            parse_expr("member(other.Owner, ResearchGroup) * 10").unwrap().to_string(),
+            parse_expr("member(other.Owner, ResearchGroup) * 10")
+                .unwrap()
+                .to_string(),
             "member(other.Owner, ResearchGroup) * 10"
         );
-        assert_eq!(parse_expr("self.Memory").unwrap().to_string(), "self.Memory");
+        assert_eq!(
+            parse_expr("self.Memory").unwrap().to_string(),
+            "self.Memory"
+        );
     }
 
     #[test]
@@ -314,7 +331,10 @@ mod tests {
 
     #[test]
     fn figure_ads_roundtrip() {
-        for src in [crate::fixtures::FIGURE1_MACHINE, crate::fixtures::FIGURE2_JOB] {
+        for src in [
+            crate::fixtures::FIGURE1_MACHINE,
+            crate::fixtures::FIGURE2_JOB,
+        ] {
             let ad = parse_classad(src).unwrap();
             let back = parse_classad(&ad.to_string()).unwrap();
             assert_eq!(ad, back, "compact");

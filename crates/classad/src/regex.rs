@@ -72,7 +72,10 @@ enum Node {
     Empty,
     Char(char),
     Any,
-    Class { negated: bool, items: Vec<ClassItem> },
+    Class {
+        negated: bool,
+        items: Vec<ClassItem>,
+    },
     StartAnchor,
     EndAnchor,
     Concat(Vec<Node>),
@@ -99,7 +102,10 @@ struct PatternParser<'a> {
 
 impl<'a> PatternParser<'a> {
     fn err(&self, message: impl Into<String>) -> RegexError {
-        RegexError { pos: self.pos.min(self.chars.len()), message: message.into() }
+        RegexError {
+            pos: self.pos.min(self.chars.len()),
+            message: message.into(),
+        }
     }
 
     fn peek(&self) -> Option<char> {
@@ -118,7 +124,11 @@ impl<'a> PatternParser<'a> {
             self.bump();
             branches.push(self.parse_concat()?);
         }
-        Ok(if branches.len() == 1 { branches.pop().unwrap() } else { Node::Alt(branches) })
+        Ok(if branches.len() == 1 {
+            branches.pop().unwrap()
+        } else {
+            Node::Alt(branches)
+        })
     }
 
     fn parse_concat(&mut self) -> Result<Node, RegexError> {
@@ -182,12 +192,30 @@ impl<'a> PatternParser<'a> {
             return Err(self.err("dangling backslash"));
         };
         Ok(match c {
-            'd' => Node::Class { negated: false, items: vec![ClassItem::Digit(false)] },
-            'D' => Node::Class { negated: false, items: vec![ClassItem::Digit(true)] },
-            'w' => Node::Class { negated: false, items: vec![ClassItem::Word(false)] },
-            'W' => Node::Class { negated: false, items: vec![ClassItem::Word(true)] },
-            's' => Node::Class { negated: false, items: vec![ClassItem::Space(false)] },
-            'S' => Node::Class { negated: false, items: vec![ClassItem::Space(true)] },
+            'd' => Node::Class {
+                negated: false,
+                items: vec![ClassItem::Digit(false)],
+            },
+            'D' => Node::Class {
+                negated: false,
+                items: vec![ClassItem::Digit(true)],
+            },
+            'w' => Node::Class {
+                negated: false,
+                items: vec![ClassItem::Word(false)],
+            },
+            'W' => Node::Class {
+                negated: false,
+                items: vec![ClassItem::Word(true)],
+            },
+            's' => Node::Class {
+                negated: false,
+                items: vec![ClassItem::Space(false)],
+            },
+            'S' => Node::Class {
+                negated: false,
+                items: vec![ClassItem::Space(true)],
+            },
             'n' => Node::Char('\n'),
             't' => Node::Char('\t'),
             'r' => Node::Char('\r'),
@@ -279,7 +307,10 @@ enum Inst {
 enum CharTest {
     Char(char),
     Any,
-    Class { negated: bool, items: Vec<ClassItem> },
+    Class {
+        negated: bool,
+        items: Vec<ClassItem>,
+    },
 }
 
 impl CharTest {
@@ -295,8 +326,7 @@ impl CharTest {
                     hit |= match *item {
                         ClassItem::Single(s) => norm(s) == c2,
                         ClassItem::Range(lo, hi) => {
-                            (norm(lo)..=norm(hi)).contains(&c2)
-                                || (lo..=hi).contains(&c)
+                            (norm(lo)..=norm(hi)).contains(&c2) || (lo..=hi).contains(&c)
                         }
                         ClassItem::Digit(neg) => c.is_ascii_digit() != neg,
                         ClassItem::Word(neg) => (c.is_alphanumeric() || c == '_') != neg,
@@ -326,9 +356,16 @@ impl Regex {
     /// Compile `pattern` with `options`.
     pub fn new(pattern: &str, options: RegexOptions) -> Result<Regex, RegexError> {
         if pattern.len() > MAX_PATTERN_LEN {
-            return Err(RegexError { pos: 0, message: "pattern too long".into() });
+            return Err(RegexError {
+                pos: 0,
+                message: "pattern too long".into(),
+            });
         }
-        let mut p = PatternParser { chars: pattern.chars().collect(), pos: 0, src: pattern };
+        let mut p = PatternParser {
+            chars: pattern.chars().collect(),
+            pos: 0,
+            src: pattern,
+        };
         let ast = p.parse_alt()?;
         if p.pos != p.chars.len() {
             return Err(p.err("trailing pattern input"));
@@ -393,11 +430,22 @@ impl Regex {
         }
 
         let n = chars.len();
-        add(&self.prog, 0, &mut current, &mut on_current, start == 0, start == n);
+        add(
+            &self.prog,
+            0,
+            &mut current,
+            &mut on_current,
+            start == 0,
+            start == n,
+        );
         for (offset, &c) in chars[start..].iter().enumerate() {
             let i = start + offset;
             // Accept before consuming more input (unanchored suffix).
-            if !to_end && current.iter().any(|&pc| matches!(self.prog[pc], Inst::Accept)) {
+            if !to_end
+                && current
+                    .iter()
+                    .any(|&pc| matches!(self.prog[pc], Inst::Accept))
+            {
                 return true;
             }
             next.clear();
@@ -405,7 +453,14 @@ impl Regex {
             for &pc in &current {
                 match &self.prog[pc] {
                     Inst::Consume(test) if test.matches(c, ci) => {
-                        add(&self.prog, pc + 1, &mut next, &mut on_next, false, i + 1 == n);
+                        add(
+                            &self.prog,
+                            pc + 1,
+                            &mut next,
+                            &mut on_next,
+                            false,
+                            i + 1 == n,
+                        );
                     }
                     _ => {}
                 }
@@ -416,7 +471,9 @@ impl Regex {
                 return false;
             }
         }
-        current.iter().any(|&pc| matches!(self.prog[pc], Inst::Accept))
+        current
+            .iter()
+            .any(|&pc| matches!(self.prog[pc], Inst::Accept))
     }
 }
 
@@ -490,13 +547,21 @@ mod tests {
     use super::*;
 
     fn m(pat: &str, text: &str) -> bool {
-        Regex::new(pat, RegexOptions::default()).unwrap().is_match(text)
+        Regex::new(pat, RegexOptions::default())
+            .unwrap()
+            .is_match(text)
     }
 
     fn mf(pat: &str, text: &str) -> bool {
-        Regex::new(pat, RegexOptions { full_match: true, ..Default::default() })
-            .unwrap()
-            .is_match(text)
+        Regex::new(
+            pat,
+            RegexOptions {
+                full_match: true,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+        .is_match(text)
     }
 
     #[test]
@@ -568,16 +633,24 @@ mod tests {
     fn case_insensitive() {
         let re = Regex::new(
             "intel",
-            RegexOptions { case_insensitive: true, ..Default::default() },
+            RegexOptions {
+                case_insensitive: true,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(re.is_match("INTEL"));
         assert!(re.is_match("Intel inside"));
-        assert!(!Regex::new("intel", RegexOptions::default()).unwrap().is_match("INTEL"));
+        assert!(!Regex::new("intel", RegexOptions::default())
+            .unwrap()
+            .is_match("INTEL"));
         // Classes and ranges fold too.
         let re = Regex::new(
             "^[a-z]+$",
-            RegexOptions { case_insensitive: true, full_match: false },
+            RegexOptions {
+                case_insensitive: true,
+                full_match: false,
+            },
         )
         .unwrap();
         assert!(re.is_match("MiXeD"));
@@ -618,7 +691,10 @@ mod tests {
     fn options_parse() {
         assert_eq!(
             RegexOptions::parse("if").unwrap(),
-            RegexOptions { case_insensitive: true, full_match: true }
+            RegexOptions {
+                case_insensitive: true,
+                full_match: true
+            }
         );
         assert_eq!(RegexOptions::parse("").unwrap(), RegexOptions::default());
         assert!(RegexOptions::parse("msx").is_ok(), "pcre options tolerated");

@@ -635,7 +635,10 @@ mod tests {
     fn cross_type_comparison_is_error() {
         assert_eq!(apply_strict_binary(Eq, &s("1"), &i(1)), E);
         assert_eq!(apply_strict_binary(Lt, &b(true), &b(false)), E);
-        assert_eq!(apply_strict_binary(Eq, &Value::list(vec![]), &Value::list(vec![])), E);
+        assert_eq!(
+            apply_strict_binary(Eq, &Value::list(vec![]), &Value::list(vec![])),
+            E
+        );
     }
 
     #[test]
@@ -711,9 +714,18 @@ mod tests {
 
     #[test]
     fn bitwise_ops() {
-        assert_eq!(apply_strict_binary(BitAnd, &i(0b1100), &i(0b1010)), i(0b1000));
-        assert_eq!(apply_strict_binary(BitOr, &i(0b1100), &i(0b1010)), i(0b1110));
-        assert_eq!(apply_strict_binary(BitXor, &i(0b1100), &i(0b1010)), i(0b0110));
+        assert_eq!(
+            apply_strict_binary(BitAnd, &i(0b1100), &i(0b1010)),
+            i(0b1000)
+        );
+        assert_eq!(
+            apply_strict_binary(BitOr, &i(0b1100), &i(0b1010)),
+            i(0b1110)
+        );
+        assert_eq!(
+            apply_strict_binary(BitXor, &i(0b1100), &i(0b1010)),
+            i(0b0110)
+        );
         assert_eq!(apply_strict_binary(Shl, &i(1), &i(4)), i(16));
         assert_eq!(apply_strict_binary(Shr, &i(-8), &i(1)), i(-4));
         assert_eq!(apply_strict_binary(Ushr, &i(-1), &i(60)), i(15));

@@ -108,9 +108,19 @@ fn corpus_parses_completely() {
 fn corpus_round_trips_pretty_and_json() {
     for ad in corpus() {
         let back = parse_classad(&ad.to_string()).unwrap();
-        assert_eq!(ad, back, "pretty round-trip: {}", ad.get_string("Name").unwrap());
+        assert_eq!(
+            ad,
+            back,
+            "pretty round-trip: {}",
+            ad.get_string("Name").unwrap()
+        );
         let back = classad::json::from_json(&classad::json::to_json(&ad)).unwrap();
-        assert_eq!(ad, back, "json round-trip: {}", ad.get_string("Name").unwrap());
+        assert_eq!(
+            ad,
+            back,
+            "json round-trip: {}",
+            ad.get_string("Name").unwrap()
+        );
     }
 }
 
@@ -155,10 +165,9 @@ fn ranks_behave_as_designed() {
     // Job's rank of vger: Mips + KeyboardIdle/60 = 80 + 40 = 120.
     assert_eq!(r.left_rank, 120.0);
     // The storage server prefers smaller requests: rank is negative demand.
-    let mut req = parse_classad(
-        r#"[ Name = "stage"; Type = "Transfer"; NeedGB = 50; Constraint = true ]"#,
-    )
-    .unwrap();
+    let mut req =
+        parse_classad(r#"[ Name = "stage"; Type = "Transfer"; NeedGB = 50; Constraint = true ]"#)
+            .unwrap();
     let rank = classad::rank_of(by_name(&ads, "vault.cs.wisc.edu"), &req, &policy, &conv);
     assert_eq!(rank, -50.0);
     req.set_int("NeedGB", 10);
@@ -218,10 +227,9 @@ fn corpus_evaluation_values_spot_checks() {
     let vger = by_name(&ads, "vger.cs.wisc.edu");
     assert_eq!(vger.eval_attr("DayTime", &policy), Value::Int(81_000));
     // 22:30 is after 20:00, so the night clause holds for strangers.
-    let stranger = parse_classad(
-        r#"[ Name = "x"; Type = "Job"; Owner = "nobody"; Constraint = true ]"#,
-    )
-    .unwrap();
+    let stranger =
+        parse_classad(r#"[ Name = "x"; Type = "Job"; Owner = "nobody"; Constraint = true ]"#)
+            .unwrap();
     assert!(classad::constraint_holds(
         vger,
         &stranger,

@@ -44,7 +44,9 @@ fn arb_leaf() -> impl Strategy<Value = Expr> {
     prop_oneof![
         any::<i64>().prop_map(Expr::int),
         // Finite reals only: NaN breaks structural comparison of ASTs.
-        any::<f64>().prop_filter("finite", |r| r.is_finite()).prop_map(Expr::real),
+        any::<f64>()
+            .prop_filter("finite", |r| r.is_finite())
+            .prop_map(Expr::real),
         arb_string_lit().prop_map(|s| Expr::str(&s)),
         any::<bool>().prop_map(Expr::bool),
         Just(Expr::Lit(classad::Literal::Undefined)),
@@ -82,7 +84,12 @@ fn arb_binop() -> impl Strategy<Value = BinOp> {
 }
 
 fn arb_unop() -> impl Strategy<Value = UnOp> {
-    prop_oneof![Just(UnOp::Neg), Just(UnOp::Pos), Just(UnOp::Not), Just(UnOp::BitNot)]
+    prop_oneof![
+        Just(UnOp::Neg),
+        Just(UnOp::Pos),
+        Just(UnOp::Not),
+        Just(UnOp::BitNot)
+    ]
 }
 
 /// Build a unary expression the way the parser does: negation of a numeric
@@ -105,33 +112,32 @@ fn mk_unary(op: UnOp, e: Expr) -> Expr {
 fn arb_expr() -> impl Strategy<Value = Expr> {
     arb_leaf().prop_recursive(4, 48, 4, |inner| {
         prop_oneof![
-            (arb_binop(), inner.clone(), inner.clone())
-                .prop_map(|(op, l, r)| Expr::bin(op, l, r)),
-            (arb_unop(), inner.clone())
-                .prop_map(|(op, e)| mk_unary(op, e)),
+            (arb_binop(), inner.clone(), inner.clone()).prop_map(|(op, l, r)| Expr::bin(op, l, r)),
+            (arb_unop(), inner.clone()).prop_map(|(op, e)| mk_unary(op, e)),
             (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, t, e)| Expr::Cond(
                 Box::new(c),
                 Box::new(t),
                 Box::new(e)
             )),
-            (arb_attr_name(), proptest::collection::vec(inner.clone(), 0..3))
+            (
+                arb_attr_name(),
+                proptest::collection::vec(inner.clone(), 0..3)
+            )
                 .prop_map(|(n, args)| Expr::Call(AttrName::new(&n), args)),
             proptest::collection::vec(inner.clone(), 0..4).prop_map(Expr::List),
-            proptest::collection::vec((arb_attr_name(), inner.clone()), 0..3).prop_map(
-                |fields| {
-                    // Duplicate names collapse during parsing (an ad is a
-                    // map); keep only the first occurrence of each name so
-                    // the generated AST is parser-canonical.
-                    let mut seen = std::collections::HashSet::new();
-                    Expr::Record(
-                        fields
-                            .into_iter()
-                            .filter(|(n, _)| seen.insert(n.to_ascii_lowercase()))
-                            .map(|(n, e)| (AttrName::new(&n), e))
-                            .collect(),
-                    )
-                }
-            ),
+            proptest::collection::vec((arb_attr_name(), inner.clone()), 0..3).prop_map(|fields| {
+                // Duplicate names collapse during parsing (an ad is a
+                // map); keep only the first occurrence of each name so
+                // the generated AST is parser-canonical.
+                let mut seen = std::collections::HashSet::new();
+                Expr::Record(
+                    fields
+                        .into_iter()
+                        .filter(|(n, _)| seen.insert(n.to_ascii_lowercase()))
+                        .map(|(n, e)| (AttrName::new(&n), e))
+                        .collect(),
+                )
+            }),
             (inner.clone(), arb_attr_name())
                 .prop_map(|(b, n)| Expr::Select(Box::new(b), AttrName::new(&n))),
             (inner.clone(), inner).prop_map(|(b, i)| Expr::Index(Box::new(b), Box::new(i))),

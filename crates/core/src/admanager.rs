@@ -90,7 +90,9 @@ impl AdStore {
     /// Remove an entity's ad (e.g. clean shutdown). Returns `true` if it
     /// was present.
     pub fn withdraw(&mut self, kind: EntityKind, name: &str) -> bool {
-        self.ads.remove(&(kind, name.to_ascii_lowercase())).is_some()
+        self.ads
+            .remove(&(kind, name.to_ascii_lowercase()))
+            .is_some()
     }
 
     /// Look up an ad by kind and name.
@@ -134,7 +136,13 @@ mod tests {
             r#"[ Name = "{name}"; Constraint = true; Rank = 0 ]"#
         ))
         .unwrap();
-        Advertisement { kind, ad, contact: format!("{name}:1"), ticket: None, expires_at }
+        Advertisement {
+            kind,
+            ad,
+            contact: format!("{name}:1"),
+            ticket: None,
+            expires_at,
+        }
     }
 
     fn proto() -> AdvertisingProtocol {
@@ -144,7 +152,9 @@ mod tests {
     #[test]
     fn advertise_and_get() {
         let mut store = AdStore::new();
-        let name = store.advertise(adv("leonardo", EntityKind::Provider, 100), 0, &proto()).unwrap();
+        let name = store
+            .advertise(adv("leonardo", EntityKind::Provider, 100), 0, &proto())
+            .unwrap();
         assert_eq!(name, "leonardo");
         assert_eq!(store.len(), 1);
         let s = store.get(EntityKind::Provider, "LEONARDO").unwrap();
@@ -155,17 +165,25 @@ mod tests {
     #[test]
     fn same_name_different_kind_coexist() {
         let mut store = AdStore::new();
-        store.advertise(adv("x", EntityKind::Provider, 100), 0, &proto()).unwrap();
-        store.advertise(adv("x", EntityKind::Customer, 100), 0, &proto()).unwrap();
+        store
+            .advertise(adv("x", EntityKind::Provider, 100), 0, &proto())
+            .unwrap();
+        store
+            .advertise(adv("x", EntityKind::Customer, 100), 0, &proto())
+            .unwrap();
         assert_eq!(store.len(), 2);
     }
 
     #[test]
     fn readvertise_replaces_and_renews() {
         let mut store = AdStore::new();
-        store.advertise(adv("m", EntityKind::Provider, 50), 0, &proto()).unwrap();
+        store
+            .advertise(adv("m", EntityKind::Provider, 50), 0, &proto())
+            .unwrap();
         let first_seq = store.get(EntityKind::Provider, "m").unwrap().seq;
-        store.advertise(adv("m", EntityKind::Provider, 150), 10, &proto()).unwrap();
+        store
+            .advertise(adv("m", EntityKind::Provider, 150), 10, &proto())
+            .unwrap();
         assert_eq!(store.len(), 1);
         let s = store.get(EntityKind::Provider, "m").unwrap();
         assert!(s.seq > first_seq);
@@ -175,8 +193,12 @@ mod tests {
     #[test]
     fn expire_sweeps_lapsed_leases() {
         let mut store = AdStore::new();
-        store.advertise(adv("a", EntityKind::Provider, 50), 0, &proto()).unwrap();
-        store.advertise(adv("b", EntityKind::Provider, 150), 0, &proto()).unwrap();
+        store
+            .advertise(adv("a", EntityKind::Provider, 50), 0, &proto())
+            .unwrap();
+        store
+            .advertise(adv("b", EntityKind::Provider, 150), 0, &proto())
+            .unwrap();
         assert_eq!(store.expire(100), 1);
         assert_eq!(store.len(), 1);
         assert!(store.get(EntityKind::Provider, "a").is_none());
@@ -186,10 +208,18 @@ mod tests {
     #[test]
     fn snapshot_filters_kind_and_lease_and_orders_by_freshness() {
         let mut store = AdStore::new();
-        store.advertise(adv("old", EntityKind::Provider, 150), 0, &proto()).unwrap();
-        store.advertise(adv("lapsed", EntityKind::Provider, 60), 0, &proto()).unwrap();
-        store.advertise(adv("fresh", EntityKind::Provider, 150), 0, &proto()).unwrap();
-        store.advertise(adv("job", EntityKind::Customer, 150), 0, &proto()).unwrap();
+        store
+            .advertise(adv("old", EntityKind::Provider, 150), 0, &proto())
+            .unwrap();
+        store
+            .advertise(adv("lapsed", EntityKind::Provider, 60), 0, &proto())
+            .unwrap();
+        store
+            .advertise(adv("fresh", EntityKind::Provider, 150), 0, &proto())
+            .unwrap();
+        store
+            .advertise(adv("job", EntityKind::Customer, 150), 0, &proto())
+            .unwrap();
         let snap = store.snapshot(EntityKind::Provider, 100);
         let names: Vec<&str> = snap.iter().map(|s| s.name.as_str()).collect();
         assert_eq!(names, vec!["fresh", "old"]);
@@ -198,7 +228,9 @@ mod tests {
     #[test]
     fn withdraw_removes() {
         let mut store = AdStore::new();
-        store.advertise(adv("m", EntityKind::Provider, 100), 0, &proto()).unwrap();
+        store
+            .advertise(adv("m", EntityKind::Provider, 100), 0, &proto())
+            .unwrap();
         assert!(store.withdraw(EntityKind::Provider, "M"));
         assert!(!store.withdraw(EntityKind::Provider, "M"));
         assert!(store.is_empty());
@@ -216,10 +248,9 @@ mod tests {
     #[test]
     fn computed_name_is_evaluated() {
         let mut store = AdStore::new();
-        let ad = parse_classad(
-            r#"[ Base = "node"; Name = strcat(Base, "-", 7); Constraint = true ]"#,
-        )
-        .unwrap();
+        let ad =
+            parse_classad(r#"[ Base = "node"; Name = strcat(Base, "-", 7); Constraint = true ]"#)
+                .unwrap();
         let a = Advertisement {
             kind: EntityKind::Provider,
             ad,

@@ -99,10 +99,7 @@ fn offer_request_refs(conv: &MatchConventions, offer: &ClassAd, out: &mut BTreeS
 /// The union, over all offers in the pool, of request-side attributes any
 /// offer can read ([`offer_request_refs`]). Computed once per cycle; this
 /// is the offer-driven half of every request's signature seed set.
-pub fn offer_external_refs(
-    conv: &MatchConventions,
-    offers: &[Arc<ClassAd>],
-) -> BTreeSet<Arc<str>> {
+pub fn offer_external_refs(conv: &MatchConventions, offers: &[Arc<ClassAd>]) -> BTreeSet<Arc<str>> {
     let mut out = BTreeSet::new();
     for offer in offers {
         offer_request_refs(conv, offer, &mut out);
@@ -182,7 +179,10 @@ pub fn cluster_requests<'a>(
         let id = *ids.entry(sig).or_insert(next);
         cluster_of.push(id);
     }
-    Clustering { num_clusters: ids.len(), cluster_of }
+    Clustering {
+        num_clusters: ids.len(),
+        cluster_of,
+    }
 }
 
 /// A cluster's sorted candidate list for one cycle, consumed front to back.
@@ -203,7 +203,10 @@ impl MatchList {
         offers: &[Arc<ClassAd>],
         threads: usize,
     ) -> Self {
-        MatchList { sorted: engine.scored_candidates(request, offers, threads), cursor: 0 }
+        MatchList {
+            sorted: engine.scored_candidates(request, offers, threads),
+            cursor: 0,
+        }
     }
 
     /// Candidates not yet consumed.
@@ -234,8 +237,7 @@ impl MatchList {
                 None => return Some((c, None)),
                 Some(current) => {
                     if preemption && c.offer_rank > current + margin {
-                        let displaced =
-                            meta[c.index].remote_owner.clone().unwrap_or_default();
+                        let displaced = meta[c.index].remote_owner.clone().unwrap_or_default();
                         return Some((c, Some(displaced)));
                     }
                     // Not preemptible by this cluster: the verdict is the
@@ -265,11 +267,15 @@ mod tests {
         let offers = vec![arc(r#"[ Type = "Machine"; Mips = 10;
             Constraint = other.Type == "Job"; Rank = 0 ]"#)];
         let ext = offer_external_refs(&conv(), &offers);
-        let a = parse_classad(r#"[ Name = "j1"; Type = "Job"; Owner = "alice";
-            Constraint = other.Type == "Machine"; Rank = other.Mips ]"#)
+        let a = parse_classad(
+            r#"[ Name = "j1"; Type = "Job"; Owner = "alice";
+            Constraint = other.Type == "Machine"; Rank = other.Mips ]"#,
+        )
         .unwrap();
-        let b = parse_classad(r#"[ Name = "j2"; Type = "Job"; Owner = "bob";
-            Constraint = other.Type == "Machine"; Rank = other.Mips ]"#)
+        let b = parse_classad(
+            r#"[ Name = "j2"; Type = "Job"; Owner = "bob";
+            Constraint = other.Type == "Machine"; Rank = other.Mips ]"#,
+        )
         .unwrap();
         // Name/Owner are read by nothing: not part of the signature.
         let cl = cluster_requests(&conv(), [&a, &b].into_iter(), &ext);
@@ -285,11 +291,15 @@ mod tests {
             Constraint = other.Type == "Job"; Rank = other.JobPrio ]"#)];
         let ext = offer_external_refs(&conv(), &offers);
         assert!(ext.contains("jobprio"));
-        let lo = parse_classad(r#"[ Type = "Job"; JobPrio = 1;
-            Constraint = other.Type == "Machine"; Rank = 0 ]"#)
+        let lo = parse_classad(
+            r#"[ Type = "Job"; JobPrio = 1;
+            Constraint = other.Type == "Machine"; Rank = 0 ]"#,
+        )
         .unwrap();
-        let hi = parse_classad(r#"[ Type = "Job"; JobPrio = 9;
-            Constraint = other.Type == "Machine"; Rank = 0 ]"#)
+        let hi = parse_classad(
+            r#"[ Type = "Job"; JobPrio = 9;
+            Constraint = other.Type == "Machine"; Rank = 0 ]"#,
+        )
         .unwrap();
         let hi2 = hi.clone();
         let cl = cluster_requests(&conv(), [&lo, &hi, &hi2].into_iter(), &ext);
@@ -314,11 +324,15 @@ mod tests {
             Constraint = other.Type == "Job"; Rank = 0 ]"#)];
         let ext = offer_external_refs(&conv(), &offers);
         // Constraint reads Need, Need reads Base, and Base differs.
-        let small = parse_classad(r#"[ Type = "Job"; Need = Base * 2; Base = 8;
-            Constraint = other.Memory >= Need; Rank = 0 ]"#)
+        let small = parse_classad(
+            r#"[ Type = "Job"; Need = Base * 2; Base = 8;
+            Constraint = other.Memory >= Need; Rank = 0 ]"#,
+        )
         .unwrap();
-        let big = parse_classad(r#"[ Type = "Job"; Need = Base * 2; Base = 64;
-            Constraint = other.Memory >= Need; Rank = 0 ]"#)
+        let big = parse_classad(
+            r#"[ Type = "Job"; Need = Base * 2; Base = 64;
+            Constraint = other.Memory >= Need; Rank = 0 ]"#,
+        )
         .unwrap();
         let cl = cluster_requests(&conv(), [&small, &big].into_iter(), &ext);
         assert_eq!(cl.num_clusters, 2);
@@ -329,11 +343,15 @@ mod tests {
         let offers = vec![arc(r#"[ Type = "Machine";
             Constraint = other.Type == "Job"; Rank = other.Boost ]"#)];
         let ext = offer_external_refs(&conv(), &offers);
-        let with = parse_classad(r#"[ Type = "Job"; Boost = 5;
-            Constraint = true; Rank = 0 ]"#)
+        let with = parse_classad(
+            r#"[ Type = "Job"; Boost = 5;
+            Constraint = true; Rank = 0 ]"#,
+        )
         .unwrap();
-        let without = parse_classad(r#"[ Type = "Job";
-            Constraint = true; Rank = 0 ]"#)
+        let without = parse_classad(
+            r#"[ Type = "Job";
+            Constraint = true; Rank = 0 ]"#,
+        )
         .unwrap();
         let cl = cluster_requests(&conv(), [&with, &without].into_iter(), &ext);
         assert_eq!(cl.num_clusters, 2);
@@ -388,14 +406,21 @@ mod tests {
         // Best offer is claimed at CurrentRank 5; its rank of the request
         // is 1, so it is not preemptible and must be skipped permanently.
         let meta = vec![
-            OfferMeta { claimed_rank: Some(5.0), remote_owner: Some("old".into()) },
+            OfferMeta {
+                claimed_rank: Some(5.0),
+                remote_owner: Some("old".into()),
+            },
             OfferMeta::default(),
         ];
         let taken = vec![false, false];
         let mut list = MatchList::build(&engine, &request, &offers, 1);
         let (c, pre) = list.pop_next(&taken, &meta, true, 0.0).unwrap();
         assert_eq!((c.index, pre), (1, None));
-        assert_eq!(list.remaining(), 0, "claimed entry was consumed, not retained");
+        assert_eq!(
+            list.remaining(),
+            0,
+            "claimed entry was consumed, not retained"
+        );
     }
 
     #[test]

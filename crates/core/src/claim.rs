@@ -123,10 +123,20 @@ impl ClaimHandler {
         };
 
         // 3. Constraint re-verification against *current* state, both ways.
-        if !constraint_holds(current_ad, &req.customer_ad, &self.policy, &self.conventions) {
+        if !constraint_holds(
+            current_ad,
+            &req.customer_ad,
+            &self.policy,
+            &self.conventions,
+        ) {
             return reject(ClaimRejection::ConstraintFailed);
         }
-        if !constraint_holds(&req.customer_ad, current_ad, &self.policy, &self.conventions) {
+        if !constraint_holds(
+            &req.customer_ad,
+            current_ad,
+            &self.policy,
+            &self.conventions,
+        ) {
             return reject(ClaimRejection::CustomerConstraintFailed);
         }
 
@@ -142,7 +152,11 @@ impl ClaimHandler {
             since: now,
         };
         (
-            ClaimResponse { accepted: true, rejection: None, provider_ad: current_ad.clone() },
+            ClaimResponse {
+                accepted: true,
+                rejection: None,
+                provider_ad: current_ad.clone(),
+            },
             displaced,
         )
     }
@@ -223,8 +237,9 @@ mod tests {
     #[test]
     fn rejects_without_outstanding_ticket() {
         let mut h = ClaimHandler::new();
-        let (resp, _) =
-            h.handle_claim(&job_req(Ticket::from_raw(0)), &machine_ad(1000), 0, |_| true);
+        let (resp, _) = h.handle_claim(&job_req(Ticket::from_raw(0)), &machine_ad(1000), 0, |_| {
+            true
+        });
         assert_eq!(resp.rejection, Some(ClaimRejection::BadTicket));
     }
 
@@ -237,7 +252,11 @@ mod tests {
         assert!(r1.accepted);
         h.release();
         let (r2, _) = h.handle_claim(&job_req(t), &machine_ad(1000), 0, |_| false);
-        assert_eq!(r2.rejection, Some(ClaimRejection::BadTicket), "replay must fail");
+        assert_eq!(
+            r2.rejection,
+            Some(ClaimRejection::BadTicket),
+            "replay must fail"
+        );
     }
 
     #[test]
@@ -260,9 +279,15 @@ mod tests {
         let t = Ticket::from_raw(1);
         h.set_ticket(t);
         let mut req = job_req(t);
-        req.customer_ad.set("Constraint", classad::parse_expr("other.Memory >= 1024").unwrap());
+        req.customer_ad.set(
+            "Constraint",
+            classad::parse_expr("other.Memory >= 1024").unwrap(),
+        );
         let (resp, _) = h.handle_claim(&req, &machine_ad(1000), 0, |_| false);
-        assert_eq!(resp.rejection, Some(ClaimRejection::CustomerConstraintFailed));
+        assert_eq!(
+            resp.rejection,
+            Some(ClaimRejection::CustomerConstraintFailed)
+        );
     }
 
     #[test]

@@ -43,7 +43,11 @@ pub struct FrameDecoder {
 
 impl Default for FrameDecoder {
     fn default() -> Self {
-        FrameDecoder { buf: BytesMut::new(), poisoned: false, max_frame_len: MAX_FRAME_LEN }
+        FrameDecoder {
+            buf: BytesMut::new(),
+            poisoned: false,
+            max_frame_len: MAX_FRAME_LEN,
+        }
     }
 }
 
@@ -55,7 +59,10 @@ impl FrameDecoder {
 
     /// A decoder that rejects frames longer than `max_frame_len` bytes.
     pub fn with_max_frame_len(max_frame_len: usize) -> Self {
-        FrameDecoder { max_frame_len, ..FrameDecoder::default() }
+        FrameDecoder {
+            max_frame_len,
+            ..FrameDecoder::default()
+        }
     }
 
     /// The configured frame-length bound.
@@ -78,7 +85,9 @@ impl FrameDecoder {
     /// is lost and every subsequent call errors.
     pub fn next_message(&mut self) -> Result<Option<Message>, ProtocolError> {
         if self.poisoned {
-            return Err(ProtocolError::BadFrame("stream poisoned by earlier error".into()));
+            return Err(ProtocolError::BadFrame(
+                "stream poisoned by earlier error".into(),
+            ));
         }
         if self.buf.len() < 4 {
             return Ok(None);
@@ -134,8 +143,12 @@ mod tests {
                 ticket: Some(Ticket::from_raw(1)),
                 expires_at: 100,
             }),
-            Message::Release { ticket: Ticket::from_raw(2) },
-            Message::Release { ticket: Ticket::from_raw(3) },
+            Message::Release {
+                ticket: Ticket::from_raw(2),
+            },
+            Message::Release {
+                ticket: Ticket::from_raw(3),
+            },
         ]
     }
 
@@ -198,7 +211,10 @@ mod tests {
         let mut strict = FrameDecoder::with_max_frame_len(16);
         assert_eq!(strict.max_frame_len(), 16);
         strict.push(&framed);
-        assert!(strict.next_message().is_err(), "oversized for the configured bound");
+        assert!(
+            strict.next_message().is_err(),
+            "oversized for the configured bound"
+        );
         let mut lax = FrameDecoder::new();
         lax.push(&framed);
         assert_eq!(lax.next_message().unwrap().as_ref(), Some(msg));
@@ -207,7 +223,10 @@ mod tests {
         let mut strict = FrameDecoder::with_max_frame_len(1024);
         strict.push(&u32::MAX.to_be_bytes());
         assert!(strict.next_message().is_err());
-        assert!(strict.buffered() < 8, "nothing beyond the prefix was retained");
+        assert!(
+            strict.buffered() < 8,
+            "nothing beyond the prefix was retained"
+        );
     }
 
     #[test]

@@ -37,8 +37,15 @@ impl Candidate {
     /// guaranteed finite (see [`normalize_rank`]); a NaN would make every
     /// comparison false and the selection order-dependent.
     pub(crate) fn better_than(&self, other: &Candidate) -> bool {
-        (self.request_rank, self.offer_rank, std::cmp::Reverse(self.index))
-            > (other.request_rank, other.offer_rank, std::cmp::Reverse(other.index))
+        (
+            self.request_rank,
+            self.offer_rank,
+            std::cmp::Reverse(self.index),
+        ) > (
+            other.request_rank,
+            other.offer_rank,
+            std::cmp::Reverse(other.index),
+        )
     }
 }
 
@@ -159,11 +166,7 @@ impl MatchEngine {
 
     /// All matching offers, in index order (used by one-way queries and
     /// gang matching).
-    pub fn all_matches(
-        &self,
-        request: &ClassAd,
-        offers: &[Arc<ClassAd>],
-    ) -> Vec<Candidate> {
+    pub fn all_matches(&self, request: &ClassAd, offers: &[Arc<ClassAd>]) -> Vec<Candidate> {
         offers
             .iter()
             .enumerate()
@@ -281,7 +284,9 @@ mod tests {
     #[test]
     fn no_match_when_constraints_fail() {
         let engine = MatchEngine::new();
-        let offers = vec![mk(r#"[ Name = "m"; Type = "Machine"; Constraint = false ]"#)];
+        let offers = vec![mk(
+            r#"[ Name = "m"; Type = "Machine"; Constraint = false ]"#,
+        )];
         assert!(engine.best_match(&job(), &offers, |_| true).is_none());
     }
 
@@ -303,7 +308,9 @@ mod tests {
     fn all_matches_in_order() {
         let engine = MatchEngine::new();
         let mut offers = machines(&[10, 20]);
-        offers.push(mk(r#"[ Name = "no"; Type = "Machine"; Constraint = false ]"#));
+        offers.push(mk(
+            r#"[ Name = "no"; Type = "Machine"; Constraint = false ]"#,
+        ));
         let all = engine.all_matches(&job(), &offers);
         let idx: Vec<usize> = all.iter().map(|c| c.index).collect();
         assert_eq!(idx, vec![0, 1]);

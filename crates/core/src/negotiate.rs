@@ -172,7 +172,11 @@ pub struct Negotiator {
 impl Negotiator {
     /// Create a negotiator with default engine, priorities, and config.
     pub fn new(config: NegotiatorConfig) -> Self {
-        Negotiator { engine: MatchEngine::new(), priorities: PriorityTracker::default(), config }
+        Negotiator {
+            engine: MatchEngine::new(),
+            priorities: PriorityTracker::default(),
+            config,
+        }
     }
 
     /// Report actual resource usage (resource-seconds) for a user, e.g.
@@ -229,12 +233,14 @@ impl Negotiator {
         // Group request indices by owner.
         let mut by_owner: HashMap<String, Vec<usize>> = HashMap::new();
         for (i, r) in requests.iter().enumerate() {
-            let owner =
-                self.string_attr(&r.ad, ATTR_OWNER).unwrap_or_else(|| "<unknown>".to_string());
+            let owner = self
+                .string_attr(&r.ad, ATTR_OWNER)
+                .unwrap_or_else(|| "<unknown>".to_string());
             by_owner.entry(owner).or_default().push(i);
         }
-        let users =
-            self.priorities.order_users(by_owner.keys().map(|s| s.as_str()), now);
+        let users = self
+            .priorities
+            .order_users(by_owner.keys().map(|s| s.as_str()), now);
 
         let mut outcome = CycleOutcome::default();
         outcome.stats.requests_considered = requests.len();
@@ -272,7 +278,9 @@ impl Negotiator {
             let mut progress = false;
             outcome.stats.rounds += 1;
             for user in &users {
-                let Some(queue) = by_owner.get(user.as_str()) else { continue };
+                let Some(queue) = by_owner.get(user.as_str()) else {
+                    continue;
+                };
                 let pos = cursor.entry(user.as_str()).or_insert(0);
                 // Skip requests that already failed or matched.
                 if *pos >= queue.len() {
@@ -286,8 +294,7 @@ impl Negotiator {
                 let preemption_on = self.config.preemption;
                 let margin = self.config.preemption_rank_margin;
 
-                let chosen: Option<(Candidate, Option<String>)> = if let Some(cl) = &clustering
-                {
+                let chosen: Option<(Candidate, Option<String>)> = if let Some(cl) = &clustering {
                     // Clustered path: the first member of an equivalence
                     // class pays one full scan to build the sorted match
                     // list; everyone else in the class consumes from it.
@@ -301,12 +308,8 @@ impl Negotiator {
                                 &offer_ads,
                                 self.config.threads,
                             );
-                            slot.insert(list).pop_next(
-                                &taken,
-                                &offer_meta,
-                                preemption_on,
-                                margin,
-                            )
+                            slot.insert(list)
+                                .pop_next(&taken, &offer_meta, preemption_on, margin)
                         }
                         Some(list) => {
                             outcome.stats.matchlist_hits += 1;
@@ -346,8 +349,7 @@ impl Negotiator {
                                 None => break Some((c, None)),
                                 Some(current) => {
                                     if preemption_on && c.offer_rank > current + margin {
-                                        let displaced =
-                                            offer_meta[c.index].remote_owner.clone();
+                                        let displaced = offer_meta[c.index].remote_owner.clone();
                                         break Some((c, Some(displaced.unwrap_or_default())));
                                     }
                                     excluded[c.index] = true;
@@ -367,7 +369,8 @@ impl Negotiator {
                         }
                         served_users.insert(user.clone(), true);
                         if self.config.charge_per_match > 0.0 {
-                            self.priorities.charge(user, self.config.charge_per_match, now);
+                            self.priorities
+                                .charge(user, self.config.charge_per_match, now);
                         }
                         outcome.matches.push(MatchRecord {
                             request_name: request.name.clone(),
@@ -575,8 +578,10 @@ mod tests {
             claimed_machine_ad("busy", "olduser", 5.0),
             job_ad_with("hot", "newuser", "JobPrio = 10;"),
         ]);
-        let mut neg =
-            Negotiator::new(NegotiatorConfig { preemption: false, ..Default::default() });
+        let mut neg = Negotiator::new(NegotiatorConfig {
+            preemption: false,
+            ..Default::default()
+        });
         let out = neg.negotiate(&store, 0);
         assert_eq!(out.stats.matches, 0);
     }
@@ -619,12 +624,17 @@ mod tests {
             ads.push(machine_ad(&format!("m{i}"), (i * 13) % 97));
         }
         for i in 0..20 {
-            ads.push(job_ad(&format!("j{i}"), if i % 2 == 0 { "alice" } else { "bob" }));
+            ads.push(job_ad(
+                &format!("j{i}"),
+                if i % 2 == 0 { "alice" } else { "bob" },
+            ));
         }
         let store = store_with(ads);
         let mut serial = Negotiator::default();
-        let mut parallel =
-            Negotiator::new(NegotiatorConfig { threads: 4, ..Default::default() });
+        let mut parallel = Negotiator::new(NegotiatorConfig {
+            threads: 4,
+            ..Default::default()
+        });
         let a = serial.negotiate(&store, 0);
         let b = parallel.negotiate(&store, 0);
         assert_eq!(a.stats, b.stats);
@@ -654,8 +664,14 @@ mod tests {
         let store = store_with(ads);
         let mut neg = Negotiator::default();
         let out = neg.negotiate(&store, 0);
-        assert_eq!(out.stats.clusters_formed, 1, "identical jobs form one cluster");
-        assert_eq!(out.stats.full_scans, 1, "one scan builds the shared match list");
+        assert_eq!(
+            out.stats.clusters_formed, 1,
+            "identical jobs form one cluster"
+        );
+        assert_eq!(
+            out.stats.full_scans, 1,
+            "one scan builds the shared match list"
+        );
         assert_eq!(out.stats.matchlist_hits, 4, "remaining jobs reuse the list");
         assert_eq!(out.stats.matches, 3);
         assert_eq!(out.stats.unmatched_requests, 2);
@@ -668,8 +684,10 @@ mod tests {
             job_ad("j1", "alice"),
             job_ad("j2", "alice"),
         ]);
-        let mut neg =
-            Negotiator::new(NegotiatorConfig { autocluster: false, ..Default::default() });
+        let mut neg = Negotiator::new(NegotiatorConfig {
+            autocluster: false,
+            ..Default::default()
+        });
         let out = neg.negotiate(&store, 0);
         assert_eq!(out.stats.clusters_formed, 0);
         assert_eq!(out.stats.matchlist_hits, 0);
@@ -686,12 +704,18 @@ mod tests {
         ads.push(claimed_machine_ad("busy-hi", "olduser", 50.0));
         for i in 0..9 {
             let owner = ["alice", "bob", "carol"][i % 3];
-            ads.push(job_ad_with(&format!("j{i}"), owner, &format!("JobPrio = {};", i)));
+            ads.push(job_ad_with(
+                &format!("j{i}"),
+                owner,
+                &format!("JobPrio = {};", i),
+            ));
         }
         let store = store_with(ads);
         let mut fast = Negotiator::default();
-        let mut oracle =
-            Negotiator::new(NegotiatorConfig { autocluster: false, ..Default::default() });
+        let mut oracle = Negotiator::new(NegotiatorConfig {
+            autocluster: false,
+            ..Default::default()
+        });
         let a = fast.negotiate(&store, 0);
         let b = oracle.negotiate(&store, 0);
         let key = |o: &CycleOutcome| {

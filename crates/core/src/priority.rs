@@ -27,7 +27,11 @@ pub struct PriorityConfig {
 
 impl Default for PriorityConfig {
     fn default() -> Self {
-        PriorityConfig { halflife: 86_400.0, default_factor: 1.0, min_usage: 0.5 }
+        PriorityConfig {
+            halflife: 86_400.0,
+            default_factor: 1.0,
+            min_usage: 0.5,
+        }
     }
 }
 
@@ -51,7 +55,10 @@ pub struct PriorityTracker {
 impl PriorityTracker {
     /// Create a tracker with the given configuration.
     pub fn new(config: PriorityConfig) -> Self {
-        PriorityTracker { users: HashMap::new(), config }
+        PriorityTracker {
+            users: HashMap::new(),
+            config,
+        }
     }
 
     /// The configuration in effect.
@@ -108,7 +115,10 @@ impl PriorityTracker {
 
     /// A user's decayed usage (resource-seconds) at `now`.
     pub fn usage(&self, user: &str, now: Timestamp) -> f64 {
-        self.users.get(user).map(|r| self.decayed(r, now)).unwrap_or(0.0)
+        self.users
+            .get(user)
+            .map(|r| self.decayed(r, now))
+            .unwrap_or(0.0)
     }
 
     /// A user's lifetime (undecayed) usage.
@@ -118,10 +128,20 @@ impl PriorityTracker {
 
     /// Order users best-priority-first (ascending priority value, ties
     /// broken by name for determinism).
-    pub fn order_users<'a>(&self, users: impl IntoIterator<Item = &'a str>, now: Timestamp) -> Vec<String> {
-        let mut v: Vec<(f64, &str)> =
-            users.into_iter().map(|u| (self.effective_priority(u, now), u)).collect();
-        v.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal).then(a.1.cmp(b.1)));
+    pub fn order_users<'a>(
+        &self,
+        users: impl IntoIterator<Item = &'a str>,
+        now: Timestamp,
+    ) -> Vec<String> {
+        let mut v: Vec<(f64, &str)> = users
+            .into_iter()
+            .map(|u| (self.effective_priority(u, now), u))
+            .collect();
+        v.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.1.cmp(b.1))
+        });
         v.into_iter().map(|(_, u)| u.to_string()).collect()
     }
 
@@ -261,8 +281,14 @@ mod tests {
         assert_eq!(ads.len(), 2);
         let policy = classad::EvalPolicy::default();
         assert_eq!(ads[0].get_string("User"), Some("alice"));
-        assert_eq!(ads[0].eval_attr("DecayedUsage", &policy).as_f64(), Some(100.0));
-        assert_eq!(ads[1].eval_attr("PriorityFactor", &policy).as_f64(), Some(2.0));
+        assert_eq!(
+            ads[0].eval_attr("DecayedUsage", &policy).as_f64(),
+            Some(100.0)
+        );
+        assert_eq!(
+            ads[1].eval_attr("PriorityFactor", &policy).as_f64(),
+            Some(2.0)
+        );
         assert_eq!(
             ads[1].eval_attr("EffectivePriority", &policy).as_f64(),
             Some(400.0),
@@ -285,7 +311,10 @@ mod tests {
 
     #[test]
     fn zero_halflife_disables_decay() {
-        let mut t = PriorityTracker::new(PriorityConfig { halflife: 0.0, ..Default::default() });
+        let mut t = PriorityTracker::new(PriorityConfig {
+            halflife: 0.0,
+            ..Default::default()
+        });
         t.charge("alice", 100.0, 0);
         assert_eq!(t.usage("alice", 1_000_000), 100.0);
     }

@@ -406,7 +406,11 @@ impl Message {
                 buf.put_u8(TAG_RELEASE);
                 buf.put_u128(ticket.raw());
             }
-            Message::Query { constraint, kind, projection } => {
+            Message::Query {
+                constraint,
+                kind,
+                projection,
+            } => {
                 buf.put_u8(TAG_QUERY);
                 buf.put_u8(match kind {
                     None => 0,
@@ -474,9 +478,15 @@ impl Message {
                     4 => Some(ClaimRejection::Busy),
                     k => return Err(ProtocolError::BadFrame(format!("bad rejection {k}"))),
                 };
-                Message::ClaimReply(ClaimResponse { accepted, rejection, provider_ad: r.ad()? })
+                Message::ClaimReply(ClaimResponse {
+                    accepted,
+                    rejection,
+                    provider_ad: r.ad()?,
+                })
             }
-            TAG_RELEASE => Message::Release { ticket: Ticket::from_raw(r.u128()?) },
+            TAG_RELEASE => Message::Release {
+                ticket: Ticket::from_raw(r.u128()?),
+            },
             TAG_QUERY => {
                 let kind = match r.u8()? {
                     0 => None,
@@ -493,7 +503,11 @@ impl Message {
                 for _ in 0..n {
                     projection.push(r.string()?);
                 }
-                Message::Query { constraint, kind, projection }
+                Message::Query {
+                    constraint,
+                    kind,
+                    projection,
+                }
             }
             TAG_QUERY_REPLY => {
                 let n = r.u32()? as usize;
@@ -506,7 +520,9 @@ impl Message {
                 }
                 Message::QueryReply { ads }
             }
-            TAG_ERROR => Message::Error { detail: r.string()? },
+            TAG_ERROR => Message::Error {
+                detail: r.string()?,
+            },
             other => return Err(ProtocolError::BadFrame(format!("unknown tag {other}"))),
         };
         if r.buf.has_remaining() {
@@ -564,7 +580,10 @@ mod tests {
         let proto = AdvertisingProtocol::default();
         let mut adv = sample_adv();
         adv.ad.remove("Constraint");
-        assert!(matches!(proto.validate(&adv, 10), Err(ProtocolError::MissingAttribute(_))));
+        assert!(matches!(
+            proto.validate(&adv, 10),
+            Err(ProtocolError::MissingAttribute(_))
+        ));
         adv.ad.set("Requirements", classad::Expr::bool(true));
         assert_eq!(proto.validate(&adv, 10), Ok(()));
     }
@@ -624,7 +643,9 @@ mod tests {
 
     #[test]
     fn release_roundtrips() {
-        let msg = Message::Release { ticket: Ticket::from_raw(7) };
+        let msg = Message::Release {
+            ticket: Ticket::from_raw(7),
+        };
         assert_eq!(Message::decode(msg.encode()).unwrap(), msg);
     }
 
@@ -636,7 +657,11 @@ mod tests {
             projection: vec!["Name".into(), "Mips".into()],
         };
         assert_eq!(Message::decode(q.encode()).unwrap(), q);
-        let q = Message::Query { constraint: "true".into(), kind: None, projection: vec![] };
+        let q = Message::Query {
+            constraint: "true".into(),
+            kind: None,
+            projection: vec![],
+        };
         assert_eq!(Message::decode(q.encode()).unwrap(), q);
         let reply = Message::QueryReply {
             ads: vec![sample_ad(), parse_classad("[ x = 1 ]").unwrap()],
@@ -648,15 +673,22 @@ mod tests {
 
     #[test]
     fn error_roundtrips() {
-        let msg = Message::Error { detail: "malformed frame: unknown tag 99".into() };
+        let msg = Message::Error {
+            detail: "malformed frame: unknown tag 99".into(),
+        };
         assert_eq!(Message::decode(msg.encode()).unwrap(), msg);
-        let empty = Message::Error { detail: String::new() };
+        let empty = Message::Error {
+            detail: String::new(),
+        };
         assert_eq!(Message::decode(empty.encode()).unwrap(), empty);
     }
 
     #[test]
     fn socket_contact_enforced_when_required() {
-        let proto = AdvertisingProtocol { require_socket_contact: true, ..Default::default() };
+        let proto = AdvertisingProtocol {
+            require_socket_contact: true,
+            ..Default::default()
+        };
         let mut adv = sample_adv();
         adv.contact = "127.0.0.1:9614".into();
         assert_eq!(proto.validate(&adv, 10), Ok(()));
@@ -676,7 +708,11 @@ mod tests {
         assert!(Message::decode(Bytes::from_static(&[99])).is_err());
         assert!(Message::decode(Bytes::from_static(&[TAG_RELEASE, 1, 2])).is_err());
         // Trailing bytes after a valid message.
-        let mut good = Message::Release { ticket: Ticket::from_raw(7) }.encode().to_vec();
+        let mut good = Message::Release {
+            ticket: Ticket::from_raw(7),
+        }
+        .encode()
+        .to_vec();
         good.push(0);
         assert!(Message::decode(Bytes::from(good)).is_err());
     }
@@ -695,7 +731,9 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(ProtocolError::MissingAttribute("X".into()).to_string().contains('X'));
+        assert!(ProtocolError::MissingAttribute("X".into())
+            .to_string()
+            .contains('X'));
         assert!(ClaimRejection::BadTicket.to_string().contains("ticket"));
         assert_eq!(EntityKind::Provider.to_string(), "provider");
     }

@@ -32,7 +32,11 @@ impl Query {
         let mut ad = ClassAd::new();
         ad.set("Name", Expr::str("query"));
         ad.set("Constraint", expr);
-        Ok(Query { ad, kind: None, projection: None })
+        Ok(Query {
+            ad,
+            kind: None,
+            projection: None,
+        })
     }
 
     /// Restrict the query to providers or customers.
@@ -198,8 +202,7 @@ mod tests {
         let q = Query::from_constraint(r#"other.Arch == "INTEL""#)
             .unwrap()
             .select(&["Name", "Memory", "NoSuch"]);
-        let results =
-            q.run_projected(&s, 0, &EvalPolicy::default(), &MatchConventions::default());
+        let results = q.run_projected(&s, 0, &EvalPolicy::default(), &MatchConventions::default());
         assert_eq!(results.len(), 1);
         let r = &results[0];
         assert_eq!(r.len(), 2, "{r}");

@@ -69,7 +69,10 @@ pub struct FrameRejection {
 impl FrameRejection {
     /// Wrap a protocol error together with its wire-level error reply.
     pub fn new(error: ProtocolError) -> Self {
-        let reply = Message::Error { detail: error.to_string() }.encode();
+        let reply = Message::Error {
+            detail: error.to_string(),
+        }
+        .encode();
         FrameRejection { error, reply }
     }
 }
@@ -158,7 +161,11 @@ impl Matchmaker {
                 self.advertise(adv, now)?;
                 Ok(None)
             }
-            Message::Query { constraint, kind, projection } => {
+            Message::Query {
+                constraint,
+                kind,
+                projection,
+            } => {
                 let mut q = Query::from_constraint(&constraint)
                     .map_err(|e| ProtocolError::BadFrame(format!("bad query constraint: {e}")))?;
                 q.kind = kind;
@@ -204,7 +211,9 @@ impl Matchmaker {
             }
         }
         self.stats.cycles.fetch_add(1, Ordering::Relaxed);
-        self.stats.matches.fetch_add(outcome.stats.matches as u64, Ordering::Relaxed);
+        self.stats
+            .matches
+            .fetch_add(outcome.stats.matches as u64, Ordering::Relaxed);
         outcome
     }
 
@@ -306,9 +315,13 @@ mod tests {
         let svc = Matchmaker::new(NegotiatorConfig::default());
         let adv = Message::Advertise(machine_adv(1));
         assert_eq!(svc.handle_frame(adv.encode(), 0).unwrap(), None);
-        let release = Message::Release { ticket: crate::ticket::Ticket::from_raw(1) };
+        let release = Message::Release {
+            ticket: crate::ticket::Ticket::from_raw(1),
+        };
         assert!(svc.handle_frame(release.encode(), 0).is_err());
-        assert!(svc.handle_frame(bytes::Bytes::from_static(&[9, 9]), 0).is_err());
+        assert!(svc
+            .handle_frame(bytes::Bytes::from_static(&[9, 9]), 0)
+            .is_err());
     }
 
     #[test]
@@ -316,16 +329,23 @@ mod tests {
         // A peer that sends garbage gets a decodable Message::Error back
         // (to be written before the connection closes), not silence.
         let svc = Matchmaker::new(NegotiatorConfig::default());
-        let rej = svc.handle_frame(bytes::Bytes::from_static(&[9, 9]), 0).unwrap_err();
+        let rej = svc
+            .handle_frame(bytes::Bytes::from_static(&[9, 9]), 0)
+            .unwrap_err();
         let Message::Error { detail } = Message::decode(rej.reply.clone()).unwrap() else {
             panic!("rejection reply must be a Message::Error")
         };
         assert_eq!(detail, rej.error.to_string());
         assert!(!detail.is_empty());
         // Out-of-protocol (but well-formed) messages reject the same way.
-        let release = Message::Release { ticket: crate::ticket::Ticket::from_raw(1) };
+        let release = Message::Release {
+            ticket: crate::ticket::Ticket::from_raw(1),
+        };
         let rej = svc.handle_frame(release.encode(), 0).unwrap_err();
-        assert!(matches!(Message::decode(rej.reply).unwrap(), Message::Error { .. }));
+        assert!(matches!(
+            Message::decode(rej.reply).unwrap(),
+            Message::Error { .. }
+        ));
     }
 
     #[test]
@@ -339,12 +359,21 @@ mod tests {
             kind: Some(EntityKind::Provider),
             projection: vec!["Name".into(), "Mips".into()],
         };
-        let reply = svc.handle_frame(q.encode(), 0).unwrap().expect("query gets a reply");
-        let Message::QueryReply { ads } = Message::decode(reply).unwrap() else { panic!() };
+        let reply = svc
+            .handle_frame(q.encode(), 0)
+            .unwrap()
+            .expect("query gets a reply");
+        let Message::QueryReply { ads } = Message::decode(reply).unwrap() else {
+            panic!()
+        };
         assert_eq!(ads.len(), 2);
         assert_eq!(ads[0].len(), 2, "projected to Name and Mips");
         // A malformed constraint is a protocol error, not a panic.
-        let bad = Message::Query { constraint: "((".into(), kind: None, projection: vec![] };
+        let bad = Message::Query {
+            constraint: "((".into(),
+            kind: None,
+            projection: vec![],
+        };
         assert!(svc.handle_frame(bad.encode(), 0).is_err());
     }
 
@@ -392,11 +421,15 @@ mod tests {
         // Final cycle to drain any remaining pairs.
         svc.negotiate(0);
         let s = svc.stats();
-        let expected_ads = (threads * per_thread) as u64 + s.ads_rejected
+        let expected_ads = (threads * per_thread) as u64
+            + s.ads_rejected
             + (0..threads * per_thread).filter(|i| i % 5 == 0).count() as u64;
         assert_eq!(s.ads_accepted + s.ads_rejected, expected_ads);
         assert_eq!(s.ads_rejected, 0);
         // All 40 jobs eventually matched (machines outnumber them).
-        assert_eq!(s.matches, (0..threads * per_thread).filter(|i| i % 5 == 0).count() as u64);
+        assert_eq!(
+            s.matches,
+            (0..threads * per_thread).filter(|i| i % 5 == 0).count() as u64
+        );
     }
 }

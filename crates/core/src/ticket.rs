@@ -57,7 +57,9 @@ pub struct TicketIssuer {
 impl TicketIssuer {
     /// Create an issuer from a seed.
     pub fn new(seed: u64) -> Self {
-        TicketIssuer { rng: StdRng::seed_from_u64(seed) }
+        TicketIssuer {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Issue a fresh ticket.

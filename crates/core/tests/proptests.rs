@@ -21,11 +21,21 @@ struct MachineSpec {
 }
 
 fn arb_machine() -> impl Strategy<Value = MachineSpec> {
-    (10i64..200, prop_oneof![Just(32i64), Just(64), Just(128)], any::<bool>(), prop_oneof![
-        3 => Just(None),
-        1 => (0.0f64..5.0).prop_map(Some)
-    ])
-        .prop_map(|(mips, memory, arch, claimed)| MachineSpec { mips, memory, arch, claimed })
+    (
+        10i64..200,
+        prop_oneof![Just(32i64), Just(64), Just(128)],
+        any::<bool>(),
+        prop_oneof![
+            3 => Just(None),
+            1 => (0.0f64..5.0).prop_map(Some)
+        ],
+    )
+        .prop_map(|(mips, memory, arch, claimed)| MachineSpec {
+            mips,
+            memory,
+            arch,
+            claimed,
+        })
 }
 
 #[derive(Debug, Clone)]
@@ -37,15 +47,23 @@ struct JobSpec {
 }
 
 fn arb_job() -> impl Strategy<Value = JobSpec> {
-    (0u8..4, prop_oneof![Just(16i64), Just(48), Just(96)], any::<bool>(), 0i64..10)
-        .prop_map(|(owner, memory, needs_intel, prio)| JobSpec { owner, memory, needs_intel, prio })
+    (
+        0u8..4,
+        prop_oneof![Just(16i64), Just(48), Just(96)],
+        any::<bool>(),
+        0i64..10,
+    )
+        .prop_map(|(owner, memory, needs_intel, prio)| JobSpec {
+            owner,
+            memory,
+            needs_intel,
+            prio,
+        })
 }
 
 fn machine_ad(i: usize, m: &MachineSpec) -> ClassAd {
     let claimed_part = match m.claimed {
-        Some(rank) => format!(
-            r#"State = "Claimed"; RemoteOwner = "prev"; CurrentRank = {rank};"#
-        ),
+        Some(rank) => format!(r#"State = "Claimed"; RemoteOwner = "prev"; CurrentRank = {rank};"#),
         None => r#"State = "Unclaimed";"#.to_string(),
     };
     classad::parse_classad(&format!(
@@ -61,7 +79,11 @@ fn machine_ad(i: usize, m: &MachineSpec) -> ClassAd {
 }
 
 fn job_ad(i: usize, j: &JobSpec) -> ClassAd {
-    let arch_clause = if j.needs_intel { r#" && other.Arch == "INTEL""# } else { "" };
+    let arch_clause = if j.needs_intel {
+        r#" && other.Arch == "INTEL""#
+    } else {
+        ""
+    };
     classad::parse_classad(&format!(
         r#"[ Name = "j{i}"; Type = "Job"; Owner = "user{}"; Memory = {};
              JobPrio = {};

@@ -32,8 +32,7 @@ pub struct StructSig(Vec<String>);
 impl StructSig {
     /// Compute the structural signature of an ad.
     pub fn of(ad: &ClassAd) -> StructSig {
-        let mut names: Vec<String> =
-            ad.names().map(|n| n.canonical().to_string()).collect();
+        let mut names: Vec<String> = ad.names().map(|n| n.canonical().to_string()).collect();
         names.sort();
         StructSig(names)
     }
@@ -96,12 +95,19 @@ impl AggregatedPool {
                 Some(&t) => templates[t].members.push(i),
                 None => {
                     index.insert(key, templates.len());
-                    templates.push(Template { representative: ad.clone(), members: vec![i] });
+                    templates.push(Template {
+                        representative: ad.clone(),
+                        members: vec![i],
+                    });
                 }
             }
         }
         let capacity = templates.iter().map(|t| t.members.len()).collect();
-        AggregatedPool { templates, total: ads.len(), capacity }
+        AggregatedPool {
+            templates,
+            total: ads.len(),
+            capacity,
+        }
     }
 
     /// The aggregation (deduplication) ratio: ads per template.
@@ -139,9 +145,7 @@ impl AggregatedPool {
             if let Some(c) = engine.score(request, &tmpl.representative, t) {
                 let better = match &best {
                     None => true,
-                    Some((_, b)) => {
-                        (c.request_rank, c.offer_rank) > (b.request_rank, b.offer_rank)
-                    }
+                    Some((_, b)) => (c.request_rank, c.offer_rank) > (b.request_rank, b.offer_rank),
                 };
                 if better {
                     best = Some((t, c));
@@ -194,7 +198,10 @@ pub fn group_match_batch(
     policy: &EvalPolicy,
     conv: &MatchConventions,
 ) -> Vec<(usize, usize)> {
-    let engine = MatchEngine { policy: policy.clone(), conventions: conv.clone() };
+    let engine = MatchEngine {
+        policy: policy.clone(),
+        conventions: conv.clone(),
+    };
     let mut pool = AggregatedPool::build(offers);
     let mut out = Vec::new();
     for (r, req) in requests.iter().enumerate() {
@@ -264,8 +271,9 @@ mod tests {
 
     #[test]
     fn irregular_pool_does_not_aggregate() {
-        let ads: Vec<Arc<ClassAd>> =
-            (0..10).map(|i| machine(&format!("m{i}"), 50 + i, 64)).collect();
+        let ads: Vec<Arc<ClassAd>> = (0..10)
+            .map(|i| machine(&format!("m{i}"), 50 + i, 64))
+            .collect();
         let r = regularity(&ads);
         assert_eq!(r.value_templates, 10);
     }
@@ -280,10 +288,16 @@ mod tests {
         // Group scan best.
         let mut pool = AggregatedPool::build(&offers);
         let (member, cand) = pool.allocate_best(&req, &engine).unwrap();
-        assert_eq!(cand.request_rank, bilateral.request_rank, "same rank outcome");
+        assert_eq!(
+            cand.request_rank, bilateral.request_rank,
+            "same rank outcome"
+        );
         // The member granted belongs to the winning (100-mips) class.
         let policy = EvalPolicy::default();
-        assert_eq!(offers[member].eval_attr("Mips", &policy).as_int(), Some(100));
+        assert_eq!(
+            offers[member].eval_attr("Mips", &policy).as_int(),
+            Some(100)
+        );
     }
 
     #[test]
@@ -321,7 +335,10 @@ mod tests {
         let req = job(100);
         let policy = EvalPolicy::default();
         let (member, _) = pool.allocate_best(&req, &engine).unwrap();
-        assert_eq!(offers[member].eval_attr("Memory", &policy).as_int(), Some(128));
+        assert_eq!(
+            offers[member].eval_attr("Memory", &policy).as_int(),
+            Some(128)
+        );
     }
 
     #[test]

@@ -112,14 +112,23 @@ pub struct GangSolver {
 
 impl Default for GangSolver {
     fn default() -> Self {
-        GangSolver { engine: MatchEngine::new(), node_budget: 100_000 }
+        GangSolver {
+            engine: MatchEngine::new(),
+            node_budget: 100_000,
+        }
     }
 }
 
 impl GangSolver {
     /// Create a solver with the given evaluation policy/conventions.
     pub fn new(policy: EvalPolicy, conventions: MatchConventions) -> Self {
-        GangSolver { engine: MatchEngine { policy, conventions }, node_budget: 100_000 }
+        GangSolver {
+            engine: MatchEngine {
+                policy,
+                conventions,
+            },
+            node_budget: 100_000,
+        }
     }
 
     /// Match every port of `gang` to a distinct offer, or `None` if no
@@ -134,11 +143,15 @@ impl GangSolver {
                     .iter()
                     .enumerate()
                     .filter_map(|(i, o)| {
-                        self.engine.score(port, o, i).map(|cand| (i, cand.request_rank))
+                        self.engine
+                            .score(port, o, i)
+                            .map(|cand| (i, cand.request_rank))
                     })
                     .collect();
                 c.sort_by(|a, b| {
-                    b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+                    b.1.partial_cmp(&a.1)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.0.cmp(&b.0))
                 });
                 c
             })
@@ -157,8 +170,19 @@ impl GangSolver {
         let mut assignment = vec![usize::MAX; gang.ports.len()];
         let mut total_rank = 0.0;
         let mut budget = self.node_budget;
-        if self.dfs(&order, 0, &mut candidates, &mut used, &mut assignment, &mut total_rank, &mut budget) {
-            Some(GangMatch { assignment, total_rank })
+        if self.dfs(
+            &order,
+            0,
+            &mut candidates,
+            &mut used,
+            &mut assignment,
+            &mut total_rank,
+            &mut budget,
+        ) {
+            Some(GangMatch {
+                assignment,
+                total_rank,
+            })
         } else {
             None
         }
@@ -191,7 +215,15 @@ impl GangSolver {
             used[offer] = true;
             assignment[port] = offer;
             *total_rank += rank;
-            if self.dfs(order, depth + 1, candidates, used, assignment, total_rank, budget) {
+            if self.dfs(
+                order,
+                depth + 1,
+                candidates,
+                used,
+                assignment,
+                total_rank,
+                budget,
+            ) {
                 return true;
             }
             used[offer] = false;
@@ -248,13 +280,22 @@ mod tests {
     #[test]
     fn parse_errors() {
         let no_ports = parse_classad("[ a = 1 ]").unwrap();
-        assert_eq!(GangRequest::from_ad(&no_ports).unwrap_err(), GangError::NoPorts);
+        assert_eq!(
+            GangRequest::from_ad(&no_ports).unwrap_err(),
+            GangError::NoPorts
+        );
         let bad = parse_classad("[ Ports = 42 ]").unwrap();
-        assert!(matches!(GangRequest::from_ad(&bad).unwrap_err(), GangError::BadPorts(_)));
+        assert!(matches!(
+            GangRequest::from_ad(&bad).unwrap_err(),
+            GangError::BadPorts(_)
+        ));
         let empty = parse_classad("[ Ports = {} ]").unwrap();
         assert_eq!(GangRequest::from_ad(&empty).unwrap_err(), GangError::Empty);
         let bad_item = parse_classad("[ Ports = { 1 } ]").unwrap();
-        assert!(matches!(GangRequest::from_ad(&bad_item).unwrap_err(), GangError::BadPorts(_)));
+        assert!(matches!(
+            GangRequest::from_ad(&bad_item).unwrap_err(),
+            GangError::BadPorts(_)
+        ));
     }
 
     #[test]
@@ -350,9 +391,7 @@ mod tests {
 
     #[test]
     fn single_port_gang_reduces_to_best_match_feasibility() {
-        let g = gang_ad(
-            r#"[ Ports = { [ Constraint = other.Type == "TapeDrive"; Rank = 0 ] } ]"#,
-        );
+        let g = gang_ad(r#"[ Ports = { [ Constraint = other.Type == "TapeDrive"; Rank = 0 ] } ]"#);
         let m = GangSolver::default().solve(&g, &pool()).unwrap();
         assert_eq!(m.assignment, vec![3]);
     }
@@ -367,7 +406,10 @@ mod tests {
         let src = format!("[ Ports = {{ {} }} ]", ports.join(", "));
         let g = gang_ad(&src);
         let offers = pool();
-        let solver = GangSolver { node_budget: 3, ..Default::default() };
+        let solver = GangSolver {
+            node_budget: 3,
+            ..Default::default()
+        };
         // 8 ports, 2 machines: infeasible; must return quickly.
         assert!(solver.solve(&g, &offers).is_none());
     }

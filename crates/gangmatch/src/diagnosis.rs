@@ -166,10 +166,7 @@ pub fn diagnose(
             if let Some(s) = suggest(&conj_exprs[i], offers, policy) {
                 suggestions.push(s);
             } else {
-                suggestions.push(format!(
-                    "no offer in the pool satisfies `{}`",
-                    rep.text
-                ));
+                suggestions.push(format!("no offer in the pool satisfies `{}`", rep.text));
             }
         }
     }
@@ -263,8 +260,13 @@ enum Bound {
 
 /// Recognise `other.X <op> literal` / `X <op> literal` (either side).
 fn simple_comparison(e: &Expr) -> Option<(String, BinOp, Bound)> {
-    let Expr::Binary(op, l, r) = e else { return None };
-    if !matches!(op, BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq) {
+    let Expr::Binary(op, l, r) = e else {
+        return None;
+    };
+    if !matches!(
+        op,
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq
+    ) {
         return None;
     }
     let attr_of = |x: &Expr| -> Option<String> {
@@ -361,13 +363,25 @@ mod tests {
         let d = run(r#"other.Type == "Machine" && other.Memory >= 1024"#);
         assert!(d.unsatisfiable());
         // The memory conjunct kills the pool; the type conjunct does not.
-        let killer = d.conjuncts.iter().find(|c| c.text.contains("Memory")).unwrap();
+        let killer = d
+            .conjuncts
+            .iter()
+            .find(|c| c.text.contains("Memory"))
+            .unwrap();
         assert!(killer.kills_pool());
         assert_eq!(killer.false_count, 8);
-        let typer = d.conjuncts.iter().find(|c| c.text.contains("Type")).unwrap();
+        let typer = d
+            .conjuncts
+            .iter()
+            .find(|c| c.text.contains("Type"))
+            .unwrap();
         assert!(!typer.kills_pool());
         assert_eq!(d.suggestions.len(), 1);
-        assert!(d.suggestions[0].contains("pool maximum is 128"), "{}", d.suggestions[0]);
+        assert!(
+            d.suggestions[0].contains("pool maximum is 128"),
+            "{}",
+            d.suggestions[0]
+        );
     }
 
     #[test]
@@ -384,7 +398,11 @@ mod tests {
         let d = run("other.GPUs >= 1");
         assert!(d.unsatisfiable());
         assert_eq!(d.conjuncts[0].undefined_count, 8);
-        assert!(d.suggestions[0].contains("no offer defines `gpus`"), "{}", d.suggestions[0]);
+        assert!(
+            d.suggestions[0].contains("no offer defines `gpus`"),
+            "{}",
+            d.suggestions[0]
+        );
     }
 
     #[test]
@@ -405,7 +423,11 @@ mod tests {
     fn flipped_comparison_recognised() {
         let d = run(r#"1024 <= other.Memory"#);
         assert!(d.unsatisfiable());
-        assert!(d.suggestions[0].contains("pool maximum is 128"), "{}", d.suggestions[0]);
+        assert!(
+            d.suggestions[0].contains("pool maximum is 128"),
+            "{}",
+            d.suggestions[0]
+        );
     }
 
     #[test]
@@ -443,7 +465,12 @@ mod tests {
     #[test]
     fn constraintless_request() {
         let ad = parse_classad(r#"[ Name = "q" ]"#).unwrap();
-        let d = diagnose(&ad, &pool(), &EvalPolicy::default(), &MatchConventions::default());
+        let d = diagnose(
+            &ad,
+            &pool(),
+            &EvalPolicy::default(),
+            &MatchConventions::default(),
+        );
         assert!(d.conjuncts.is_empty());
         // A constraint-less query accepts anything, but the machines'
         // own constraints still apply bilaterally: this ad has no Owner,

@@ -62,11 +62,7 @@ pub struct GangCycleOutcome {
 /// Offers already granted to an earlier gang in the same pass are not
 /// reused; gangs are served freshest-advertisement-last (FIFO by
 /// sequence), mirroring the bilateral negotiator's within-user order.
-pub fn negotiate_gangs(
-    store: &AdStore,
-    now: Timestamp,
-    solver: &GangSolver,
-) -> GangCycleOutcome {
+pub fn negotiate_gangs(store: &AdStore, now: Timestamp, solver: &GangSolver) -> GangCycleOutcome {
     let offers: Vec<StoredAd> = store.snapshot(EntityKind::Provider, now);
     let offer_ads: Vec<Arc<ClassAd>> = offers.iter().map(|o| o.ad.clone()).collect();
 

@@ -144,10 +144,7 @@ impl std::fmt::Debug for CustomerAgent {
 impl CustomerAgent {
     /// Start the agent with an initial batch of `(name, ad)` jobs. Each
     /// ad gets its `Name` and `Owner` attributes overwritten.
-    pub fn spawn(
-        cfg: CustomerConfig,
-        jobs: Vec<(String, ClassAd)>,
-    ) -> std::io::Result<Self> {
+    pub fn spawn(cfg: CustomerConfig, jobs: Vec<(String, ClassAd)>) -> std::io::Result<Self> {
         let listener = TcpListener::bind(&cfg.bind)?;
         let addr = listener.local_addr()?;
         let user = cfg.user.clone();
@@ -210,7 +207,10 @@ impl CustomerAgent {
     /// `true` once every job is [`JobStatus::Claimed`].
     pub fn all_claimed(&self) -> bool {
         let jobs = self.shared.jobs.lock();
-        !jobs.is_empty() && jobs.iter().all(|j| matches!(j.status, JobStatus::Claimed { .. }))
+        !jobs.is_empty()
+            && jobs
+                .iter()
+                .all(|j| matches!(j.status, JobStatus::Claimed { .. }))
     }
 
     /// Counter snapshot.
@@ -240,12 +240,16 @@ impl CustomerAgent {
             let jobs = self.shared.jobs.lock();
             for j in jobs.iter() {
                 match &j.status {
-                    JobStatus::Claimed { provider_contact, .. } => {
+                    JobStatus::Claimed {
+                        provider_contact, ..
+                    } => {
                         // The ticket was consumed at claim time; Release is
                         // addressed by connection, any ticket value works.
                         let _ = wire::send_oneway(
                             provider_contact,
-                            &Message::Release { ticket: matchmaker::ticket::Ticket::from_raw(0) },
+                            &Message::Release {
+                                ticket: matchmaker::ticket::Ticket::from_raw(0),
+                            },
                             io,
                         );
                     }
@@ -327,8 +331,11 @@ fn advertise_pending(shared: &Arc<CaShared>) {
             .collect()
     };
     for adv in pending {
-        match wire::send_oneway(&shared.cfg.matchmaker, &Message::Advertise(adv), &shared.cfg.io)
-        {
+        match wire::send_oneway(
+            &shared.cfg.matchmaker,
+            &Message::Advertise(adv),
+            &shared.cfg.io,
+        ) {
             Ok(()) => {
                 shared.stats.ads_sent.fetch_add(1, Ordering::Relaxed);
             }
@@ -350,7 +357,10 @@ fn listen_loop(shared: &Arc<CaShared>, listener: TcpListener) {
             break;
         }
         if let Some(note) = read_notification(shared, stream) {
-            shared.stats.notifications_received.fetch_add(1, Ordering::Relaxed);
+            shared
+                .stats
+                .notifications_received
+                .fetch_add(1, Ordering::Relaxed);
             // Claim on a separate thread: a slow or dead provider must not
             // block notifications for the agent's other jobs.
             let claim_shared = Arc::clone(shared);
@@ -377,7 +387,9 @@ fn read_notification(shared: &Arc<CaShared>, mut stream: TcpStream) -> Option<Ma
 }
 
 fn attempt_claim(shared: &Arc<CaShared>, note: MatchNotification) {
-    let Some(job_name) = note.own_ad.get_string("Name").map(str::to_owned) else { return };
+    let Some(job_name) = note.own_ad.get_string("Name").map(str::to_owned) else {
+        return;
+    };
     // Take the job for claiming (at most one dial in flight per job).
     let current_ad = {
         let mut jobs = shared.jobs.lock();
@@ -403,7 +415,10 @@ fn attempt_claim(shared: &Arc<CaShared>, note: MatchNotification) {
             match wire::request_reply(&note.peer_contact, &req, &shared.cfg.io) {
                 Ok(Message::ClaimReply(r)) if r.accepted => {
                     shared.stats.claims_accepted.fetch_add(1, Ordering::Relaxed);
-                    Ok(r.provider_ad.get_string("Name").unwrap_or_default().to_owned())
+                    Ok(r.provider_ad
+                        .get_string("Name")
+                        .unwrap_or_default()
+                        .to_owned())
                 }
                 Ok(Message::ClaimReply(r)) => {
                     debug_assert!(r.rejection.is_some());
@@ -412,14 +427,19 @@ fn attempt_claim(shared: &Arc<CaShared>, note: MatchNotification) {
                 }
                 Ok(_) => Err(()),
                 Err(_) => {
-                    shared.stats.claim_dial_failures.fetch_add(1, Ordering::Relaxed);
+                    shared
+                        .stats
+                        .claim_dial_failures
+                        .fetch_add(1, Ordering::Relaxed);
                     Err(())
                 }
             }
         }
     };
     let mut jobs = shared.jobs.lock();
-    let Some(job) = jobs.iter_mut().find(|j| j.name == job_name) else { return };
+    let Some(job) = jobs.iter_mut().find(|j| j.name == job_name) else {
+        return;
+    };
     job.claiming = false;
     match outcome {
         Ok(provider_name) => {
@@ -515,7 +535,9 @@ mod tests {
             let mut dec = FrameDecoder::new();
             let msg =
                 wire::recv(&mut s, &mut dec, Instant::now() + Duration::from_secs(5)).unwrap();
-            let Message::Claim(req) = msg else { panic!("{msg:?}") };
+            let Message::Claim(req) = msg else {
+                panic!("{msg:?}")
+            };
             assert_eq!(req.ticket, ticket);
             assert_eq!(req.customer_ad.get_string("Name"), Some("job-1"));
             wire::send(
@@ -546,12 +568,19 @@ mod tests {
 
         let deadline = Instant::now() + Duration::from_secs(10);
         while !ca.all_claimed() {
-            assert!(Instant::now() < deadline, "claim never landed: {:?}", ca.jobs());
+            assert!(
+                Instant::now() < deadline,
+                "claim never landed: {:?}",
+                ca.jobs()
+            );
             std::thread::sleep(Duration::from_millis(10));
         }
         provider_thread.join().unwrap();
         match &ca.jobs()[0].1 {
-            JobStatus::Claimed { provider_contact, provider_name } => {
+            JobStatus::Claimed {
+                provider_contact,
+                provider_name,
+            } => {
                 assert_eq!(provider_contact, &provider_addr);
                 assert_eq!(provider_name, "leonardo");
             }
@@ -583,8 +612,16 @@ mod tests {
         // Each failed dial burns one attempt; budget is 2.
         let deadline = Instant::now() + Duration::from_secs(20);
         while ca.stats().jobs_failed == 0 {
-            assert!(Instant::now() < deadline, "job never failed: {:?}", ca.jobs());
-            let _ = wire::send_oneway(&contact, &Message::Notify(note(own.clone())), &IoConfig::default());
+            assert!(
+                Instant::now() < deadline,
+                "job never failed: {:?}",
+                ca.jobs()
+            );
+            let _ = wire::send_oneway(
+                &contact,
+                &Message::Notify(note(own.clone())),
+                &IoConfig::default(),
+            );
             std::thread::sleep(Duration::from_millis(20));
         }
         assert_eq!(ca.jobs()[0].1, JobStatus::Failed);

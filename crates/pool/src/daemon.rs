@@ -111,7 +111,9 @@ pub struct MatchmakerDaemon {
 
 impl std::fmt::Debug for Shared {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Shared").field("cfg", &self.cfg).finish_non_exhaustive()
+        f.debug_struct("Shared")
+            .field("cfg", &self.cfg)
+            .finish_non_exhaustive()
     }
 }
 
@@ -145,7 +147,12 @@ impl MatchmakerDaemon {
                 .name("mm-ticker".into())
                 .spawn(move || ticker_loop(&shared))?
         };
-        Ok(MatchmakerDaemon { shared, addr, accept: Some(accept), ticker: Some(ticker) })
+        Ok(MatchmakerDaemon {
+            shared,
+            addr,
+            accept: Some(accept),
+            ticker: Some(ticker),
+        })
     }
 
     /// The bound listen address (dial this as `addr().to_string()`).
@@ -210,22 +217,32 @@ fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
             break;
         }
         if shared.active.load(Ordering::SeqCst) >= shared.cfg.max_connections {
-            shared.stats.connections_refused.fetch_add(1, Ordering::Relaxed);
+            shared
+                .stats
+                .connections_refused
+                .fetch_add(1, Ordering::Relaxed);
             let mut stream = stream;
             let _ = stream.set_write_timeout(Some(shared.cfg.io.write_timeout));
             let _ = wire::send(
                 &mut stream,
-                &Message::Error { detail: "connection limit reached, retry later".into() },
+                &Message::Error {
+                    detail: "connection limit reached, retry later".into(),
+                },
             );
             continue;
         }
         shared.active.fetch_add(1, Ordering::SeqCst);
-        shared.stats.connections_accepted.fetch_add(1, Ordering::Relaxed);
+        shared
+            .stats
+            .connections_accepted
+            .fetch_add(1, Ordering::Relaxed);
         let conn_shared = Arc::clone(shared);
-        let handle = std::thread::Builder::new().name("mm-conn".into()).spawn(move || {
-            serve_connection(&conn_shared, stream);
-            conn_shared.active.fetch_sub(1, Ordering::SeqCst);
-        });
+        let handle = std::thread::Builder::new()
+            .name("mm-conn".into())
+            .spawn(move || {
+                serve_connection(&conn_shared, stream);
+                conn_shared.active.fetch_sub(1, Ordering::SeqCst);
+            });
         match handle {
             Ok(h) => {
                 let mut conns = shared.conns.lock();
@@ -263,7 +280,9 @@ fn serve_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
                             shared.stats.error_replies.fetch_add(1, Ordering::Relaxed);
                             let _ = wire::send(
                                 &mut stream,
-                                &Message::Error { detail: e.to_string() },
+                                &Message::Error {
+                                    detail: e.to_string(),
+                                },
                             );
                             return;
                         }
@@ -272,8 +291,12 @@ fn serve_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
                 Ok(None) => break,
                 Err(e) => {
                     shared.stats.error_replies.fetch_add(1, Ordering::Relaxed);
-                    let _ =
-                        wire::send(&mut stream, &Message::Error { detail: e.to_string() });
+                    let _ = wire::send(
+                        &mut stream,
+                        &Message::Error {
+                            detail: e.to_string(),
+                        },
+                    );
                     return;
                 }
             }
@@ -302,17 +325,24 @@ fn ticker_loop(shared: &Arc<Shared>) {
         shared.stats.cycles.fetch_add(1, Ordering::Relaxed);
         for m in &outcome.matches {
             let (to_customer, to_provider) = m.notifications();
-            for (contact, note) in
-                [(&m.provider_contact, to_provider), (&m.customer_contact, to_customer)]
-            {
+            for (contact, note) in [
+                (&m.provider_contact, to_provider),
+                (&m.customer_contact, to_customer),
+            ] {
                 match wire::send_oneway(contact, &Message::Notify(note), &shared.cfg.io) {
                     Ok(()) => {
-                        shared.stats.notifications_sent.fetch_add(1, Ordering::Relaxed);
+                        shared
+                            .stats
+                            .notifications_sent
+                            .fetch_add(1, Ordering::Relaxed);
                     }
                     Err(_) => {
                         // Soft state: an undeliverable notification wastes
                         // this match; both parties re-advertise.
-                        shared.stats.notifications_failed.fetch_add(1, Ordering::Relaxed);
+                        shared
+                            .stats
+                            .notifications_failed
+                            .fetch_add(1, Ordering::Relaxed);
                     }
                 }
             }
@@ -360,8 +390,11 @@ mod tests {
         // Stream several ads over one connection, then query over another.
         let mut stream = wire::connect(&addr, &io).unwrap();
         for i in 0..3 {
-            wire::send(&mut stream, &Message::Advertise(machine_adv(&format!("m{i}"), "127.0.0.1:9")))
-                .unwrap();
+            wire::send(
+                &mut stream,
+                &Message::Advertise(machine_adv(&format!("m{i}"), "127.0.0.1:9")),
+            )
+            .unwrap();
         }
         drop(stream);
         let deadline = Instant::now() + Duration::from_secs(10);
@@ -375,7 +408,9 @@ mod tests {
             projection: vec!["Name".into()],
         };
         let reply = wire::request_reply(&addr, &q, &io).unwrap();
-        let Message::QueryReply { ads } = reply else { panic!("{reply:?}") };
+        let Message::QueryReply { ads } = reply else {
+            panic!("{reply:?}")
+        };
         assert_eq!(ads.len(), 3);
         daemon.shutdown();
         assert_eq!(daemon.stats().frames_handled, 4);
@@ -413,11 +448,18 @@ mod tests {
         let addr = daemon.addr().to_string();
         let err = wire::request_reply(
             &addr,
-            &Message::Query { constraint: "true".into(), kind: None, projection: vec![] },
+            &Message::Query {
+                constraint: "true".into(),
+                kind: None,
+                projection: vec![],
+            },
             &IoConfig::default(),
         )
         .unwrap_err();
-        assert!(matches!(err, WireError::Remote(ref d) if d.contains("limit")), "{err}");
+        assert!(
+            matches!(err, WireError::Remote(ref d) if d.contains("limit")),
+            "{err}"
+        );
         daemon.shutdown();
         assert_eq!(daemon.stats().connections_refused, 1);
         assert_eq!(daemon.stats().connections_accepted, 0);

@@ -73,11 +73,7 @@ impl PoolBuilder {
     }
 
     /// Add a user submitting the given `(job name, ad)` batch.
-    pub fn user(
-        mut self,
-        user: impl Into<String>,
-        jobs: Vec<(String, ClassAd)>,
-    ) -> Self {
+    pub fn user(mut self, user: impl Into<String>, jobs: Vec<(String, ClassAd)>) -> Self {
         self.users.push((user.into(), jobs));
         self
     }

@@ -146,7 +146,12 @@ impl ResourceAgent {
                 .name("ra-refresh".into())
                 .spawn(move || refresh_loop(&shared))?
         };
-        Ok(ResourceAgent { shared, addr, listener: Some(listen_thread), refresher: Some(refresher) })
+        Ok(ResourceAgent {
+            shared,
+            addr,
+            listener: Some(listen_thread),
+            refresher: Some(refresher),
+        })
     }
 
     /// The agent's claim-listener address — also its advertised contact.
@@ -197,7 +202,11 @@ impl ResourceAgent {
     /// then stop all threads.
     pub fn shutdown(mut self) {
         let adv = self.shared.build_advertisement(1);
-        let _ = wire::send_oneway(&self.shared.cfg.matchmaker, &Message::Advertise(adv), &self.shared.cfg.io);
+        let _ = wire::send_oneway(
+            &self.shared.cfg.matchmaker,
+            &Message::Advertise(adv),
+            &self.shared.cfg.io,
+        );
         self.stop_threads();
     }
 
@@ -263,7 +272,11 @@ fn advertise_with_retry(shared: &Arc<RaShared>) {
     let mut attempt = 0u32;
     loop {
         let adv = shared.build_advertisement(shared.cfg.lease.as_secs());
-        match wire::send_oneway(&shared.cfg.matchmaker, &Message::Advertise(adv), &shared.cfg.io) {
+        match wire::send_oneway(
+            &shared.cfg.matchmaker,
+            &Message::Advertise(adv),
+            &shared.cfg.io,
+        ) {
             Ok(()) => {
                 shared.stats.ads_sent.fetch_add(1, Ordering::Relaxed);
                 return;
@@ -318,8 +331,12 @@ fn serve_peer(shared: &Arc<RaShared>, mut stream: TcpStream) {
                 }
                 Ok(None) => break,
                 Err(e) => {
-                    let _ =
-                        wire::send(&mut stream, &Message::Error { detail: e.to_string() });
+                    let _ = wire::send(
+                        &mut stream,
+                        &Message::Error {
+                            detail: e.to_string(),
+                        },
+                    );
                     return;
                 }
             }
@@ -363,7 +380,10 @@ fn handle_peer_message(shared: &Arc<RaShared>, stream: &mut TcpStream, msg: Mess
         Message::Notify(_) => {
             // Informational on the provider side: the binding event is the
             // customer's direct claim, not this notification.
-            shared.stats.notifications_seen.fetch_add(1, Ordering::Relaxed);
+            shared
+                .stats
+                .notifications_seen
+                .fetch_add(1, Ordering::Relaxed);
             true
         }
         Message::Error { .. } => false,
@@ -423,8 +443,7 @@ mod tests {
         let (mut s, _) = listener.accept().unwrap();
         let _ = s.set_read_timeout(Some(Duration::from_secs(5)));
         let mut dec = FrameDecoder::new();
-        let msg =
-            wire::recv(&mut s, &mut dec, Instant::now() + Duration::from_secs(5)).unwrap();
+        let msg = wire::recv(&mut s, &mut dec, Instant::now() + Duration::from_secs(5)).unwrap();
         match msg {
             Message::Advertise(a) => a,
             other => panic!("expected Advertise, got {other:?}"),
@@ -437,7 +456,10 @@ mod tests {
                 name: "leonardo".into(),
                 matchmaker: mm_addr,
                 heartbeat,
-                backoff: Backoff { max_attempts: 1, ..Backoff::default() },
+                backoff: Backoff {
+                    max_attempts: 1,
+                    ..Backoff::default()
+                },
                 ..ResourceConfig::default()
             },
             idle_machine_ad(),
@@ -448,7 +470,10 @@ mod tests {
     #[test]
     fn advertises_and_accepts_direct_claim() {
         let mm = TcpListener::bind("127.0.0.1:0").unwrap();
-        let ra = spawn_ra(mm.local_addr().unwrap().to_string(), Duration::from_secs(3600));
+        let ra = spawn_ra(
+            mm.local_addr().unwrap().to_string(),
+            Duration::from_secs(3600),
+        );
         let adv = recv_one_ad(&mm);
         assert_eq!(adv.ad.get_string("Name"), Some("leonardo"));
         assert_eq!(adv.contact, ra.addr().to_string());
@@ -461,7 +486,9 @@ mod tests {
         });
         let reply =
             wire::request_reply(&ra.addr().to_string(), &claim, &IoConfig::default()).unwrap();
-        let Message::ClaimReply(r) = reply else { panic!("{reply:?}") };
+        let Message::ClaimReply(r) = reply else {
+            panic!("{reply:?}")
+        };
         assert!(r.accepted, "{:?}", r.rejection);
         assert!(ra.is_claimed());
         assert_eq!(ra.stats().claims_accepted, 1);
@@ -471,10 +498,16 @@ mod tests {
     #[test]
     fn stale_state_rejects_claim_and_ticket_survives_renewal() {
         let mm = TcpListener::bind("127.0.0.1:0").unwrap();
-        let ra = spawn_ra(mm.local_addr().unwrap().to_string(), Duration::from_millis(50));
+        let ra = spawn_ra(
+            mm.local_addr().unwrap().to_string(),
+            Duration::from_millis(50),
+        );
         let first = recv_one_ad(&mm);
         let second = recv_one_ad(&mm);
-        assert_eq!(first.ticket, second.ticket, "lease renewal must not rotate the ticket");
+        assert_eq!(
+            first.ticket, second.ticket,
+            "lease renewal must not rotate the ticket"
+        );
 
         // The keyboard comes back to life after the ad went out.
         ra.update_ad(|ad| ad.set_int("KeyboardIdle", 5));
@@ -485,7 +518,9 @@ mod tests {
         });
         let reply =
             wire::request_reply(&ra.addr().to_string(), &claim, &IoConfig::default()).unwrap();
-        let Message::ClaimReply(r) = reply else { panic!("{reply:?}") };
+        let Message::ClaimReply(r) = reply else {
+            panic!("{reply:?}")
+        };
         assert_eq!(r.rejection, Some(ClaimRejection::ConstraintFailed));
         assert!(!ra.is_claimed());
         // The response carries the *current* ad so the customer sees why.
@@ -496,7 +531,10 @@ mod tests {
     #[test]
     fn bad_ticket_rejected() {
         let mm = TcpListener::bind("127.0.0.1:0").unwrap();
-        let ra = spawn_ra(mm.local_addr().unwrap().to_string(), Duration::from_secs(3600));
+        let ra = spawn_ra(
+            mm.local_addr().unwrap().to_string(),
+            Duration::from_secs(3600),
+        );
         let adv = recv_one_ad(&mm);
         let wrong = Ticket::from_raw(adv.ticket.unwrap().raw().wrapping_add(1));
         let claim = Message::Claim(ClaimRequest {
@@ -506,7 +544,9 @@ mod tests {
         });
         let reply =
             wire::request_reply(&ra.addr().to_string(), &claim, &IoConfig::default()).unwrap();
-        let Message::ClaimReply(r) = reply else { panic!("{reply:?}") };
+        let Message::ClaimReply(r) = reply else {
+            panic!("{reply:?}")
+        };
         assert_eq!(r.rejection, Some(ClaimRejection::BadTicket));
         assert_eq!(ra.stats().claims_rejected, 1);
         ra.shutdown();

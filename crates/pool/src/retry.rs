@@ -35,7 +35,12 @@ impl Backoff {
     /// A schedule that never exhausts (for heartbeat-style loops that must
     /// keep trying as long as the agent lives).
     pub fn unlimited(initial: Duration, max_delay: Duration) -> Self {
-        Backoff { initial, max_delay, max_attempts: u32::MAX, ..Backoff::default() }
+        Backoff {
+            initial,
+            max_delay,
+            max_attempts: u32::MAX,
+            ..Backoff::default()
+        }
     }
 
     /// Delay before retry number `attempt` (1-based: `delay(1)` follows the
@@ -44,7 +49,9 @@ impl Backoff {
         if attempt == 0 || attempt > self.max_attempts {
             return None;
         }
-        let factor = self.multiplier.powi(attempt.saturating_sub(1).min(63) as i32);
+        let factor = self
+            .multiplier
+            .powi(attempt.saturating_sub(1).min(63) as i32);
         let secs = (self.initial.as_secs_f64() * factor).min(self.max_delay.as_secs_f64());
         Some(Duration::from_secs_f64(secs.max(0.0)))
     }
@@ -68,12 +75,19 @@ mod tests {
             assert!(d <= b.max_delay);
             prev = d;
         }
-        assert_eq!(b.delay(7), Some(Duration::from_secs(5)), "capped at max_delay");
+        assert_eq!(
+            b.delay(7),
+            Some(Duration::from_secs(5)),
+            "capped at max_delay"
+        );
     }
 
     #[test]
     fn budget_exhausts() {
-        let b = Backoff { max_attempts: 3, ..Backoff::default() };
+        let b = Backoff {
+            max_attempts: 3,
+            ..Backoff::default()
+        };
         assert!(b.delay(3).is_some());
         assert_eq!(b.delay(4), None);
         assert_eq!(b.delay(0), None, "attempt numbering is 1-based");

@@ -17,7 +17,10 @@ use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 /// Wall-clock seconds since the Unix epoch — the live runtime's
 /// [`Timestamp`] source (the simulator uses its virtual clock instead).
 pub fn unix_now() -> Timestamp {
-    SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0)
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
 }
 
 /// Connect/read/write deadlines applied to every socket operation.
@@ -89,8 +92,12 @@ pub fn connect(addr: &str, io: &IoConfig) -> Result<TcpStream, WireError> {
         .next()
         .ok_or_else(|| WireError::Io(ErrorKind::AddrNotAvailable.into()))?;
     let stream = TcpStream::connect_timeout(&target, io.connect_timeout).map_err(WireError::Io)?;
-    stream.set_read_timeout(Some(io.read_timeout)).map_err(WireError::Io)?;
-    stream.set_write_timeout(Some(io.write_timeout)).map_err(WireError::Io)?;
+    stream
+        .set_read_timeout(Some(io.read_timeout))
+        .map_err(WireError::Io)?;
+    stream
+        .set_write_timeout(Some(io.write_timeout))
+        .map_err(WireError::Io)?;
     Ok(stream)
 }
 
@@ -156,10 +163,7 @@ pub fn send_oneway(addr: &str, msg: &Message, io: &IoConfig) -> Result<(), WireE
 
 /// Sleep for `total`, waking every few tens of milliseconds to honor a
 /// shutdown flag. Returns `true` if interrupted by shutdown.
-pub(crate) fn interruptible_sleep(
-    flag: &AtomicBool,
-    total: Duration,
-) -> bool {
+pub(crate) fn interruptible_sleep(flag: &AtomicBool, total: Duration) -> bool {
     use std::sync::atomic::Ordering;
     let deadline = Instant::now() + total;
     loop {
@@ -192,8 +196,14 @@ mod tests {
             send(&mut s, &Message::QueryReply { ads: vec![] }).unwrap();
         });
         let io = IoConfig::default();
-        let reply =
-            request_reply(&addr, &Message::Release { ticket: Ticket::from_raw(7) }, &io).unwrap();
+        let reply = request_reply(
+            &addr,
+            &Message::Release {
+                ticket: Ticket::from_raw(7),
+            },
+            &io,
+        )
+        .unwrap();
         assert_eq!(reply, Message::QueryReply { ads: vec![] });
         server.join().unwrap();
     }
@@ -204,13 +214,27 @@ mod tests {
         let addr = listener.local_addr().unwrap().to_string();
         let server = std::thread::spawn(move || {
             let (mut s, _) = listener.accept().unwrap();
-            send(&mut s, &Message::Error { detail: "nope".into() }).unwrap();
+            send(
+                &mut s,
+                &Message::Error {
+                    detail: "nope".into(),
+                },
+            )
+            .unwrap();
         });
         let io = IoConfig::default();
-        let err =
-            request_reply(&addr, &Message::Release { ticket: Ticket::from_raw(1) }, &io)
-                .unwrap_err();
-        assert!(matches!(err, WireError::Remote(ref d) if d == "nope"), "{err}");
+        let err = request_reply(
+            &addr,
+            &Message::Release {
+                ticket: Ticket::from_raw(1),
+            },
+            &io,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, WireError::Remote(ref d) if d == "nope"),
+            "{err}"
+        );
         server.join().unwrap();
     }
 
@@ -225,7 +249,11 @@ mod tests {
         let mut stream = connect(&addr, &io).unwrap();
         let mut dec = FrameDecoder::new();
         let started = Instant::now();
-        let err = recv(&mut stream, &mut dec, Instant::now() + Duration::from_millis(120));
+        let err = recv(
+            &mut stream,
+            &mut dec,
+            Instant::now() + Duration::from_millis(120),
+        );
         assert!(matches!(err, Err(WireError::TimedOut)), "{err:?}");
         assert!(started.elapsed() < Duration::from_secs(3));
         drop(listener);
@@ -240,6 +268,9 @@ mod tests {
         };
         let io = IoConfig::default();
         let err = send_oneway(&addr, &Message::QueryReply { ads: vec![] }, &io).unwrap_err();
-        assert!(matches!(err, WireError::Io(_) | WireError::TimedOut), "{err}");
+        assert!(
+            matches!(err, WireError::Io(_) | WireError::TimedOut),
+            "{err}"
+        );
     }
 }

@@ -44,7 +44,10 @@ impl fmt::Display for ConfigError {
 impl std::error::Error for ConfigError {}
 
 fn err(path: &str, message: impl Into<String>) -> ConfigError {
-    ConfigError { path: path.to_string(), message: message.into() }
+    ConfigError {
+        path: path.to_string(),
+        message: message.into(),
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -59,7 +62,11 @@ struct Reader<'a> {
 
 impl<'a> Reader<'a> {
     fn new(ad: &'a ClassAd, path: &str) -> Self {
-        Reader { ad, path: path.to_string(), policy: EvalPolicy::default() }
+        Reader {
+            ad,
+            path: path.to_string(),
+            policy: EvalPolicy::default(),
+        }
     }
 
     fn at(&self, name: &str) -> String {
@@ -85,7 +92,12 @@ impl<'a> Reader<'a> {
                 .as_int()
                 .filter(|i| *i >= 0)
                 .map(|i| i as u64)
-                .ok_or_else(|| err(&self.at(name), format!("expected a non-negative integer, got {v}"))),
+                .ok_or_else(|| {
+                    err(
+                        &self.at(name),
+                        format!("expected a non-negative integer, got {v}"),
+                    )
+                }),
         }
     }
 
@@ -96,27 +108,27 @@ impl<'a> Reader<'a> {
     fn i64(&self, name: &str, default: i64) -> Result<i64, ConfigError> {
         match self.value(name) {
             None => Ok(default),
-            Some(v) => {
-                v.as_int().ok_or_else(|| err(&self.at(name), format!("expected an integer, got {v}")))
-            }
+            Some(v) => v
+                .as_int()
+                .ok_or_else(|| err(&self.at(name), format!("expected an integer, got {v}"))),
         }
     }
 
     fn f64(&self, name: &str, default: f64) -> Result<f64, ConfigError> {
         match self.value(name) {
             None => Ok(default),
-            Some(v) => {
-                v.as_f64().ok_or_else(|| err(&self.at(name), format!("expected a number, got {v}")))
-            }
+            Some(v) => v
+                .as_f64()
+                .ok_or_else(|| err(&self.at(name), format!("expected a number, got {v}"))),
         }
     }
 
     fn bool(&self, name: &str, default: bool) -> Result<bool, ConfigError> {
         match self.value(name) {
             None => Ok(default),
-            Some(v) => {
-                v.as_bool().ok_or_else(|| err(&self.at(name), format!("expected a boolean, got {v}")))
-            }
+            Some(v) => v
+                .as_bool()
+                .ok_or_else(|| err(&self.at(name), format!("expected a boolean, got {v}"))),
         }
     }
 
@@ -145,9 +157,10 @@ impl<'a> Reader<'a> {
                 })
                 .collect(),
             Some(Value::Ad(ad)) => Ok(vec![(*ad).clone()]),
-            Some(other) => {
-                Err(err(&self.at(name), format!("expected a list of classads, got {other}")))
-            }
+            Some(other) => Err(err(
+                &self.at(name),
+                format!("expected a list of classads, got {other}"),
+            )),
         }
     }
 
@@ -155,7 +168,10 @@ impl<'a> Reader<'a> {
         match self.value(name) {
             None => Ok(None),
             Some(Value::Ad(ad)) => Ok(Some((*ad).clone())),
-            Some(other) => Err(err(&self.at(name), format!("expected a classad, got {other}"))),
+            Some(other) => Err(err(
+                &self.at(name),
+                format!("expected a classad, got {other}"),
+            )),
         }
     }
 
@@ -173,9 +189,10 @@ impl<'a> Reader<'a> {
                     )),
                 })
                 .collect(),
-            Some(other) => {
-                Err(err(&self.at(name), format!("expected a list of strings, got {other}")))
-            }
+            Some(other) => Err(err(
+                &self.at(name),
+                format!("expected a list of strings, got {other}"),
+            )),
         }
     }
 
@@ -187,13 +204,17 @@ impl<'a> Reader<'a> {
                 .enumerate()
                 .map(|(i, item)| {
                     item.as_int().ok_or_else(|| {
-                        err(&format!("{}[{i}]", self.at(name)), format!("expected an integer, got {item}"))
+                        err(
+                            &format!("{}[{i}]", self.at(name)),
+                            format!("expected an integer, got {item}"),
+                        )
                     })
                 })
                 .collect(),
-            Some(other) => {
-                Err(err(&self.at(name), format!("expected a list of integers, got {other}")))
-            }
+            Some(other) => Err(err(
+                &self.at(name),
+                format!("expected a list of integers, got {other}"),
+            )),
         }
     }
 }
@@ -227,11 +248,17 @@ fn activity_record(a: &OwnerActivity) -> Expr {
 fn policy_record(p: &PolicyConfig) -> Expr {
     match p {
         PolicyConfig::Always => record(vec![("Kind", Expr::str("Always"))]),
-        PolicyConfig::OwnerIdle { min_keyboard_idle_s } => record(vec![
+        PolicyConfig::OwnerIdle {
+            min_keyboard_idle_s,
+        } => record(vec![
             ("Kind", Expr::str("OwnerIdle")),
             ("MinKeyboardIdleS", Expr::int(*min_keyboard_idle_s)),
         ]),
-        PolicyConfig::Figure1 { research, friends, untrusted } => record(vec![
+        PolicyConfig::Figure1 {
+            research,
+            friends,
+            untrusted,
+        } => record(vec![
             ("Kind", Expr::str("Figure1")),
             ("Research", str_list(research)),
             ("Friends", str_list(friends)),
@@ -388,7 +415,11 @@ pub fn scenario_from_ad(ad: &ClassAd) -> Result<Scenario, ConfigError> {
                     }
                 }
             };
-            FleetSpec { count: fr.usize("Count", defaults.fleet.count)?, templates, activity }
+            FleetSpec {
+                count: fr.usize("Count", defaults.fleet.count)?,
+                templates,
+                activity,
+            }
         }
     };
 
@@ -398,9 +429,9 @@ pub fn scenario_from_ad(ad: &ClassAd) -> Result<Scenario, ConfigError> {
             let pr = Reader::new(&pad, "Policy");
             match pr.string("Kind", "OwnerIdle")?.as_str() {
                 "Always" => PolicyConfig::Always,
-                "OwnerIdle" => {
-                    PolicyConfig::OwnerIdle { min_keyboard_idle_s: pr.i64("MinKeyboardIdleS", 300)? }
-                }
+                "OwnerIdle" => PolicyConfig::OwnerIdle {
+                    min_keyboard_idle_s: pr.i64("MinKeyboardIdleS", 300)?,
+                },
                 "Figure1" => PolicyConfig::Figure1 {
                     research: pr.string_list("Research")?,
                     friends: pr.string_list("Friends")?,
@@ -484,7 +515,11 @@ pub fn scenario_from_ad(ad: &ClassAd) -> Result<Scenario, ConfigError> {
         seed: r.i64("Seed", defaults.seed as i64)? as u64,
         fleet,
         policy,
-        users: if users.is_empty() && !ad.contains("Users") { defaults.users } else { users },
+        users: if users.is_empty() && !ad.contains("Users") {
+            defaults.users
+        } else {
+            users
+        },
         gang_users,
         licenses: r.usize("Licenses", defaults.licenses)?,
         license_product: r.string("LicenseProduct", &defaults.license_product)?,
@@ -519,8 +554,14 @@ mod tests {
             seed: 99,
             fleet: FleetSpec {
                 count: 7,
-                templates: vec![MachineTemplate::intel_solaris(), MachineTemplate::sparc_solaris()],
-                activity: OwnerActivity { day_length_ms: 1000, ..Default::default() },
+                templates: vec![
+                    MachineTemplate::intel_solaris(),
+                    MachineTemplate::sparc_solaris(),
+                ],
+                activity: OwnerActivity {
+                    day_length_ms: 1000,
+                    ..Default::default()
+                },
             },
             policy: PolicyConfig::Figure1 {
                 research: vec!["raman".into()],
@@ -537,7 +578,11 @@ mod tests {
             }],
             licenses: 2,
             license_product: "matlab".into(),
-            network: NetworkModel { base_latency_ms: 9, jitter_ms: 1, drop_prob: 0.25 },
+            network: NetworkModel {
+                base_latency_ms: 9,
+                jitter_ms: 1,
+                drop_prob: 0.25,
+            },
             advertise_period_ms: 111,
             negotiation_period_ms: 222,
             push_ads_on_change: false,
@@ -606,8 +651,7 @@ mod tests {
     #[test]
     fn computed_attributes_work() {
         // Config values can be expressions: the classad evaluator runs.
-        let back =
-            scenario_from_str("[ DurationMs = 8 * 3600 * 1000; Seed = 40 + 2 ]").unwrap();
+        let back = scenario_from_str("[ DurationMs = 8 * 3600 * 1000; Seed = 40 + 2 ]").unwrap();
         assert_eq!(back.duration_ms, 8 * 3600 * 1000);
         assert_eq!(back.seed, 42);
     }

@@ -59,8 +59,7 @@ impl Ctx<'_> {
             None => {
                 // Reliable class: loss shows up as retransmission delay,
                 // not as message loss.
-                let latency =
-                    self.network.base_latency_ms + self.network.jitter_ms + 1;
+                let latency = self.network.base_latency_ms + self.network.jitter_ms + 1;
                 self.queue.schedule(latency * 3, Event::Deliver { to, msg });
                 true
             }

@@ -7,9 +7,7 @@ use crate::ctx::Ctx;
 use crate::metrics::JobRecord;
 use crate::types::{CustomerTimer, Event, Job, JobState, NodeId, SimMsg};
 use crate::workload::JobArrival;
-use matchmaker::protocol::{
-    Advertisement, ClaimRequest, EntityKind, Message,
-};
+use matchmaker::protocol::{Advertisement, ClaimRequest, EntityKind, Message};
 use std::collections::VecDeque;
 
 /// A simulated Customer Agent holding one user's job queue.
@@ -58,7 +56,10 @@ impl CustomerAgent {
 
     /// Jobs not yet completed.
     pub fn incomplete_jobs(&self) -> usize {
-        self.jobs.iter().filter(|j| !matches!(j.state, JobState::Completed { .. })).count()
+        self.jobs
+            .iter()
+            .filter(|j| !matches!(j.state, JobState::Completed { .. }))
+            .count()
     }
 
     /// All jobs done and no arrivals pending?
@@ -70,11 +71,20 @@ impl CustomerAgent {
     pub fn start(&mut self, ctx: &mut Ctx<'_>) {
         if let Some(first) = self.arrivals.front() {
             let delay = first.at.saturating_sub(ctx.now);
-            ctx.schedule(delay, Event::Customer { node: self.id, tag: CustomerTimer::JobArrival });
+            ctx.schedule(
+                delay,
+                Event::Customer {
+                    node: self.id,
+                    tag: CustomerTimer::JobArrival,
+                },
+            );
         }
         ctx.schedule(
             self.advertise_period_ms,
-            Event::Customer { node: self.id, tag: CustomerTimer::Advertise },
+            Event::Customer {
+                node: self.id,
+                tag: CustomerTimer::Advertise,
+            },
         );
     }
 
@@ -109,7 +119,13 @@ impl CustomerAgent {
         self.advertise_idle(ctx);
         if let Some(next) = self.arrivals.front() {
             let delay = next.at.saturating_sub(ctx.now).max(1);
-            ctx.schedule(delay, Event::Customer { node: self.id, tag: CustomerTimer::JobArrival });
+            ctx.schedule(
+                delay,
+                Event::Customer {
+                    node: self.id,
+                    tag: CustomerTimer::JobArrival,
+                },
+            );
         }
     }
 
@@ -140,7 +156,10 @@ impl CustomerAgent {
                 self.advertise_idle(ctx);
                 ctx.schedule(
                     self.advertise_period_ms,
-                    Event::Customer { node: self.id, tag: CustomerTimer::Advertise },
+                    Event::Customer {
+                        node: self.id,
+                        tag: CustomerTimer::Advertise,
+                    },
                 );
             }
         }
@@ -164,11 +183,15 @@ impl CustomerAgent {
                 };
                 let contact = n.peer_contact.clone();
                 let Some(ticket) = n.ticket else { return };
-                let Some(job) = self.job_by_name_mut(&name) else { return };
+                let Some(job) = self.job_by_name_mut(&name) else {
+                    return;
+                };
                 if !matches!(job.state, JobState::Idle) {
                     return; // stale notification; job moved on
                 }
-                job.state = JobState::Claiming { provider: contact.clone() };
+                job.state = JobState::Claiming {
+                    provider: contact.clone(),
+                };
                 // Claim with the job's *current* ad (weak consistency:
                 // RemainingWork may differ from the advertised copy).
                 let req = ClaimRequest {
@@ -182,8 +205,11 @@ impl CustomerAgent {
             SimMsg::Proto(Message::ClaimReply(resp)) => {
                 // Find the job that was claiming. (One claim in flight per
                 // provider contact; the reply carries the provider's ad.)
-                let provider =
-                    resp.provider_ad.get_string("Name").unwrap_or_default().to_string();
+                let provider = resp
+                    .provider_ad
+                    .get_string("Name")
+                    .unwrap_or_default()
+                    .to_string();
                 let accepted = resp.accepted;
                 let now = ctx.now;
                 // Contacts are `name:port`; match on the name component
@@ -202,7 +228,10 @@ impl CustomerAgent {
                         JobState::Claiming { provider } => provider.clone(),
                         _ => unreachable!(),
                     };
-                    job.state = JobState::Running { provider: provider_contact, since: now };
+                    job.state = JobState::Running {
+                        provider: provider_contact,
+                        since: now,
+                    };
                 } else {
                     job.state = JobState::Idle;
                     if let Some(why) = resp.rejection {
@@ -214,7 +243,9 @@ impl CustomerAgent {
             }
             SimMsg::JobFinished { job_id } => {
                 let now = ctx.now;
-                let Some(job) = self.job_by_id_mut(job_id) else { return };
+                let Some(job) = self.job_by_id_mut(job_id) else {
+                    return;
+                };
                 job.remaining_ms = 0;
                 job.state = JobState::Completed { at: now };
                 let rec = JobRecord {
@@ -230,7 +261,9 @@ impl CustomerAgent {
                 ctx.metrics.job_completed(rec);
             }
             SimMsg::Vacated { job_id, done_ms } => {
-                let Some(job) = self.job_by_id_mut(job_id) else { return };
+                let Some(job) = self.job_by_id_mut(job_id) else {
+                    return;
+                };
                 job.vacations += 1;
                 if job.want_checkpoint {
                     // Progress is preserved.
@@ -351,7 +384,10 @@ mod tests {
     fn stale_notification_ignored_when_running() {
         let mut h = Harness::new();
         let mut ca = agent_with_one_job(&mut h);
-        ca.jobs[0].state = JobState::Running { provider: "x".into(), since: 0 };
+        ca.jobs[0].state = JobState::Running {
+            provider: "x".into(),
+            since: 0,
+        };
         let n = notify_for(&ca);
         let mut ctx = h.ctx();
         ca.on_message(n, &mut ctx);
@@ -363,7 +399,9 @@ mod tests {
     fn accepted_reply_starts_job() {
         let mut h = Harness::new();
         let mut ca = agent_with_one_job(&mut h);
-        ca.jobs[0].state = JobState::Claiming { provider: "m:9614".into() };
+        ca.jobs[0].state = JobState::Claiming {
+            provider: "m:9614".into(),
+        };
         let reply = SimMsg::Proto(Message::ClaimReply(matchmaker::protocol::ClaimResponse {
             accepted: true,
             rejection: None,
@@ -379,7 +417,9 @@ mod tests {
     fn rejected_reply_returns_job_to_idle() {
         let mut h = Harness::new();
         let mut ca = agent_with_one_job(&mut h);
-        ca.jobs[0].state = JobState::Claiming { provider: "m:9614".into() };
+        ca.jobs[0].state = JobState::Claiming {
+            provider: "m:9614".into(),
+        };
         let reply = SimMsg::Proto(Message::ClaimReply(matchmaker::protocol::ClaimResponse {
             accepted: false,
             rejection: Some(matchmaker::protocol::ClaimRejection::ConstraintFailed),
@@ -408,13 +448,16 @@ mod tests {
             ca.start(&mut ctx);
             ca.on_timer(CustomerTimer::JobArrival, &mut ctx);
         }
-        ca.jobs[0].state = JobState::Claiming { provider: "m10:9614".into() };
-        ca.jobs[1].state = JobState::Claiming { provider: "m1:9614".into() };
+        ca.jobs[0].state = JobState::Claiming {
+            provider: "m10:9614".into(),
+        };
+        ca.jobs[1].state = JobState::Claiming {
+            provider: "m1:9614".into(),
+        };
         let reply = SimMsg::Proto(Message::ClaimReply(matchmaker::protocol::ClaimResponse {
             accepted: true,
             rejection: None,
-            provider_ad: classad::parse_classad(r#"[ Name = "m1"; Type = "Machine" ]"#)
-                .unwrap(),
+            provider_ad: classad::parse_classad(r#"[ Name = "m1"; Type = "Machine" ]"#).unwrap(),
         }));
         let mut ctx = h.ctx();
         ca.on_message(reply, &mut ctx);
@@ -433,7 +476,10 @@ mod tests {
         let mut h = Harness::new();
         let mut ca = agent_with_one_job(&mut h);
         let id = ca.jobs[0].id;
-        ca.jobs[0].state = JobState::Running { provider: "m:9614".into(), since: 0 };
+        ca.jobs[0].state = JobState::Running {
+            provider: "m:9614".into(),
+            since: 0,
+        };
         ca.jobs[0].first_start = Some(0);
         let mut ctx = h.ctx();
         ca.on_message(SimMsg::JobFinished { job_id: id }, &mut ctx);
@@ -447,9 +493,18 @@ mod tests {
         let mut h = Harness::new();
         let mut ca = agent_with_one_job(&mut h);
         let id = ca.jobs[0].id;
-        ca.jobs[0].state = JobState::Running { provider: "m:9614".into(), since: 0 };
+        ca.jobs[0].state = JobState::Running {
+            provider: "m:9614".into(),
+            since: 0,
+        };
         let mut ctx = h.ctx();
-        ca.on_message(SimMsg::Vacated { job_id: id, done_ms: 4_000 }, &mut ctx);
+        ca.on_message(
+            SimMsg::Vacated {
+                job_id: id,
+                done_ms: 4_000,
+            },
+            &mut ctx,
+        );
         assert_eq!(ca.jobs[0].remaining_ms, 6_000);
         assert_eq!(ca.jobs[0].wasted_ms, 0);
         assert_eq!(ca.jobs[0].vacations, 1);
@@ -463,7 +518,10 @@ mod tests {
             1,
             0,
             "bob",
-            vec![JobArrival { want_checkpoint: false, ..arrival(10_000) }],
+            vec![JobArrival {
+                want_checkpoint: false,
+                ..arrival(10_000)
+            }],
             60_000,
             0,
         );
@@ -473,9 +531,18 @@ mod tests {
             ca.on_timer(CustomerTimer::JobArrival, &mut ctx);
         }
         let id = ca.jobs[0].id;
-        ca.jobs[0].state = JobState::Running { provider: "m:9614".into(), since: 0 };
+        ca.jobs[0].state = JobState::Running {
+            provider: "m:9614".into(),
+            since: 0,
+        };
         let mut ctx = h.ctx();
-        ca.on_message(SimMsg::Vacated { job_id: id, done_ms: 4_000 }, &mut ctx);
+        ca.on_message(
+            SimMsg::Vacated {
+                job_id: id,
+                done_ms: 4_000,
+            },
+            &mut ctx,
+        );
         assert_eq!(ca.jobs[0].remaining_ms, 10_000, "restart from scratch");
         assert_eq!(ca.jobs[0].wasted_ms, 4_000);
     }

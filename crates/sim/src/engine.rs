@@ -54,7 +54,12 @@ pub struct EventQueue<E> {
 
 impl<E> Default for EventQueue<E> {
     fn default() -> Self {
-        EventQueue { heap: BinaryHeap::new(), now: 0, next_seq: 0, processed: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: 0,
+            next_seq: 0,
+            processed: 0,
+        }
     }
 }
 

@@ -113,7 +113,10 @@ impl GangCustomerAgent {
 
     /// Gangs not yet completed.
     pub fn incomplete(&self) -> usize {
-        self.gangs.iter().filter(|g| g.state != GangState::Completed).count()
+        self.gangs
+            .iter()
+            .filter(|g| g.state != GangState::Completed)
+            .count()
     }
 
     /// The gang request ad (envelope + ports) for a queued gang.
@@ -151,11 +154,20 @@ impl GangCustomerAgent {
     pub fn start(&mut self, ctx: &mut Ctx<'_>) {
         if let Some((at, _, _)) = self.arrivals.front() {
             let delay = at.saturating_sub(ctx.now);
-            ctx.schedule(delay, Event::GangCustomer { node: self.id, tag: GangTimer::Arrival });
+            ctx.schedule(
+                delay,
+                Event::GangCustomer {
+                    node: self.id,
+                    tag: GangTimer::Arrival,
+                },
+            );
         }
         ctx.schedule(
             self.advertise_period_ms,
-            Event::GangCustomer { node: self.id, tag: GangTimer::Advertise },
+            Event::GangCustomer {
+                node: self.id,
+                tag: GangTimer::Advertise,
+            },
         );
     }
 
@@ -206,7 +218,10 @@ impl GangCustomerAgent {
                     let delay = at.saturating_sub(ctx.now).max(1);
                     ctx.schedule(
                         delay,
-                        Event::GangCustomer { node: self.id, tag: GangTimer::Arrival },
+                        Event::GangCustomer {
+                            node: self.id,
+                            tag: GangTimer::Arrival,
+                        },
                     );
                 }
             }
@@ -214,7 +229,10 @@ impl GangCustomerAgent {
                 self.advertise_idle(ctx);
                 ctx.schedule(
                     self.advertise_period_ms,
-                    Event::GangCustomer { node: self.id, tag: GangTimer::Advertise },
+                    Event::GangCustomer {
+                        node: self.id,
+                        tag: GangTimer::Advertise,
+                    },
                 );
             }
         }
@@ -233,7 +251,9 @@ impl GangCustomerAgent {
 
     fn on_grant(&mut self, gang_name: String, ports: Vec<GangPortInfo>, ctx: &mut Ctx<'_>) {
         // Build the claim payload before borrowing the gang mutably.
-        let Some(idx) = self.gangs.iter().position(|g| g.name == gang_name) else { return };
+        let Some(idx) = self.gangs.iter().position(|g| g.name == gang_name) else {
+            return;
+        };
         if self.gangs[idx].state != GangState::Idle {
             return; // stale grant
         }
@@ -253,15 +273,18 @@ impl GangCustomerAgent {
                 })),
             );
         }
-        self.gangs[idx].state = GangState::Claiming { pending: ports, claimed: Vec::new() };
+        self.gangs[idx].state = GangState::Claiming {
+            pending: ports,
+            claimed: Vec::new(),
+        };
     }
 
-    fn on_claim_reply(
-        &mut self,
-        resp: matchmaker::protocol::ClaimResponse,
-        ctx: &mut Ctx<'_>,
-    ) {
-        let provider = resp.provider_ad.get_string("Name").unwrap_or_default().to_string();
+    fn on_claim_reply(&mut self, resp: matchmaker::protocol::ClaimResponse, ctx: &mut Ctx<'_>) {
+        let provider = resp
+            .provider_ad
+            .get_string("Name")
+            .unwrap_or_default()
+            .to_string();
         let now = ctx.now;
         // A late reply for a gang that already aborted: if the provider
         // accepted, release the seat immediately, or it leaks.
@@ -269,7 +292,9 @@ impl GangCustomerAgent {
             if resp.accepted {
                 ctx.send_to_contact(
                     &port.contact,
-                    SimMsg::Proto(Message::Release { ticket: port.ticket }),
+                    SimMsg::Proto(Message::Release {
+                        ticket: port.ticket,
+                    }),
                 );
             }
             return;
@@ -281,16 +306,24 @@ impl GangCustomerAgent {
         }) else {
             return;
         };
-        let GangState::Claiming { pending, claimed } = &mut gang.state else { unreachable!() };
-        let pos = pending.iter().position(|p| p.offer_name == provider).unwrap();
+        let GangState::Claiming { pending, claimed } = &mut gang.state else {
+            unreachable!()
+        };
+        let pos = pending
+            .iter()
+            .position(|p| p.offer_name == provider)
+            .unwrap();
         let port = pending.remove(pos);
         if resp.accepted {
             claimed.push(port);
             if pending.is_empty() {
                 // All ports claimed: the compute port is now executing.
                 gang.first_start.get_or_insert(now);
-                let auxiliary: Vec<GangPortInfo> =
-                    claimed.iter().filter(|p| p.offer_type != "Machine").cloned().collect();
+                let auxiliary: Vec<GangPortInfo> = claimed
+                    .iter()
+                    .filter(|p| p.offer_type != "Machine")
+                    .cloned()
+                    .collect();
                 gang.state = GangState::Running { auxiliary };
             }
         } else {
@@ -303,7 +336,10 @@ impl GangCustomerAgent {
             let in_flight: Vec<GangPortInfo> = std::mem::take(pending);
             gang.state = GangState::Idle;
             for p in to_release {
-                ctx.send_to_contact(&p.contact, SimMsg::Proto(Message::Release { ticket: p.ticket }));
+                ctx.send_to_contact(
+                    &p.contact,
+                    SimMsg::Proto(Message::Release { ticket: p.ticket }),
+                );
             }
             for p in in_flight {
                 self.orphan_claims.insert(p.offer_name.clone(), p);
@@ -313,7 +349,9 @@ impl GangCustomerAgent {
 
     fn on_finished(&mut self, job_id: u64, ctx: &mut Ctx<'_>) {
         let now = ctx.now;
-        let Some(gang) = self.gangs.iter_mut().find(|g| g.id == job_id) else { return };
+        let Some(gang) = self.gangs.iter_mut().find(|g| g.id == job_id) else {
+            return;
+        };
         let aux = match &gang.state {
             GangState::Running { auxiliary } => auxiliary.clone(),
             _ => Vec::new(),
@@ -331,14 +369,19 @@ impl GangCustomerAgent {
         });
         // Release the auxiliary resources (e.g. the license seat).
         for p in aux {
-            ctx.send_to_contact(&p.contact, SimMsg::Proto(Message::Release { ticket: p.ticket }));
+            ctx.send_to_contact(
+                &p.contact,
+                SimMsg::Proto(Message::Release { ticket: p.ticket }),
+            );
         }
     }
 
     fn on_vacated(&mut self, job_id: u64, ctx: &mut Ctx<'_>) {
         // The compute port was vacated (owner returned): release the
         // auxiliary ports and retry the whole gang.
-        let Some(gang) = self.gangs.iter_mut().find(|g| g.id == job_id) else { return };
+        let Some(gang) = self.gangs.iter_mut().find(|g| g.id == job_id) else {
+            return;
+        };
         let aux = match &gang.state {
             GangState::Running { auxiliary } => auxiliary.clone(),
             _ => Vec::new(),
@@ -346,7 +389,10 @@ impl GangCustomerAgent {
         gang.aborts += 1;
         gang.state = GangState::Idle;
         for p in aux {
-            ctx.send_to_contact(&p.contact, SimMsg::Proto(Message::Release { ticket: p.ticket }));
+            ctx.send_to_contact(
+                &p.contact,
+                SimMsg::Proto(Message::Release { ticket: p.ticket }),
+            );
         }
         self.advertise_idle(ctx);
     }
@@ -397,15 +443,8 @@ mod tests {
     }
 
     fn agent_with_gang(h: &mut H) -> GangCustomerAgent {
-        let mut ga = GangCustomerAgent::new(
-            1,
-            0,
-            "raman",
-            "matlab",
-            vec![(0, 60_000, 31)],
-            60_000,
-            5000,
-        );
+        let mut ga =
+            GangCustomerAgent::new(1, 0, "raman", "matlab", vec![(0, 60_000, 31)], 60_000, 5000);
         let mut ctx = h.ctx();
         ga.start(&mut ctx);
         ga.on_timer(GangTimer::Arrival, &mut ctx);
@@ -439,7 +478,11 @@ mod tests {
             },
             provider_ad: classad::parse_classad(&format!(
                 r#"[ Name = "{provider}"; Type = "{}" ]"#,
-                if provider == "m" { "Machine" } else { "License" }
+                if provider == "m" {
+                    "Machine"
+                } else {
+                    "License"
+                }
             ))
             .unwrap(),
         }))
@@ -462,7 +505,13 @@ mod tests {
         let mut ga = agent_with_gang(&mut h);
         let name = ga.gangs[0].name.clone();
         let mut ctx = h.ctx();
-        ga.on_message(SimMsg::GangNotify { gang_name: name, ports: ports() }, &mut ctx);
+        ga.on_message(
+            SimMsg::GangNotify {
+                gang_name: name,
+                ports: ports(),
+            },
+            &mut ctx,
+        );
         assert_eq!(h.metrics.claim_attempts, 2);
         assert!(matches!(ga.gangs[0].state, GangState::Claiming { .. }));
     }
@@ -474,7 +523,13 @@ mod tests {
         let name = ga.gangs[0].name.clone();
         {
             let mut ctx = h.ctx();
-            ga.on_message(SimMsg::GangNotify { gang_name: name, ports: ports() }, &mut ctx);
+            ga.on_message(
+                SimMsg::GangNotify {
+                    gang_name: name,
+                    ports: ports(),
+                },
+                &mut ctx,
+            );
             ga.on_message(reply("lic", true), &mut ctx);
             ga.on_message(reply("m", true), &mut ctx);
         }
@@ -495,18 +550,32 @@ mod tests {
         let name = ga.gangs[0].name.clone();
         {
             let mut ctx = h.ctx();
-            ga.on_message(SimMsg::GangNotify { gang_name: name, ports: ports() }, &mut ctx);
+            ga.on_message(
+                SimMsg::GangNotify {
+                    gang_name: name,
+                    ports: ports(),
+                },
+                &mut ctx,
+            );
             // License accepted first, then the machine refuses.
             ga.on_message(reply("lic", true), &mut ctx);
             ga.on_message(reply("m", false), &mut ctx);
         }
-        assert_eq!(ga.gangs[0].state, GangState::Idle, "gang retries from scratch");
+        assert_eq!(
+            ga.gangs[0].state,
+            GangState::Idle,
+            "gang retries from scratch"
+        );
         assert_eq!(ga.gangs[0].aborts, 1);
         assert_eq!(h.metrics.gangs_aborted, 1);
         // A Release was queued for the license seat.
         let mut release_seen = false;
         while let Some((_, ev)) = h.queue.pop() {
-            if let Event::Deliver { to: 6, msg: SimMsg::Proto(Message::Release { .. }) } = ev {
+            if let Event::Deliver {
+                to: 6,
+                msg: SimMsg::Proto(Message::Release { .. }),
+            } = ev
+            {
                 release_seen = true;
             }
         }
@@ -521,7 +590,13 @@ mod tests {
         let id = ga.gangs[0].id;
         {
             let mut ctx = h.ctx();
-            ga.on_message(SimMsg::GangNotify { gang_name: name, ports: ports() }, &mut ctx);
+            ga.on_message(
+                SimMsg::GangNotify {
+                    gang_name: name,
+                    ports: ports(),
+                },
+                &mut ctx,
+            );
             ga.on_message(reply("m", true), &mut ctx);
             ga.on_message(reply("lic", true), &mut ctx);
             ga.on_message(SimMsg::JobFinished { job_id: id }, &mut ctx);
@@ -540,7 +615,13 @@ mod tests {
         let name = ga.gangs[0].name.clone();
         {
             let mut ctx = h.ctx();
-            ga.on_message(SimMsg::GangNotify { gang_name: name, ports: ports() }, &mut ctx);
+            ga.on_message(
+                SimMsg::GangNotify {
+                    gang_name: name,
+                    ports: ports(),
+                },
+                &mut ctx,
+            );
             ga.on_message(reply("m", false), &mut ctx); // abort, license pending
         }
         assert_eq!(ga.gangs[0].state, GangState::Idle);
@@ -550,11 +631,18 @@ mod tests {
         }
         let mut release_to_license = false;
         while let Some((_, ev)) = h.queue.pop() {
-            if let Event::Deliver { to: 6, msg: SimMsg::Proto(Message::Release { .. }) } = ev {
+            if let Event::Deliver {
+                to: 6,
+                msg: SimMsg::Proto(Message::Release { .. }),
+            } = ev
+            {
                 release_to_license = true;
             }
         }
-        assert!(release_to_license, "late-accepted orphan seat must be released");
+        assert!(
+            release_to_license,
+            "late-accepted orphan seat must be released"
+        );
         // And the orphan entry is consumed (no double release on replays).
         let mut ctx = h.ctx();
         ga.on_message(reply("lic", true), &mut ctx);
@@ -569,10 +657,22 @@ mod tests {
         let id = ga.gangs[0].id;
         {
             let mut ctx = h.ctx();
-            ga.on_message(SimMsg::GangNotify { gang_name: name, ports: ports() }, &mut ctx);
+            ga.on_message(
+                SimMsg::GangNotify {
+                    gang_name: name,
+                    ports: ports(),
+                },
+                &mut ctx,
+            );
             ga.on_message(reply("m", true), &mut ctx);
             ga.on_message(reply("lic", true), &mut ctx);
-            ga.on_message(SimMsg::Vacated { job_id: id, done_ms: 100 }, &mut ctx);
+            ga.on_message(
+                SimMsg::Vacated {
+                    job_id: id,
+                    done_ms: 100,
+                },
+                &mut ctx,
+            );
         }
         assert_eq!(ga.gangs[0].state, GangState::Idle);
         assert_eq!(ga.gangs[0].aborts, 1);

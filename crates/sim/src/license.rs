@@ -60,7 +60,11 @@ impl LicenseAgent {
 
     /// The license's current classad.
     pub fn build_ad(&self) -> ClassAd {
-        let state = if self.is_claimed() { "Claimed" } else { "Unclaimed" };
+        let state = if self.is_claimed() {
+            "Claimed"
+        } else {
+            "Unclaimed"
+        };
         classad::parse_classad(&format!(
             r#"[ Name = "{name}"; Type = "License";
                  Product = "{product}"; Seats = 1;
@@ -76,7 +80,13 @@ impl LicenseAgent {
     /// Initialize: schedule the first advertisement (jittered).
     pub fn start(&mut self, ctx: &mut Ctx<'_>) {
         let jitter = ctx.rng.gen_range(0..self.advertise_period_ms.max(1));
-        ctx.schedule(jitter, Event::License { node: self.id, tag: LicenseTimer::Advertise });
+        ctx.schedule(
+            jitter,
+            Event::License {
+                node: self.id,
+                tag: LicenseTimer::Advertise,
+            },
+        );
     }
 
     fn advertise(&mut self, ctx: &mut Ctx<'_>) {
@@ -104,7 +114,10 @@ impl LicenseAgent {
                 self.advertise(ctx);
                 ctx.schedule(
                     self.advertise_period_ms,
-                    Event::License { node: self.id, tag: LicenseTimer::Advertise },
+                    Event::License {
+                        node: self.id,
+                        tag: LicenseTimer::Advertise,
+                    },
                 );
             }
         }
@@ -228,10 +241,7 @@ mod tests {
         }
         assert!(lic.is_claimed());
         let mut ctx = h.ctx();
-        lic.on_message(
-            SimMsg::Proto(Message::Release { ticket }),
-            &mut ctx,
-        );
+        lic.on_message(SimMsg::Proto(Message::Release { ticket }), &mut ctx);
         assert!(!lic.is_claimed());
     }
 

@@ -15,12 +15,10 @@ use crate::engine::{SimTime, MS_PER_SEC};
 use crate::types::{Event, MachineTimer, NodeId, SimMsg};
 use crate::workload::MachineSpec;
 use classad::{rank_of, ClassAd, EvalPolicy, MatchConventions, Value};
-use rand::Rng;
 use matchmaker::claim::ClaimHandler;
-use matchmaker::protocol::{
-    Advertisement, ClaimRequest, EntityKind, Message,
-};
+use matchmaker::protocol::{Advertisement, ClaimRequest, EntityKind, Message};
 use matchmaker::ticket::TicketIssuer;
+use rand::Rng;
 
 /// Reference speed: a machine with `Mips == 100` executes one
 /// reference-millisecond of work per millisecond.
@@ -57,8 +55,7 @@ const COMPUTE_CUSTOMER: &str = "(other.Type == \"Job\" || other.Type == \"Gang\"
 
 impl MachinePolicy {
     fn list(src: &[String]) -> String {
-        let items: Vec<String> =
-            src.iter().map(|s| format!("\"{s}\"")).collect();
+        let items: Vec<String> = src.iter().map(|s| format!("\"{s}\"")).collect();
         format!("{{ {} }}", items.join(", "))
     }
 
@@ -66,9 +63,9 @@ impl MachinePolicy {
     pub fn constraint_src(&self) -> String {
         match self {
             MachinePolicy::Always => COMPUTE_CUSTOMER.to_string(),
-            MachinePolicy::OwnerIdle { min_keyboard_idle_s } => format!(
-                "{COMPUTE_CUSTOMER} && KeyboardIdle >= {min_keyboard_idle_s}"
-            ),
+            MachinePolicy::OwnerIdle {
+                min_keyboard_idle_s,
+            } => format!("{COMPUTE_CUSTOMER} && KeyboardIdle >= {min_keyboard_idle_s}"),
             MachinePolicy::Figure1 { .. } => {
                 // Figure 1's policy in its prose-faithful reading: the
                 // paper's text says untrusted users are *never* served, so
@@ -91,8 +88,7 @@ impl MachinePolicy {
         match self {
             MachinePolicy::Always | MachinePolicy::OwnerIdle { .. } => "0".to_string(),
             MachinePolicy::Figure1 { .. } => {
-                "member(other.Owner, ResearchGroup) * 10 + member(other.Owner, Friends)"
-                    .to_string()
+                "member(other.Owner, ResearchGroup) * 10 + member(other.Owner, Friends)".to_string()
             }
         }
     }
@@ -236,12 +232,21 @@ impl MachineAgent {
             memory = self.spec.memory,
             disk = self.spec.disk,
             state = state,
-            activity = if self.running.is_some() { "Busy" } else { "Idle" },
+            activity = if self.running.is_some() {
+                "Busy"
+            } else {
+                "Idle"
+            },
             load = load,
             kbd = self.keyboard_idle_s(now),
             day = day_time_s,
         );
-        if let MachinePolicy::Figure1 { research, friends, untrusted } = &self.policy {
+        if let MachinePolicy::Figure1 {
+            research,
+            friends,
+            untrusted,
+        } = &self.policy
+        {
             src.push_str(&format!(
                 "ResearchGroup = {};\nFriends = {};\nUntrusted = {};\n",
                 MachinePolicy::list(research),
@@ -270,9 +275,24 @@ impl MachineAgent {
         self.owner_left_at = 0;
         // Stagger first advertisements so the pool doesn't thunder.
         let jitter = ctx.rng.gen_range(0..self.advertise_period_ms.max(1));
-        ctx.schedule(jitter, Event::Machine { node: self.id, tag: MachineTimer::Advertise });
-        let toggle = self.spec.activity.sample_period(ctx.rng, self.owner_present, ctx.now);
-        ctx.schedule(toggle, Event::Machine { node: self.id, tag: MachineTimer::OwnerToggle });
+        ctx.schedule(
+            jitter,
+            Event::Machine {
+                node: self.id,
+                tag: MachineTimer::Advertise,
+            },
+        );
+        let toggle = self
+            .spec
+            .activity
+            .sample_period(ctx.rng, self.owner_present, ctx.now);
+        ctx.schedule(
+            toggle,
+            Event::Machine {
+                node: self.id,
+                tag: MachineTimer::OwnerToggle,
+            },
+        );
     }
 
     fn advertise(&mut self, ctx: &mut Ctx<'_>) {
@@ -298,7 +318,10 @@ impl MachineAgent {
                 self.advertise(ctx);
                 ctx.schedule(
                     self.advertise_period_ms,
-                    Event::Machine { node: self.id, tag: MachineTimer::Advertise },
+                    Event::Machine {
+                        node: self.id,
+                        tag: MachineTimer::Advertise,
+                    },
                 );
             }
             MachineTimer::OwnerToggle => {
@@ -321,11 +344,16 @@ impl MachineAgent {
                 if self.push_on_change {
                     self.advertise(ctx);
                 }
-                let next =
-                    self.spec.activity.sample_period(ctx.rng, self.owner_present, ctx.now);
+                let next = self
+                    .spec
+                    .activity
+                    .sample_period(ctx.rng, self.owner_present, ctx.now);
                 ctx.schedule(
                     next,
-                    Event::Machine { node: self.id, tag: MachineTimer::OwnerToggle },
+                    Event::Machine {
+                        node: self.id,
+                        tag: MachineTimer::OwnerToggle,
+                    },
                 );
             }
             MachineTimer::JobDone { generation } => {
@@ -359,13 +387,17 @@ impl MachineAgent {
         // Preemption policy: displace the current claimant only for a
         // request this machine ranks strictly higher.
         let current_rank = self.running.as_ref().map(|r| r.rank).unwrap_or(0.0);
-        let eval_policy = EvalPolicy { now: Some((ctx.now / MS_PER_SEC) as i64), ..self.eval_policy.clone() };
+        let eval_policy = EvalPolicy {
+            now: Some((ctx.now / MS_PER_SEC) as i64),
+            ..self.eval_policy.clone()
+        };
         let conventions = self.conventions.clone();
         let new_rank = rank_of(&current_ad, &req.customer_ad, &eval_policy, &conventions);
         let preemptible = |_req: &ClaimRequest| new_rank > current_rank;
 
-        let (resp, displaced) =
-            self.claim.handle_claim(&req, &current_ad, ctx.now, preemptible);
+        let (resp, displaced) = self
+            .claim
+            .handle_claim(&req, &current_ad, ctx.now, preemptible);
         let accepted = resp.accepted;
         let reply_to = req.customer_contact.clone();
 
@@ -376,7 +408,9 @@ impl MachineAgent {
                 self.vacate(ctx);
                 // `vacate` resets claim state; re-establish the new claim.
                 self.claim.set_ticket(req.ticket);
-                let again = self.claim.handle_claim(&req, &current_ad, ctx.now, |_| true);
+                let again = self
+                    .claim
+                    .handle_claim(&req, &current_ad, ctx.now, |_| true);
                 debug_assert!(again.0.accepted);
             }
             // Extract execution parameters from the *current* customer ad.
@@ -412,7 +446,9 @@ impl MachineAgent {
                 runtime_ms.max(1),
                 Event::Machine {
                     node: self.id,
-                    tag: MachineTimer::JobDone { generation: self.generation },
+                    tag: MachineTimer::JobDone {
+                        generation: self.generation,
+                    },
                 },
             );
             ctx.metrics.claims_accepted += 1;
@@ -442,7 +478,9 @@ impl MachineAgent {
 
     /// The running job finished: notify the customer and free the slot.
     fn complete(&mut self, ctx: &mut Ctx<'_>) {
-        let Some(run) = self.running.clone() else { return };
+        let Some(run) = self.running.clone() else {
+            return;
+        };
         ctx.metrics.trace.record(
             ctx.now,
             crate::trace::TraceEvent::JobFinished {
@@ -450,7 +488,10 @@ impl MachineAgent {
                 job: run.job_id,
             },
         );
-        ctx.send_to_contact(&run.customer_contact, SimMsg::JobFinished { job_id: run.job_id });
+        ctx.send_to_contact(
+            &run.customer_contact,
+            SimMsg::JobFinished { job_id: run.job_id },
+        );
         self.finish_claim(ctx, None);
         if self.push_on_change {
             self.advertise(ctx);
@@ -459,7 +500,9 @@ impl MachineAgent {
 
     /// Vacate the running job prematurely, reporting completed work.
     fn vacate(&mut self, ctx: &mut Ctx<'_>) {
-        let Some(run) = self.running.clone() else { return };
+        let Some(run) = self.running.clone() else {
+            return;
+        };
         ctx.metrics.trace.record(
             ctx.now,
             crate::trace::TraceEvent::Vacated {
@@ -469,11 +512,13 @@ impl MachineAgent {
             },
         );
         let elapsed = ctx.now.saturating_sub(run.started_at);
-        let done_ms =
-            (((elapsed as f64) * run.speed) as u64).min(run.work_at_start_ms);
+        let done_ms = (((elapsed as f64) * run.speed) as u64).min(run.work_at_start_ms);
         ctx.send_to_contact(
             &run.customer_contact,
-            SimMsg::Vacated { job_id: run.job_id, done_ms },
+            SimMsg::Vacated {
+                job_id: run.job_id,
+                done_ms,
+            },
         );
         self.finish_claim(ctx, Some(done_ms));
     }
@@ -485,7 +530,10 @@ impl MachineAgent {
             ctx.metrics.busy_ms += used;
             ctx.send_to_node(
                 self.manager,
-                SimMsg::UsageReport { user: run.owner, used_ms: used },
+                SimMsg::UsageReport {
+                    user: run.owner,
+                    used_ms: used,
+                },
             );
         }
         self.generation += 1;
@@ -528,7 +576,9 @@ mod tests {
 
     #[test]
     fn keyboard_idle_tracks_owner() {
-        let mut a = agent(MachinePolicy::OwnerIdle { min_keyboard_idle_s: 900 });
+        let mut a = agent(MachinePolicy::OwnerIdle {
+            min_keyboard_idle_s: 900,
+        });
         a.owner_present = true;
         assert_eq!(a.keyboard_idle_s(50_000), 0);
         a.owner_present = false;
@@ -538,7 +588,9 @@ mod tests {
 
     #[test]
     fn owner_idle_policy_gates_matching() {
-        let mut a = agent(MachinePolicy::OwnerIdle { min_keyboard_idle_s: 900 });
+        let mut a = agent(MachinePolicy::OwnerIdle {
+            min_keyboard_idle_s: 900,
+        });
         let job = classad::parse_classad(
             r#"[ Name = "j"; Type = "Job"; Owner = "u";
                  Constraint = other.Type == "Machine" ]"#,
@@ -559,7 +611,12 @@ mod tests {
     #[test]
     fn figure1_policy_round_trips_through_agent() {
         let a = agent(MachinePolicy::Figure1 {
-            research: vec!["raman".into(), "miron".into(), "solomon".into(), "jbasney".into()],
+            research: vec![
+                "raman".into(),
+                "miron".into(),
+                "solomon".into(),
+                "jbasney".into(),
+            ],
             friends: vec!["tannenba".into(), "wright".into()],
             untrusted: vec!["rival".into(), "riffraff".into()],
         });

@@ -54,7 +54,10 @@ impl ManagerNode {
     pub fn start(&mut self, ctx: &mut Ctx<'_>) {
         ctx.schedule(
             self.cycle_period_ms,
-            Event::Manager { node: self.id, tag: ManagerTimer::Negotiate },
+            Event::Manager {
+                node: self.id,
+                tag: ManagerTimer::Negotiate,
+            },
         );
     }
 
@@ -65,7 +68,10 @@ impl ManagerNode {
                 self.run_cycle(ctx);
                 ctx.schedule(
                     self.cycle_period_ms,
-                    Event::Manager { node: self.id, tag: ManagerTimer::Negotiate },
+                    Event::Manager {
+                        node: self.id,
+                        tag: ManagerTimer::Negotiate,
+                    },
                 );
             }
             ManagerTimer::Expire => {
@@ -85,11 +91,8 @@ impl ManagerNode {
             }
             SimMsg::UsageReport { user, used_ms } => {
                 // Account usage in seconds of resource time.
-                self.negotiator.charge_usage(
-                    &user,
-                    used_ms as f64 / MS_PER_SEC as f64,
-                    ctx.now,
-                );
+                self.negotiator
+                    .charge_usage(&user, used_ms as f64 / MS_PER_SEC as f64, ctx.now);
             }
             _ => {}
         }
@@ -172,7 +175,10 @@ impl ManagerNode {
             }
             ctx.send_to_contact(
                 &grant.customer_contact,
-                SimMsg::GangNotify { gang_name: grant.gang_name.clone(), ports },
+                SimMsg::GangNotify {
+                    gang_name: grant.gang_name.clone(),
+                    ports,
+                },
             );
             // Granted ads leave the store until re-advertised.
             self.store.withdraw(EntityKind::Customer, &grant.gang_name);
@@ -295,7 +301,11 @@ mod tests {
         // Two notifications queued for delivery.
         let mut notify_targets = Vec::new();
         while let Some((_, ev)) = h.queue.pop() {
-            if let Event::Deliver { to, msg: SimMsg::Proto(Message::Notify(_)) } = ev {
+            if let Event::Deliver {
+                to,
+                msg: SimMsg::Proto(Message::Notify(_)),
+            } = ev
+            {
                 notify_targets.push(to);
             }
         }
@@ -309,7 +319,10 @@ mod tests {
         let mut mgr = ManagerNode::new(0, NegotiatorConfig::default(), 60_000);
         let mut ctx = h.ctx();
         mgr.on_message(
-            SimMsg::UsageReport { user: "alice".into(), used_ms: 30_000 },
+            SimMsg::UsageReport {
+                user: "alice".into(),
+                used_ms: 30_000,
+            },
             &mut ctx,
         );
         assert!((mgr.negotiator.priorities.usage("alice", 0) - 30.0).abs() < 1e-9);
@@ -327,7 +340,13 @@ mod tests {
             mgr.on_message(SimMsg::Proto(Message::Advertise(job_adv())), &mut ctx);
         }
         // Advance time past the machine lease.
-        h.queue.schedule(100, Event::Manager { node: 0, tag: ManagerTimer::Negotiate });
+        h.queue.schedule(
+            100,
+            Event::Manager {
+                node: 0,
+                tag: ManagerTimer::Negotiate,
+            },
+        );
         let (_, _) = h.queue.pop().unwrap();
         let mut ctx = h.ctx();
         mgr.run_cycle(&mut ctx);

@@ -112,7 +112,11 @@ impl Metrics {
         let mean_wait = self
             .completed
             .iter()
-            .map(|r| r.first_start.unwrap_or(r.completed_at).saturating_sub(r.submitted_at))
+            .map(|r| {
+                r.first_start
+                    .unwrap_or(r.completed_at)
+                    .saturating_sub(r.submitted_at)
+            })
             .sum::<u64>() as f64
             / n;
         let mean_turnaround = self
@@ -132,7 +136,11 @@ impl Metrics {
             },
             mean_wait_ms: mean_wait,
             mean_turnaround_ms: mean_turnaround,
-            utilization: if capacity_ms > 0.0 { self.busy_ms as f64 / capacity_ms } else { 0.0 },
+            utilization: if capacity_ms > 0.0 {
+                self.busy_ms as f64 / capacity_ms
+            } else {
+                0.0
+            },
             goodput_fraction: if self.goodput_ms + self.badput_ms > 0 {
                 self.goodput_ms as f64 / (self.goodput_ms + self.badput_ms) as f64
             } else {
@@ -176,7 +184,14 @@ pub struct Summary {
 mod tests {
     use super::*;
 
-    fn rec(id: u64, owner: &str, sub: SimTime, start: SimTime, done: SimTime, work: u64) -> JobRecord {
+    fn rec(
+        id: u64,
+        owner: &str,
+        sub: SimTime,
+        start: SimTime,
+        done: SimTime,
+        work: u64,
+    ) -> JobRecord {
         JobRecord {
             id,
             owner: owner.into(),

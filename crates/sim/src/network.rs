@@ -19,14 +19,22 @@ pub struct NetworkModel {
 
 impl Default for NetworkModel {
     fn default() -> Self {
-        NetworkModel { base_latency_ms: 2, jitter_ms: 3, drop_prob: 0.0 }
+        NetworkModel {
+            base_latency_ms: 2,
+            jitter_ms: 3,
+            drop_prob: 0.0,
+        }
     }
 }
 
 impl NetworkModel {
     /// An ideal network: zero latency, no loss.
     pub fn ideal() -> Self {
-        NetworkModel { base_latency_ms: 0, jitter_ms: 0, drop_prob: 0.0 }
+        NetworkModel {
+            base_latency_ms: 0,
+            jitter_ms: 0,
+            drop_prob: 0.0,
+        }
     }
 
     /// Sample the fate of one message: `Some(latency)` to deliver after
@@ -35,7 +43,11 @@ impl NetworkModel {
         if self.drop_prob > 0.0 && rng.gen_bool(self.drop_prob.clamp(0.0, 1.0)) {
             return None;
         }
-        let jitter = if self.jitter_ms > 0 { rng.gen_range(0..=self.jitter_ms) } else { 0 };
+        let jitter = if self.jitter_ms > 0 {
+            rng.gen_range(0..=self.jitter_ms)
+        } else {
+            0
+        };
         Some(self.base_latency_ms + jitter)
     }
 }
@@ -57,7 +69,11 @@ mod tests {
 
     #[test]
     fn latency_within_bounds() {
-        let net = NetworkModel { base_latency_ms: 10, jitter_ms: 5, drop_prob: 0.0 };
+        let net = NetworkModel {
+            base_latency_ms: 10,
+            jitter_ms: 5,
+            drop_prob: 0.0,
+        };
         let mut rng = SmallRng::seed_from_u64(2);
         for _ in 0..1000 {
             let l = net.sample(&mut rng).unwrap();
@@ -67,9 +83,15 @@ mod tests {
 
     #[test]
     fn drop_probability_roughly_respected() {
-        let net = NetworkModel { base_latency_ms: 0, jitter_ms: 0, drop_prob: 0.25 };
+        let net = NetworkModel {
+            base_latency_ms: 0,
+            jitter_ms: 0,
+            drop_prob: 0.25,
+        };
         let mut rng = SmallRng::seed_from_u64(3);
-        let dropped = (0..10_000).filter(|_| net.sample(&mut rng).is_none()).count();
+        let dropped = (0..10_000)
+            .filter(|_| net.sample(&mut rng).is_none())
+            .count();
         assert!((2000..3000).contains(&dropped), "{dropped}");
     }
 

@@ -43,10 +43,16 @@ impl PolicyConfig {
     pub fn to_policy(&self) -> MachinePolicy {
         match self {
             PolicyConfig::Always => MachinePolicy::Always,
-            PolicyConfig::OwnerIdle { min_keyboard_idle_s } => {
-                MachinePolicy::OwnerIdle { min_keyboard_idle_s: *min_keyboard_idle_s }
-            }
-            PolicyConfig::Figure1 { research, friends, untrusted } => MachinePolicy::Figure1 {
+            PolicyConfig::OwnerIdle {
+                min_keyboard_idle_s,
+            } => MachinePolicy::OwnerIdle {
+                min_keyboard_idle_s: *min_keyboard_idle_s,
+            },
+            PolicyConfig::Figure1 {
+                research,
+                friends,
+                untrusted,
+            } => MachinePolicy::Figure1 {
                 research: research.clone(),
                 friends: friends.clone(),
                 untrusted: untrusted.clone(),
@@ -138,8 +144,13 @@ impl Default for Scenario {
         Scenario {
             seed: 0xC011D0B,
             fleet: FleetSpec::default(),
-            policy: PolicyConfig::OwnerIdle { min_keyboard_idle_s: 300 },
-            users: vec![UserSpec::standard("alice", 20), UserSpec::standard("bob", 20)],
+            policy: PolicyConfig::OwnerIdle {
+                min_keyboard_idle_s: 300,
+            },
+            users: vec![
+                UserSpec::standard("alice", 20),
+                UserSpec::standard("bob", 20),
+            ],
             gang_users: Vec::new(),
             licenses: 0,
             license_product: "matlab".to_string(),
@@ -178,9 +189,11 @@ impl Scenario {
             self.negotiation_period_ms,
         );
         if let Some(halflife) = self.negotiator.priority_halflife_ms {
-            manager.negotiator.priorities = matchmaker::priority::PriorityTracker::new(
-                matchmaker::priority::PriorityConfig { halflife, ..Default::default() },
-            );
+            manager.negotiator.priorities =
+                matchmaker::priority::PriorityTracker::new(matchmaker::priority::PriorityConfig {
+                    halflife,
+                    ..Default::default()
+                });
         }
 
         let mut machines = Vec::with_capacity(fleet.len());
@@ -240,8 +253,7 @@ impl Scenario {
                         ));
                     }
                     let work =
-                        crate::workload::sample_exp(&mut seed_rng, spec.mean_duration_ms)
-                            .max(1000);
+                        crate::workload::sample_exp(&mut seed_rng, spec.mean_duration_ms).max(1000);
                     (at, work, spec.memory)
                 })
                 .collect();
@@ -286,7 +298,10 @@ mod tests {
     fn small_scenario() -> Scenario {
         Scenario {
             seed: 42,
-            fleet: FleetSpec { count: 8, ..Default::default() },
+            fleet: FleetSpec {
+                count: 8,
+                ..Default::default()
+            },
             policy: PolicyConfig::Always,
             users: vec![UserSpec {
                 mean_interarrival_ms: 10_000.0,
@@ -308,7 +323,10 @@ mod tests {
     fn scenario_runs_and_completes_jobs() {
         let (summary, sim) = small_scenario().run();
         assert_eq!(summary.jobs_submitted, 10);
-        assert_eq!(summary.jobs_completed, 10, "all jobs should finish: {summary:?}");
+        assert_eq!(
+            summary.jobs_completed, 10,
+            "all jobs should finish: {summary:?}"
+        );
         assert!(sim.drained());
         assert!(summary.mean_turnaround_ms > 0.0);
         assert!(sim.metrics().matches >= 10);
@@ -343,7 +361,9 @@ mod tests {
         // fewer machine-hours are available than with dedicated nodes.
         let dedicated = small_scenario();
         let mut harvested = small_scenario();
-        harvested.policy = PolicyConfig::OwnerIdle { min_keyboard_idle_s: 900 };
+        harvested.policy = PolicyConfig::OwnerIdle {
+            min_keyboard_idle_s: 900,
+        };
         harvested.fleet.activity.mean_active_ms = 30.0 * 60_000.0;
         harvested.fleet.activity.mean_away_ms = 30.0 * 60_000.0;
         let (a, _) = dedicated.run();
@@ -375,7 +395,11 @@ mod tests {
     #[test]
     fn lossy_network_still_drains() {
         let mut s = small_scenario();
-        s.network = NetworkModel { base_latency_ms: 5, jitter_ms: 10, drop_prob: 0.05 };
+        s.network = NetworkModel {
+            base_latency_ms: 5,
+            jitter_ms: 10,
+            drop_prob: 0.05,
+        };
         s.duration_ms = 8 * 3_600 * 1000;
         let (summary, sim) = s.run();
         assert!(sim.metrics().messages_dropped > 0, "drops should occur");

@@ -91,8 +91,9 @@ impl Simulation {
     ) -> Simulation {
         let manager_id = manager.id;
         let mut directory = HashMap::new();
-        let mut nodes: Vec<Node> =
-            Vec::with_capacity(1 + machines.len() + customers.len() + licenses.len() + gang_customers.len());
+        let mut nodes: Vec<Node> = Vec::with_capacity(
+            1 + machines.len() + customers.len() + licenses.len() + gang_customers.len(),
+        );
         nodes.push(Node::Manager(manager));
         for m in machines {
             directory.insert(m.contact.clone(), m.id);
@@ -225,7 +226,9 @@ impl Simulation {
     }
 
     fn step(&mut self) -> bool {
-        let Some((_, ev)) = self.queue.pop() else { return false };
+        let Some((_, ev)) = self.queue.pop() else {
+            return false;
+        };
         let (id, work) = match ev {
             Event::Deliver { to, msg } => (to, Work::Msg(msg)),
             Event::Machine { node, tag } => (node, Work::MachineTimer(tag)),

@@ -141,7 +141,11 @@ fn json_str(s: &str) -> String {
 
 fn record_json(r: &TraceRecord) -> String {
     let body = match &r.event {
-        TraceEvent::Match { request, offer, rank } => format!(
+        TraceEvent::Match {
+            request,
+            offer,
+            rank,
+        } => format!(
             "\"type\":\"match\",\"request\":{},\"offer\":{},\"rank\":{rank}",
             json_str(request),
             json_str(offer)
@@ -159,7 +163,11 @@ fn record_json(r: &TraceRecord) -> String {
             "\"type\":\"job_finished\",\"provider\":{},\"job\":{job}",
             json_str(provider)
         ),
-        TraceEvent::Vacated { provider, job, by_owner } => format!(
+        TraceEvent::Vacated {
+            provider,
+            job,
+            by_owner,
+        } => format!(
             "\"type\":\"vacated\",\"provider\":{},\"job\":{job},\"by_owner\":{by_owner}",
             json_str(provider)
         ),
@@ -173,7 +181,12 @@ fn record_json(r: &TraceRecord) -> String {
 
 impl fmt::Display for TraceLog {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{} event(s), {} dropped", self.records.len(), self.dropped)?;
+        writeln!(
+            f,
+            "{} event(s), {} dropped",
+            self.records.len(),
+            self.dropped
+        )?;
         for r in &self.records {
             writeln!(f, "  [{:>10} ms] {:?}", r.at, r.event)?;
         }
@@ -188,7 +201,13 @@ mod tests {
     #[test]
     fn disabled_log_records_nothing() {
         let mut log = TraceLog::default();
-        log.record(1, TraceEvent::JobFinished { provider: "m".into(), job: 1 });
+        log.record(
+            1,
+            TraceEvent::JobFinished {
+                provider: "m".into(),
+                job: 1,
+            },
+        );
         assert!(log.records.is_empty());
         assert_eq!(log.dropped, 0);
     }
@@ -198,7 +217,13 @@ mod tests {
         let mut log = TraceLog::default();
         log.enable(2);
         for i in 0..5 {
-            log.record(i, TraceEvent::JobFinished { provider: "m".into(), job: i });
+            log.record(
+                i,
+                TraceEvent::JobFinished {
+                    provider: "m".into(),
+                    job: i,
+                },
+            );
         }
         assert_eq!(log.records.len(), 2);
         assert_eq!(log.dropped, 3);
@@ -211,16 +236,27 @@ mod tests {
         log.enable(10);
         log.record(
             5,
-            TraceEvent::Match { request: "j\"1".into(), offer: "m1".into(), rank: 2.5 },
+            TraceEvent::Match {
+                request: "j\"1".into(),
+                offer: "m1".into(),
+                rank: 2.5,
+            },
         );
         log.record(
             9,
-            TraceEvent::ClaimRejected { provider: "m1".into(), why: "busy".into() },
+            TraceEvent::ClaimRejected {
+                provider: "m1".into(),
+                why: "busy".into(),
+            },
         );
         let out = log.to_jsonl();
         let lines: Vec<&str> = out.lines().collect();
         assert_eq!(lines.len(), 2);
-        assert!(lines[0].starts_with("{\"at\":5,\"type\":\"match\""), "{}", lines[0]);
+        assert!(
+            lines[0].starts_with("{\"at\":5,\"type\":\"match\""),
+            "{}",
+            lines[0]
+        );
         assert!(lines[0].contains("\\\""), "escaped quote: {}", lines[0]);
         assert!(lines[1].contains("claim_rejected"));
         // Valid JSON: reuse the classad JSON parser as an oracle.
@@ -233,11 +269,30 @@ mod tests {
     fn filter_selects_event_kinds() {
         let mut log = TraceLog::default();
         log.enable(10);
-        log.record(1, TraceEvent::OwnerToggle { machine: "m".into(), present: true });
-        log.record(2, TraceEvent::JobFinished { provider: "m".into(), job: 7 });
-        log.record(3, TraceEvent::OwnerToggle { machine: "m".into(), present: false });
-        let toggles: Vec<_> =
-            log.filter(|e| matches!(e, TraceEvent::OwnerToggle { .. })).collect();
+        log.record(
+            1,
+            TraceEvent::OwnerToggle {
+                machine: "m".into(),
+                present: true,
+            },
+        );
+        log.record(
+            2,
+            TraceEvent::JobFinished {
+                provider: "m".into(),
+                job: 7,
+            },
+        );
+        log.record(
+            3,
+            TraceEvent::OwnerToggle {
+                machine: "m".into(),
+                present: false,
+            },
+        );
+        let toggles: Vec<_> = log
+            .filter(|e| matches!(e, TraceEvent::OwnerToggle { .. }))
+            .collect();
         assert_eq!(toggles.len(), 2);
     }
 
@@ -245,7 +300,13 @@ mod tests {
     fn display_renders() {
         let mut log = TraceLog::default();
         log.enable(10);
-        log.record(1, TraceEvent::JobFinished { provider: "m".into(), job: 7 });
+        log.record(
+            1,
+            TraceEvent::JobFinished {
+                provider: "m".into(),
+                job: 7,
+            },
+        );
         let s = log.to_string();
         assert!(s.contains("1 event(s)"));
         assert!(s.contains("JobFinished"));

@@ -253,12 +253,15 @@ impl Job {
             memory = self.memory,
             remaining = self.remaining_ms,
             ckpt = if self.want_checkpoint { 1 } else { 0 },
-            rank = if self.rank.is_empty() { "0" } else { &self.rank },
+            rank = if self.rank.is_empty() {
+                "0"
+            } else {
+                &self.rank
+            },
             constraint = constraint,
         );
-        classad::parse_classad(&src).unwrap_or_else(|e| {
-            panic!("internal: generated job ad failed to parse: {e}\n{src}")
-        })
+        classad::parse_classad(&src)
+            .unwrap_or_else(|e| panic!("internal: generated job ad failed to parse: {e}\n{src}"))
     }
 }
 

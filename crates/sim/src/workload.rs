@@ -161,7 +161,10 @@ impl Default for FleetSpec {
 impl FleetSpec {
     /// Generate the fleet deterministically from `rng`.
     pub fn generate(&self, rng: &mut SmallRng) -> Vec<MachineSpec> {
-        assert!(!self.templates.is_empty(), "fleet needs at least one template");
+        assert!(
+            !self.templates.is_empty(),
+            "fleet needs at least one template"
+        );
         let total_weight: f64 = self.templates.iter().map(|t| t.weight.max(0.0)).sum();
         (0..self.count)
             .map(|i| {
@@ -179,8 +182,7 @@ impl FleetSpec {
                     arch: tmpl.arch.clone(),
                     opsys: tmpl.opsys.clone(),
                     mips: rng.gen_range(tmpl.mips.0..=tmpl.mips.1.max(tmpl.mips.0)),
-                    memory: tmpl.memory_choices
-                        [rng.gen_range(0..tmpl.memory_choices.len())],
+                    memory: tmpl.memory_choices[rng.gen_range(0..tmpl.memory_choices.len())],
                     disk: rng.gen_range(tmpl.disk.0..=tmpl.disk.1.max(tmpl.disk.0)),
                     activity: self.activity.clone(),
                 }
@@ -290,7 +292,10 @@ mod tests {
 
     #[test]
     fn fleet_generation_deterministic() {
-        let spec = FleetSpec { count: 10, ..Default::default() };
+        let spec = FleetSpec {
+            count: 10,
+            ..Default::default()
+        };
         let a = spec.generate(&mut SmallRng::seed_from_u64(42));
         let b = spec.generate(&mut SmallRng::seed_from_u64(42));
         assert_eq!(a.len(), 10);
@@ -303,7 +308,10 @@ mod tests {
 
     #[test]
     fn fleet_respects_template_ranges() {
-        let spec = FleetSpec { count: 50, ..Default::default() };
+        let spec = FleetSpec {
+            count: 50,
+            ..Default::default()
+        };
         let fleet = spec.generate(&mut SmallRng::seed_from_u64(7));
         for m in &fleet {
             assert!((60..=140).contains(&m.mips), "{}", m.mips);
@@ -316,7 +324,10 @@ mod tests {
     fn mixed_templates_produce_both_kinds() {
         let spec = FleetSpec {
             count: 100,
-            templates: vec![MachineTemplate::intel_solaris(), MachineTemplate::sparc_solaris()],
+            templates: vec![
+                MachineTemplate::intel_solaris(),
+                MachineTemplate::sparc_solaris(),
+            ],
             activity: OwnerActivity::default(),
         };
         let fleet = spec.generate(&mut SmallRng::seed_from_u64(3));
@@ -340,20 +351,29 @@ mod tests {
 
     #[test]
     fn zero_interarrival_means_batch_at_zero() {
-        let spec = UserSpec { mean_interarrival_ms: 0.0, ..UserSpec::standard("u", 5) };
+        let spec = UserSpec {
+            mean_interarrival_ms: 0.0,
+            ..UserSpec::standard("u", 5)
+        };
         let jobs = spec.generate(&mut SmallRng::seed_from_u64(5));
         assert!(jobs.iter().all(|j| j.at == 0));
     }
 
     #[test]
     fn diurnal_night_detection() {
-        let act = OwnerActivity { day_length_ms: 1000, ..Default::default() };
+        let act = OwnerActivity {
+            day_length_ms: 1000,
+            ..Default::default()
+        };
         assert!(!act.is_night(0));
         assert!(!act.is_night(499));
         assert!(act.is_night(500));
         assert!(act.is_night(999));
         assert!(!act.is_night(1000));
-        let no_diurnal = OwnerActivity { day_length_ms: 0, ..Default::default() };
+        let no_diurnal = OwnerActivity {
+            day_length_ms: 0,
+            ..Default::default()
+        };
         assert!(!no_diurnal.is_night(123456));
     }
 
@@ -366,8 +386,12 @@ mod tests {
             ..Default::default()
         };
         let mut rng = SmallRng::seed_from_u64(11);
-        let day: u64 = (0..5000).map(|_| act.sample_period(&mut rng, false, 0)).sum();
-        let night: u64 = (0..5000).map(|_| act.sample_period(&mut rng, false, 600_000)).sum();
+        let day: u64 = (0..5000)
+            .map(|_| act.sample_period(&mut rng, false, 0))
+            .sum();
+        let night: u64 = (0..5000)
+            .map(|_| act.sample_period(&mut rng, false, 600_000))
+            .sum();
         assert!(night > day * 3, "night={night} day={day}");
     }
 }

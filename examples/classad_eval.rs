@@ -30,7 +30,8 @@ fn main() {
             println!("{}", ad.eval_expr(&expr, &policy));
         }
         3 => {
-            let left = parse_classad(&args[0]).unwrap_or_else(|e| die(&format!("bad left ad: {e}")));
+            let left =
+                parse_classad(&args[0]).unwrap_or_else(|e| die(&format!("bad left ad: {e}")));
             let right =
                 parse_classad(&args[1]).unwrap_or_else(|e| die(&format!("bad right ad: {e}")));
             let expr =

@@ -14,7 +14,10 @@ fn main() {
         seed: 20260706,
         fleet: FleetSpec {
             count: 48,
-            templates: vec![MachineTemplate::intel_solaris(), MachineTemplate::sparc_solaris()],
+            templates: vec![
+                MachineTemplate::intel_solaris(),
+                MachineTemplate::sparc_solaris(),
+            ],
             activity: OwnerActivity {
                 mean_active_ms: 25.0 * 60_000.0,
                 mean_away_ms: 45.0 * 60_000.0,
@@ -23,7 +26,9 @@ fn main() {
                 night_away_factor: 4.0,
             },
         },
-        policy: PolicyConfig::OwnerIdle { min_keyboard_idle_s: 300 },
+        policy: PolicyConfig::OwnerIdle {
+            min_keyboard_idle_s: 300,
+        },
         users: vec![
             UserSpec {
                 mean_interarrival_ms: 2.0 * 60_000.0,
@@ -42,7 +47,11 @@ fn main() {
                 ..UserSpec::standard("solomon", 20)
             },
         ],
-        network: NetworkModel { base_latency_ms: 2, jitter_ms: 5, drop_prob: 0.001 },
+        network: NetworkModel {
+            base_latency_ms: 2,
+            jitter_ms: 5,
+            drop_prob: 0.001,
+        },
         advertise_period_ms: 60_000,
         negotiation_period_ms: 120_000,
         push_ads_on_change: true,
@@ -77,7 +86,10 @@ fn main() {
     let m = sim.metrics();
 
     println!("==== pool activity ====");
-    println!("virtual time elapsed     : {:.1} h", sim.now() as f64 / 3_600_000.0);
+    println!(
+        "virtual time elapsed     : {:.1} h",
+        sim.now() as f64 / 3_600_000.0
+    );
     println!("events processed         : {}", sim.events_processed());
     println!("negotiation cycles       : {}", m.cycles);
     println!("matches handed out       : {}", m.matches);
@@ -88,23 +100,50 @@ fn main() {
     }
     println!("vacated by owner return  : {}", m.vacated_by_owner);
     println!("preempted by rank        : {}", m.preempted_by_rank);
-    println!("gangs granted / aborted  : {} / {}", m.gangs_granted, m.gangs_aborted);
-    println!("messages sent / dropped  : {} / {}", m.messages_sent, m.messages_dropped);
+    println!(
+        "gangs granted / aborted  : {} / {}",
+        m.gangs_granted, m.gangs_aborted
+    );
+    println!(
+        "messages sent / dropped  : {} / {}",
+        m.messages_sent, m.messages_dropped
+    );
 
     println!("\n==== throughput (the HTC view) ====");
     println!("jobs submitted           : {}", summary.jobs_submitted);
     println!("jobs completed           : {}", summary.jobs_completed);
-    println!("throughput               : {:.1} jobs/hour", summary.throughput_per_hour);
-    println!("mean wait                : {:.1} min", summary.mean_wait_ms / 60_000.0);
-    println!("mean turnaround          : {:.1} min", summary.mean_turnaround_ms / 60_000.0);
-    println!("machine utilization      : {:.1} %", summary.utilization * 100.0);
-    println!("goodput fraction         : {:.1} %", summary.goodput_fraction * 100.0);
-    println!("claim failure rate       : {:.1} %", summary.claim_failure_rate * 100.0);
+    println!(
+        "throughput               : {:.1} jobs/hour",
+        summary.throughput_per_hour
+    );
+    println!(
+        "mean wait                : {:.1} min",
+        summary.mean_wait_ms / 60_000.0
+    );
+    println!(
+        "mean turnaround          : {:.1} min",
+        summary.mean_turnaround_ms / 60_000.0
+    );
+    println!(
+        "machine utilization      : {:.1} %",
+        summary.utilization * 100.0
+    );
+    println!(
+        "goodput fraction         : {:.1} %",
+        summary.goodput_fraction * 100.0
+    );
+    println!(
+        "claim failure rate       : {:.1} %",
+        summary.claim_failure_rate * 100.0
+    );
 
     println!("\n==== per-user completed work (fair share) ====");
     let mut users: Vec<(&String, &u64)> = m.per_user_goodput.iter().collect();
     users.sort();
     for (user, work) in users {
-        println!("  {user:10} {:.1} reference-cpu-minutes", *work as f64 / 60_000.0);
+        println!(
+            "  {user:10} {:.1} reference-cpu-minutes",
+            *work as f64 / 60_000.0
+        );
     }
 }

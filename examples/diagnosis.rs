@@ -21,7 +21,7 @@ fn pool() -> Vec<Arc<ClassAd>> {
                          Constraint = other.Owner != "riffraff";
                          Rank = 0 ]"#,
                     arch = if i % 3 == 0 { "SPARC" } else { "INTEL" },
-                    mem = 32 << (i % 3),       // 32 / 64 / 128
+                    mem = 32 << (i % 3), // 32 / 64 / 128
                     mips = 60 + 7 * i,
                     disk = 50_000 + 40_000 * i,
                 ))
@@ -33,7 +33,12 @@ fn pool() -> Vec<Arc<ClassAd>> {
 
 fn diagnose_and_print(title: &str, job_src: &str, offers: &[Arc<ClassAd>]) {
     let job = parse_classad(job_src).unwrap();
-    let d = diagnose(&job, offers, &EvalPolicy::default(), &MatchConventions::default());
+    let d = diagnose(
+        &job,
+        offers,
+        &EvalPolicy::default(),
+        &MatchConventions::default(),
+    );
     println!("--- {title} ---");
     println!("constraint: {}", job.get("Constraint").unwrap());
     print!("{d}");
@@ -46,7 +51,10 @@ fn diagnose_and_print(title: &str, job_src: &str, offers: &[Arc<ClassAd>]) {
 
 fn main() {
     let offers = pool();
-    println!("pool: {} machines (INTEL/SPARC, 32–128 MB, 60–137 mips)\n", offers.len());
+    println!(
+        "pool: {} machines (INTEL/SPARC, 32–128 MB, 60–137 mips)\n",
+        offers.len()
+    );
 
     diagnose_and_print(
         "a reasonable job",

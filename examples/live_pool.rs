@@ -19,9 +19,12 @@ use std::time::Duration;
 
 fn main() {
     let mut builder = PoolBuilder::new();
-    for (name, mips) in
-        [("leonardo", 104), ("raphael", 120), ("donatello", 80), ("michelangelo", 140)]
-    {
+    for (name, mips) in [
+        ("leonardo", 104),
+        ("raphael", 120),
+        ("donatello", 80),
+        ("michelangelo", 140),
+    ] {
         let ad = parse_classad(&format!(
             r#"[ Type = "Machine"; Mips = {mips}; KeyboardIdle = 1000;
                  Constraint = other.Type == "Job" && KeyboardIdle > 300;
@@ -38,8 +41,14 @@ fn main() {
         .unwrap()
     };
     let pool = builder
-        .user("raman", vec![("raman-0".into(), job()), ("raman-1".into(), job())])
-        .user("miron", vec![("miron-0".into(), job()), ("miron-1".into(), job())])
+        .user(
+            "raman",
+            vec![("raman-0".into(), job()), ("raman-1".into(), job())],
+        )
+        .user(
+            "miron",
+            vec![("miron-0".into(), job()), ("miron-1".into(), job())],
+        )
         .spawn()
         .expect("loopback pool should start");
 
@@ -53,7 +62,10 @@ fn main() {
     for ca in pool.customers() {
         for (name, status) in ca.jobs() {
             match status {
-                JobStatus::Claimed { provider_name, provider_contact } => println!(
+                JobStatus::Claimed {
+                    provider_name,
+                    provider_contact,
+                } => println!(
                     "job {:<10} owner {:<6} -> claimed {:<14} at {}",
                     name,
                     ca.user(),

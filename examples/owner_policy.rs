@@ -29,26 +29,38 @@ fn main() {
     let owners = ["raman", "miron", "tannenba", "stranger", "riffraff"];
     type Tweak = Box<dyn Fn(&mut ClassAd)>;
     let situations: [(&str, Tweak); 4] = [
-        ("idle afternoon (14:00, kbd 24 min)", Box::new(|ad: &mut ClassAd| {
-            ad.set_int("DayTime", 14 * 3600);
-            ad.set_int("KeyboardIdle", 1432);
-            ad.set_real("LoadAvg", 0.042969);
-        })),
-        ("busy afternoon (14:00, kbd 30 s)", Box::new(|ad: &mut ClassAd| {
-            ad.set_int("DayTime", 14 * 3600);
-            ad.set_int("KeyboardIdle", 30);
-            ad.set_real("LoadAvg", 0.8);
-        })),
-        ("idle night (23:00, kbd 2 h)", Box::new(|ad: &mut ClassAd| {
-            ad.set_int("DayTime", 23 * 3600);
-            ad.set_int("KeyboardIdle", 7200);
-            ad.set_real("LoadAvg", 0.01);
-        })),
-        ("busy night (23:00, kbd 10 s)", Box::new(|ad: &mut ClassAd| {
-            ad.set_int("DayTime", 23 * 3600);
-            ad.set_int("KeyboardIdle", 10);
-            ad.set_real("LoadAvg", 1.5);
-        })),
+        (
+            "idle afternoon (14:00, kbd 24 min)",
+            Box::new(|ad: &mut ClassAd| {
+                ad.set_int("DayTime", 14 * 3600);
+                ad.set_int("KeyboardIdle", 1432);
+                ad.set_real("LoadAvg", 0.042969);
+            }),
+        ),
+        (
+            "busy afternoon (14:00, kbd 30 s)",
+            Box::new(|ad: &mut ClassAd| {
+                ad.set_int("DayTime", 14 * 3600);
+                ad.set_int("KeyboardIdle", 30);
+                ad.set_real("LoadAvg", 0.8);
+            }),
+        ),
+        (
+            "idle night (23:00, kbd 2 h)",
+            Box::new(|ad: &mut ClassAd| {
+                ad.set_int("DayTime", 23 * 3600);
+                ad.set_int("KeyboardIdle", 7200);
+                ad.set_real("LoadAvg", 0.01);
+            }),
+        ),
+        (
+            "busy night (23:00, kbd 10 s)",
+            Box::new(|ad: &mut ClassAd| {
+                ad.set_int("DayTime", 23 * 3600);
+                ad.set_int("KeyboardIdle", 10);
+                ad.set_real("LoadAvg", 1.5);
+            }),
+        ),
     ];
 
     println!("Figure 1 policy decision matrix for leonardo.cs.wisc.edu\n");
@@ -77,7 +89,10 @@ fn main() {
     println!("\nmachine's rank of each customer (match preference):");
     for owner in owners {
         let job = job_for(owner);
-        println!("  {owner:10} rank = {}", rank_of(&base, &job, &policy, &conv));
+        println!(
+            "  {owner:10} rank = {}",
+            rank_of(&base, &job, &policy, &conv)
+        );
     }
 
     println!("\nthe published constraint:");
@@ -107,10 +122,28 @@ fn main() {
     println!("\nprecedence quirk (see EXPERIMENTS.md E1):");
     println!(
         "  figure text, idle night, riffraff : {}",
-        if constraint_holds(&{ let mut m = base.clone(); m.set_int("DayTime", 23*3600); m.set_int("KeyboardIdle", 7200); m }, &riffraff, &policy, &conv) { "serve (!)"} else { "-" }
+        if constraint_holds(
+            &{
+                let mut m = base.clone();
+                m.set_int("DayTime", 23 * 3600);
+                m.set_int("KeyboardIdle", 7200);
+                m
+            },
+            &riffraff,
+            &policy,
+            &conv
+        ) {
+            "serve (!)"
+        } else {
+            "-"
+        }
     );
     println!(
         "  prose-faithful, idle night        : {}",
-        if constraint_holds(&fixed, &riffraff, &policy, &conv) { "serve (!)" } else { "- (never serve untrusted)" }
+        if constraint_holds(&fixed, &riffraff, &policy, &conv) {
+            "serve (!)"
+        } else {
+            "- (never serve untrusted)"
+        }
     );
 }

@@ -25,9 +25,18 @@ fn main() {
     let conv = MatchConventions::default();
     let result = evaluate_match(&job, &machine, &policy, &conv);
     println!("job constraint accepts machine: {}", result.left_constraint);
-    println!("machine constraint accepts job: {}", result.right_constraint);
-    println!("job's rank of machine:  {:.3}  (KFlops/1E3 + Memory/32)", result.left_rank);
-    println!("machine's rank of job:  {:.3}  (research group member)", result.right_rank);
+    println!(
+        "machine constraint accepts job: {}",
+        result.right_constraint
+    );
+    println!(
+        "job's rank of machine:  {:.3}  (KFlops/1E3 + Memory/32)",
+        result.left_rank
+    );
+    println!(
+        "machine's rank of job:  {:.3}  (research group member)",
+        result.right_rank
+    );
     assert!(result.matched());
 
     // --- 3. A negotiation cycle ----------------------------------------
@@ -80,7 +89,9 @@ fn main() {
     let mut handler = ClaimHandler::new();
     handler.set_ticket(ticket);
     let req = ClaimRequest {
-        ticket: to_customer.ticket.expect("customer copy carries the ticket"),
+        ticket: to_customer
+            .ticket
+            .expect("customer copy carries the ticket"),
         customer_ad: to_customer.own_ad.clone(),
         customer_contact: "raman-ca:1".into(),
     };

@@ -29,11 +29,29 @@ fn main() {
 
     let (summary, sim) = scenario.run();
     println!("==== results ====");
-    println!("virtual time      : {:.1} h", sim.now() as f64 / 3_600_000.0);
-    println!("jobs completed    : {}/{}", summary.jobs_completed, summary.jobs_submitted);
-    println!("throughput        : {:.1} jobs/hour", summary.throughput_per_hour);
-    println!("mean wait         : {:.1} min", summary.mean_wait_ms / 60_000.0);
-    println!("mean turnaround   : {:.1} min", summary.mean_turnaround_ms / 60_000.0);
-    println!("goodput fraction  : {:.1} %", summary.goodput_fraction * 100.0);
+    println!(
+        "virtual time      : {:.1} h",
+        sim.now() as f64 / 3_600_000.0
+    );
+    println!(
+        "jobs completed    : {}/{}",
+        summary.jobs_completed, summary.jobs_submitted
+    );
+    println!(
+        "throughput        : {:.1} jobs/hour",
+        summary.throughput_per_hour
+    );
+    println!(
+        "mean wait         : {:.1} min",
+        summary.mean_wait_ms / 60_000.0
+    );
+    println!(
+        "mean turnaround   : {:.1} min",
+        summary.mean_turnaround_ms / 60_000.0
+    );
+    println!(
+        "goodput fraction  : {:.1} %",
+        summary.goodput_fraction * 100.0
+    );
     println!("owner vacates     : {}", sim.metrics().vacated_by_owner);
 }

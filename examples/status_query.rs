@@ -133,13 +133,12 @@ fn main() {
     // `--connect host:port` switches from the built-in demo pool to a live
     // matchmaker daemon.
     let args: Vec<String> = std::env::args().collect();
-    let connect = args
-        .iter()
-        .position(|a| a == "--connect")
-        .map(|i| args.get(i + 1).cloned().unwrap_or_else(|| {
+    let connect = args.iter().position(|a| a == "--connect").map(|i| {
+        args.get(i + 1).cloned().unwrap_or_else(|| {
             eprintln!("usage: status_query [--connect host:port]");
             std::process::exit(2);
-        }));
+        })
+    });
 
     let local_store = if connect.is_none() {
         let proto = AdvertisingProtocol::default();
@@ -173,7 +172,11 @@ fn main() {
         r#"other.Type == "Machine" && other.Memory >= 128"#,
         Some(EntityKind::Provider),
     );
-    run("the job queue", r#"other.Type == "Job""#, Some(EntityKind::Customer));
+    run(
+        "the job queue",
+        r#"other.Type == "Job""#,
+        Some(EntityKind::Customer),
+    );
     run(
         "ads with no State attribute (three-valued logic at work)",
         "other.State is undefined",

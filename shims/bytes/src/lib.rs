@@ -27,7 +27,11 @@ impl Bytes {
     pub fn from_static(slice: &'static [u8]) -> Self {
         // One copy into an Arc keeps the representation uniform; the
         // slices involved here are tiny test vectors.
-        Bytes { data: Arc::from(slice), start: 0, end: slice.len() }
+        Bytes {
+            data: Arc::from(slice),
+            start: 0,
+            end: slice.len(),
+        }
     }
 
     /// Number of bytes in the window.
@@ -47,7 +51,10 @@ impl Bytes {
 
     /// O(1) sub-window sharing the same backing allocation.
     pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
-        assert!(range.start <= range.end && range.end <= self.len(), "slice out of bounds");
+        assert!(
+            range.start <= range.end && range.end <= self.len(),
+            "slice out of bounds"
+        );
         Bytes {
             data: Arc::clone(&self.data),
             start: self.start + range.start,
@@ -58,7 +65,11 @@ impl Bytes {
     /// Split off the first `at` bytes into a new `Bytes`, advancing self.
     pub fn split_to(&mut self, at: usize) -> Bytes {
         assert!(at <= self.len(), "split_to out of bounds");
-        let head = Bytes { data: Arc::clone(&self.data), start: self.start, end: self.start + at };
+        let head = Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start,
+            end: self.start + at,
+        };
         self.start += at;
         head
     }
@@ -90,7 +101,11 @@ impl AsRef<[u8]> for Bytes {
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
         let end = v.len();
-        Bytes { data: Arc::from(v.into_boxed_slice()), start: 0, end }
+        Bytes {
+            data: Arc::from(v.into_boxed_slice()),
+            start: 0,
+            end,
+        }
     }
 }
 
@@ -136,7 +151,10 @@ impl BytesMut {
 
     /// Builder with reserved capacity.
     pub fn with_capacity(cap: usize) -> Self {
-        BytesMut { buf: Vec::with_capacity(cap), read: 0 }
+        BytesMut {
+            buf: Vec::with_capacity(cap),
+            read: 0,
+        }
     }
 
     /// Unconsumed length.

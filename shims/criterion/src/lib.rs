@@ -39,7 +39,11 @@ fn record(id: String, mean_ns: f64, iterations: u64) {
         format!("{mean_ns:.1} ns")
     };
     println!("{id:<56} time: {unit}   ({iterations} iters)");
-    RESULTS.lock().unwrap().push(BenchResult { id, mean_ns, iterations });
+    RESULTS.lock().unwrap().push(BenchResult {
+        id,
+        mean_ns,
+        iterations,
+    });
 }
 
 /// Benchmark identifier: a function name plus a parameter, rendered as
@@ -52,7 +56,9 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// Build an id like `name/param`.
     pub fn new(name: impl Into<String>, param: impl std::fmt::Display) -> Self {
-        BenchmarkId { full: format!("{}/{}", name.into(), param) }
+        BenchmarkId {
+            full: format!("{}/{}", name.into(), param),
+        }
     }
 }
 

@@ -14,7 +14,9 @@ pub struct Mutex<T: ?Sized> {
 impl<T> Mutex<T> {
     /// Wrap a value.
     pub fn new(value: T) -> Self {
-        Mutex { inner: sync::Mutex::new(value) }
+        Mutex {
+            inner: sync::Mutex::new(value),
+        }
     }
 
     /// Consume the lock, returning the inner value.
@@ -44,7 +46,9 @@ pub struct RwLock<T: ?Sized> {
 impl<T> RwLock<T> {
     /// Wrap a value.
     pub fn new(value: T) -> Self {
-        RwLock { inner: sync::RwLock::new(value) }
+        RwLock {
+            inner: sync::RwLock::new(value),
+        }
     }
 
     /// Consume the lock, returning the inner value.

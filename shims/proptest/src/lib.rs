@@ -46,7 +46,11 @@ pub trait Strategy {
         Self: Sized,
         F: Fn(&Self::Value) -> bool,
     {
-        Filter { inner: self, whence: whence.into(), pred }
+        Filter {
+            inner: self,
+            whence: whence.into(),
+            pred,
+        }
     }
 
     /// Build a recursive strategy: `recurse` receives a strategy for the
@@ -80,7 +84,9 @@ pub trait Strategy {
         Self: Sized + 'static,
         Self::Value: 'static,
     {
-        BoxedStrategy { inner: Rc::new(self) }
+        BoxedStrategy {
+            inner: Rc::new(self),
+        }
     }
 }
 
@@ -113,7 +119,10 @@ impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
                 return v;
             }
         }
-        panic!("prop_filter {:?} rejected 1000 candidates in a row", self.whence);
+        panic!(
+            "prop_filter {:?} rejected 1000 candidates in a row",
+            self.whence
+        );
     }
 }
 
@@ -134,7 +143,9 @@ pub struct BoxedStrategy<T> {
 
 impl<T> Clone for BoxedStrategy<T> {
     fn clone(&self) -> Self {
-        BoxedStrategy { inner: Rc::clone(&self.inner) }
+        BoxedStrategy {
+            inner: Rc::clone(&self.inner),
+        }
     }
 }
 
@@ -306,13 +317,19 @@ pub mod collection {
     impl From<std::ops::Range<usize>> for SizeRange {
         fn from(r: std::ops::Range<usize>) -> Self {
             assert!(r.start < r.end, "empty size range");
-            SizeRange { min: r.start, max: r.end - 1 }
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
         }
     }
 
     impl From<std::ops::RangeInclusive<usize>> for SizeRange {
         fn from(r: std::ops::RangeInclusive<usize>) -> Self {
-            SizeRange { min: *r.start(), max: *r.end() }
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
         }
     }
 
@@ -330,7 +347,10 @@ pub mod collection {
 
     /// `vec(element, 0..8)` — vectors of generated elements.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {
@@ -355,7 +375,10 @@ pub mod char {
     /// `range('a', 'z')` — chars in the inclusive range.
     pub fn range(lo: ::core::primitive::char, hi: ::core::primitive::char) -> CharRange {
         assert!(lo <= hi);
-        CharRange { lo: lo as u32, hi: hi as u32 }
+        CharRange {
+            lo: lo as u32,
+            hi: hi as u32,
+        }
     }
 
     impl Strategy for CharRange {
@@ -520,7 +543,8 @@ pub mod string {
                 let body: String = chars[i + 1..i + close].iter().collect();
                 i += close + 1;
                 let parse = |s: &str| {
-                    s.parse::<u32>().map_err(|_| Error(format!("bad quantifier {body:?}")))
+                    s.parse::<u32>()
+                        .map_err(|_| Error(format!("bad quantifier {body:?}")))
                 };
                 match body.split_once(',') {
                     Some((lo, hi)) => (parse(lo)?, parse(hi)?),
@@ -752,7 +776,9 @@ macro_rules! prop_assert_eq {
 macro_rules! prop_assume {
     ($cond:expr $(,)?) => {
         if !$cond {
-            return Err($crate::test_runner::TestCaseError::reject(stringify!($cond)));
+            return Err($crate::test_runner::TestCaseError::reject(stringify!(
+                $cond
+            )));
         }
     };
 }
@@ -794,11 +820,8 @@ mod tests {
     fn strategies_compose() {
         use rand::SeedableRng;
         let mut rng = crate::TestRng::seed_from_u64(4);
-        let strat = crate::collection::vec(
-            prop_oneof![3 => Just(0i64), 1 => (10i64..20)],
-            0..5,
-        )
-        .prop_map(|v| v.len());
+        let strat = crate::collection::vec(prop_oneof![3 => Just(0i64), 1 => (10i64..20)], 0..5)
+            .prop_map(|v| v.len());
         for _ in 0..50 {
             let n = strat.new_value(&mut rng);
             assert!(n < 5);
@@ -823,9 +846,11 @@ mod tests {
                 Tree::Node(cs) => 1 + cs.iter().map(depth).max().unwrap_or(0),
             }
         }
-        let strat = (0i64..10).prop_map(Tree::Leaf).prop_recursive(4, 16, 3, |inner| {
-            crate::collection::vec(inner, 0..3).prop_map(Tree::Node)
-        });
+        let strat = (0i64..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(4, 16, 3, |inner| {
+                crate::collection::vec(inner, 0..3).prop_map(Tree::Node)
+            });
         let mut rng = crate::TestRng::seed_from_u64(11);
         for _ in 0..100 {
             let t = strat.new_value(&mut rng);

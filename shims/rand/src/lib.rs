@@ -224,7 +224,9 @@ pub mod rngs {
 
     impl SeedableRng for StdRng {
         fn seed_from_u64(seed: u64) -> Self {
-            StdRng { state: seed ^ 0xA076_1D64_78BD_642F }
+            StdRng {
+                state: seed ^ 0xA076_1D64_78BD_642F,
+            }
         }
     }
 

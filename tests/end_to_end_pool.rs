@@ -9,7 +9,10 @@ use condor_sim::{JobState, NetworkModel};
 fn base_scenario() -> Scenario {
     Scenario {
         seed: 7,
-        fleet: FleetSpec { count: 12, ..Default::default() },
+        fleet: FleetSpec {
+            count: 12,
+            ..Default::default()
+        },
         policy: PolicyConfig::Always,
         users: vec![UserSpec {
             mean_interarrival_ms: 20_000.0,
@@ -53,14 +56,19 @@ fn per_job_accounting_is_consistent() {
     assert!(m.claims_accepted >= m.jobs_completed);
     // Every customer agent agrees everything completed.
     for ca in sim.customers() {
-        assert!(ca.jobs.iter().all(|j| matches!(j.state, JobState::Completed { .. })));
+        assert!(ca
+            .jobs
+            .iter()
+            .all(|j| matches!(j.state, JobState::Completed { .. })));
     }
 }
 
 #[test]
 fn opportunistic_pool_vacates_and_recovers() {
     let mut s = base_scenario();
-    s.policy = PolicyConfig::OwnerIdle { min_keyboard_idle_s: 60 };
+    s.policy = PolicyConfig::OwnerIdle {
+        min_keyboard_idle_s: 60,
+    };
     // Owners churn fast, forcing vacations mid-job.
     s.fleet.activity = OwnerActivity {
         mean_active_ms: 4.0 * 60_000.0,
@@ -73,8 +81,14 @@ fn opportunistic_pool_vacates_and_recovers() {
     s.users[0].checkpoint_prob = 1.0;
     s.duration_ms = 20 * 3_600 * 1000;
     let (summary, sim) = s.run();
-    assert!(sim.metrics().vacated_by_owner > 0, "owner churn must vacate jobs");
-    assert_eq!(summary.jobs_completed, 15, "checkpointing jobs survive churn: {summary:?}");
+    assert!(
+        sim.metrics().vacated_by_owner > 0,
+        "owner churn must vacate jobs"
+    );
+    assert_eq!(
+        summary.jobs_completed, 15,
+        "checkpointing jobs survive churn: {summary:?}"
+    );
     // Checkpointed jobs lose nothing.
     assert_eq!(sim.metrics().badput_ms, 0);
 }
@@ -82,7 +96,9 @@ fn opportunistic_pool_vacates_and_recovers() {
 #[test]
 fn no_checkpoint_wastes_work() {
     let mut s = base_scenario();
-    s.policy = PolicyConfig::OwnerIdle { min_keyboard_idle_s: 60 };
+    s.policy = PolicyConfig::OwnerIdle {
+        min_keyboard_idle_s: 60,
+    };
     s.fleet.activity = OwnerActivity {
         mean_active_ms: 5.0 * 60_000.0,
         mean_away_ms: 10.0 * 60_000.0,
@@ -160,7 +176,11 @@ fn figure1_policy_pool_serves_research_first() {
     s.duration_ms = 12 * 3_600 * 1000;
     let (_, sim) = s.run();
     let m = sim.metrics();
-    assert_eq!(m.per_user_goodput.get("riffraff"), None, "untrusted user never served");
+    assert_eq!(
+        m.per_user_goodput.get("riffraff"),
+        None,
+        "untrusted user never served"
+    );
     assert!(m.per_user_goodput["raman"] > 0);
     // riffraff's jobs are all still idle.
     let riffraff = sim.customers().find(|c| c.user == "riffraff").unwrap();
@@ -172,7 +192,10 @@ fn heterogeneous_pool_respects_arch_constraints() {
     let mut s = base_scenario();
     s.fleet = FleetSpec {
         count: 10,
-        templates: vec![MachineTemplate::intel_solaris(), MachineTemplate::sparc_solaris()],
+        templates: vec![
+            MachineTemplate::intel_solaris(),
+            MachineTemplate::sparc_solaris(),
+        ],
         activity: OwnerActivity::default(),
     };
     s.users[0].arch_constraint_prob = 1.0;
@@ -187,7 +210,10 @@ fn heterogeneous_pool_respects_arch_constraints() {
     // the job constraints were honoured by construction of the matcher.
     for machine in sim.machines() {
         if machine.spec.arch != "INTEL" {
-            assert!(!machine.is_busy(), "SPARC machine should never run INTEL-only jobs");
+            assert!(
+                !machine.is_busy(),
+                "SPARC machine should never run INTEL-only jobs"
+            );
         }
     }
 }
@@ -195,11 +221,18 @@ fn heterogeneous_pool_respects_arch_constraints() {
 #[test]
 fn drop_heavy_network_converges_slowly_but_converges() {
     let mut s = base_scenario();
-    s.network = NetworkModel { base_latency_ms: 10, jitter_ms: 30, drop_prob: 0.10 };
+    s.network = NetworkModel {
+        base_latency_ms: 10,
+        jitter_ms: 30,
+        drop_prob: 0.10,
+    };
     s.duration_ms = 24 * 3_600 * 1000;
     let (summary, sim) = s.run();
     assert!(sim.metrics().messages_dropped > 0);
-    assert_eq!(summary.jobs_completed, 15, "soft state must tolerate 10% loss: {summary:?}");
+    assert_eq!(
+        summary.jobs_completed, 15,
+        "soft state must tolerate 10% loss: {summary:?}"
+    );
 }
 
 #[test]
@@ -212,8 +245,12 @@ fn determinism_across_runs() {
     assert!((a.mean_turnaround_ms - b.mean_turnaround_ms).abs() < 1e-12);
     // Job-by-job identical outcomes.
     let recs = |sim: &condor_sim::Simulation| {
-        let mut v: Vec<(u64, u64)> =
-            sim.metrics().completed.iter().map(|r| (r.id, r.completed_at)).collect();
+        let mut v: Vec<(u64, u64)> = sim
+            .metrics()
+            .completed
+            .iter()
+            .map(|r| (r.id, r.completed_at))
+            .collect();
         v.sort();
         v
     };
@@ -242,14 +279,22 @@ fn gangs_coallocate_in_simulation() {
     let flush_to = sim.now() + 60_000;
     sim.flush_until(flush_to);
     let m = sim.metrics();
-    assert!(m.gangs_granted >= 5, "each gang granted at least once: {m:?}");
-    assert_eq!(summary.jobs_completed, 11, "6 plain + 5 gang jobs: {summary:?}");
+    assert!(
+        m.gangs_granted >= 5,
+        "each gang granted at least once: {m:?}"
+    );
+    assert_eq!(
+        summary.jobs_completed, 11,
+        "6 plain + 5 gang jobs: {summary:?}"
+    );
     // The gang customers all drained.
-    let total_gangs_incomplete: usize =
-        sim.nodes_gang_incomplete();
+    let total_gangs_incomplete: usize = sim.nodes_gang_incomplete();
     assert_eq!(total_gangs_incomplete, 0);
     // License seats are free again at the end.
-    assert!(sim.licenses_claimed() == 0, "licenses must be released after completion");
+    assert!(
+        sim.licenses_claimed() == 0,
+        "licenses must be released after completion"
+    );
 }
 
 #[test]
@@ -269,7 +314,10 @@ fn gangs_blocked_when_no_license_exists() {
     let (summary, sim) = s.run();
     assert_eq!(summary.jobs_completed, 0);
     assert_eq!(sim.metrics().gangs_granted, 0);
-    assert!(sim.metrics().gangs_unmatched > 0, "all-or-nothing: no partial grants");
+    assert!(
+        sim.metrics().gangs_unmatched > 0,
+        "all-or-nothing: no partial grants"
+    );
 }
 
 #[test]
@@ -330,6 +378,10 @@ fn preemption_by_rank_in_simulation() {
     ];
     s.duration_ms = 6 * 3_600 * 1000;
     let (summary, sim) = s.run();
-    assert!(sim.metrics().preempted_by_rank >= 1, "research job must preempt: {:?}", sim.metrics());
+    assert!(
+        sim.metrics().preempted_by_rank >= 1,
+        "research job must preempt: {:?}",
+        sim.metrics()
+    );
     assert_eq!(summary.jobs_completed, 2, "{summary:?}");
 }

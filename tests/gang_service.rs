@@ -46,8 +46,14 @@ fn gang_request_granted_and_all_ports_claimed() {
     let mut store = AdStore::new();
     let mut tickets = TicketIssuer::new(77);
 
-    let (_t1, mut cpu_handler) =
-        provider(&mut store, &proto, &mut tickets, "cpu1", "Machine", "Mips = 104; Memory = 64;");
+    let (_t1, mut cpu_handler) = provider(
+        &mut store,
+        &proto,
+        &mut tickets,
+        "cpu1",
+        "Machine",
+        "Mips = 104; Memory = 64;",
+    );
     let (_t2, mut lic_handler) = provider(
         &mut store,
         &proto,
@@ -113,7 +119,11 @@ fn gang_request_granted_and_all_ports_claimed() {
             1,
             |_| false,
         );
-        assert!(resp.accepted, "port {} claim failed: {:?}", port.port, resp.rejection);
+        assert!(
+            resp.accepted,
+            "port {} claim failed: {:?}",
+            port.port, resp.rejection
+        );
     }
     assert!(cpu_handler.is_claimed());
     assert!(lic_handler.is_claimed());
@@ -124,7 +134,14 @@ fn banned_gang_owner_blocked_at_both_layers() {
     let proto = AdvertisingProtocol::default();
     let mut store = AdStore::new();
     let mut tickets = TicketIssuer::new(78);
-    provider(&mut store, &proto, &mut tickets, "cpu1", "Machine", "Mips = 104; Memory = 64;");
+    provider(
+        &mut store,
+        &proto,
+        &mut tickets,
+        "cpu1",
+        "Machine",
+        "Mips = 104; Memory = 64;",
+    );
 
     let gang_ad = parse_classad(
         r#"[ Name = "bad-gang"; Type = "Gang"; Owner = "banned";
@@ -160,8 +177,22 @@ fn bilateral_and_gang_negotiation_coexist() {
     let proto = AdvertisingProtocol::default();
     let mut store = AdStore::new();
     let mut tickets = TicketIssuer::new(79);
-    provider(&mut store, &proto, &mut tickets, "cpu1", "Machine", "Mips = 104; Memory = 64;");
-    provider(&mut store, &proto, &mut tickets, "cpu2", "Machine", "Mips = 50; Memory = 64;");
+    provider(
+        &mut store,
+        &proto,
+        &mut tickets,
+        "cpu1",
+        "Machine",
+        "Mips = 104; Memory = 64;",
+    );
+    provider(
+        &mut store,
+        &proto,
+        &mut tickets,
+        "cpu2",
+        "Machine",
+        "Mips = 50; Memory = 64;",
+    );
 
     // A plain job...
     store
@@ -213,7 +244,10 @@ fn bilateral_and_gang_negotiation_coexist() {
     let bilateral = negotiator.negotiate(&store, 0);
     assert_eq!(bilateral.stats.matches, 1);
     assert_eq!(bilateral.matches[0].request_name, "plain.0");
-    assert_eq!(bilateral.matches[0].offer_name, "cpu1", "plain job takes the fast machine");
+    assert_eq!(
+        bilateral.matches[0].offer_name, "cpu1",
+        "plain job takes the fast machine"
+    );
     // The granted provider leaves the store; the gang comes back for its
     // pass and gets the remaining machine.
     store.withdraw(EntityKind::Provider, "cpu1");

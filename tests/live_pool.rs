@@ -58,15 +58,24 @@ fn figure3_full_cycle_over_loopback() {
         builder = builder.machine(format!("m{i}"), machine_ad(100 + i));
     }
     let pool = builder
-        .user("raman", vec![("raman-0".into(), job_ad()), ("raman-1".into(), job_ad())])
-        .user("miron", vec![("miron-0".into(), job_ad()), ("miron-1".into(), job_ad())])
+        .user(
+            "raman",
+            vec![("raman-0".into(), job_ad()), ("raman-1".into(), job_ad())],
+        )
+        .user(
+            "miron",
+            vec![("miron-0".into(), job_ad()), ("miron-1".into(), job_ad())],
+        )
         .spawn()
         .unwrap();
 
     assert!(
         pool.wait_for(WAIT, |p| p.all_claimed()),
         "pool never converged: {:?}",
-        pool.customers().iter().map(|c| c.jobs()).collect::<Vec<_>>()
+        pool.customers()
+            .iter()
+            .map(|c| c.jobs())
+            .collect::<Vec<_>>()
     );
 
     // Four jobs on four distinct machines.
@@ -84,7 +93,11 @@ fn figure3_full_cycle_over_loopback() {
 
     // Graceful teardown joins every thread; customers release their claims
     // on the way out.
-    let released: Vec<_> = pool.resources().iter().map(|r| r.name().to_owned()).collect();
+    let released: Vec<_> = pool
+        .resources()
+        .iter()
+        .map(|r| r.name().to_owned())
+        .collect();
     assert_eq!(released.len(), 4);
     pool.shutdown();
 }
@@ -108,10 +121,13 @@ fn stale_ad_rejected_at_claim_time_and_job_lands_elsewhere() {
 
     // The owner comes back to the keyboard on `flashy` *after* it
     // advertised: the matchmaker's copy still says KeyboardIdle = 1000.
-    pool.resource("flashy").unwrap().update_ad(|ad| ad.set_int("KeyboardIdle", 5));
+    pool.resource("flashy")
+        .unwrap()
+        .update_ad(|ad| ad.set_int("KeyboardIdle", 5));
 
     // The job ranks by Mips, so the first match is the stale `flashy`.
-    pool.add_customer("alice", vec![("job-0".into(), job_ad())]).unwrap();
+    pool.add_customer("alice", vec![("job-0".into(), job_ad())])
+        .unwrap();
     assert!(
         pool.wait_for(WAIT, |p| p.all_claimed()),
         "job never placed: {:?}",
@@ -125,7 +141,10 @@ fn stale_ad_rejected_at_claim_time_and_job_lands_elsewhere() {
         s => panic!("{s:?}"),
     }
     let flashy = pool.resource("flashy").unwrap().stats();
-    assert_eq!(flashy.claims_rejected, 1, "stale machine must have rejected the claim");
+    assert_eq!(
+        flashy.claims_rejected, 1,
+        "stale machine must have rejected the claim"
+    );
     assert_eq!(flashy.claims_accepted, 0);
     assert!(!pool.resource("flashy").unwrap().is_claimed());
     assert!(pool.resource("honest").unwrap().is_claimed());
@@ -151,7 +170,8 @@ fn ra_death_mid_claim_survived_by_retry_and_backoff() {
     // Abrupt death: no withdraw, the stale ad lingers in the matchmaker.
     assert!(pool.kill_resource("doomed"));
 
-    pool.add_customer("bob", vec![("job-0".into(), job_ad())]).unwrap();
+    pool.add_customer("bob", vec![("job-0".into(), job_ad())])
+        .unwrap();
     assert!(
         pool.wait_for(WAIT, |p| p.all_claimed()),
         "job never placed: {:?}",
@@ -166,7 +186,10 @@ fn ra_death_mid_claim_survived_by_retry_and_backoff() {
     }
     let ca = pool.customer("bob").unwrap().stats();
     assert!(ca.claim_dial_failures >= 1, "{ca:?}");
-    assert!(ca.ads_sent >= 2, "the job must have been resubmitted: {ca:?}");
+    assert!(
+        ca.ads_sent >= 2,
+        "the job must have been resubmitted: {ca:?}"
+    );
     pool.shutdown();
 }
 
@@ -192,7 +215,9 @@ fn daemon_answers_garbage_with_structured_errors() {
     // A length prefix past the daemon's frame limit (default 4 MiB).
     let mut stream = TcpStream::connect(pool.daemon().addr()).unwrap();
     stream.set_read_timeout(Some(io.read_timeout)).unwrap();
-    stream.write_all(&(16u32 * 1024 * 1024).to_be_bytes()).unwrap();
+    stream
+        .write_all(&(16u32 * 1024 * 1024).to_be_bytes())
+        .unwrap();
     stream.write_all(&[0u8; 64]).unwrap();
     let mut dec = FrameDecoder::new();
     let err = wire::recv(&mut stream, &mut dec, Instant::now() + io.read_timeout).unwrap_err();
@@ -228,7 +253,9 @@ fn live_query_over_tcp() {
         &IoConfig::default(),
     )
     .unwrap();
-    let Message::QueryReply { ads } = reply else { panic!("{reply:?}") };
+    let Message::QueryReply { ads } = reply else {
+        panic!("{reply:?}")
+    };
     assert_eq!(ads.len(), 1);
     assert_eq!(ads[0].get_string("Name"), Some("q1"));
     assert_eq!(ads[0].get_int("Mips"), Some(400));

@@ -44,7 +44,9 @@ fn figure3_step1_advertise() {
     for msg in [m_msg, j_msg] {
         let decoded = Message::decode(msg.encode()).unwrap();
         assert_eq!(decoded, msg);
-        let Message::Advertise(adv) = decoded else { panic!() };
+        let Message::Advertise(adv) = decoded else {
+            panic!()
+        };
         store.advertise(adv, 0, &proto).unwrap();
     }
     assert_eq!(store.len(), 2);
@@ -96,7 +98,11 @@ fn figure3_step2_3_match_and_notify() {
     assert_eq!(m.offer_rank, 10.0);
 
     let (to_customer, to_provider) = m.notifications();
-    assert_eq!(to_customer.ticket, Some(ticket), "ticket relayed to the customer");
+    assert_eq!(
+        to_customer.ticket,
+        Some(ticket),
+        "ticket relayed to the customer"
+    );
     assert_eq!(to_provider.ticket, None);
     assert_eq!(to_customer.peer_ad, machine);
     assert_eq!(to_provider.peer_ad, job);
@@ -121,7 +127,9 @@ fn figure3_step4_claim() {
         customer_ad: job.clone(),
         customer_contact: "raman-ca:1".into(),
     });
-    let Message::Claim(req) = Message::decode(claim.encode()).unwrap() else { panic!() };
+    let Message::Claim(req) = Message::decode(claim.encode()).unwrap() else {
+        panic!()
+    };
     let (resp, _) = handler.handle_claim(&req, &machine, 100, |_| false);
     assert!(resp.accepted);
     match handler.state() {
@@ -256,5 +264,8 @@ fn strictness_examples_via_public_api() {
     }
     let e = classad::parse_expr("Mips >= 10 || Kflops >= 1000").unwrap();
     let with_kflops = parse_classad("[Kflops = 21893]").unwrap();
-    assert_eq!(with_kflops.eval_expr(&e, &policy), classad::Value::Bool(true));
+    assert_eq!(
+        with_kflops.eval_expr(&e, &policy),
+        classad::Value::Bool(true)
+    );
 }

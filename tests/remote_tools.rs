@@ -2,7 +2,7 @@
 //! queries over the wire format (with framing), and the accountant's
 //! state browsed as classads, exactly like any other resource.
 
-use classad::{EvalPolicy, Value};
+use classad::EvalPolicy;
 use matchmaker::framing::{encode_framed, FrameDecoder};
 use matchmaker::negotiate::NegotiatorConfig;
 use matchmaker::prelude::*;
@@ -68,7 +68,11 @@ fn remote_query(
     for chunk in framed.chunks(3) {
         client_rx.push(chunk);
     }
-    match client_rx.next_message().unwrap().expect("reply reassembles") {
+    match client_rx
+        .next_message()
+        .unwrap()
+        .expect("reply reassembles")
+    {
         Message::QueryReply { ads } => ads,
         other => panic!("unexpected reply {other:?}"),
     }
@@ -79,7 +83,8 @@ fn condor_status_over_the_wire() {
     let svc = Matchmaker::new(NegotiatorConfig::default());
     for i in 0..6 {
         let arch = if i % 2 == 0 { "INTEL" } else { "SPARC" };
-        svc.advertise(machine_adv(i, 50 + 20 * i as i64, arch), 0).unwrap();
+        svc.advertise(machine_adv(i, 50 + 20 * i as i64, arch), 0)
+            .unwrap();
     }
     let ads = remote_query(
         &svc,
@@ -119,10 +124,9 @@ fn accounting_browsable_after_cycles() {
         // cycle and read the accounting ads it would publish.
         // (Matchmaker exposes usage via charge/negotiate; the tracker ads
         // come from the Negotiator's priorities.)
-        let probe = classad::parse_classad(
-            r#"[ Name = "q"; Constraint = other.Type == "Accounting" ]"#,
-        )
-        .unwrap();
+        let probe =
+            classad::parse_classad(r#"[ Name = "q"; Constraint = other.Type == "Accounting" ]"#)
+                .unwrap();
         let policy = EvalPolicy::default();
         let conv = classad::MatchConventions::default();
         // Build the ads from a fresh tracker mirroring the service charges:
@@ -154,9 +158,17 @@ fn accounting_browsable_after_cycles() {
 #[test]
 fn malformed_remote_query_is_an_error_frame_level() {
     let svc = Matchmaker::new(NegotiatorConfig::default());
-    let bad = Message::Query { constraint: "((".into(), kind: None, projection: vec![] };
+    let bad = Message::Query {
+        constraint: "((".into(),
+        kind: None,
+        projection: vec![],
+    };
     assert!(svc.handle_frame(bad.encode(), 0).is_err());
     // And raw garbage is rejected by decoding, not by panicking.
-    let garbage = Message::Release { ticket: Ticket::from_raw(0) }.encode().slice(0..1);
+    let garbage = Message::Release {
+        ticket: Ticket::from_raw(0),
+    }
+    .encode()
+    .slice(0..1);
     assert!(svc.handle_frame(garbage, 0).is_err());
 }
