@@ -201,7 +201,9 @@ fn write_bench_json(path: &str) {
         _ => 0.0,
     };
 
-    let mut json = String::from("{\n  \"benchmark\": \"negotiation\",\n  \"results\": [\n");
+    let mut json = String::from("{\n");
+    json.push_str(&bench::provenance_fields());
+    json.push_str("  \"benchmark\": \"negotiation\",\n  \"results\": [\n");
     for (i, r) in results.iter().enumerate() {
         let comma = if i + 1 < results.len() { "," } else { "" };
         json.push_str(&format!(

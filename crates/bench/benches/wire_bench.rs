@@ -177,7 +177,9 @@ fn write_bench_json(path: &str) {
     let stream = find("wire_loopback/advertise_stream_256");
     let ads_per_sec = stream.map(|ns| BATCH as f64 * 1e9 / ns).unwrap_or(0.0);
 
-    let mut json = String::from("{\n  \"benchmark\": \"wire\",\n  \"results\": [\n");
+    let mut json = String::from("{\n");
+    json.push_str(&bench::provenance_fields());
+    json.push_str("  \"benchmark\": \"wire\",\n  \"results\": [\n");
     for (i, r) in results.iter().enumerate() {
         let comma = if i + 1 < results.len() { "," } else { "" };
         json.push_str(&format!(

@@ -1,3 +1,60 @@
-//! Benchmark-harness crate: all content lives in `benches/` (one Criterion
-//! target per reproduced paper artifact — see DESIGN.md §2 and
-//! EXPERIMENTS.md). This library is intentionally empty.
+//! Benchmark-harness crate: the Criterion targets live in `benches/` (one
+//! per reproduced paper artifact — see DESIGN.md §2 and EXPERIMENTS.md).
+//! The library itself only carries what the targets share: provenance
+//! stamping for the `BENCH_*.json` artifacts they write.
+
+use std::process::Command;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// The commit the benchmark binary was built from, or `"unknown"` when the
+/// tree is not a git checkout (e.g. a source tarball).
+pub fn git_rev() -> String {
+    Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Seconds since the Unix epoch, for the `recorded_unix` artifact field.
+pub fn recorded_unix() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// The provenance fields every `BENCH_*.json` artifact starts with, as a
+/// JSON fragment (two `  "key": value,` lines) ready to splice after the
+/// opening brace.
+pub fn provenance_fields() -> String {
+    format!(
+        "  \"git_rev\": \"{}\",\n  \"recorded_unix\": {},\n",
+        git_rev(),
+        recorded_unix()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn provenance_is_well_formed() {
+        let rev = git_rev();
+        assert!(
+            rev == "unknown" || (rev.len() == 40 && rev.chars().all(|c| c.is_ascii_hexdigit())),
+            "{rev}"
+        );
+        assert!(recorded_unix() > 1_500_000_000);
+        let frag = provenance_fields();
+        let json = format!("{{\n{}  \"ok\": true\n}}", frag);
+        assert!(json.contains("\"git_rev\": \""));
+        assert!(json.contains("\"recorded_unix\": "));
+    }
+}

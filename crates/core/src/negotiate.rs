@@ -147,6 +147,56 @@ pub struct CycleStats {
     /// path, every best-match invocation (including preemption-exclusion
     /// rescans) on the oracle path.
     pub full_scans: usize,
+    /// Ads swept by lease expiry just before this cycle (filled in by the
+    /// service layer, which owns the sweep; zero when negotiating against
+    /// a store directly).
+    pub expired_ads: usize,
+}
+
+impl CycleStats {
+    /// Fold this cycle into an observability registry using the shared
+    /// metric schema ([`condor_obs::schema`]): monotone totals accumulate
+    /// into counters, the per-cycle figures land in `last_cycle_*` gauges.
+    /// Cycle wall-clock duration is not known here — callers that time the
+    /// cycle record it into [`condor_obs::schema::CYCLE_DURATION_MS`].
+    pub fn record(&self, registry: &condor_obs::Registry) {
+        use condor_obs::schema;
+        registry.counter(schema::CYCLES).inc();
+        registry.counter(schema::MATCHES).add(self.matches as u64);
+        registry
+            .counter(schema::REQUESTS_CONSIDERED)
+            .add(self.requests_considered as u64);
+        registry
+            .counter(schema::UNMATCHED_REQUESTS)
+            .add(self.unmatched_requests as u64);
+        registry
+            .counter(schema::PREEMPTIONS)
+            .add(self.preemptions as u64);
+        registry
+            .counter(schema::CLUSTERS_FORMED)
+            .add(self.clusters_formed as u64);
+        registry
+            .counter(schema::MATCHLIST_HITS)
+            .add(self.matchlist_hits as u64);
+        registry
+            .counter(schema::FULL_SCANS)
+            .add(self.full_scans as u64);
+        registry
+            .counter(schema::ADS_EXPIRED)
+            .add(self.expired_ads as u64);
+        registry
+            .gauge(schema::LAST_CYCLE_REQUESTS)
+            .set(self.requests_considered as i64);
+        registry
+            .gauge(schema::LAST_CYCLE_OFFERS)
+            .set(self.offers_considered as i64);
+        registry
+            .gauge(schema::LAST_CYCLE_MATCHES)
+            .set(self.matches as i64);
+        registry
+            .gauge(schema::LAST_CYCLE_UNMATCHED)
+            .set(self.unmatched_requests as i64);
+    }
 }
 
 /// The outcome of a negotiation cycle.
@@ -198,8 +248,13 @@ impl Negotiator {
 
     /// Run one negotiation cycle over the ads in `store` at time `now`.
     pub fn negotiate(&mut self, store: &AdStore, now: Timestamp) -> CycleOutcome {
-        let offers: Vec<StoredAd> = store.snapshot(EntityKind::Provider, now);
+        let mut offers: Vec<StoredAd> = store.snapshot(EntityKind::Provider, now);
         let mut requests: Vec<StoredAd> = store.snapshot(EntityKind::Customer, now);
+        // Daemon self-ads live in the store so they are queryable, but
+        // they are telemetry, not participants: matching against them (or
+        // counting them in cycle statistics) would corrupt both.
+        offers.retain(|o| !condor_obs::is_daemon_ad(&o.ad));
+        requests.retain(|r| !condor_obs::is_daemon_ad(&r.ad));
         // Multi-port (gang) requests are served by the gang matcher (see
         // the `gangmatch` crate), not the bilateral algorithm: a request
         // with a `Ports` list must be granted atomically or not at all.

@@ -181,6 +181,20 @@ impl Matchmaker {
         }
     }
 
+    /// Insert a daemon self-ad (a `DaemonAd = true` telemetry ad, see
+    /// `condor_obs::selfad`). It goes through the same admission checks as
+    /// a real advertisement — so it is queryable like any other ad — but
+    /// bypasses the `ads_accepted`/`ads_rejected` counters: the service
+    /// statistics keep describing the pool's real requests and offers, and
+    /// the daemon's own heartbeat does not inflate them.
+    pub fn publish_self_ad(
+        &self,
+        adv: Advertisement,
+        now: Timestamp,
+    ) -> Result<String, ProtocolError> {
+        self.store.write().advertise(adv, now, &self.protocol)
+    }
+
     /// Withdraw an entity's ad.
     pub fn withdraw(&self, kind: EntityKind, name: &str) -> bool {
         self.store.write().withdraw(kind, name)
@@ -191,17 +205,19 @@ impl Matchmaker {
         self.store.read().len()
     }
 
-    /// Run one negotiation cycle at `now`. Expired ads are swept first.
+    /// Run one negotiation cycle at `now`. Expired ads are swept first
+    /// (their count lands in `stats.expired_ads`).
     pub fn negotiate(&self, now: Timestamp) -> CycleOutcome {
         let mut negotiator = self.negotiator.lock();
         // Sweep under the write lock, then release it: the cycle itself
         // snapshots the store under a read lock so advertisement ingest
         // continues during matching.
-        self.store.write().expire(now);
-        let outcome = {
+        let expired = self.store.write().expire(now);
+        let mut outcome = {
             let store = self.store.read();
             negotiator.negotiate(&store, now)
         };
+        outcome.stats.expired_ads = expired;
         // Matched ads leave the store until their owners re-advertise.
         {
             let mut store = self.store.write();
@@ -298,6 +314,51 @@ mod tests {
         assert_eq!(s.ads_accepted, 6);
         assert_eq!(s.cycles, 1);
         assert_eq!(s.matches, 2);
+    }
+
+    #[test]
+    fn self_ads_are_queryable_but_invisible_to_negotiation() {
+        let svc = Matchmaker::new(NegotiatorConfig::default());
+        for i in 0..2 {
+            svc.advertise(machine_adv(i), 0).unwrap();
+            svc.advertise(job_adv(i), 0).unwrap();
+        }
+        let reg = condor_obs::Registry::new();
+        reg.counter(condor_obs::schema::CYCLES).add(7);
+        let self_ad = condor_obs::self_ad(
+            "mm@local:9618",
+            condor_obs::schema::MATCHMAKER_STATS,
+            5,
+            &reg.snapshot(),
+        );
+        svc.publish_self_ad(
+            Advertisement {
+                kind: EntityKind::Provider,
+                ad: self_ad,
+                contact: "local:9618".into(),
+                ticket: None,
+                expires_at: 1_000_000,
+            },
+            0,
+        )
+        .unwrap();
+        // Not counted as a real advertisement.
+        assert_eq!(svc.stats().ads_accepted, 4);
+        assert_eq!(svc.ad_count(), 5);
+        // Queryable through the normal path.
+        let q = Query::from_constraint(&condor_obs::self_ad_constraint(
+            condor_obs::schema::MATCHMAKER_STATS,
+        ))
+        .unwrap();
+        let hits = svc.query(&q, 0);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].get_int("Cycles"), Some(7));
+        // Invisible to the negotiator: both jobs match real machines, the
+        // self-ad is neither counted nor matched nor withdrawn.
+        let outcome = svc.negotiate(0);
+        assert_eq!(outcome.stats.offers_considered, 2);
+        assert_eq!(outcome.stats.matches, 2);
+        assert_eq!(svc.ad_count(), 1, "only the self-ad remains");
     }
 
     #[test]

@@ -1,0 +1,800 @@
+//! The durable event journal: append-only JSONL with rotation and replay.
+//!
+//! Each line is one [`Record`] — a monotone sequence number, a unix
+//! timestamp, and a typed lifecycle [`Event`] — encoded as a flat JSON
+//! object. The format is deliberately minimal (string and unsigned-int
+//! fields only, no nesting) so both the writer and the replay parser fit
+//! in this file without a serialization framework; the workspace `serde`
+//! shim is a no-op, so depending on it would buy nothing.
+//!
+//! Rotation is size-based: when the current file would exceed
+//! `rotate_bytes`, `journal.jsonl` becomes `journal.jsonl.1`, `.1`
+//! becomes `.2`, and so on up to `keep_rotated`; the oldest falls off.
+//! [`replay`] walks the rotated files oldest-first, then the current
+//! file, yielding records in sequence order.
+
+use parking_lot::Mutex;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// A typed pool lifecycle event.
+///
+/// Every variant carries only what is needed to reconstruct the pool's
+/// story offline; high-volume detail stays in the metrics registry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// An advertisement was accepted into the ad store.
+    AdReceived {
+        /// `"Provider"` or `"Customer"`.
+        kind: String,
+        /// The ad's `Name` attribute.
+        name: String,
+        /// The advertiser's contact address.
+        contact: String,
+    },
+    /// A negotiation cycle finished.
+    CycleCompleted {
+        /// Requests considered.
+        requests: u64,
+        /// Offers considered.
+        offers: u64,
+        /// Matches produced.
+        matches: u64,
+        /// Requests left unmatched.
+        unmatched: u64,
+        /// Wall-clock cycle duration, milliseconds.
+        duration_ms: u64,
+    },
+    /// The matchmaker sent (or failed to send) a match notification.
+    MatchNotified {
+        /// The matched request's `Name`.
+        request: String,
+        /// The matched offer's `Name`.
+        offer: String,
+        /// Whether the notification dial succeeded.
+        delivered: bool,
+    },
+    /// A provider accepted a claim.
+    ClaimEstablished {
+        /// The provider's `Name`.
+        provider: String,
+        /// The claiming customer's `Name`.
+        customer: String,
+    },
+    /// A provider rejected a claim.
+    ClaimRejected {
+        /// The provider's `Name`.
+        provider: String,
+        /// The rejected customer's `Name`.
+        customer: String,
+        /// The provider's stated reason.
+        reason: String,
+    },
+    /// The ad store dropped ads whose leases expired.
+    LeaseExpired {
+        /// How many ads expired together.
+        expired: u64,
+    },
+    /// A daemon refused an incoming frame.
+    FrameRejected {
+        /// The peer's socket address (or `"?"` if unknown).
+        peer: String,
+        /// Why the frame was refused.
+        reason: String,
+    },
+    /// An agent (re)started and reset its soft state.
+    AgentRestarted {
+        /// `"ResourceAgent"`, `"CustomerAgent"`, or `"MatchmakerDaemon"`.
+        agent: String,
+        /// The agent's `Name`.
+        name: String,
+    },
+}
+
+impl Event {
+    /// The event's type tag as written to the journal.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::AdReceived { .. } => "AdReceived",
+            Event::CycleCompleted { .. } => "CycleCompleted",
+            Event::MatchNotified { .. } => "MatchNotified",
+            Event::ClaimEstablished { .. } => "ClaimEstablished",
+            Event::ClaimRejected { .. } => "ClaimRejected",
+            Event::LeaseExpired { .. } => "LeaseExpired",
+            Event::FrameRejected { .. } => "FrameRejected",
+            Event::AgentRestarted { .. } => "AgentRestarted",
+        }
+    }
+
+    fn fields(&self) -> Vec<(&'static str, FieldValue)> {
+        use FieldValue::{Bool, Str, U64};
+        match self {
+            Event::AdReceived {
+                kind,
+                name,
+                contact,
+            } => vec![
+                ("kind", Str(kind.clone())),
+                ("name", Str(name.clone())),
+                ("contact", Str(contact.clone())),
+            ],
+            Event::CycleCompleted {
+                requests,
+                offers,
+                matches,
+                unmatched,
+                duration_ms,
+            } => vec![
+                ("requests", U64(*requests)),
+                ("offers", U64(*offers)),
+                ("matches", U64(*matches)),
+                ("unmatched", U64(*unmatched)),
+                ("duration_ms", U64(*duration_ms)),
+            ],
+            Event::MatchNotified {
+                request,
+                offer,
+                delivered,
+            } => vec![
+                ("request", Str(request.clone())),
+                ("offer", Str(offer.clone())),
+                ("delivered", Bool(*delivered)),
+            ],
+            Event::ClaimEstablished { provider, customer } => vec![
+                ("provider", Str(provider.clone())),
+                ("customer", Str(customer.clone())),
+            ],
+            Event::ClaimRejected {
+                provider,
+                customer,
+                reason,
+            } => vec![
+                ("provider", Str(provider.clone())),
+                ("customer", Str(customer.clone())),
+                ("reason", Str(reason.clone())),
+            ],
+            Event::LeaseExpired { expired } => vec![("expired", U64(*expired))],
+            Event::FrameRejected { peer, reason } => {
+                vec![("peer", Str(peer.clone())), ("reason", Str(reason.clone()))]
+            }
+            Event::AgentRestarted { agent, name } => {
+                vec![("agent", Str(agent.clone())), ("name", Str(name.clone()))]
+            }
+        }
+    }
+
+    fn from_fields(kind: &str, obj: &JsonObject) -> Option<Event> {
+        Some(match kind {
+            "AdReceived" => Event::AdReceived {
+                kind: obj.str("kind")?,
+                name: obj.str("name")?,
+                contact: obj.str("contact")?,
+            },
+            "CycleCompleted" => Event::CycleCompleted {
+                requests: obj.u64("requests")?,
+                offers: obj.u64("offers")?,
+                matches: obj.u64("matches")?,
+                unmatched: obj.u64("unmatched")?,
+                duration_ms: obj.u64("duration_ms")?,
+            },
+            "MatchNotified" => Event::MatchNotified {
+                request: obj.str("request")?,
+                offer: obj.str("offer")?,
+                delivered: obj.bool("delivered")?,
+            },
+            "ClaimEstablished" => Event::ClaimEstablished {
+                provider: obj.str("provider")?,
+                customer: obj.str("customer")?,
+            },
+            "ClaimRejected" => Event::ClaimRejected {
+                provider: obj.str("provider")?,
+                customer: obj.str("customer")?,
+                reason: obj.str("reason")?,
+            },
+            "LeaseExpired" => Event::LeaseExpired {
+                expired: obj.u64("expired")?,
+            },
+            "FrameRejected" => Event::FrameRejected {
+                peer: obj.str("peer")?,
+                reason: obj.str("reason")?,
+            },
+            "AgentRestarted" => Event::AgentRestarted {
+                agent: obj.str("agent")?,
+                name: obj.str("name")?,
+            },
+            _ => return None,
+        })
+    }
+}
+
+/// One journal line: sequence number, wall-clock stamp, typed event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Monotone per-journal sequence number, starting at 1.
+    pub seq: u64,
+    /// Unix seconds when the event was appended.
+    pub unix: u64,
+    /// The event itself.
+    pub event: Event,
+}
+
+impl Record {
+    fn encode(&self) -> String {
+        let mut line = String::with_capacity(96);
+        line.push('{');
+        push_field(&mut line, "seq", &FieldValue::U64(self.seq));
+        line.push(',');
+        push_field(&mut line, "unix", &FieldValue::U64(self.unix));
+        line.push(',');
+        push_field(
+            &mut line,
+            "event",
+            &FieldValue::Str(self.event.kind().to_string()),
+        );
+        for (k, v) in self.event.fields() {
+            line.push(',');
+            push_field(&mut line, k, &v);
+        }
+        line.push('}');
+        line
+    }
+
+    fn decode(line: &str) -> Option<Record> {
+        let obj = JsonObject::parse(line)?;
+        let event = Event::from_fields(&obj.str("event")?, &obj)?;
+        Some(Record {
+            seq: obj.u64("seq")?,
+            unix: obj.u64("unix")?,
+            event,
+        })
+    }
+}
+
+/// Where the journal lives and when it rotates.
+#[derive(Debug, Clone)]
+pub struct JournalConfig {
+    /// Path of the current journal file (e.g. `pool/journal.jsonl`).
+    /// Rotated generations live next to it as `<path>.1`, `<path>.2`, ...
+    pub path: PathBuf,
+    /// Rotate before an append would push the current file past this size.
+    pub rotate_bytes: u64,
+    /// How many rotated generations to keep (0 = delete on rotation).
+    pub keep_rotated: usize,
+}
+
+impl JournalConfig {
+    /// A journal at `path` with defaults good for tests and small pools:
+    /// rotate at 1 MiB, keep 3 generations.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        JournalConfig {
+            path: path.into(),
+            rotate_bytes: 1 << 20,
+            keep_rotated: 3,
+        }
+    }
+}
+
+/// An append-only, size-rotated event journal. Cheap to share: appends
+/// serialize on an internal mutex, and every append reaches the OS before
+/// the call returns (`BufWriter`-free by design — events are rare and
+/// durability is the point).
+#[derive(Debug)]
+pub struct Journal {
+    cfg: JournalConfig,
+    inner: Mutex<JournalInner>,
+}
+
+#[derive(Debug)]
+struct JournalInner {
+    file: File,
+    bytes: u64,
+    seq: u64,
+    io_errors: u64,
+}
+
+impl Journal {
+    /// Open (or create) the journal at `cfg.path`, resuming the sequence
+    /// number after the last decodable record in the current file.
+    pub fn open(cfg: JournalConfig) -> std::io::Result<Journal> {
+        if let Some(dir) = cfg.path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let mut seq = 0;
+        if let Ok(file) = File::open(&cfg.path) {
+            for line in BufReader::new(file).lines() {
+                let Ok(line) = line else { break };
+                if let Some(rec) = Record::decode(&line) {
+                    seq = seq.max(rec.seq);
+                }
+            }
+        }
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&cfg.path)?;
+        let bytes = file.metadata()?.len();
+        Ok(Journal {
+            cfg,
+            inner: Mutex::new(JournalInner {
+                file,
+                bytes,
+                seq,
+                io_errors: 0,
+            }),
+        })
+    }
+
+    /// Append one event, stamping the next sequence number and the current
+    /// unix time. Returns the record as written. I/O failures are counted
+    /// (see [`Journal::io_errors`]) but never panic or poison the journal:
+    /// observability must not take the pool down.
+    pub fn append(&self, event: Event) -> Record {
+        let unix = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        let mut inner = self.inner.lock();
+        inner.seq += 1;
+        let record = Record {
+            seq: inner.seq,
+            unix,
+            event,
+        };
+        let mut line = record.encode();
+        line.push('\n');
+        if inner.bytes + line.len() as u64 > self.cfg.rotate_bytes && inner.bytes > 0 {
+            if let Err(_e) = self.rotate(&mut inner) {
+                inner.io_errors += 1;
+            }
+        }
+        match inner
+            .file
+            .write_all(line.as_bytes())
+            .and_then(|()| inner.file.flush())
+        {
+            Ok(()) => inner.bytes += line.len() as u64,
+            Err(_) => inner.io_errors += 1,
+        }
+        record
+    }
+
+    /// Shift `<path>.(n)` → `<path>.(n+1)` (dropping the oldest) and start
+    /// a fresh current file.
+    fn rotate(&self, inner: &mut JournalInner) -> std::io::Result<()> {
+        if self.cfg.keep_rotated == 0 {
+            inner.file = File::create(&self.cfg.path)?;
+            inner.bytes = 0;
+            return Ok(());
+        }
+        let gen_path = |n: usize| -> PathBuf {
+            let mut s = self.cfg.path.as_os_str().to_os_string();
+            s.push(format!(".{n}"));
+            PathBuf::from(s)
+        };
+        let oldest = gen_path(self.cfg.keep_rotated);
+        if oldest.exists() {
+            std::fs::remove_file(&oldest)?;
+        }
+        for n in (1..self.cfg.keep_rotated).rev() {
+            let from = gen_path(n);
+            if from.exists() {
+                std::fs::rename(&from, gen_path(n + 1))?;
+            }
+        }
+        std::fs::rename(&self.cfg.path, gen_path(1))?;
+        inner.file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.cfg.path)?;
+        inner.bytes = 0;
+        Ok(())
+    }
+
+    /// The next append's sequence number minus one: how many records this
+    /// journal has ever written (across rotations).
+    pub fn position(&self) -> u64 {
+        self.inner.lock().seq
+    }
+
+    /// How many appends or rotations failed at the I/O layer.
+    pub fn io_errors(&self) -> u64 {
+        self.inner.lock().io_errors
+    }
+
+    /// The journal's current file path.
+    pub fn path(&self) -> &Path {
+        &self.cfg.path
+    }
+}
+
+/// Read every decodable record for the journal at `path`: rotated
+/// generations first (oldest to newest), then the current file. Lines
+/// that fail to parse (torn writes, foreign content) are skipped —
+/// replay is best-effort reconstruction, not validation.
+pub fn replay(path: impl AsRef<Path>) -> std::io::Result<Vec<Record>> {
+    let path = path.as_ref();
+    let mut generations: Vec<PathBuf> = Vec::new();
+    for n in 1.. {
+        let mut s = path.as_os_str().to_os_string();
+        s.push(format!(".{n}"));
+        let p = PathBuf::from(s);
+        if p.exists() {
+            generations.push(p);
+        } else {
+            break;
+        }
+    }
+    generations.reverse(); // highest generation = oldest records
+    generations.push(path.to_path_buf());
+    let mut records = Vec::new();
+    for p in generations {
+        let Ok(file) = File::open(&p) else { continue };
+        for line in BufReader::new(file).lines() {
+            let line = line?;
+            if let Some(rec) = Record::decode(&line) {
+                records.push(rec);
+            }
+        }
+    }
+    Ok(records)
+}
+
+// ---- minimal flat JSON ----
+//
+// The journal's object shape is fixed: one flat object per line, values
+// are strings, unsigned integers, or booleans. The encoder and parser
+// below implement exactly that (with full string escaping), which is all
+// the journal needs and keeps the crate dependency-free.
+
+#[derive(Debug)]
+enum FieldValue {
+    Str(String),
+    U64(u64),
+    Bool(bool),
+}
+
+fn push_field(out: &mut String, key: &str, v: &FieldValue) {
+    push_json_string(out, key);
+    out.push(':');
+    match v {
+        FieldValue::Str(s) => push_json_string(out, s),
+        FieldValue::U64(n) => {
+            use fmt::Write as _;
+            let _ = write!(out, "{n}");
+        }
+        FieldValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+    }
+}
+
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                use fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A parsed flat JSON object (string/u64/bool values only).
+#[derive(Debug, Default)]
+struct JsonObject {
+    fields: Vec<(String, FieldValue)>,
+}
+
+impl JsonObject {
+    fn str(&self, key: &str) -> Option<String> {
+        self.fields.iter().find_map(|(k, v)| match v {
+            FieldValue::Str(s) if k == key => Some(s.clone()),
+            _ => None,
+        })
+    }
+
+    fn u64(&self, key: &str) -> Option<u64> {
+        self.fields.iter().find_map(|(k, v)| match v {
+            FieldValue::U64(n) if k == key => Some(*n),
+            _ => None,
+        })
+    }
+
+    fn bool(&self, key: &str) -> Option<bool> {
+        self.fields.iter().find_map(|(k, v)| match v {
+            FieldValue::Bool(b) if k == key => Some(*b),
+            _ => None,
+        })
+    }
+
+    fn parse(line: &str) -> Option<JsonObject> {
+        let mut p = Parser {
+            bytes: line.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        p.expect(b'{')?;
+        let mut obj = JsonObject::default();
+        p.skip_ws();
+        if p.peek() == Some(b'}') {
+            p.pos += 1;
+        } else {
+            loop {
+                p.skip_ws();
+                let key = p.parse_string()?;
+                p.skip_ws();
+                p.expect(b':')?;
+                p.skip_ws();
+                let value = p.parse_value()?;
+                obj.fields.push((key, value));
+                p.skip_ws();
+                match p.peek() {
+                    Some(b',') => p.pos += 1,
+                    Some(b'}') => {
+                        p.pos += 1;
+                        break;
+                    }
+                    _ => return None,
+                }
+            }
+        }
+        p.skip_ws();
+        if p.pos == p.bytes.len() {
+            Some(obj)
+        } else {
+            None
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Option<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn parse_value(&mut self) -> Option<FieldValue> {
+        match self.peek()? {
+            b'"' => self.parse_string().map(FieldValue::Str),
+            b't' => self.parse_literal("true").map(|()| FieldValue::Bool(true)),
+            b'f' => self
+                .parse_literal("false")
+                .map(|()| FieldValue::Bool(false)),
+            b'0'..=b'9' => {
+                let start = self.pos;
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .ok()?
+                    .parse()
+                    .ok()
+                    .map(FieldValue::U64)
+            }
+            _ => None,
+        }
+    }
+
+    fn parse_literal(&mut self, lit: &str) -> Option<()> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn parse_string(&mut self) -> Option<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek()? {
+                b'"' => {
+                    self.pos += 1;
+                    return Some(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    match self.peek()? {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self.bytes.get(self.pos + 1..self.pos + 5)?;
+                            let code =
+                                u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                            out.push(char::from_u32(code)?);
+                            self.pos += 4;
+                        }
+                        _ => return None,
+                    }
+                    self.pos += 1;
+                }
+                _ => {
+                    // Consume one UTF-8 scalar (multi-byte safe).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..]).ok()?;
+                    let ch = rest.chars().next()?;
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("condor-obs-journal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::AdReceived {
+                kind: "Provider".into(),
+                name: "ra-\"quoted\"\n".into(),
+                contact: "127.0.0.1:9618".into(),
+            },
+            Event::CycleCompleted {
+                requests: 3,
+                offers: 2,
+                matches: 2,
+                unmatched: 1,
+                duration_ms: 12,
+            },
+            Event::MatchNotified {
+                request: "job-1".into(),
+                offer: "ra-1".into(),
+                delivered: true,
+            },
+            Event::ClaimEstablished {
+                provider: "ra-1".into(),
+                customer: "alice".into(),
+            },
+            Event::ClaimRejected {
+                provider: "ra-2".into(),
+                customer: "bob".into(),
+                reason: "stale ticket".into(),
+            },
+            Event::LeaseExpired { expired: 4 },
+            Event::FrameRejected {
+                peer: "10.0.0.7:1234".into(),
+                reason: "bad tag 99".into(),
+            },
+            Event::AgentRestarted {
+                agent: "CustomerAgent".into(),
+                name: "alice".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn every_event_round_trips_through_a_line() {
+        for (i, event) in sample_events().into_iter().enumerate() {
+            let rec = Record {
+                seq: i as u64 + 1,
+                unix: 1_700_000_000,
+                event,
+            };
+            let line = rec.encode();
+            let back = Record::decode(&line).unwrap_or_else(|| panic!("decode failed: {line}"));
+            assert_eq!(back, rec);
+        }
+    }
+
+    #[test]
+    fn append_resumes_sequence_after_reopen() {
+        let dir = temp_dir("resume");
+        let cfg = JournalConfig::new(dir.join("j.jsonl"));
+        {
+            let j = Journal::open(cfg.clone()).unwrap();
+            j.append(Event::LeaseExpired { expired: 1 });
+            j.append(Event::LeaseExpired { expired: 2 });
+            assert_eq!(j.position(), 2);
+        }
+        let j = Journal::open(cfg).unwrap();
+        let rec = j.append(Event::LeaseExpired { expired: 3 });
+        assert_eq!(rec.seq, 3);
+        let recs = replay(j.path()).unwrap();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(
+            recs.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn rotation_keeps_bounded_generations_and_replay_orders_them() {
+        let dir = temp_dir("rotate");
+        let path = dir.join("j.jsonl");
+        let cfg = JournalConfig {
+            path: path.clone(),
+            rotate_bytes: 200,
+            keep_rotated: 2,
+        };
+        let j = Journal::open(cfg).unwrap();
+        for i in 0..40 {
+            j.append(Event::LeaseExpired { expired: i });
+        }
+        assert!(path.exists());
+        let gen1 = PathBuf::from(format!("{}.1", path.display()));
+        let gen2 = PathBuf::from(format!("{}.2", path.display()));
+        let gen3 = PathBuf::from(format!("{}.3", path.display()));
+        assert!(gen1.exists() && gen2.exists());
+        assert!(
+            !gen3.exists(),
+            "keep_rotated = 2 must bound the generations"
+        );
+        let recs = replay(&path).unwrap();
+        // Oldest generations fell off, but what remains is contiguous,
+        // in order, and ends with the newest record.
+        assert!(recs.len() < 40);
+        assert!(recs.windows(2).all(|w| w[1].seq == w[0].seq + 1));
+        assert_eq!(recs.last().unwrap().seq, 40);
+        assert_eq!(j.io_errors(), 0);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn replay_skips_torn_and_foreign_lines() {
+        let dir = temp_dir("torn");
+        let path = dir.join("j.jsonl");
+        let cfg = JournalConfig::new(path.clone());
+        let j = Journal::open(cfg.clone()).unwrap();
+        j.append(Event::LeaseExpired { expired: 1 });
+        drop(j);
+        use std::io::Write as _;
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        writeln!(f, "{{\"seq\":2,\"unix\":0,\"event\":\"LeaseExp").unwrap(); // torn
+        writeln!(f, "not json at all").unwrap();
+        drop(f);
+        let j = Journal::open(cfg).unwrap();
+        j.append(Event::LeaseExpired { expired: 9 });
+        let recs = replay(&path).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[1].event, Event::LeaseExpired { expired: 9 });
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,47 @@
+//! # condor-obs — self-describing observability
+//!
+//! The paper's central idea is that *the query language is the data model*
+//! (§3.1): classads fold queries into semi-structured data. This crate
+//! applies the same idea to the pool's own telemetry, following Robinson &
+//! DeWitt's "Turning Cluster Management into Data Management": instead of
+//! bolting an external metrics stack onto the daemons, every daemon
+//! describes itself with a classad that travels through the *existing*
+//! query path (`Message::Query` against the matchmaker's ad store), so
+//! `condor_status`-style tools browse pool health with the same constraint
+//! language they use to browse machines.
+//!
+//! Three layers:
+//!
+//! * [`Registry`] — a lock-cheap metrics registry. Counters and gauges are
+//!   plain atomics behind `Arc` handles (the registry's map lock is paid
+//!   only at registration and snapshot time); histograms are time-windowed
+//!   sample buffers behind a `parking_lot::Mutex`. A
+//!   [`MetricsSnapshot`] renders to a [`classad::ClassAd`] whose attribute
+//!   names are the PascalCase form of the metric names.
+//! * [`Journal`] — an append-only JSONL log of typed lifecycle [`Event`]s
+//!   with monotone sequence numbers, size-based rotation, and a replay
+//!   reader ([`replay`]) that reconstructs the typed events — rotated
+//!   files first, oldest to newest.
+//! * [`self_ad`] — the daemon-ad builder: identity (`MyType`, `Name`,
+//!   uptime) plus a metrics snapshot plus any extra attributes, marked
+//!   with `DaemonAd = true` so the negotiator leaves it alone and given
+//!   `Constraint = false`/`Rank = 0` so it satisfies the advertising
+//!   protocol without ever matching a job.
+//!
+//! The [`schema`] module pins the metric names shared by the live pool
+//! (`condor-pool`), the negotiator bridge (`matchmaker`), and the
+//! simulator (`condor-sim`), so all three report through one schema.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod journal;
+pub mod registry;
+pub mod schema;
+pub mod selfad;
+
+pub use journal::{replay, Event, Journal, JournalConfig, Record};
+pub use registry::{
+    Counter, Gauge, HistogramSnapshot, MetricsSnapshot, Registry, WindowedHistogram,
+};
+pub use selfad::{attr_name, is_daemon_ad, self_ad, self_ad_constraint, DAEMON_AD_ATTR};

@@ -1,0 +1,330 @@
+//! The metrics registry: counters, gauges, and time-windowed histograms.
+//!
+//! Hot paths touch only atomics: a component registers its metrics once
+//! (paying the registry's map lock), keeps the returned `Arc` handles in a
+//! plain struct, and updates them with relaxed atomic operations.
+//! Snapshots walk the registry maps and are the only readers, so they
+//! never contend with instrumented code beyond the atomic loads.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A monotone counter (relaxed atomics: monotone, no ordering needs).
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous signed value (e.g. active connections, idle jobs).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Overwrite the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Add a (possibly negative) delta.
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A histogram over the samples recorded within a sliding time window
+/// (older samples age out), for quantities like cycle duration where the
+/// *recent* distribution is what an operator wants.
+#[derive(Debug)]
+pub struct WindowedHistogram {
+    window: Duration,
+    samples: Mutex<VecDeque<(Instant, f64)>>,
+}
+
+/// Point-in-time summary of a [`WindowedHistogram`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Samples currently inside the window.
+    pub count: u64,
+    /// Smallest sample in the window.
+    pub min: f64,
+    /// Largest sample in the window.
+    pub max: f64,
+    /// Mean of the window.
+    pub mean: f64,
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl WindowedHistogram {
+    /// A histogram forgetting samples older than `window`.
+    pub fn new(window: Duration) -> Self {
+        WindowedHistogram {
+            window,
+            samples: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Record one sample now. Non-finite samples are dropped (they would
+    /// poison every percentile and cannot render into a classad).
+    pub fn record(&self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        let now = Instant::now();
+        let mut samples = self.samples.lock();
+        samples.push_back((now, value));
+        while samples
+            .front()
+            .is_some_and(|(t, _)| now.duration_since(*t) > self.window)
+        {
+            samples.pop_front();
+        }
+    }
+
+    /// Summarize the samples still inside the window.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let now = Instant::now();
+        let mut samples = self.samples.lock();
+        while samples
+            .front()
+            .is_some_and(|(t, _)| now.duration_since(*t) > self.window)
+        {
+            samples.pop_front();
+        }
+        let mut values: Vec<f64> = samples.iter().map(|(_, v)| *v).collect();
+        drop(samples);
+        if values.is_empty() {
+            return HistogramSnapshot::default();
+        }
+        values.sort_by(|a, b| a.partial_cmp(b).expect("non-finite samples are rejected"));
+        let count = values.len() as u64;
+        let sum: f64 = values.iter().sum();
+        let pct = |p: f64| {
+            let idx = ((p * (values.len() - 1) as f64).round() as usize).min(values.len() - 1);
+            values[idx]
+        };
+        HistogramSnapshot {
+            count,
+            min: values[0],
+            max: *values.last().expect("non-empty"),
+            mean: sum / count as f64,
+            p50: pct(0.50),
+            p90: pct(0.90),
+            p99: pct(0.99),
+        }
+    }
+}
+
+/// A named collection of metrics. Cloneable handles come out; a
+/// [`MetricsSnapshot`] goes in the other direction.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<WindowedHistogram>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Get or create the named counter. Names should be `snake_case`; they
+    /// render as PascalCase classad attributes (see
+    /// [`crate::selfad::attr_name`]).
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        Arc::clone(self.counters.lock().entry(name.to_string()).or_default())
+    }
+
+    /// Get or create the named gauge.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        Arc::clone(self.gauges.lock().entry(name.to_string()).or_default())
+    }
+
+    /// Get or create the named windowed histogram. The window is fixed at
+    /// first registration; later calls reuse the existing histogram.
+    pub fn histogram(&self, name: &str, window: Duration) -> Arc<WindowedHistogram> {
+        Arc::clone(
+            self.histograms
+                .lock()
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(WindowedHistogram::new(window))),
+        )
+    }
+
+    /// A consistent-enough snapshot of every registered metric (each
+    /// metric is read atomically; the set is read under the map locks).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .lock()
+                .iter()
+                .map(|(n, c)| (n.clone(), c.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .iter()
+                .map(|(n, g)| (n.clone(), g.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .iter()
+                .map(|(n, h)| (n.clone(), h.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// Every metric's value at one instant. Renders into a classad via
+/// [`MetricsSnapshot::set_attrs`] (or the full self-ad via
+/// [`crate::selfad::self_ad`]).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter values by metric name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by metric name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram summaries by metric name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Write every metric into `ad` as an evaluated attribute: counters
+    /// and gauges as integers, histograms as a family of
+    /// `<Name>Count/Min/Max/Mean/P50/P90/P99` attributes (empty histograms
+    /// contribute only their zero `Count`).
+    pub fn set_attrs(&self, ad: &mut classad::ClassAd) {
+        use crate::selfad::attr_name;
+        for (name, v) in &self.counters {
+            ad.set_int(attr_name(name), *v as i64);
+        }
+        for (name, v) in &self.gauges {
+            ad.set_int(attr_name(name), *v);
+        }
+        for (name, h) in &self.histograms {
+            let base = attr_name(name);
+            ad.set_int(format!("{base}Count"), h.count as i64);
+            if h.count > 0 {
+                ad.set_real(format!("{base}Min"), h.min);
+                ad.set_real(format!("{base}Max"), h.max);
+                ad.set_real(format!("{base}Mean"), h.mean);
+                ad.set_real(format!("{base}P50"), h.p50);
+                ad.set_real(format!("{base}P90"), h.p90);
+                ad.set_real(format!("{base}P99"), h.p99);
+            }
+        }
+    }
+
+    /// Look up a counter by metric name.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Look up a gauge by metric name.
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_are_shared_handles() {
+        let reg = Registry::new();
+        let a = reg.counter("hits");
+        let b = reg.counter("hits");
+        a.inc();
+        b.add(2);
+        assert_eq!(reg.counter("hits").get(), 3);
+        let g = reg.gauge("depth");
+        g.set(5);
+        g.add(-2);
+        assert_eq!(reg.snapshot().gauge("depth"), 3);
+        assert_eq!(reg.snapshot().counter("hits"), 3);
+        assert_eq!(reg.snapshot().counter("absent"), 0);
+    }
+
+    #[test]
+    fn histogram_summarizes_and_rejects_non_finite() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat", Duration::from_secs(3600));
+        for v in [4.0, 1.0, 3.0, 2.0, 5.0] {
+            h.record(v);
+        }
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert_eq!(s.p50, 3.0);
+        assert_eq!(s.p99, 5.0);
+    }
+
+    #[test]
+    fn histogram_window_ages_samples_out() {
+        let h = WindowedHistogram::new(Duration::from_millis(30));
+        h.record(10.0);
+        std::thread::sleep(Duration::from_millis(60));
+        h.record(20.0);
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.min, 20.0);
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_is_zero() {
+        let h = WindowedHistogram::new(Duration::from_secs(1));
+        assert_eq!(h.snapshot(), HistogramSnapshot::default());
+    }
+
+    #[test]
+    fn snapshot_renders_into_classad() {
+        let reg = Registry::new();
+        reg.counter("frames_handled").add(7);
+        reg.gauge("active_connections").set(2);
+        reg.histogram("cycle_duration_ms", Duration::from_secs(60))
+            .record(1.5);
+        let mut ad = classad::ClassAd::new();
+        reg.snapshot().set_attrs(&mut ad);
+        assert_eq!(ad.get_int("FramesHandled"), Some(7));
+        assert_eq!(ad.get_int("ActiveConnections"), Some(2));
+        assert_eq!(ad.get_int("CycleDurationMsCount"), Some(1));
+        assert!(ad.contains("CycleDurationMsP99"));
+    }
+}

@@ -1,0 +1,104 @@
+//! The shared metric-name schema.
+//!
+//! One set of names, three reporters: the live daemons (`condor-pool`),
+//! the negotiator bridge (`matchmaker::service::record_cycle`), and the
+//! simulator's metrics export (`condor-sim`). Keeping the names here —
+//! rather than as string literals at each call site — is what makes "sim
+//! and live pool report through one schema" a compiler-checked property
+//! instead of a convention.
+//!
+//! Names are `snake_case`; they surface in self-ads as PascalCase
+//! attributes (see [`crate::selfad::attr_name`]): `cycles` → `Cycles`,
+//! `claims_accepted` → `ClaimsAccepted`.
+
+/// `MyType` value of the matchmaker daemon's self-ad.
+pub const MATCHMAKER_STATS: &str = "MatchmakerStats";
+/// `MyType` value of a resource agent's self-ad.
+pub const RESOURCE_AGENT_STATS: &str = "ResourceAgentStats";
+/// `MyType` value of a customer agent's self-ad.
+pub const CUSTOMER_AGENT_STATS: &str = "CustomerAgentStats";
+/// `MyType` value of a simulation run's stats ad.
+pub const SIMULATOR_STATS: &str = "SimulatorStats";
+
+// ---- negotiation (matchmaker + simulator) ----
+
+/// Negotiation cycles run.
+pub const CYCLES: &str = "cycles";
+/// Matches produced over all cycles.
+pub const MATCHES: &str = "matches_total";
+/// Requests considered over all cycles.
+pub const REQUESTS_CONSIDERED: &str = "requests_considered_total";
+/// Requests that found no compatible offer, over all cycles.
+pub const UNMATCHED_REQUESTS: &str = "unmatched_requests_total";
+/// Matches that preempt a running claim, over all cycles.
+pub const PREEMPTIONS: &str = "preemptions_total";
+/// Request equivalence classes formed by autoclustering, over all cycles.
+pub const CLUSTERS_FORMED: &str = "clusters_formed_total";
+/// Requests served from a cached cluster match list, over all cycles.
+pub const MATCHLIST_HITS: &str = "matchlist_hits_total";
+/// Full offer-pool scans, over all cycles.
+pub const FULL_SCANS: &str = "full_scans_total";
+/// Ads dropped by lease expiry, over all cycles.
+pub const ADS_EXPIRED: &str = "ads_expired_total";
+/// Last cycle: requests considered.
+pub const LAST_CYCLE_REQUESTS: &str = "last_cycle_requests";
+/// Last cycle: offers considered.
+pub const LAST_CYCLE_OFFERS: &str = "last_cycle_offers";
+/// Last cycle: matches produced.
+pub const LAST_CYCLE_MATCHES: &str = "last_cycle_matches";
+/// Last cycle: unmatched requests.
+pub const LAST_CYCLE_UNMATCHED: &str = "last_cycle_unmatched";
+/// Recent cycle wall-clock duration, milliseconds (windowed histogram).
+pub const CYCLE_DURATION_MS: &str = "cycle_duration_ms";
+
+// ---- wire / daemon ----
+
+/// Connections admitted into the handler pool.
+pub const CONNECTIONS_ACCEPTED: &str = "connections_accepted";
+/// Connections refused because the pool was full.
+pub const CONNECTIONS_REFUSED: &str = "connections_refused";
+/// Connections currently being served (gauge).
+pub const ACTIVE_CONNECTIONS: &str = "active_connections";
+/// Decoded frames dispatched to the service.
+pub const FRAMES_HANDLED: &str = "frames_handled";
+/// Frames refused (undecodable bytes or out-of-protocol messages).
+pub const FRAMES_REJECTED: &str = "frames_rejected";
+/// Structured error replies sent before closing a connection.
+pub const ERROR_REPLIES: &str = "error_replies";
+/// Match notifications delivered to contact addresses.
+pub const NOTIFICATIONS_SENT: &str = "notifications_sent";
+/// Notification dials that failed (soft state: costs one cycle).
+pub const NOTIFICATIONS_FAILED: &str = "notifications_failed";
+
+// ---- agents (live pool + simulator) ----
+
+/// Advertisements delivered to the matchmaker.
+pub const ADS_SENT: &str = "ads_sent";
+/// Advertisement dials that exhausted their retry budget.
+pub const AD_FAILURES: &str = "ad_failures";
+/// Self-ads (daemon ads) published to the matchmaker.
+pub const SELF_ADS_SENT: &str = "self_ads_sent";
+/// Match notifications received.
+pub const NOTIFICATIONS_SEEN: &str = "notifications_seen";
+/// Claim attempts (customer side: dials; simulator: requests sent).
+pub const CLAIM_ATTEMPTS: &str = "claim_attempts";
+/// Claims accepted.
+pub const CLAIMS_ACCEPTED: &str = "claims_accepted";
+/// Claims rejected.
+pub const CLAIMS_REJECTED: &str = "claims_rejected";
+/// Claim dials that never reached the provider (death, timeout).
+pub const CLAIM_DIAL_FAILURES: &str = "claim_dial_failures";
+/// Release messages honored.
+pub const RELEASES: &str = "releases";
+/// Whether the resource is currently claimed (gauge, 0/1).
+pub const CLAIMED: &str = "claimed";
+/// Jobs submitted.
+pub const JOBS_SUBMITTED: &str = "jobs_submitted";
+/// Jobs completed.
+pub const JOBS_COMPLETED: &str = "jobs_completed";
+/// Jobs abandoned after exhausting the retry budget.
+pub const JOBS_FAILED: &str = "jobs_failed";
+/// Jobs currently unplaced (gauge).
+pub const JOBS_IDLE: &str = "jobs_idle";
+/// Jobs currently holding a claim (gauge).
+pub const JOBS_CLAIMED: &str = "jobs_claimed";

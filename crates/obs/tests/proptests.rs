@@ -1,0 +1,115 @@
+//! Property tests for the self-ad rendering pipeline: any metrics
+//! snapshot must render to a classad that (a) survives a print/parse
+//! round trip and (b) evaluates `other.MyType == "<type>"` correctly —
+//! the exact path a remote `condor_status --stats` query takes.
+
+use condor_obs::{attr_name, self_ad, self_ad_constraint, HistogramSnapshot, MetricsSnapshot};
+use proptest::prelude::*;
+
+fn arb_metric_name() -> impl Strategy<Value = String> {
+    // Registry names in the wild: snake_case segments, occasionally
+    // digits, occasionally odd separators (attr_name must sanitize all).
+    proptest::string::string_regex("[a-z][a-z0-9_]{0,20}(\\.[a-z0-9]{1,4})?").unwrap()
+}
+
+fn arb_snapshot() -> impl Strategy<Value = MetricsSnapshot> {
+    let counters = proptest::collection::vec((arb_metric_name(), any::<u32>()), 0..8);
+    let gauges = proptest::collection::vec((arb_metric_name(), -1000i64..1000), 0..8);
+    let histos = proptest::collection::vec((arb_metric_name(), 0u64..50, 0.0f64..1e6), 0..4);
+    (counters, gauges, histos).prop_map(|(cs, gs, hs)| {
+        let mut snap = MetricsSnapshot::default();
+        for (n, v) in cs {
+            snap.counters.insert(n, v as u64);
+        }
+        for (n, v) in gs {
+            snap.gauges.insert(n, v);
+        }
+        for (n, count, base) in hs {
+            snap.histograms.insert(
+                n,
+                if count == 0 {
+                    HistogramSnapshot::default()
+                } else {
+                    HistogramSnapshot {
+                        count,
+                        min: base,
+                        max: base * 2.0 + 1.0,
+                        mean: base * 1.5,
+                        p50: base * 1.4,
+                        p90: base * 1.9,
+                        p99: base * 2.0,
+                    }
+                },
+            );
+        }
+        snap
+    })
+}
+
+fn arb_my_type() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("MatchmakerStats".to_string()),
+        Just("ResourceAgentStats".to_string()),
+        Just("CustomerAgentStats".to_string()),
+        Just("SimulatorStats".to_string()),
+        proptest::string::string_regex("[A-Z][A-Za-z0-9]{0,12}").unwrap(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn every_snapshot_renders_to_a_reparseable_ad(
+        snap in arb_snapshot(),
+        my_type in arb_my_type(),
+    ) {
+        let ad = self_ad("daemon#stats", &my_type, 42, &snap);
+        let printed = ad.to_string();
+        let back = classad::parse_classad(&printed)
+            .unwrap_or_else(|e| panic!("self-ad failed to reparse: {e}\n{printed}"));
+        prop_assert_eq!(&ad, &back, "print/parse changed the self-ad");
+        // Every counter and gauge survives as a queryable int attribute.
+        for (name, v) in &snap.counters {
+            prop_assert_eq!(
+                back.get_int(&attr_name(name)),
+                Some(*v as i64),
+                "counter {} lost",
+                name
+            );
+        }
+        for (name, v) in &snap.gauges {
+            prop_assert_eq!(back.get_int(&attr_name(name)), Some(*v), "gauge {} lost", name);
+        }
+    }
+
+    #[test]
+    fn my_type_constraint_selects_exactly_the_right_ads(
+        snap in arb_snapshot(),
+        my_type in arb_my_type(),
+        other_type in arb_my_type(),
+    ) {
+        let policy = classad::EvalPolicy::default();
+        let conv = classad::MatchConventions::default();
+        let ad = self_ad("daemon#stats", &my_type, 0, &snap);
+        let query = |ty: &str| {
+            classad::parse_classad(&format!("[ Constraint = {} ]", self_ad_constraint(ty)))
+                .expect("constraint parses")
+        };
+        prop_assert!(
+            classad::constraint_holds(&query(&my_type), &ad, &policy, &conv),
+            "self-ad of type {} must satisfy its own type constraint",
+            my_type
+        );
+        if other_type != my_type {
+            prop_assert!(
+                !classad::constraint_holds(&query(&other_type), &ad, &policy, &conv),
+                "type {} must not satisfy a {} constraint",
+                my_type,
+                other_type
+            );
+        }
+        // The self-ad's own Constraint = false: it never accepts a match.
+        prop_assert!(!classad::constraint_holds(&ad, &query(&my_type), &policy, &conv));
+    }
+}

@@ -10,14 +10,16 @@
 //!
 //! [`MatchNotification`]: matchmaker::protocol::MatchNotification
 
+use crate::observe::{self_ad_name, Observer};
 use crate::retry::Backoff;
 use crate::wire::{self, IoConfig};
 use classad::ClassAd;
+use condor_obs::{schema, Event, JournalConfig};
 use matchmaker::protocol::{Advertisement, ClaimRequest, EntityKind, MatchNotification, Message};
 use parking_lot::Mutex;
 use std::io::ErrorKind;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -40,6 +42,11 @@ pub struct CustomerConfig {
     /// Resubmission schedule after a rejected or failed claim; exhausting
     /// it marks the job [`JobStatus::Failed`].
     pub backoff: Backoff,
+    /// Publish a `CustomerAgentStats` self-ad to the matchmaker on every
+    /// advertisement pass (on by default; see `condor_obs::selfad`).
+    pub publish_self_ad: bool,
+    /// Event-journal destination; `None` disables journaling.
+    pub journal: Option<JournalConfig>,
 }
 
 impl Default for CustomerConfig {
@@ -52,6 +59,8 @@ impl Default for CustomerConfig {
             lease: Duration::from_secs(300),
             io: IoConfig::default(),
             backoff: Backoff::default(),
+            publish_self_ad: true,
+            journal: None,
         }
     }
 }
@@ -85,15 +94,38 @@ struct Job {
     not_before: Instant,
 }
 
-#[derive(Debug, Default)]
-struct CaStats {
-    ads_sent: AtomicU64,
-    ad_failures: AtomicU64,
-    notifications_received: AtomicU64,
-    claims_accepted: AtomicU64,
-    claims_rejected: AtomicU64,
-    claim_dial_failures: AtomicU64,
-    jobs_failed: AtomicU64,
+/// The agent's metric handles, registered once at spawn.
+#[derive(Debug)]
+struct CaMetrics {
+    ads_sent: Arc<condor_obs::Counter>,
+    ad_failures: Arc<condor_obs::Counter>,
+    self_ads_sent: Arc<condor_obs::Counter>,
+    notifications_received: Arc<condor_obs::Counter>,
+    claims_accepted: Arc<condor_obs::Counter>,
+    claims_rejected: Arc<condor_obs::Counter>,
+    claim_dial_failures: Arc<condor_obs::Counter>,
+    jobs_submitted: Arc<condor_obs::Counter>,
+    jobs_failed: Arc<condor_obs::Counter>,
+    jobs_idle: Arc<condor_obs::Gauge>,
+    jobs_claimed: Arc<condor_obs::Gauge>,
+}
+
+impl CaMetrics {
+    fn new(reg: &condor_obs::Registry) -> Self {
+        CaMetrics {
+            ads_sent: reg.counter(schema::ADS_SENT),
+            ad_failures: reg.counter(schema::AD_FAILURES),
+            self_ads_sent: reg.counter(schema::SELF_ADS_SENT),
+            notifications_received: reg.counter(schema::NOTIFICATIONS_SEEN),
+            claims_accepted: reg.counter(schema::CLAIMS_ACCEPTED),
+            claims_rejected: reg.counter(schema::CLAIMS_REJECTED),
+            claim_dial_failures: reg.counter(schema::CLAIM_DIAL_FAILURES),
+            jobs_submitted: reg.counter(schema::JOBS_SUBMITTED),
+            jobs_failed: reg.counter(schema::JOBS_FAILED),
+            jobs_idle: reg.gauge(schema::JOBS_IDLE),
+            jobs_claimed: reg.gauge(schema::JOBS_CLAIMED),
+        }
+    }
 }
 
 /// Point-in-time copy of the customer-agent counters.
@@ -120,7 +152,8 @@ struct CaShared {
     contact: String,
     jobs: Mutex<Vec<Job>>,
     shutdown: AtomicBool,
-    stats: CaStats,
+    metrics: CaMetrics,
+    observer: Observer,
     claimers: Mutex<Vec<JoinHandle<()>>>,
 }
 
@@ -148,13 +181,20 @@ impl CustomerAgent {
         let listener = TcpListener::bind(&cfg.bind)?;
         let addr = listener.local_addr()?;
         let user = cfg.user.clone();
+        let observer = Observer::new(cfg.journal.clone())?;
+        let metrics = CaMetrics::new(observer.registry());
         let shared = Arc::new(CaShared {
             contact: addr.to_string(),
             cfg,
             jobs: Mutex::new(Vec::new()),
             shutdown: AtomicBool::new(false),
-            stats: CaStats::default(),
+            metrics,
+            observer,
             claimers: Mutex::new(Vec::new()),
+        });
+        shared.observer.emit(Event::AgentRestarted {
+            agent: "CustomerAgent".into(),
+            name: user.clone(),
         });
         for (name, ad) in jobs {
             push_job(&shared, &user, name, ad);
@@ -215,15 +255,15 @@ impl CustomerAgent {
 
     /// Counter snapshot.
     pub fn stats(&self) -> CustomerStatsSnapshot {
-        let s = &self.shared.stats;
+        let m = &self.shared.metrics;
         CustomerStatsSnapshot {
-            ads_sent: s.ads_sent.load(Ordering::Relaxed),
-            ad_failures: s.ad_failures.load(Ordering::Relaxed),
-            notifications_received: s.notifications_received.load(Ordering::Relaxed),
-            claims_accepted: s.claims_accepted.load(Ordering::Relaxed),
-            claims_rejected: s.claims_rejected.load(Ordering::Relaxed),
-            claim_dial_failures: s.claim_dial_failures.load(Ordering::Relaxed),
-            jobs_failed: s.jobs_failed.load(Ordering::Relaxed),
+            ads_sent: m.ads_sent.get(),
+            ad_failures: m.ad_failures.get(),
+            notifications_received: m.notifications_received.get(),
+            claims_accepted: m.claims_accepted.get(),
+            claims_rejected: m.claims_rejected.get(),
+            claim_dial_failures: m.claim_dial_failures.get(),
+            jobs_failed: m.jobs_failed.get(),
         }
     }
 
@@ -296,6 +336,7 @@ impl Drop for CustomerAgent {
 fn push_job(shared: &Arc<CaShared>, user: &str, name: String, mut ad: ClassAd) {
     ad.set_str("Name", &name);
     ad.set_str("Owner", user);
+    shared.metrics.jobs_submitted.inc();
     shared.jobs.lock().push(Job {
         name,
         ad,
@@ -306,9 +347,53 @@ fn push_job(shared: &Arc<CaShared>, user: &str, name: String, mut ad: ClassAd) {
     });
 }
 
+/// Recompute the job-state gauges from the queue (called on each
+/// advertisement pass, just before the self-ad snapshot is taken).
+fn update_job_gauges(shared: &Arc<CaShared>) {
+    let jobs = shared.jobs.lock();
+    let idle = jobs.iter().filter(|j| j.status == JobStatus::Idle).count();
+    let claimed = jobs
+        .iter()
+        .filter(|j| matches!(j.status, JobStatus::Claimed { .. }))
+        .count();
+    drop(jobs);
+    shared.metrics.jobs_idle.set(idle as i64);
+    shared.metrics.jobs_claimed.set(claimed as i64);
+}
+
+/// Send the `CustomerAgentStats` self-ad to the matchmaker (best effort,
+/// no retry: the next pass brings the next one).
+fn publish_self_ad(shared: &Arc<CaShared>) {
+    update_job_gauges(shared);
+    let mut ad = shared.observer.build_self_ad(
+        &self_ad_name(&shared.cfg.user),
+        schema::CUSTOMER_AGENT_STATS,
+    );
+    ad.set_str("User", &shared.cfg.user);
+    let adv = Advertisement {
+        kind: EntityKind::Customer,
+        ad,
+        contact: shared.contact.clone(),
+        ticket: None,
+        expires_at: wire::unix_now() + (3 * shared.cfg.heartbeat.as_secs()).max(300),
+    };
+    if wire::send_oneway(
+        &shared.cfg.matchmaker,
+        &Message::Advertise(adv),
+        &shared.cfg.io,
+    )
+    .is_ok()
+    {
+        shared.metrics.self_ads_sent.inc();
+    }
+}
+
 fn advertise_loop(shared: &Arc<CaShared>) {
     loop {
         advertise_pending(shared);
+        if shared.cfg.publish_self_ad {
+            publish_self_ad(shared);
+        }
         if wire::interruptible_sleep(&shared.shutdown, shared.cfg.heartbeat) {
             return;
         }
@@ -337,10 +422,10 @@ fn advertise_pending(shared: &Arc<CaShared>) {
             &shared.cfg.io,
         ) {
             Ok(()) => {
-                shared.stats.ads_sent.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.ads_sent.inc();
             }
             Err(_) => {
-                shared.stats.ad_failures.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.ad_failures.inc();
             }
         }
     }
@@ -357,10 +442,7 @@ fn listen_loop(shared: &Arc<CaShared>, listener: TcpListener) {
             break;
         }
         if let Some(note) = read_notification(shared, stream) {
-            shared
-                .stats
-                .notifications_received
-                .fetch_add(1, Ordering::Relaxed);
+            shared.metrics.notifications_received.inc();
             // Claim on a separate thread: a slow or dead provider must not
             // block notifications for the agent's other jobs.
             let claim_shared = Arc::clone(shared);
@@ -414,23 +496,38 @@ fn attempt_claim(shared: &Arc<CaShared>, note: MatchNotification) {
             });
             match wire::request_reply(&note.peer_contact, &req, &shared.cfg.io) {
                 Ok(Message::ClaimReply(r)) if r.accepted => {
-                    shared.stats.claims_accepted.fetch_add(1, Ordering::Relaxed);
-                    Ok(r.provider_ad
+                    shared.metrics.claims_accepted.inc();
+                    let provider = r
+                        .provider_ad
                         .get_string("Name")
                         .unwrap_or_default()
-                        .to_owned())
+                        .to_owned();
+                    shared.observer.emit(Event::ClaimEstablished {
+                        provider: provider.clone(),
+                        customer: shared.cfg.user.clone(),
+                    });
+                    Ok(provider)
                 }
                 Ok(Message::ClaimReply(r)) => {
                     debug_assert!(r.rejection.is_some());
-                    shared.stats.claims_rejected.fetch_add(1, Ordering::Relaxed);
+                    shared.metrics.claims_rejected.inc();
+                    shared.observer.emit(Event::ClaimRejected {
+                        provider: r
+                            .provider_ad
+                            .get_string("Name")
+                            .unwrap_or_default()
+                            .to_owned(),
+                        customer: shared.cfg.user.clone(),
+                        reason: r
+                            .rejection
+                            .map(|rej| format!("{rej:?}"))
+                            .unwrap_or_else(|| "unspecified".into()),
+                    });
                     Err(())
                 }
                 Ok(_) => Err(()),
                 Err(_) => {
-                    shared
-                        .stats
-                        .claim_dial_failures
-                        .fetch_add(1, Ordering::Relaxed);
+                    shared.metrics.claim_dial_failures.inc();
                     Err(())
                 }
             }
@@ -460,7 +557,7 @@ fn attempt_claim(shared: &Arc<CaShared>, note: MatchNotification) {
                 }
                 None => {
                     job.status = JobStatus::Failed;
-                    shared.stats.jobs_failed.fetch_add(1, Ordering::Relaxed);
+                    shared.metrics.jobs_failed.inc();
                 }
             }
         }
@@ -479,15 +576,20 @@ mod tests {
             .unwrap()
     }
 
-    /// A fake matchmaker endpoint collecting advertisements.
+    /// A fake matchmaker endpoint collecting advertisements. Self-ads
+    /// (heartbeat telemetry) are skipped: these tests watch the job ads.
     fn recv_one_ad(listener: &TcpListener) -> Advertisement {
-        let (mut s, _) = listener.accept().unwrap();
-        let _ = s.set_read_timeout(Some(Duration::from_secs(5)));
-        let mut dec = FrameDecoder::new();
-        let msg = wire::recv(&mut s, &mut dec, Instant::now() + Duration::from_secs(5)).unwrap();
-        match msg {
-            Message::Advertise(a) => a,
-            other => panic!("expected Advertise, got {other:?}"),
+        loop {
+            let (mut s, _) = listener.accept().unwrap();
+            let _ = s.set_read_timeout(Some(Duration::from_secs(5)));
+            let mut dec = FrameDecoder::new();
+            let msg =
+                wire::recv(&mut s, &mut dec, Instant::now() + Duration::from_secs(5)).unwrap();
+            match msg {
+                Message::Advertise(a) if condor_obs::is_daemon_ad(&a.ad) => continue,
+                Message::Advertise(a) => return a,
+                other => panic!("expected Advertise, got {other:?}"),
+            }
         }
     }
 

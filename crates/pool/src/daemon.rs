@@ -9,20 +9,31 @@
 //! advertising protocol demands real `host:port` contacts.
 //!
 //! Protocol violations never strand a peer: the offending connection gets
-//! a structured [`Message::Error`] reply and is then closed.
+//! a structured [`Message::Error`] reply and is then closed — and, when a
+//! journal is configured, leaves a `FrameRejected` event with the peer's
+//! address and the reason.
+//!
+//! Observability: the daemon keeps a `condor_obs` metrics registry and
+//! publishes a self-ad (`MyType == "MatchmakerStats"`, `DaemonAd = true`)
+//! into its own ad store — at spawn, after every negotiation cycle, and
+//! freshly before serving any query — so `Message::Query` with
+//! `other.MyType == "MatchmakerStats"` reads live daemon health over the
+//! same wire as any other query.
 
+use crate::observe::{self_ad_name, Observer};
 use crate::wire::{self, IoConfig};
+use condor_obs::{schema, Event, JournalConfig};
 use matchmaker::framing::FrameDecoder;
 use matchmaker::negotiate::NegotiatorConfig;
-use matchmaker::protocol::{AdvertisingProtocol, Message};
+use matchmaker::protocol::{Advertisement, AdvertisingProtocol, EntityKind, Message};
 use matchmaker::service::Matchmaker;
 use parking_lot::Mutex;
 use std::io::{ErrorKind, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Daemon tunables.
 #[derive(Debug, Clone)]
@@ -44,6 +55,10 @@ pub struct DaemonConfig {
     /// Demand `host:port` contact addresses in ads (on by default: the
     /// daemon must dial contacts back to deliver notifications).
     pub require_socket_contact: bool,
+    /// Daemon name; the self-ad advertises as `<name>#stats`.
+    pub name: String,
+    /// Event-journal destination; `None` disables journaling.
+    pub journal: Option<JournalConfig>,
 }
 
 impl Default for DaemonConfig {
@@ -56,20 +71,43 @@ impl Default for DaemonConfig {
             negotiator: NegotiatorConfig::default(),
             max_frame_len: 4 * 1024 * 1024,
             require_socket_contact: true,
+            name: "matchmaker".into(),
+            journal: None,
         }
     }
 }
 
-/// Monotone daemon counters (relaxed atomics; see snapshot()).
-#[derive(Debug, Default)]
-struct DaemonStats {
-    connections_accepted: AtomicU64,
-    connections_refused: AtomicU64,
-    frames_handled: AtomicU64,
-    error_replies: AtomicU64,
-    cycles: AtomicU64,
-    notifications_sent: AtomicU64,
-    notifications_failed: AtomicU64,
+/// The daemon's metric handles — registered once at spawn, updated with
+/// relaxed atomics on the hot paths (see `condor_obs::Registry`).
+#[derive(Debug)]
+struct DaemonMetrics {
+    connections_accepted: Arc<condor_obs::Counter>,
+    connections_refused: Arc<condor_obs::Counter>,
+    active_connections: Arc<condor_obs::Gauge>,
+    frames_handled: Arc<condor_obs::Counter>,
+    frames_rejected: Arc<condor_obs::Counter>,
+    error_replies: Arc<condor_obs::Counter>,
+    cycles: Arc<condor_obs::Counter>,
+    notifications_sent: Arc<condor_obs::Counter>,
+    notifications_failed: Arc<condor_obs::Counter>,
+    cycle_duration_ms: Arc<condor_obs::WindowedHistogram>,
+}
+
+impl DaemonMetrics {
+    fn new(reg: &condor_obs::Registry) -> Self {
+        DaemonMetrics {
+            connections_accepted: reg.counter(schema::CONNECTIONS_ACCEPTED),
+            connections_refused: reg.counter(schema::CONNECTIONS_REFUSED),
+            active_connections: reg.gauge(schema::ACTIVE_CONNECTIONS),
+            frames_handled: reg.counter(schema::FRAMES_HANDLED),
+            frames_rejected: reg.counter(schema::FRAMES_REJECTED),
+            error_replies: reg.counter(schema::ERROR_REPLIES),
+            cycles: reg.counter(schema::CYCLES),
+            notifications_sent: reg.counter(schema::NOTIFICATIONS_SENT),
+            notifications_failed: reg.counter(schema::NOTIFICATIONS_FAILED),
+            cycle_duration_ms: reg.histogram(schema::CYCLE_DURATION_MS, Duration::from_secs(300)),
+        }
+    }
 }
 
 /// Point-in-time copy of the daemon counters.
@@ -81,6 +119,8 @@ pub struct DaemonStatsSnapshot {
     pub connections_refused: u64,
     /// Decoded frames dispatched to the service.
     pub frames_handled: u64,
+    /// Frames refused: undecodable bytes or out-of-protocol messages.
+    pub frames_rejected: u64,
     /// Structured error replies sent before closing a connection.
     pub error_replies: u64,
     /// Negotiation cycles run by the ticker.
@@ -94,7 +134,9 @@ pub struct DaemonStatsSnapshot {
 struct Shared {
     service: Matchmaker,
     cfg: DaemonConfig,
-    stats: DaemonStats,
+    metrics: DaemonMetrics,
+    observer: Observer,
+    contact: String,
     shutdown: AtomicBool,
     active: AtomicUsize,
     conns: Mutex<Vec<JoinHandle<()>>>,
@@ -126,14 +168,23 @@ impl MatchmakerDaemon {
             require_socket_contact: cfg.require_socket_contact,
             ..AdvertisingProtocol::default()
         };
+        let observer = Observer::new(cfg.journal.clone())?;
+        let metrics = DaemonMetrics::new(observer.registry());
         let shared = Arc::new(Shared {
             service: Matchmaker::with_protocol(cfg.negotiator.clone(), protocol),
             cfg,
-            stats: DaemonStats::default(),
+            metrics,
+            observer,
+            contact: addr.to_string(),
             shutdown: AtomicBool::new(false),
             active: AtomicUsize::new(0),
             conns: Mutex::new(Vec::new()),
         });
+        shared.observer.emit(Event::AgentRestarted {
+            agent: "MatchmakerDaemon".into(),
+            name: shared.cfg.name.clone(),
+        });
+        shared.publish_self_ad();
 
         let accept = {
             let shared = Arc::clone(&shared);
@@ -168,16 +219,23 @@ impl MatchmakerDaemon {
 
     /// Counter snapshot.
     pub fn stats(&self) -> DaemonStatsSnapshot {
-        let s = &self.shared.stats;
+        let m = &self.shared.metrics;
         DaemonStatsSnapshot {
-            connections_accepted: s.connections_accepted.load(Ordering::Relaxed),
-            connections_refused: s.connections_refused.load(Ordering::Relaxed),
-            frames_handled: s.frames_handled.load(Ordering::Relaxed),
-            error_replies: s.error_replies.load(Ordering::Relaxed),
-            cycles: s.cycles.load(Ordering::Relaxed),
-            notifications_sent: s.notifications_sent.load(Ordering::Relaxed),
-            notifications_failed: s.notifications_failed.load(Ordering::Relaxed),
+            connections_accepted: m.connections_accepted.get(),
+            connections_refused: m.connections_refused.get(),
+            frames_handled: m.frames_handled.get(),
+            frames_rejected: m.frames_rejected.get(),
+            error_replies: m.error_replies.get(),
+            cycles: m.cycles.get(),
+            notifications_sent: m.notifications_sent.get(),
+            notifications_failed: m.notifications_failed.get(),
         }
+    }
+
+    /// How many events the daemon's journal has written (0 when
+    /// journaling is off).
+    pub fn journal_position(&self) -> u64 {
+        self.shared.observer.journal().map_or(0, |j| j.position())
     }
 
     /// Stop accepting, finish in-flight connections, and join every
@@ -206,6 +264,28 @@ impl Drop for MatchmakerDaemon {
     }
 }
 
+impl Shared {
+    /// (Re)insert the daemon's self-ad into its own ad store. The lease
+    /// outlives three cycle intervals (floor five minutes) so the ad
+    /// survives quiet stretches; every refresh renews it.
+    fn publish_self_ad(&self) {
+        let ad = self
+            .observer
+            .build_self_ad(&self_ad_name(&self.cfg.name), schema::MATCHMAKER_STATS);
+        let lease = (3 * self.cfg.cycle_interval.as_secs()).max(300);
+        let adv = Advertisement {
+            kind: EntityKind::Provider,
+            ad,
+            contact: self.contact.clone(),
+            ticket: None,
+            expires_at: wire::unix_now() + lease,
+        };
+        // Failure here means the protocol rejected our own telemetry ad —
+        // never fatal to matchmaking itself.
+        let _ = self.service.publish_self_ad(adv, wire::unix_now());
+    }
+}
+
 fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
     loop {
         let stream = match listener.accept() {
@@ -217,10 +297,7 @@ fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
             break;
         }
         if shared.active.load(Ordering::SeqCst) >= shared.cfg.max_connections {
-            shared
-                .stats
-                .connections_refused
-                .fetch_add(1, Ordering::Relaxed);
+            shared.metrics.connections_refused.inc();
             let mut stream = stream;
             let _ = stream.set_write_timeout(Some(shared.cfg.io.write_timeout));
             let _ = wire::send(
@@ -232,16 +309,15 @@ fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
             continue;
         }
         shared.active.fetch_add(1, Ordering::SeqCst);
-        shared
-            .stats
-            .connections_accepted
-            .fetch_add(1, Ordering::Relaxed);
+        shared.metrics.connections_accepted.inc();
+        shared.metrics.active_connections.add(1);
         let conn_shared = Arc::clone(shared);
         let handle = std::thread::Builder::new()
             .name("mm-conn".into())
             .spawn(move || {
                 serve_connection(&conn_shared, stream);
                 conn_shared.active.fetch_sub(1, Ordering::SeqCst);
+                conn_shared.metrics.active_connections.add(-1);
             });
         match handle {
             Ok(h) => {
@@ -251,12 +327,17 @@ fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
             }
             Err(_) => {
                 shared.active.fetch_sub(1, Ordering::SeqCst);
+                shared.metrics.active_connections.add(-1);
             }
         }
     }
 }
 
 fn serve_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "?".into());
     let _ = stream.set_read_timeout(Some(shared.cfg.io.read_timeout));
     let _ = stream.set_write_timeout(Some(shared.cfg.io.write_timeout));
     let mut dec = FrameDecoder::with_max_frame_len(shared.cfg.max_frame_len);
@@ -266,37 +347,48 @@ fn serve_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
         loop {
             match dec.next_message() {
                 Ok(Some(msg)) => {
-                    shared.stats.frames_handled.fetch_add(1, Ordering::Relaxed);
+                    shared.metrics.frames_handled.inc();
+                    // Journal context, captured before the message moves.
+                    let ad_info = match &msg {
+                        Message::Advertise(adv) => Some((
+                            format!("{:?}", adv.kind),
+                            adv.ad.get_string("Name").unwrap_or("?").to_string(),
+                            adv.contact.clone(),
+                        )),
+                        Message::Query { .. } => {
+                            // Queries may target the self-ad: refresh it so
+                            // the reply reflects this very moment.
+                            shared.publish_self_ad();
+                            None
+                        }
+                        _ => None,
+                    };
                     match shared.service.handle_message(msg, wire::unix_now()) {
-                        Ok(Some(reply)) => {
-                            if wire::send_body(&mut stream, &reply).is_err() {
-                                return;
+                        Ok(reply) => {
+                            if let Some((kind, name, contact)) = ad_info {
+                                shared.observer.emit(Event::AdReceived {
+                                    kind,
+                                    name,
+                                    contact,
+                                });
+                            }
+                            if let Some(reply) = reply {
+                                if wire::send_body(&mut stream, &reply).is_err() {
+                                    return;
+                                }
                             }
                         }
-                        Ok(None) => {}
                         Err(e) => {
                             // Structured rejection, then close: the peer
                             // sees why instead of a silent hangup.
-                            shared.stats.error_replies.fetch_add(1, Ordering::Relaxed);
-                            let _ = wire::send(
-                                &mut stream,
-                                &Message::Error {
-                                    detail: e.to_string(),
-                                },
-                            );
+                            reject_frame(shared, &mut stream, &peer, &e.to_string());
                             return;
                         }
                     }
                 }
                 Ok(None) => break,
                 Err(e) => {
-                    shared.stats.error_replies.fetch_add(1, Ordering::Relaxed);
-                    let _ = wire::send(
-                        &mut stream,
-                        &Message::Error {
-                            detail: e.to_string(),
-                        },
-                    );
+                    reject_frame(shared, &mut stream, &peer, &e.to_string());
                     return;
                 }
             }
@@ -316,37 +408,75 @@ fn serve_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
     }
 }
 
+/// Count, journal, and answer a refused frame: the peer gets a structured
+/// [`Message::Error`]; the journal gets a `FrameRejected` with the peer's
+/// address and the reason.
+fn reject_frame(shared: &Arc<Shared>, stream: &mut TcpStream, peer: &str, reason: &str) {
+    shared.metrics.frames_rejected.inc();
+    shared.metrics.error_replies.inc();
+    shared.observer.emit(Event::FrameRejected {
+        peer: peer.to_string(),
+        reason: reason.to_string(),
+    });
+    let _ = wire::send(
+        stream,
+        &Message::Error {
+            detail: reason.to_string(),
+        },
+    );
+}
+
 fn ticker_loop(shared: &Arc<Shared>) {
     loop {
         if wire::interruptible_sleep(&shared.shutdown, shared.cfg.cycle_interval) {
             return;
         }
+        let started = Instant::now();
         let outcome = shared.service.negotiate(wire::unix_now());
-        shared.stats.cycles.fetch_add(1, Ordering::Relaxed);
+        let duration_ms = started.elapsed().as_secs_f64() * 1000.0;
+        // The cycle bridge bumps `cycles`, the totals, and the last-cycle
+        // gauges; the duration histogram is ours to record.
+        outcome.stats.record(shared.observer.registry());
+        shared.metrics.cycle_duration_ms.record(duration_ms);
+        if outcome.stats.expired_ads > 0 {
+            shared.observer.emit(Event::LeaseExpired {
+                expired: outcome.stats.expired_ads as u64,
+            });
+        }
+        shared.observer.emit(Event::CycleCompleted {
+            requests: outcome.stats.requests_considered as u64,
+            offers: outcome.stats.offers_considered as u64,
+            matches: outcome.stats.matches as u64,
+            unmatched: outcome.stats.unmatched_requests as u64,
+            duration_ms: duration_ms as u64,
+        });
         for m in &outcome.matches {
             let (to_customer, to_provider) = m.notifications();
+            let mut delivered = true;
             for (contact, note) in [
                 (&m.provider_contact, to_provider),
                 (&m.customer_contact, to_customer),
             ] {
                 match wire::send_oneway(contact, &Message::Notify(note), &shared.cfg.io) {
                     Ok(()) => {
-                        shared
-                            .stats
-                            .notifications_sent
-                            .fetch_add(1, Ordering::Relaxed);
+                        shared.metrics.notifications_sent.inc();
                     }
                     Err(_) => {
                         // Soft state: an undeliverable notification wastes
                         // this match; both parties re-advertise.
-                        shared
-                            .stats
-                            .notifications_failed
-                            .fetch_add(1, Ordering::Relaxed);
+                        shared.metrics.notifications_failed.inc();
+                        delivered = false;
                     }
                 }
             }
+            shared.observer.emit(Event::MatchNotified {
+                request: m.request_name.clone(),
+                offer: m.offer_name.clone(),
+                delivered,
+            });
         }
+        // Renew the self-ad with this cycle folded in.
+        shared.publish_self_ad();
     }
 }
 
@@ -387,6 +517,8 @@ mod tests {
         let mut daemon = quiet_daemon();
         let addr = daemon.addr().to_string();
         let io = IoConfig::default();
+        // The self-ad is in the store from spawn.
+        assert_eq!(daemon.service().ad_count(), 1);
         // Stream several ads over one connection, then query over another.
         let mut stream = wire::connect(&addr, &io).unwrap();
         for i in 0..3 {
@@ -398,7 +530,7 @@ mod tests {
         }
         drop(stream);
         let deadline = Instant::now() + Duration::from_secs(10);
-        while daemon.service().ad_count() < 3 {
+        while daemon.service().ad_count() < 4 {
             assert!(Instant::now() < deadline, "ads never arrived");
             std::thread::sleep(Duration::from_millis(10));
         }
@@ -411,9 +543,35 @@ mod tests {
         let Message::QueryReply { ads } = reply else {
             panic!("{reply:?}")
         };
-        assert_eq!(ads.len(), 3);
+        assert_eq!(ads.len(), 3, "the self-ad has no Mips and stays out");
         daemon.shutdown();
         assert_eq!(daemon.stats().frames_handled, 4);
+    }
+
+    #[test]
+    fn self_ad_answers_stats_queries_over_tcp() {
+        let mut daemon = quiet_daemon();
+        let addr = daemon.addr().to_string();
+        let q = Message::Query {
+            constraint: condor_obs::self_ad_constraint(schema::MATCHMAKER_STATS),
+            kind: None,
+            projection: vec![],
+        };
+        let reply = wire::request_reply(&addr, &q, &IoConfig::default()).unwrap();
+        let Message::QueryReply { ads } = reply else {
+            panic!("{reply:?}")
+        };
+        assert_eq!(ads.len(), 1);
+        let ad = &ads[0];
+        assert_eq!(
+            ad.get_string("MyType"),
+            Some(schema::MATCHMAKER_STATS),
+            "{ad}"
+        );
+        // Refreshed just before the query: our own connection is visible.
+        assert_eq!(ad.get_int("ConnectionsAccepted"), Some(1), "{ad}");
+        assert_eq!(ad.get_int("ActiveConnections"), Some(1), "{ad}");
+        daemon.shutdown();
     }
 
     #[test]
@@ -432,7 +590,57 @@ mod tests {
         );
         daemon.shutdown();
         assert_eq!(daemon.stats().error_replies, 1);
-        assert_eq!(daemon.service().ad_count(), 0);
+        assert_eq!(daemon.stats().frames_rejected, 1);
+        assert_eq!(
+            daemon.service().ad_count(),
+            1,
+            "only the self-ad; the bad ad was refused"
+        );
+    }
+
+    #[test]
+    fn rejected_frames_land_in_the_journal_with_peer_and_reason() {
+        let dir = std::env::temp_dir().join(format!("mm-journal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let journal_path = dir.join("journal.jsonl");
+        let mut daemon = MatchmakerDaemon::spawn(DaemonConfig {
+            cycle_interval: Duration::from_secs(3600),
+            journal: Some(JournalConfig::new(journal_path.clone())),
+            ..DaemonConfig::default()
+        })
+        .unwrap();
+        let addr = daemon.addr().to_string();
+        // A well-formed frame the matchmaker endpoint must refuse.
+        let release = Message::Release {
+            ticket: matchmaker::ticket::Ticket::from_raw(7),
+        };
+        let err = wire::request_reply(&addr, &release, &IoConfig::default()).unwrap_err();
+        assert!(matches!(err, WireError::Remote(_)), "{err}");
+        daemon.shutdown();
+        let records = condor_obs::replay(&journal_path).unwrap();
+        let rejection = records
+            .iter()
+            .find_map(|r| match &r.event {
+                Event::FrameRejected { peer, reason } => Some((peer.clone(), reason.clone())),
+                _ => None,
+            })
+            .expect("a FrameRejected event is journaled");
+        assert!(
+            rejection.0.contains(':'),
+            "peer is an addr: {}",
+            rejection.0
+        );
+        assert!(
+            rejection.1.contains("Release"),
+            "reason names the offense: {}",
+            rejection.1
+        );
+        // The restart marker precedes it.
+        assert!(matches!(
+            records[0].event,
+            Event::AgentRestarted { ref agent, .. } if agent == "MatchmakerDaemon"
+        ));
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     use crate::wire::WireError;

@@ -36,6 +36,7 @@
 
 pub mod customer;
 pub mod daemon;
+pub(crate) mod observe;
 pub mod pool;
 pub mod resource;
 pub mod retry;

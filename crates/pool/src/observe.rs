@@ -1,0 +1,66 @@
+//! Shared observability plumbing for the pool daemons.
+//!
+//! Each daemon owns one [`Observer`]: a metrics [`Registry`], an optional
+//! event [`Journal`], and the start instant its uptime is measured from.
+//! The observer also builds the daemon's self-ad — the `DaemonAd = true`
+//! telemetry classad that travels the normal advertising path and is
+//! queried with `other.MyType == "..."` (see `condor_obs::selfad`).
+
+use condor_obs::{self_ad, Event, Journal, JournalConfig, Registry};
+use std::time::Instant;
+
+/// One daemon's observability bundle.
+#[derive(Debug)]
+pub(crate) struct Observer {
+    registry: Registry,
+    journal: Option<Journal>,
+    started: Instant,
+}
+
+impl Observer {
+    /// Create the bundle, opening the journal if one is configured.
+    pub(crate) fn new(journal: Option<JournalConfig>) -> std::io::Result<Observer> {
+        let journal = journal.map(Journal::open).transpose()?;
+        Ok(Observer {
+            registry: Registry::new(),
+            journal,
+            started: Instant::now(),
+        })
+    }
+
+    pub(crate) fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    pub(crate) fn journal(&self) -> Option<&Journal> {
+        self.journal.as_ref()
+    }
+
+    /// Append `event` to the journal, if journaling is on.
+    pub(crate) fn emit(&self, event: Event) {
+        if let Some(j) = &self.journal {
+            j.append(event);
+        }
+    }
+
+    pub(crate) fn uptime_secs(&self) -> u64 {
+        self.started.elapsed().as_secs()
+    }
+
+    /// The daemon's current self-ad: identity + metrics snapshot + journal
+    /// position (when journaling).
+    pub(crate) fn build_self_ad(&self, name: &str, my_type: &str) -> classad::ClassAd {
+        let mut ad = self_ad(name, my_type, self.uptime_secs(), &self.registry.snapshot());
+        if let Some(j) = &self.journal {
+            ad.set_int("JournalPosition", j.position() as i64);
+            ad.set_int("JournalIoErrors", j.io_errors() as i64);
+        }
+        ad
+    }
+}
+
+/// The `Name` attribute of a daemon's self-ad: distinct from the primary
+/// ad's name (the store is keyed by name) but derived from it.
+pub(crate) fn self_ad_name(primary: &str) -> String {
+    format!("{primary}#stats")
+}

@@ -12,16 +12,18 @@
 //! otherwise a claim racing an ad refresh would spuriously fail ticket
 //! verification.
 
+use crate::observe::{self_ad_name, Observer};
 use crate::retry::Backoff;
 use crate::wire::{self, IoConfig};
 use classad::ClassAd;
+use condor_obs::{schema, Event, JournalConfig};
 use matchmaker::claim::ClaimHandler;
 use matchmaker::protocol::{Advertisement, EntityKind, Message};
 use matchmaker::ticket::TicketIssuer;
 use parking_lot::Mutex;
 use std::io::{ErrorKind, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -46,6 +48,11 @@ pub struct ResourceConfig {
     pub backoff: Backoff,
     /// Seed for the ticket issuer (distinct per agent in a pool).
     pub ticket_seed: u64,
+    /// Publish a `ResourceAgentStats` self-ad to the matchmaker on every
+    /// heartbeat (on by default; see `condor_obs::selfad`).
+    pub publish_self_ad: bool,
+    /// Event-journal destination; `None` disables journaling.
+    pub journal: Option<JournalConfig>,
 }
 
 impl Default for ResourceConfig {
@@ -59,18 +66,38 @@ impl Default for ResourceConfig {
             io: IoConfig::default(),
             backoff: Backoff::default(),
             ticket_seed: 1,
+            publish_self_ad: true,
+            journal: None,
         }
     }
 }
 
-#[derive(Debug, Default)]
-struct RaStats {
-    ads_sent: AtomicU64,
-    ad_failures: AtomicU64,
-    claims_accepted: AtomicU64,
-    claims_rejected: AtomicU64,
-    notifications_seen: AtomicU64,
-    releases: AtomicU64,
+/// The agent's metric handles, registered once at spawn.
+#[derive(Debug)]
+struct RaMetrics {
+    ads_sent: Arc<condor_obs::Counter>,
+    ad_failures: Arc<condor_obs::Counter>,
+    self_ads_sent: Arc<condor_obs::Counter>,
+    claims_accepted: Arc<condor_obs::Counter>,
+    claims_rejected: Arc<condor_obs::Counter>,
+    notifications_seen: Arc<condor_obs::Counter>,
+    releases: Arc<condor_obs::Counter>,
+    claimed: Arc<condor_obs::Gauge>,
+}
+
+impl RaMetrics {
+    fn new(reg: &condor_obs::Registry) -> Self {
+        RaMetrics {
+            ads_sent: reg.counter(schema::ADS_SENT),
+            ad_failures: reg.counter(schema::AD_FAILURES),
+            self_ads_sent: reg.counter(schema::SELF_ADS_SENT),
+            claims_accepted: reg.counter(schema::CLAIMS_ACCEPTED),
+            claims_rejected: reg.counter(schema::CLAIMS_REJECTED),
+            notifications_seen: reg.counter(schema::NOTIFICATIONS_SEEN),
+            releases: reg.counter(schema::RELEASES),
+            claimed: reg.gauge(schema::CLAIMED),
+        }
+    }
 }
 
 /// Point-in-time copy of the resource-agent counters.
@@ -97,7 +124,8 @@ struct RaShared {
     claim: Mutex<ClaimHandler>,
     issuer: Mutex<TicketIssuer>,
     shutdown: AtomicBool,
-    stats: RaStats,
+    metrics: RaMetrics,
+    observer: Observer,
 }
 
 /// A live resource agent; see the module docs.
@@ -125,6 +153,8 @@ impl ResourceAgent {
         let listener = TcpListener::bind(&cfg.bind)?;
         let addr = listener.local_addr()?;
         ad.set_str("Name", &cfg.name);
+        let observer = Observer::new(cfg.journal.clone())?;
+        let metrics = RaMetrics::new(observer.registry());
         let shared = Arc::new(RaShared {
             contact: addr.to_string(),
             issuer: Mutex::new(TicketIssuer::new(cfg.ticket_seed)),
@@ -132,7 +162,12 @@ impl ResourceAgent {
             ad: Mutex::new(ad),
             claim: Mutex::new(ClaimHandler::new()),
             shutdown: AtomicBool::new(false),
-            stats: RaStats::default(),
+            metrics,
+            observer,
+        });
+        shared.observer.emit(Event::AgentRestarted {
+            agent: "ResourceAgent".into(),
+            name: shared.cfg.name.clone(),
         });
         let listen_thread = {
             let shared = Arc::clone(&shared);
@@ -171,14 +206,14 @@ impl ResourceAgent {
 
     /// Counter snapshot.
     pub fn stats(&self) -> ResourceStatsSnapshot {
-        let s = &self.shared.stats;
+        let m = &self.shared.metrics;
         ResourceStatsSnapshot {
-            ads_sent: s.ads_sent.load(Ordering::Relaxed),
-            ad_failures: s.ad_failures.load(Ordering::Relaxed),
-            claims_accepted: s.claims_accepted.load(Ordering::Relaxed),
-            claims_rejected: s.claims_rejected.load(Ordering::Relaxed),
-            notifications_seen: s.notifications_seen.load(Ordering::Relaxed),
-            releases: s.releases.load(Ordering::Relaxed),
+            ads_sent: m.ads_sent.get(),
+            ad_failures: m.ad_failures.get(),
+            claims_accepted: m.claims_accepted.get(),
+            claims_rejected: m.claims_rejected.get(),
+            notifications_seen: m.notifications_seen.get(),
+            releases: m.releases.get(),
         }
     }
 
@@ -253,6 +288,28 @@ impl RaShared {
             expires_at: wire::unix_now() + lease_secs,
         }
     }
+
+    /// Send the `ResourceAgentStats` self-ad to the matchmaker (best
+    /// effort, no retry: the next heartbeat brings the next one).
+    fn publish_self_ad(&self) {
+        self.metrics
+            .claimed
+            .set(i64::from(self.claim.lock().is_claimed()));
+        let mut ad = self
+            .observer
+            .build_self_ad(&self_ad_name(&self.cfg.name), schema::RESOURCE_AGENT_STATS);
+        ad.set_str("Machine", &self.cfg.name);
+        let adv = Advertisement {
+            kind: EntityKind::Provider,
+            ad,
+            contact: self.contact.clone(),
+            ticket: None,
+            expires_at: wire::unix_now() + (3 * self.cfg.heartbeat.as_secs()).max(300),
+        };
+        if wire::send_oneway(&self.cfg.matchmaker, &Message::Advertise(adv), &self.cfg.io).is_ok() {
+            self.metrics.self_ads_sent.inc();
+        }
+    }
 }
 
 fn refresh_loop(shared: &Arc<RaShared>) {
@@ -261,6 +318,11 @@ fn refresh_loop(shared: &Arc<RaShared>) {
         // time and must not re-enter the pool until released.
         if !shared.claim.lock().is_claimed() {
             advertise_with_retry(shared);
+        }
+        // The self-ad renews even while claimed — a claimed machine is
+        // exactly when an operator wants to see its telemetry.
+        if shared.cfg.publish_self_ad {
+            shared.publish_self_ad();
         }
         if wire::interruptible_sleep(&shared.shutdown, shared.cfg.heartbeat) {
             return;
@@ -278,7 +340,7 @@ fn advertise_with_retry(shared: &Arc<RaShared>) {
             &shared.cfg.io,
         ) {
             Ok(()) => {
-                shared.stats.ads_sent.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.ads_sent.inc();
                 return;
             }
             Err(_) => {
@@ -290,7 +352,7 @@ fn advertise_with_retry(shared: &Arc<RaShared>) {
                         }
                     }
                     None => {
-                        shared.stats.ad_failures.fetch_add(1, Ordering::Relaxed);
+                        shared.metrics.ad_failures.inc();
                         return;
                     }
                 }
@@ -357,6 +419,12 @@ fn serve_peer(shared: &Arc<RaShared>, mut stream: TcpStream) {
 fn handle_peer_message(shared: &Arc<RaShared>, stream: &mut TcpStream, msg: Message) -> bool {
     match msg {
         Message::Claim(req) => {
+            let customer = req
+                .customer_ad
+                .get_string("Owner")
+                .or_else(|| req.customer_ad.get_string("Name"))
+                .unwrap_or("?")
+                .to_string();
             let current = shared.ad.lock().clone();
             let (resp, _displaced) = shared.claim.lock().handle_claim(
                 &req,
@@ -365,25 +433,36 @@ fn handle_peer_message(shared: &Arc<RaShared>, stream: &mut TcpStream, msg: Mess
                 |_| false, // this RA never preempts an active claim
             );
             if resp.accepted {
-                shared.stats.claims_accepted.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.claims_accepted.inc();
+                shared.metrics.claimed.set(1);
+                shared.observer.emit(Event::ClaimEstablished {
+                    provider: shared.cfg.name.clone(),
+                    customer,
+                });
             } else {
-                shared.stats.claims_rejected.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.claims_rejected.inc();
+                shared.observer.emit(Event::ClaimRejected {
+                    provider: shared.cfg.name.clone(),
+                    customer,
+                    reason: resp
+                        .rejection
+                        .map(|r| format!("{r:?}"))
+                        .unwrap_or_else(|| "unspecified".into()),
+                });
             }
             wire::send(stream, &Message::ClaimReply(resp)).is_ok()
         }
         Message::Release { .. } => {
             if shared.claim.lock().release().is_some() {
-                shared.stats.releases.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.releases.inc();
+                shared.metrics.claimed.set(0);
             }
             true
         }
         Message::Notify(_) => {
             // Informational on the provider side: the binding event is the
             // customer's direct claim, not this notification.
-            shared
-                .stats
-                .notifications_seen
-                .fetch_add(1, Ordering::Relaxed);
+            shared.metrics.notifications_seen.inc();
             true
         }
         Message::Error { .. } => false,
@@ -439,14 +518,20 @@ mod tests {
     }
 
     /// Capture what the RA advertises by standing in for the matchmaker.
+    /// Self-ads (heartbeat telemetry) are skipped: these tests watch the
+    /// machine's primary advertisement.
     fn recv_one_ad(listener: &TcpListener) -> Advertisement {
-        let (mut s, _) = listener.accept().unwrap();
-        let _ = s.set_read_timeout(Some(Duration::from_secs(5)));
-        let mut dec = FrameDecoder::new();
-        let msg = wire::recv(&mut s, &mut dec, Instant::now() + Duration::from_secs(5)).unwrap();
-        match msg {
-            Message::Advertise(a) => a,
-            other => panic!("expected Advertise, got {other:?}"),
+        loop {
+            let (mut s, _) = listener.accept().unwrap();
+            let _ = s.set_read_timeout(Some(Duration::from_secs(5)));
+            let mut dec = FrameDecoder::new();
+            let msg =
+                wire::recv(&mut s, &mut dec, Instant::now() + Duration::from_secs(5)).unwrap();
+            match msg {
+                Message::Advertise(a) if condor_obs::is_daemon_ad(&a.ad) => continue,
+                Message::Advertise(a) => return a,
+                other => panic!("expected Advertise, got {other:?}"),
+            }
         }
     }
 

@@ -105,6 +105,57 @@ impl Metrics {
         self.completed.push(rec);
     }
 
+    /// Export the counters as a `condor_obs` metrics snapshot under the
+    /// shared schema ([`condor_obs::schema`]): the simulator reports the
+    /// same metric names the live pool publishes, so analysis tooling
+    /// reads both through one vocabulary. Sim-only quantities (goodput,
+    /// vacations, gangs) keep their own `snake_case` names alongside.
+    pub fn to_obs_snapshot(&self) -> condor_obs::MetricsSnapshot {
+        use condor_obs::schema;
+        let mut s = condor_obs::MetricsSnapshot::default();
+        let mut c = |name: &str, v: u64| {
+            s.counters.insert(name.to_string(), v);
+        };
+        c(schema::JOBS_SUBMITTED, self.jobs_submitted);
+        c(schema::JOBS_COMPLETED, self.jobs_completed);
+        c(schema::MATCHES, self.matches);
+        c(schema::CYCLES, self.cycles);
+        c(schema::REQUESTS_CONSIDERED, self.requests_considered);
+        c(schema::UNMATCHED_REQUESTS, self.unmatched_requests);
+        c(schema::CLUSTERS_FORMED, self.clusters_formed);
+        c(schema::MATCHLIST_HITS, self.matchlist_hits);
+        c(schema::FULL_SCANS, self.full_scans);
+        c(schema::CLAIM_ATTEMPTS, self.claim_attempts);
+        c(schema::CLAIMS_ACCEPTED, self.claims_accepted);
+        c(schema::CLAIMS_REJECTED, self.claims_rejected_total());
+        c("vacated_by_owner", self.vacated_by_owner);
+        c("preempted_by_rank", self.preempted_by_rank);
+        c("messages_sent", self.messages_sent);
+        c("messages_dropped", self.messages_dropped);
+        c("busy_ms", self.busy_ms);
+        c("goodput_ms", self.goodput_ms);
+        c("badput_ms", self.badput_ms);
+        c("gangs_granted", self.gangs_granted);
+        c("gangs_unmatched", self.gangs_unmatched);
+        c("gangs_aborted", self.gangs_aborted);
+        s
+    }
+
+    /// The run's stats classad (`MyType == "SimulatorStats"`,
+    /// `DaemonAd = true`): the simulator's answer to the live daemons'
+    /// self-ads, rendered from [`Metrics::to_obs_snapshot`]. `name` labels
+    /// the run; `elapsed` is the simulated time covered.
+    pub fn stats_ad(&self, name: &str, elapsed: SimTime) -> classad::ClassAd {
+        let mut ad = condor_obs::self_ad(
+            name,
+            condor_obs::schema::SIMULATOR_STATS,
+            elapsed / 1000,
+            &self.to_obs_snapshot(),
+        );
+        ad.set_int("ElapsedMs", elapsed as i64);
+        ad
+    }
+
     /// Derive the headline summary for a run that covered `elapsed` ms on
     /// `machines` machines.
     pub fn summary(&self, elapsed: SimTime, machines: usize) -> Summary {
@@ -251,6 +302,31 @@ mod tests {
         let s = m.summary(3_600_000, 10);
         assert!((s.throughput_per_hour - 6.0).abs() < 1e-9);
         assert!((s.utilization - 5_000.0 / 36_000_000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn obs_export_uses_the_shared_schema() {
+        let mut m = Metrics::default();
+        m.jobs_submitted = 5;
+        m.cycles = 3;
+        m.matches = 4;
+        m.claim_attempts = 4;
+        m.claims_accepted = 3;
+        m.claim_rejected(ClaimRejection::BadTicket);
+        let snap = m.to_obs_snapshot();
+        assert_eq!(snap.counter(condor_obs::schema::CYCLES), 3);
+        assert_eq!(snap.counter(condor_obs::schema::CLAIMS_ACCEPTED), 3);
+        assert_eq!(snap.counter(condor_obs::schema::CLAIMS_REJECTED), 1);
+        // The stats ad renders, is marked, and round-trips the schema tag.
+        let ad = m.stats_ad("sim-run", 10_000);
+        assert!(condor_obs::is_daemon_ad(&ad));
+        assert_eq!(
+            ad.get_string("MyType"),
+            Some(condor_obs::schema::SIMULATOR_STATS)
+        );
+        assert_eq!(ad.get_int("Cycles"), Some(3));
+        assert_eq!(ad.get_int("JobsSubmitted"), Some(5));
+        assert_eq!(ad.get_int("ElapsedMs"), Some(10_000));
     }
 
     #[test]

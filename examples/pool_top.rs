@@ -1,0 +1,235 @@
+//! `pool_top` — a `top`-style live view of pool health, built entirely on
+//! daemon self-ads (see `docs/observability.md`). Every daemon publishes a
+//! `DaemonAd = true` classad into the matchmaker's ad store; this tool
+//! polls them with ordinary `Query` messages — the paper's one-way
+//! matching protocol — so there is no bespoke monitoring RPC to speak.
+//!
+//! Run against a live daemon (see `examples/live_pool.rs`):
+//!
+//! ```text
+//! cargo run --example pool_top -- --connect 127.0.0.1:9618
+//! ```
+//!
+//! or with no arguments to spawn a small demo pool in-process and watch
+//! it converge. `--interval <secs>` sets the refresh period (default 2);
+//! `--once` renders a single frame without clearing the screen — handy
+//! for scripts and CI logs.
+
+use classad::{ClassAd, Expr, Literal};
+use condor_obs::{schema, self_ad_constraint};
+use condor_pool::wire::{self, IoConfig};
+use condor_pool::PoolBuilder;
+use matchmaker::protocol::Message;
+use std::time::Duration;
+
+fn int(ad: &ClassAd, attr: &str) -> i64 {
+    ad.get_int(attr).unwrap_or(0)
+}
+
+fn real(ad: &ClassAd, attr: &str) -> Option<f64> {
+    match ad.get(attr).map(|e| e.as_ref()) {
+        Some(Expr::Lit(Literal::Real(v))) => Some(*v),
+        Some(Expr::Lit(Literal::Int(v))) => Some(*v as f64),
+        _ => None,
+    }
+}
+
+fn stats_ads(addr: &str, my_type: &str) -> Vec<ClassAd> {
+    let msg = Message::Query {
+        constraint: self_ad_constraint(my_type),
+        kind: None,
+        projection: vec![],
+    };
+    match wire::request_reply(addr, &msg, &IoConfig::default()) {
+        Ok(Message::QueryReply { mut ads }) => {
+            ads.sort_by(|a, b| a.get_string("Name").cmp(&b.get_string("Name")));
+            ads
+        }
+        Ok(other) => {
+            eprintln!("unexpected reply from {addr}: {other:?}");
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("query to {addr} failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn render_matchmaker(ads: &[ClassAd]) {
+    let Some(ad) = ads.first() else {
+        println!("MATCHMAKER    (no self-ad yet)");
+        return;
+    };
+    println!(
+        "MATCHMAKER    {}   up {}s",
+        ad.get_string("Name").unwrap_or("?"),
+        int(ad, "UptimeSecs"),
+    );
+    println!(
+        "  cycles {:<6} matches {:<6} requests {:<6} unmatched {:<6} expired {}",
+        int(ad, "Cycles"),
+        int(ad, "MatchesTotal"),
+        int(ad, "RequestsConsideredTotal"),
+        int(ad, "UnmatchedRequestsTotal"),
+        int(ad, "AdsExpiredTotal"),
+    );
+    println!(
+        "  conns {} (active {})  frames {} ({} rejected)  notify {} sent / {} failed",
+        int(ad, "ConnectionsAccepted"),
+        int(ad, "ActiveConnections"),
+        int(ad, "FramesHandled"),
+        int(ad, "FramesRejected"),
+        int(ad, "NotificationsSent"),
+        int(ad, "NotificationsFailed"),
+    );
+    print!(
+        "  last cycle: {} req / {} offers / {} matches",
+        int(ad, "LastCycleRequests"),
+        int(ad, "LastCycleOffers"),
+        int(ad, "LastCycleMatches"),
+    );
+    if let (Some(p50), Some(p99)) = (
+        real(ad, "CycleDurationMsP50"),
+        real(ad, "CycleDurationMsP99"),
+    ) {
+        print!("   cycle p50 {p50:.2}ms p99 {p99:.2}ms");
+    }
+    if ad.contains("JournalPosition") {
+        print!(
+            "   journal seq {} ({} io errors)",
+            int(ad, "JournalPosition"),
+            int(ad, "JournalIoErrors"),
+        );
+    }
+    println!();
+}
+
+fn render_resources(ads: &[ClassAd]) {
+    println!("RESOURCE AGENTS ({})", ads.len());
+    if ads.is_empty() {
+        return;
+    }
+    println!(
+        "  {:<20}{:>8}{:>10}{:>10}{:>8}{:>8}",
+        "NAME", "CLAIMED", "ACCEPTED", "REJECTED", "ADS", "UP"
+    );
+    for ad in ads {
+        println!(
+            "  {:<20}{:>8}{:>10}{:>10}{:>8}{:>7}s",
+            ad.get_string("Machine")
+                .or_else(|| ad.get_string("Name"))
+                .unwrap_or("?"),
+            if int(ad, "Claimed") == 1 { "yes" } else { "no" },
+            int(ad, "ClaimsAccepted"),
+            int(ad, "ClaimsRejected"),
+            int(ad, "AdsSent"),
+            int(ad, "UptimeSecs"),
+        );
+    }
+}
+
+fn render_customers(ads: &[ClassAd]) {
+    println!("CUSTOMER AGENTS ({})", ads.len());
+    if ads.is_empty() {
+        return;
+    }
+    println!(
+        "  {:<20}{:>10}{:>8}{:>9}{:>8}{:>8}{:>8}",
+        "USER", "SUBMITTED", "IDLE", "CLAIMED", "FAILED", "ADS", "UP"
+    );
+    for ad in ads {
+        println!(
+            "  {:<20}{:>10}{:>8}{:>9}{:>8}{:>8}{:>7}s",
+            ad.get_string("User")
+                .or_else(|| ad.get_string("Name"))
+                .unwrap_or("?"),
+            int(ad, "JobsSubmitted"),
+            int(ad, "JobsIdle"),
+            int(ad, "JobsClaimed"),
+            int(ad, "JobsFailed"),
+            int(ad, "AdsSent"),
+            int(ad, "UptimeSecs"),
+        );
+    }
+}
+
+fn render_frame(addr: &str, clear: bool) {
+    let mm = stats_ads(addr, schema::MATCHMAKER_STATS);
+    let ras = stats_ads(addr, schema::RESOURCE_AGENT_STATS);
+    let cas = stats_ads(addr, schema::CUSTOMER_AGENT_STATS);
+    if clear {
+        // Clear screen and home the cursor, like top(1).
+        print!("\x1b[2J\x1b[H");
+    }
+    println!("pool_top — matchmaker at {addr}\n");
+    render_matchmaker(&mm);
+    println!();
+    render_resources(&ras);
+    println!();
+    render_customers(&cas);
+}
+
+fn demo_pool() -> condor_pool::PoolHandle {
+    let machine = |mips: i64| {
+        classad::parse_classad(&format!(
+            r#"[ Type = "Machine"; Mips = {mips};
+                 Constraint = other.Type == "Job"; Rank = 0 ]"#
+        ))
+        .unwrap()
+    };
+    let job = || {
+        classad::parse_classad(
+            r#"[ Type = "Job"; Constraint = other.Type == "Machine";
+                 Rank = other.Mips ]"#,
+        )
+        .unwrap()
+    };
+    PoolBuilder::new()
+        .machine("demo-m0", machine(100))
+        .machine("demo-m1", machine(400))
+        .user(
+            "demo",
+            vec![("demo-0".into(), job()), ("demo-1".into(), job())],
+        )
+        .spawn()
+        .expect("demo pool failed to start")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag_value = |flag: &str| {
+        args.iter().position(|a| a == flag).map(|i| {
+            args.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("usage: pool_top [--connect host:port] [--interval secs] [--once]");
+                std::process::exit(2);
+            })
+        })
+    };
+    let once = args.iter().any(|a| a == "--once");
+    let interval = flag_value("--interval")
+        .map(|s| s.parse::<f64>().expect("--interval takes seconds"))
+        .unwrap_or(2.0);
+
+    // With no --connect, spawn a demo pool in-process and watch it.
+    let (addr, _demo) = match flag_value("--connect") {
+        Some(addr) => (addr, None),
+        None => {
+            let pool = demo_pool();
+            let addr = pool.daemon().addr().to_string();
+            println!("no --connect given: spawned a demo pool at {addr}");
+            std::thread::sleep(Duration::from_millis(300));
+            (addr, Some(pool))
+        }
+    };
+
+    if once {
+        render_frame(&addr, false);
+        return;
+    }
+    loop {
+        render_frame(&addr, true);
+        println!("\n(refreshing every {interval}s — Ctrl-C to quit)");
+        std::thread::sleep(Duration::from_secs_f64(interval.max(0.1)));
+    }
+}

@@ -13,6 +13,11 @@
 //! In `--connect` mode every query goes over TCP as a framed `Query`
 //! message and the table is rendered from the `QueryReply` — the same
 //! bytes a remote administration tool would exchange.
+//!
+//! `--stats` switches to browsing the pool's *self-ads* instead — the
+//! `DaemonAd = true` telemetry classads every daemon publishes about
+//! itself (see `docs/observability.md`). Works in both modes; combine
+//! with `--connect` to inspect a live daemon's counters.
 
 use classad::{ClassAd, EvalPolicy, MatchConventions, Value};
 use condor_pool::wire::{self, IoConfig};
@@ -109,6 +114,68 @@ fn query_local(store: &AdStore, constraint: &str, kind: Option<EntityKind>) -> V
     q.run_projected(store, now, &policy, &conv)
 }
 
+/// Pretty-print daemon self-ads: identity header, then every attribute
+/// sorted by name — the full counter set, not a fixed column list.
+fn print_stats(my_type: &str, ads: &[ClassAd]) {
+    println!(
+        "$ condor_status -constraint '{}'",
+        condor_obs::self_ad_constraint(my_type)
+    );
+    if ads.is_empty() {
+        println!("  (no {my_type} self-ads published)\n");
+        return;
+    }
+    for ad in ads {
+        println!(
+            "  {} — {} (up {}s)",
+            ad.get_string("Name").unwrap_or("?"),
+            my_type,
+            ad.get_int("UptimeSecs").unwrap_or(0)
+        );
+        let mut attrs: Vec<_> = ad
+            .iter()
+            .map(|(n, e)| (n.as_str().to_owned(), e.to_string()))
+            .collect();
+        attrs.sort();
+        for (name, expr) in attrs {
+            println!("    {name:<28}= {expr}");
+        }
+    }
+    println!();
+}
+
+/// In local mode there is no live daemon, so fabricate a matchmaker
+/// self-ad the same way a real daemon does: a metrics registry snapshot
+/// rendered through `condor_obs::self_ad` and advertised into the store.
+fn advertise_demo_self_ad(store: &mut AdStore, proto: &AdvertisingProtocol) {
+    use condor_obs::schema;
+    let registry = condor_obs::Registry::new();
+    registry.counter(schema::CYCLES).add(12);
+    registry.counter(schema::MATCHES).add(7);
+    registry.counter(schema::REQUESTS_CONSIDERED).add(9);
+    registry.counter(schema::CONNECTIONS_ACCEPTED).add(31);
+    registry.gauge(schema::ACTIVE_CONNECTIONS).set(1);
+    let ad = condor_obs::self_ad(
+        "matchmaker#stats",
+        schema::MATCHMAKER_STATS,
+        42,
+        &registry.snapshot(),
+    );
+    store
+        .advertise(
+            Advertisement {
+                kind: EntityKind::Provider,
+                ad,
+                contact: "matchmaker:9618".into(),
+                ticket: None,
+                expires_at: 1000,
+            },
+            0,
+            proto,
+        )
+        .unwrap();
+}
+
 /// Run one query against a live daemon over TCP.
 fn query_remote(addr: &str, constraint: &str, kind: Option<EntityKind>) -> Vec<ClassAd> {
     let msg = Message::Query {
@@ -135,19 +202,66 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let connect = args.iter().position(|a| a == "--connect").map(|i| {
         args.get(i + 1).cloned().unwrap_or_else(|| {
-            eprintln!("usage: status_query [--connect host:port]");
+            eprintln!("usage: status_query [--connect host:port] [--stats]");
             std::process::exit(2);
         })
     });
+    let stats = args.iter().any(|a| a == "--stats");
 
     let local_store = if connect.is_none() {
         let proto = AdvertisingProtocol::default();
         let mut store = AdStore::new();
         advertise_pool(&mut store, &proto);
+        if stats {
+            advertise_demo_self_ad(&mut store, &proto);
+        }
         Some(store)
     } else {
         None
     };
+
+    if stats {
+        // Browse telemetry instead of machines: one query per self-ad type,
+        // unprojected so every counter shows.
+        let policy = EvalPolicy::default();
+        let conv = MatchConventions::default();
+        for my_type in [
+            condor_obs::schema::MATCHMAKER_STATS,
+            condor_obs::schema::RESOURCE_AGENT_STATS,
+            condor_obs::schema::CUSTOMER_AGENT_STATS,
+        ] {
+            let constraint = condor_obs::self_ad_constraint(my_type);
+            let ads: Vec<ClassAd> = match (&connect, &local_store) {
+                (Some(addr), _) => {
+                    let msg = Message::Query {
+                        constraint,
+                        kind: None,
+                        projection: vec![],
+                    };
+                    match wire::request_reply(addr, &msg, &IoConfig::default()) {
+                        Ok(Message::QueryReply { ads }) => ads,
+                        Ok(other) => {
+                            eprintln!("unexpected reply from {addr}: {other:?}");
+                            std::process::exit(1);
+                        }
+                        Err(e) => {
+                            eprintln!("query to {addr} failed: {e}");
+                            std::process::exit(1);
+                        }
+                    }
+                }
+                (None, Some(store)) => Query::from_constraint(&constraint)
+                    .unwrap()
+                    .run(store, 0, &policy, &conv)
+                    .into_iter()
+                    .map(|s| (*s.ad).clone())
+                    .collect(),
+                (None, None) => unreachable!(),
+            };
+            print_stats(my_type, &ads);
+        }
+        return;
+    }
 
     let run = |title: &str, constraint: &str, kind: Option<EntityKind>| {
         let results = match (&connect, &local_store) {

@@ -820,7 +820,7 @@ mod tests {
     fn strategies_compose() {
         use rand::SeedableRng;
         let mut rng = crate::TestRng::seed_from_u64(4);
-        let strat = crate::collection::vec(prop_oneof![3 => Just(0i64), 1 => (10i64..20)], 0..5)
+        let strat = crate::collection::vec(prop_oneof![3 => Just(0i64), 1 => 10i64..20], 0..5)
             .prop_map(|v| v.len());
         for _ in 0..50 {
             let n = strat.new_value(&mut rng);
@@ -837,7 +837,7 @@ mod tests {
         use rand::SeedableRng;
         #[derive(Debug, Clone)]
         enum Tree {
-            Leaf(i64),
+            Leaf(#[allow(dead_code)] i64),
             Node(Vec<Tree>),
         }
         fn depth(t: &Tree) -> usize {
@@ -865,7 +865,7 @@ mod tests {
         fn macro_plumbing_works(x in 0i64..100, mut v in crate::collection::vec(0u8..4, 0..4)) {
             prop_assume!(x != 13);
             v.push(1);
-            prop_assert!(x >= 0 && x < 100);
+            prop_assert!((0..100).contains(&x));
             prop_assert_eq!(v.last().copied(), Some(1), "x was {}", x);
         }
     }

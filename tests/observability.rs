@@ -1,0 +1,190 @@
+//! Acceptance test for condor-obs: drive a live pool through
+//! advertise → match → claim, then observe the run three ways —
+//! the matchmaker's self-ad over TCP, the resource/customer agents'
+//! self-ads, and a replay of the daemon's event journal — and check
+//! the three views agree with each other and with the pool's state.
+
+use classad::{parse_classad, ClassAd};
+use condor_obs::{replay, schema, self_ad_constraint, Event, JournalConfig};
+use condor_pool::wire::{self, IoConfig};
+use condor_pool::PoolBuilder;
+use matchmaker::protocol::Message;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+const WAIT: Duration = Duration::from_secs(30);
+
+fn machine_ad(mips: i64) -> ClassAd {
+    parse_classad(&format!(
+        r#"[ Type = "Machine"; Mips = {mips}; KeyboardIdle = 1000;
+             Constraint = other.Type == "Job" && KeyboardIdle > 300;
+             Rank = 0 ]"#
+    ))
+    .unwrap()
+}
+
+fn job_ad() -> ClassAd {
+    parse_classad(
+        r#"[ Type = "Job"; ImageSize = 8;
+             Constraint = other.Type == "Machine"; Rank = other.Mips ]"#,
+    )
+    .unwrap()
+}
+
+fn journal_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "mm-obs-acceptance-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Query the live daemon for self-ads of one `MyType`.
+fn stats_ads(addr: &str, my_type: &str) -> Vec<ClassAd> {
+    let reply = wire::request_reply(
+        addr,
+        &Message::Query {
+            constraint: self_ad_constraint(my_type),
+            kind: None,
+            projection: vec![],
+        },
+        &IoConfig::default(),
+    )
+    .unwrap();
+    match reply {
+        Message::QueryReply { ads } => ads,
+        other => panic!("unexpected reply: {other:?}"),
+    }
+}
+
+#[test]
+fn self_ads_and_journal_agree_with_the_live_run() {
+    let dir = journal_dir();
+    let journal_path = dir.join("matchmaker.journal");
+
+    let mut builder = PoolBuilder::new()
+        .machine("obs-m0", machine_ad(100))
+        .machine("obs-m1", machine_ad(400))
+        .user(
+            "carol",
+            vec![("carol-0".into(), job_ad()), ("carol-1".into(), job_ad())],
+        );
+    builder.daemon.journal = Some(JournalConfig::new(&journal_path));
+    let pool = builder.spawn().unwrap();
+
+    assert!(
+        pool.wait_for(WAIT, |p| p.all_claimed()),
+        "pool never converged: {:?}",
+        pool.customers()
+            .iter()
+            .map(|c| c.jobs())
+            .collect::<Vec<_>>()
+    );
+    let addr = pool.daemon().addr().to_string();
+
+    // The ground truth: which provider each job landed on.
+    let mut claimed: BTreeMap<String, String> = BTreeMap::new();
+    for ca in pool.customers() {
+        for (job, status) in ca.jobs() {
+            if let condor_pool::JobStatus::Claimed { provider_name, .. } = status {
+                claimed.insert(job, provider_name);
+            }
+        }
+    }
+    assert_eq!(claimed.len(), 2);
+
+    // --- View 1: the matchmaker's self-ad, fetched over TCP with the
+    // ordinary query message (no bespoke stats RPC).
+    let before = pool.daemon().stats();
+    let mm = stats_ads(&addr, schema::MATCHMAKER_STATS);
+    let after = pool.daemon().stats();
+    assert_eq!(mm.len(), 1, "exactly one matchmaker self-ad: {mm:?}");
+    let mm = &mm[0];
+    assert_eq!(mm.get_string("Name"), Some("matchmaker#stats"));
+    let cycles = mm.get_int("Cycles").expect("Cycles attr");
+    assert!(
+        (before.cycles as i64) <= cycles && cycles <= after.cycles as i64,
+        "self-ad cycles {cycles} outside observed window [{}, {}]",
+        before.cycles,
+        after.cycles
+    );
+    assert!(
+        mm.get_int("MatchesTotal").unwrap() >= 2,
+        "both jobs were matched: {mm}"
+    );
+    assert!(mm.get_int("FramesHandled").unwrap() > 0);
+    assert!(mm.get_int("ConnectionsAccepted").unwrap() > 0);
+    assert!(
+        mm.get_int("JournalPosition").unwrap() > 0,
+        "journaling daemon must report its journal position: {mm}"
+    );
+    assert_eq!(mm.get_int("JournalIoErrors"), Some(0));
+
+    // --- View 2: the agents' self-ads. They renew on their own heartbeat,
+    // so poll until the claim counters have propagated.
+    let deadline = Instant::now() + WAIT;
+    let (mut ra_claims, mut ca_claimed_jobs) = (0, 0);
+    while Instant::now() < deadline {
+        let ras = stats_ads(&addr, schema::RESOURCE_AGENT_STATS);
+        ra_claims = ras
+            .iter()
+            .filter_map(|ad| ad.get_int("ClaimsAccepted"))
+            .sum();
+        let cas = stats_ads(&addr, schema::CUSTOMER_AGENT_STATS);
+        ca_claimed_jobs = cas.iter().filter_map(|ad| ad.get_int("JobsClaimed")).sum();
+        if ras.len() == 2 && ra_claims == 2 && ca_claimed_jobs == 2 {
+            for ad in &ras {
+                assert_eq!(ad.get_int("Claimed"), Some(1), "{ad}");
+            }
+            assert_eq!(cas.len(), 1);
+            assert_eq!(cas[0].get_string("User"), Some("carol"));
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    assert_eq!(ra_claims, 2, "RA self-ads never reported both claims");
+    assert_eq!(ca_claimed_jobs, 2, "CA self-ad never reported both claims");
+
+    pool.shutdown();
+
+    // --- View 3: replay the journal and reconstruct the run. The last
+    // delivered match per request must be exactly the claim we observed.
+    let records = replay(&journal_path).unwrap();
+    assert!(!records.is_empty());
+    let mut last_seq = 0;
+    for r in &records {
+        assert!(r.seq > last_seq, "sequence must be strictly increasing");
+        last_seq = r.seq;
+    }
+    assert!(
+        matches!(&records[0].event, Event::AgentRestarted { agent, .. } if agent == "MatchmakerDaemon"),
+        "journal must open with the daemon restart: {:?}",
+        records[0]
+    );
+    assert!(records
+        .iter()
+        .any(|r| matches!(&r.event, Event::CycleCompleted { matches, .. } if *matches > 0)));
+    assert!(records.iter().any(|r| {
+        matches!(&r.event, Event::AdReceived { kind, .. } if kind.contains("Provider"))
+    }));
+    let mut replayed: BTreeMap<String, String> = BTreeMap::new();
+    for r in &records {
+        if let Event::MatchNotified {
+            request,
+            offer,
+            delivered: true,
+        } = &r.event
+        {
+            replayed.insert(request.clone(), offer.clone());
+        }
+    }
+    assert_eq!(
+        replayed, claimed,
+        "journal replay must reconstruct the observed match sequence"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
