@@ -5,7 +5,9 @@
 //! respect to matches (paper §3.2): losing the store loses nothing that the
 //! next round of periodic advertisements does not restore.
 
-use crate::protocol::{Advertisement, AdvertisingProtocol, EntityKind, ProtocolError, Timestamp};
+use crate::protocol::{
+    Advertisement, AdvertisingProtocol, EntityKind, ProtocolError, Timestamp, TraceContext,
+};
 use crate::ticket::Ticket;
 use classad::{ClassAd, EvalPolicy, Value};
 use std::collections::HashMap;
@@ -29,6 +31,10 @@ pub struct StoredAd {
     pub expires_at: Timestamp,
     /// Monotone sequence number: larger = fresher.
     pub seq: u64,
+    /// The trace this ad's match lifecycle belongs to, carried into every
+    /// [`crate::negotiate::MatchRecord`] the ad produces. `None` for ads
+    /// from pre-tracing peers or paths that never minted a context.
+    pub trace: Option<TraceContext>,
 }
 
 /// In-memory ad store keyed by `(kind, lowercase name)`.
@@ -60,12 +66,25 @@ impl AdStore {
     }
 
     /// Admit an advertisement, validating it against the advertising
-    /// protocol. Returns the entity's name key.
+    /// protocol. Returns the entity's name key. Equivalent to
+    /// [`AdStore::advertise_traced`] with no trace context.
     pub fn advertise(
         &mut self,
         adv: Advertisement,
         now: Timestamp,
         proto: &AdvertisingProtocol,
+    ) -> Result<String, ProtocolError> {
+        self.advertise_traced(adv, now, proto, None)
+    }
+
+    /// Admit an advertisement under an optional trace context; the
+    /// context rides on the stored ad into every match it produces.
+    pub fn advertise_traced(
+        &mut self,
+        adv: Advertisement,
+        now: Timestamp,
+        proto: &AdvertisingProtocol,
+        trace: Option<TraceContext>,
     ) -> Result<String, ProtocolError> {
         proto.validate(&adv, now)?;
         let name = match adv.ad.eval_attr("Name", &self.eval_policy) {
@@ -82,6 +101,7 @@ impl AdStore {
             ticket: adv.ticket,
             expires_at: adv.expires_at,
             seq: self.next_seq,
+            trace,
         };
         self.ads.insert(key, stored);
         Ok(name)

@@ -6,7 +6,7 @@
 //! frame body. [`FrameDecoder`] accepts arbitrarily fragmented input and
 //! yields complete messages as they become available.
 
-use crate::protocol::{Message, ProtocolError};
+use crate::protocol::{Message, ProtocolError, TraceContext};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 /// Default upper bound on a single frame. A classad-bearing message is a
@@ -25,6 +25,12 @@ pub fn frame_body(body: &[u8]) -> Bytes {
 /// Encode a message with its length prefix.
 pub fn encode_framed(msg: &Message) -> Bytes {
     frame_body(&msg.encode())
+}
+
+/// Encode a message plus an optional trace-context trailer (see
+/// [`Message::encode_traced`]) with its length prefix.
+pub fn encode_framed_traced(msg: &Message, trace: Option<&TraceContext>) -> Bytes {
+    frame_body(&msg.encode_traced(trace))
 }
 
 /// Incremental decoder for a stream of length-prefixed frames.
@@ -82,8 +88,19 @@ impl FrameDecoder {
 
     /// Try to decode the next complete message. `Ok(None)` means "need
     /// more bytes". After any `Err` the stream is poisoned: framing sync
-    /// is lost and every subsequent call errors.
+    /// is lost and every subsequent call errors. Any trace-context
+    /// trailer is discarded; use [`FrameDecoder::next_message_traced`] to
+    /// keep it.
     pub fn next_message(&mut self) -> Result<Option<Message>, ProtocolError> {
+        Ok(self.next_message_traced()?.map(|(msg, _)| msg))
+    }
+
+    /// Like [`FrameDecoder::next_message`], but also yields the frame's
+    /// optional trace context (`None` for trailer-free frames from
+    /// pre-tracing peers).
+    pub fn next_message_traced(
+        &mut self,
+    ) -> Result<Option<(Message, Option<TraceContext>)>, ProtocolError> {
         if self.poisoned {
             return Err(ProtocolError::BadFrame(
                 "stream poisoned by earlier error".into(),
@@ -105,8 +122,8 @@ impl FrameDecoder {
         }
         self.buf.advance(4);
         let body = self.buf.split_to(len).freeze();
-        match Message::decode(body) {
-            Ok(m) => Ok(Some(m)),
+        match Message::decode_traced(body) {
+            Ok(out) => Ok(Some(out)),
             Err(e) => {
                 self.poisoned = true;
                 Err(e)
@@ -191,6 +208,30 @@ mod tests {
         }
         assert_eq!(got, msgs);
         assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn traced_frames_surface_their_context() {
+        let msgs = sample_messages();
+        let ctx = TraceContext {
+            trace_id: 0xAAAA,
+            parent_span_id: 0xBBBB,
+        };
+        let mut dec = FrameDecoder::new();
+        dec.push(&encode_framed_traced(&msgs[0], Some(&ctx)));
+        dec.push(&encode_framed(&msgs[1])); // trailer-free
+        assert_eq!(
+            dec.next_message_traced().unwrap(),
+            Some((msgs[0].clone(), Some(ctx)))
+        );
+        assert_eq!(
+            dec.next_message_traced().unwrap(),
+            Some((msgs[1].clone(), None))
+        );
+        // The untraced accessor still works on traced frames.
+        let mut dec = FrameDecoder::new();
+        dec.push(&encode_framed_traced(&msgs[0], Some(&ctx)));
+        assert_eq!(dec.next_message().unwrap(), Some(msgs[0].clone()));
     }
 
     #[test]

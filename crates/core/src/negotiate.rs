@@ -100,6 +100,10 @@ pub struct MatchRecord {
     pub offer_rank: f64,
     /// If this match preempts a running claim, the displaced user.
     pub preempts: Option<String>,
+    /// The request ad's trace context (see
+    /// [`crate::admanager::StoredAd::trace`]), so the notifier can keep
+    /// the match's causal chain alive across daemons.
+    pub trace: Option<crate::protocol::TraceContext>,
 }
 
 impl MatchRecord {
@@ -439,6 +443,7 @@ impl Negotiator {
                             request_rank: c.request_rank,
                             offer_rank: c.offer_rank,
                             preempts,
+                            trace: request.trace,
                         });
                     }
                 }

@@ -23,6 +23,8 @@ use classad::json::{from_json, to_json};
 use classad::{ClassAd, MatchConventions};
 use std::fmt;
 
+pub use condor_obs::trace::TraceContext;
+
 /// Logical timestamps, in seconds. The simulator drives these from its
 /// virtual clock; a live deployment would use wall-clock seconds.
 pub type Timestamp = u64;
@@ -281,6 +283,17 @@ const TAG_QUERY: u8 = 6;
 const TAG_QUERY_REPLY: u8 = 7;
 const TAG_ERROR: u8 = 8;
 
+/// Whether a tag may carry the optional trace-context trailer (the five
+/// match-lifecycle messages; see `docs/protocol.md` §11). Queries and
+/// releases stay trailer-free: they are not part of any match's causal
+/// chain.
+fn tag_carries_trace(tag: u8) -> bool {
+    matches!(
+        tag,
+        TAG_ADVERTISE | TAG_NOTIFY | TAG_CLAIM | TAG_CLAIM_REPLY | TAG_ERROR
+    )
+}
+
 fn put_string(buf: &mut BytesMut, s: &str) {
     buf.put_u32(s.len() as u32);
     buf.put_slice(s.as_bytes());
@@ -362,8 +375,20 @@ impl Reader {
 impl Message {
     /// Encode to a self-describing binary frame. The classads inside travel
     /// as JSON (see [`classad::json`]), everything else as fixed-width
-    /// fields.
+    /// fields. Equivalent to [`Message::encode_traced`] with no context —
+    /// the two produce byte-identical frames, which is what makes the
+    /// trace trailer backward compatible: a peer that never minted a
+    /// context emits exactly the pre-tracing wire format.
     pub fn encode(&self) -> Bytes {
+        self.encode_traced(None)
+    }
+
+    /// Encode with an optional trace-context trailer. On the five
+    /// match-lifecycle tags (`Advertise`, `Notify`, `Claim`, `ClaimReply`,
+    /// `Error`) a context appends `marker(1) · trace_id(8) · parent_span_id(8)`
+    /// after the message payload; `None` appends nothing. Other tags
+    /// ignore the context entirely.
+    pub fn encode_traced(&self, trace: Option<&TraceContext>) -> Bytes {
         let mut buf = BytesMut::with_capacity(256);
         match self {
             Message::Advertise(adv) => {
@@ -435,11 +460,26 @@ impl Message {
                 put_string(&mut buf, detail);
             }
         }
+        if let Some(ctx) = trace {
+            if tag_carries_trace(buf[0]) {
+                buf.put_u8(1);
+                buf.put_u64(ctx.trace_id);
+                buf.put_u64(ctx.parent_span_id);
+            }
+        }
         buf.freeze()
     }
 
-    /// Decode a frame produced by [`Message::encode`].
+    /// Decode a frame produced by [`Message::encode`]. Equivalent to
+    /// [`Message::decode_traced`] with the context discarded.
     pub fn decode(bytes: Bytes) -> Result<Message, ProtocolError> {
+        Self::decode_traced(bytes).map(|(msg, _)| msg)
+    }
+
+    /// Decode a frame plus its optional trace-context trailer. Frames from
+    /// pre-tracing peers (no trailer) decode with `None`; an explicit
+    /// zero marker also decodes with `None`.
+    pub fn decode_traced(bytes: Bytes) -> Result<(Message, Option<TraceContext>), ProtocolError> {
         let mut r = Reader { buf: bytes };
         let tag = r.u8()?;
         let msg = match tag {
@@ -525,13 +565,29 @@ impl Message {
             },
             other => return Err(ProtocolError::BadFrame(format!("unknown tag {other}"))),
         };
+        let trace = if tag_carries_trace(tag) && r.buf.has_remaining() {
+            match r.u8()? {
+                0 => None,
+                1 => {
+                    let trace_id = r.u64()?;
+                    let parent_span_id = r.u64()?;
+                    Some(TraceContext {
+                        trace_id,
+                        parent_span_id,
+                    })
+                }
+                other => return Err(ProtocolError::BadFrame(format!("bad trace marker {other}"))),
+            }
+        } else {
+            None
+        };
         if r.buf.has_remaining() {
             return Err(ProtocolError::BadFrame(format!(
                 "{} trailing bytes",
                 r.buf.remaining()
             )));
         }
-        Ok(msg)
+        Ok((msg, trace))
     }
 }
 
@@ -715,6 +771,100 @@ mod tests {
         .to_vec();
         good.push(0);
         assert!(Message::decode(Bytes::from(good)).is_err());
+    }
+
+    #[test]
+    fn trace_trailer_roundtrips_on_lifecycle_tags() {
+        let ctx = TraceContext {
+            trace_id: 0x1122_3344_5566_7788,
+            parent_span_id: 0x99AA_BBCC_DDEE_FF00,
+        };
+        let messages = vec![
+            Message::Advertise(sample_adv()),
+            Message::Notify(MatchNotification {
+                own_ad: sample_ad(),
+                peer_ad: sample_ad(),
+                peer_contact: "ca:1".into(),
+                ticket: None,
+            }),
+            Message::Claim(ClaimRequest {
+                ticket: Ticket::from_raw(42),
+                customer_ad: sample_ad(),
+                customer_contact: "ca:1".into(),
+            }),
+            Message::ClaimReply(ClaimResponse {
+                accepted: true,
+                rejection: None,
+                provider_ad: sample_ad(),
+            }),
+            Message::Error {
+                detail: "no".into(),
+            },
+        ];
+        for msg in messages {
+            let bytes = msg.encode_traced(Some(&ctx));
+            let (back, trace) = Message::decode_traced(bytes).unwrap();
+            assert_eq!(back, msg);
+            assert_eq!(trace, Some(ctx));
+        }
+    }
+
+    #[test]
+    fn traceless_frames_are_byte_identical_to_the_old_format() {
+        // Backward compatibility hinges on this: an encoder with no
+        // context emits exactly what a pre-tracing peer would.
+        let msg = Message::Advertise(sample_adv());
+        assert_eq!(msg.encode(), msg.encode_traced(None));
+        // And a trailer-free frame decodes with no context.
+        let (back, trace) = Message::decode_traced(msg.encode()).unwrap();
+        assert_eq!(back, msg);
+        assert_eq!(trace, None);
+    }
+
+    #[test]
+    fn explicit_zero_marker_means_no_trace() {
+        let mut bytes = Message::Error { detail: "x".into() }.encode().to_vec();
+        bytes.push(0);
+        let (_, trace) = Message::decode_traced(Bytes::from(bytes)).unwrap();
+        assert_eq!(trace, None);
+    }
+
+    #[test]
+    fn trace_trailer_is_ignored_on_non_lifecycle_tags() {
+        let ctx = TraceContext {
+            trace_id: 1,
+            parent_span_id: 2,
+        };
+        let q = Message::Query {
+            constraint: "true".into(),
+            kind: None,
+            projection: vec![],
+        };
+        assert_eq!(q.encode(), q.encode_traced(Some(&ctx)));
+        let rel = Message::Release {
+            ticket: Ticket::from_raw(7),
+        };
+        assert_eq!(rel.encode(), rel.encode_traced(Some(&ctx)));
+    }
+
+    #[test]
+    fn truncated_or_bad_trace_trailer_is_rejected() {
+        let base = Message::Error { detail: "x".into() }.encode().to_vec();
+        // Marker says "context follows" but the ids are missing.
+        let mut truncated = base.clone();
+        truncated.push(1);
+        truncated.extend_from_slice(&[0; 4]);
+        assert!(Message::decode(Bytes::from(truncated)).is_err());
+        // Unknown marker value.
+        let mut bad_marker = base.clone();
+        bad_marker.push(9);
+        assert!(Message::decode(Bytes::from(bad_marker)).is_err());
+        // Full trailer plus junk after it.
+        let mut overlong = base;
+        overlong.push(1);
+        overlong.extend_from_slice(&[0; 16]);
+        overlong.push(7);
+        assert!(Message::decode(Bytes::from(overlong)).is_err());
     }
 
     #[test]

@@ -17,7 +17,7 @@
 use crate::admanager::AdStore;
 use crate::negotiate::{CycleOutcome, Negotiator, NegotiatorConfig};
 use crate::protocol::{
-    Advertisement, AdvertisingProtocol, EntityKind, Message, ProtocolError, Timestamp,
+    Advertisement, AdvertisingProtocol, EntityKind, Message, ProtocolError, Timestamp, TraceContext,
 };
 use crate::query::Query;
 use classad::ClassAd;
@@ -123,7 +123,22 @@ impl Matchmaker {
 
     /// Accept one advertisement.
     pub fn advertise(&self, adv: Advertisement, now: Timestamp) -> Result<String, ProtocolError> {
-        let result = self.store.write().advertise(adv, now, &self.protocol);
+        self.advertise_traced(adv, now, None)
+    }
+
+    /// Accept one advertisement under an optional trace context; the
+    /// context follows the stored ad into every match it produces (see
+    /// [`crate::negotiate::MatchRecord::trace`]).
+    pub fn advertise_traced(
+        &self,
+        adv: Advertisement,
+        now: Timestamp,
+        trace: Option<TraceContext>,
+    ) -> Result<String, ProtocolError> {
+        let result = self
+            .store
+            .write()
+            .advertise_traced(adv, now, &self.protocol, trace);
         match &result {
             Ok(_) => self.stats.ads_accepted.fetch_add(1, Ordering::Relaxed),
             Err(_) => self.stats.ads_rejected.fetch_add(1, Ordering::Relaxed),
@@ -156,9 +171,20 @@ impl Matchmaker {
         msg: Message,
         now: Timestamp,
     ) -> Result<Option<bytes::Bytes>, ProtocolError> {
+        self.handle_message_traced(msg, now, None)
+    }
+
+    /// Like [`Matchmaker::handle_message`], threading the frame's
+    /// optional trace context into the store on `Advertise`.
+    pub fn handle_message_traced(
+        &self,
+        msg: Message,
+        now: Timestamp,
+        trace: Option<TraceContext>,
+    ) -> Result<Option<bytes::Bytes>, ProtocolError> {
         match msg {
             Message::Advertise(adv) => {
-                self.advertise(adv, now)?;
+                self.advertise_traced(adv, now, trace)?;
                 Ok(None)
             }
             Message::Query {

@@ -12,7 +12,19 @@
 //! becomes `.2`, and so on up to `keep_rotated`; the oldest falls off.
 //! [`replay`] walks the rotated files oldest-first, then the current
 //! file, yielding records in sequence order.
+//!
+//! ## Schema versions
+//!
+//! * **v1** (PR 3): `seq`, `unix` (seconds), `event` + event fields.
+//! * **v2** (this layer): adds `v:2`, `unix_ms` (millisecond stamp for
+//!   phase timing), and — when the event happened under a trace — the
+//!   span coordinates `trace`, `span`, `parent` as 16-hex-digit ids.
+//!
+//! The decoder is field-presence based, so v1 lines still replay (their
+//! `unix_ms` is derived from `unix`, their span is `None`), and v1
+//! readers that ignore unknown fields can still read v2 lines.
 
+use crate::trace::{format_id, parse_id, SpanContext};
 use parking_lot::Mutex;
 use std::fmt;
 use std::fs::{File, OpenOptions};
@@ -47,6 +59,14 @@ pub enum Event {
         unmatched: u64,
         /// Wall-clock cycle duration, milliseconds.
         duration_ms: u64,
+    },
+    /// The negotiator paired a request with an offer (before delivery of
+    /// the notifications; see [`Event::MatchNotified`] for that).
+    MatchMade {
+        /// The matched request's `Name`.
+        request: String,
+        /// The matched offer's `Name`.
+        offer: String,
     },
     /// The matchmaker sent (or failed to send) a match notification.
     MatchNotified {
@@ -100,6 +120,7 @@ impl Event {
         match self {
             Event::AdReceived { .. } => "AdReceived",
             Event::CycleCompleted { .. } => "CycleCompleted",
+            Event::MatchMade { .. } => "MatchMade",
             Event::MatchNotified { .. } => "MatchNotified",
             Event::ClaimEstablished { .. } => "ClaimEstablished",
             Event::ClaimRejected { .. } => "ClaimRejected",
@@ -133,6 +154,10 @@ impl Event {
                 ("matches", U64(*matches)),
                 ("unmatched", U64(*unmatched)),
                 ("duration_ms", U64(*duration_ms)),
+            ],
+            Event::MatchMade { request, offer } => vec![
+                ("request", Str(request.clone())),
+                ("offer", Str(offer.clone())),
             ],
             Event::MatchNotified {
                 request,
@@ -180,6 +205,10 @@ impl Event {
                 unmatched: obj.u64("unmatched")?,
                 duration_ms: obj.u64("duration_ms")?,
             },
+            "MatchMade" => Event::MatchMade {
+                request: obj.str("request")?,
+                offer: obj.str("offer")?,
+            },
             "MatchNotified" => Event::MatchNotified {
                 request: obj.str("request")?,
                 offer: obj.str("offer")?,
@@ -210,24 +239,51 @@ impl Event {
     }
 }
 
-/// One journal line: sequence number, wall-clock stamp, typed event.
+/// One journal line: sequence number, wall-clock stamps, typed event,
+/// and (for events that happened under a trace) span coordinates.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Record {
     /// Monotone per-journal sequence number, starting at 1.
     pub seq: u64,
     /// Unix seconds when the event was appended.
     pub unix: u64,
+    /// Unix milliseconds when the event was appended (schema v2; derived
+    /// from `unix` when replaying v1 lines).
+    pub unix_ms: u64,
     /// The event itself.
     pub event: Event,
+    /// The span this event was recorded under, if it is part of a trace.
+    pub span: Option<SpanContext>,
 }
 
 impl Record {
-    fn encode(&self) -> String {
-        let mut line = String::with_capacity(96);
+    /// Encode as one schema-v2 JSONL line (no trailing newline).
+    pub fn encode(&self) -> String {
+        let mut line = String::with_capacity(128);
         line.push('{');
+        push_field(&mut line, "v", &FieldValue::U64(2));
+        line.push(',');
         push_field(&mut line, "seq", &FieldValue::U64(self.seq));
         line.push(',');
         push_field(&mut line, "unix", &FieldValue::U64(self.unix));
+        line.push(',');
+        push_field(&mut line, "unix_ms", &FieldValue::U64(self.unix_ms));
+        if let Some(span) = &self.span {
+            line.push(',');
+            push_field(
+                &mut line,
+                "trace",
+                &FieldValue::Str(format_id(span.trace_id)),
+            );
+            line.push(',');
+            push_field(&mut line, "span", &FieldValue::Str(format_id(span.span_id)));
+            line.push(',');
+            push_field(
+                &mut line,
+                "parent",
+                &FieldValue::Str(format_id(span.parent_span_id)),
+            );
+        }
         line.push(',');
         push_field(
             &mut line,
@@ -242,15 +298,41 @@ impl Record {
         line
     }
 
-    fn decode(line: &str) -> Option<Record> {
+    /// Decode one line of either schema version; `None` on torn or
+    /// foreign content.
+    pub fn decode(line: &str) -> Option<Record> {
         let obj = JsonObject::parse(line)?;
         let event = Event::from_fields(&obj.str("event")?, &obj)?;
+        let unix = obj.u64("unix")?;
+        let unix_ms = obj.u64("unix_ms").unwrap_or(unix * 1000);
+        let span = match (obj.str("trace"), obj.str("span")) {
+            (Some(trace), Some(span)) => Some(SpanContext {
+                trace_id: parse_id(&trace)?,
+                span_id: parse_id(&span)?,
+                parent_span_id: obj.str("parent").map(|p| parse_id(&p)).unwrap_or(Some(0))?,
+            }),
+            _ => None,
+        };
         Some(Record {
             seq: obj.u64("seq")?,
-            unix: obj.u64("unix")?,
+            unix,
+            unix_ms,
             event,
+            span,
         })
     }
+}
+
+/// What [`Journal::append_traced`] reports back: the record as stamped,
+/// and whether the line actually reached the OS (`written == false`
+/// means the event was dropped at the I/O layer and only the error
+/// counter remembers it).
+#[derive(Debug, Clone)]
+pub struct Appended {
+    /// The record as written (or as it would have been written).
+    pub record: Record,
+    /// `false` when the write failed and the event was dropped.
+    pub written: bool,
 }
 
 /// Where the journal lives and when it rotates.
@@ -329,21 +411,29 @@ impl Journal {
         })
     }
 
-    /// Append one event, stamping the next sequence number and the current
-    /// unix time. Returns the record as written. I/O failures are counted
-    /// (see [`Journal::io_errors`]) but never panic or poison the journal:
-    /// observability must not take the pool down.
+    /// Append one untraced event. See [`Journal::append_traced`].
     pub fn append(&self, event: Event) -> Record {
-        let unix = SystemTime::now()
+        self.append_traced(event, None).record
+    }
+
+    /// Append one event under an optional span, stamping the next
+    /// sequence number and the current unix time. I/O failures are
+    /// counted (see [`Journal::io_errors`]) and reported via
+    /// [`Appended::written`] but never panic or poison the journal:
+    /// observability must not take the pool down.
+    pub fn append_traced(&self, event: Event, span: Option<SpanContext>) -> Appended {
+        let unix_ms = SystemTime::now()
             .duration_since(UNIX_EPOCH)
-            .map(|d| d.as_secs())
+            .map(|d| d.as_millis() as u64)
             .unwrap_or(0);
         let mut inner = self.inner.lock();
         inner.seq += 1;
         let record = Record {
             seq: inner.seq,
-            unix,
+            unix: unix_ms / 1000,
+            unix_ms,
             event,
+            span,
         };
         let mut line = record.encode();
         line.push('\n');
@@ -352,15 +442,21 @@ impl Journal {
                 inner.io_errors += 1;
             }
         }
-        match inner
+        let written = match inner
             .file
             .write_all(line.as_bytes())
             .and_then(|()| inner.file.flush())
         {
-            Ok(()) => inner.bytes += line.len() as u64,
-            Err(_) => inner.io_errors += 1,
-        }
-        record
+            Ok(()) => {
+                inner.bytes += line.len() as u64;
+                true
+            }
+            Err(_) => {
+                inner.io_errors += 1;
+                false
+            }
+        };
+        Appended { record, written }
     }
 
     /// Shift `<path>.(n)` → `<path>.(n+1)` (dropping the oldest) and start
@@ -683,6 +779,10 @@ mod tests {
                 unmatched: 1,
                 duration_ms: 12,
             },
+            Event::MatchMade {
+                request: "job-1".into(),
+                offer: "ra-1".into(),
+            },
             Event::MatchNotified {
                 request: "job-1".into(),
                 offer: "ra-1".into(),
@@ -712,15 +812,52 @@ mod tests {
     #[test]
     fn every_event_round_trips_through_a_line() {
         for (i, event) in sample_events().into_iter().enumerate() {
+            let span = (i % 2 == 0).then_some(SpanContext {
+                trace_id: 0xDEAD_BEEF + i as u64,
+                span_id: 42 + i as u64,
+                parent_span_id: i as u64, // 0 on the first: root spans encode too
+            });
             let rec = Record {
                 seq: i as u64 + 1,
                 unix: 1_700_000_000,
+                unix_ms: 1_700_000_000_123,
                 event,
+                span,
             };
             let line = rec.encode();
             let back = Record::decode(&line).unwrap_or_else(|| panic!("decode failed: {line}"));
             assert_eq!(back, rec);
         }
+    }
+
+    #[test]
+    fn v1_lines_still_decode() {
+        let line = "{\"seq\":7,\"unix\":1700000000,\"event\":\"LeaseExpired\",\"expired\":3}";
+        let rec = Record::decode(line).unwrap();
+        assert_eq!(rec.seq, 7);
+        assert_eq!(rec.unix, 1_700_000_000);
+        assert_eq!(rec.unix_ms, 1_700_000_000_000, "derived from unix seconds");
+        assert_eq!(rec.span, None);
+        assert_eq!(rec.event, Event::LeaseExpired { expired: 3 });
+    }
+
+    #[test]
+    fn append_traced_stamps_the_span_and_reports_written() {
+        let dir = temp_dir("traced");
+        let cfg = JournalConfig::new(dir.join("j.jsonl"));
+        let j = Journal::open(cfg).unwrap();
+        let span = SpanContext {
+            trace_id: 0xAB,
+            span_id: 0xCD,
+            parent_span_id: 0,
+        };
+        let out = j.append_traced(Event::LeaseExpired { expired: 1 }, Some(span));
+        assert!(out.written);
+        assert!(out.record.unix_ms >= out.record.unix * 1000);
+        let recs = replay(j.path()).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].span, Some(span));
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]

@@ -31,6 +31,12 @@
 //! The [`schema`] module pins the metric names shared by the live pool
 //! (`condor-pool`), the negotiator bridge (`matchmaker`), and the
 //! simulator (`condor-sim`), so all three report through one schema.
+//!
+//! The [`trace`] module adds the fourth layer: match-lifecycle
+//! distributed tracing. A [`TraceContext`] travels with protocol
+//! messages, daemons journal events under [`SpanContext`]s, and
+//! [`TraceAssembler`] stitches the per-daemon journals back into causal
+//! span trees.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -39,9 +45,11 @@ pub mod journal;
 pub mod registry;
 pub mod schema;
 pub mod selfad;
+pub mod trace;
 
-pub use journal::{replay, Event, Journal, JournalConfig, Record};
+pub use journal::{replay, Appended, Event, Journal, JournalConfig, Record};
 pub use registry::{
     Counter, Gauge, HistogramSnapshot, MetricsSnapshot, Registry, WindowedHistogram,
 };
 pub use selfad::{attr_name, is_daemon_ad, self_ad, self_ad_constraint, DAEMON_AD_ATTR};
+pub use trace::{SpanContext, TraceAssembler, TraceContext, TraceSpan, TraceTree};

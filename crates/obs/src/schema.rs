@@ -51,6 +51,24 @@ pub const LAST_CYCLE_UNMATCHED: &str = "last_cycle_unmatched";
 /// Recent cycle wall-clock duration, milliseconds (windowed histogram).
 pub const CYCLE_DURATION_MS: &str = "cycle_duration_ms";
 
+// ---- match-lifecycle phase timings (windowed histograms) ----
+//
+// Each daemon times the phases it can observe with its own monotonic
+// clock; the trace assembler (`condor_obs::trace`) recomputes the same
+// phases from cross-daemon journal timestamps. The two views should
+// agree to within the histogram window and clock resolution.
+
+/// Matchmaker: customer ad accepted → matched in a negotiation cycle.
+pub const PHASE_QUEUE_WAIT_MS: &str = "phase_queue_wait_ms";
+/// Matchmaker: cycle start → both match notifications dispatched.
+pub const PHASE_NEGOTIATION_MS: &str = "phase_negotiation_ms";
+/// Resource agent: notification seen → the customer's claim arrived.
+pub const PHASE_NOTIFY_CLAIM_GAP_MS: &str = "phase_notify_claim_gap_ms";
+/// Customer agent: claim dial → claim reply (round trip).
+pub const PHASE_CLAIM_RTT_MS: &str = "phase_claim_rtt_ms";
+/// Resource agent: claim re-verification (requirement re-evaluation).
+pub const PHASE_REVERIFY_MS: &str = "phase_reverify_ms";
+
 // ---- wire / daemon ----
 
 /// Connections admitted into the handler pool.
@@ -69,6 +87,16 @@ pub const ERROR_REPLIES: &str = "error_replies";
 pub const NOTIFICATIONS_SENT: &str = "notifications_sent";
 /// Notification dials that failed (soft state: costs one cycle).
 pub const NOTIFICATIONS_FAILED: &str = "notifications_failed";
+/// Frames decoded off the wire (all peers).
+pub const FRAMES_IN: &str = "frames_in";
+/// Frames written to the wire (all peers).
+pub const FRAMES_OUT: &str = "frames_out";
+/// Bytes read off the wire, framing included.
+pub const BYTES_IN: &str = "bytes_in";
+/// Bytes written to the wire, framing included.
+pub const BYTES_OUT: &str = "bytes_out";
+/// Journal events dropped because an append failed at the I/O layer.
+pub const JOURNAL_DROPPED: &str = "journal_dropped";
 
 // ---- agents (live pool + simulator) ----
 

@@ -1,0 +1,740 @@
+//! Match-lifecycle distributed tracing: context types, span identifiers,
+//! and a cross-daemon trace assembler.
+//!
+//! The matchmaking protocol is a multi-party causal chain — advertise,
+//! negotiate, notify, claim, re-verify (paper §3–§4) — but each daemon's
+//! journal records its own events in isolation. This module follows the
+//! Dapper lineage: a [`TraceContext`] minted when a request enters the
+//! system travels with every protocol message, each daemon opens a
+//! [`SpanContext`] under it for the work it performs, and the journal
+//! stamps the span onto the event record. [`TraceAssembler`] then replays
+//! one or more journals and stitches the records back into per-trace span
+//! trees, tolerant of clock skew, torn lines, and missing daemons.
+//!
+//! Identifier discipline: ids are non-zero `u64`s; `0` is reserved to mean
+//! "no parent" (a trace root). Ids render as 16-digit lowercase hex
+//! (see [`format_id`]/[`parse_id`]) both in journals and in CLI output.
+
+use crate::journal::{Event, Record};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// The trace coordinates carried on the wire with a protocol message:
+/// which trace the message belongs to and which span caused it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceContext {
+    /// The end-to-end trace this message belongs to (non-zero).
+    pub trace_id: u64,
+    /// The sender's span that caused this message; `0` for a trace root
+    /// (the customer minting a brand-new trace).
+    pub parent_span_id: u64,
+}
+
+impl TraceContext {
+    /// Mint a brand-new trace: fresh trace id, no parent span.
+    pub fn mint() -> TraceContext {
+        TraceContext {
+            trace_id: fresh_id(),
+            parent_span_id: 0,
+        }
+    }
+
+    /// Open a span for work performed under this context. The span's
+    /// parent is whatever caused this context to arrive.
+    pub fn begin_span(&self) -> SpanContext {
+        SpanContext {
+            trace_id: self.trace_id,
+            span_id: fresh_id(),
+            parent_span_id: self.parent_span_id,
+        }
+    }
+}
+
+impl fmt::Display for TraceContext {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{}",
+            format_id(self.trace_id),
+            format_id(self.parent_span_id)
+        )
+    }
+}
+
+/// One unit of attributed work inside a trace, as stamped onto a journal
+/// record: the trace it belongs to, its own id, and its causal parent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanContext {
+    /// The trace this span belongs to.
+    pub trace_id: u64,
+    /// This span's id (non-zero).
+    pub span_id: u64,
+    /// The causing span; `0` when this span is a trace root.
+    pub parent_span_id: u64,
+}
+
+impl SpanContext {
+    /// The context to propagate downstream: messages caused by this span
+    /// carry `{trace_id, parent_span_id: span_id}`.
+    pub fn child_context(&self) -> TraceContext {
+        TraceContext {
+            trace_id: self.trace_id,
+            parent_span_id: self.span_id,
+        }
+    }
+}
+
+/// Process-global id source: a splitmix64 stream seeded from the clock
+/// and the process id, stepped by an atomic counter. Non-zero by
+/// construction (`0` is the "no parent" sentinel), unique within a
+/// process, and collision-unlikely across a pool's daemons.
+pub fn fresh_id() -> u64 {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    static SEED: AtomicU64 = AtomicU64::new(0);
+    let mut seed = SEED.load(Ordering::Relaxed);
+    if seed == 0 {
+        let clock = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x9E37_79B9_7F4A_7C15);
+        seed = clock ^ ((std::process::id() as u64) << 32) | 1;
+        let _ = SEED.compare_exchange(0, seed, Ordering::Relaxed, Ordering::Relaxed);
+        seed = SEED.load(Ordering::Relaxed);
+    }
+    loop {
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let id = splitmix64(seed.wrapping_add(n.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+        if id != 0 {
+            return id;
+        }
+    }
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Render an id as the canonical 16-digit lowercase hex form.
+pub fn format_id(id: u64) -> String {
+    format!("{id:016x}")
+}
+
+/// Parse an id in the form [`format_id`] produces (leading zeros optional).
+pub fn parse_id(s: &str) -> Option<u64> {
+    if s.is_empty() || s.len() > 16 {
+        return None;
+    }
+    u64::from_str_radix(s, 16).ok()
+}
+
+// ---- the assembler ----
+
+/// Phase names the assembler derives from parent→child span edges. These
+/// mirror the daemons' phase histograms (see [`crate::schema`]): the
+/// assembler computes them from journal timestamps, the daemons from
+/// monotonic clocks, and the two views should agree to within clock
+/// resolution.
+pub mod phase {
+    /// Customer ad accepted → matched in a negotiation cycle.
+    pub const QUEUE_WAIT: &str = "queue_wait";
+    /// Matched → both parties notified.
+    pub const NEGOTIATION: &str = "negotiation";
+    /// Notification sent → the provider adjudicated the direct claim.
+    pub const NOTIFY_CLAIM_GAP: &str = "notify_claim_gap";
+    /// Provider adjudicated → the customer recorded the outcome.
+    pub const CLAIM_TURNAROUND: &str = "claim_turnaround";
+}
+
+/// Classify a parent→child edge by the two events' kinds.
+fn phase_of(parent: &str, child: &str) -> Option<&'static str> {
+    match (parent, child) {
+        ("AdReceived", "MatchMade") => Some(phase::QUEUE_WAIT),
+        ("MatchMade", "MatchNotified") => Some(phase::NEGOTIATION),
+        ("MatchNotified", "ClaimEstablished") | ("MatchNotified", "ClaimRejected") => {
+            Some(phase::NOTIFY_CLAIM_GAP)
+        }
+        ("ClaimEstablished", "ClaimEstablished") | ("ClaimEstablished", "ClaimRejected") => {
+            Some(phase::CLAIM_TURNAROUND)
+        }
+        _ => None,
+    }
+}
+
+/// One node of an assembled trace tree.
+#[derive(Debug, Clone)]
+pub struct TraceSpan {
+    /// Label of the journal the record came from (e.g. `"matchmaker"`).
+    pub source: String,
+    /// The record's sequence number in its journal.
+    pub seq: u64,
+    /// Wall-clock milliseconds when the event was journaled.
+    pub unix_ms: u64,
+    /// This span's id.
+    pub span_id: u64,
+    /// The causal parent span (`0` = trace root).
+    pub parent_span_id: u64,
+    /// The journaled event.
+    pub event: Event,
+    /// Child spans, as indices into [`TraceTree::spans`].
+    pub children: Vec<usize>,
+}
+
+/// A fully stitched trace: every journaled span of one trace id, linked
+/// parent→child. Spans whose parent never showed up (a daemon whose
+/// journal was not supplied, or lost to a torn line) are kept as extra
+/// roots rather than dropped — missing evidence must not erase the
+/// evidence that survived.
+#[derive(Debug, Clone)]
+pub struct TraceTree {
+    /// The trace id all spans share.
+    pub trace_id: u64,
+    /// Every span, in `(unix_ms, seq)` order.
+    pub spans: Vec<TraceSpan>,
+    /// Indices of root spans (no parent, or parent missing).
+    pub roots: Vec<usize>,
+    /// `true` if any edge ran backwards in time beyond the assembler's
+    /// skew tolerance (cross-daemon clock skew).
+    pub skewed: bool,
+}
+
+impl TraceTree {
+    /// Wall-clock extent of the trace in milliseconds (latest span minus
+    /// earliest span).
+    pub fn total_ms(&self) -> u64 {
+        let min = self.spans.iter().map(|s| s.unix_ms).min().unwrap_or(0);
+        let max = self.spans.iter().map(|s| s.unix_ms).max().unwrap_or(0);
+        max.saturating_sub(min)
+    }
+
+    /// Index of the first span whose event kind is `kind`, searching in
+    /// time order.
+    pub fn find(&self, kind: &str) -> Option<usize> {
+        self.spans.iter().position(|s| s.event.kind() == kind)
+    }
+
+    /// The causal chain from a trace root down to `idx`, inclusive,
+    /// root-first. Follows `parent_span_id` links, not timestamps.
+    pub fn ancestry(&self, idx: usize) -> Vec<&TraceSpan> {
+        let by_id: HashMap<u64, usize> = self
+            .spans
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.span_id, i))
+            .collect();
+        let mut chain = vec![idx];
+        let mut cur = idx;
+        while let Some(&up) = by_id.get(&self.spans[cur].parent_span_id) {
+            if chain.contains(&up) {
+                break; // defensive: never loop on corrupt links
+            }
+            chain.push(up);
+            cur = up;
+        }
+        chain.reverse();
+        chain.into_iter().map(|i| &self.spans[i]).collect()
+    }
+
+    /// Per-edge phase durations `(phase, parent idx, child idx, ms)` for
+    /// the recognized protocol phases. Durations are clamped at zero;
+    /// edges that ran backwards beyond the skew tolerance were already
+    /// flagged via [`TraceTree::skewed`] at assembly time.
+    pub fn phases(&self) -> Vec<(&'static str, usize, usize, u64)> {
+        let mut out = Vec::new();
+        for (pi, parent) in self.spans.iter().enumerate() {
+            for &ci in &parent.children {
+                let child = &self.spans[ci];
+                if let Some(name) = phase_of(parent.event.kind(), child.event.kind()) {
+                    let ms = child.unix_ms.saturating_sub(parent.unix_ms);
+                    out.push((name, pi, ci, ms));
+                }
+            }
+        }
+        out
+    }
+
+    /// A human-readable timeline: one line per span, indented by causal
+    /// depth, with millisecond offsets from the trace's first event.
+    pub fn render(&self) -> String {
+        let start = self.spans.iter().map(|s| s.unix_ms).min().unwrap_or(0);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "trace {}  ({} spans, {} ms)\n",
+            format_id(self.trace_id),
+            self.spans.len(),
+            self.total_ms()
+        ));
+        if self.skewed {
+            out.push_str("  (warning: cross-journal clock skew detected)\n");
+        }
+        let mut stack: Vec<(usize, usize)> = self.roots.iter().rev().map(|&i| (i, 0)).collect();
+        let mut seen = vec![false; self.spans.len()];
+        while let Some((idx, depth)) = stack.pop() {
+            if seen[idx] {
+                continue;
+            }
+            seen[idx] = true;
+            let s = &self.spans[idx];
+            out.push_str(&format!(
+                "  +{:>6}ms {:indent$}{} [{}] span={} parent={}\n",
+                s.unix_ms.saturating_sub(start),
+                "",
+                s.event.kind(),
+                s.source,
+                format_id(s.span_id),
+                format_id(s.parent_span_id),
+                indent = depth * 2
+            ));
+            for &c in s.children.iter().rev() {
+                stack.push((c, depth + 1));
+            }
+        }
+        out
+    }
+}
+
+/// Aggregate statistics for one phase across every assembled trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseStats {
+    /// Edges observed.
+    pub count: u64,
+    /// Smallest duration, ms.
+    pub min_ms: u64,
+    /// Largest duration, ms.
+    pub max_ms: u64,
+    /// Mean duration, ms.
+    pub mean_ms: f64,
+    /// Median duration, ms.
+    pub p50_ms: u64,
+    /// 99th-percentile duration, ms.
+    pub p99_ms: u64,
+}
+
+/// Stitches journal records from one or more daemons into per-trace span
+/// trees. Feed it replayed journals (see [`crate::replay`]) with a label
+/// per source, then [`assemble`](TraceAssembler::assemble) individual
+/// traces or take the aggregate [`summary`](TraceAssembler::summary).
+#[derive(Debug, Default)]
+pub struct TraceAssembler {
+    records: Vec<(String, Record)>,
+    skew_tolerance: Duration,
+}
+
+impl TraceAssembler {
+    /// An assembler with the default clock-skew tolerance (500 ms):
+    /// cross-journal edges may run up to that far backwards in time
+    /// before the trace is flagged as skewed.
+    pub fn new() -> TraceAssembler {
+        TraceAssembler {
+            records: Vec::new(),
+            skew_tolerance: Duration::from_millis(500),
+        }
+    }
+
+    /// Override the clock-skew tolerance.
+    pub fn with_skew_tolerance(mut self, tolerance: Duration) -> TraceAssembler {
+        self.skew_tolerance = tolerance;
+        self
+    }
+
+    /// Add replayed records under a source label. Records without a span
+    /// stamp (untraced events, pre-tracing journals) are ignored.
+    pub fn add_journal(&mut self, label: &str, records: Vec<Record>) -> usize {
+        let mut added = 0;
+        for r in records {
+            if r.span.is_some() {
+                self.records.push((label.to_string(), r));
+                added += 1;
+            }
+        }
+        added
+    }
+
+    /// Replay the journal at `path` (rotated generations included) and add
+    /// it under `label`. Returns how many traced records were added.
+    pub fn add_journal_file(
+        &mut self,
+        label: &str,
+        path: impl AsRef<Path>,
+    ) -> std::io::Result<usize> {
+        Ok(self.add_journal(label, crate::replay(path)?))
+    }
+
+    /// Every trace id present, ascending.
+    pub fn trace_ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self
+            .records
+            .iter()
+            .filter_map(|(_, r)| r.span.map(|s| s.trace_id))
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Stitch one trace. Returns `None` when no record carries the id.
+    pub fn assemble(&self, trace_id: u64) -> Option<TraceTree> {
+        let mut spans: Vec<TraceSpan> = self
+            .records
+            .iter()
+            .filter(|(_, r)| r.span.map(|s| s.trace_id) == Some(trace_id))
+            .map(|(label, r)| {
+                let span = r.span.expect("filtered on span presence");
+                TraceSpan {
+                    source: label.clone(),
+                    seq: r.seq,
+                    unix_ms: r.unix_ms,
+                    span_id: span.span_id,
+                    parent_span_id: span.parent_span_id,
+                    event: r.event.clone(),
+                    children: Vec::new(),
+                }
+            })
+            .collect();
+        if spans.is_empty() {
+            return None;
+        }
+        spans.sort_by_key(|s| (s.unix_ms, s.seq));
+        // First occurrence wins on duplicate span ids (replayed rotations).
+        let mut by_id: HashMap<u64, usize> = HashMap::new();
+        for (i, s) in spans.iter().enumerate() {
+            by_id.entry(s.span_id).or_insert(i);
+        }
+        let mut roots = Vec::new();
+        let mut skewed = false;
+        let tolerance_ms = self.skew_tolerance.as_millis() as u64;
+        for i in 0..spans.len() {
+            let parent = spans[i].parent_span_id;
+            match by_id.get(&parent) {
+                Some(&p) if p != i => {
+                    if spans[p].unix_ms > spans[i].unix_ms + tolerance_ms {
+                        skewed = true;
+                    }
+                    spans[p].children.push(i);
+                }
+                // Parent 0 (a root) or a span journaled by a daemon whose
+                // journal we were not given: keep it as its own root.
+                _ => roots.push(i),
+            }
+        }
+        Some(TraceTree {
+            trace_id,
+            spans,
+            roots,
+            skewed,
+        })
+    }
+
+    /// Assemble every trace and aggregate per-phase durations.
+    pub fn summary(&self) -> BTreeMap<&'static str, PhaseStats> {
+        let mut buckets: BTreeMap<&'static str, Vec<u64>> = BTreeMap::new();
+        for id in self.trace_ids() {
+            if let Some(tree) = self.assemble(id) {
+                for (name, _, _, ms) in tree.phases() {
+                    buckets.entry(name).or_default().push(ms);
+                }
+            }
+        }
+        buckets
+            .into_iter()
+            .map(|(name, mut v)| {
+                v.sort_unstable();
+                let count = v.len() as u64;
+                let pct = |p: f64| v[((v.len() - 1) as f64 * p) as usize];
+                let stats = PhaseStats {
+                    count,
+                    min_ms: v[0],
+                    max_ms: *v.last().expect("non-empty bucket"),
+                    mean_ms: v.iter().sum::<u64>() as f64 / count as f64,
+                    p50_ms: pct(0.50),
+                    p99_ms: pct(0.99),
+                };
+                (name, stats)
+            })
+            .collect()
+    }
+
+    /// The `n` traces with the largest wall-clock extent, slowest first.
+    pub fn slowest(&self, n: usize) -> Vec<TraceTree> {
+        let mut trees: Vec<TraceTree> = self
+            .trace_ids()
+            .into_iter()
+            .filter_map(|id| self.assemble(id))
+            .collect();
+        trees.sort_by_key(|t| std::cmp::Reverse(t.total_ms()));
+        trees.truncate(n);
+        trees
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(seq: u64, unix_ms: u64, event: Event, span: SpanContext) -> Record {
+        Record {
+            seq,
+            unix: unix_ms / 1000,
+            unix_ms,
+            event,
+            span: Some(span),
+        }
+    }
+
+    fn span(trace: u64, id: u64, parent: u64) -> SpanContext {
+        SpanContext {
+            trace_id: trace,
+            span_id: id,
+            parent_span_id: parent,
+        }
+    }
+
+    fn lifecycle_records() -> (Vec<Record>, Vec<Record>, Vec<Record>) {
+        let t = 0xABCD;
+        let mm = vec![
+            rec(
+                1,
+                1000,
+                Event::AdReceived {
+                    kind: "Customer".into(),
+                    name: "job-1".into(),
+                    contact: "ca:1".into(),
+                },
+                span(t, 10, 0),
+            ),
+            rec(
+                2,
+                1400,
+                Event::MatchMade {
+                    request: "job-1".into(),
+                    offer: "m0".into(),
+                },
+                span(t, 20, 10),
+            ),
+            rec(
+                3,
+                1410,
+                Event::MatchNotified {
+                    request: "job-1".into(),
+                    offer: "m0".into(),
+                    delivered: true,
+                },
+                span(t, 30, 20),
+            ),
+        ];
+        let ra = vec![rec(
+            1,
+            1450,
+            Event::ClaimEstablished {
+                provider: "m0".into(),
+                customer: "u".into(),
+            },
+            span(t, 40, 30),
+        )];
+        let ca = vec![rec(
+            1,
+            1460,
+            Event::ClaimEstablished {
+                provider: "m0".into(),
+                customer: "u".into(),
+            },
+            span(t, 50, 40),
+        )];
+        (mm, ra, ca)
+    }
+
+    #[test]
+    fn ids_are_nonzero_and_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..10_000 {
+            let id = fresh_id();
+            assert_ne!(id, 0);
+            assert!(seen.insert(id), "duplicate id {id:#x}");
+        }
+    }
+
+    #[test]
+    fn id_hex_roundtrips() {
+        for id in [1u64, 0xDEAD_BEEF, u64::MAX] {
+            assert_eq!(parse_id(&format_id(id)), Some(id));
+        }
+        assert_eq!(parse_id(""), None);
+        assert_eq!(parse_id("xyz"), None);
+        assert_eq!(parse_id("00000000000000000"), None); // 17 digits
+    }
+
+    #[test]
+    fn context_and_span_chain_causally() {
+        let root = TraceContext::mint();
+        assert_eq!(root.parent_span_id, 0);
+        let a = root.begin_span();
+        assert_eq!(a.trace_id, root.trace_id);
+        assert_eq!(a.parent_span_id, 0);
+        let downstream = a.child_context();
+        assert_eq!(downstream.parent_span_id, a.span_id);
+        let b = downstream.begin_span();
+        assert_eq!(b.parent_span_id, a.span_id);
+        assert_ne!(b.span_id, a.span_id);
+    }
+
+    #[test]
+    fn assembles_the_full_lifecycle_in_causal_order() {
+        let (mm, ra, ca) = lifecycle_records();
+        let mut asm = TraceAssembler::new();
+        assert_eq!(asm.add_journal("mm", mm), 3);
+        assert_eq!(asm.add_journal("ra", ra), 1);
+        assert_eq!(asm.add_journal("ca", ca), 1);
+        assert_eq!(asm.trace_ids(), vec![0xABCD]);
+        let tree = asm.assemble(0xABCD).unwrap();
+        assert_eq!(tree.spans.len(), 5);
+        assert_eq!(tree.roots.len(), 1);
+        assert!(!tree.skewed);
+        let leaf = tree
+            .spans
+            .iter()
+            .position(|s| s.source == "ca")
+            .expect("the customer's claim record");
+        let chain: Vec<&str> = tree.ancestry(leaf).iter().map(|s| s.event.kind()).collect();
+        assert_eq!(
+            chain,
+            vec![
+                "AdReceived",
+                "MatchMade",
+                "MatchNotified",
+                "ClaimEstablished",
+                "ClaimEstablished"
+            ]
+        );
+        let phases = tree.phases();
+        let get = |name: &str| {
+            phases
+                .iter()
+                .find(|(n, ..)| *n == name)
+                .map(|&(_, _, _, ms)| ms)
+                .unwrap()
+        };
+        assert_eq!(get(phase::QUEUE_WAIT), 400);
+        assert_eq!(get(phase::NEGOTIATION), 10);
+        assert_eq!(get(phase::NOTIFY_CLAIM_GAP), 40);
+        assert_eq!(get(phase::CLAIM_TURNAROUND), 10);
+        assert!(tree.render().contains("MatchNotified"));
+    }
+
+    #[test]
+    fn missing_daemon_leaves_orphans_as_roots() {
+        let (mm, _ra, ca) = lifecycle_records();
+        let mut asm = TraceAssembler::new();
+        asm.add_journal("mm", mm);
+        asm.add_journal("ca", ca); // the RA's journal is gone
+        let tree = asm.assemble(0xABCD).unwrap();
+        assert_eq!(tree.spans.len(), 4);
+        // The CA span's parent (the RA claim span) is missing, so it
+        // surfaces as a second root instead of vanishing.
+        assert_eq!(tree.roots.len(), 2);
+    }
+
+    #[test]
+    fn clock_skew_beyond_tolerance_is_flagged() {
+        let t = 7;
+        let parent = rec(
+            1,
+            5000,
+            Event::MatchNotified {
+                request: "j".into(),
+                offer: "m".into(),
+                delivered: true,
+            },
+            span(t, 1, 0),
+        );
+        // The RA's clock is 2 s behind the matchmaker's.
+        let child = rec(
+            1,
+            3000,
+            Event::ClaimEstablished {
+                provider: "m".into(),
+                customer: "u".into(),
+            },
+            span(t, 2, 1),
+        );
+        let mut asm = TraceAssembler::new();
+        asm.add_journal("mm", vec![parent.clone()]);
+        asm.add_journal("ra", vec![child.clone()]);
+        assert!(asm.assemble(t).unwrap().skewed);
+        let mut lax = TraceAssembler::new().with_skew_tolerance(Duration::from_secs(5));
+        lax.add_journal("mm", vec![parent]);
+        lax.add_journal("ra", vec![child]);
+        let tree = lax.assemble(t).unwrap();
+        assert!(!tree.skewed);
+        // The backwards edge clamps to zero rather than going negative.
+        assert_eq!(tree.phases()[0].3, 0);
+    }
+
+    #[test]
+    fn summary_and_slowest_aggregate_across_traces() {
+        let (mm, ra, ca) = lifecycle_records();
+        let mut asm = TraceAssembler::new();
+        asm.add_journal("mm", mm);
+        asm.add_journal("ra", ra);
+        asm.add_journal("ca", ca);
+        // A second, slower trace with just the matchmaker phases.
+        let t2 = 0xEEEE;
+        asm.add_journal(
+            "mm",
+            vec![
+                rec(
+                    4,
+                    2000,
+                    Event::AdReceived {
+                        kind: "Customer".into(),
+                        name: "job-2".into(),
+                        contact: "ca:1".into(),
+                    },
+                    span(t2, 100, 0),
+                ),
+                rec(
+                    5,
+                    4000,
+                    Event::MatchMade {
+                        request: "job-2".into(),
+                        offer: "m1".into(),
+                    },
+                    span(t2, 101, 100),
+                ),
+            ],
+        );
+        let summary = asm.summary();
+        let qw = summary[phase::QUEUE_WAIT];
+        assert_eq!(qw.count, 2);
+        assert_eq!(qw.min_ms, 400);
+        assert_eq!(qw.max_ms, 2000);
+        assert_eq!(qw.p50_ms, 400);
+        assert_eq!(qw.p99_ms, 400); // index floor on two samples
+        assert!((qw.mean_ms - 1200.0).abs() < 1e-9);
+        let slowest = asm.slowest(1);
+        assert_eq!(slowest.len(), 1);
+        assert_eq!(slowest[0].trace_id, t2);
+    }
+
+    #[test]
+    fn untraced_records_are_ignored() {
+        let mut asm = TraceAssembler::new();
+        let added = asm.add_journal(
+            "mm",
+            vec![Record {
+                seq: 1,
+                unix: 1,
+                unix_ms: 1000,
+                event: Event::LeaseExpired { expired: 1 },
+                span: None,
+            }],
+        );
+        assert_eq!(added, 0);
+        assert!(asm.trace_ids().is_empty());
+        assert!(asm.assemble(1).is_none());
+    }
+}

@@ -10,11 +10,11 @@
 //!
 //! [`MatchNotification`]: matchmaker::protocol::MatchNotification
 
-use crate::observe::{self_ad_name, Observer};
+use crate::observe::{self_ad_name, Observer, WireCounters};
 use crate::retry::Backoff;
 use crate::wire::{self, IoConfig};
 use classad::ClassAd;
-use condor_obs::{schema, Event, JournalConfig};
+use condor_obs::{schema, Event, JournalConfig, TraceContext};
 use matchmaker::protocol::{Advertisement, ClaimRequest, EntityKind, MatchNotification, Message};
 use parking_lot::Mutex;
 use std::io::ErrorKind;
@@ -92,6 +92,10 @@ struct Job {
     attempts: u32,
     /// Earliest instant the job may be re-advertised.
     not_before: Instant,
+    /// The job's trace, minted at submission: every advertisement for this
+    /// job carries it, so the whole advertise → match → claim lifecycle
+    /// stitches into one tree across daemons.
+    trace: TraceContext,
 }
 
 /// The agent's metric handles, registered once at spawn.
@@ -108,6 +112,8 @@ struct CaMetrics {
     jobs_failed: Arc<condor_obs::Counter>,
     jobs_idle: Arc<condor_obs::Gauge>,
     jobs_claimed: Arc<condor_obs::Gauge>,
+    phase_claim_rtt_ms: Arc<condor_obs::WindowedHistogram>,
+    wire: WireCounters,
 }
 
 impl CaMetrics {
@@ -124,6 +130,8 @@ impl CaMetrics {
             jobs_failed: reg.counter(schema::JOBS_FAILED),
             jobs_idle: reg.gauge(schema::JOBS_IDLE),
             jobs_claimed: reg.gauge(schema::JOBS_CLAIMED),
+            phase_claim_rtt_ms: reg.histogram(schema::PHASE_CLAIM_RTT_MS, Duration::from_secs(300)),
+            wire: WireCounters::new(reg),
         }
     }
 }
@@ -344,6 +352,7 @@ fn push_job(shared: &Arc<CaShared>, user: &str, name: String, mut ad: ClassAd) {
         claiming: false,
         attempts: 0,
         not_before: Instant::now(),
+        trace: TraceContext::mint(),
     });
 }
 
@@ -377,14 +386,13 @@ fn publish_self_ad(shared: &Arc<CaShared>) {
         ticket: None,
         expires_at: wire::unix_now() + (3 * shared.cfg.heartbeat.as_secs()).max(300),
     };
-    if wire::send_oneway(
+    if let Ok(n) = wire::send_oneway(
         &shared.cfg.matchmaker,
         &Message::Advertise(adv),
         &shared.cfg.io,
-    )
-    .is_ok()
-    {
+    ) {
         shared.metrics.self_ads_sent.inc();
+        shared.metrics.wire.sent(n as u64);
     }
 }
 
@@ -402,27 +410,34 @@ fn advertise_loop(shared: &Arc<CaShared>) {
 
 fn advertise_pending(shared: &Arc<CaShared>) {
     let now = Instant::now();
-    let pending: Vec<Advertisement> = {
+    let pending: Vec<(Advertisement, TraceContext)> = {
         let jobs = shared.jobs.lock();
         jobs.iter()
             .filter(|j| j.status == JobStatus::Idle && !j.claiming && j.not_before <= now)
-            .map(|j| Advertisement {
-                kind: EntityKind::Customer,
-                ad: j.ad.clone(),
-                contact: shared.contact.clone(),
-                ticket: None,
-                expires_at: wire::unix_now() + shared.cfg.lease.as_secs(),
+            .map(|j| {
+                (
+                    Advertisement {
+                        kind: EntityKind::Customer,
+                        ad: j.ad.clone(),
+                        contact: shared.contact.clone(),
+                        ticket: None,
+                        expires_at: wire::unix_now() + shared.cfg.lease.as_secs(),
+                    },
+                    j.trace,
+                )
             })
             .collect()
     };
-    for adv in pending {
-        match wire::send_oneway(
+    for (adv, trace) in pending {
+        match wire::send_oneway_traced(
             &shared.cfg.matchmaker,
             &Message::Advertise(adv),
+            Some(&trace),
             &shared.cfg.io,
         ) {
-            Ok(()) => {
+            Ok(n) => {
                 shared.metrics.ads_sent.inc();
+                shared.metrics.wire.sent(n as u64);
             }
             Err(_) => {
                 shared.metrics.ad_failures.inc();
@@ -441,14 +456,14 @@ fn listen_loop(shared: &Arc<CaShared>, listener: TcpListener) {
         if shared.shutdown.load(Ordering::SeqCst) {
             break;
         }
-        if let Some(note) = read_notification(shared, stream) {
+        if let Some((note, trace)) = read_notification(shared, stream) {
             shared.metrics.notifications_received.inc();
             // Claim on a separate thread: a slow or dead provider must not
             // block notifications for the agent's other jobs.
             let claim_shared = Arc::clone(shared);
             if let Ok(h) = std::thread::Builder::new()
                 .name("ca-claim".into())
-                .spawn(move || attempt_claim(&claim_shared, note))
+                .spawn(move || attempt_claim(&claim_shared, note, trace))
             {
                 let mut claimers = shared.claimers.lock();
                 claimers.retain(|h| !h.is_finished());
@@ -458,17 +473,28 @@ fn listen_loop(shared: &Arc<CaShared>, listener: TcpListener) {
     }
 }
 
-fn read_notification(shared: &Arc<CaShared>, mut stream: TcpStream) -> Option<MatchNotification> {
+fn read_notification(
+    shared: &Arc<CaShared>,
+    mut stream: TcpStream,
+) -> Option<(MatchNotification, Option<TraceContext>)> {
     let _ = stream.set_read_timeout(Some(shared.cfg.io.read_timeout));
     let mut dec = matchmaker::framing::FrameDecoder::new();
     let deadline = Instant::now() + shared.cfg.io.read_timeout;
-    match wire::recv(&mut stream, &mut dec, deadline) {
-        Ok(Message::Notify(n)) => Some(n),
+    match wire::recv_traced(&mut stream, &mut dec, deadline) {
+        Ok((Message::Notify(n), trace, bytes_in)) => {
+            shared.metrics.wire.read_bytes(bytes_in);
+            shared.metrics.wire.frame_in();
+            Some((n, trace))
+        }
         _ => None,
     }
 }
 
-fn attempt_claim(shared: &Arc<CaShared>, note: MatchNotification) {
+/// `trace` is the context off the Notify frame — a child of the
+/// matchmaker's notification span. The claim dial forwards it to the
+/// provider; the verdict is journaled under the RA's reply context, so
+/// the customer's span sits beneath the provider's in the assembled tree.
+fn attempt_claim(shared: &Arc<CaShared>, note: MatchNotification, trace: Option<TraceContext>) {
     let Some(job_name) = note.own_ad.get_string("Name").map(str::to_owned) else {
         return;
     };
@@ -494,38 +520,64 @@ fn attempt_claim(shared: &Arc<CaShared>, note: MatchNotification) {
                 customer_ad: current_ad,
                 customer_contact: shared.contact.clone(),
             });
-            match wire::request_reply(&note.peer_contact, &req, &shared.cfg.io) {
-                Ok(Message::ClaimReply(r)) if r.accepted => {
-                    shared.metrics.claims_accepted.inc();
-                    let provider = r
-                        .provider_ad
-                        .get_string("Name")
-                        .unwrap_or_default()
-                        .to_owned();
-                    shared.observer.emit(Event::ClaimEstablished {
-                        provider: provider.clone(),
-                        customer: shared.cfg.user.clone(),
-                    });
-                    Ok(provider)
+            let dialed = Instant::now();
+            match wire::request_reply_traced(
+                &note.peer_contact,
+                &req,
+                trace.as_ref(),
+                &shared.cfg.io,
+            ) {
+                Ok(exchange) => {
+                    shared
+                        .metrics
+                        .phase_claim_rtt_ms
+                        .record(dialed.elapsed().as_secs_f64() * 1000.0);
+                    shared.metrics.wire.sent(exchange.bytes_out);
+                    shared.metrics.wire.read_bytes(exchange.bytes_in);
+                    shared.metrics.wire.frame_in();
+                    // Journal under the RA's reply context when it sent one,
+                    // else under the notification context we dialed with.
+                    let span = exchange.trace.or(trace).map(|ctx| ctx.begin_span());
+                    match exchange.msg {
+                        Message::ClaimReply(r) if r.accepted => {
+                            shared.metrics.claims_accepted.inc();
+                            let provider = r
+                                .provider_ad
+                                .get_string("Name")
+                                .unwrap_or_default()
+                                .to_owned();
+                            shared.observer.emit_traced(
+                                Event::ClaimEstablished {
+                                    provider: provider.clone(),
+                                    customer: shared.cfg.user.clone(),
+                                },
+                                span,
+                            );
+                            Ok(provider)
+                        }
+                        Message::ClaimReply(r) => {
+                            debug_assert!(r.rejection.is_some());
+                            shared.metrics.claims_rejected.inc();
+                            shared.observer.emit_traced(
+                                Event::ClaimRejected {
+                                    provider: r
+                                        .provider_ad
+                                        .get_string("Name")
+                                        .unwrap_or_default()
+                                        .to_owned(),
+                                    customer: shared.cfg.user.clone(),
+                                    reason: r
+                                        .rejection
+                                        .map(|rej| format!("{rej:?}"))
+                                        .unwrap_or_else(|| "unspecified".into()),
+                                },
+                                span,
+                            );
+                            Err(())
+                        }
+                        _ => Err(()),
+                    }
                 }
-                Ok(Message::ClaimReply(r)) => {
-                    debug_assert!(r.rejection.is_some());
-                    shared.metrics.claims_rejected.inc();
-                    shared.observer.emit(Event::ClaimRejected {
-                        provider: r
-                            .provider_ad
-                            .get_string("Name")
-                            .unwrap_or_default()
-                            .to_owned(),
-                        customer: shared.cfg.user.clone(),
-                        reason: r
-                            .rejection
-                            .map(|rej| format!("{rej:?}"))
-                            .unwrap_or_else(|| "unspecified".into()),
-                    });
-                    Err(())
-                }
-                Ok(_) => Err(()),
                 Err(_) => {
                     shared.metrics.claim_dial_failures.inc();
                     Err(())

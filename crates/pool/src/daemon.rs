@@ -20,14 +20,15 @@
 //! `other.MyType == "MatchmakerStats"` reads live daemon health over the
 //! same wire as any other query.
 
-use crate::observe::{self_ad_name, Observer};
+use crate::observe::{self_ad_name, Observer, WireCounters};
 use crate::wire::{self, IoConfig};
-use condor_obs::{schema, Event, JournalConfig};
+use condor_obs::{schema, Event, JournalConfig, TraceContext};
 use matchmaker::framing::FrameDecoder;
 use matchmaker::negotiate::NegotiatorConfig;
 use matchmaker::protocol::{Advertisement, AdvertisingProtocol, EntityKind, Message};
 use matchmaker::service::Matchmaker;
 use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::io::{ErrorKind, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -91,10 +92,14 @@ struct DaemonMetrics {
     notifications_sent: Arc<condor_obs::Counter>,
     notifications_failed: Arc<condor_obs::Counter>,
     cycle_duration_ms: Arc<condor_obs::WindowedHistogram>,
+    phase_queue_wait_ms: Arc<condor_obs::WindowedHistogram>,
+    phase_negotiation_ms: Arc<condor_obs::WindowedHistogram>,
+    wire: WireCounters,
 }
 
 impl DaemonMetrics {
     fn new(reg: &condor_obs::Registry) -> Self {
+        let window = Duration::from_secs(300);
         DaemonMetrics {
             connections_accepted: reg.counter(schema::CONNECTIONS_ACCEPTED),
             connections_refused: reg.counter(schema::CONNECTIONS_REFUSED),
@@ -105,7 +110,10 @@ impl DaemonMetrics {
             cycles: reg.counter(schema::CYCLES),
             notifications_sent: reg.counter(schema::NOTIFICATIONS_SENT),
             notifications_failed: reg.counter(schema::NOTIFICATIONS_FAILED),
-            cycle_duration_ms: reg.histogram(schema::CYCLE_DURATION_MS, Duration::from_secs(300)),
+            cycle_duration_ms: reg.histogram(schema::CYCLE_DURATION_MS, window),
+            phase_queue_wait_ms: reg.histogram(schema::PHASE_QUEUE_WAIT_MS, window),
+            phase_negotiation_ms: reg.histogram(schema::PHASE_NEGOTIATION_MS, window),
+            wire: WireCounters::new(reg),
         }
     }
 }
@@ -140,6 +148,10 @@ struct Shared {
     shutdown: AtomicBool,
     active: AtomicUsize,
     conns: Mutex<Vec<JoinHandle<()>>>,
+    /// When each traced customer ad was accepted, keyed by trace id:
+    /// consumed at match time to feed the queue-wait phase histogram,
+    /// age-pruned every cycle for requests that never match.
+    queue_started: Mutex<HashMap<u64, Instant>>,
 }
 
 /// A live matchmaker listening on TCP.
@@ -179,6 +191,7 @@ impl MatchmakerDaemon {
             shutdown: AtomicBool::new(false),
             active: AtomicUsize::new(0),
             conns: Mutex::new(Vec::new()),
+            queue_started: Mutex::new(HashMap::new()),
         });
         shared.observer.emit(Event::AgentRestarted {
             agent: "MatchmakerDaemon".into(),
@@ -345,15 +358,17 @@ fn serve_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
     loop {
         // Drain everything decodable before blocking again.
         loop {
-            match dec.next_message() {
-                Ok(Some(msg)) => {
+            match dec.next_message_traced() {
+                Ok(Some((msg, frame_trace))) => {
                     shared.metrics.frames_handled.inc();
+                    shared.metrics.wire.frame_in();
                     // Journal context, captured before the message moves.
                     let ad_info = match &msg {
                         Message::Advertise(adv) => Some((
                             format!("{:?}", adv.kind),
                             adv.ad.get_string("Name").unwrap_or("?").to_string(),
                             adv.contact.clone(),
+                            adv.kind == EntityKind::Customer && !condor_obs::is_daemon_ad(&adv.ad),
                         )),
                         Message::Query { .. } => {
                             // Queries may target the self-ad: refresh it so
@@ -363,32 +378,58 @@ fn serve_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
                         }
                         _ => None,
                     };
-                    match shared.service.handle_message(msg, wire::unix_now()) {
+                    // Adopt the peer's trace context — or, when this is an
+                    // advertisement from a pre-tracing peer, mint a fresh
+                    // trace here: the matchmaker is where a request enters
+                    // the match lifecycle.
+                    let (span, store_trace) = if ad_info.is_some() {
+                        let ctx = frame_trace.unwrap_or_else(TraceContext::mint);
+                        let span = ctx.begin_span();
+                        (Some(span), Some(span.child_context()))
+                    } else {
+                        (None, None)
+                    };
+                    match shared
+                        .service
+                        .handle_message_traced(msg, wire::unix_now(), store_trace)
+                    {
                         Ok(reply) => {
-                            if let Some((kind, name, contact)) = ad_info {
-                                shared.observer.emit(Event::AdReceived {
-                                    kind,
-                                    name,
-                                    contact,
-                                });
+                            if let Some((kind, name, contact, is_request)) = ad_info {
+                                shared.observer.emit_traced(
+                                    Event::AdReceived {
+                                        kind,
+                                        name,
+                                        contact,
+                                    },
+                                    span,
+                                );
+                                if is_request {
+                                    if let Some(span) = span {
+                                        shared
+                                            .queue_started
+                                            .lock()
+                                            .insert(span.trace_id, Instant::now());
+                                    }
+                                }
                             }
                             if let Some(reply) = reply {
-                                if wire::send_body(&mut stream, &reply).is_err() {
-                                    return;
+                                match wire::send_body(&mut stream, &reply) {
+                                    Ok(n) => shared.metrics.wire.sent(n as u64),
+                                    Err(_) => return,
                                 }
                             }
                         }
                         Err(e) => {
                             // Structured rejection, then close: the peer
                             // sees why instead of a silent hangup.
-                            reject_frame(shared, &mut stream, &peer, &e.to_string());
+                            reject_frame(shared, &mut stream, &peer, &e.to_string(), frame_trace);
                             return;
                         }
                     }
                 }
                 Ok(None) => break,
                 Err(e) => {
-                    reject_frame(shared, &mut stream, &peer, &e.to_string());
+                    reject_frame(shared, &mut stream, &peer, &e.to_string(), None);
                     return;
                 }
             }
@@ -398,7 +439,10 @@ fn serve_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
         }
         match stream.read(&mut buf) {
             Ok(0) => return,
-            Ok(n) => dec.push(&buf[..n]),
+            Ok(n) => {
+                shared.metrics.wire.read_bytes(n as u64);
+                dec.push(&buf[..n]);
+            }
             Err(e) if e.kind() == ErrorKind::Interrupted => {}
             // Idle past the read timeout: close (clients reconnect per
             // exchange, long-lived silence is a leak, not a session).
@@ -410,20 +454,35 @@ fn serve_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
 
 /// Count, journal, and answer a refused frame: the peer gets a structured
 /// [`Message::Error`]; the journal gets a `FrameRejected` with the peer's
-/// address and the reason.
-fn reject_frame(shared: &Arc<Shared>, stream: &mut TcpStream, peer: &str, reason: &str) {
+/// address and the reason. When the offending frame carried a trace, the
+/// rejection is journaled under it and the error reply carries it back.
+fn reject_frame(
+    shared: &Arc<Shared>,
+    stream: &mut TcpStream,
+    peer: &str,
+    reason: &str,
+    trace: Option<TraceContext>,
+) {
     shared.metrics.frames_rejected.inc();
     shared.metrics.error_replies.inc();
-    shared.observer.emit(Event::FrameRejected {
-        peer: peer.to_string(),
-        reason: reason.to_string(),
-    });
-    let _ = wire::send(
+    let span = trace.map(|ctx| ctx.begin_span());
+    shared.observer.emit_traced(
+        Event::FrameRejected {
+            peer: peer.to_string(),
+            reason: reason.to_string(),
+        },
+        span,
+    );
+    let reply_ctx = span.map(|s| s.child_context());
+    if let Ok(n) = wire::send_traced(
         stream,
         &Message::Error {
             detail: reason.to_string(),
         },
-    );
+        reply_ctx.as_ref(),
+    ) {
+        shared.metrics.wire.sent(n as u64);
+    }
 }
 
 fn ticker_loop(shared: &Arc<Shared>) {
@@ -451,15 +510,45 @@ fn ticker_loop(shared: &Arc<Shared>) {
             duration_ms: duration_ms as u64,
         });
         for m in &outcome.matches {
+            // Span B: the match decision itself, a child of the request's
+            // AdReceived span. Queue wait is measured here — ad accepted
+            // to matched — against the arrival instant stashed at receive.
+            let match_span = m.trace.map(|ctx| ctx.begin_span());
+            if let Some(span) = match_span {
+                if let Some(arrived) = shared.queue_started.lock().remove(&span.trace_id) {
+                    shared
+                        .metrics
+                        .phase_queue_wait_ms
+                        .record(arrived.elapsed().as_secs_f64() * 1000.0);
+                }
+            }
+            shared.observer.emit_traced(
+                Event::MatchMade {
+                    request: m.request_name.clone(),
+                    offer: m.offer_name.clone(),
+                },
+                match_span,
+            );
+            // Span C: notification delivery, child of the match span; the
+            // Notify frames carry C's child context so both agents' spans
+            // land under it.
+            let notify_span = match_span.map(|s| s.child_context().begin_span());
+            let notify_ctx = notify_span.map(|s| s.child_context());
             let (to_customer, to_provider) = m.notifications();
             let mut delivered = true;
             for (contact, note) in [
                 (&m.provider_contact, to_provider),
                 (&m.customer_contact, to_customer),
             ] {
-                match wire::send_oneway(contact, &Message::Notify(note), &shared.cfg.io) {
-                    Ok(()) => {
+                match wire::send_oneway_traced(
+                    contact,
+                    &Message::Notify(note),
+                    notify_ctx.as_ref(),
+                    &shared.cfg.io,
+                ) {
+                    Ok(n) => {
                         shared.metrics.notifications_sent.inc();
+                        shared.metrics.wire.sent(n as u64);
                     }
                     Err(_) => {
                         // Soft state: an undeliverable notification wastes
@@ -469,12 +558,26 @@ fn ticker_loop(shared: &Arc<Shared>) {
                     }
                 }
             }
-            shared.observer.emit(Event::MatchNotified {
-                request: m.request_name.clone(),
-                offer: m.offer_name.clone(),
-                delivered,
-            });
+            shared.observer.emit_traced(
+                Event::MatchNotified {
+                    request: m.request_name.clone(),
+                    offer: m.offer_name.clone(),
+                    delivered,
+                },
+                notify_span,
+            );
+            // Matched-to-notified residency of this cycle.
+            shared
+                .metrics
+                .phase_negotiation_ms
+                .record(started.elapsed().as_secs_f64() * 1000.0);
         }
+        // Arrival instants for requests that never matched age out here so
+        // the map cannot grow without bound under churn.
+        shared
+            .queue_started
+            .lock()
+            .retain(|_, t| t.elapsed() < Duration::from_secs(600));
         // Renew the self-ad with this cycle folded in.
         shared.publish_self_ad();
     }

@@ -6,7 +6,9 @@
 //! telemetry classad that travels the normal advertising path and is
 //! queried with `other.MyType == "..."` (see `condor_obs::selfad`).
 
-use condor_obs::{self_ad, Event, Journal, JournalConfig, Registry};
+use condor_obs::trace::SpanContext;
+use condor_obs::{schema, self_ad, Counter, Event, Journal, JournalConfig, Registry};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// One daemon's observability bundle.
@@ -14,6 +16,7 @@ use std::time::Instant;
 pub(crate) struct Observer {
     registry: Registry,
     journal: Option<Journal>,
+    journal_dropped: Arc<Counter>,
     started: Instant,
 }
 
@@ -21,9 +24,12 @@ impl Observer {
     /// Create the bundle, opening the journal if one is configured.
     pub(crate) fn new(journal: Option<JournalConfig>) -> std::io::Result<Observer> {
         let journal = journal.map(Journal::open).transpose()?;
+        let registry = Registry::new();
+        let journal_dropped = registry.counter(schema::JOURNAL_DROPPED);
         Ok(Observer {
-            registry: Registry::new(),
+            registry,
             journal,
+            journal_dropped,
             started: Instant::now(),
         })
     }
@@ -36,10 +42,20 @@ impl Observer {
         self.journal.as_ref()
     }
 
-    /// Append `event` to the journal, if journaling is on.
+    /// Append an untraced `event` to the journal, if journaling is on.
     pub(crate) fn emit(&self, event: Event) {
+        self.emit_traced(event, None);
+    }
+
+    /// Append `event` under an optional span. An append that fails at the
+    /// I/O layer drops the event — the journal's own `io_errors` records
+    /// the failure, and `JournalDropped` here records the loss where
+    /// self-ad watchers can see it climbing.
+    pub(crate) fn emit_traced(&self, event: Event, span: Option<SpanContext>) {
         if let Some(j) = &self.journal {
-            j.append(event);
+            if !j.append_traced(event, span).written {
+                self.journal_dropped.inc();
+            }
         }
     }
 
@@ -63,4 +79,43 @@ impl Observer {
 /// ad's name (the store is keyed by name) but derived from it.
 pub(crate) fn self_ad_name(primary: &str) -> String {
     format!("{primary}#stats")
+}
+
+/// Handles on a daemon's wire-throughput counters, registered under the
+/// shared schema so `pool_top` can show network rates next to match
+/// rates. Clone-cheap (`Arc`s all the way down).
+#[derive(Debug, Clone)]
+pub(crate) struct WireCounters {
+    pub(crate) frames_in: Arc<Counter>,
+    pub(crate) frames_out: Arc<Counter>,
+    pub(crate) bytes_in: Arc<Counter>,
+    pub(crate) bytes_out: Arc<Counter>,
+}
+
+impl WireCounters {
+    pub(crate) fn new(registry: &Registry) -> WireCounters {
+        WireCounters {
+            frames_in: registry.counter(schema::FRAMES_IN),
+            frames_out: registry.counter(schema::FRAMES_OUT),
+            bytes_in: registry.counter(schema::BYTES_IN),
+            bytes_out: registry.counter(schema::BYTES_OUT),
+        }
+    }
+
+    /// Record one sent frame of `bytes` bytes (framing included).
+    pub(crate) fn sent(&self, bytes: u64) {
+        self.frames_out.inc();
+        self.bytes_out.add(bytes);
+    }
+
+    /// Record `bytes` read off a socket (frames are counted separately as
+    /// they decode, since reads are not frame-aligned).
+    pub(crate) fn read_bytes(&self, bytes: u64) {
+        self.bytes_in.add(bytes);
+    }
+
+    /// Record one frame decoded off the wire.
+    pub(crate) fn frame_in(&self) {
+        self.frames_in.inc();
+    }
 }

@@ -12,21 +12,22 @@
 //! otherwise a claim racing an ad refresh would spuriously fail ticket
 //! verification.
 
-use crate::observe::{self_ad_name, Observer};
+use crate::observe::{self_ad_name, Observer, WireCounters};
 use crate::retry::Backoff;
 use crate::wire::{self, IoConfig};
 use classad::ClassAd;
-use condor_obs::{schema, Event, JournalConfig};
+use condor_obs::{schema, Event, JournalConfig, TraceContext};
 use matchmaker::claim::ClaimHandler;
 use matchmaker::protocol::{Advertisement, EntityKind, Message};
 use matchmaker::ticket::TicketIssuer;
 use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::io::{ErrorKind, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Resource-agent tunables.
 #[derive(Debug, Clone)]
@@ -83,10 +84,14 @@ struct RaMetrics {
     notifications_seen: Arc<condor_obs::Counter>,
     releases: Arc<condor_obs::Counter>,
     claimed: Arc<condor_obs::Gauge>,
+    phase_notify_claim_gap_ms: Arc<condor_obs::WindowedHistogram>,
+    phase_reverify_ms: Arc<condor_obs::WindowedHistogram>,
+    wire: WireCounters,
 }
 
 impl RaMetrics {
     fn new(reg: &condor_obs::Registry) -> Self {
+        let window = Duration::from_secs(300);
         RaMetrics {
             ads_sent: reg.counter(schema::ADS_SENT),
             ad_failures: reg.counter(schema::AD_FAILURES),
@@ -96,6 +101,9 @@ impl RaMetrics {
             notifications_seen: reg.counter(schema::NOTIFICATIONS_SEEN),
             releases: reg.counter(schema::RELEASES),
             claimed: reg.gauge(schema::CLAIMED),
+            phase_notify_claim_gap_ms: reg.histogram(schema::PHASE_NOTIFY_CLAIM_GAP_MS, window),
+            phase_reverify_ms: reg.histogram(schema::PHASE_REVERIFY_MS, window),
+            wire: WireCounters::new(reg),
         }
     }
 }
@@ -126,6 +134,10 @@ struct RaShared {
     shutdown: AtomicBool,
     metrics: RaMetrics,
     observer: Observer,
+    /// When each traced match notification arrived, keyed by trace id:
+    /// consumed when the matching claim lands to feed the notify→claim
+    /// gap histogram, age-pruned on insert.
+    notified_at: Mutex<HashMap<u64, Instant>>,
 }
 
 /// A live resource agent; see the module docs.
@@ -164,6 +176,7 @@ impl ResourceAgent {
             shutdown: AtomicBool::new(false),
             metrics,
             observer,
+            notified_at: Mutex::new(HashMap::new()),
         });
         shared.observer.emit(Event::AgentRestarted {
             agent: "ResourceAgent".into(),
@@ -306,8 +319,11 @@ impl RaShared {
             ticket: None,
             expires_at: wire::unix_now() + (3 * self.cfg.heartbeat.as_secs()).max(300),
         };
-        if wire::send_oneway(&self.cfg.matchmaker, &Message::Advertise(adv), &self.cfg.io).is_ok() {
+        if let Ok(n) =
+            wire::send_oneway(&self.cfg.matchmaker, &Message::Advertise(adv), &self.cfg.io)
+        {
             self.metrics.self_ads_sent.inc();
+            self.metrics.wire.sent(n as u64);
         }
     }
 }
@@ -339,8 +355,9 @@ fn advertise_with_retry(shared: &Arc<RaShared>) {
             &Message::Advertise(adv),
             &shared.cfg.io,
         ) {
-            Ok(()) => {
+            Ok(n) => {
                 shared.metrics.ads_sent.inc();
+                shared.metrics.wire.sent(n as u64);
                 return;
             }
             Err(_) => {
@@ -385,20 +402,23 @@ fn serve_peer(shared: &Arc<RaShared>, mut stream: TcpStream) {
     let mut buf = [0u8; 16 * 1024];
     loop {
         loop {
-            match dec.next_message() {
-                Ok(Some(msg)) => {
-                    if !handle_peer_message(shared, &mut stream, msg) {
+            match dec.next_message_traced() {
+                Ok(Some((msg, trace))) => {
+                    shared.metrics.wire.frame_in();
+                    if !handle_peer_message(shared, &mut stream, msg, trace) {
                         return;
                     }
                 }
                 Ok(None) => break,
                 Err(e) => {
-                    let _ = wire::send(
+                    if let Ok(n) = wire::send(
                         &mut stream,
                         &Message::Error {
                             detail: e.to_string(),
                         },
-                    );
+                    ) {
+                        shared.metrics.wire.sent(n as u64);
+                    }
                     return;
                 }
             }
@@ -408,17 +428,38 @@ fn serve_peer(shared: &Arc<RaShared>, mut stream: TcpStream) {
         }
         match stream.read(&mut buf) {
             Ok(0) => return,
-            Ok(n) => dec.push(&buf[..n]),
+            Ok(n) => {
+                shared.metrics.wire.read_bytes(n as u64);
+                dec.push(&buf[..n]);
+            }
             Err(e) if e.kind() == ErrorKind::Interrupted => {}
             Err(_) => return,
         }
     }
 }
 
-/// Returns `false` when the connection should close.
-fn handle_peer_message(shared: &Arc<RaShared>, stream: &mut TcpStream, msg: Message) -> bool {
+/// Returns `false` when the connection should close. `trace` is the
+/// frame's propagated context: claims carry the matchmaker-minted match
+/// trace, and the RA's claim verdict is journaled as a child span under
+/// it; the `ClaimReply` carries that span's child context back so the
+/// customer's side of the claim lands beneath the RA's.
+fn handle_peer_message(
+    shared: &Arc<RaShared>,
+    stream: &mut TcpStream,
+    msg: Message,
+    trace: Option<TraceContext>,
+) -> bool {
     match msg {
         Message::Claim(req) => {
+            let span = trace.map(|ctx| ctx.begin_span());
+            if let Some(span) = span {
+                if let Some(seen) = shared.notified_at.lock().remove(&span.trace_id) {
+                    shared
+                        .metrics
+                        .phase_notify_claim_gap_ms
+                        .record(seen.elapsed().as_secs_f64() * 1000.0);
+                }
+            }
             let customer = req
                 .customer_ad
                 .get_string("Owner")
@@ -426,31 +467,49 @@ fn handle_peer_message(shared: &Arc<RaShared>, stream: &mut TcpStream, msg: Mess
                 .unwrap_or("?")
                 .to_string();
             let current = shared.ad.lock().clone();
+            let reverify_started = Instant::now();
             let (resp, _displaced) = shared.claim.lock().handle_claim(
                 &req,
                 &current,
                 wire::unix_now(),
                 |_| false, // this RA never preempts an active claim
             );
+            shared
+                .metrics
+                .phase_reverify_ms
+                .record(reverify_started.elapsed().as_secs_f64() * 1000.0);
             if resp.accepted {
                 shared.metrics.claims_accepted.inc();
                 shared.metrics.claimed.set(1);
-                shared.observer.emit(Event::ClaimEstablished {
-                    provider: shared.cfg.name.clone(),
-                    customer,
-                });
+                shared.observer.emit_traced(
+                    Event::ClaimEstablished {
+                        provider: shared.cfg.name.clone(),
+                        customer,
+                    },
+                    span,
+                );
             } else {
                 shared.metrics.claims_rejected.inc();
-                shared.observer.emit(Event::ClaimRejected {
-                    provider: shared.cfg.name.clone(),
-                    customer,
-                    reason: resp
-                        .rejection
-                        .map(|r| format!("{r:?}"))
-                        .unwrap_or_else(|| "unspecified".into()),
-                });
+                shared.observer.emit_traced(
+                    Event::ClaimRejected {
+                        provider: shared.cfg.name.clone(),
+                        customer,
+                        reason: resp
+                            .rejection
+                            .map(|r| format!("{r:?}"))
+                            .unwrap_or_else(|| "unspecified".into()),
+                    },
+                    span,
+                );
             }
-            wire::send(stream, &Message::ClaimReply(resp)).is_ok()
+            let reply_ctx = span.map(|s| s.child_context());
+            match wire::send_traced(stream, &Message::ClaimReply(resp), reply_ctx.as_ref()) {
+                Ok(n) => {
+                    shared.metrics.wire.sent(n as u64);
+                    true
+                }
+                Err(_) => false,
+            }
         }
         Message::Release { .. } => {
             if shared.claim.lock().release().is_some() {
@@ -461,8 +520,14 @@ fn handle_peer_message(shared: &Arc<RaShared>, stream: &mut TcpStream, msg: Mess
         }
         Message::Notify(_) => {
             // Informational on the provider side: the binding event is the
-            // customer's direct claim, not this notification.
+            // customer's direct claim, not this notification — but the
+            // arrival instant starts the notify→claim gap clock.
             shared.metrics.notifications_seen.inc();
+            if let Some(ctx) = trace {
+                let mut notified = shared.notified_at.lock();
+                notified.retain(|_, t| t.elapsed() < Duration::from_secs(600));
+                notified.insert(ctx.trace_id, Instant::now());
+            }
             true
         }
         Message::Error { .. } => false,

@@ -7,8 +7,8 @@
 //! deadline so a peer trickling one byte per timeout period cannot hold a
 //! thread forever.
 
-use matchmaker::framing::{encode_framed, frame_body, FrameDecoder};
-use matchmaker::protocol::{Message, ProtocolError, Timestamp};
+use matchmaker::framing::{encode_framed_traced, frame_body, FrameDecoder};
+use matchmaker::protocol::{Message, ProtocolError, Timestamp, TraceContext};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::atomic::AtomicBool;
@@ -101,16 +101,30 @@ pub fn connect(addr: &str, io: &IoConfig) -> Result<TcpStream, WireError> {
     Ok(stream)
 }
 
-/// Write one framed message.
-pub fn send(stream: &mut TcpStream, msg: &Message) -> Result<(), WireError> {
-    stream.write_all(&encode_framed(msg))?;
-    Ok(())
+/// Write one framed message. Returns the bytes written, length prefix
+/// included, so callers can feed throughput counters.
+pub fn send(stream: &mut TcpStream, msg: &Message) -> Result<usize, WireError> {
+    send_traced(stream, msg, None)
+}
+
+/// Write one framed message with an optional trace-context trailer.
+/// Returns the bytes written, length prefix included.
+pub fn send_traced(
+    stream: &mut TcpStream,
+    msg: &Message,
+    trace: Option<&TraceContext>,
+) -> Result<usize, WireError> {
+    let framed = encode_framed_traced(msg, trace);
+    stream.write_all(&framed)?;
+    Ok(framed.len())
 }
 
 /// Write an already-encoded message body with its length prefix.
-pub fn send_body(stream: &mut TcpStream, body: &[u8]) -> Result<(), WireError> {
-    stream.write_all(&frame_body(body))?;
-    Ok(())
+/// Returns the bytes written, length prefix included.
+pub fn send_body(stream: &mut TcpStream, body: &[u8]) -> Result<usize, WireError> {
+    let framed = frame_body(body);
+    stream.write_all(&framed)?;
+    Ok(framed.len())
 }
 
 /// Read until `dec` yields one complete message or `deadline` passes.
@@ -120,11 +134,23 @@ pub fn recv(
     dec: &mut FrameDecoder,
     deadline: Instant,
 ) -> Result<Message, WireError> {
+    recv_traced(stream, dec, deadline).map(|(msg, _, _)| msg)
+}
+
+/// Like [`recv`], also yielding the frame's optional trace context and
+/// how many bytes were read off the socket while waiting (framing
+/// included; `0` when the message was already buffered in `dec`).
+pub fn recv_traced(
+    stream: &mut TcpStream,
+    dec: &mut FrameDecoder,
+    deadline: Instant,
+) -> Result<(Message, Option<TraceContext>, u64), WireError> {
     let mut buf = [0u8; 16 * 1024];
+    let mut bytes_in = 0u64;
     loop {
-        match dec.next_message().map_err(WireError::Protocol)? {
-            Some(Message::Error { detail }) => return Err(WireError::Remote(detail)),
-            Some(msg) => return Ok(msg),
+        match dec.next_message_traced().map_err(WireError::Protocol)? {
+            Some((Message::Error { detail }, _)) => return Err(WireError::Remote(detail)),
+            Some((msg, trace)) => return Ok((msg, trace, bytes_in)),
             None => {}
         }
         if Instant::now() >= deadline {
@@ -132,7 +158,10 @@ pub fn recv(
         }
         match stream.read(&mut buf) {
             Ok(0) => return Err(WireError::Closed),
-            Ok(n) => dec.push(&buf[..n]),
+            Ok(n) => {
+                bytes_in += n as u64;
+                dec.push(&buf[..n]);
+            }
             Err(e) if e.kind() == ErrorKind::Interrupted => {}
             Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
                 // One OS-level read timed out; the loop re-checks the
@@ -143,22 +172,65 @@ pub fn recv(
     }
 }
 
+/// What a traced request/reply exchange produced: the reply, its trace
+/// context, and the byte counts for throughput accounting.
+#[derive(Debug)]
+pub struct Exchange {
+    /// The peer's reply.
+    pub msg: Message,
+    /// Trace context on the reply frame, if the peer attached one.
+    pub trace: Option<TraceContext>,
+    /// Bytes read off the socket (framing included).
+    pub bytes_in: u64,
+    /// Bytes written to the socket (framing included).
+    pub bytes_out: u64,
+}
+
 /// Dial `addr`, send `msg`, and await a single reply within the read
 /// deadline. The connection is dropped afterwards — every exchange in the
 /// protocol is single-shot.
 pub fn request_reply(addr: &str, msg: &Message, io: &IoConfig) -> Result<Message, WireError> {
+    request_reply_traced(addr, msg, None, io).map(|x| x.msg)
+}
+
+/// Traced single-shot exchange: the request carries `trace`, and the
+/// reply's context plus both directions' byte counts come back in the
+/// [`Exchange`].
+pub fn request_reply_traced(
+    addr: &str,
+    msg: &Message,
+    trace: Option<&TraceContext>,
+    io: &IoConfig,
+) -> Result<Exchange, WireError> {
     let mut stream = connect(addr, io)?;
-    send(&mut stream, msg)?;
+    let bytes_out = send_traced(&mut stream, msg, trace)? as u64;
     let mut dec = FrameDecoder::new();
-    recv(&mut stream, &mut dec, Instant::now() + io.read_timeout)
+    let (reply, reply_trace, bytes_in) =
+        recv_traced(&mut stream, &mut dec, Instant::now() + io.read_timeout)?;
+    Ok(Exchange {
+        msg: reply,
+        trace: reply_trace,
+        bytes_in,
+        bytes_out,
+    })
 }
 
 /// Dial `addr`, send `msg`, and close — the fire-and-forget class of
 /// traffic (advertisements, notifications). TCP's graceful close still
-/// delivers the queued bytes.
-pub fn send_oneway(addr: &str, msg: &Message, io: &IoConfig) -> Result<(), WireError> {
+/// delivers the queued bytes. Returns the bytes written.
+pub fn send_oneway(addr: &str, msg: &Message, io: &IoConfig) -> Result<usize, WireError> {
+    send_oneway_traced(addr, msg, None, io)
+}
+
+/// [`send_oneway`] with an optional trace-context trailer on the frame.
+pub fn send_oneway_traced(
+    addr: &str,
+    msg: &Message,
+    trace: Option<&TraceContext>,
+    io: &IoConfig,
+) -> Result<usize, WireError> {
     let mut stream = connect(addr, io)?;
-    send(&mut stream, msg)
+    send_traced(&mut stream, msg, trace)
 }
 
 /// Sleep for `total`, waking every few tens of milliseconds to honor a
@@ -205,6 +277,50 @@ mod tests {
         )
         .unwrap();
         assert_eq!(reply, Message::QueryReply { ads: vec![] });
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn traced_exchange_carries_contexts_and_counts_bytes() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let req_ctx = TraceContext {
+            trace_id: 0xCAFE,
+            parent_span_id: 0x01,
+        };
+        let reply_ctx = TraceContext {
+            trace_id: 0xCAFE,
+            parent_span_id: 0x02,
+        };
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let mut dec = FrameDecoder::new();
+            let (msg, trace, bytes_in) =
+                recv_traced(&mut s, &mut dec, Instant::now() + Duration::from_secs(5)).unwrap();
+            assert!(matches!(msg, Message::Claim { .. }));
+            assert_eq!(trace, Some(req_ctx));
+            assert!(bytes_in > 0);
+            send_traced(
+                &mut s,
+                &Message::ClaimReply(matchmaker::protocol::ClaimResponse {
+                    accepted: true,
+                    rejection: None,
+                    provider_ad: classad::parse_classad("[ Name = \"m\" ]").unwrap(),
+                }),
+                Some(&reply_ctx),
+            )
+            .unwrap();
+        });
+        let io = IoConfig::default();
+        let claim = Message::Claim(matchmaker::protocol::ClaimRequest {
+            ticket: Ticket::from_raw(9),
+            customer_ad: classad::parse_classad("[ Name = \"j\"; Constraint = true ]").unwrap(),
+            customer_contact: "ca:1".into(),
+        });
+        let exchange = request_reply_traced(&addr, &claim, Some(&req_ctx), &io).unwrap();
+        assert!(matches!(exchange.msg, Message::ClaimReply(ref r) if r.accepted));
+        assert_eq!(exchange.trace, Some(reply_ctx));
+        assert!(exchange.bytes_in > 0 && exchange.bytes_out > 0);
         server.join().unwrap();
     }
 

@@ -97,12 +97,44 @@ fn render_matchmaker(ads: &[ClassAd]) {
     }
     if ad.contains("JournalPosition") {
         print!(
-            "   journal seq {} ({} io errors)",
+            "   journal seq {} ({} io errors, {} dropped)",
             int(ad, "JournalPosition"),
             int(ad, "JournalIoErrors"),
+            int(ad, "JournalDropped"),
         );
     }
     println!();
+    println!(
+        "  wire: {} frames in / {} out   {} in / {} out",
+        int(ad, "FramesIn"),
+        int(ad, "FramesOut"),
+        human_bytes(int(ad, "BytesIn")),
+        human_bytes(int(ad, "BytesOut")),
+    );
+    let phase = |label: &str, base: &str| {
+        if let (Some(mean), Some(p99)) = (
+            real(ad, &format!("{base}Mean")),
+            real(ad, &format!("{base}P99")),
+        ) {
+            print!("   {label} mean {mean:.1}ms p99 {p99:.1}ms");
+        }
+    };
+    print!("  phases:");
+    phase("queue-wait", "PhaseQueueWaitMs");
+    phase("negotiation", "PhaseNegotiationMs");
+    println!();
+}
+
+/// Render a byte count with a binary-unit suffix (`14.2KiB`).
+fn human_bytes(n: i64) -> String {
+    let n = n.max(0) as f64;
+    if n >= 1024.0 * 1024.0 {
+        format!("{:.1}MiB", n / (1024.0 * 1024.0))
+    } else if n >= 1024.0 {
+        format!("{:.1}KiB", n / 1024.0)
+    } else {
+        format!("{n:.0}B")
+    }
 }
 
 fn render_resources(ads: &[ClassAd]) {
@@ -111,12 +143,12 @@ fn render_resources(ads: &[ClassAd]) {
         return;
     }
     println!(
-        "  {:<20}{:>8}{:>10}{:>10}{:>8}{:>8}",
-        "NAME", "CLAIMED", "ACCEPTED", "REJECTED", "ADS", "UP"
+        "  {:<20}{:>8}{:>10}{:>10}{:>8}{:>12}{:>8}",
+        "NAME", "CLAIMED", "ACCEPTED", "REJECTED", "ADS", "FRAMES(I/O)", "UP"
     );
     for ad in ads {
         println!(
-            "  {:<20}{:>8}{:>10}{:>10}{:>8}{:>7}s",
+            "  {:<20}{:>8}{:>10}{:>10}{:>8}{:>12}{:>7}s",
             ad.get_string("Machine")
                 .or_else(|| ad.get_string("Name"))
                 .unwrap_or("?"),
@@ -124,6 +156,7 @@ fn render_resources(ads: &[ClassAd]) {
             int(ad, "ClaimsAccepted"),
             int(ad, "ClaimsRejected"),
             int(ad, "AdsSent"),
+            format!("{}/{}", int(ad, "FramesIn"), int(ad, "FramesOut")),
             int(ad, "UptimeSecs"),
         );
     }
@@ -135,12 +168,12 @@ fn render_customers(ads: &[ClassAd]) {
         return;
     }
     println!(
-        "  {:<20}{:>10}{:>8}{:>9}{:>8}{:>8}{:>8}",
-        "USER", "SUBMITTED", "IDLE", "CLAIMED", "FAILED", "ADS", "UP"
+        "  {:<20}{:>10}{:>8}{:>9}{:>8}{:>8}{:>12}{:>8}",
+        "USER", "SUBMITTED", "IDLE", "CLAIMED", "FAILED", "ADS", "FRAMES(I/O)", "UP"
     );
     for ad in ads {
         println!(
-            "  {:<20}{:>10}{:>8}{:>9}{:>8}{:>8}{:>7}s",
+            "  {:<20}{:>10}{:>8}{:>9}{:>8}{:>8}{:>12}{:>7}s",
             ad.get_string("User")
                 .or_else(|| ad.get_string("Name"))
                 .unwrap_or("?"),
@@ -149,6 +182,7 @@ fn render_customers(ads: &[ClassAd]) {
             int(ad, "JobsClaimed"),
             int(ad, "JobsFailed"),
             int(ad, "AdsSent"),
+            format!("{}/{}", int(ad, "FramesIn"), int(ad, "FramesOut")),
             int(ad, "UptimeSecs"),
         );
     }

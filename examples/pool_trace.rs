@@ -1,0 +1,158 @@
+//! `pool_trace` — assemble end-to-end match traces from daemon journals.
+//!
+//! Every pool daemon journals its lifecycle events with span ids (see
+//! `docs/observability.md` §Tracing). This tool replays one or more of
+//! those journals — the matchmaker's plus any agents' — stitches records
+//! that share a trace id into a span tree, and prints it as a timeline,
+//! tolerating clock skew, torn trailing lines, and missing daemons.
+//!
+//! ```text
+//! # One trace, end to end:
+//! cargo run --example pool_trace -- \
+//!     --journal mm.jsonl --journal ra.jsonl --journal ca.jsonl \
+//!     --trace 7f3a9c2d11e08b54
+//!
+//! # Per-phase latency statistics over every trace in the journals:
+//! cargo run --example pool_trace -- --journal mm.jsonl --summary
+//!
+//! # The N slowest traces, rendered:
+//! cargo run --example pool_trace -- --journal mm.jsonl --slowest 3
+//! ```
+//!
+//! With none of `--trace`, `--summary`, `--slowest`, lists every trace id
+//! found with its span count and extent.
+
+use condor_obs::trace::{format_id, parse_id};
+use condor_obs::TraceAssembler;
+use std::path::Path;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: pool_trace --journal <path>... [--trace <hex-id> | --summary | --slowest <n>] \
+         [--skew-ms <ms>]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut journals: Vec<String> = Vec::new();
+    let mut trace: Option<u64> = None;
+    let mut summary = false;
+    let mut slowest: Option<usize> = None;
+    let mut skew_ms: Option<u64> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--journal" => {
+                i += 1;
+                journals.push(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--trace" => {
+                i += 1;
+                let raw = args.get(i).map(String::as_str).unwrap_or_else(|| usage());
+                trace = Some(parse_id(raw).unwrap_or_else(|| {
+                    eprintln!("--trace takes a hex id (16 digits max), got {raw:?}");
+                    std::process::exit(2);
+                }));
+            }
+            "--summary" => summary = true,
+            "--slowest" => {
+                i += 1;
+                slowest = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--skew-ms" => {
+                i += 1;
+                skew_ms = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    if journals.is_empty() {
+        usage();
+    }
+
+    let mut asm = TraceAssembler::new();
+    if let Some(ms) = skew_ms {
+        asm = asm.with_skew_tolerance(std::time::Duration::from_millis(ms));
+    }
+    for path in &journals {
+        // Label spans by journal file stem so the timeline names its
+        // source daemon (mm.jsonl -> "mm").
+        let label = Path::new(path)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or(path);
+        match asm.add_journal_file(label, path) {
+            Ok(n) => eprintln!("{path}: {n} traced record(s)"),
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if let Some(id) = trace {
+        match asm.assemble(id) {
+            Some(tree) => print!("{}", tree.render()),
+            None => {
+                eprintln!("no spans for trace {}", format_id(id));
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    if summary {
+        let stats = asm.summary();
+        let traces = asm.trace_ids().len();
+        println!("{traces} trace(s) assembled");
+        println!(
+            "{:<22}{:>7}{:>9}{:>9}{:>9}{:>9}{:>9}",
+            "PHASE", "COUNT", "MIN", "MEAN", "P50", "P99", "MAX"
+        );
+        for (phase, s) in &stats {
+            println!(
+                "{:<22}{:>7}{:>7}ms{:>7.1}ms{:>7}ms{:>7}ms{:>7}ms",
+                phase, s.count, s.min_ms, s.mean_ms, s.p50_ms, s.p99_ms, s.max_ms
+            );
+        }
+        if stats.is_empty() {
+            println!("(no recognized protocol phases in these journals)");
+        }
+        return;
+    }
+
+    if let Some(n) = slowest {
+        for tree in asm.slowest(n) {
+            print!("{}", tree.render());
+            println!();
+        }
+        return;
+    }
+
+    // Default: an index of what's here.
+    let ids = asm.trace_ids();
+    println!("{} trace(s)", ids.len());
+    for id in ids {
+        if let Some(tree) = asm.assemble(id) {
+            println!(
+                "  {}  {} span(s)  {} ms{}",
+                format_id(id),
+                tree.spans.len(),
+                tree.total_ms(),
+                if tree.skewed { "  (skewed)" } else { "" }
+            );
+        }
+    }
+}

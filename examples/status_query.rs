@@ -18,11 +18,21 @@
 //! `DaemonAd = true` telemetry classads every daemon publishes about
 //! itself (see `docs/observability.md`). Works in both modes; combine
 //! with `--connect` to inspect a live daemon's counters.
+//!
+//! `--tail <journal.jsonl>` follows a daemon's event journal instead,
+//! pretty-printing each event with its trace/span ids as it is appended —
+//! `tail -f` for the pool's causal history. `--from-start` replays the
+//! whole file first; `--for <secs>` exits after a fixed watch window
+//! (handy in scripts and CI).
 
 use classad::{ClassAd, EvalPolicy, MatchConventions, Value};
+use condor_obs::trace::format_id;
+use condor_obs::Record;
 use condor_pool::wire::{self, IoConfig};
 use matchmaker::prelude::*;
 use matchmaker::protocol::{Message, Timestamp};
+use std::io::{Read as _, Seek, SeekFrom};
+use std::time::{Duration, Instant};
 
 const COLUMNS: [&str; 7] = ["Name", "Arch", "OpSys", "Mips", "Memory", "State", "Owner"];
 
@@ -196,17 +206,117 @@ fn query_remote(addr: &str, constraint: &str, kind: Option<EntityKind>) -> Vec<C
     }
 }
 
+/// Pretty-print one journal record: sequence, timestamp, trace ids when
+/// present, then the event. One line per record, grep-friendly.
+fn print_record(r: &Record) {
+    let ids = match &r.span {
+        Some(s) => format!(
+            "trace={} span={} parent={}",
+            format_id(s.trace_id),
+            format_id(s.span_id),
+            format_id(s.parent_span_id)
+        ),
+        None => "untraced".to_string(),
+    };
+    println!(
+        "seq {:>6}  {}.{:03}  {:<58}  {:?}",
+        r.seq,
+        r.unix_ms / 1000,
+        r.unix_ms % 1000,
+        ids,
+        r.event
+    );
+}
+
+/// Follow a journal file like `tail -f`, decoding each appended line.
+/// Torn trailing lines are retried on the next poll; a shrinking file
+/// (rotation) resets the read position to the new start.
+fn tail_journal(path: &str, from_start: bool, watch_for: Option<Duration>) {
+    let mut file = std::fs::File::open(path).unwrap_or_else(|e| {
+        eprintln!("cannot open {path}: {e}");
+        std::process::exit(1);
+    });
+    let mut pos = if from_start {
+        0
+    } else {
+        file.seek(SeekFrom::End(0)).unwrap_or(0)
+    };
+    let deadline = watch_for.map(|d| Instant::now() + d);
+    let mut pending = String::new();
+    eprintln!("tailing {path} (Ctrl-C to quit)");
+    loop {
+        // Rotation/truncation: the file restarted beneath us.
+        if let Ok(meta) = std::fs::metadata(path) {
+            if meta.len() < pos {
+                pos = 0;
+                pending.clear();
+                // The path may now be a fresh inode; reopen.
+                if let Ok(f) = std::fs::File::open(path) {
+                    file = f;
+                }
+            }
+        }
+        let _ = file.seek(SeekFrom::Start(pos));
+        let mut chunk = String::new();
+        if file.read_to_string(&mut chunk).is_ok() && !chunk.is_empty() {
+            pos += chunk.len() as u64;
+            pending.push_str(&chunk);
+            // Only complete lines decode; the remainder is a torn write
+            // still in flight and stays buffered for the next poll.
+            while let Some(nl) = pending.find('\n') {
+                let line: String = pending.drain(..=nl).collect();
+                let line = line.trim_end();
+                if line.is_empty() {
+                    continue;
+                }
+                match Record::decode(line) {
+                    Some(r) => print_record(&r),
+                    None => println!("(undecodable line: {line})"),
+                }
+            }
+        }
+        if let Some(d) = deadline {
+            if Instant::now() >= d {
+                return;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(200));
+    }
+}
+
 fn main() {
     // `--connect host:port` switches from the built-in demo pool to a live
     // matchmaker daemon.
     let args: Vec<String> = std::env::args().collect();
     let connect = args.iter().position(|a| a == "--connect").map(|i| {
         args.get(i + 1).cloned().unwrap_or_else(|| {
-            eprintln!("usage: status_query [--connect host:port] [--stats]");
+            eprintln!(
+                "usage: status_query [--connect host:port] [--stats] \
+                 [--tail journal.jsonl [--from-start] [--for secs]]"
+            );
             std::process::exit(2);
         })
     });
     let stats = args.iter().any(|a| a == "--stats");
+    if let Some(i) = args.iter().position(|a| a == "--tail") {
+        let Some(path) = args.get(i + 1) else {
+            eprintln!("--tail takes a journal path");
+            std::process::exit(2);
+        };
+        let from_start = args.iter().any(|a| a == "--from-start");
+        let watch_for = args
+            .iter()
+            .position(|a| a == "--for")
+            .and_then(|i| args.get(i + 1))
+            .map(|s| {
+                Duration::from_secs_f64(s.parse().unwrap_or_else(|_| {
+                    eprintln!("--for takes seconds");
+                    std::process::exit(2);
+                }))
+            });
+        tail_journal(path, from_start, watch_for);
+        return;
+    }
 
     let local_store = if connect.is_none() {
         let proto = AdvertisingProtocol::default();
