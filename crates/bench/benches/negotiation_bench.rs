@@ -189,6 +189,62 @@ fn bench_clustered_workload(c: &mut Criterion) {
     g.finish();
 }
 
+/// A job that can never match: fodder for the attribution post-pass,
+/// which only runs over unmatched clusters.
+fn unmatchable_job_adv(i: usize) -> Advertisement {
+    let ad = classad::parse_classad(&format!(
+        r#"[ Name = "u{i}"; Type = "Job"; Owner = "user{owner}"; Memory = 16;
+             Constraint = other.Type == "Machine" && other.Arch == "ALPHA"
+                          && other.Mips >= 100000;
+             Rank = other.Mips ]"#,
+        owner = i % 8,
+    ))
+    .unwrap();
+    Advertisement {
+        kind: EntityKind::Customer,
+        ad,
+        contact: format!("ca{}:1", i % 8),
+        ticket: None,
+        expires_at: u64::MAX,
+    }
+}
+
+/// Match-failure attribution on vs off over a workload where half the
+/// jobs can never match. Attribution re-traces one representative per
+/// unmatched autocluster after the cycle; the off configuration is the
+/// pre-attribution negotiator, so its time must sit within noise of the
+/// seed measurements.
+fn bench_attribution_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("attribution_ablation");
+    g.sample_size(10);
+    let proto = AdvertisingProtocol::default();
+    let mut store = AdStore::new();
+    for i in 0..512 {
+        store.advertise(machine_adv(i), 0, &proto).unwrap();
+    }
+    for i in 0..32 {
+        store.advertise(job_adv(i), 0, &proto).unwrap();
+        store.advertise(unmatchable_job_adv(i), 0, &proto).unwrap();
+    }
+    for attribution in [true, false] {
+        let label = if attribution {
+            "attribution_on"
+        } else {
+            "attribution_off"
+        };
+        g.bench_with_input(BenchmarkId::new(label, "512x64"), &store, |b, store| {
+            b.iter(|| {
+                let mut neg = Negotiator::new(NegotiatorConfig {
+                    attribution,
+                    ..Default::default()
+                });
+                neg.negotiate(store, 0)
+            })
+        });
+    }
+    g.finish();
+}
+
 /// Export every measurement (plus the derived clustered-workload speedup)
 /// as machine-readable JSON next to the human-readable criterion lines.
 fn write_bench_json(path: &str) {
@@ -198,6 +254,12 @@ fn write_bench_json(path: &str) {
     let off = find("clustered_workload/autocluster_off/1000x1000");
     let speedup = match (on, off) {
         (Some(on), Some(off)) if on > 0.0 => off / on,
+        _ => 0.0,
+    };
+    let attr_on = find("attribution_ablation/attribution_on/512x64");
+    let attr_off = find("attribution_ablation/attribution_off/512x64");
+    let overhead = match (attr_on, attr_off) {
+        (Some(on), Some(off)) if off > 0.0 => on / off,
         _ => 0.0,
     };
 
@@ -212,13 +274,21 @@ fn write_bench_json(path: &str) {
         ));
     }
     json.push_str(&format!(
-        "  ],\n  \"clustered_1000x1000\": {{\"autocluster_on_ns\": {}, \"autocluster_off_ns\": {}, \"speedup\": {:.2}}}\n}}\n",
+        "  ],\n  \"clustered_1000x1000\": {{\"autocluster_on_ns\": {}, \"autocluster_off_ns\": {}, \"speedup\": {:.2}}},\n",
         on.map_or("null".to_string(), |v| format!("{v:.1}")),
         off.map_or("null".to_string(), |v| format!("{v:.1}")),
         speedup
     ));
+    json.push_str(&format!(
+        "  \"attribution_512x64\": {{\"attribution_on_ns\": {}, \"attribution_off_ns\": {}, \"overhead\": {:.2}}}\n}}\n",
+        attr_on.map_or("null".to_string(), |v| format!("{v:.1}")),
+        attr_off.map_or("null".to_string(), |v| format!("{v:.1}")),
+        overhead
+    ));
     match std::fs::write(path, &json) {
-        Ok(()) => println!("wrote {path} (clustered 1000x1000 speedup: {speedup:.2}x)"),
+        Ok(()) => println!(
+            "wrote {path} (clustered 1000x1000 speedup: {speedup:.2}x, attribution overhead: {overhead:.2}x)"
+        ),
         Err(e) => eprintln!("could not write {path}: {e}"),
     }
 }
@@ -246,7 +316,7 @@ criterion_group!(
         .warm_up_time(std::time::Duration::from_millis(800))
         .measurement_time(std::time::Duration::from_secs(2));
     targets = bench_pool_size_scaling, bench_job_batch_scaling, bench_parallel_ablation,
-        bench_clustered_workload
+        bench_clustered_workload, bench_attribution_ablation
 );
 
 fn main() {

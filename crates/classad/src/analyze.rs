@@ -1,0 +1,507 @@
+//! Match-failure attribution: an opt-in tracing evaluation mode that
+//! explains *why* a `Constraint` rejected a candidate.
+//!
+//! The paper (§5) names "why doesn't my job run?" diagnosis as a
+//! first-class matchmaking concern. The plain predicates in [`crate::matching`]
+//! answer only *whether* a pair matches; this module re-evaluates a failed
+//! pairing and pins the verdict on the responsible sub-expression:
+//!
+//! * which side's constraint failed ([`RejectSide`]);
+//! * for a definite `false`, the top-level conjunct that produced it
+//!   ([`RejectReason::RequirementsFalse`]) — three-valued `&&` guarantees
+//!   that a false conjunction contains a false conjunct;
+//! * for an `undefined`, the attribute reference whose resolution failed
+//!   ([`RejectReason::UndefinedAttr`]);
+//! * for anything else (an `error`, or a non-boolean constraint value),
+//!   [`RejectReason::EvalError`].
+//!
+//! Tracing is strictly additive: [`traced_constraint_holds`] and
+//! [`traced_symmetric_match`] report the *same verdict* as
+//! [`crate::matching::constraint_holds`] / [`crate::matching::symmetric_match`]
+//! (a property the workspace proptests enforce), and the plain predicates
+//! are untouched — matching pays nothing when attribution is off.
+//!
+//! [`RejectReason`] also carries the two scheduler-level outcomes a
+//! negotiator layers on top of constraint evaluation — [`RejectReason::Busy`]
+//! (claimed, not preemptible) and [`RejectReason::LostRank`] (compatible,
+//! but the offer went to a better-ranked competitor) — so one taxonomy
+//! spans the whole rejection space.
+
+use crate::ast::{Expr, Scope};
+use crate::classad::ClassAd;
+use crate::eval::{EvalPolicy, Evaluator, Side};
+use crate::matching::MatchConventions;
+use crate::value::Value;
+use std::fmt;
+
+/// Longest clause/attribute text a [`RejectReason`] will carry. Reasons key
+/// bounded-cardinality rejection tables and travel inside self-ads and
+/// journal events, so their text must stay small no matter how large the
+/// originating expression was.
+const MAX_REASON_TEXT: usize = 96;
+
+/// Which side of a bilateral match rejected the pairing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RejectSide {
+    /// The customer/request ad's constraint (conventionally the left side).
+    Request,
+    /// The provider/offer ad's constraint.
+    Offer,
+}
+
+impl RejectSide {
+    /// Short lowercase label (`"request"` / `"offer"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            RejectSide::Request => "request",
+            RejectSide::Offer => "offer",
+        }
+    }
+}
+
+impl fmt::Display for RejectSide {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Why a (request, offer) pairing was rejected.
+///
+/// The first three variants come from tracing constraint evaluation; the
+/// last two are scheduler outcomes a negotiator records for pairings whose
+/// constraints were mutually satisfied but that still produced no grant.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RejectReason {
+    /// A constraint evaluated to a definite `false`; `clause` is the
+    /// (clipped) text of the first false top-level conjunct.
+    RequirementsFalse {
+        /// Whose constraint failed.
+        side: RejectSide,
+        /// Source text of the failing conjunct.
+        clause: String,
+    },
+    /// A constraint evaluated to `undefined`; `attr` names the attribute
+    /// reference that failed to resolve (matching treats `undefined` as
+    /// rejection).
+    UndefinedAttr {
+        /// Whose constraint failed.
+        side: RejectSide,
+        /// The unresolved attribute (or, when no single reference could be
+        /// blamed, the undefined conjunct's text).
+        attr: String,
+    },
+    /// A constraint evaluated to `error` or to a non-boolean value.
+    EvalError {
+        /// Whose constraint failed.
+        side: RejectSide,
+    },
+    /// Constraints were mutually satisfied, but the offer is claimed and
+    /// not preemptible by this request.
+    Busy,
+    /// Constraints were mutually satisfied, but the offer was granted to a
+    /// competing request this cycle.
+    LostRank,
+}
+
+impl RejectReason {
+    /// A compact single-line label, stable enough to key rejection tables
+    /// and render in self-ads: e.g.
+    /// `ReqFalse(request): other.Mips >= 1000` or `Undef(offer): gpus`.
+    pub fn label(&self) -> String {
+        match self {
+            RejectReason::RequirementsFalse { side, clause } => {
+                format!("ReqFalse({side}): {clause}")
+            }
+            RejectReason::UndefinedAttr { side, attr } => format!("Undef({side}): {attr}"),
+            RejectReason::EvalError { side } => format!("EvalError({side})"),
+            RejectReason::Busy => "Busy".to_string(),
+            RejectReason::LostRank => "LostRank".to_string(),
+        }
+    }
+
+    /// The coarse category name (`"RequirementsFalse"`, `"UndefinedAttr"`,
+    /// `"EvalError"`, `"Busy"`, `"LostRank"`) — what per-cycle counters
+    /// aggregate by.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            RejectReason::RequirementsFalse { .. } => "RequirementsFalse",
+            RejectReason::UndefinedAttr { .. } => "UndefinedAttr",
+            RejectReason::EvalError { .. } => "EvalError",
+            RejectReason::Busy => "Busy",
+            RejectReason::LostRank => "LostRank",
+        }
+    }
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// The result of a traced match evaluation: the same verdict the plain
+/// predicate returns, plus — when the verdict is "no match" — the reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalTrace {
+    /// Exactly what [`crate::matching::constraint_holds`] (resp.
+    /// [`crate::matching::symmetric_match`]) returns for the same inputs.
+    pub verdict: bool,
+    /// `Some` iff `verdict` is false.
+    pub reason: Option<RejectReason>,
+}
+
+impl EvalTrace {
+    fn matched() -> Self {
+        EvalTrace {
+            verdict: true,
+            reason: None,
+        }
+    }
+
+    fn rejected(reason: RejectReason) -> Self {
+        EvalTrace {
+            verdict: false,
+            reason: Some(reason),
+        }
+    }
+}
+
+/// Clip expression text for embedding into a [`RejectReason`].
+fn clip(s: &str) -> String {
+    if s.len() <= MAX_REASON_TEXT {
+        return s.to_string();
+    }
+    let mut end = MAX_REASON_TEXT;
+    while !s.is_char_boundary(end) {
+        end -= 1;
+    }
+    format!("{}…", &s[..end])
+}
+
+/// Split an expression into its top-level `&&` conjuncts, recursively:
+/// `a && (b && c) && d` yields `[a, b, c, d]`. A non-conjunction is its own
+/// single conjunct.
+pub fn conjuncts_of(e: &Expr) -> Vec<&Expr> {
+    fn walk<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+        match e {
+            Expr::Binary(crate::ast::BinOp::And, l, r) => {
+                walk(l, out);
+                walk(r, out);
+            }
+            other => out.push(other),
+        }
+    }
+    let mut out = Vec::new();
+    walk(e, &mut out);
+    out
+}
+
+/// Evaluate one conjunct of `ad`'s constraint against `candidate` with a
+/// fresh evaluator (tracing runs off the hot path, so per-conjunct
+/// evaluator construction is fine).
+fn eval_clause(ad: &ClassAd, candidate: &ClassAd, policy: &EvalPolicy, clause: &Expr) -> Value {
+    let mut ev = Evaluator::pair(ad, candidate, policy);
+    ev.eval(clause, Side::Left)
+}
+
+/// Find the attribute reference inside `clause` whose resolution yields
+/// `undefined` in this pairing, if any single one can be blamed.
+fn undefined_ref(
+    ad: &ClassAd,
+    candidate: &ClassAd,
+    policy: &EvalPolicy,
+    clause: &Expr,
+) -> Option<String> {
+    let mut found: Option<String> = None;
+    clause.visit(&mut |e| {
+        if found.is_some() {
+            return;
+        }
+        let name = match e {
+            Expr::Attr(n) => n,
+            Expr::ScopedAttr(Scope::My | Scope::Target, n) => n,
+            _ => return,
+        };
+        let mut ev = Evaluator::pair(ad, candidate, policy);
+        if matches!(ev.eval(e, Side::Left), Value::Undefined) {
+            found = Some(name.as_str().to_string());
+        }
+    });
+    found
+}
+
+/// Like [`crate::matching::constraint_holds`], but when `ad`'s constraint
+/// rejects `candidate`, the returned trace carries the reason, attributed
+/// to `side`. The verdict always equals the plain predicate's.
+pub fn traced_constraint_holds(
+    ad: &ClassAd,
+    candidate: &ClassAd,
+    policy: &EvalPolicy,
+    conv: &MatchConventions,
+    side: RejectSide,
+) -> EvalTrace {
+    let Some(attr) = conv.constraint_attr_of(ad) else {
+        return if conv.missing_constraint_matches {
+            EvalTrace::matched()
+        } else {
+            EvalTrace::rejected(RejectReason::UndefinedAttr {
+                side,
+                attr: conv.constraint_attrs[0].clone(),
+            })
+        };
+    };
+    let mut ev = Evaluator::pair(ad, candidate, policy);
+    let whole = ev.eval_attr(Side::Left, attr);
+    let constraint = ad.get(attr).cloned();
+    match whole {
+        Value::Bool(true) => EvalTrace::matched(),
+        Value::Bool(false) => {
+            // Three-valued `&&` is false iff at least one conjunct is false,
+            // so a false conjunct must exist; blame the first.
+            let clause = constraint.as_deref().and_then(|c| {
+                conjuncts_of(c)
+                    .into_iter()
+                    .find(|e| eval_clause(ad, candidate, policy, e).as_bool() == Some(false))
+                    .map(|e| clip(&e.to_string()))
+            });
+            EvalTrace::rejected(RejectReason::RequirementsFalse {
+                side,
+                clause: clause
+                    .or_else(|| constraint.as_deref().map(|c| clip(&c.to_string())))
+                    .unwrap_or_default(),
+            })
+        }
+        Value::Undefined => {
+            // A conjunction is undefined iff no conjunct is false and at
+            // least one is undefined; blame the first undefined conjunct's
+            // unresolved reference.
+            let attr_name = constraint.as_deref().and_then(|c| {
+                let undef = conjuncts_of(c)
+                    .into_iter()
+                    .find(|e| matches!(eval_clause(ad, candidate, policy, e), Value::Undefined))?;
+                undefined_ref(ad, candidate, policy, undef)
+                    .or_else(|| Some(clip(&undef.to_string())))
+            });
+            EvalTrace::rejected(RejectReason::UndefinedAttr {
+                side,
+                attr: attr_name.unwrap_or_else(|| attr.to_string()),
+            })
+        }
+        // `error`, or a constraint that evaluated to a non-boolean: the
+        // plain predicate rejects (`as_bool() != Some(true)`).
+        _ => EvalTrace::rejected(RejectReason::EvalError { side }),
+    }
+}
+
+/// Like [`crate::matching::symmetric_match`], but a rejection explains
+/// itself. The request (left) side is checked first, mirroring the plain
+/// predicate's short-circuit order, so the verdict — and which side gets
+/// blamed when both would fail — is deterministic.
+pub fn traced_symmetric_match(
+    request: &ClassAd,
+    offer: &ClassAd,
+    policy: &EvalPolicy,
+    conv: &MatchConventions,
+) -> EvalTrace {
+    let req = traced_constraint_holds(request, offer, policy, conv, RejectSide::Request);
+    if !req.verdict {
+        return req;
+    }
+    let off = traced_constraint_holds(offer, request, policy, conv, RejectSide::Offer);
+    if !off.verdict {
+        return off;
+    }
+    EvalTrace::matched()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matching::{constraint_holds, symmetric_match};
+    use crate::parser::parse_classad;
+
+    fn conv() -> MatchConventions {
+        MatchConventions::default()
+    }
+
+    fn pol() -> EvalPolicy {
+        EvalPolicy::default()
+    }
+
+    #[test]
+    fn matched_pair_traces_clean() {
+        let a = parse_classad(r#"[ Type = "Job"; Constraint = other.Type == "Machine" ]"#).unwrap();
+        let b = parse_classad(r#"[ Type = "Machine"; Constraint = other.Type == "Job" ]"#).unwrap();
+        let t = traced_symmetric_match(&a, &b, &pol(), &conv());
+        assert!(t.verdict);
+        assert_eq!(t.reason, None);
+    }
+
+    #[test]
+    fn false_conjunct_is_blamed() {
+        let job = parse_classad(
+            r#"[ Type = "Job"; Constraint = other.Type == "Machine" && other.Mips >= 1000 ]"#,
+        )
+        .unwrap();
+        let machine =
+            parse_classad(r#"[ Type = "Machine"; Mips = 50; Constraint = true ]"#).unwrap();
+        let t = traced_symmetric_match(&job, &machine, &pol(), &conv());
+        assert!(!t.verdict);
+        match t.reason.unwrap() {
+            RejectReason::RequirementsFalse { side, clause } => {
+                assert_eq!(side, RejectSide::Request);
+                assert_eq!(clause, "other.Mips >= 1000");
+            }
+            other => panic!("wrong reason: {other}"),
+        }
+    }
+
+    #[test]
+    fn offer_side_rejection_is_attributed_to_offer() {
+        let job = parse_classad(r#"[ Owner = "riffraff"; Constraint = true ]"#).unwrap();
+        let machine = parse_classad(r#"[ Constraint = other.Owner != "riffraff" ]"#).unwrap();
+        let t = traced_symmetric_match(&job, &machine, &pol(), &conv());
+        assert!(!t.verdict);
+        match t.reason.unwrap() {
+            RejectReason::RequirementsFalse { side, clause } => {
+                assert_eq!(side, RejectSide::Offer);
+                assert!(clause.contains("riffraff"), "{clause}");
+            }
+            other => panic!("wrong reason: {other}"),
+        }
+    }
+
+    #[test]
+    fn undefined_attribute_is_named() {
+        let job = parse_classad(r#"[ Constraint = other.Gpus >= 2 && true ]"#).unwrap();
+        let machine = parse_classad(r#"[ Mips = 50; Constraint = true ]"#).unwrap();
+        let t = traced_symmetric_match(&job, &machine, &pol(), &conv());
+        assert!(!t.verdict);
+        match t.reason.unwrap() {
+            RejectReason::UndefinedAttr { side, attr } => {
+                assert_eq!(side, RejectSide::Request);
+                assert_eq!(attr, "Gpus");
+            }
+            other => panic!("wrong reason: {other}"),
+        }
+    }
+
+    #[test]
+    fn error_constraint_classified() {
+        let job = parse_classad(r#"[ Constraint = 1/0 ]"#).unwrap();
+        let machine = parse_classad(r#"[ Constraint = true ]"#).unwrap();
+        let t = traced_symmetric_match(&job, &machine, &pol(), &conv());
+        assert!(!t.verdict);
+        assert_eq!(
+            t.reason,
+            Some(RejectReason::EvalError {
+                side: RejectSide::Request
+            })
+        );
+    }
+
+    #[test]
+    fn non_boolean_constraint_classified_as_error() {
+        let job = parse_classad(r#"[ Constraint = 42 ]"#).unwrap();
+        let machine = parse_classad(r#"[ Constraint = true ]"#).unwrap();
+        assert!(!symmetric_match(&job, &machine, &pol(), &conv()));
+        let t = traced_symmetric_match(&job, &machine, &pol(), &conv());
+        assert!(!t.verdict);
+        assert!(matches!(t.reason, Some(RejectReason::EvalError { .. })));
+    }
+
+    #[test]
+    fn missing_constraint_follows_conventions() {
+        let bare = parse_classad("[ x = 1 ]").unwrap();
+        let other = parse_classad("[ Constraint = true ]").unwrap();
+        let t = traced_symmetric_match(&bare, &other, &pol(), &conv());
+        assert!(t.verdict);
+        let strict = MatchConventions {
+            missing_constraint_matches: false,
+            ..conv()
+        };
+        let t = traced_symmetric_match(&bare, &other, &pol(), &strict);
+        assert!(!t.verdict);
+        assert!(matches!(
+            t.reason,
+            Some(RejectReason::UndefinedAttr { attr, .. }) if attr == "Constraint"
+        ));
+    }
+
+    #[test]
+    fn verdict_agrees_with_plain_predicates() {
+        let cases = [
+            r#"[ Constraint = other.Mips >= 10 ]"#,
+            r#"[ Constraint = other.Mips >= 1000 ]"#,
+            r#"[ Constraint = other.NoSuch > 1 ]"#,
+            r#"[ Constraint = 1/0 ]"#,
+            r#"[ Constraint = "nope" ]"#,
+            r#"[ x = 1 ]"#,
+            r#"[ Requirements = other.Mips == 50 ]"#,
+        ];
+        let target = parse_classad(r#"[ Mips = 50; Constraint = true ]"#).unwrap();
+        for src in cases {
+            let ad = parse_classad(src).unwrap();
+            let plain = constraint_holds(&ad, &target, &pol(), &conv());
+            let traced =
+                traced_constraint_holds(&ad, &target, &pol(), &conv(), RejectSide::Request);
+            assert_eq!(plain, traced.verdict, "{src}");
+            assert_eq!(traced.reason.is_none(), traced.verdict, "{src}");
+            assert_eq!(
+                symmetric_match(&ad, &target, &pol(), &conv()),
+                traced_symmetric_match(&ad, &target, &pol(), &conv()).verdict,
+                "{src}"
+            );
+        }
+    }
+
+    #[test]
+    fn conjuncts_flatten_nested_ands() {
+        let ad = parse_classad(r#"[ C = a && (b && c) && d; S = a || b ]"#).unwrap();
+        let e = ad.get("C").unwrap();
+        let parts: Vec<String> = conjuncts_of(e.as_ref())
+            .iter()
+            .map(|p| p.to_string())
+            .collect();
+        assert_eq!(parts, vec!["a", "b", "c", "d"]);
+        let single = ad.get("S").unwrap();
+        assert_eq!(conjuncts_of(single.as_ref()).len(), 1);
+    }
+
+    #[test]
+    fn long_clause_text_is_clipped() {
+        let long = format!(r#"[ Constraint = other.Flavor == "{}" ]"#, "x".repeat(200));
+        let ad = parse_classad(&long).unwrap();
+        let machine = parse_classad(r#"[ Flavor = "plain"; Constraint = true ]"#).unwrap();
+        let t = traced_symmetric_match(&ad, &machine, &pol(), &conv());
+        match t.reason.unwrap() {
+            RejectReason::RequirementsFalse { clause, .. } => {
+                assert!(clause.chars().count() <= MAX_REASON_TEXT + 1, "{clause}");
+                assert!(clause.ends_with('…'));
+            }
+            other => panic!("wrong reason: {other}"),
+        }
+    }
+
+    #[test]
+    fn labels_are_compact_and_stable() {
+        assert_eq!(
+            RejectReason::RequirementsFalse {
+                side: RejectSide::Request,
+                clause: "other.Mips >= 1000".into()
+            }
+            .label(),
+            "ReqFalse(request): other.Mips >= 1000"
+        );
+        assert_eq!(
+            RejectReason::UndefinedAttr {
+                side: RejectSide::Offer,
+                attr: "Gpus".into()
+            }
+            .label(),
+            "Undef(offer): Gpus"
+        );
+        assert_eq!(RejectReason::Busy.label(), "Busy");
+        assert_eq!(RejectReason::LostRank.kind(), "LostRank");
+    }
+}

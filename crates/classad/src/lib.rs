@@ -42,6 +42,8 @@
 //!   detection, resource limits.
 //! * [`builtins`] — the function library (`member`, `strcmp`, `size`, …).
 //! * [`matching`] — [`symmetric_match`], [`rank_of`], [`evaluate_match`].
+//! * [`analyze`] — traced match evaluation: *why* a pairing was rejected
+//!   ([`traced_symmetric_match`], [`RejectReason`]).
 //! * [`pretty`] — unparser; `Display` impls that round-trip.
 //! * [`json`] — JSON import/export for interop and trace files.
 //! * [`fixtures`] — the paper's Figure 1 and Figure 2 ads, verbatim.
@@ -49,6 +51,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod analyze;
 pub mod ast;
 pub mod builtins;
 pub mod classad;
@@ -66,6 +69,10 @@ pub mod regex;
 pub mod token;
 pub mod value;
 
+pub use analyze::{
+    conjuncts_of, traced_constraint_holds, traced_symmetric_match, EvalTrace, RejectReason,
+    RejectSide,
+};
 pub use ast::{AttrName, BinOp, Expr, Literal, Scope, UnOp};
 pub use classad::ClassAd;
 pub use error::{LexError, ParseError, Span};

@@ -299,6 +299,25 @@ proptest! {
     }
 
     #[test]
+    fn traced_match_agrees_with_plain_predicates(a in arb_classad(), b in arb_classad()) {
+        // The tracing evaluator is advertised as a pure explanation layer:
+        // for ANY pair of ads its verdict must equal the plain predicate's,
+        // and a reason must be present exactly when the verdict is "no".
+        use classad::{
+            constraint_holds, symmetric_match, traced_constraint_holds,
+            traced_symmetric_match, MatchConventions, RejectSide,
+        };
+        let policy = EvalPolicy::default();
+        let conv = MatchConventions::default();
+        let t = traced_symmetric_match(&a, &b, &policy, &conv);
+        prop_assert_eq!(t.verdict, symmetric_match(&a, &b, &policy, &conv));
+        prop_assert_eq!(t.reason.is_none(), t.verdict);
+        let c = traced_constraint_holds(&a, &b, &policy, &conv, RejectSide::Request);
+        prop_assert_eq!(c.verdict, constraint_holds(&a, &b, &policy, &conv));
+        prop_assert_eq!(c.reason.is_none(), c.verdict);
+    }
+
+    #[test]
     fn rank_is_always_finite(a in arb_classad(), b in arb_classad()) {
         use classad::{rank_of, MatchConventions};
         let policy = EvalPolicy::default();

@@ -75,7 +75,10 @@ pub use autocluster::{Clustering, MatchList, OfferMeta};
 pub use claim::{ClaimHandler, ClaimState};
 pub use framing::{encode_framed, frame_body, FrameDecoder, MAX_FRAME_LEN};
 pub use matcher::{Candidate, MatchEngine};
-pub use negotiate::{CycleOutcome, CycleStats, MatchRecord, Negotiator, NegotiatorConfig};
+pub use negotiate::{
+    ClusterRejections, CycleOutcome, CycleStats, MatchRecord, Negotiator, NegotiatorConfig,
+    RejectionTable,
+};
 pub use priority::{PriorityConfig, PriorityTracker};
 pub use protocol::{
     Advertisement, AdvertisingProtocol, ClaimRejection, ClaimRequest, ClaimResponse, EntityKind,

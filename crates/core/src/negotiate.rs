@@ -29,8 +29,9 @@ use crate::matcher::{Candidate, MatchEngine};
 use crate::priority::PriorityTracker;
 use crate::protocol::{EntityKind, MatchNotification, Timestamp};
 use crate::ticket::Ticket;
-use classad::{ClassAd, Value};
+use classad::{traced_symmetric_match, ClassAd, RejectReason, Value};
 use std::collections::HashMap;
+use std::fmt::Write as _;
 use std::sync::Arc;
 
 /// Attribute names the negotiator reads from ads (beyond the match
@@ -61,6 +62,13 @@ pub struct NegotiatorConfig {
     /// request. Produces byte-identical matches to the full scan; disable
     /// only to run the oracle path (testing, benchmarking).
     pub autocluster: bool,
+    /// After the rounds, classify every rejected (cluster, offer) pairing
+    /// into per-cluster [`RejectionTable`]s using the tracing evaluator
+    /// ([`classad::traced_symmetric_match`]). Off by default: attribution
+    /// re-scans the pool once per *unmatched* cluster, and pools that do
+    /// not serve `Analyze` queries should not pay for it. Match outcomes
+    /// are identical either way.
+    pub attribution: bool,
 }
 
 impl Default for NegotiatorConfig {
@@ -71,7 +79,123 @@ impl Default for NegotiatorConfig {
             preemption_rank_margin: 0.0,
             charge_per_match: 0.0,
             autocluster: true,
+            attribution: false,
         }
+    }
+}
+
+/// How many distinct [`RejectReason`]s a [`RejectionTable`] keeps before
+/// folding further reasons into its overflow bucket.
+const MAX_TABLE_REASONS: usize = 8;
+
+/// A bounded-cardinality histogram of [`RejectReason`]s. The first
+/// [`MAX_TABLE_REASONS`] distinct reasons get their own buckets; anything
+/// rarer lands in a single overflow count, so the table stays small no
+/// matter how pathological the pool's constraints are.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RejectionTable {
+    entries: Vec<(RejectReason, u64)>,
+    overflow: u64,
+}
+
+impl RejectionTable {
+    /// Count one rejection.
+    pub fn add(&mut self, reason: RejectReason) {
+        if let Some((_, n)) = self.entries.iter_mut().find(|(r, _)| *r == reason) {
+            *n += 1;
+        } else if self.entries.len() < MAX_TABLE_REASONS {
+            self.entries.push((reason, 1));
+        } else {
+            self.overflow += 1;
+        }
+    }
+
+    /// Total rejections counted (including the overflow bucket).
+    pub fn total(&self) -> u64 {
+        self.entries.iter().map(|(_, n)| n).sum::<u64>() + self.overflow
+    }
+
+    /// Rejections that did not get their own bucket.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// No rejections recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty() && self.overflow == 0
+    }
+
+    /// Buckets sorted most-frequent first (ties broken by label for a
+    /// deterministic rendering).
+    pub fn ranked(&self) -> Vec<(&RejectReason, u64)> {
+        let mut v: Vec<(&RejectReason, u64)> = self.entries.iter().map(|(r, n)| (r, *n)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.label().cmp(&b.0.label())));
+        v
+    }
+
+    /// Render as `label=count; label=count[; +overflow=n]`, most frequent
+    /// first — the format self-ads, journal events, and `Analyze` replies
+    /// share, so their counts can be compared textually.
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        for (reason, n) in self.ranked() {
+            if !out.is_empty() {
+                out.push_str("; ");
+            }
+            let _ = write!(out, "{}={n}", reason.label());
+        }
+        if self.overflow > 0 {
+            if !out.is_empty() {
+                out.push_str("; ");
+            }
+            let _ = write!(out, "+overflow={}", self.overflow);
+        }
+        out
+    }
+
+    /// Count per coarse reason kind (see [`RejectReason::kind`]); the
+    /// overflow bucket is not attributable and is excluded.
+    pub fn count_kind(&self, kind: &str) -> u64 {
+        self.entries
+            .iter()
+            .filter(|(r, _)| r.kind() == kind)
+            .map(|(_, n)| n)
+            .sum()
+    }
+}
+
+/// Why one request equivalence class went (partly) unserved: every
+/// non-granted (member, offer) pairing classified by reason. Produced only
+/// for clusters with at least one unmatched request — matched clusters
+/// need no diagnosis.
+#[derive(Debug, Clone)]
+pub struct ClusterRejections {
+    /// Cluster id (request index when autoclustering is off).
+    pub cluster: usize,
+    /// Names of the cluster's unmatched requests (capped; see
+    /// [`ClusterRejections::MAX_NAMES`]).
+    pub requests: Vec<String>,
+    /// Unmatched requests beyond the `requests` cap.
+    pub more_requests: usize,
+    /// The representative request's constraint text, for display.
+    pub constraint: Option<String>,
+    /// The classified rejections.
+    pub table: RejectionTable,
+}
+
+impl ClusterRejections {
+    /// Cap on the member names carried per cluster.
+    pub const MAX_NAMES: usize = 5;
+
+    /// Render as `c<id>[name+name]: <table>` — one segment of the
+    /// `CycleRejections` journal event's breakdown, and the exact string
+    /// an `Analyze` reply echoes for the request's cluster.
+    pub fn encode(&self) -> String {
+        let mut names = self.requests.join("+");
+        if self.more_requests > 0 {
+            let _ = write!(names, "+{}more", self.more_requests);
+        }
+        format!("c{}[{}]: {}", self.cluster, names, self.table.encode())
     }
 }
 
@@ -155,6 +279,19 @@ pub struct CycleStats {
     /// service layer, which owns the sweep; zero when negotiating against
     /// a store directly).
     pub expired_ads: usize,
+    /// Rejected (cluster, offer) pairings classified by the attribution
+    /// pass (0 unless [`NegotiatorConfig::attribution`] is on).
+    pub rejected_pairings: usize,
+    /// Of which: a constraint evaluated to a definite `false`.
+    pub reject_req_false: usize,
+    /// Of which: a constraint evaluated to `undefined`.
+    pub reject_undefined: usize,
+    /// Of which: a constraint evaluated to `error` or a non-boolean.
+    pub reject_error: usize,
+    /// Of which: offer claimed and not preemptible.
+    pub reject_busy: usize,
+    /// Of which: compatible, but the offer went to a competing request.
+    pub reject_lost_rank: usize,
 }
 
 impl CycleStats {
@@ -200,6 +337,27 @@ impl CycleStats {
         registry
             .gauge(schema::LAST_CYCLE_UNMATCHED)
             .set(self.unmatched_requests as i64);
+        registry
+            .counter(schema::REJECTED_PAIRINGS)
+            .add(self.rejected_pairings as u64);
+        registry
+            .counter(schema::REJECT_REQ_FALSE)
+            .add(self.reject_req_false as u64);
+        registry
+            .counter(schema::REJECT_UNDEFINED)
+            .add(self.reject_undefined as u64);
+        registry
+            .counter(schema::REJECT_ERROR)
+            .add(self.reject_error as u64);
+        registry
+            .counter(schema::REJECT_BUSY)
+            .add(self.reject_busy as u64);
+        registry
+            .counter(schema::REJECT_LOST_RANK)
+            .add(self.reject_lost_rank as u64);
+        registry
+            .gauge(schema::LAST_CYCLE_REJECTED)
+            .set(self.rejected_pairings as i64);
     }
 }
 
@@ -210,6 +368,13 @@ pub struct CycleOutcome {
     pub matches: Vec<MatchRecord>,
     /// Statistics.
     pub stats: CycleStats,
+    /// This cycle's ordinal (1-based, counted by the negotiator across its
+    /// lifetime) — lets retained rejection tables, journal events, and
+    /// `Analyze` replies name the same cycle.
+    pub cycle: u64,
+    /// Per-cluster rejection tables for clusters left with unmatched
+    /// requests (empty unless [`NegotiatorConfig::attribution`] is on).
+    pub rejections: Vec<ClusterRejections>,
 }
 
 /// The pool manager's negotiator.
@@ -221,6 +386,8 @@ pub struct Negotiator {
     pub priorities: PriorityTracker,
     /// Tunables.
     pub config: NegotiatorConfig,
+    /// Cycles run by this negotiator (stamps [`CycleOutcome::cycle`]).
+    cycles_run: u64,
 }
 
 impl Negotiator {
@@ -230,6 +397,7 @@ impl Negotiator {
             engine: MatchEngine::new(),
             priorities: PriorityTracker::default(),
             config,
+            cycles_run: 0,
         }
     }
 
@@ -329,7 +497,7 @@ impl Negotiator {
         let mut taken = vec![false; offers.len()];
         let mut cursor: HashMap<&str, usize> = HashMap::new();
         let mut served_users: HashMap<String, bool> = HashMap::new();
-        let mut no_match: usize = 0;
+        let mut unmatched_reqs: Vec<usize> = Vec::new();
 
         // Fairness rounds: one request per user per round, best-priority
         // user first, until a full round makes no progress.
@@ -419,7 +587,7 @@ impl Negotiator {
                 };
 
                 match chosen {
-                    None => no_match += 1,
+                    None => unmatched_reqs.push(req_idx),
                     Some((c, preempts)) => {
                         taken[c.index] = true;
                         let offer = &offers[c.index];
@@ -454,9 +622,113 @@ impl Negotiator {
         }
 
         outcome.stats.matches = outcome.matches.len();
-        outcome.stats.unmatched_requests = no_match;
+        outcome.stats.unmatched_requests = unmatched_reqs.len();
         outcome.stats.users_served = served_users.len();
+        self.cycles_run += 1;
+        outcome.cycle = self.cycles_run;
+
+        if self.config.attribution && !unmatched_reqs.is_empty() {
+            self.attribute_rejections(
+                &mut outcome,
+                &requests,
+                &offer_ads,
+                &offer_meta,
+                &taken,
+                clustering.as_ref().map(|c| c.cluster_of.as_slice()),
+                &unmatched_reqs,
+            );
+        }
         outcome
+    }
+
+    /// Classify every (cluster, offer) pairing that left the cluster with
+    /// unmatched requests. One traced scan per unmatched cluster — matched
+    /// clusters and the whole pass are skipped when attribution is off, so
+    /// the hot path pays nothing.
+    #[allow(clippy::too_many_arguments)]
+    fn attribute_rejections(
+        &self,
+        outcome: &mut CycleOutcome,
+        requests: &[StoredAd],
+        offer_ads: &[Arc<ClassAd>],
+        offer_meta: &[OfferMeta],
+        taken: &[bool],
+        cluster_of: Option<&[usize]>,
+        unmatched_reqs: &[usize],
+    ) {
+        let preemption_on = self.config.preemption;
+        let margin = self.config.preemption_rank_margin;
+        // Unmatched request indices per cluster, in request order. With
+        // autoclustering off every request is its own singleton cluster.
+        let mut unmatched_by_cluster: Vec<(usize, Vec<usize>)> = Vec::new();
+        for &ri in unmatched_reqs {
+            let cid = cluster_of.map_or(ri, |c| c[ri]);
+            match unmatched_by_cluster.iter_mut().find(|(c, _)| *c == cid) {
+                Some((_, members)) => members.push(ri),
+                None => unmatched_by_cluster.push((cid, vec![ri])),
+            }
+        }
+        unmatched_by_cluster.sort_by_key(|(cid, _)| *cid);
+
+        for (cid, members) in unmatched_by_cluster {
+            // Signatures make match verdicts and reject reasons cluster-
+            // invariant, so the first unmatched member speaks for all.
+            let rep = &requests[members[0]];
+            let mut table = RejectionTable::default();
+            for (oi, offer) in offer_ads.iter().enumerate() {
+                match self.engine.score(&rep.ad, offer, oi) {
+                    None => {
+                        let trace = traced_symmetric_match(
+                            &rep.ad,
+                            offer,
+                            &self.engine.policy,
+                            &self.engine.conventions,
+                        );
+                        // `score` returned None, so the traced verdict is
+                        // false and a reason is present; the fallback only
+                        // guards against the impossible.
+                        table.add(trace.reason.unwrap_or(RejectReason::EvalError {
+                            side: classad::RejectSide::Request,
+                        }));
+                    }
+                    Some(c) => match offer_meta[oi].claimed_rank {
+                        Some(current) if !(preemption_on && c.offer_rank > current + margin) => {
+                            table.add(RejectReason::Busy);
+                        }
+                        _ if taken[oi] => table.add(RejectReason::LostRank),
+                        // Compatible, free, and still unmatched cannot
+                        // happen after a completed rounds loop; leave such
+                        // a pairing unclassified rather than invent a
+                        // reason.
+                        _ => {}
+                    },
+                }
+            }
+            outcome.stats.rejected_pairings += table.total() as usize;
+            outcome.stats.reject_req_false += table.count_kind("RequirementsFalse") as usize;
+            outcome.stats.reject_undefined += table.count_kind("UndefinedAttr") as usize;
+            outcome.stats.reject_error += table.count_kind("EvalError") as usize;
+            outcome.stats.reject_busy += table.count_kind("Busy") as usize;
+            outcome.stats.reject_lost_rank += table.count_kind("LostRank") as usize;
+            let constraint = self
+                .engine
+                .conventions
+                .constraint_attr_of(&rep.ad)
+                .and_then(|a| rep.ad.get(a))
+                .map(|e| e.to_string());
+            let names: Vec<String> = members
+                .iter()
+                .take(ClusterRejections::MAX_NAMES)
+                .map(|&ri| requests[ri].name.clone())
+                .collect();
+            outcome.rejections.push(ClusterRejections {
+                cluster: cid,
+                more_requests: members.len().saturating_sub(names.len()),
+                requests: names,
+                constraint,
+                table,
+            });
+        }
     }
 }
 
@@ -798,6 +1070,142 @@ mod tests {
         assert_eq!(a.stats.unmatched_requests, b.stats.unmatched_requests);
         assert_eq!(a.stats.users_served, b.stats.users_served);
         assert!(a.stats.full_scans < b.stats.full_scans);
+    }
+
+    #[test]
+    fn attribution_classifies_unmatchable_requests() {
+        let ad = parse_classad(
+            r#"[ Name = "never"; Type = "Job"; Owner = "alice";
+                Constraint = other.Type == "Machine" && other.Mips >= 1000;
+                Rank = 0 ]"#,
+        )
+        .unwrap();
+        let mut store = store_with(vec![machine_ad("m1", 50), machine_ad("m2", 60)]);
+        store
+            .advertise(
+                Advertisement {
+                    kind: EntityKind::Customer,
+                    ad,
+                    contact: "alice-ca:1".into(),
+                    ticket: None,
+                    expires_at: 10_000,
+                },
+                0,
+                &proto(),
+            )
+            .unwrap();
+        let mut neg = Negotiator::new(NegotiatorConfig {
+            attribution: true,
+            ..Default::default()
+        });
+        let out = neg.negotiate(&store, 0);
+        assert_eq!(out.cycle, 1);
+        assert_eq!(out.stats.matches, 0);
+        assert_eq!(out.stats.unmatched_requests, 1);
+        assert_eq!(out.rejections.len(), 1);
+        let cr = &out.rejections[0];
+        assert_eq!(cr.requests, vec!["never".to_string()]);
+        assert_eq!(cr.table.total(), 2, "both machines classified");
+        assert_eq!(out.stats.rejected_pairings, 2);
+        assert_eq!(out.stats.reject_req_false, 2);
+        let encoded = cr.encode();
+        assert!(
+            encoded.contains("ReqFalse(request): other.Mips >= 1000"),
+            "{encoded}"
+        );
+        assert!(encoded.starts_with("c0[never]: "), "{encoded}");
+    }
+
+    #[test]
+    fn attribution_counts_busy_and_lost_rank() {
+        let store = store_with(vec![
+            claimed_machine_ad("busy", "olduser", 50.0), // unpreemptible for JobPrio 1
+            machine_ad("free", 10),
+            job_ad_with("j1", "alice", "JobPrio = 1;"),
+            job_ad_with("j2", "bob", "JobPrio = 1;"),
+        ]);
+        let mut neg = Negotiator::new(NegotiatorConfig {
+            attribution: true,
+            ..Default::default()
+        });
+        let out = neg.negotiate(&store, 0);
+        assert_eq!(out.stats.matches, 1, "one job takes the free machine");
+        assert_eq!(out.stats.unmatched_requests, 1);
+        assert_eq!(out.rejections.len(), 1);
+        let table = &out.rejections[0].table;
+        assert_eq!(table.count_kind("Busy"), 1);
+        assert_eq!(table.count_kind("LostRank"), 1);
+        assert_eq!(out.stats.reject_busy, 1);
+        assert_eq!(out.stats.reject_lost_rank, 1);
+    }
+
+    #[test]
+    fn attribution_never_changes_match_outcomes() {
+        let mut ads = vec![];
+        for i in 0..10 {
+            ads.push(machine_ad(&format!("m{i}"), (i * 13) % 97));
+        }
+        ads.push(claimed_machine_ad("busy", "olduser", 50.0));
+        for i in 0..8 {
+            let owner = ["alice", "bob"][i % 2];
+            ads.push(job_ad_with(
+                &format!("j{i}"),
+                owner,
+                &format!("JobPrio = {};", i),
+            ));
+        }
+        let store = store_with(ads);
+        let mut plain = Negotiator::default();
+        let mut attributed = Negotiator::new(NegotiatorConfig {
+            attribution: true,
+            ..Default::default()
+        });
+        let a = plain.negotiate(&store, 0);
+        let b = attributed.negotiate(&store, 0);
+        let key = |o: &CycleOutcome| {
+            o.matches
+                .iter()
+                .map(|m| (m.request_name.clone(), m.offer_name.clone()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(key(&a), key(&b));
+        assert_eq!(a.stats.matches, b.stats.matches);
+        assert_eq!(a.stats.unmatched_requests, b.stats.unmatched_requests);
+        assert_eq!(a.stats.rejected_pairings, 0, "off by default");
+    }
+
+    #[test]
+    fn attribution_oracle_path_uses_singleton_clusters() {
+        let store = store_with(vec![
+            machine_ad("m1", 50),
+            job_ad("j1", "alice"),
+            job_ad("j2", "alice"),
+        ]);
+        let mut neg = Negotiator::new(NegotiatorConfig {
+            autocluster: false,
+            attribution: true,
+            ..Default::default()
+        });
+        let out = neg.negotiate(&store, 0);
+        assert_eq!(out.stats.matches, 1);
+        assert_eq!(out.rejections.len(), 1, "the unmatched job's singleton");
+        assert_eq!(out.rejections[0].table.count_kind("LostRank"), 1);
+    }
+
+    #[test]
+    fn rejection_table_bounds_cardinality() {
+        let mut table = RejectionTable::default();
+        for i in 0..20 {
+            table.add(RejectReason::RequirementsFalse {
+                side: classad::RejectSide::Offer,
+                clause: format!("clause_{i}"),
+            });
+        }
+        table.add(RejectReason::Busy);
+        assert_eq!(table.total(), 21);
+        assert_eq!(table.ranked().len(), 8);
+        assert_eq!(table.overflow(), 13);
+        assert!(table.encode().contains("+overflow=13"));
     }
 
     #[test]

@@ -272,6 +272,23 @@ pub enum Message {
         /// Human-readable description of what was rejected.
         detail: String,
     },
+    /// Ask the matchmaker *why* a request is not matching (paper §4's
+    /// one-way query protocol, extended with failure attribution). The
+    /// matchmaker answers with a [`Message::AnalyzeReply`] carrying a
+    /// `MatchAnalysis` classad; an older matchmaker that predates the tag
+    /// answers [`Message::Error`] (`unknown tag 9`), which clients surface
+    /// as a remote error — no framing desync on either side.
+    Analyze {
+        /// `Name` attribute of the request ad to analyze.
+        name: String,
+    },
+    /// The matchmaker's answer to a [`Message::Analyze`]: a single
+    /// `MatchAnalysis` classad (see `docs/protocol.md` §12 for its
+    /// attributes).
+    AnalyzeReply {
+        /// The analysis ad.
+        ad: ClassAd,
+    },
 }
 
 const TAG_ADVERTISE: u8 = 1;
@@ -282,6 +299,8 @@ const TAG_RELEASE: u8 = 5;
 const TAG_QUERY: u8 = 6;
 const TAG_QUERY_REPLY: u8 = 7;
 const TAG_ERROR: u8 = 8;
+const TAG_ANALYZE: u8 = 9;
+const TAG_ANALYZE_REPLY: u8 = 10;
 
 /// Whether a tag may carry the optional trace-context trailer (the five
 /// match-lifecycle messages; see `docs/protocol.md` §11). Queries and
@@ -459,6 +478,14 @@ impl Message {
                 buf.put_u8(TAG_ERROR);
                 put_string(&mut buf, detail);
             }
+            Message::Analyze { name } => {
+                buf.put_u8(TAG_ANALYZE);
+                put_string(&mut buf, name);
+            }
+            Message::AnalyzeReply { ad } => {
+                buf.put_u8(TAG_ANALYZE_REPLY);
+                put_ad(&mut buf, ad);
+            }
         }
         if let Some(ctx) = trace {
             if tag_carries_trace(buf[0]) {
@@ -563,6 +590,8 @@ impl Message {
             TAG_ERROR => Message::Error {
                 detail: r.string()?,
             },
+            TAG_ANALYZE => Message::Analyze { name: r.string()? },
+            TAG_ANALYZE_REPLY => Message::AnalyzeReply { ad: r.ad()? },
             other => return Err(ProtocolError::BadFrame(format!("unknown tag {other}"))),
         };
         let trace = if tag_carries_trace(tag) && r.buf.has_remaining() {
@@ -737,6 +766,55 @@ mod tests {
             detail: String::new(),
         };
         assert_eq!(Message::decode(empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn analyze_and_reply_roundtrip() {
+        let msg = Message::Analyze {
+            name: "job-17".into(),
+        };
+        assert_eq!(Message::decode(msg.encode()).unwrap(), msg);
+        let reply = Message::AnalyzeReply {
+            ad: parse_classad(r#"[ MyType = "MatchAnalysis"; Name = "job-17"; Found = false ]"#)
+                .unwrap(),
+        };
+        assert_eq!(Message::decode(reply.encode()).unwrap(), reply);
+    }
+
+    #[test]
+    fn analyze_tags_never_carry_trace_trailers() {
+        // Analysis queries are not part of any match's causal chain, so —
+        // like Query/Release — their frames stay trailer-free even when
+        // the encoder holds a context.
+        let ctx = TraceContext {
+            trace_id: 1,
+            parent_span_id: 2,
+        };
+        let msg = Message::Analyze { name: "j".into() };
+        assert_eq!(msg.encode(), msg.encode_traced(Some(&ctx)));
+        let reply = Message::AnalyzeReply {
+            ad: parse_classad("[ Found = false ]").unwrap(),
+        };
+        assert_eq!(reply.encode(), reply.encode_traced(Some(&ctx)));
+        // Trailing bytes after an analyze frame are rejected, not
+        // misparsed as a trailer.
+        let mut bytes = msg.encode().to_vec();
+        bytes.push(1);
+        assert!(Message::decode(Bytes::from(bytes)).is_err());
+    }
+
+    #[test]
+    fn pre_analyze_peers_reject_the_tag_cleanly() {
+        // What an old decoder does with an Analyze frame: the tag is
+        // unknown, so it raises BadFrame (and a daemon turns that into a
+        // structured Error reply) instead of desyncing.
+        let bytes = Message::Analyze { name: "j".into() }.encode();
+        assert_eq!(bytes[0], TAG_ANALYZE);
+        let err = match Message::decode(Bytes::from_static(&[TAG_ANALYZE_REPLY + 90])) {
+            Err(ProtocolError::BadFrame(m)) => m,
+            other => panic!("expected BadFrame, got {other:?}"),
+        };
+        assert!(err.contains("unknown tag 100"), "{err}");
     }
 
     #[test]

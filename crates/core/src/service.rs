@@ -15,14 +15,18 @@
 //! requirements.
 
 use crate::admanager::AdStore;
-use crate::negotiate::{CycleOutcome, Negotiator, NegotiatorConfig};
+use crate::matcher::MatchEngine;
+use crate::negotiate::{
+    ClusterRejections, CycleOutcome, Negotiator, NegotiatorConfig, RejectionTable,
+};
 use crate::protocol::{
     Advertisement, AdvertisingProtocol, EntityKind, Message, ProtocolError, Timestamp, TraceContext,
 };
 use crate::query::Query;
-use classad::ClassAd;
+use classad::{traced_symmetric_match, ClassAd, RejectReason, RejectSide, Value};
 use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Monotone service counters (readable without locks).
 #[derive(Debug, Default)]
@@ -37,6 +41,8 @@ pub struct ServiceStats {
     pub matches: AtomicU64,
     /// Queries served.
     pub queries: AtomicU64,
+    /// `Analyze` requests served.
+    pub analyses: AtomicU64,
 }
 
 /// Snapshot of [`ServiceStats`].
@@ -52,6 +58,8 @@ pub struct StatsSnapshot {
     pub matches: u64,
     /// Queries served.
     pub queries: u64,
+    /// `Analyze` requests served.
+    pub analyses: u64,
 }
 
 /// A frame the matchmaker endpoint refused, carrying the encoded
@@ -89,6 +97,15 @@ impl std::error::Error for FrameRejection {
     }
 }
 
+/// The most recent cycle's per-cluster rejection tables, retained so
+/// `Analyze` replies can name the cycle the journal's `CycleRejections`
+/// event describes. Empty until a cycle runs with attribution on.
+#[derive(Debug, Clone, Default)]
+struct RetainedRejections {
+    cycle: u64,
+    rejections: Vec<ClusterRejections>,
+}
+
 /// A thread-safe matchmaking service.
 #[derive(Debug)]
 pub struct Matchmaker {
@@ -96,6 +113,7 @@ pub struct Matchmaker {
     negotiator: Mutex<Negotiator>,
     protocol: AdvertisingProtocol,
     stats: ServiceStats,
+    last_rejections: Mutex<RetainedRejections>,
 }
 
 impl Matchmaker {
@@ -113,6 +131,7 @@ impl Matchmaker {
             negotiator: Mutex::new(Negotiator::new(config)),
             protocol,
             stats: ServiceStats::default(),
+            last_rejections: Mutex::new(RetainedRejections::default()),
         }
     }
 
@@ -201,8 +220,13 @@ impl Matchmaker {
                 let ads = self.query(&q, now);
                 Ok(Some(Message::QueryReply { ads }.encode()))
             }
+            Message::Analyze { name } => {
+                let ad = self.analyze(&name, now);
+                Ok(Some(Message::AnalyzeReply { ad }.encode()))
+            }
             other => Err(ProtocolError::BadFrame(format!(
-                "matchmaker endpoint only accepts advertisements and queries, got {other:?}"
+                "matchmaker endpoint only accepts advertisements, queries, and analyze \
+                 requests, got {other:?}"
             ))),
         }
     }
@@ -256,12 +280,152 @@ impl Matchmaker {
         self.stats
             .matches
             .fetch_add(outcome.stats.matches as u64, Ordering::Relaxed);
+        *self.last_rejections.lock() = RetainedRejections {
+            cycle: outcome.cycle,
+            rejections: outcome.rejections.clone(),
+        };
         outcome
     }
 
     /// Report actual usage for fair-share accounting.
     pub fn charge_usage(&self, user: &str, seconds: f64, now: Timestamp) {
         self.negotiator.lock().charge_usage(user, seconds, now);
+    }
+
+    /// Answer "why is this request not matching?" with a `MatchAnalysis`
+    /// classad (the body of a [`Message::AnalyzeReply`]).
+    ///
+    /// The reply combines two views:
+    ///
+    /// * **a live traced scan** — the named request (if still stored) is
+    ///   re-evaluated against every current offer with the tracing
+    ///   evaluator, producing `RejectBreakdown` plus the dominant failing
+    ///   clause/attribute (`TopReason`, `FailingSide`, `FailingClause`,
+    ///   `FailingAttr`) and `MatchesNow`, the offers it *would* match;
+    /// * **the last cycle's verdict** — when the negotiator ran with
+    ///   attribution on, the retained per-cluster table covering this
+    ///   request is echoed verbatim (`LastCycleRejections`,
+    ///   `LastCycleCluster`, `Cycle`), byte-identical to the segment the
+    ///   journal's `CycleRejections` event recorded for that cycle.
+    ///
+    /// `Found = false` means the request ad is not currently stored —
+    /// either it was never advertised, its lease expired, or it matched
+    /// and was withdrawn.
+    pub fn analyze(&self, name: &str, now: Timestamp) -> ClassAd {
+        self.stats.analyses.fetch_add(1, Ordering::Relaxed);
+        // Same lock discipline as `query`: copy what we need out of the
+        // negotiator, then scan the store without holding its lock.
+        let (engine, preemption_on, margin) = {
+            let negotiator = self.negotiator.lock();
+            (
+                MatchEngine {
+                    policy: negotiator.engine.policy.clone(),
+                    conventions: negotiator.engine.conventions.clone(),
+                },
+                negotiator.config.preemption,
+                negotiator.config.preemption_rank_margin,
+            )
+        };
+        let retained = self.last_rejections.lock().clone();
+
+        let (request, offers): (Option<Arc<ClassAd>>, Vec<Arc<ClassAd>>) = {
+            let store = self.store.read();
+            let request = store.get(EntityKind::Customer, name).map(|s| s.ad.clone());
+            let offers = store
+                .snapshot(EntityKind::Provider, now)
+                .into_iter()
+                .filter(|o| !condor_obs::is_daemon_ad(&o.ad))
+                .map(|o| o.ad)
+                .collect();
+            (request, offers)
+        };
+
+        let mut out = ClassAd::new();
+        out.set_str("MyType", "MatchAnalysis");
+        out.set_str("Name", name);
+        out.set_bool("Found", request.is_some());
+        out.set_int("PoolSize", offers.len() as i64);
+        if retained.cycle > 0 {
+            out.set_int("Cycle", retained.cycle as i64);
+        }
+        if let Some(cr) = retained
+            .rejections
+            .iter()
+            .find(|c| c.requests.iter().any(|n| n == name))
+        {
+            out.set_int("LastCycleCluster", cr.cluster as i64);
+            out.set_str("LastCycleRejections", &cr.encode());
+        }
+        let Some(request) = request else {
+            return out;
+        };
+
+        let mut table = RejectionTable::default();
+        let mut matches_now = 0i64;
+        for (oi, offer) in offers.iter().enumerate() {
+            match engine.score(&request, offer, oi) {
+                None => {
+                    let trace = traced_symmetric_match(
+                        &request,
+                        offer,
+                        &engine.policy,
+                        &engine.conventions,
+                    );
+                    table.add(trace.reason.unwrap_or(RejectReason::EvalError {
+                        side: RejectSide::Request,
+                    }));
+                }
+                Some(c) => {
+                    let claimed = matches!(
+                        offer.eval_attr("State", &engine.policy),
+                        Value::Str(ref s) if s.as_ref() == "Claimed"
+                    );
+                    if claimed {
+                        let current = offer
+                            .eval_attr("CurrentRank", &engine.policy)
+                            .as_f64()
+                            .unwrap_or(0.0);
+                        if preemption_on && c.offer_rank > current + margin {
+                            matches_now += 1;
+                        } else {
+                            table.add(RejectReason::Busy);
+                        }
+                    } else {
+                        matches_now += 1;
+                    }
+                }
+            }
+        }
+        out.set_int("MatchesNow", matches_now);
+        if let Some(expr) = engine
+            .conventions
+            .constraint_attr_of(&request)
+            .and_then(|a| request.get(a))
+        {
+            out.set_str("RequestConstraint", &expr.to_string());
+        }
+        if !table.is_empty() {
+            out.set_str("RejectBreakdown", &table.encode());
+            if let Some((reason, _)) = table.ranked().first() {
+                out.set_str("TopReason", &reason.label());
+                out.set_str("TopReasonKind", reason.kind());
+                match reason {
+                    RejectReason::RequirementsFalse { side, clause } => {
+                        out.set_str("FailingSide", side.label());
+                        out.set_str("FailingClause", clause);
+                    }
+                    RejectReason::UndefinedAttr { side, attr } => {
+                        out.set_str("FailingSide", side.label());
+                        out.set_str("FailingAttr", attr);
+                    }
+                    RejectReason::EvalError { side } => {
+                        out.set_str("FailingSide", side.label());
+                    }
+                    RejectReason::Busy | RejectReason::LostRank => {}
+                }
+            }
+        }
+        out
     }
 
     /// Serve a one-way query.
@@ -283,6 +447,7 @@ impl Matchmaker {
             cycles: self.stats.cycles.load(Ordering::Relaxed),
             matches: self.stats.matches.load(Ordering::Relaxed),
             queries: self.stats.queries.load(Ordering::Relaxed),
+            analyses: self.stats.analyses.load(Ordering::Relaxed),
         }
     }
 }
@@ -462,6 +627,112 @@ mod tests {
             projection: vec![],
         };
         assert!(svc.handle_frame(bad.encode(), 0).is_err());
+    }
+
+    fn never_matching_job() -> Advertisement {
+        Advertisement {
+            kind: EntityKind::Customer,
+            ad: parse_classad(
+                r#"[ Name = "never"; Type = "Job"; Owner = "u0";
+                     Constraint = other.Type == "Machine" && other.Mips >= 1000;
+                     Rank = 0 ]"#,
+            )
+            .unwrap(),
+            contact: "ca:1".into(),
+            ticket: None,
+            expires_at: 1_000_000,
+        }
+    }
+
+    #[test]
+    fn analyze_names_the_failing_clause() {
+        let svc = Matchmaker::new(NegotiatorConfig {
+            attribution: true,
+            ..Default::default()
+        });
+        for i in 0..3 {
+            svc.advertise(machine_adv(i), 0).unwrap();
+        }
+        svc.advertise(never_matching_job(), 0).unwrap();
+        let out = svc.negotiate(0);
+        assert_eq!(out.stats.matches, 0);
+        assert_eq!(out.rejections.len(), 1);
+
+        let reply = svc
+            .handle_frame(
+                Message::Analyze {
+                    name: "never".into(),
+                }
+                .encode(),
+                0,
+            )
+            .unwrap()
+            .expect("analyze gets a reply");
+        let Message::AnalyzeReply { ad } = Message::decode(reply).unwrap() else {
+            panic!("expected AnalyzeReply")
+        };
+        assert_eq!(ad.get_string("MyType"), Some("MatchAnalysis"));
+        assert_eq!(ad.get_string("Name"), Some("never"));
+        assert_eq!(ad.get("Found").unwrap().to_string(), "true");
+        assert_eq!(ad.get_int("PoolSize"), Some(3));
+        assert_eq!(ad.get_int("MatchesNow"), Some(0));
+        assert_eq!(ad.get_int("Cycle"), Some(1));
+        assert_eq!(ad.get_string("TopReasonKind"), Some("RequirementsFalse"));
+        assert_eq!(ad.get_string("FailingSide"), Some("request"));
+        assert_eq!(ad.get_string("FailingClause"), Some("other.Mips >= 1000"));
+        let breakdown = ad.get_string("RejectBreakdown").unwrap();
+        assert!(
+            breakdown.contains("ReqFalse(request): other.Mips >= 1000=3"),
+            "{breakdown}"
+        );
+        // The retained cycle verdict matches what the cycle itself said.
+        assert_eq!(
+            ad.get_string("LastCycleRejections"),
+            Some(out.rejections[0].encode().as_str())
+        );
+        assert_eq!(
+            ad.get_int("LastCycleCluster"),
+            Some(out.rejections[0].cluster as i64)
+        );
+        assert_eq!(svc.stats().analyses, 1);
+    }
+
+    #[test]
+    fn analyze_unknown_request_reports_not_found() {
+        let svc = Matchmaker::new(NegotiatorConfig::default());
+        svc.advertise(machine_adv(0), 0).unwrap();
+        let ad = svc.analyze("no-such-job", 0);
+        assert_eq!(ad.get("Found").unwrap().to_string(), "false");
+        assert_eq!(ad.get_int("PoolSize"), Some(1));
+        assert!(ad.get_string("RejectBreakdown").is_none());
+    }
+
+    #[test]
+    fn analyze_counts_busy_offers() {
+        let svc = Matchmaker::new(NegotiatorConfig::default());
+        svc.advertise(
+            Advertisement {
+                kind: EntityKind::Provider,
+                ad: parse_classad(
+                    r#"[ Name = "busy"; Type = "Machine"; Mips = 2000;
+                         State = "Claimed"; RemoteOwner = "other";
+                         CurrentRank = 99;
+                         Constraint = other.Type == "Job"; Rank = 0 ]"#,
+                )
+                .unwrap(),
+                contact: "busy:1".into(),
+                ticket: None,
+                expires_at: 1_000_000,
+            },
+            0,
+        )
+        .unwrap();
+        svc.advertise(never_matching_job(), 0).unwrap();
+        // No cycle has run: the live scan alone classifies the pairing.
+        let ad = svc.analyze("never", 0);
+        assert_eq!(ad.get_string("TopReasonKind"), Some("Busy"));
+        assert_eq!(ad.get_int("MatchesNow"), Some(0));
+        assert!(ad.get_int("Cycle").is_none(), "no cycle retained yet");
     }
 
     #[test]

@@ -18,10 +18,18 @@
 //! of bilateral matching.
 
 use classad::ast::{BinOp, Expr, Scope};
-use classad::{constraint_holds, ClassAd, EvalPolicy, Evaluator, MatchConventions, Side, Value};
-use std::collections::BTreeSet;
+use classad::{
+    traced_symmetric_match, ClassAd, EvalPolicy, Evaluator, MatchConventions, RejectReason,
+    RejectSide, Side, Value,
+};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::Arc;
+
+/// Split an expression into its top-level `&&` conjuncts. Re-exported from
+/// [`classad::analyze`]: diagnosis and the tracing evaluator share one
+/// notion of "conjunct" so their clause attributions agree.
+pub use classad::conjuncts_of;
 
 /// One top-level conjunct of a constraint, with its elimination stats.
 #[derive(Debug, Clone)]
@@ -62,6 +70,13 @@ pub struct Diagnosis {
     /// Offers that satisfied the request's constraint but whose own
     /// constraint rejected the request (the provider's veto).
     pub rejected_by_offer: usize,
+    /// Per-offer rejection reasons from the shared tracing evaluator
+    /// ([`classad::traced_symmetric_match`]), ranked by frequency
+    /// (descending, ties broken by reason order). Uses the same
+    /// [`RejectReason`] taxonomy the negotiator's rejection tables and the
+    /// `Analyze` wire query report, so a gangmatch diagnosis and a live
+    /// `Analyze` reply name failures identically.
+    pub reasons: Vec<(RejectReason, usize)>,
     /// Human-readable suggestions for never-satisfiable conjuncts.
     pub suggestions: Vec<String>,
 }
@@ -89,27 +104,14 @@ impl fmt::Display for Diagnosis {
                 c.text
             )?;
         }
+        for (reason, n) in &self.reasons {
+            writeln!(f, "  reason: {} x{n}", reason.label())?;
+        }
         for s in &self.suggestions {
             writeln!(f, "  hint: {s}")?;
         }
         Ok(())
     }
-}
-
-/// Split an expression into its top-level `&&` conjuncts.
-pub fn conjuncts_of(e: &Expr) -> Vec<&Expr> {
-    let mut out = Vec::new();
-    fn walk<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
-        match e {
-            Expr::Binary(BinOp::And, l, r) => {
-                walk(l, out);
-                walk(r, out);
-            }
-            other => out.push(other),
-        }
-    }
-    walk(e, &mut out);
-    out
 }
 
 /// Diagnose why `request` does (not) match the pool.
@@ -138,6 +140,7 @@ pub fn diagnose(
 
     let mut matches = 0;
     let mut rejected_by_offer = 0;
+    let mut reason_counts: BTreeMap<RejectReason, usize> = BTreeMap::new();
     for offer in offers {
         // Conjunct-level accounting.
         for (i, ce) in conj_exprs.iter().enumerate() {
@@ -149,16 +152,24 @@ pub fn diagnose(
                 _ => conjuncts[i].error_count += 1,
             }
         }
-        // Whole-match accounting.
-        let req_ok = constraint_holds(request, offer, policy, conv);
-        if req_ok {
-            if constraint_holds(offer, request, policy, conv) {
-                matches += 1;
-            } else {
+        // Whole-match accounting via the shared tracing evaluator: the
+        // verdict equals `symmetric_match`, and a rejection carries the
+        // same RejectReason the negotiator's tables would record.
+        let trace = traced_symmetric_match(request, offer, policy, conv);
+        if trace.verdict {
+            matches += 1;
+        } else {
+            let reason = trace.reason.unwrap_or(RejectReason::EvalError {
+                side: RejectSide::Request,
+            });
+            if reason_side(&reason) == Some(RejectSide::Offer) {
                 rejected_by_offer += 1;
             }
+            *reason_counts.entry(reason).or_insert(0) += 1;
         }
     }
+    let mut reasons: Vec<(RejectReason, usize)> = reason_counts.into_iter().collect();
+    reasons.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
 
     let mut suggestions = Vec::new();
     for (i, rep) in conjuncts.iter().enumerate() {
@@ -176,7 +187,19 @@ pub fn diagnose(
         matches,
         conjuncts,
         rejected_by_offer,
+        reasons,
         suggestions,
+    }
+}
+
+/// Which side a constraint-level reason blames (`None` for the
+/// scheduler-level `Busy`/`LostRank`, which diagnosis never produces).
+fn reason_side(reason: &RejectReason) -> Option<RejectSide> {
+    match reason {
+        RejectReason::RequirementsFalse { side, .. }
+        | RejectReason::UndefinedAttr { side, .. }
+        | RejectReason::EvalError { side } => Some(*side),
+        RejectReason::Busy | RejectReason::LostRank => None,
     }
 }
 
@@ -440,6 +463,38 @@ mod tests {
         assert_eq!(p.strings.len(), 2);
         let p = profile_attr(&pool(), "NoSuch", &EvalPolicy::default());
         assert_eq!(p.defined, 0);
+    }
+
+    #[test]
+    fn reasons_use_the_shared_taxonomy() {
+        let d = run(r#"other.Type == "Machine" && other.Memory >= 1024"#);
+        assert!(d.unsatisfiable());
+        // Every offer fails the memory clause: one ranked reason, counted 8
+        // times, labelled exactly as the negotiator's tables would label it.
+        assert_eq!(d.reasons.len(), 1);
+        let (reason, n) = &d.reasons[0];
+        assert_eq!(*n, 8);
+        assert_eq!(reason.label(), "ReqFalse(request): other.Memory >= 1024");
+        assert_eq!(reason.kind(), "RequirementsFalse");
+    }
+
+    #[test]
+    fn offer_veto_reasons_blame_the_offer_side() {
+        let d = diagnose(
+            &req(r#"other.Type == "Machine""#, "banned"),
+            &pool(),
+            &EvalPolicy::default(),
+            &MatchConventions::default(),
+        );
+        assert_eq!(d.rejected_by_offer, 8);
+        assert_eq!(d.reasons.len(), 1);
+        match &d.reasons[0].0 {
+            RejectReason::RequirementsFalse { side, clause } => {
+                assert_eq!(*side, RejectSide::Offer);
+                assert!(clause.contains("banned"), "{clause}");
+            }
+            other => panic!("wrong reason: {other}"),
+        }
     }
 
     #[test]

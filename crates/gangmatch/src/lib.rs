@@ -22,5 +22,5 @@ pub mod service;
 
 pub use aggregate::{group_match_batch, regularity, AggregatedPool, RegularityReport, Template};
 pub use coalloc::{GangError, GangMatch, GangRequest, GangSolver};
-pub use diagnosis::{diagnose, profile_attr, AttrProfile, ConjunctReport, Diagnosis};
+pub use diagnosis::{conjuncts_of, diagnose, profile_attr, AttrProfile, ConjunctReport, Diagnosis};
 pub use service::{negotiate_gangs, GangCycleOutcome, GangGrant, PortGrant};

@@ -112,6 +112,22 @@ pub enum Event {
         /// The agent's `Name`.
         name: String,
     },
+    /// A negotiation cycle left requests unmatched and the attribution
+    /// pass classified why (one event per cycle, covering every cluster
+    /// with unmatched requests).
+    CycleRejections {
+        /// The cycle's ordinal (matches the `Cycle` attribute of an
+        /// `Analyze` reply taken after the same cycle).
+        cycle: u64,
+        /// Clusters left with unmatched requests.
+        clusters: u64,
+        /// Rejected (cluster, offer) pairings classified.
+        rejected: u64,
+        /// Per-cluster rejection tables, rendered as
+        /// `c<id>[names]: reason=count; ...` segments joined by `" | "`
+        /// (see `matchmaker::negotiate::ClusterRejections::encode`).
+        breakdown: String,
+    },
 }
 
 impl Event {
@@ -127,7 +143,27 @@ impl Event {
             Event::LeaseExpired { .. } => "LeaseExpired",
             Event::FrameRejected { .. } => "FrameRejected",
             Event::AgentRestarted { .. } => "AgentRestarted",
+            Event::CycleRejections { .. } => "CycleRejections",
         }
+    }
+
+    /// Whether this reader knows the event kind. A well-formed line whose
+    /// kind is unknown came from a newer writer: replay skips and counts
+    /// it instead of treating it as a torn write.
+    fn known_kind(kind: &str) -> bool {
+        matches!(
+            kind,
+            "AdReceived"
+                | "CycleCompleted"
+                | "MatchMade"
+                | "MatchNotified"
+                | "ClaimEstablished"
+                | "ClaimRejected"
+                | "LeaseExpired"
+                | "FrameRejected"
+                | "AgentRestarted"
+                | "CycleRejections"
+        )
     }
 
     fn fields(&self) -> Vec<(&'static str, FieldValue)> {
@@ -188,6 +224,17 @@ impl Event {
             Event::AgentRestarted { agent, name } => {
                 vec![("agent", Str(agent.clone())), ("name", Str(name.clone()))]
             }
+            Event::CycleRejections {
+                cycle,
+                clusters,
+                rejected,
+                breakdown,
+            } => vec![
+                ("cycle", U64(*cycle)),
+                ("clusters", U64(*clusters)),
+                ("rejected", U64(*rejected)),
+                ("breakdown", Str(breakdown.clone())),
+            ],
         }
     }
 
@@ -233,6 +280,12 @@ impl Event {
             "AgentRestarted" => Event::AgentRestarted {
                 agent: obj.str("agent")?,
                 name: obj.str("name")?,
+            },
+            "CycleRejections" => Event::CycleRejections {
+                cycle: obj.u64("cycle")?,
+                clusters: obj.u64("clusters")?,
+                rejected: obj.u64("rejected")?,
+                breakdown: obj.str("breakdown")?,
             },
             _ => return None,
         })
@@ -299,10 +352,17 @@ impl Record {
     }
 
     /// Decode one line of either schema version; `None` on torn or
-    /// foreign content.
+    /// foreign content *and* on well-formed lines of an unknown event
+    /// kind (use [`decode_line`] to tell the two apart).
     pub fn decode(line: &str) -> Option<Record> {
-        let obj = JsonObject::parse(line)?;
-        let event = Event::from_fields(&obj.str("event")?, &obj)?;
+        match decode_line(line) {
+            DecodedLine::Record(rec) => Some(rec),
+            _ => None,
+        }
+    }
+
+    fn from_object(obj: &JsonObject) -> Option<Record> {
+        let event = Event::from_fields(&obj.str("event")?, obj)?;
         let unix = obj.u64("unix")?;
         let unix_ms = obj.u64("unix_ms").unwrap_or(unix * 1000);
         let span = match (obj.str("trace"), obj.str("span")) {
@@ -320,6 +380,40 @@ impl Record {
             event,
             span,
         })
+    }
+}
+
+/// How one journal line classified during replay.
+#[derive(Debug)]
+enum DecodedLine {
+    /// A well-formed record of a known event kind.
+    Record(Record),
+    /// Well-formed JSON with an `event` tag this reader does not know —
+    /// a newer writer's event. The line's sequence number (when present)
+    /// still advances the journal position so the writer never reuses it.
+    UnknownKind {
+        /// The skipped line's `seq` field, if it had one.
+        seq: Option<u64>,
+    },
+    /// Torn write, foreign content, or a known kind with missing fields.
+    Torn,
+}
+
+fn decode_line(line: &str) -> DecodedLine {
+    let Some(obj) = JsonObject::parse(line) else {
+        return DecodedLine::Torn;
+    };
+    let Some(kind) = obj.str("event") else {
+        return DecodedLine::Torn;
+    };
+    if !Event::known_kind(&kind) {
+        return DecodedLine::UnknownKind {
+            seq: obj.u64("seq"),
+        };
+    }
+    match Record::from_object(&obj) {
+        Some(rec) => DecodedLine::Record(rec),
+        None => DecodedLine::Torn,
     }
 }
 
@@ -375,6 +469,7 @@ struct JournalInner {
     bytes: u64,
     seq: u64,
     io_errors: u64,
+    unknown_kind: u64,
 }
 
 impl Journal {
@@ -387,11 +482,21 @@ impl Journal {
             }
         }
         let mut seq = 0;
+        let mut unknown_kind = 0;
         if let Ok(file) = File::open(&cfg.path) {
             for line in BufReader::new(file).lines() {
                 let Ok(line) = line else { break };
-                if let Some(rec) = Record::decode(&line) {
-                    seq = seq.max(rec.seq);
+                match decode_line(&line) {
+                    DecodedLine::Record(rec) => seq = seq.max(rec.seq),
+                    // A newer writer's event: skip it, but honor its
+                    // sequence number so this writer never reuses it.
+                    DecodedLine::UnknownKind { seq: s } => {
+                        unknown_kind += 1;
+                        if let Some(s) = s {
+                            seq = seq.max(s);
+                        }
+                    }
+                    DecodedLine::Torn => {}
                 }
             }
         }
@@ -407,6 +512,7 @@ impl Journal {
                 bytes,
                 seq,
                 io_errors: 0,
+                unknown_kind,
             }),
         })
     }
@@ -502,17 +608,48 @@ impl Journal {
         self.inner.lock().io_errors
     }
 
+    /// How many well-formed lines of an unknown event kind the current
+    /// file held at open time — evidence a newer writer shares (or
+    /// shared) this journal. Surfaced in daemon self-ads as
+    /// `JournalUnknownKind`.
+    pub fn unknown_kind(&self) -> u64 {
+        self.inner.lock().unknown_kind
+    }
+
     /// The journal's current file path.
     pub fn path(&self) -> &Path {
         &self.cfg.path
     }
 }
 
+/// What [`replay_with_stats`] saw while walking the journal files, beyond
+/// the records it returned.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayStats {
+    /// Records decoded and returned.
+    pub records: u64,
+    /// Well-formed lines of an event kind this reader does not know,
+    /// skipped and counted — a newer writer's events stay replayable by
+    /// older readers without poisoning the rest of the file.
+    pub unknown_kind: u64,
+    /// Lines that failed to decode at all (torn writes, foreign content).
+    pub torn: u64,
+}
+
 /// Read every decodable record for the journal at `path`: rotated
 /// generations first (oldest to newest), then the current file. Lines
 /// that fail to parse (torn writes, foreign content) are skipped —
-/// replay is best-effort reconstruction, not validation.
+/// replay is best-effort reconstruction, not validation. Equivalent to
+/// [`replay_with_stats`] with the stats discarded.
 pub fn replay(path: impl AsRef<Path>) -> std::io::Result<Vec<Record>> {
+    replay_with_stats(path).map(|(records, _)| records)
+}
+
+/// Like [`replay`], also reporting how many lines were skipped and why —
+/// distinguishing a newer writer's unknown event kinds (forward
+/// compatibility, counted in [`ReplayStats::unknown_kind`]) from torn or
+/// foreign content.
+pub fn replay_with_stats(path: impl AsRef<Path>) -> std::io::Result<(Vec<Record>, ReplayStats)> {
     let path = path.as_ref();
     let mut generations: Vec<PathBuf> = Vec::new();
     for n in 1.. {
@@ -528,16 +665,28 @@ pub fn replay(path: impl AsRef<Path>) -> std::io::Result<Vec<Record>> {
     generations.reverse(); // highest generation = oldest records
     generations.push(path.to_path_buf());
     let mut records = Vec::new();
+    let mut stats = ReplayStats::default();
     for p in generations {
         let Ok(file) = File::open(&p) else { continue };
         for line in BufReader::new(file).lines() {
             let line = line?;
-            if let Some(rec) = Record::decode(&line) {
-                records.push(rec);
+            match decode_line(&line) {
+                DecodedLine::Record(rec) => {
+                    stats.records += 1;
+                    records.push(rec);
+                }
+                DecodedLine::UnknownKind { .. } => stats.unknown_kind += 1,
+                DecodedLine::Torn => {
+                    // A trailing empty line is an artifact of
+                    // line-buffered writes, not a torn record.
+                    if !line.trim().is_empty() {
+                        stats.torn += 1;
+                    }
+                }
             }
         }
     }
-    Ok(records)
+    Ok((records, stats))
 }
 
 // ---- minimal flat JSON ----
@@ -806,6 +955,13 @@ mod tests {
                 agent: "CustomerAgent".into(),
                 name: "alice".into(),
             },
+            Event::CycleRejections {
+                cycle: 3,
+                clusters: 2,
+                rejected: 7,
+                breakdown: "c0[j1+j2]: ReqFalse(request): other.Mips >= 1000=4 | c1[j9]: Busy=3"
+                    .into(),
+            },
         ]
     }
 
@@ -933,5 +1089,75 @@ mod tests {
         assert_eq!(recs.len(), 2);
         assert_eq!(recs[1].event, Event::LeaseExpired { expired: 9 });
         let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn unknown_event_kinds_are_skipped_and_counted() {
+        let dir = temp_dir("unknown");
+        let path = dir.join("j.jsonl");
+        let cfg = JournalConfig::new(path.clone());
+        let j = Journal::open(cfg.clone()).unwrap();
+        j.append(Event::LeaseExpired { expired: 1 });
+        drop(j);
+        // A future writer appends events this reader has never heard of,
+        // advancing the sequence past what we know.
+        use std::io::Write as _;
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        writeln!(
+            f,
+            "{{\"v\":2,\"seq\":2,\"unix\":0,\"unix_ms\":0,\"event\":\"QuantumFlux\",\"level\":9}}"
+        )
+        .unwrap();
+        writeln!(
+            f,
+            "{{\"v\":2,\"seq\":3,\"unix\":0,\"unix_ms\":0,\"event\":\"QuantumFlux\",\"level\":10}}"
+        )
+        .unwrap();
+        writeln!(f, "genuinely torn garba").unwrap();
+        drop(f);
+        // Replay keeps the known record and classifies the rest.
+        let (recs, stats) = replay_with_stats(&path).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(
+            stats,
+            ReplayStats {
+                records: 1,
+                unknown_kind: 2,
+                torn: 1,
+            }
+        );
+        // Reopening honors the foreign sequence numbers (no reuse) and
+        // remembers how many lines it could not interpret.
+        let j = Journal::open(cfg).unwrap();
+        assert_eq!(j.unknown_kind(), 2);
+        let rec = j.append(Event::LeaseExpired { expired: 2 });
+        assert_eq!(rec.seq, 4, "seq resumes after the unknown kinds");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn cycle_rejections_round_trip_breakdown_verbatim() {
+        let breakdown =
+            "c0[never]: ReqFalse(request): other.Mips >= 1000=2; Undef(offer): Gpus=1".to_string();
+        let rec = Record {
+            seq: 1,
+            unix: 1_700_000_000,
+            unix_ms: 1_700_000_000_500,
+            event: Event::CycleRejections {
+                cycle: 12,
+                clusters: 1,
+                rejected: 3,
+                breakdown: breakdown.clone(),
+            },
+            span: None,
+        };
+        let back = Record::decode(&rec.encode()).unwrap();
+        let Event::CycleRejections {
+            breakdown: decoded, ..
+        } = back.event
+        else {
+            panic!("wrong kind")
+        };
+        assert_eq!(decoded, breakdown);
     }
 }

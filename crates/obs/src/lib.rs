@@ -47,7 +47,9 @@ pub mod schema;
 pub mod selfad;
 pub mod trace;
 
-pub use journal::{replay, Appended, Event, Journal, JournalConfig, Record};
+pub use journal::{
+    replay, replay_with_stats, Appended, Event, Journal, JournalConfig, Record, ReplayStats,
+};
 pub use registry::{
     Counter, Gauge, HistogramSnapshot, MetricsSnapshot, Registry, WindowedHistogram,
 };

@@ -51,6 +51,24 @@ pub const LAST_CYCLE_UNMATCHED: &str = "last_cycle_unmatched";
 /// Recent cycle wall-clock duration, milliseconds (windowed histogram).
 pub const CYCLE_DURATION_MS: &str = "cycle_duration_ms";
 
+// ---- match-failure attribution (matchmaker; populated only when the
+// negotiator runs with attribution on) ----
+
+/// Rejected (cluster, offer) pairings classified, over all cycles.
+pub const REJECTED_PAIRINGS: &str = "rejected_pairings_total";
+/// Rejections where a constraint evaluated to a definite `false`.
+pub const REJECT_REQ_FALSE: &str = "reject_requirements_false_total";
+/// Rejections where a constraint evaluated to `undefined`.
+pub const REJECT_UNDEFINED: &str = "reject_undefined_attr_total";
+/// Rejections where a constraint evaluated to `error`/non-boolean.
+pub const REJECT_ERROR: &str = "reject_eval_error_total";
+/// Rejections because the offer was claimed and not preemptible.
+pub const REJECT_BUSY: &str = "reject_busy_total";
+/// Rejections because the offer went to a competing request.
+pub const REJECT_LOST_RANK: &str = "reject_lost_rank_total";
+/// Last cycle: rejected pairings classified.
+pub const LAST_CYCLE_REJECTED: &str = "last_cycle_rejected";
+
 // ---- match-lifecycle phase timings (windowed histograms) ----
 //
 // Each daemon times the phases it can observe with its own monotonic
@@ -97,6 +115,9 @@ pub const BYTES_IN: &str = "bytes_in";
 pub const BYTES_OUT: &str = "bytes_out";
 /// Journal events dropped because an append failed at the I/O layer.
 pub const JOURNAL_DROPPED: &str = "journal_dropped";
+/// Journal lines from a future (unknown) event kind, skipped-and-counted
+/// during seq resume so newer writers stay replayable by older readers.
+pub const JOURNAL_UNKNOWN_KIND: &str = "journal_unknown_kind";
 
 // ---- agents (live pool + simulator) ----
 

@@ -69,7 +69,15 @@ impl Default for DaemonConfig {
             max_connections: 64,
             io: IoConfig::default(),
             cycle_interval: Duration::from_secs(2),
-            negotiator: NegotiatorConfig::default(),
+            // Live pools attribute match failures out of the box: the
+            // daemon serves `Analyze` queries, journals `CycleRejections`,
+            // and advertises top reject reasons. (The library-level
+            // `NegotiatorConfig::default()` keeps attribution off so
+            // embedded/benchmark negotiators pay nothing.)
+            negotiator: NegotiatorConfig {
+                attribution: true,
+                ..NegotiatorConfig::default()
+            },
             max_frame_len: 4 * 1024 * 1024,
             require_socket_contact: true,
             name: "matchmaker".into(),
@@ -152,6 +160,10 @@ struct Shared {
     /// consumed at match time to feed the queue-wait phase histogram,
     /// age-pruned every cycle for requests that never match.
     queue_started: Mutex<HashMap<u64, Instant>>,
+    /// The latest cycle's rejection summary (capped; see
+    /// [`rejections_line`]), advertised as `RejectionTopReasons` in the
+    /// self-ad. Empty when the last cycle left nothing unmatched.
+    last_rejections_line: Mutex<String>,
 }
 
 /// A live matchmaker listening on TCP.
@@ -192,6 +204,7 @@ impl MatchmakerDaemon {
             active: AtomicUsize::new(0),
             conns: Mutex::new(Vec::new()),
             queue_started: Mutex::new(HashMap::new()),
+            last_rejections_line: Mutex::new(String::new()),
         });
         shared.observer.emit(Event::AgentRestarted {
             agent: "MatchmakerDaemon".into(),
@@ -282,9 +295,15 @@ impl Shared {
     /// outlives three cycle intervals (floor five minutes) so the ad
     /// survives quiet stretches; every refresh renews it.
     fn publish_self_ad(&self) {
-        let ad = self
+        let mut ad = self
             .observer
             .build_self_ad(&self_ad_name(&self.cfg.name), schema::MATCHMAKER_STATS);
+        {
+            let line = self.last_rejections_line.lock();
+            if !line.is_empty() {
+                ad.set_str("RejectionTopReasons", &line);
+            }
+        }
         let lease = (3 * self.cfg.cycle_interval.as_secs()).max(300);
         let adv = Advertisement {
             kind: EntityKind::Provider,
@@ -485,6 +504,25 @@ fn reject_frame(
     }
 }
 
+/// The self-ad's `RejectionTopReasons` value: the first few clusters'
+/// rejection tables, capped so a pathological pool cannot bloat the ad.
+fn rejections_line(outcome: &matchmaker::negotiate::CycleOutcome) -> String {
+    const MAX_SEGMENTS: usize = 3;
+    let mut parts: Vec<String> = outcome
+        .rejections
+        .iter()
+        .take(MAX_SEGMENTS)
+        .map(|c| c.encode())
+        .collect();
+    if outcome.rejections.len() > MAX_SEGMENTS {
+        parts.push(format!(
+            "+{} more clusters",
+            outcome.rejections.len() - MAX_SEGMENTS
+        ));
+    }
+    parts.join(" | ")
+}
+
 fn ticker_loop(shared: &Arc<Shared>) {
     loop {
         if wire::interruptible_sleep(&shared.shutdown, shared.cfg.cycle_interval) {
@@ -509,6 +547,23 @@ fn ticker_loop(shared: &Arc<Shared>) {
             unmatched: outcome.stats.unmatched_requests as u64,
             duration_ms: duration_ms as u64,
         });
+        // Attribution: journal the full per-cluster breakdown and keep a
+        // capped summary for the self-ad. A cycle with nothing unmatched
+        // clears the summary — the pool's story is "all served".
+        if !outcome.rejections.is_empty() {
+            shared.observer.emit(Event::CycleRejections {
+                cycle: outcome.cycle,
+                clusters: outcome.rejections.len() as u64,
+                rejected: outcome.stats.rejected_pairings as u64,
+                breakdown: outcome
+                    .rejections
+                    .iter()
+                    .map(|c| c.encode())
+                    .collect::<Vec<_>>()
+                    .join(" | "),
+            });
+        }
+        *shared.last_rejections_line.lock() = rejections_line(&outcome);
         for m in &outcome.matches {
             // Span B: the match decision itself, a child of the request's
             // AdReceived span. Queue wait is measured here — ad accepted
@@ -674,6 +729,57 @@ mod tests {
         // Refreshed just before the query: our own connection is visible.
         assert_eq!(ad.get_int("ConnectionsAccepted"), Some(1), "{ad}");
         assert_eq!(ad.get_int("ActiveConnections"), Some(1), "{ad}");
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn analyze_over_tcp_names_the_failing_clause() {
+        let mut daemon = quiet_daemon();
+        let addr = daemon.addr().to_string();
+        let io = IoConfig::default();
+        wire::send_oneway(
+            &addr,
+            &Message::Advertise(machine_adv("m0", "127.0.0.1:9")),
+            &io,
+        )
+        .unwrap();
+        let job = Advertisement {
+            kind: EntityKind::Customer,
+            ad: classad::parse_classad(
+                r#"[ Name = "picky"; Type = "Job"; Owner = "alice";
+                     Constraint = other.Type == "Machine" && other.Mips >= 10000;
+                     Rank = 0 ]"#,
+            )
+            .unwrap(),
+            contact: "127.0.0.1:9".into(),
+            ticket: None,
+            expires_at: wire::unix_now() + 300,
+        };
+        wire::send_oneway(&addr, &Message::Advertise(job), &io).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while daemon.service().ad_count() < 3 {
+            assert!(Instant::now() < deadline, "ads never arrived");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let reply = wire::request_reply(
+            &addr,
+            &Message::Analyze {
+                name: "picky".into(),
+            },
+            &io,
+        )
+        .unwrap();
+        let Message::AnalyzeReply { ad } = reply else {
+            panic!("{reply:?}")
+        };
+        assert_eq!(ad.get_string("MyType"), Some("MatchAnalysis"), "{ad}");
+        assert_eq!(ad.get("Found").unwrap().to_string(), "true", "{ad}");
+        assert_eq!(ad.get_int("MatchesNow"), Some(0), "{ad}");
+        assert_eq!(
+            ad.get_string("FailingClause"),
+            Some("other.Mips >= 10000"),
+            "{ad}"
+        );
         daemon.shutdown();
     }
 

@@ -70,6 +70,7 @@ impl Observer {
         if let Some(j) = &self.journal {
             ad.set_int("JournalPosition", j.position() as i64);
             ad.set_int("JournalIoErrors", j.io_errors() as i64);
+            ad.set_int("JournalUnknownKind", j.unknown_kind() as i64);
         }
         ad
     }

@@ -553,6 +553,8 @@ fn message_kind(msg: &Message) -> &'static str {
         Message::Query { .. } => "Query",
         Message::QueryReply { .. } => "QueryReply",
         Message::Error { .. } => "Error",
+        Message::Analyze { .. } => "Analyze",
+        Message::AnalyzeReply { .. } => "AnalyzeReply",
     }
 }
 

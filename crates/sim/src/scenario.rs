@@ -185,6 +185,7 @@ impl Scenario {
                 preemption_rank_margin: 0.0,
                 charge_per_match: self.negotiator.charge_per_match,
                 autocluster: self.negotiator.autocluster,
+                attribution: false,
             },
             self.negotiation_period_ms,
         );

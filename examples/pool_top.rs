@@ -104,6 +104,11 @@ fn render_matchmaker(ads: &[ClassAd]) {
         );
     }
     println!();
+    // Attribution summary: why the last cycle's unmatched requests went
+    // unmatched, straight from the negotiator's rejection tables.
+    if let Some(reasons) = ad.get_string("RejectionTopReasons") {
+        println!("  rejections (top reasons): {reasons}");
+    }
     println!(
         "  wire: {} frames in / {} out   {} in / {} out",
         int(ad, "FramesIn"),

@@ -24,6 +24,13 @@
 //! `tail -f` for the pool's causal history. `--from-start` replays the
 //! whole file first; `--for <secs>` exits after a fixed watch window
 //! (handy in scripts and CI).
+//!
+//! `--analyze <job>` asks "why doesn't my job run?" — the paper §5
+//! diagnosis question. Against a live daemon it sends the `Analyze` wire
+//! message and renders the `MatchAnalysis` reply; locally it runs the same
+//! analysis against the demo pool through an attribution-enabled
+//! matchmaker. Either way the answer names the failing constraint clause
+//! and breaks the pool down by rejection reason.
 
 use classad::{ClassAd, EvalPolicy, MatchConventions, Value};
 use condor_obs::trace::format_id;
@@ -36,7 +43,10 @@ use std::time::{Duration, Instant};
 
 const COLUMNS: [&str; 7] = ["Name", "Arch", "OpSys", "Mips", "Memory", "State", "Owner"];
 
-fn advertise_pool(store: &mut AdStore, proto: &AdvertisingProtocol) {
+/// The demo pool: five machines, two runnable jobs, and one job whose
+/// constraint nothing can satisfy (fodder for `--analyze`).
+fn demo_ads() -> Vec<Advertisement> {
+    let mut ads = Vec::new();
     let machines = [
         ("leonardo", "INTEL", "SOLARIS251", 104, 64, "Unclaimed"),
         ("raphael", "INTEL", "SOLARIS251", 120, 128, "Claimed"),
@@ -51,39 +61,44 @@ fn advertise_pool(store: &mut AdStore, proto: &AdvertisingProtocol) {
                  Constraint = other.Type == "Job"; Rank = 0 ]"#
         ))
         .unwrap();
-        store
-            .advertise(
-                Advertisement {
-                    kind: EntityKind::Provider,
-                    ad,
-                    contact: format!("{name}:9614"),
-                    ticket: None,
-                    expires_at: 1000,
-                },
-                0,
-                proto,
-            )
-            .unwrap();
+        ads.push(Advertisement {
+            kind: EntityKind::Provider,
+            ad,
+            contact: format!("{name}:9614"),
+            ticket: None,
+            expires_at: 1000,
+        });
     }
-    for (name, owner, mem) in [("raman.0", "raman", 31), ("miron.0", "miron", 64)] {
+    let jobs = [
+        ("raman.0", "raman", 31, r#"other.Type == "Machine""#),
+        ("miron.0", "miron", 64, r#"other.Type == "Machine""#),
+        (
+            "picky.0",
+            "picky",
+            64,
+            r#"other.Type == "Machine" && other.Mips >= 10000"#,
+        ),
+    ];
+    for (name, owner, mem, constraint) in jobs {
         let ad = classad::parse_classad(&format!(
             r#"[ Name = "{name}"; Type = "Job"; Owner = "{owner}"; Memory = {mem};
-                 Constraint = other.Type == "Machine"; Rank = 0 ]"#
+                 Constraint = {constraint}; Rank = 0 ]"#
         ))
         .unwrap();
-        store
-            .advertise(
-                Advertisement {
-                    kind: EntityKind::Customer,
-                    ad,
-                    contact: format!("{owner}-ca:1"),
-                    ticket: None,
-                    expires_at: 1000,
-                },
-                0,
-                proto,
-            )
-            .unwrap();
+        ads.push(Advertisement {
+            kind: EntityKind::Customer,
+            ad,
+            contact: format!("{owner}-ca:1"),
+            ticket: None,
+            expires_at: 1000,
+        });
+    }
+    ads
+}
+
+fn advertise_pool(store: &mut AdStore, proto: &AdvertisingProtocol) {
+    for adv in demo_ads() {
+        store.advertise(adv, 0, proto).unwrap();
     }
 }
 
@@ -206,6 +221,82 @@ fn query_remote(addr: &str, constraint: &str, kind: Option<EntityKind>) -> Vec<C
     }
 }
 
+/// Pretty-print a `MatchAnalysis` classad the way `condor_q -analyze`
+/// would: verdict first, then the blamed clause, then the full breakdown.
+fn print_analysis(name: &str, ad: &ClassAd) {
+    println!("$ condor_q -analyze {name}");
+    let found = ad.get("Found").map(|e| e.to_string());
+    if found.as_deref() != Some("true") {
+        println!("  no request named {name:?} is advertised\n");
+        return;
+    }
+    let matches_now = ad.get_int("MatchesNow").unwrap_or(0);
+    let pool = ad.get_int("PoolSize").unwrap_or(0);
+    println!("  {matches_now} of {pool} offer(s) match this request right now");
+    if let Some(c) = ad.get_string("RequestConstraint") {
+        println!("  constraint: {c}");
+    }
+    if let Some(r) = ad.get_string("TopReason") {
+        println!("  top reason: {r}");
+    }
+    match (ad.get_string("FailingClause"), ad.get_string("FailingAttr")) {
+        (Some(clause), _) => {
+            let side = ad.get_string("FailingSide").unwrap_or("?");
+            println!("  failing clause ({side} side): {clause}");
+        }
+        (None, Some(attr)) => {
+            let side = ad.get_string("FailingSide").unwrap_or("?");
+            println!("  undefined attribute ({side} side): {attr}");
+        }
+        _ => {}
+    }
+    if let Some(b) = ad.get_string("RejectBreakdown") {
+        println!("  breakdown: {b}");
+    }
+    if let Some(cycle) = ad.get_int("Cycle") {
+        println!("  last negotiation cycle: {cycle}");
+        if let Some(r) = ad.get_string("LastCycleRejections") {
+            println!("  last cycle said: {r}");
+        }
+    }
+    println!();
+}
+
+/// `--analyze` against a live daemon: one `Analyze` frame, one
+/// `AnalyzeReply`. A pre-analysis daemon replies with a structured error
+/// (`unknown tag 9`), which surfaces here as a remote failure.
+fn analyze_remote(addr: &str, name: &str) -> ClassAd {
+    let msg = Message::Analyze {
+        name: name.to_string(),
+    };
+    match wire::request_reply(addr, &msg, &IoConfig::default()) {
+        Ok(Message::AnalyzeReply { ad }) => ad,
+        Ok(other) => {
+            eprintln!("unexpected reply from {addr}: {other:?}");
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("analyze at {addr} failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `--analyze` without a daemon: stand up an attribution-enabled
+/// matchmaker over the demo pool, run one negotiation cycle so the
+/// per-cycle rejection tables fill, then ask it the same question.
+fn analyze_local(name: &str) -> ClassAd {
+    let mm = Matchmaker::new(NegotiatorConfig {
+        attribution: true,
+        ..NegotiatorConfig::default()
+    });
+    for adv in demo_ads() {
+        mm.advertise(adv, 0).unwrap();
+    }
+    mm.negotiate(0);
+    mm.analyze(name, 0)
+}
+
 /// Pretty-print one journal record: sequence, timestamp, trace ids when
 /// present, then the event. One line per record, grep-friendly.
 fn print_record(r: &Record) {
@@ -292,12 +383,25 @@ fn main() {
         args.get(i + 1).cloned().unwrap_or_else(|| {
             eprintln!(
                 "usage: status_query [--connect host:port] [--stats] \
+                 [--analyze request-name] \
                  [--tail journal.jsonl [--from-start] [--for secs]]"
             );
             std::process::exit(2);
         })
     });
     let stats = args.iter().any(|a| a == "--stats");
+    if let Some(i) = args.iter().position(|a| a == "--analyze") {
+        let Some(name) = args.get(i + 1) else {
+            eprintln!("--analyze takes a request name");
+            std::process::exit(2);
+        };
+        let ad = match &connect {
+            Some(addr) => analyze_remote(addr, name),
+            None => analyze_local(name),
+        };
+        print_analysis(name, &ad);
+        return;
+    }
     if let Some(i) = args.iter().position(|a| a == "--tail") {
         let Some(path) = args.get(i + 1) else {
             eprintln!("--tail takes a journal path");

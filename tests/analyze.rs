@@ -1,0 +1,189 @@
+//! Acceptance test for live match-failure attribution: a job whose
+//! `Constraint` can never match is submitted to a live pool, `Analyze`
+//! goes over the wire, and the reply must
+//!
+//! 1. name the failing clause and the side it belongs to;
+//! 2. carry per-autocluster rejection counts that agree with what the
+//!    matchmaker's journal preserved in `CycleRejections` events;
+//! 3. degrade cleanly against a pre-`Analyze` peer, which answers the
+//!    unknown tag with a structured error instead of hanging or crashing
+//!    the connection.
+
+use classad::{parse_classad, ClassAd};
+use condor_obs::{replay_with_stats, Event, JournalConfig};
+use condor_pool::wire::{self, IoConfig, WireError};
+use condor_pool::PoolBuilder;
+use matchmaker::framing::encode_framed;
+use matchmaker::protocol::Message;
+use std::io::{Read, Write};
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+const WAIT: Duration = Duration::from_secs(30);
+
+fn machine_ad(mips: i64) -> ClassAd {
+    parse_classad(&format!(
+        r#"[ Type = "Machine"; Mips = {mips}; State = "Unclaimed";
+             Constraint = other.Type == "Job"; Rank = 0 ]"#
+    ))
+    .unwrap()
+}
+
+/// A job no machine in this pool can ever satisfy.
+fn impossible_job() -> ClassAd {
+    parse_classad(
+        r#"[ Type = "Job"; Constraint = other.Type == "Machine" && other.Mips >= 100000;
+             Rank = 0 ]"#,
+    )
+    .unwrap()
+}
+
+fn journal_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("target")
+        .join("analyze-acceptance");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn analyze(addr: &str, name: &str) -> ClassAd {
+    let reply = wire::request_reply(
+        addr,
+        &Message::Analyze {
+            name: name.to_string(),
+        },
+        &IoConfig::default(),
+    )
+    .unwrap();
+    match reply {
+        Message::AnalyzeReply { ad } => ad,
+        other => panic!("unexpected reply: {other:?}"),
+    }
+}
+
+#[test]
+fn analyze_names_the_clause_and_agrees_with_the_journal() {
+    let mm_journal = journal_dir().join("matchmaker.jsonl");
+    let mut builder = PoolBuilder::new()
+        .machine("ana-m0", machine_ad(80))
+        .machine("ana-m1", machine_ad(120))
+        .user("ana", vec![("ana-0".into(), impossible_job())]);
+    builder.daemon.journal = Some(JournalConfig::new(&mm_journal));
+    let pool = builder.spawn().unwrap();
+    let addr = pool.daemon().addr().to_string();
+
+    // Poll until the job is advertised AND at least one negotiation cycle
+    // has attributed its rejection (the reply then carries last-cycle
+    // context next to the live scan).
+    let deadline = Instant::now() + WAIT;
+    let ad = loop {
+        let ad = analyze(&addr, "ana-0");
+        let found = ad.get("Found").map(|e| e.to_string());
+        if found.as_deref() == Some("true") && ad.contains("LastCycleRejections") {
+            break ad;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "Analyze never saw an attributed cycle; last reply: {ad}"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    };
+
+    // The live scan names the failing clause, attributed to the request
+    // side, and counts every offer.
+    assert_eq!(ad.get_string("MyType"), Some("MatchAnalysis"));
+    assert_eq!(ad.get_int("MatchesNow"), Some(0));
+    assert_eq!(ad.get_int("PoolSize"), Some(2));
+    assert_eq!(ad.get_string("TopReasonKind"), Some("RequirementsFalse"));
+    assert_eq!(ad.get_string("FailingSide"), Some("request"));
+    assert_eq!(ad.get_string("FailingClause"), Some("other.Mips >= 100000"));
+    let breakdown = ad.get_string("RejectBreakdown").unwrap();
+    assert!(
+        breakdown.contains("ReqFalse(request): other.Mips >= 100000=2"),
+        "live breakdown missing per-offer counts: {breakdown}"
+    );
+
+    // Last-cycle context: the negotiator's own rejection table for this
+    // job's autocluster, stamped with the cycle ordinal.
+    let cycle = ad.get_int("Cycle").expect("attributed cycle ordinal") as u64;
+    let segment = ad.get_string("LastCycleRejections").unwrap().to_string();
+    assert!(
+        segment.contains("ana-0") && segment.contains("other.Mips >= 100000=2"),
+        "cycle segment should name the request and count both offers: {segment}"
+    );
+
+    pool.shutdown();
+
+    // Journal agreement: replaying the matchmaker's journal must yield a
+    // CycleRejections event for the same cycle whose breakdown contains
+    // the reply's segment verbatim.
+    let (records, stats) = replay_with_stats(&mm_journal).unwrap();
+    assert_eq!(
+        stats.unknown_kind, 0,
+        "no foreign events in our own journal"
+    );
+    let journaled = records
+        .iter()
+        .find_map(|r| match &r.event {
+            Event::CycleRejections {
+                cycle: c,
+                breakdown,
+                rejected,
+                ..
+            } if *c == cycle => Some((breakdown.clone(), *rejected)),
+            _ => None,
+        })
+        .unwrap_or_else(|| panic!("no CycleRejections for cycle {cycle} in {records:?}"));
+    assert!(
+        journaled.0.contains(&segment),
+        "journal breakdown {:?} does not contain the Analyze reply's segment {:?}",
+        journaled.0,
+        segment
+    );
+    assert_eq!(journaled.1, 2, "both offers were rejected that cycle");
+}
+
+#[test]
+fn analyze_against_a_pre_analyze_peer_fails_cleanly() {
+    // A daemon that predates tag 9 cannot decode the Analyze frame; its
+    // decoder raises BadFrame("unknown tag 9") and the serving loop
+    // answers with a structured Message::Error. Simulate that peer
+    // byte-for-byte: read one frame, reply the way an old daemon does.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let server = std::thread::spawn(move || {
+        let (mut sock, _) = listener.accept().unwrap();
+        // Read one length-prefixed frame by hand — this build's
+        // FrameDecoder understands tag 9, the peer under simulation
+        // doesn't.
+        let mut len_buf = [0u8; 4];
+        sock.read_exact(&mut len_buf).unwrap();
+        let len = u32::from_be_bytes(len_buf) as usize;
+        let mut body = vec![0u8; len];
+        sock.read_exact(&mut body).unwrap();
+        // An old peer's Message::decode stops at tag 8 and raises
+        // BadFrame("unknown tag 9"); its serving loop turns that into a
+        // structured error reply.
+        assert_eq!(body[0], 9, "Analyze should arrive as tag 9");
+        let reply = Message::Error {
+            detail: "malformed frame: unknown tag 9".into(),
+        };
+        sock.write_all(&encode_framed(&reply)).unwrap();
+    });
+
+    let err = wire::request_reply(
+        &addr,
+        &Message::Analyze { name: "x".into() },
+        &IoConfig::default(),
+    )
+    .expect_err("an old peer must reject the Analyze tag");
+    match err {
+        WireError::Remote(detail) => {
+            assert!(detail.contains("unknown tag 9"), "{detail}");
+        }
+        other => panic!("expected a structured remote error, got {other:?}"),
+    }
+    server.join().unwrap();
+}
