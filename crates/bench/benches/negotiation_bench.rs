@@ -1,11 +1,12 @@
-//! E3 — matchmaker scalability: negotiation-cycle cost vs pool size, and
-//! the serial-vs-parallel match-scan ablation.
+//! E3 — matchmaker scalability: negotiation-cycle cost vs pool size, the
+//! sharded parallel-scan ablation, and the incremental small-delta series.
 //!
 //! The paper argues the stateless matchmaker "makes the system more
-//! scalable"; the measurable claim is that a cycle is a linear scan per
-//! request, embarrassingly parallel over offers. The series here shows
-//! cycle time growing linearly in the number of machines and the parallel
-//! scan's speedup on large pools.
+//! scalable"; the measurable claims here are (a) a cycle is a linear scan
+//! per request, embarrassingly parallel over shared-nothing ad shards,
+//! and (b) when only a small fraction of the pool changed between cycles,
+//! an incremental cycle re-scans only the dirty shards, so its latency
+//! tracks the delta, not the pool.
 
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use matchmaker::negotiate::NegotiatorConfig;
@@ -54,9 +55,12 @@ fn job_adv(i: usize) -> Advertisement {
     }
 }
 
-fn build_store(machines: usize, jobs: usize) -> AdStore {
+fn build_store_with(machines: usize, jobs: usize, shards: Option<usize>) -> AdStore {
     let proto = AdvertisingProtocol::default();
-    let mut store = AdStore::new();
+    let mut store = match shards {
+        Some(n) => AdStore::with_shards(n),
+        None => AdStore::new(),
+    };
     for i in 0..machines {
         store.advertise(machine_adv(i), 0, &proto).unwrap();
     }
@@ -64,6 +68,10 @@ fn build_store(machines: usize, jobs: usize) -> AdStore {
         store.advertise(job_adv(i), 0, &proto).unwrap();
     }
     store
+}
+
+fn build_store(machines: usize, jobs: usize) -> AdStore {
+    build_store_with(machines, jobs, None)
 }
 
 fn bench_pool_size_scaling(c: &mut Criterion) {
@@ -100,6 +108,11 @@ fn bench_job_batch_scaling(c: &mut Criterion) {
     g.finish();
 }
 
+/// The sharded-scan ablation: a cold-cache full cycle over a 4096-machine
+/// pool (8 shards after auto-scaling). A fresh negotiator per iteration
+/// means every shard cache is invalid, so both the shard-cache rebuild and
+/// the per-cluster candidate scans fan out across `threads` workers; with
+/// one thread the same sharded code path runs serially.
 fn bench_parallel_ablation(c: &mut Criterion) {
     let mut g = c.benchmark_group("parallel_scan_ablation");
     g.sample_size(10);
@@ -118,6 +131,94 @@ fn bench_parallel_ablation(c: &mut Criterion) {
                 })
             },
         );
+    }
+    g.finish();
+}
+
+/// Same cold-cache cycle, same pool, 8 worker threads — but one store is
+/// pinned to a single shard (no fan-out possible) while the other keeps
+/// the auto-scaled shard layout. Isolates what the *partitioning* buys
+/// over what the thread pool buys.
+fn bench_sharded_vs_unsharded(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sharded_vs_unsharded");
+    g.sample_size(10);
+    let unsharded = build_store_with(4096, 16, Some(1));
+    let sharded = build_store(4096, 16);
+    for (label, store) in [("unsharded", &unsharded), ("sharded", &sharded)] {
+        g.bench_with_input(BenchmarkId::new(label, 4096), store, |b, store| {
+            b.iter(|| {
+                let mut neg = Negotiator::new(NegotiatorConfig {
+                    threads: 8,
+                    ..Default::default()
+                });
+                neg.negotiate(store, 0)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// A machine re-advertisement whose attributes actually changed, so the
+/// store bumps the shard version instead of treating it as a lease
+/// renewal.
+fn perturbed_machine_adv(i: usize, bump: u64) -> Advertisement {
+    let mut adv = machine_adv(i);
+    let ad = classad::parse_classad(&format!(
+        r#"[ Name = "m{i}"; Type = "Machine"; Mips = {mips}; Memory = {mem};
+             Arch = "{arch}"; State = "Unclaimed";
+             Constraint = other.Type == "Job" && other.Memory <= Memory;
+             Rank = 0 ]"#,
+        mips = 50 + (i as u64 * 13 + bump) % 100,
+        mem = 32 << (i % 3),
+        arch = if i.is_multiple_of(4) {
+            "SPARC"
+        } else {
+            "INTEL"
+        },
+    ))
+    .unwrap();
+    adv.ad = ad;
+    adv
+}
+
+/// The incremental-cycle headline: a warm pool where only 8 machines
+/// re-advertise with changed attributes between cycles. The incremental
+/// negotiator re-scans just the shards those 8 ads hash into; the
+/// full-scan configuration re-derives the whole cycle. For a fixed delta
+/// the incremental series should stay roughly flat as the pool grows from
+/// 4k to 100k machines, while full-scan cost grows linearly.
+fn bench_incremental_small_delta(c: &mut Criterion) {
+    let mut g = c.benchmark_group("incremental_small_delta");
+    g.sample_size(10);
+    let proto = AdvertisingProtocol::default();
+    for machines in [4096_usize, 32_768, 100_000] {
+        for incremental in [true, false] {
+            let label = if incremental {
+                "incremental"
+            } else {
+                "full_scan"
+            };
+            let mut store = build_store(machines, 32);
+            let mut neg = Negotiator::new(NegotiatorConfig {
+                incremental,
+                ..Default::default()
+            });
+            // Warm the caches: the delta series measures steady state.
+            neg.negotiate(&store, 0);
+            let mut bump = 0u64;
+            g.bench_function(BenchmarkId::new(label, machines), |b| {
+                b.iter(|| {
+                    bump += 1;
+                    for k in 0..8_usize {
+                        let i = k * (machines / 8) + (bump as usize % 97);
+                        store
+                            .advertise(perturbed_machine_adv(i, bump), 0, &proto)
+                            .unwrap();
+                    }
+                    neg.negotiate(&store, 0)
+                })
+            });
+        }
     }
     g.finish();
 }
@@ -262,6 +363,21 @@ fn write_bench_json(path: &str) {
         (Some(on), Some(off)) if off > 0.0 => on / off,
         _ => 0.0,
     };
+    let ratio = |num: Option<f64>, den: Option<f64>| match (num, den) {
+        (Some(n), Some(d)) if d > 0.0 => n / d,
+        _ => 0.0,
+    };
+    let t1 = find("parallel_scan_ablation/threads/1");
+    let t8 = find("parallel_scan_ablation/threads/8");
+    let scan_speedup = ratio(t1, t8);
+    let unsharded = find("sharded_vs_unsharded/unsharded/4096");
+    let sharded = find("sharded_vs_unsharded/sharded/4096");
+    let shard_speedup = ratio(unsharded, sharded);
+    let full_100k = find("incremental_small_delta/full_scan/100000");
+    let inc_100k = find("incremental_small_delta/incremental/100000");
+    let inc_speedup = ratio(full_100k, inc_100k);
+    let inc_4k = find("incremental_small_delta/incremental/4096");
+    let inc_32k = find("incremental_small_delta/incremental/32768");
 
     let mut json = String::from("{\n");
     json.push_str(&bench::provenance_fields());
@@ -280,14 +396,37 @@ fn write_bench_json(path: &str) {
         speedup
     ));
     json.push_str(&format!(
-        "  \"attribution_512x64\": {{\"attribution_on_ns\": {}, \"attribution_off_ns\": {}, \"overhead\": {:.2}}}\n}}\n",
+        "  \"attribution_512x64\": {{\"attribution_on_ns\": {}, \"attribution_off_ns\": {}, \"overhead\": {:.2}}},\n",
         attr_on.map_or("null".to_string(), |v| format!("{v:.1}")),
         attr_off.map_or("null".to_string(), |v| format!("{v:.1}")),
         overhead
     ));
+    let fmt = |v: Option<f64>| v.map_or("null".to_string(), |v| format!("{v:.1}"));
+    json.push_str(&format!(
+        "  \"parallel_scan_4096\": {{\"threads1_ns\": {}, \"threads8_ns\": {}, \"speedup\": {:.2}}},\n",
+        fmt(t1),
+        fmt(t8),
+        scan_speedup
+    ));
+    json.push_str(&format!(
+        "  \"sharded_vs_unsharded_4096\": {{\"unsharded_ns\": {}, \"sharded_ns\": {}, \"speedup\": {:.2}}},\n",
+        fmt(unsharded),
+        fmt(sharded),
+        shard_speedup
+    ));
+    json.push_str(&format!(
+        "  \"incremental_small_delta\": {{\"full_scan_100k_ns\": {}, \"incremental_100k_ns\": {}, \"speedup\": {:.2}, \"incremental_4096_ns\": {}, \"incremental_32768_ns\": {}, \"incremental_100000_ns\": {}}}\n}}\n",
+        fmt(full_100k),
+        fmt(inc_100k),
+        inc_speedup,
+        fmt(inc_4k),
+        fmt(inc_32k),
+        fmt(inc_100k)
+    ));
     match std::fs::write(path, &json) {
         Ok(()) => println!(
-            "wrote {path} (clustered 1000x1000 speedup: {speedup:.2}x, attribution overhead: {overhead:.2}x)"
+            "wrote {path} (clustered 1000x1000 speedup: {speedup:.2}x, attribution overhead: {overhead:.2}x, \
+             parallel scan 1->8: {scan_speedup:.2}x, incremental small-delta at 100k: {inc_speedup:.2}x)"
         ),
         Err(e) => eprintln!("could not write {path}: {e}"),
     }
@@ -316,6 +455,7 @@ criterion_group!(
         .warm_up_time(std::time::Duration::from_millis(800))
         .measurement_time(std::time::Duration::from_secs(2));
     targets = bench_pool_size_scaling, bench_job_batch_scaling, bench_parallel_ablation,
+        bench_sharded_vs_unsharded, bench_incremental_small_delta,
         bench_clustered_workload, bench_attribution_ablation
 );
 

@@ -29,14 +29,23 @@ pub fn recorded_unix() -> u64 {
         .unwrap_or(0)
 }
 
+/// CPUs available to the benchmark process. Thread-scaling ablations are
+/// flat by construction when this is 1, so the artifact records it.
+pub fn host_cpus() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
 /// The provenance fields every `BENCH_*.json` artifact starts with, as a
-/// JSON fragment (two `  "key": value,` lines) ready to splice after the
+/// JSON fragment (`  "key": value,` lines) ready to splice after the
 /// opening brace.
 pub fn provenance_fields() -> String {
     format!(
-        "  \"git_rev\": \"{}\",\n  \"recorded_unix\": {},\n",
+        "  \"git_rev\": \"{}\",\n  \"recorded_unix\": {},\n  \"host_cpus\": {},\n",
         git_rev(),
-        recorded_unix()
+        recorded_unix(),
+        host_cpus()
     )
 }
 
@@ -56,5 +65,7 @@ mod tests {
         let json = format!("{{\n{}  \"ok\": true\n}}", frag);
         assert!(json.contains("\"git_rev\": \""));
         assert!(json.contains("\"recorded_unix\": "));
+        assert!(json.contains("\"host_cpus\": "));
+        assert!(host_cpus() >= 1);
     }
 }

@@ -4,6 +4,34 @@
 //! refreshed. This is what makes the service effectively stateless with
 //! respect to matches (paper §3.2): losing the store loses nothing that the
 //! next round of periodic advertisements does not restore.
+//!
+//! ## Shards and dirtiness
+//!
+//! Provider (resource) ads are partitioned into **shared-nothing shards**
+//! by a stable hash of the ad's name, so negotiation scans can fan out
+//! across shards with no shared mutable state and — more importantly — so
+//! cycles can be *incremental*: every mutation of a shard's contents
+//! (insert, content change, withdraw, lease expiry) bumps that shard's
+//! **version**, and anything derived from a shard's contents (candidate
+//! lists, claim metadata, external-reference sets) stays valid exactly as
+//! long as the version it was computed at. A pure lease **renewal** — a
+//! re-advertisement whose ad content, contact, and ticket are unchanged —
+//! updates the lease *without* bumping the version (and without assigning
+//! a new sequence number), which is what keeps a heartbeating 100k-machine
+//! pool almost entirely clean between cycles.
+//!
+//! Shard count is stable-hash-partitioned and **auto-scales**: when the
+//! average shard grows past twice the target size the shard count doubles
+//! and every ad is redistributed (all versions bump — a rare, amortized
+//! full invalidation). [`AdStore::with_shards`] pins an explicit count
+//! instead. Match outcomes never depend on the shard count (see
+//! [`crate::matcher::Candidate`] for the intrinsic tie-break that
+//! guarantees this).
+//!
+//! Customer (request) ads are not sharded — request-side incrementality
+//! comes from autocluster signatures, not partitioning — but they get the
+//! same renewal treatment so a re-submitted identical job keeps its
+//! queue position.
 
 use crate::protocol::{
     Advertisement, AdvertisingProtocol, EntityKind, ProtocolError, Timestamp, TraceContext,
@@ -12,6 +40,14 @@ use crate::ticket::Ticket;
 use classad::{ClassAd, EvalPolicy, Value};
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// Default initial shard count for provider ads.
+pub const DEFAULT_SHARDS: usize = 8;
+
+/// Auto-scaling target: when the mean shard size exceeds twice this, the
+/// shard count doubles. Chosen so the unit of incremental re-scan work (one
+/// shard) stays small and roughly constant as the pool grows.
+pub const TARGET_SHARD_SIZE: usize = 512;
 
 /// A stored advertisement, frozen behind `Arc` so match scans can snapshot
 /// the pool without copying ads.
@@ -29,7 +65,10 @@ pub struct StoredAd {
     pub ticket: Option<Ticket>,
     /// Lease expiry (absolute seconds).
     pub expires_at: Timestamp,
-    /// Monotone sequence number: larger = fresher.
+    /// Monotone sequence number: the ad's stable identity for ordering.
+    /// Assigned at first admission (or on any content change) and *kept*
+    /// across pure lease renewals, so it doubles as the deterministic
+    /// rank tie-break key (see [`crate::matcher::Candidate::tie`]).
     pub seq: u64,
     /// The trace this ad's match lifecycle belongs to, carried into every
     /// [`crate::negotiate::MatchRecord`] the ad produces. `None` for ads
@@ -37,32 +76,170 @@ pub struct StoredAd {
     pub trace: Option<TraceContext>,
 }
 
-/// In-memory ad store keyed by `(kind, lowercase name)`.
+/// FNV-1a over the canonical (lowercase) name: a stable hash — identical
+/// across processes and runs — so an ad's shard is a pure function of its
+/// name and the shard count.
+fn stable_hash(name_lower: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name_lower.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One shared-nothing partition of the provider ads.
+///
+/// Ads live in a dense `order` vector (position is stable while the
+/// version is stable — removal is `swap_remove`, which bumps the version);
+/// `by_key` maps canonical names to positions.
+#[derive(Debug)]
+struct Shard {
+    order: Vec<StoredAd>,
+    by_key: HashMap<String, usize>,
+    version: u64,
+    /// Smallest `expires_at` in the shard (`u64::MAX` when empty). May be
+    /// conservatively *stale low* after renewals; [`Shard::refresh_min`]
+    /// recomputes it.
+    min_expiry: Timestamp,
+}
+
+impl Default for Shard {
+    fn default() -> Self {
+        Shard {
+            order: Vec::new(),
+            by_key: HashMap::new(),
+            version: 0,
+            min_expiry: u64::MAX,
+        }
+    }
+}
+
+impl Shard {
+    fn touch(&mut self) {
+        self.version += 1;
+    }
+
+    fn refresh_min(&mut self) {
+        self.min_expiry = self
+            .order
+            .iter()
+            .map(|s| s.expires_at)
+            .min()
+            .unwrap_or(u64::MAX);
+    }
+
+    fn insert(&mut self, key: String, stored: StoredAd) {
+        self.min_expiry = self.min_expiry.min(stored.expires_at);
+        match self.by_key.get(&key) {
+            Some(&i) => self.order[i] = stored,
+            None => {
+                self.by_key.insert(key, self.order.len());
+                self.order.push(stored);
+            }
+        }
+        self.touch();
+    }
+
+    fn remove(&mut self, key: &str) -> bool {
+        let Some(i) = self.by_key.remove(key) else {
+            return false;
+        };
+        self.order.swap_remove(i);
+        if let Some(moved) = self.order.get(i) {
+            self.by_key.insert(moved.name.to_ascii_lowercase(), i);
+        }
+        self.touch();
+        self.refresh_min();
+        true
+    }
+}
+
+/// In-memory ad store keyed by `(kind, lowercase name)`, with provider ads
+/// sharded by a stable hash of the name (see the module docs).
 ///
 /// Re-advertising under the same name *replaces* the old ad (and renews the
 /// lease); ads whose lease lapses are dropped by [`AdStore::expire`].
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct AdStore {
-    ads: HashMap<(EntityKind, String), StoredAd>,
+    shards: Vec<Shard>,
+    /// `true` when the shard count was pinned by [`AdStore::with_shards`];
+    /// auto-scaling is disabled.
+    pinned: bool,
+    customers: HashMap<String, StoredAd>,
     next_seq: u64,
     eval_policy: EvalPolicy,
 }
 
+impl Default for AdStore {
+    fn default() -> Self {
+        AdStore {
+            shards: (0..DEFAULT_SHARDS).map(|_| Shard::default()).collect(),
+            pinned: false,
+            customers: HashMap::new(),
+            next_seq: 0,
+            eval_policy: EvalPolicy::default(),
+        }
+    }
+}
+
 impl AdStore {
-    /// Create an empty store.
+    /// Create an empty store with the default (auto-scaling) shard layout.
     pub fn new() -> Self {
         AdStore::default()
+    }
+
+    /// Create an empty store with a pinned provider shard count (`n >= 1`);
+    /// auto-scaling is disabled. `with_shards(1)` is the unsharded layout.
+    pub fn with_shards(n: usize) -> Self {
+        let n = n.max(1);
+        AdStore {
+            shards: (0..n).map(|_| Shard::default()).collect(),
+            pinned: true,
+            ..AdStore::default()
+        }
+    }
+
+    /// Number of provider shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a provider ad with this name lives in (a pure function of
+    /// the name and the shard count).
+    pub fn shard_of(&self, name: &str) -> usize {
+        (stable_hash(&name.to_ascii_lowercase()) % self.shards.len() as u64) as usize
+    }
+
+    /// Mutation version of one provider shard. Anything computed from the
+    /// shard's contents is valid exactly while this is unchanged.
+    pub fn shard_version(&self, shard: usize) -> u64 {
+        self.shards[shard].version
+    }
+
+    /// The provider ads of one shard, in slot order (stable while the
+    /// shard's version is stable). May include ads whose lease has lapsed
+    /// but which [`AdStore::expire`] has not yet swept — consumers filter
+    /// with [`AdStore::shard_min_expiry`] or per ad.
+    pub fn shard_ads(&self, shard: usize) -> &[StoredAd] {
+        &self.shards[shard].order
+    }
+
+    /// Lower bound on the earliest lease expiry in the shard (`u64::MAX`
+    /// when empty). If this is `> now`, no ad in the shard has lapsed.
+    pub fn shard_min_expiry(&self, shard: usize) -> Timestamp {
+        self.shards[shard].min_expiry
     }
 
     /// Number of live ads (including any whose lease has lapsed but which
     /// have not yet been swept by [`AdStore::expire`]).
     pub fn len(&self) -> usize {
-        self.ads.len()
+        self.shards.iter().map(|s| s.order.len()).sum::<usize>() + self.customers.len()
     }
 
     /// `true` if no ads are stored.
     pub fn is_empty(&self) -> bool {
-        self.ads.is_empty()
+        self.len() == 0
     }
 
     /// Admit an advertisement, validating it against the advertising
@@ -79,6 +256,12 @@ impl AdStore {
 
     /// Admit an advertisement under an optional trace context; the
     /// context rides on the stored ad into every match it produces.
+    ///
+    /// A re-advertisement whose ad content, contact, and ticket all equal
+    /// the stored ad's is a **pure lease renewal**: the lease (and trace)
+    /// update in place, the sequence number is kept, and — for providers —
+    /// the shard's version does *not* change, so everything cached against
+    /// the shard stays valid.
     pub fn advertise_traced(
         &mut self,
         adv: Advertisement,
@@ -91,58 +274,172 @@ impl AdStore {
             Value::Str(s) => s.to_string(),
             _ => return Err(ProtocolError::MissingAttribute("Name".into())),
         };
-        let key = (adv.kind, name.to_ascii_lowercase());
-        self.next_seq += 1;
-        let stored = StoredAd {
-            name: name.clone(),
-            kind: adv.kind,
-            ad: Arc::new(adv.ad),
-            contact: adv.contact,
-            ticket: adv.ticket,
-            expires_at: adv.expires_at,
-            seq: self.next_seq,
-            trace,
-        };
-        self.ads.insert(key, stored);
+        let key = name.to_ascii_lowercase();
+        match adv.kind {
+            EntityKind::Provider => {
+                let shard = self.shard_of(&name);
+                if let Some(&slot) = self.shards[shard].by_key.get(&key) {
+                    let existing = &mut self.shards[shard].order[slot];
+                    if *existing.ad == adv.ad
+                        && existing.contact == adv.contact
+                        && existing.ticket == adv.ticket
+                    {
+                        existing.expires_at = adv.expires_at;
+                        existing.trace = trace;
+                        self.shards[shard].min_expiry =
+                            self.shards[shard].min_expiry.min(adv.expires_at);
+                        return Ok(name);
+                    }
+                }
+                self.next_seq += 1;
+                let stored = StoredAd {
+                    name: name.clone(),
+                    kind: adv.kind,
+                    ad: Arc::new(adv.ad),
+                    contact: adv.contact,
+                    ticket: adv.ticket,
+                    expires_at: adv.expires_at,
+                    seq: self.next_seq,
+                    trace,
+                };
+                self.shards[shard].insert(key, stored);
+                self.maybe_split();
+            }
+            EntityKind::Customer => {
+                if let Some(existing) = self.customers.get_mut(&key) {
+                    if *existing.ad == adv.ad
+                        && existing.contact == adv.contact
+                        && existing.ticket == adv.ticket
+                    {
+                        existing.expires_at = adv.expires_at;
+                        existing.trace = trace;
+                        return Ok(name);
+                    }
+                }
+                self.next_seq += 1;
+                let stored = StoredAd {
+                    name: name.clone(),
+                    kind: adv.kind,
+                    ad: Arc::new(adv.ad),
+                    contact: adv.contact,
+                    ticket: adv.ticket,
+                    expires_at: adv.expires_at,
+                    seq: self.next_seq,
+                    trace,
+                };
+                self.customers.insert(key, stored);
+            }
+        }
         Ok(name)
+    }
+
+    /// Double the shard count and redistribute when the mean shard size
+    /// outgrows the target. Every version bumps (the world moved), which
+    /// is the correct — if blunt — cache invalidation for a reshard.
+    fn maybe_split(&mut self) {
+        if self.pinned {
+            return;
+        }
+        let providers: usize = self.shards.iter().map(|s| s.order.len()).sum();
+        if providers <= self.shards.len() * TARGET_SHARD_SIZE * 2 {
+            return;
+        }
+        let new_count = self.shards.len() * 2;
+        let old = std::mem::take(&mut self.shards);
+        self.shards = (0..new_count).map(|_| Shard::default()).collect();
+        for shard in old {
+            for stored in shard.order {
+                let key = stored.name.to_ascii_lowercase();
+                let idx = (stable_hash(&key) % new_count as u64) as usize;
+                self.shards[idx].insert(key, stored);
+            }
+        }
     }
 
     /// Remove an entity's ad (e.g. clean shutdown). Returns `true` if it
     /// was present.
     pub fn withdraw(&mut self, kind: EntityKind, name: &str) -> bool {
-        self.ads
-            .remove(&(kind, name.to_ascii_lowercase()))
-            .is_some()
+        let key = name.to_ascii_lowercase();
+        match kind {
+            EntityKind::Provider => {
+                let shard = self.shard_of(name);
+                self.shards[shard].remove(&key)
+            }
+            EntityKind::Customer => self.customers.remove(&key).is_some(),
+        }
     }
 
     /// Look up an ad by kind and name.
     pub fn get(&self, kind: EntityKind, name: &str) -> Option<&StoredAd> {
-        self.ads.get(&(kind, name.to_ascii_lowercase()))
+        let key = name.to_ascii_lowercase();
+        match kind {
+            EntityKind::Provider => {
+                let shard = self.shard_of(name);
+                let slot = *self.shards[shard].by_key.get(&key)?;
+                self.shards[shard].order.get(slot)
+            }
+            EntityKind::Customer => self.customers.get(&key),
+        }
     }
 
     /// Drop all ads whose lease has lapsed. Returns how many were dropped.
+    /// Provider shards that lose ads get their version bumped — an expired
+    /// resource is a dirty resource.
     pub fn expire(&mut self, now: Timestamp) -> usize {
-        let before = self.ads.len();
-        self.ads.retain(|_, s| s.expires_at > now);
-        before - self.ads.len()
+        let mut dropped = 0;
+        for shard in &mut self.shards {
+            if shard.min_expiry > now {
+                continue;
+            }
+            let before = shard.order.len();
+            shard.order.retain(|s| s.expires_at > now);
+            let removed = before - shard.order.len();
+            if removed > 0 {
+                dropped += removed;
+                shard.by_key.clear();
+                for (i, s) in shard.order.iter().enumerate() {
+                    shard.by_key.insert(s.name.to_ascii_lowercase(), i);
+                }
+                shard.touch();
+            }
+            shard.refresh_min();
+        }
+        let before = self.customers.len();
+        self.customers.retain(|_, s| s.expires_at > now);
+        dropped += before - self.customers.len();
+        dropped
     }
 
-    /// Snapshot the live ads of one kind, freshest first. The `Arc`s make
-    /// this cheap; match scans work on the snapshot while new ads arrive.
+    /// Snapshot the live ads of one kind, freshest first (by sequence
+    /// number). The `Arc`s make this cheap; match scans work on the
+    /// snapshot while new ads arrive. O(pool) — the incremental
+    /// negotiation path reads shards directly instead.
     pub fn snapshot(&self, kind: EntityKind, now: Timestamp) -> Vec<StoredAd> {
-        let mut v: Vec<StoredAd> = self
-            .ads
-            .values()
-            .filter(|s| s.kind == kind && s.expires_at > now)
-            .cloned()
-            .collect();
+        let mut v: Vec<StoredAd> = match kind {
+            EntityKind::Provider => self
+                .shards
+                .iter()
+                .flat_map(|sh| sh.order.iter())
+                .filter(|s| s.expires_at > now)
+                .cloned()
+                .collect(),
+            EntityKind::Customer => self
+                .customers
+                .values()
+                .filter(|s| s.expires_at > now)
+                .cloned()
+                .collect(),
+        };
         v.sort_by_key(|s| std::cmp::Reverse(s.seq));
         v
     }
 
     /// Iterate over all stored ads.
     pub fn iter(&self) -> impl Iterator<Item = &StoredAd> {
-        self.ads.values()
+        self.shards
+            .iter()
+            .flat_map(|sh| sh.order.iter())
+            .chain(self.customers.values())
     }
 }
 
@@ -154,6 +451,20 @@ mod tests {
     fn adv(name: &str, kind: EntityKind, expires_at: Timestamp) -> Advertisement {
         let ad = parse_classad(&format!(
             r#"[ Name = "{name}"; Constraint = true; Rank = 0 ]"#
+        ))
+        .unwrap();
+        Advertisement {
+            kind,
+            ad,
+            contact: format!("{name}:1"),
+            ticket: None,
+            expires_at,
+        }
+    }
+
+    fn adv_with_attr(name: &str, kind: EntityKind, expires_at: Timestamp, x: i64) -> Advertisement {
+        let ad = parse_classad(&format!(
+            r#"[ Name = "{name}"; X = {x}; Constraint = true; Rank = 0 ]"#
         ))
         .unwrap();
         Advertisement {
@@ -195,23 +506,52 @@ mod tests {
     }
 
     #[test]
-    fn readvertise_replaces_and_renews() {
+    fn changed_readvertise_replaces_and_bumps_version() {
+        let mut store = AdStore::new();
+        store
+            .advertise(adv_with_attr("m", EntityKind::Provider, 50, 1), 0, &proto())
+            .unwrap();
+        let shard = store.shard_of("m");
+        let first_seq = store.get(EntityKind::Provider, "m").unwrap().seq;
+        let first_version = store.shard_version(shard);
+        store
+            .advertise(
+                adv_with_attr("m", EntityKind::Provider, 150, 2),
+                10,
+                &proto(),
+            )
+            .unwrap();
+        assert_eq!(store.len(), 1);
+        let s = store.get(EntityKind::Provider, "m").unwrap();
+        assert!(s.seq > first_seq, "content change takes a new seq");
+        assert_eq!(s.expires_at, 150);
+        assert!(store.shard_version(shard) > first_version);
+    }
+
+    #[test]
+    fn pure_renewal_keeps_seq_and_version() {
         let mut store = AdStore::new();
         store
             .advertise(adv("m", EntityKind::Provider, 50), 0, &proto())
             .unwrap();
+        let shard = store.shard_of("m");
         let first_seq = store.get(EntityKind::Provider, "m").unwrap().seq;
+        let first_version = store.shard_version(shard);
         store
             .advertise(adv("m", EntityKind::Provider, 150), 10, &proto())
             .unwrap();
-        assert_eq!(store.len(), 1);
         let s = store.get(EntityKind::Provider, "m").unwrap();
-        assert!(s.seq > first_seq);
-        assert_eq!(s.expires_at, 150);
+        assert_eq!(s.seq, first_seq, "identical re-ad is a pure renewal");
+        assert_eq!(s.expires_at, 150, "lease still renews");
+        assert_eq!(
+            store.shard_version(shard),
+            first_version,
+            "renewal leaves the shard clean"
+        );
     }
 
     #[test]
-    fn expire_sweeps_lapsed_leases() {
+    fn expire_sweeps_lapsed_leases_and_dirties_shards() {
         let mut store = AdStore::new();
         store
             .advertise(adv("a", EntityKind::Provider, 50), 0, &proto())
@@ -219,10 +559,16 @@ mod tests {
         store
             .advertise(adv("b", EntityKind::Provider, 150), 0, &proto())
             .unwrap();
+        let shard_a = store.shard_of("a");
+        let v_before = store.shard_version(shard_a);
         assert_eq!(store.expire(100), 1);
         assert_eq!(store.len(), 1);
         assert!(store.get(EntityKind::Provider, "a").is_none());
         assert!(store.get(EntityKind::Provider, "b").is_some());
+        assert!(
+            store.shard_version(shard_a) > v_before,
+            "expiry dirties the shard"
+        );
     }
 
     #[test]
@@ -280,5 +626,101 @@ mod tests {
         };
         let name = store.advertise(a, 0, &proto()).unwrap();
         assert_eq!(name, "node-7");
+    }
+
+    #[test]
+    fn sharding_is_stable_and_total() {
+        let store = AdStore::with_shards(8);
+        assert_eq!(store.num_shards(), 8);
+        for name in ["alpha", "beta", "GAMMA", "Gamma"] {
+            let s = store.shard_of(name);
+            assert!(s < 8);
+            assert_eq!(s, store.shard_of(name), "shard_of is a pure function");
+        }
+        // Case-insensitive: same key, same shard.
+        assert_eq!(store.shard_of("GAMMA"), store.shard_of("gamma"));
+    }
+
+    #[test]
+    fn shard_ads_cover_every_provider_exactly_once() {
+        let mut store = AdStore::with_shards(4);
+        for i in 0..50 {
+            store
+                .advertise(
+                    adv(&format!("m{i}"), EntityKind::Provider, 100),
+                    0,
+                    &proto(),
+                )
+                .unwrap();
+        }
+        let mut names: Vec<String> = (0..store.num_shards())
+            .flat_map(|s| store.shard_ads(s).iter().map(|a| a.name.clone()))
+            .collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 50);
+        // And every ad sits in the shard its name hashes to.
+        for s in 0..store.num_shards() {
+            for ad in store.shard_ads(s) {
+                assert_eq!(store.shard_of(&ad.name), s);
+            }
+        }
+    }
+
+    #[test]
+    fn auto_resharding_doubles_and_redistributes() {
+        let mut store = AdStore::new();
+        let initial = store.num_shards();
+        let enough = initial * TARGET_SHARD_SIZE * 2 + 1;
+        for i in 0..enough {
+            store
+                .advertise(
+                    adv(&format!("m{i}"), EntityKind::Provider, u64::MAX),
+                    0,
+                    &proto(),
+                )
+                .unwrap();
+        }
+        assert!(store.num_shards() > initial, "shard count grew");
+        // Every ad still findable and in the right shard.
+        for i in (0..enough).step_by(997) {
+            let name = format!("m{i}");
+            let s = store.get(EntityKind::Provider, &name).unwrap();
+            assert_eq!(s.name, name);
+        }
+        let total: usize = (0..store.num_shards())
+            .map(|s| store.shard_ads(s).len())
+            .sum();
+        assert_eq!(total, enough);
+    }
+
+    #[test]
+    fn pinned_shard_count_never_changes() {
+        let mut store = AdStore::with_shards(2);
+        for i in 0..(2 * TARGET_SHARD_SIZE * 2 + 10) {
+            store
+                .advertise(
+                    adv(&format!("m{i}"), EntityKind::Provider, u64::MAX),
+                    0,
+                    &proto(),
+                )
+                .unwrap();
+        }
+        assert_eq!(store.num_shards(), 2);
+    }
+
+    #[test]
+    fn min_expiry_tracks_the_earliest_lease() {
+        let mut store = AdStore::with_shards(1);
+        assert_eq!(store.shard_min_expiry(0), u64::MAX);
+        store
+            .advertise(adv("a", EntityKind::Provider, 80), 0, &proto())
+            .unwrap();
+        store
+            .advertise(adv("b", EntityKind::Provider, 50), 0, &proto())
+            .unwrap();
+        assert_eq!(store.shard_min_expiry(0), 50);
+        store.expire(60);
+        assert_eq!(store.shard_min_expiry(0), 80);
     }
 }

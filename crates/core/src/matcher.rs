@@ -4,10 +4,13 @@
 //! The selection rule is the paper's (§3.2): among provider ads whose
 //! constraints are mutually satisfied with the customer ad, choose the one
 //! with the highest customer (`Rank`) value, "breaking ties according to
-//! the provider's Rank value". Remaining ties go to the lowest index, which
-//! in a freshest-first snapshot means the most recently advertised offer —
-//! and, crucially, makes serial and parallel scans return identical
-//! results.
+//! the provider's Rank value". Remaining ties go to the lowest **tie key**
+//! — an intrinsic, caller-supplied identity for the offer. Store-driven
+//! scans pass the ad's admission sequence number, which is a property of
+//! the ad itself rather than of any particular scan order; that is what
+//! makes serial, parallel, and *sharded* scans (any shard count) return
+//! byte-identical results. Standalone scans default the key to the offer's
+//! slice index, preserving the classic lowest-index-wins behavior.
 //!
 //! Scans are embarrassingly parallel over the offer list; the parallel
 //! implementation chunks the slice across crossbeam scoped threads, each
@@ -23,6 +26,11 @@ use std::sync::Arc;
 pub struct Candidate {
     /// Index into the offers slice.
     pub index: usize,
+    /// Intrinsic tie-break key: lower wins on equal ranks. Store-driven
+    /// scans use the ad's admission sequence number (so the winner is
+    /// independent of scan partitioning and shard count); standalone scans
+    /// use the slice index.
+    pub tie: u64,
     /// The request's rank of this offer.
     pub request_rank: f64,
     /// The offer's rank of the request.
@@ -31,20 +39,21 @@ pub struct Candidate {
 
 impl Candidate {
     /// The deterministic "better" relation: higher request rank, then
-    /// higher offer rank, then lower index.
+    /// higher offer rank, then lower tie key.
     ///
     /// This tuple comparison is a *total* order only because ranks are
-    /// guaranteed finite (see [`normalize_rank`]); a NaN would make every
-    /// comparison false and the selection order-dependent.
+    /// guaranteed finite (see [`normalize_rank`]) and tie keys are unique
+    /// within a scan; a NaN would make every comparison false and the
+    /// selection order-dependent.
     pub(crate) fn better_than(&self, other: &Candidate) -> bool {
         (
             self.request_rank,
             self.offer_rank,
-            std::cmp::Reverse(self.index),
+            std::cmp::Reverse(self.tie),
         ) > (
             other.request_rank,
             other.offer_rank,
-            std::cmp::Reverse(other.index),
+            std::cmp::Reverse(other.tie),
         )
     }
 }
@@ -76,8 +85,21 @@ impl MatchEngine {
         MatchEngine::default()
     }
 
-    /// Score one request/offer pair, if they match symmetrically.
+    /// Score one request/offer pair, if they match symmetrically. The tie
+    /// key defaults to the index (classic lowest-index-wins).
     pub fn score(&self, request: &ClassAd, offer: &ClassAd, index: usize) -> Option<Candidate> {
+        self.score_keyed(request, offer, index, index as u64)
+    }
+
+    /// Score one request/offer pair with an explicit tie key (store-driven
+    /// scans pass the ad's sequence number here).
+    pub fn score_keyed(
+        &self,
+        request: &ClassAd,
+        offer: &ClassAd,
+        index: usize,
+        tie: u64,
+    ) -> Option<Candidate> {
         if !constraint_holds(request, offer, &self.policy, &self.conventions) {
             return None;
         }
@@ -86,6 +108,7 @@ impl MatchEngine {
         }
         Some(Candidate {
             index,
+            tie,
             request_rank: normalize_rank(rank_of(request, offer, &self.policy, &self.conventions)),
             offer_rank: normalize_rank(rank_of(offer, request, &self.policy, &self.conventions)),
         })
@@ -207,9 +230,39 @@ impl MatchEngine {
             .expect("match scoring worker panicked");
             locals.into_iter().flatten().collect()
         };
-        // `better_than` is total on finite ranks and distinct indices, so
+        // `better_than` is total on finite ranks and distinct tie keys, so
         // the comparator never reports equality for distinct entries and
         // sort stability is irrelevant to determinism.
+        scored.sort_by(|a, b| {
+            if a.better_than(b) {
+                std::cmp::Ordering::Less
+            } else if b.better_than(a) {
+                std::cmp::Ordering::Greater
+            } else {
+                std::cmp::Ordering::Equal
+            }
+        });
+        scored
+    }
+
+    /// [`MatchEngine::scored_candidates`] with explicit per-offer tie keys
+    /// (`ties[i]` keys `offers[i]`). This is the build step for per-shard
+    /// candidate lists: each shard scans its own offers with the ads'
+    /// admission sequence numbers as keys, and because the resulting order
+    /// is intrinsic to the ads, merging per-shard lists reproduces the
+    /// single-list order for *any* shard count.
+    pub fn scored_candidates_keyed(
+        &self,
+        request: &ClassAd,
+        offers: &[Arc<ClassAd>],
+        ties: &[u64],
+    ) -> Vec<Candidate> {
+        debug_assert_eq!(offers.len(), ties.len());
+        let mut scored: Vec<Candidate> = offers
+            .iter()
+            .enumerate()
+            .filter_map(|(i, o)| self.score_keyed(request, o, i, ties[i]))
+            .collect();
         scored.sort_by(|a, b| {
             if a.better_than(b) {
                 std::cmp::Ordering::Less
@@ -279,6 +332,51 @@ mod tests {
         let offers = machines(&[100, 100, 100]);
         let best = engine.best_match(&job(), &offers, |_| true).unwrap();
         assert_eq!(best.index, 0);
+    }
+
+    #[test]
+    fn explicit_tie_key_overrides_index_order() {
+        // Equal ranks everywhere: the winner is the lowest tie key, not
+        // the lowest index — the property sharded scans rely on.
+        let engine = MatchEngine::new();
+        let offers = machines(&[100, 100, 100]);
+        let j = job();
+        let ties = [30u64, 10, 20];
+        let scored = engine.scored_candidates_keyed(&j, &offers, &ties);
+        let order: Vec<usize> = scored.iter().map(|c| c.index).collect();
+        assert_eq!(order, vec![1, 2, 0]);
+        assert_eq!(scored[0].tie, 10);
+    }
+
+    #[test]
+    fn keyed_scan_order_is_partition_independent() {
+        // Score the same pool whole and as two disjoint halves; merging the
+        // halves by `better_than` must reproduce the whole-pool order.
+        let engine = MatchEngine::new();
+        let mips: Vec<i64> = (0..40).map(|i| (i * 13) % 7).collect();
+        let offers = machines(&mips);
+        let ties: Vec<u64> = (0..offers.len() as u64).map(|i| 1000 - i).collect();
+        let j = job();
+        let whole = engine.scored_candidates_keyed(&j, &offers, &ties);
+        let (lo, hi) = offers.split_at(17);
+        let (lt, ht) = ties.split_at(17);
+        let mut halves = [
+            engine.scored_candidates_keyed(&j, lo, lt),
+            engine.scored_candidates_keyed(&j, hi, ht),
+        ];
+        // Fix up the second half's indices to the whole-pool frame.
+        for c in &mut halves[1] {
+            c.index += 17;
+        }
+        let mut merged: Vec<Candidate> = halves.concat();
+        merged.sort_by(|a, b| {
+            if a.better_than(b) {
+                std::cmp::Ordering::Less
+            } else {
+                std::cmp::Ordering::Greater
+            }
+        });
+        assert_eq!(whole, merged);
     }
 
     #[test]

@@ -24,13 +24,15 @@
 //! `CurrentRank`).
 
 use crate::admanager::{AdStore, StoredAd};
-use crate::autocluster::{cluster_requests, offer_external_refs, MatchList, OfferMeta};
+use crate::autocluster::{
+    cluster_requests, offer_external_refs, request_signature, MatchList, OfferMeta,
+};
 use crate::matcher::{Candidate, MatchEngine};
 use crate::priority::PriorityTracker;
 use crate::protocol::{EntityKind, MatchNotification, Timestamp};
 use crate::ticket::Ticket;
 use classad::{traced_symmetric_match, ClassAd, RejectReason, Value};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt::Write as _;
 use std::sync::Arc;
 
@@ -69,6 +71,19 @@ pub struct NegotiatorConfig {
     /// not serve `Analyze` queries should not pay for it. Match outcomes
     /// are identical either way.
     pub attribution: bool,
+    /// Incremental, shard-cached cycles (the default): per-shard claim
+    /// metadata and per-(cluster, shard) candidate lists persist across
+    /// cycles and are recomputed only for shards whose store version
+    /// changed. Requires `autocluster` (signatures key the cache); with
+    /// `autocluster` off this flag is ignored. Turn off to run every cycle
+    /// as a from-scratch full scan — the oracle the equivalence proptests
+    /// compare against. Match outcomes are byte-identical either way.
+    pub incremental: bool,
+    /// Provider shard count for ad stores built from this config by the
+    /// service layer (`0` = auto-scaling layout, see
+    /// [`crate::admanager::AdStore`]). The negotiator itself adapts to
+    /// whatever layout the store has.
+    pub shards: usize,
 }
 
 impl Default for NegotiatorConfig {
@@ -80,6 +95,8 @@ impl Default for NegotiatorConfig {
             charge_per_match: 0.0,
             autocluster: true,
             attribution: false,
+            incremental: true,
+            shards: 0,
         }
     }
 }
@@ -279,6 +296,21 @@ pub struct CycleStats {
     /// service layer, which owns the sweep; zero when negotiating against
     /// a store directly).
     pub expired_ads: usize,
+    /// Per-(cluster, shard) scans actually performed this cycle on the
+    /// incremental path (0 on the full-scan path, which has no shards).
+    pub shards_scanned: usize,
+    /// Per-(cluster, shard) candidate lists reused from a previous cycle
+    /// because the shard's store version was unchanged.
+    pub shards_skipped: usize,
+    /// Provider ads living in shards whose caches had to be rebuilt this
+    /// cycle (the cycle's dirty slice of the pool; equals the pool size on
+    /// a cold or full-scan cycle).
+    pub dirty_resources: usize,
+    /// 1 if this cycle reused any state cached by a previous cycle (clean
+    /// shard metadata or candidate lists), 0 for a from-scratch cycle —
+    /// summed into a counter by [`CycleStats::record`], so the registry
+    /// total reads "cycles that ran incrementally".
+    pub incremental_cycles: usize,
     /// Rejected (cluster, offer) pairings classified by the attribution
     /// pass (0 unless [`NegotiatorConfig::attribution`] is on).
     pub rejected_pairings: usize,
@@ -325,6 +357,18 @@ impl CycleStats {
         registry
             .counter(schema::ADS_EXPIRED)
             .add(self.expired_ads as u64);
+        registry
+            .counter(schema::SHARDS_SCANNED)
+            .add(self.shards_scanned as u64);
+        registry
+            .counter(schema::SHARDS_SKIPPED)
+            .add(self.shards_skipped as u64);
+        registry
+            .counter(schema::DIRTY_RESOURCES)
+            .add(self.dirty_resources as u64);
+        registry
+            .counter(schema::INCREMENTAL_CYCLES)
+            .add(self.incremental_cycles as u64);
         registry
             .gauge(schema::LAST_CYCLE_REQUESTS)
             .set(self.requests_considered as i64);
@@ -377,6 +421,118 @@ pub struct CycleOutcome {
     pub rejections: Vec<ClusterRejections>,
 }
 
+/// Everything one provider shard contributes to a cycle, computed once
+/// when the shard's store version changes and reused verbatim until it
+/// changes again: the live non-daemon offers (in stable slot order), their
+/// claim metadata, their seq tie keys, and the request-side attribute
+/// names this shard's offers can read (the shard's contribution to the
+/// pool-wide signature seed set).
+#[derive(Debug)]
+struct ShardCache {
+    /// Store version of the shard when this cache was built.
+    version: u64,
+    /// Identity of this build, from a negotiator-wide monotone counter.
+    /// Cluster lists are stamped with the epoch they scanned, *not* the
+    /// store version: a rebuild forced by lease expiry changes the cached
+    /// offer positions without touching the store version, and the epoch
+    /// is what keeps such lists from being reused against shifted indices.
+    epoch: u64,
+    /// Earliest lease expiry among the cached offers: once `now` passes
+    /// this, the cached set is no longer the live set and must rebuild.
+    min_expiry: Timestamp,
+    offers: Vec<StoredAd>,
+    ads: Vec<Arc<ClassAd>>,
+    ties: Vec<u64>,
+    meta: Vec<OfferMeta>,
+    external: BTreeSet<Arc<str>>,
+}
+
+impl ShardCache {
+    fn valid(&self, store_version: u64, now: Timestamp) -> bool {
+        self.version == store_version && self.min_expiry > now
+    }
+}
+
+/// One autocluster's cached candidate lists, one per shard, each stamped
+/// with the shard version it was scanned at.
+#[derive(Debug)]
+struct ClusterCache {
+    /// `(shard version, sorted candidates)` per shard; `None` = never
+    /// scanned. Candidate indices are within-shard positions; tie keys are
+    /// the ads' seqs, so concatenating shards and merging by
+    /// [`Candidate::better_than`] reproduces the whole-pool order.
+    lists: Vec<Option<(u64, Arc<Vec<Candidate>>)>>,
+    /// Last cycle this cluster appeared in, for eviction.
+    last_used: u64,
+}
+
+/// How many cycles a cluster's cached lists survive without any request
+/// hashing to its signature before they are evicted.
+const CLUSTER_CACHE_TTL_CYCLES: u64 = 8;
+
+/// Cross-cycle memory of the incremental path (see the module docs of
+/// [`crate::autocluster`] and the shard docs in [`crate::admanager`]).
+#[derive(Debug, Default)]
+struct IncrementalCache {
+    shards: Vec<Option<ShardCache>>,
+    clusters: HashMap<String, ClusterCache>,
+    /// Monotone epoch source for shard cache builds.
+    epoch: u64,
+}
+
+/// A cluster's in-cycle view of its per-shard candidate lists: one cursor
+/// per shard, consumed by a k-way merge on [`Candidate::better_than`].
+/// Entry consumption is permanent, exactly like [`MatchList`], and the
+/// merged visit order equals the order of the single concatenated-and-
+/// sorted list — the tie key (ad seq) is unique pool-wide, so the merge
+/// never has to break a tie by shard.
+#[derive(Debug)]
+struct ShardedMatchList {
+    lists: Vec<Arc<Vec<Candidate>>>,
+    cursors: Vec<usize>,
+}
+
+impl ShardedMatchList {
+    /// Grant the next eligible candidate, or `None` when all shard lists
+    /// are exhausted. Returns the shard, the candidate (within-shard
+    /// index), and the displaced user for a preempting grant.
+    fn pop_next(
+        &mut self,
+        taken: &[bool],
+        bases: &[usize],
+        metas: &[&[OfferMeta]],
+        preemption: bool,
+        margin: f64,
+    ) -> Option<(usize, Candidate, Option<String>)> {
+        loop {
+            let mut best: Option<(usize, Candidate)> = None;
+            for (s, list) in self.lists.iter().enumerate() {
+                if let Some(c) = list.get(self.cursors[s]) {
+                    if best.is_none_or(|(_, b)| c.better_than(&b)) {
+                        best = Some((s, *c));
+                    }
+                }
+            }
+            let (s, c) = best?;
+            self.cursors[s] += 1;
+            if taken[bases[s] + c.index] {
+                continue;
+            }
+            match metas[s][c.index].claimed_rank {
+                None => return Some((s, c, None)),
+                Some(current) => {
+                    if preemption && c.offer_rank > current + margin {
+                        let displaced = metas[s][c.index].remote_owner.clone().unwrap_or_default();
+                        return Some((s, c, Some(displaced)));
+                    }
+                    // Not preemptible by this cluster: cluster-invariant
+                    // verdict, consume forever (see `MatchList::pop_next`).
+                }
+            }
+        }
+    }
+}
+
 /// The pool manager's negotiator.
 #[derive(Debug, Default)]
 pub struct Negotiator {
@@ -388,6 +544,8 @@ pub struct Negotiator {
     pub config: NegotiatorConfig,
     /// Cycles run by this negotiator (stamps [`CycleOutcome::cycle`]).
     cycles_run: u64,
+    /// Cross-cycle shard and cluster caches for the incremental path.
+    cache: IncrementalCache,
 }
 
 impl Negotiator {
@@ -398,6 +556,7 @@ impl Negotiator {
             priorities: PriorityTracker::default(),
             config,
             cycles_run: 0,
+            cache: IncrementalCache::default(),
         }
     }
 
@@ -414,25 +573,43 @@ impl Negotiator {
         }
     }
 
-    fn number_attr(&self, ad: &ClassAd, name: &str) -> Option<f64> {
-        ad.eval_attr(name, &self.engine.policy).as_f64()
+    /// Run one negotiation cycle over the ads in `store` at time `now`.
+    ///
+    /// Dispatches to the incremental sharded path (the default) or the
+    /// from-scratch full scan ([`NegotiatorConfig::incremental`]); the two
+    /// produce byte-identical matches.
+    pub fn negotiate(&mut self, store: &AdStore, now: Timestamp) -> CycleOutcome {
+        if self.config.incremental && self.config.autocluster {
+            self.negotiate_incremental(store, now)
+        } else {
+            self.negotiate_full(store, now)
+        }
     }
 
-    /// Run one negotiation cycle over the ads in `store` at time `now`.
-    pub fn negotiate(&mut self, store: &AdStore, now: Timestamp) -> CycleOutcome {
-        let mut offers: Vec<StoredAd> = store.snapshot(EntityKind::Provider, now);
+    /// Select the negotiation-eligible customer ads: no daemon self-ads
+    /// (telemetry, not participants), no multi-port gang requests (served
+    /// by the `gangmatch` crate — a `Ports` list must be granted atomically
+    /// or not at all), oldest first (FIFO within a user).
+    fn eligible_requests(store: &AdStore, now: Timestamp) -> Vec<StoredAd> {
         let mut requests: Vec<StoredAd> = store.snapshot(EntityKind::Customer, now);
+        requests.retain(|r| !condor_obs::is_daemon_ad(&r.ad) && !r.ad.contains("Ports"));
+        requests.sort_by_key(|r| r.seq);
+        requests
+    }
+
+    /// The from-scratch cycle: snapshot everything, scan everything.
+    fn negotiate_full(&mut self, store: &AdStore, now: Timestamp) -> CycleOutcome {
+        let mut offers: Vec<StoredAd> = store.snapshot(EntityKind::Provider, now);
         // Daemon self-ads live in the store so they are queryable, but
         // they are telemetry, not participants: matching against them (or
         // counting them in cycle statistics) would corrupt both.
         offers.retain(|o| !condor_obs::is_daemon_ad(&o.ad));
-        requests.retain(|r| !condor_obs::is_daemon_ad(&r.ad));
-        // Multi-port (gang) requests are served by the gang matcher (see
-        // the `gangmatch` crate), not the bilateral algorithm: a request
-        // with a `Ports` list must be granted atomically or not at all.
-        requests.retain(|r| !r.ad.contains("Ports"));
-        // FIFO within a user: oldest advertisement first.
-        requests.sort_by_key(|r| r.seq);
+        // Oldest first, so that a scan's index order is seq order and the
+        // lowest-index tie-break coincides with the intrinsic lowest-seq
+        // (oldest ad wins) rule the sharded path uses — equal ranks must
+        // resolve identically on every path and shard count.
+        offers.sort_by_key(|o| o.seq);
+        let requests = Self::eligible_requests(store, now);
 
         let offer_ads: Vec<Arc<ClassAd>> = offers.iter().map(|o| o.ad.clone()).collect();
         // Per-offer claim snapshot, evaluated once per cycle: whether the
@@ -442,19 +619,7 @@ impl Negotiator {
         // `RemoteOwner` per request.
         let offer_meta: Vec<OfferMeta> = offers
             .iter()
-            .map(|o| {
-                let state = self.string_attr(&o.ad, ATTR_STATE);
-                if state.as_deref() == Some(STATE_CLAIMED) {
-                    OfferMeta {
-                        claimed_rank: Some(
-                            self.number_attr(&o.ad, ATTR_CURRENT_RANK).unwrap_or(0.0),
-                        ),
-                        remote_owner: self.string_attr(&o.ad, ATTR_REMOTE_OWNER),
-                    }
-                } else {
-                    OfferMeta::default()
-                }
-            })
+            .map(|o| offer_meta_of(&self.engine, &o.ad))
             .collect();
 
         // Group request indices by owner.
@@ -641,6 +806,282 @@ impl Negotiator {
         outcome
     }
 
+    /// The incremental sharded cycle: per-shard caches (claim metadata,
+    /// external refs, offers) and per-(cluster, shard) candidate lists
+    /// persist across cycles; only shards whose store version moved (or
+    /// whose earliest lease lapsed) are recomputed, and cluster lists are
+    /// rescanned only against those shards. Candidate merge order is the
+    /// intrinsic (rank, rank, seq) total order, so the grants are
+    /// byte-identical to [`Negotiator::negotiate_full`]'s for any shard
+    /// count — the equivalence proptests in `tests/proptests.rs` hold the
+    /// two paths to that.
+    fn negotiate_incremental(&mut self, store: &AdStore, now: Timestamp) -> CycleOutcome {
+        let threads = self.config.threads.max(1);
+        let preemption_on = self.config.preemption;
+        let margin = self.config.preemption_rank_margin;
+        let cycle = self.cycles_run + 1;
+        let requests = Self::eligible_requests(store, now);
+
+        let mut outcome = CycleOutcome::default();
+        outcome.stats.requests_considered = requests.len();
+
+        let engine = &self.engine;
+        let num_shards = store.num_shards();
+        let IncrementalCache {
+            shards,
+            clusters,
+            epoch,
+        } = &mut self.cache;
+        if shards.len() != num_shards {
+            // First cycle, or the store resharded: nothing carries over.
+            shards.clear();
+            shards.resize_with(num_shards, || None);
+            clusters.clear();
+        }
+        let dirty: Vec<usize> = (0..num_shards)
+            .filter(|&s| {
+                !shards[s]
+                    .as_ref()
+                    .is_some_and(|c| c.valid(store.shard_version(s), now))
+            })
+            .collect();
+        let clean_shards = num_shards - dirty.len();
+        // Rebuild the dirty shards' caches, fanning out across workers —
+        // shards are shared-nothing, so builders share only the store
+        // (read-only here).
+        let rebuilt: Vec<(usize, ShardCache)> = if threads == 1 || dirty.len() < 2 {
+            dirty
+                .iter()
+                .map(|&s| (s, shard_cache_build(engine, store, s, now)))
+                .collect()
+        } else {
+            let workers = threads.min(dirty.len());
+            let mut locals: Vec<Vec<(usize, ShardCache)>> = Vec::new();
+            locals.resize_with(workers, Vec::new);
+            crossbeam::scope(|scope| {
+                for (t, slot) in locals.iter_mut().enumerate() {
+                    let dirty = &dirty;
+                    scope.spawn(move |_| {
+                        for &s in dirty.iter().skip(t).step_by(workers) {
+                            slot.push((s, shard_cache_build(engine, store, s, now)));
+                        }
+                    });
+                }
+            })
+            .expect("shard cache worker panicked");
+            locals.into_iter().flatten().collect()
+        };
+        for (s, mut built) in rebuilt {
+            *epoch += 1;
+            built.epoch = *epoch;
+            outcome.stats.dirty_resources += built.offers.len();
+            shards[s] = Some(built);
+        }
+        let shard_caches: Vec<&ShardCache> = shards
+            .iter()
+            .map(|o| o.as_ref().expect("all shards cached after rebuild"))
+            .collect();
+
+        // Global offer indexing: shard s's offer i is `bases[s] + i` in the
+        // virtual concatenation — the frame `taken` lives in.
+        let mut bases = Vec::with_capacity(num_shards);
+        let mut total_offers = 0usize;
+        for c in &shard_caches {
+            bases.push(total_offers);
+            total_offers += c.offers.len();
+        }
+        outcome.stats.offers_considered = total_offers;
+        let metas: Vec<&[OfferMeta]> = shard_caches.iter().map(|c| c.meta.as_slice()).collect();
+
+        // Pool-wide signature seed set: union of the per-shard cached
+        // external-ref sets. Sound across cycles: a clean shard's offers
+        // still contribute their reads, so any attribute relevant to a
+        // cached list is still folded into today's signatures.
+        let mut external: BTreeSet<Arc<str>> = BTreeSet::new();
+        for c in &shard_caches {
+            for name in &c.external {
+                external.insert(name.clone());
+            }
+        }
+
+        // Cluster the requests, keeping each cluster's signature string:
+        // the signature is the cross-cycle key for its candidate lists.
+        let mut sig_ids: HashMap<String, usize> = HashMap::new();
+        let mut cluster_sig: Vec<String> = Vec::new();
+        let mut cluster_of: Vec<usize> = Vec::with_capacity(requests.len());
+        for r in &requests {
+            let sig = request_signature(&engine.conventions, &r.ad, &external);
+            if let Some(&id) = sig_ids.get(&sig) {
+                cluster_of.push(id);
+            } else {
+                let id = cluster_sig.len();
+                sig_ids.insert(sig.clone(), id);
+                cluster_sig.push(sig);
+                cluster_of.push(id);
+            }
+        }
+        outcome.stats.clusters_formed = cluster_sig.len();
+
+        let mut by_owner: HashMap<String, Vec<usize>> = HashMap::new();
+        for (i, r) in requests.iter().enumerate() {
+            let owner = match r.ad.eval_attr(ATTR_OWNER, &engine.policy) {
+                Value::Str(s) => s.to_string(),
+                _ => "<unknown>".to_string(),
+            };
+            by_owner.entry(owner).or_default().push(i);
+        }
+        let users = self
+            .priorities
+            .order_users(by_owner.keys().map(|s| s.as_str()), now);
+
+        let mut match_lists: Vec<Option<ShardedMatchList>> =
+            (0..cluster_sig.len()).map(|_| None).collect();
+        let mut taken = vec![false; total_offers];
+        let mut cursor: HashMap<&str, usize> = HashMap::new();
+        let mut served_users: HashMap<String, bool> = HashMap::new();
+        let mut unmatched_reqs: Vec<usize> = Vec::new();
+
+        // Fairness rounds, exactly as on the full path; only the match
+        // source differs.
+        loop {
+            let mut progress = false;
+            outcome.stats.rounds += 1;
+            for user in &users {
+                let Some(queue) = by_owner.get(user.as_str()) else {
+                    continue;
+                };
+                let pos = cursor.entry(user.as_str()).or_insert(0);
+                if *pos >= queue.len() {
+                    continue;
+                }
+                let req_idx = queue[*pos];
+                *pos += 1;
+                progress = true;
+
+                let request = &requests[req_idx];
+                let cid = cluster_of[req_idx];
+                if match_lists[cid].is_none() {
+                    // First member of the class this cycle: assemble the
+                    // per-shard lists, rescanning only shards whose cached
+                    // list is stale.
+                    let entry =
+                        clusters
+                            .entry(cluster_sig[cid].clone())
+                            .or_insert_with(|| ClusterCache {
+                                lists: Vec::new(),
+                                last_used: 0,
+                            });
+                    if entry.lists.len() != num_shards {
+                        entry.lists.clear();
+                        entry.lists.resize_with(num_shards, || None);
+                    }
+                    entry.last_used = cycle;
+                    let need: Vec<usize> = (0..num_shards)
+                        .filter(|&s| match &entry.lists[s] {
+                            Some((e, _)) => *e != shard_caches[s].epoch,
+                            None => true,
+                        })
+                        .collect();
+                    outcome.stats.shards_skipped += num_shards - need.len();
+                    outcome.stats.shards_scanned += need.len();
+                    if need.len() == num_shards {
+                        outcome.stats.full_scans += 1;
+                    }
+                    for (s, list) in scan_shards(engine, &request.ad, &shard_caches, &need, threads)
+                    {
+                        entry.lists[s] = Some((shard_caches[s].epoch, list));
+                    }
+                    match_lists[cid] = Some(ShardedMatchList {
+                        lists: entry
+                            .lists
+                            .iter()
+                            .map(|o| o.as_ref().expect("scanned above").1.clone())
+                            .collect(),
+                        cursors: vec![0; num_shards],
+                    });
+                } else {
+                    outcome.stats.matchlist_hits += 1;
+                }
+                let chosen = match_lists[cid].as_mut().expect("built above").pop_next(
+                    &taken,
+                    &bases,
+                    &metas,
+                    preemption_on,
+                    margin,
+                );
+
+                match chosen {
+                    None => unmatched_reqs.push(req_idx),
+                    Some((s, c, preempts)) => {
+                        taken[bases[s] + c.index] = true;
+                        let offer = &shard_caches[s].offers[c.index];
+                        if preempts.is_some() {
+                            outcome.stats.preemptions += 1;
+                        }
+                        served_users.insert(user.clone(), true);
+                        if self.config.charge_per_match > 0.0 {
+                            self.priorities
+                                .charge(user, self.config.charge_per_match, now);
+                        }
+                        outcome.matches.push(MatchRecord {
+                            request_name: request.name.clone(),
+                            owner: user.clone(),
+                            request_ad: request.ad.clone(),
+                            customer_contact: request.contact.clone(),
+                            offer_name: offer.name.clone(),
+                            offer_ad: offer.ad.clone(),
+                            provider_contact: offer.contact.clone(),
+                            ticket: offer.ticket,
+                            request_rank: c.request_rank,
+                            offer_rank: c.offer_rank,
+                            preempts,
+                            trace: request.trace,
+                        });
+                    }
+                }
+            }
+            if !progress {
+                break;
+            }
+        }
+
+        // Evict clusters no request has hashed to for a while, so the
+        // cache tracks the live workload instead of growing monotonically.
+        clusters.retain(|_, e| e.last_used + CLUSTER_CACHE_TTL_CYCLES >= cycle);
+
+        outcome.stats.matches = outcome.matches.len();
+        outcome.stats.unmatched_requests = unmatched_reqs.len();
+        outcome.stats.users_served = served_users.len();
+        outcome.stats.incremental_cycles =
+            usize::from(clean_shards > 0 || outcome.stats.shards_skipped > 0);
+        self.cycles_run += 1;
+        outcome.cycle = self.cycles_run;
+
+        if self.config.attribution && !unmatched_reqs.is_empty() {
+            // Attribution wants the flat pool view; materialize it from
+            // the shard caches (cheap Arc clones) so the shared post-pass
+            // serves both paths.
+            let offer_ads: Vec<Arc<ClassAd>> = shard_caches
+                .iter()
+                .flat_map(|c| c.ads.iter().cloned())
+                .collect();
+            let offer_meta: Vec<OfferMeta> = shard_caches
+                .iter()
+                .flat_map(|c| c.meta.iter().cloned())
+                .collect();
+            self.attribute_rejections(
+                &mut outcome,
+                &requests,
+                &offer_ads,
+                &offer_meta,
+                &taken,
+                Some(&cluster_of),
+                &unmatched_reqs,
+            );
+        }
+        outcome
+    }
+
     /// Classify every (cluster, offer) pairing that left the cluster with
     /// unmatched requests. One traced scan per unmatched cluster — matched
     /// clusters and the whole pass are skipped when attribution is off, so
@@ -730,6 +1171,102 @@ impl Negotiator {
             });
         }
     }
+}
+
+/// Evaluate an offer's claim metadata (see [`OfferMeta`]): whether it
+/// advertises `State == "Claimed"`, at what rank it values its claimant,
+/// and who that claimant is.
+fn offer_meta_of(engine: &MatchEngine, ad: &ClassAd) -> OfferMeta {
+    let state = ad.eval_attr(ATTR_STATE, &engine.policy);
+    let claimed = matches!(&state, Value::Str(s) if &**s == STATE_CLAIMED);
+    if claimed {
+        OfferMeta {
+            claimed_rank: Some(
+                ad.eval_attr(ATTR_CURRENT_RANK, &engine.policy)
+                    .as_f64()
+                    .unwrap_or(0.0),
+            ),
+            remote_owner: match ad.eval_attr(ATTR_REMOTE_OWNER, &engine.policy) {
+                Value::Str(s) => Some(s.to_string()),
+                _ => None,
+            },
+        }
+    } else {
+        OfferMeta::default()
+    }
+}
+
+/// Build one provider shard's cycle cache from the store: live, non-daemon
+/// offers in slot order, plus everything derived from them. The caller
+/// stamps the epoch.
+fn shard_cache_build(
+    engine: &MatchEngine,
+    store: &AdStore,
+    shard: usize,
+    now: Timestamp,
+) -> ShardCache {
+    let version = store.shard_version(shard);
+    let offers: Vec<StoredAd> = store
+        .shard_ads(shard)
+        .iter()
+        .filter(|a| a.expires_at > now && !condor_obs::is_daemon_ad(&a.ad))
+        .cloned()
+        .collect();
+    let min_expiry = offers
+        .iter()
+        .map(|a| a.expires_at)
+        .min()
+        .unwrap_or(u64::MAX);
+    let ads: Vec<Arc<ClassAd>> = offers.iter().map(|o| o.ad.clone()).collect();
+    let ties: Vec<u64> = offers.iter().map(|o| o.seq).collect();
+    let meta: Vec<OfferMeta> = ads.iter().map(|ad| offer_meta_of(engine, ad)).collect();
+    let external = offer_external_refs(&engine.conventions, &ads);
+    ShardCache {
+        version,
+        epoch: 0,
+        min_expiry,
+        offers,
+        ads,
+        ties,
+        meta,
+        external,
+    }
+}
+
+/// Scan `request` against the listed shards' cached offers, returning one
+/// sorted candidate list per shard (tie-keyed by ad seq). Scans fan out
+/// across worker threads; shards are shared-nothing, so workers share only
+/// the request.
+fn scan_shards(
+    engine: &MatchEngine,
+    request: &ClassAd,
+    shard_caches: &[&ShardCache],
+    need: &[usize],
+    threads: usize,
+) -> Vec<(usize, Arc<Vec<Candidate>>)> {
+    let scan_one = |s: usize| {
+        let cache = shard_caches[s];
+        let list = engine.scored_candidates_keyed(request, &cache.ads, &cache.ties);
+        (s, Arc::new(list))
+    };
+    if threads == 1 || need.len() < 2 {
+        return need.iter().map(|&s| scan_one(s)).collect();
+    }
+    let workers = threads.min(need.len());
+    let mut locals: Vec<Vec<(usize, Arc<Vec<Candidate>>)>> = Vec::new();
+    locals.resize_with(workers, Vec::new);
+    crossbeam::scope(|scope| {
+        for (t, slot) in locals.iter_mut().enumerate() {
+            let scan_one = &scan_one;
+            scope.spawn(move |_| {
+                for &s in need.iter().skip(t).step_by(workers) {
+                    slot.push(scan_one(s));
+                }
+            });
+        }
+    })
+    .expect("shard scan worker panicked");
+    locals.into_iter().flatten().collect()
 }
 
 #[cfg(test)]

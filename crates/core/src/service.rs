@@ -125,9 +125,18 @@ impl Matchmaker {
 
     /// Create a service with an explicit advertising protocol (e.g. one
     /// that demands real `host:port` contact addresses for live pools).
+    ///
+    /// The ad store's provider shard layout follows
+    /// [`NegotiatorConfig::shards`]: `0` (the default) auto-scales the
+    /// shard count with the pool, any other value pins it.
     pub fn with_protocol(config: NegotiatorConfig, protocol: AdvertisingProtocol) -> Self {
+        let store = if config.shards == 0 {
+            AdStore::new()
+        } else {
+            AdStore::with_shards(config.shards)
+        };
         Matchmaker {
-            store: RwLock::new(AdStore::new()),
+            store: RwLock::new(store),
             negotiator: Mutex::new(Negotiator::new(config)),
             protocol,
             stats: ServiceStats::default(),

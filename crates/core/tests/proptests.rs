@@ -406,3 +406,301 @@ proptest! {
         let _ = Message::decode(bytes::Bytes::from(data));
     }
 }
+
+// ---------------------------------------------------------------------------
+// Incremental negotiation vs full-scan oracle, under delta sequences
+// ---------------------------------------------------------------------------
+
+/// A mutation applied to the ad store between negotiation cycles.
+#[derive(Debug, Clone)]
+enum Delta {
+    /// A new machine joins the pool.
+    AddMachine(MachineSpec),
+    /// An existing machine re-advertises (possibly with changed attributes;
+    /// when the spec happens to be identical this is a pure lease renewal).
+    UpdateMachine(usize, MachineSpec),
+    /// A machine is claimed and its offer withdrawn.
+    ClaimMachine(usize),
+    /// A new job is submitted.
+    AddJob(JobSpec),
+    /// Time passes; when `sweep` is set the store's expire pass runs, else
+    /// lapsed leases are only filtered at negotiation time (exercising the
+    /// shard caches' min-expiry invalidation).
+    AdvanceClock(u64, bool),
+}
+
+fn arb_delta() -> impl Strategy<Value = Delta> {
+    prop_oneof![
+        3 => arb_machine().prop_map(Delta::AddMachine),
+        2 => (any::<usize>(), arb_machine())
+            .prop_map(|(i, m)| Delta::UpdateMachine(i, m)),
+        1 => any::<usize>().prop_map(Delta::ClaimMachine),
+        1 => arb_job().prop_map(Delta::AddJob),
+        2 => (1u64..120, any::<bool>())
+            .prop_map(|(dt, sweep)| Delta::AdvanceClock(dt, sweep)),
+    ]
+}
+
+const MACHINE_LEASE: u64 = 100;
+const JOB_LEASE: u64 = 250;
+
+fn advertise_machine_everywhere(
+    stores: &mut [AdStore],
+    proto: &AdvertisingProtocol,
+    id: usize,
+    m: &MachineSpec,
+    clock: u64,
+) {
+    for store in stores.iter_mut() {
+        store
+            .advertise(
+                Advertisement {
+                    kind: EntityKind::Provider,
+                    ad: machine_ad(id, m),
+                    contact: format!("m{id}:1"),
+                    ticket: Some(Ticket::from_raw(id as u128)),
+                    expires_at: clock + MACHINE_LEASE,
+                },
+                clock,
+                proto,
+            )
+            .unwrap();
+    }
+}
+
+fn advertise_job_everywhere(
+    stores: &mut [AdStore],
+    proto: &AdvertisingProtocol,
+    id: usize,
+    j: &JobSpec,
+    clock: u64,
+) {
+    for store in stores.iter_mut() {
+        store
+            .advertise(
+                Advertisement {
+                    kind: EntityKind::Customer,
+                    ad: job_ad(id, j),
+                    contact: format!("ca{}:1", j.owner),
+                    ticket: None,
+                    expires_at: clock + JOB_LEASE,
+                },
+                clock,
+                proto,
+            )
+            .unwrap();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The tentpole's correctness contract: a persistent incremental
+    /// negotiator fed an arbitrary sequence of ad add / update / expire /
+    /// claim deltas produces exactly the same grant sequence as a
+    /// from-scratch full-scan negotiator at every cycle — at shard counts
+    /// 1, 2, and 8, and whether shard-cache rebuilds run serial or
+    /// parallel.
+    #[test]
+    fn incremental_negotiation_matches_full_scan_oracle(
+        initial in proptest::collection::vec(arb_machine(), 0..10),
+        jobs in proptest::collection::vec(arb_job(), 0..8),
+        batches in proptest::collection::vec(
+            proptest::collection::vec(arb_delta(), 1..5), 1..6),
+        preemption in any::<bool>(),
+        threads in prop_oneof![Just(1usize), Just(3)],
+    ) {
+        let proto = AdvertisingProtocol::default();
+        let shard_counts = [1usize, 2, 8];
+        let mut stores: Vec<AdStore> = shard_counts
+            .iter()
+            .map(|&n| AdStore::with_shards(n))
+            .collect();
+        let mut incrementals: Vec<Negotiator> = shard_counts
+            .iter()
+            .map(|_| Negotiator::new(NegotiatorConfig {
+                preemption,
+                threads,
+                autocluster: true,
+                incremental: true,
+                ..Default::default()
+            }))
+            .collect();
+
+        let mut clock = 0u64;
+        let mut machine_ids: Vec<usize> = Vec::new();
+        let mut next_machine = 0usize;
+        let mut next_job = 0usize;
+
+        for m in &initial {
+            advertise_machine_everywhere(&mut stores, &proto, next_machine, m, clock);
+            machine_ids.push(next_machine);
+            next_machine += 1;
+        }
+        for j in &jobs {
+            advertise_job_everywhere(&mut stores, &proto, next_job, j, clock);
+            next_job += 1;
+        }
+
+        let records = |out: &matchmaker::negotiate::CycleOutcome| {
+            out.matches
+                .iter()
+                .map(|m| (
+                    m.request_name.clone(),
+                    m.owner.clone(),
+                    m.offer_name.clone(),
+                    m.ticket,
+                    m.request_rank.to_bits(),
+                    m.offer_rank.to_bits(),
+                    m.preempts.clone(),
+                ))
+                .collect::<Vec<_>>()
+        };
+
+        for batch in &batches {
+            for delta in batch {
+                match delta {
+                    Delta::AddMachine(m) => {
+                        advertise_machine_everywhere(
+                            &mut stores, &proto, next_machine, m, clock);
+                        machine_ids.push(next_machine);
+                        next_machine += 1;
+                    }
+                    Delta::UpdateMachine(i, m) => {
+                        if !machine_ids.is_empty() {
+                            let id = machine_ids[i % machine_ids.len()];
+                            advertise_machine_everywhere(
+                                &mut stores, &proto, id, m, clock);
+                        }
+                    }
+                    Delta::ClaimMachine(i) => {
+                        if !machine_ids.is_empty() {
+                            let id = machine_ids[i % machine_ids.len()];
+                            let name = format!("m{id}");
+                            for store in &mut stores {
+                                store.withdraw(EntityKind::Provider, &name);
+                            }
+                        }
+                    }
+                    Delta::AddJob(j) => {
+                        advertise_job_everywhere(
+                            &mut stores, &proto, next_job, j, clock);
+                        next_job += 1;
+                    }
+                    Delta::AdvanceClock(dt, sweep) => {
+                        clock += dt;
+                        if *sweep {
+                            for store in &mut stores {
+                                store.expire(clock);
+                            }
+                        }
+                    }
+                }
+            }
+
+            // The oracle re-derives the cycle from scratch, scanning
+            // everything, every time.
+            let want = records(&Negotiator::new(NegotiatorConfig {
+                preemption,
+                autocluster: false,
+                incremental: false,
+                ..Default::default()
+            }).negotiate(&stores[0], clock));
+
+            for (k, neg) in incrementals.iter_mut().enumerate() {
+                let out = neg.negotiate(&stores[k], clock);
+                prop_assert_eq!(
+                    records(&out), want.clone(),
+                    "shards={} diverged from full-scan oracle", shard_counts[k]
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rank tie-breaking is shard-count-independent
+// ---------------------------------------------------------------------------
+
+/// With every rank equal, the match outcome is decided purely by the
+/// tie-break rule: the oldest ad (lowest store sequence number) wins.
+/// That ordering must not depend on how the pool happens to be sharded or
+/// on which negotiation path runs.
+#[test]
+fn rank_ties_break_by_ad_age_regardless_of_shard_count() {
+    let proto = AdvertisingProtocol::default();
+    let mut baseline: Option<Vec<(String, String)>> = None;
+    for shards in [1usize, 2, 8] {
+        let mut store = AdStore::with_shards(shards);
+        // Twelve indistinguishable machines: jobs rank them all equally
+        // (same Mips) and each machine ranks every job equally.
+        for i in 0..12 {
+            let ad = classad::parse_classad(&format!(
+                r#"[ Name = "m{i}"; Type = "Machine"; Mips = 100; Memory = 128;
+                     State = "Unclaimed";
+                     Constraint = other.Type == "Job" && other.Memory <= Memory;
+                     Rank = 1 ]"#
+            ))
+            .unwrap();
+            store
+                .advertise(
+                    Advertisement {
+                        kind: EntityKind::Provider,
+                        ad,
+                        contact: format!("m{i}:1"),
+                        ticket: Some(Ticket::from_raw(i as u128)),
+                        expires_at: u64::MAX,
+                    },
+                    0,
+                    &proto,
+                )
+                .unwrap();
+        }
+        for i in 0..4 {
+            let ad = classad::parse_classad(&format!(
+                r#"[ Name = "j{i}"; Type = "Job"; Owner = "alice"; Memory = 64;
+                     JobPrio = 1;
+                     Constraint = other.Type == "Machine" && other.Memory >= self.Memory;
+                     Rank = other.Mips ]"#
+            ))
+            .unwrap();
+            store
+                .advertise(
+                    Advertisement {
+                        kind: EntityKind::Customer,
+                        ad,
+                        contact: "ca:1".into(),
+                        ticket: None,
+                        expires_at: u64::MAX,
+                    },
+                    0,
+                    &proto,
+                )
+                .unwrap();
+        }
+        for (autocluster, incremental) in [(false, false), (true, false), (true, true)] {
+            let mut neg = Negotiator::new(NegotiatorConfig {
+                autocluster,
+                incremental,
+                ..Default::default()
+            });
+            let out = neg.negotiate(&store, 0);
+            let pairs: Vec<(String, String)> = out
+                .matches
+                .iter()
+                .map(|m| (m.request_name.clone(), m.offer_name.clone()))
+                .collect();
+            // Oldest ad wins every tie: j0 takes m0, j1 takes m1, ...
+            let want: Vec<(String, String)> =
+                (0..4).map(|i| (format!("j{i}"), format!("m{i}"))).collect();
+            assert_eq!(
+                pairs, want,
+                "shards={shards} autocluster={autocluster} incremental={incremental}"
+            );
+            match &baseline {
+                None => baseline = Some(pairs),
+                Some(b) => assert_eq!(&pairs, b, "tie-break order changed with shards={shards}"),
+            }
+        }
+    }
+}

@@ -59,6 +59,9 @@ pub enum Event {
         unmatched: u64,
         /// Wall-clock cycle duration, milliseconds.
         duration_ms: u64,
+        /// Whether the cycle reused cross-cycle cached shard state
+        /// (incremental path) rather than rebuilding everything.
+        incremental: bool,
     },
     /// The negotiator paired a request with an offer (before delivery of
     /// the notifications; see [`Event::MatchNotified`] for that).
@@ -184,12 +187,14 @@ impl Event {
                 matches,
                 unmatched,
                 duration_ms,
+                incremental,
             } => vec![
                 ("requests", U64(*requests)),
                 ("offers", U64(*offers)),
                 ("matches", U64(*matches)),
                 ("unmatched", U64(*unmatched)),
                 ("duration_ms", U64(*duration_ms)),
+                ("incremental", Bool(*incremental)),
             ],
             Event::MatchMade { request, offer } => vec![
                 ("request", Str(request.clone())),
@@ -251,6 +256,8 @@ impl Event {
                 matches: obj.u64("matches")?,
                 unmatched: obj.u64("unmatched")?,
                 duration_ms: obj.u64("duration_ms")?,
+                // Journals written before sharding lack the field.
+                incremental: obj.bool("incremental").unwrap_or(false),
             },
             "MatchMade" => Event::MatchMade {
                 request: obj.str("request")?,
@@ -927,6 +934,7 @@ mod tests {
                 matches: 2,
                 unmatched: 1,
                 duration_ms: 12,
+                incremental: true,
             },
             Event::MatchMade {
                 request: "job-1".into(),

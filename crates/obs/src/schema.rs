@@ -40,6 +40,18 @@ pub const MATCHLIST_HITS: &str = "matchlist_hits_total";
 pub const FULL_SCANS: &str = "full_scans_total";
 /// Ads dropped by lease expiry, over all cycles.
 pub const ADS_EXPIRED: &str = "ads_expired_total";
+/// Per-(cluster, shard) scans performed on the incremental path, over all
+/// cycles (surfaces as `ShardsScanned`).
+pub const SHARDS_SCANNED: &str = "shards_scanned";
+/// Per-(cluster, shard) cached candidate lists reused because the shard
+/// was clean, over all cycles (surfaces as `ShardsSkipped`).
+pub const SHARDS_SKIPPED: &str = "shards_skipped";
+/// Provider ads in shards whose caches had to be rebuilt, over all cycles
+/// (surfaces as `DirtyResources`).
+pub const DIRTY_RESOURCES: &str = "dirty_resources";
+/// Cycles that reused cross-cycle cached state (surfaces as
+/// `IncrementalCycles`).
+pub const INCREMENTAL_CYCLES: &str = "incremental_cycles";
 /// Last cycle: requests considered.
 pub const LAST_CYCLE_REQUESTS: &str = "last_cycle_requests";
 /// Last cycle: offers considered.

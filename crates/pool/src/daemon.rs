@@ -546,6 +546,7 @@ fn ticker_loop(shared: &Arc<Shared>) {
             matches: outcome.stats.matches as u64,
             unmatched: outcome.stats.unmatched_requests as u64,
             duration_ms: duration_ms as u64,
+            incremental: outcome.stats.incremental_cycles > 0,
         });
         // Attribution: journal the full per-cluster breakdown and keep a
         // capped summary for the self-ad. A cycle with nothing unmatched

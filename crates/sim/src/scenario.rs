@@ -186,6 +186,7 @@ impl Scenario {
                 charge_per_match: self.negotiator.charge_per_match,
                 autocluster: self.negotiator.autocluster,
                 attribution: false,
+                ..NegotiatorConfig::default()
             },
             self.negotiation_period_ms,
         );

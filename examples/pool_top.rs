@@ -104,6 +104,13 @@ fn render_matchmaker(ads: &[ClassAd]) {
         );
     }
     println!();
+    println!(
+        "  incremental: {} cycles   shards {} scanned / {} skipped   dirty resources {}",
+        int(ad, "IncrementalCycles"),
+        int(ad, "ShardsScanned"),
+        int(ad, "ShardsSkipped"),
+        int(ad, "DirtyResources"),
+    );
     // Attribution summary: why the last cycle's unmatched requests went
     // unmatched, straight from the negotiator's rejection tables.
     if let Some(reasons) = ad.get_string("RejectionTopReasons") {
