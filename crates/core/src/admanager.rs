@@ -441,6 +441,70 @@ impl AdStore {
             .flat_map(|sh| sh.order.iter())
             .chain(self.customers.values())
     }
+
+    /// Capture the store's **full** state — every ad of both kinds
+    /// (lapsed or not), the shard layout, and the sequence counter — for
+    /// checkpointing (HA recovery). Unlike [`AdStore::snapshot`], which
+    /// is a match-scan view of live ads of one kind, this is the
+    /// everything-needed-to-rebuild-me view: restoring it with
+    /// [`AdStore::restore_state`] yields a store that answers every
+    /// query, match, and renewal exactly as this one would.
+    pub fn snapshot_state(&self) -> StoreSnapshot {
+        StoreSnapshot {
+            shards: self.shards.len(),
+            pinned: self.pinned,
+            next_seq: self.next_seq,
+            ads: self.iter().cloned().collect(),
+        }
+    }
+
+    /// Rebuild a store from a [`StoreSnapshot`]. Every ad lands in the
+    /// shard its name hashes to under the snapshot's shard count, keeping
+    /// its sequence number, lease, ticket, contact, and trace; the
+    /// sequence counter resumes where the snapshot left it, so ads
+    /// admitted after a restore sort strictly fresher than everything
+    /// checkpointed.
+    pub fn restore_state(snap: &StoreSnapshot) -> AdStore {
+        let n = snap.shards.max(1);
+        let mut store = AdStore {
+            shards: (0..n).map(|_| Shard::default()).collect(),
+            pinned: snap.pinned,
+            customers: HashMap::new(),
+            next_seq: snap.next_seq,
+            eval_policy: EvalPolicy::default(),
+        };
+        for stored in &snap.ads {
+            let key = stored.name.to_ascii_lowercase();
+            match stored.kind {
+                EntityKind::Provider => {
+                    let shard = store.shard_of(&stored.name);
+                    store.shards[shard].insert(key, stored.clone());
+                }
+                EntityKind::Customer => {
+                    store.customers.insert(key, stored.clone());
+                }
+            }
+        }
+        store
+    }
+}
+
+/// Full recoverable state of an [`AdStore`], produced by
+/// [`AdStore::snapshot_state`] and consumed by [`AdStore::restore_state`].
+/// This is what an HA checkpoint freezes into the journal stream (see
+/// `condor-ha`): the shard layout, the monotone sequence counter, and
+/// every stored ad with its lease, ticket, and trace intact.
+#[derive(Debug, Clone)]
+pub struct StoreSnapshot {
+    /// Provider shard count at snapshot time.
+    pub shards: usize,
+    /// Whether the shard count was pinned (auto-scaling disabled).
+    pub pinned: bool,
+    /// The sequence counter; the restored store resumes from here.
+    pub next_seq: u64,
+    /// Every stored ad, providers and customers alike, lapsed or not
+    /// (expiry is re-judged against the clock after restore, not here).
+    pub ads: Vec<StoredAd>,
 }
 
 #[cfg(test)]
@@ -707,6 +771,64 @@ mod tests {
                 .unwrap();
         }
         assert_eq!(store.num_shards(), 2);
+    }
+
+    #[test]
+    fn snapshot_state_roundtrips_ads_seq_and_layout() {
+        let mut store = AdStore::with_shards(4);
+        for i in 0..20 {
+            store
+                .advertise(
+                    adv_with_attr(&format!("m{i}"), EntityKind::Provider, 100 + i as u64, i),
+                    0,
+                    &proto(),
+                )
+                .unwrap();
+        }
+        store
+            .advertise(adv("job-1", EntityKind::Customer, 150), 0, &proto())
+            .unwrap();
+        let snap = store.snapshot_state();
+        assert_eq!(snap.shards, 4);
+        assert!(snap.pinned);
+        assert_eq!(snap.ads.len(), 21);
+        let restored = AdStore::restore_state(&snap);
+        assert_eq!(restored.num_shards(), store.num_shards());
+        assert_eq!(restored.len(), store.len());
+        for i in 0..20 {
+            let name = format!("m{i}");
+            let a = store.get(EntityKind::Provider, &name).unwrap();
+            let b = restored.get(EntityKind::Provider, &name).unwrap();
+            assert_eq!(a.seq, b.seq);
+            assert_eq!(a.expires_at, b.expires_at);
+            assert_eq!(a.contact, b.contact);
+            assert_eq!(*a.ad, *b.ad);
+        }
+        assert!(restored.get(EntityKind::Customer, "job-1").is_some());
+        // The seq counter resumes: a new ad sorts fresher than everything
+        // checkpointed.
+        let mut restored = restored;
+        restored
+            .advertise(adv("late", EntityKind::Provider, 200), 0, &proto())
+            .unwrap();
+        let late = restored.get(EntityKind::Provider, "late").unwrap().seq;
+        assert!(snap.ads.iter().all(|a| a.seq < late));
+    }
+
+    #[test]
+    fn restored_store_treats_identical_readvertise_as_renewal() {
+        let mut store = AdStore::new();
+        store
+            .advertise(adv("m", EntityKind::Provider, 50), 0, &proto())
+            .unwrap();
+        let seq = store.get(EntityKind::Provider, "m").unwrap().seq;
+        let mut restored = AdStore::restore_state(&store.snapshot_state());
+        restored
+            .advertise(adv("m", EntityKind::Provider, 150), 10, &proto())
+            .unwrap();
+        let s = restored.get(EntityKind::Provider, "m").unwrap();
+        assert_eq!(s.seq, seq, "renewal semantics survive the roundtrip");
+        assert_eq!(s.expires_at, 150);
     }
 
     #[test]

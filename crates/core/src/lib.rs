@@ -70,7 +70,7 @@ pub mod query;
 pub mod service;
 pub mod ticket;
 
-pub use admanager::{AdStore, StoredAd};
+pub use admanager::{AdStore, StoreSnapshot, StoredAd};
 pub use autocluster::{Clustering, MatchList, OfferMeta};
 pub use claim::{ClaimHandler, ClaimState};
 pub use framing::{encode_framed, frame_body, FrameDecoder, MAX_FRAME_LEN};

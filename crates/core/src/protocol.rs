@@ -289,6 +289,30 @@ pub enum Message {
         /// The analysis ad.
         ad: ClassAd,
     },
+    /// A matchmaker daemon bids for pool leadership (HA election; see
+    /// `docs/protocol.md` §13). A bid proposes an epoch strictly greater
+    /// than any lease the bidder has observed; peers answer with their
+    /// current [`Message::LeaderLease`] (conceding or asserting). A
+    /// pre-HA matchmaker answers [`Message::Error`] (`unknown tag 11`),
+    /// which bidders treat as a concession — no framing desync.
+    ElectionBid {
+        /// The epoch the bidder proposes to lead.
+        epoch: u64,
+        /// The bidder's matchmaker contact address (`host:port`).
+        candidate: String,
+    },
+    /// A leadership lease assertion: `leader` holds the pool for `epoch`
+    /// until `expires_at`. Sent in reply to an [`Message::ElectionBid`]
+    /// and broadcast by the leader as a heartbeat; standbys contend only
+    /// once the lease they last saw has lapsed.
+    LeaderLease {
+        /// The epoch this lease belongs to. Higher epochs always win.
+        epoch: u64,
+        /// The leader's matchmaker contact address (`host:port`).
+        leader: String,
+        /// When the lease lapses if not refreshed (absolute, seconds).
+        expires_at: Timestamp,
+    },
 }
 
 const TAG_ADVERTISE: u8 = 1;
@@ -301,6 +325,8 @@ const TAG_QUERY_REPLY: u8 = 7;
 const TAG_ERROR: u8 = 8;
 const TAG_ANALYZE: u8 = 9;
 const TAG_ANALYZE_REPLY: u8 = 10;
+const TAG_ELECTION_BID: u8 = 11;
+const TAG_LEADER_LEASE: u8 = 12;
 
 /// Whether a tag may carry the optional trace-context trailer (the five
 /// match-lifecycle messages; see `docs/protocol.md` §11). Queries and
@@ -486,6 +512,21 @@ impl Message {
                 buf.put_u8(TAG_ANALYZE_REPLY);
                 put_ad(&mut buf, ad);
             }
+            Message::ElectionBid { epoch, candidate } => {
+                buf.put_u8(TAG_ELECTION_BID);
+                buf.put_u64(*epoch);
+                put_string(&mut buf, candidate);
+            }
+            Message::LeaderLease {
+                epoch,
+                leader,
+                expires_at,
+            } => {
+                buf.put_u8(TAG_LEADER_LEASE);
+                buf.put_u64(*epoch);
+                put_string(&mut buf, leader);
+                buf.put_u64(*expires_at);
+            }
         }
         if let Some(ctx) = trace {
             if tag_carries_trace(buf[0]) {
@@ -592,6 +633,15 @@ impl Message {
             },
             TAG_ANALYZE => Message::Analyze { name: r.string()? },
             TAG_ANALYZE_REPLY => Message::AnalyzeReply { ad: r.ad()? },
+            TAG_ELECTION_BID => Message::ElectionBid {
+                epoch: r.u64()?,
+                candidate: r.string()?,
+            },
+            TAG_LEADER_LEASE => Message::LeaderLease {
+                epoch: r.u64()?,
+                leader: r.string()?,
+                expires_at: r.u64()?,
+            },
             other => return Err(ProtocolError::BadFrame(format!("unknown tag {other}"))),
         };
         let trace = if tag_carries_trace(tag) && r.buf.has_remaining() {
@@ -801,6 +851,65 @@ mod tests {
         let mut bytes = msg.encode().to_vec();
         bytes.push(1);
         assert!(Message::decode(Bytes::from(bytes)).is_err());
+    }
+
+    #[test]
+    fn election_messages_roundtrip() {
+        let bid = Message::ElectionBid {
+            epoch: 7,
+            candidate: "127.0.0.1:9614".into(),
+        };
+        assert_eq!(Message::decode(bid.encode()).unwrap(), bid);
+        let lease = Message::LeaderLease {
+            epoch: 7,
+            leader: "127.0.0.1:9614".into(),
+            expires_at: 1_700_000_000,
+        };
+        assert_eq!(Message::decode(lease.encode()).unwrap(), lease);
+    }
+
+    #[test]
+    fn election_tags_never_carry_trace_trailers() {
+        // Elections are pool-control traffic, not part of any match's
+        // causal chain — like Query/Release they stay trailer-free.
+        let ctx = TraceContext {
+            trace_id: 1,
+            parent_span_id: 2,
+        };
+        let bid = Message::ElectionBid {
+            epoch: 1,
+            candidate: "mm:1".into(),
+        };
+        assert_eq!(bid.encode(), bid.encode_traced(Some(&ctx)));
+        let lease = Message::LeaderLease {
+            epoch: 1,
+            leader: "mm:1".into(),
+            expires_at: 99,
+        };
+        assert_eq!(lease.encode(), lease.encode_traced(Some(&ctx)));
+        // Trailing bytes after an election frame are rejected, not
+        // misparsed as a trailer.
+        let mut bytes = bid.encode().to_vec();
+        bytes.push(1);
+        assert!(Message::decode(Bytes::from(bytes)).is_err());
+    }
+
+    #[test]
+    fn pre_ha_peers_reject_election_tags_cleanly() {
+        // An old decoder sees tags 11/12 as unknown and raises BadFrame
+        // (its daemon replies with a structured Error), which bidders
+        // interpret as a concession from a pre-HA peer.
+        let bid = Message::ElectionBid {
+            epoch: 1,
+            candidate: "mm:1".into(),
+        };
+        assert_eq!(bid.encode()[0], TAG_ELECTION_BID);
+        let lease = Message::LeaderLease {
+            epoch: 1,
+            leader: "mm:1".into(),
+            expires_at: 99,
+        };
+        assert_eq!(lease.encode()[0], TAG_LEADER_LEASE);
     }
 
     #[test]

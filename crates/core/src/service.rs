@@ -14,7 +14,7 @@
 //! relaxed atomics: they are monotone counters with no ordering
 //! requirements.
 
-use crate::admanager::AdStore;
+use crate::admanager::{AdStore, StoreSnapshot};
 use crate::matcher::MatchEngine;
 use crate::negotiate::{
     ClusterRejections, CycleOutcome, Negotiator, NegotiatorConfig, RejectionTable,
@@ -262,6 +262,21 @@ impl Matchmaker {
     /// Number of stored ads.
     pub fn ad_count(&self) -> usize {
         self.store.read().len()
+    }
+
+    /// Checkpoint the ad store's full state — every ad, the shard layout,
+    /// and the sequence counter (see [`AdStore::snapshot_state`]). Taken
+    /// under the read lock, so ingest continues while HA checkpoints.
+    pub fn snapshot_state(&self) -> StoreSnapshot {
+        self.store.read().snapshot_state()
+    }
+
+    /// Replace the ad store with one rebuilt from a checkpoint (see
+    /// [`AdStore::restore_state`]). Used by a newly inaugurated HA leader
+    /// to resume from last-checkpoint-plus-tail before its first cycle;
+    /// whatever the store held before is discarded.
+    pub fn restore_state(&self, snap: &StoreSnapshot) {
+        *self.store.write() = AdStore::restore_state(snap);
     }
 
     /// Run one negotiation cycle at `now`. Expired ads are swept first

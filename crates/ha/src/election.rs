@@ -1,0 +1,423 @@
+//! Lease-based leader election among matchmaker daemons.
+//!
+//! The state machine is pure: it owns no sockets and never reads a clock.
+//! The daemon drives it — ticking it periodically, shipping the
+//! `ElectionBid` / `LeaderLease` frames it asks for, and feeding every
+//! lease or bid it hears back in. That keeps the election deterministic
+//! under test: feed the same observations in the same order and the same
+//! daemon leads.
+//!
+//! ## The protocol
+//!
+//! * The leader re-arms its lease every tick and broadcasts a
+//!   [`Message::LeaderLease`](matchmaker::protocol::Message::LeaderLease)
+//!   heartbeat naming `(epoch, leader, expires_at)`.
+//! * A standby stays quiet while the lease it last observed is live. Once
+//!   the lease lapses (the leader died, or never existed), the standby
+//!   contends: it proposes `epoch + 1` and sends an `ElectionBid` to every
+//!   peer.
+//! * A peer answers a bid with a `LeaderLease` — either *conceding* (it
+//!   adopted the bid and the lease names the candidate) or *asserting* a
+//!   lease at an epoch at least as high naming someone else. Dead peers
+//!   and pre-HA matchmakers (which reject tag 11 with a structured error)
+//!   are treated as concessions: they cannot out-vote a live candidate.
+//! * Higher epochs always win. Equal-epoch conflicts (two standbys bid
+//!   simultaneously and split the concessions) are broken by contact
+//!   ordering — the lexicographically smaller contact wins — so a split
+//!   round still converges without randomness.
+
+use matchmaker::protocol::Timestamp;
+
+/// Static election parameters for one daemon.
+#[derive(Debug, Clone)]
+pub struct ElectionConfig {
+    /// This daemon's own contact address (`host:port`), also its identity
+    /// on the ballot.
+    pub contact: String,
+    /// The other matchmakers in the HA set (contact addresses).
+    pub peers: Vec<String>,
+    /// Lease length in seconds. A leader heartbeats several times per
+    /// lease; a standby waits out a full lease before contending.
+    pub lease_secs: u64,
+}
+
+/// Which side of the lease a daemon currently sits on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Holds the pool: negotiates, stores ads, answers queries.
+    Leader,
+    /// Watches the lease and redirects agents to the leader.
+    Standby,
+}
+
+/// What the daemon should do after a [`Election::tick`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tick {
+    /// We are the leader: broadcast this lease to every peer as a
+    /// heartbeat.
+    Lead {
+        /// Our current epoch.
+        epoch: u64,
+        /// The freshly re-armed lease expiry to advertise.
+        expires_at: Timestamp,
+    },
+    /// The observed lease has lapsed: send an `ElectionBid` proposing
+    /// `epoch` to every peer, feed the replies into
+    /// [`Election::observe_lease`], then call
+    /// [`Election::try_inaugurate`].
+    Contend {
+        /// The epoch to propose (strictly greater than any we observed).
+        epoch: u64,
+    },
+    /// A live lease is in force and it is not ours: do nothing.
+    Wait,
+}
+
+/// Outcome of feeding an observed lease into the state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeaseVerdict {
+    /// The lease was adopted (newer epoch, or a renewal of the current
+    /// leader's lease).
+    Adopted,
+    /// The lease was adopted *and* it ended our own leadership: we saw a
+    /// rightful leader at an epoch we cannot beat. The daemon must stop
+    /// negotiating immediately.
+    SteppedDown,
+    /// The lease lost to what we already hold; it changed nothing.
+    Stale,
+}
+
+/// The election state machine for one matchmaker daemon.
+#[derive(Debug, Clone)]
+pub struct Election {
+    contact: String,
+    peers: Vec<String>,
+    lease_secs: u64,
+    epoch: u64,
+    role: Role,
+    leader: Option<String>,
+    lease_expires: Timestamp,
+}
+
+impl Election {
+    /// A fresh standby. The boot grace period is one full lease from
+    /// `now`: a restarting daemon listens for the incumbent's heartbeat
+    /// before it would contend, so a rolling restart does not trigger a
+    /// spurious election.
+    pub fn new(cfg: ElectionConfig, now: Timestamp) -> Election {
+        Election {
+            lease_expires: now.saturating_add(cfg.lease_secs),
+            contact: cfg.contact,
+            peers: cfg.peers,
+            lease_secs: cfg.lease_secs.max(1),
+            epoch: 0,
+            role: Role::Standby,
+            leader: None,
+        }
+    }
+
+    /// A non-contending leader for a classic single-matchmaker pool: the
+    /// daemon leads from birth at epoch 0 with a lease that never lapses
+    /// and no peers to heartbeat. This keeps one code path in the daemon —
+    /// every matchmaker owns an `Election`, but only HA sets ever tick
+    /// theirs into a real contest.
+    pub fn solo(contact: String) -> Election {
+        Election {
+            leader: Some(contact.clone()),
+            contact,
+            peers: Vec::new(),
+            lease_secs: u64::MAX,
+            epoch: 0,
+            role: Role::Leader,
+            lease_expires: Timestamp::MAX,
+        }
+    }
+
+    /// Our own contact address.
+    pub fn contact(&self) -> &str {
+        &self.contact
+    }
+
+    /// The peer contact list (bid and heartbeat targets).
+    pub fn peers(&self) -> &[String] {
+        &self.peers
+    }
+
+    /// Replace the peer list (HA sets whose members bind ephemeral ports
+    /// learn each other's addresses after spawn).
+    pub fn set_peers(&mut self, peers: Vec<String>) {
+        self.peers = peers;
+    }
+
+    /// Current role.
+    pub fn role(&self) -> Role {
+        self.role
+    }
+
+    /// `true` when this daemon holds the pool.
+    pub fn is_leader(&self) -> bool {
+        self.role == Role::Leader
+    }
+
+    /// The highest epoch this daemon has observed or granted.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The leader we currently believe in, if any.
+    pub fn leader(&self) -> Option<&str> {
+        self.leader.as_deref()
+    }
+
+    /// When the lease we hold (or observe) lapses.
+    pub fn lease_expires(&self) -> Timestamp {
+        self.lease_expires
+    }
+
+    /// Advance the machine one step at `now`.
+    pub fn tick(&mut self, now: Timestamp) -> Tick {
+        match self.role {
+            Role::Leader => {
+                self.lease_expires = now.saturating_add(self.lease_secs);
+                Tick::Lead {
+                    epoch: self.epoch,
+                    expires_at: self.lease_expires,
+                }
+            }
+            Role::Standby => {
+                if now < self.lease_expires {
+                    Tick::Wait
+                } else {
+                    Tick::Contend {
+                        epoch: self.epoch + 1,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fold in a lease we heard — a leader heartbeat, or a peer's reply to
+    /// our bid. Higher epochs always win; equal epochs renew the same
+    /// leader or break the tie toward the smaller contact string.
+    pub fn observe_lease(
+        &mut self,
+        epoch: u64,
+        leader: &str,
+        expires_at: Timestamp,
+    ) -> LeaseVerdict {
+        if leader.is_empty() {
+            return LeaseVerdict::Stale;
+        }
+        let adopt = match epoch.cmp(&self.epoch) {
+            std::cmp::Ordering::Greater => true,
+            std::cmp::Ordering::Less => false,
+            std::cmp::Ordering::Equal => match self.leader.as_deref() {
+                None => true,
+                Some(current) if current == leader => {
+                    // Renewal of the lease we already honour.
+                    self.lease_expires = self.lease_expires.max(expires_at);
+                    return LeaseVerdict::Adopted;
+                }
+                // Equal-epoch split: deterministic tie-break.
+                Some(current) => leader < current,
+            },
+        };
+        if !adopt {
+            return LeaseVerdict::Stale;
+        }
+        self.epoch = epoch;
+        self.leader = Some(leader.to_string());
+        self.lease_expires = expires_at;
+        if self.role == Role::Leader && leader != self.contact {
+            self.role = Role::Standby;
+            return LeaseVerdict::SteppedDown;
+        }
+        LeaseVerdict::Adopted
+    }
+
+    /// Answer a peer's `ElectionBid`. Returns the `(epoch, leader,
+    /// expires_at)` triple to send back as a `LeaderLease`: the adopted
+    /// lease when we concede, our current view when we reject. A bid for
+    /// a strictly higher epoch always wins — even over our own
+    /// leadership, in which case the caller sees us as a standby from the
+    /// next tick on.
+    pub fn observe_bid(
+        &mut self,
+        epoch: u64,
+        candidate: &str,
+        now: Timestamp,
+    ) -> (u64, String, Timestamp) {
+        let concede = epoch > self.epoch
+            || (epoch == self.epoch && self.leader.as_deref() == Some(candidate));
+        if concede {
+            self.epoch = epoch;
+            self.leader = Some(candidate.to_string());
+            self.lease_expires = now.saturating_add(self.lease_secs);
+            if self.role == Role::Leader && candidate != self.contact {
+                self.role = Role::Standby;
+            }
+            (epoch, candidate.to_string(), self.lease_expires)
+        } else {
+            (
+                self.epoch,
+                self.leader.clone().unwrap_or_default(),
+                self.lease_expires,
+            )
+        }
+    }
+
+    /// Close out a bid for `bid_epoch` after every peer's reply (or
+    /// failure — a concession) has been folded in with
+    /// [`observe_lease`](Election::observe_lease). Succeeds — making us
+    /// the leader — unless some peer asserted an epoch at least as high
+    /// naming someone else.
+    pub fn try_inaugurate(&mut self, bid_epoch: u64, now: Timestamp) -> bool {
+        if self.epoch > bid_epoch {
+            return false;
+        }
+        if self.epoch == bid_epoch && self.leader.as_deref() != Some(self.contact.as_str()) {
+            return false;
+        }
+        self.epoch = bid_epoch;
+        self.leader = Some(self.contact.clone());
+        self.role = Role::Leader;
+        self.lease_expires = now.saturating_add(self.lease_secs);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn election(contact: &str, peers: &[&str]) -> Election {
+        Election::new(
+            ElectionConfig {
+                contact: contact.into(),
+                peers: peers.iter().map(|p| p.to_string()).collect(),
+                lease_secs: 10,
+            },
+            100,
+        )
+    }
+
+    #[test]
+    fn lone_daemon_waits_out_the_grace_then_leads() {
+        let mut el = election("a:1", &[]);
+        assert_eq!(el.tick(105), Tick::Wait, "boot grace: listen first");
+        assert_eq!(el.tick(110), Tick::Contend { epoch: 1 });
+        assert!(el.try_inaugurate(1, 110));
+        assert!(el.is_leader());
+        assert_eq!(
+            el.tick(111),
+            Tick::Lead {
+                epoch: 1,
+                expires_at: 121
+            }
+        );
+    }
+
+    #[test]
+    fn standby_honours_heartbeats_and_contends_on_lapse() {
+        let mut el = election("b:1", &["a:1"]);
+        assert_eq!(el.observe_lease(3, "a:1", 130), LeaseVerdict::Adopted);
+        assert_eq!(el.epoch(), 3);
+        assert_eq!(el.leader(), Some("a:1"));
+        assert_eq!(el.tick(129), Tick::Wait);
+        // The leader dies: no more renewals, the lease lapses.
+        assert_eq!(el.tick(130), Tick::Contend { epoch: 4 });
+        assert!(el.try_inaugurate(4, 130));
+        assert_eq!(el.leader(), Some("b:1"));
+    }
+
+    #[test]
+    fn stale_bids_are_rejected_with_the_current_lease() {
+        let mut el = election("a:1", &["b:1"]);
+        assert_eq!(el.tick(110), Tick::Contend { epoch: 1 });
+        assert!(el.try_inaugurate(1, 110));
+        // A bid at our own epoch from someone else does not unseat us.
+        let (epoch, leader, expires) = el.observe_bid(1, "b:1", 111);
+        assert_eq!((epoch, leader.as_str(), expires), (1, "a:1", 120));
+        assert!(el.is_leader());
+    }
+
+    #[test]
+    fn higher_epoch_bid_unseats_a_leader() {
+        let mut el = election("a:1", &["b:1"]);
+        assert!(el.try_inaugurate(1, 110));
+        let (epoch, leader, _) = el.observe_bid(2, "b:1", 112);
+        assert_eq!((epoch, leader.as_str()), (2, "b:1"));
+        assert_eq!(el.role(), Role::Standby);
+        assert_eq!(el.leader(), Some("b:1"));
+    }
+
+    #[test]
+    fn heartbeat_from_a_higher_epoch_steps_a_leader_down() {
+        let mut el = election("a:1", &["b:1"]);
+        assert!(el.try_inaugurate(1, 110));
+        assert_eq!(el.observe_lease(2, "b:1", 125), LeaseVerdict::SteppedDown);
+        assert_eq!(el.role(), Role::Standby);
+        assert_eq!(el.tick(120), Tick::Wait, "the new lease is honoured");
+    }
+
+    #[test]
+    fn losing_bidder_adopts_the_asserted_leader() {
+        let mut el = election("b:1", &["a:1", "c:1"]);
+        let Tick::Contend { epoch } = el.tick(115) else {
+            panic!("expected a contention");
+        };
+        // A peer asserts an existing lease at the same epoch for "a:1".
+        assert_eq!(el.observe_lease(epoch, "a:1", 130), LeaseVerdict::Adopted);
+        assert!(!el.try_inaugurate(epoch, 115), "the bid lost");
+        assert_eq!(el.leader(), Some("a:1"));
+        assert_eq!(el.role(), Role::Standby);
+    }
+
+    #[test]
+    fn simultaneous_bids_resolve_by_contact_order() {
+        // Both standbys contend for epoch 1 at once and exchange bids
+        // before either sees a reply: each concedes to the other.
+        let mut a = election("a:1", &["b:1"]);
+        let mut b = election("b:1", &["a:1"]);
+        let reply_from_b = b.observe_bid(1, "a:1", 115);
+        let reply_from_a = a.observe_bid(1, "b:1", 115);
+        // Now each folds in the other's reply (the cross-concessions).
+        a.observe_lease(reply_from_b.0, &reply_from_b.1, reply_from_b.2);
+        b.observe_lease(reply_from_a.0, &reply_from_a.1, reply_from_a.2);
+        let a_wins = a.try_inaugurate(1, 115);
+        let b_wins = b.try_inaugurate(1, 115);
+        assert!(a_wins, "the smaller contact wins the tie");
+        assert!(!b_wins);
+        assert_eq!(b.leader(), Some("a:1"));
+    }
+
+    #[test]
+    fn solo_leads_forever_without_contention() {
+        let mut el = Election::solo("a:1".into());
+        assert!(el.is_leader());
+        assert_eq!(el.leader(), Some("a:1"));
+        assert_eq!(el.epoch(), 0);
+        assert!(el.peers().is_empty());
+        assert!(matches!(el.tick(u64::MAX - 1), Tick::Lead { epoch: 0, .. }));
+        // Even a solo leader yields to a real HA set annexing the pool.
+        assert_eq!(el.observe_lease(1, "b:1", 200), LeaseVerdict::SteppedDown);
+    }
+
+    #[test]
+    fn empty_leader_names_never_adopt() {
+        let mut el = election("a:1", &[]);
+        assert_eq!(el.observe_lease(5, "", 200), LeaseVerdict::Stale);
+        assert_eq!(el.epoch(), 0);
+    }
+
+    #[test]
+    fn repeat_bid_from_the_granted_candidate_renews() {
+        let mut el = election("c:1", &["a:1", "b:1"]);
+        let first = el.observe_bid(2, "a:1", 120);
+        assert_eq!((first.0, first.1.as_str()), (2, "a:1"));
+        // The same candidate retries the same epoch (lost our reply):
+        // still conceded, lease re-armed.
+        let again = el.observe_bid(2, "a:1", 125);
+        assert_eq!((again.0, again.1.as_str(), again.2), (2, "a:1", 135));
+    }
+}

@@ -1,0 +1,43 @@
+//! # condor-ha — high availability for the matchmaker
+//!
+//! The paper (Raman, Livny & Solomon, HPDC 1998) makes the matchmaker
+//! deliberately *stateless with respect to matches*: its only state is a
+//! soft-state store of leased advertisements, and claiming runs directly
+//! between the matched parties. That weak-consistency stance is exactly
+//! what makes the matchmaker cheap to replicate — a standby that takes
+//! over with an empty store converges as agents re-advertise, and every
+//! established claim survives untouched because the matchmaker was never
+//! in that loop.
+//!
+//! This crate turns that observation into a subsystem (the analogue of
+//! Condor's HAD, the high-availability daemon):
+//!
+//! * [`election`] — a pure, lease-based leader-election state machine.
+//!   Matchmakers exchange `Message::ElectionBid` / `Message::LeaderLease`
+//!   frames over the existing wire protocol; epochs are monotone, higher
+//!   epochs always win, and standbys contend only once the observed lease
+//!   lapses. Pre-HA peers reject the new tags with a structured error,
+//!   which bidders treat as a concession — mixed pools elect correctly.
+//! * [`snapshot`] — a self-contained text codec for a matchmaker's full
+//!   soft state ([`matchmaker::StoreSnapshot`] plus any in-flight
+//!   [`matchmaker::MatchRecord`]s). The encoding is line-oriented with
+//!   percent-escaped fields so the whole snapshot travels as one opaque
+//!   string inside a journal `Checkpoint` record.
+//! * [`recovery`] — last-checkpoint-plus-tail restart. A newly
+//!   inaugurated leader replays the journal, decodes the latest
+//!   checkpoint, and withdraws any ads the dead leader matched *after*
+//!   the checkpoint (they are in the tail as `MatchMade` events), so the
+//!   new leader never double-allocates a machine it can see was spoken
+//!   for. Everything the journal cannot reconstruct heals by soft state:
+//!   agents re-advertise within a heartbeat.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod election;
+pub mod recovery;
+pub mod snapshot;
+
+pub use election::{Election, ElectionConfig, LeaseVerdict, Role, Tick};
+pub use recovery::{recover_pool, Recovered};
+pub use snapshot::{PoolSnapshot, SnapshotError};

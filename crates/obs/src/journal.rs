@@ -115,6 +115,23 @@ pub enum Event {
         /// The agent's `Name`.
         name: String,
     },
+    /// A full-state checkpoint frozen into the journal stream (HA
+    /// recovery). The `state` payload is an opaque snapshot — encoded and
+    /// decoded by `condor-ha`, not interpreted here — and the counts let
+    /// an operator (or `status_query --journal`) gauge the checkpoint
+    /// without decoding it. Recovery replays from the **last** checkpoint
+    /// plus the records after it (see [`recover`]).
+    Checkpoint {
+        /// The leadership epoch this checkpoint was taken under (0 for a
+        /// non-HA daemon).
+        epoch: u64,
+        /// How many ads the snapshot holds.
+        ads: u64,
+        /// How many outstanding match records the snapshot holds.
+        matches: u64,
+        /// The encoded snapshot payload (opaque to the journal).
+        state: String,
+    },
     /// A negotiation cycle left requests unmatched and the attribution
     /// pass classified why (one event per cycle, covering every cluster
     /// with unmatched requests).
@@ -146,6 +163,7 @@ impl Event {
             Event::LeaseExpired { .. } => "LeaseExpired",
             Event::FrameRejected { .. } => "FrameRejected",
             Event::AgentRestarted { .. } => "AgentRestarted",
+            Event::Checkpoint { .. } => "Checkpoint",
             Event::CycleRejections { .. } => "CycleRejections",
         }
     }
@@ -165,6 +183,7 @@ impl Event {
                 | "LeaseExpired"
                 | "FrameRejected"
                 | "AgentRestarted"
+                | "Checkpoint"
                 | "CycleRejections"
         )
     }
@@ -229,6 +248,17 @@ impl Event {
             Event::AgentRestarted { agent, name } => {
                 vec![("agent", Str(agent.clone())), ("name", Str(name.clone()))]
             }
+            Event::Checkpoint {
+                epoch,
+                ads,
+                matches,
+                state,
+            } => vec![
+                ("epoch", U64(*epoch)),
+                ("ads", U64(*ads)),
+                ("matches", U64(*matches)),
+                ("state", Str(state.clone())),
+            ],
             Event::CycleRejections {
                 cycle,
                 clusters,
@@ -287,6 +317,12 @@ impl Event {
             "AgentRestarted" => Event::AgentRestarted {
                 agent: obj.str("agent")?,
                 name: obj.str("name")?,
+            },
+            "Checkpoint" => Event::Checkpoint {
+                epoch: obj.u64("epoch")?,
+                ads: obj.u64("ads")?,
+                matches: obj.u64("matches")?,
+                state: obj.str("state")?,
             },
             "CycleRejections" => Event::CycleRejections {
                 cycle: obj.u64("cycle")?,
@@ -696,6 +732,57 @@ pub fn replay_with_stats(path: impl AsRef<Path>) -> std::io::Result<(Vec<Record>
     Ok((records, stats))
 }
 
+/// What a recovering daemon reconstructs from a journal: the last
+/// checkpoint (if any) plus the records appended after it — the
+/// "last-checkpoint-plus-tail" cursor an HA standby replays before
+/// answering its first cycle as leader.
+#[derive(Debug, Clone)]
+pub struct Recovery {
+    /// The payload of the newest [`Event::Checkpoint`], `None` when the
+    /// journal holds no checkpoint (recovery then relies on agents'
+    /// natural re-advertising alone).
+    pub state: Option<String>,
+    /// The sequence number of that checkpoint record (0 when none).
+    pub checkpoint_seq: u64,
+    /// The leadership epoch the checkpoint was taken under (0 when none).
+    pub epoch: u64,
+    /// Every record strictly after the checkpoint, in replay order (the
+    /// whole journal when there is no checkpoint).
+    pub tail: Vec<Record>,
+    /// Replay health over the full walk.
+    pub stats: ReplayStats,
+}
+
+/// Walk the journal at `path` (rotated generations included) and position
+/// a recovery cursor at the **last** [`Event::Checkpoint`]: its payload
+/// plus everything after it. This is the restart path of an HA leader —
+/// restore the checkpoint, then apply the tail.
+pub fn recover(path: impl AsRef<Path>) -> std::io::Result<Recovery> {
+    let (records, stats) = replay_with_stats(path)?;
+    let mut cut = 0usize;
+    let mut state = None;
+    let mut checkpoint_seq = 0;
+    let mut epoch = 0;
+    for (i, rec) in records.iter().enumerate() {
+        if let Event::Checkpoint {
+            epoch: e, state: s, ..
+        } = &rec.event
+        {
+            cut = i + 1;
+            state = Some(s.clone());
+            checkpoint_seq = rec.seq;
+            epoch = *e;
+        }
+    }
+    Ok(Recovery {
+        state,
+        checkpoint_seq,
+        epoch,
+        tail: records[cut..].to_vec(),
+        stats,
+    })
+}
+
 // ---- minimal flat JSON ----
 //
 // The journal's object shape is fixed: one flat object per line, values
@@ -963,6 +1050,12 @@ mod tests {
                 agent: "CustomerAgent".into(),
                 name: "alice".into(),
             },
+            Event::Checkpoint {
+                epoch: 3,
+                ads: 12,
+                matches: 1,
+                state: "snapshot v1\nad \"with\\quotes\"\tand tabs".into(),
+            },
             Event::CycleRejections {
                 cycle: 3,
                 clusters: 2,
@@ -1141,6 +1234,78 @@ mod tests {
         let rec = j.append(Event::LeaseExpired { expired: 2 });
         assert_eq!(rec.seq, 4, "seq resumes after the unknown kinds");
         let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn recover_positions_the_cursor_after_the_last_checkpoint() {
+        let dir = temp_dir("recover");
+        let cfg = JournalConfig::new(dir.join("j.jsonl"));
+        let j = Journal::open(cfg).unwrap();
+        j.append(Event::LeaseExpired { expired: 1 });
+        j.append(Event::Checkpoint {
+            epoch: 1,
+            ads: 5,
+            matches: 0,
+            state: "first".into(),
+        });
+        j.append(Event::LeaseExpired { expired: 2 });
+        j.append(Event::Checkpoint {
+            epoch: 2,
+            ads: 7,
+            matches: 1,
+            state: "second".into(),
+        });
+        j.append(Event::LeaseExpired { expired: 3 });
+        j.append(Event::MatchMade {
+            request: "j1".into(),
+            offer: "m1".into(),
+        });
+        let rec = recover(j.path()).unwrap();
+        assert_eq!(rec.state.as_deref(), Some("second"));
+        assert_eq!(rec.checkpoint_seq, 4);
+        assert_eq!(rec.epoch, 2);
+        assert_eq!(rec.tail.len(), 2, "only records after the checkpoint");
+        assert_eq!(rec.tail[0].event, Event::LeaseExpired { expired: 3 });
+        assert_eq!(rec.stats.records, 6);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn recover_without_checkpoint_returns_the_whole_journal() {
+        let dir = temp_dir("recover-nocp");
+        let cfg = JournalConfig::new(dir.join("j.jsonl"));
+        let j = Journal::open(cfg).unwrap();
+        j.append(Event::LeaseExpired { expired: 1 });
+        j.append(Event::LeaseExpired { expired: 2 });
+        let rec = recover(j.path()).unwrap();
+        assert_eq!(rec.state, None);
+        assert_eq!(rec.checkpoint_seq, 0);
+        assert_eq!(rec.tail.len(), 2);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn checkpoint_payload_with_newlines_survives_the_line_format() {
+        let state = "line1\nline2\twith\"quotes\"\\and\\slashes\nline3".to_string();
+        let rec = Record {
+            seq: 1,
+            unix: 1_700_000_000,
+            unix_ms: 1_700_000_000_000,
+            event: Event::Checkpoint {
+                epoch: 9,
+                ads: 2,
+                matches: 0,
+                state: state.clone(),
+            },
+            span: None,
+        };
+        let line = rec.encode();
+        assert!(!line.contains('\n'), "one record stays one line");
+        let back = Record::decode(&line).unwrap();
+        let Event::Checkpoint { state: decoded, .. } = back.event else {
+            panic!("wrong kind")
+        };
+        assert_eq!(decoded, state);
     }
 
     #[test]

@@ -48,7 +48,8 @@ pub mod selfad;
 pub mod trace;
 
 pub use journal::{
-    replay, replay_with_stats, Appended, Event, Journal, JournalConfig, Record, ReplayStats,
+    recover, replay, replay_with_stats, Appended, Event, Journal, JournalConfig, Record, Recovery,
+    ReplayStats,
 };
 pub use registry::{
     Counter, Gauge, HistogramSnapshot, MetricsSnapshot, Registry, WindowedHistogram,

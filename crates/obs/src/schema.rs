@@ -131,6 +131,17 @@ pub const JOURNAL_DROPPED: &str = "journal_dropped";
 /// during seq resume so newer writers stay replayable by older readers.
 pub const JOURNAL_UNKNOWN_KIND: &str = "journal_unknown_kind";
 
+// ---- high availability ----
+
+/// Agent requests answered with a leader-redirect error while standing by.
+pub const LEADER_REDIRECTS: &str = "leader_redirects";
+/// Elections this daemon has won (inaugurations, including takeovers).
+pub const ELECTIONS_WON: &str = "elections_won";
+/// Ad-store checkpoints written into the journal.
+pub const CHECKPOINTS_WRITTEN: &str = "checkpoints_written";
+/// Times an agent switched matchmakers after a probe or redirect.
+pub const MATCHMAKER_FAILOVERS: &str = "matchmaker_failovers";
+
 // ---- agents (live pool + simulator) ----
 
 /// Advertisements delivered to the matchmaker.

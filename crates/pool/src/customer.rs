@@ -10,6 +10,7 @@
 //!
 //! [`MatchNotification`]: matchmaker::protocol::MatchNotification
 
+use crate::failover::{self, Probe};
 use crate::observe::{self_ad_name, Observer, WireCounters};
 use crate::retry::Backoff;
 use crate::wire::{self, IoConfig};
@@ -31,6 +32,16 @@ pub struct CustomerConfig {
     pub user: String,
     /// Matchmaker daemon address (`host:port`).
     pub matchmaker: String,
+    /// Every matchmaker in an HA set, preferred-first. Empty (the
+    /// default) means the lone [`matchmaker`] address and no probing.
+    /// With two or more contacts the agent probes its current matchmaker
+    /// each advertisement pass and follows leader redirects (see
+    /// [`crate::failover`]): idle jobs chase the lease to the new leader
+    /// while claimed jobs ride out the handover on their direct
+    /// provider connections.
+    ///
+    /// [`matchmaker`]: CustomerConfig::matchmaker
+    pub matchmakers: Vec<String>,
     /// Listen address for match notifications; port 0 picks one.
     pub bind: String,
     /// Period between advertisement passes over pending jobs.
@@ -54,6 +65,7 @@ impl Default for CustomerConfig {
         CustomerConfig {
             user: "user".into(),
             matchmaker: String::new(),
+            matchmakers: Vec::new(),
             bind: "127.0.0.1:0".into(),
             heartbeat: Duration::from_secs(60),
             lease: Duration::from_secs(300),
@@ -110,6 +122,7 @@ struct CaMetrics {
     claim_dial_failures: Arc<condor_obs::Counter>,
     jobs_submitted: Arc<condor_obs::Counter>,
     jobs_failed: Arc<condor_obs::Counter>,
+    failovers: Arc<condor_obs::Counter>,
     jobs_idle: Arc<condor_obs::Gauge>,
     jobs_claimed: Arc<condor_obs::Gauge>,
     phase_claim_rtt_ms: Arc<condor_obs::WindowedHistogram>,
@@ -128,6 +141,7 @@ impl CaMetrics {
             claim_dial_failures: reg.counter(schema::CLAIM_DIAL_FAILURES),
             jobs_submitted: reg.counter(schema::JOBS_SUBMITTED),
             jobs_failed: reg.counter(schema::JOBS_FAILED),
+            failovers: reg.counter(schema::MATCHMAKER_FAILOVERS),
             jobs_idle: reg.gauge(schema::JOBS_IDLE),
             jobs_claimed: reg.gauge(schema::JOBS_CLAIMED),
             phase_claim_rtt_ms: reg.histogram(schema::PHASE_CLAIM_RTT_MS, Duration::from_secs(300)),
@@ -153,11 +167,16 @@ pub struct CustomerStatsSnapshot {
     pub claim_dial_failures: u64,
     /// Jobs abandoned after exhausting the retry budget.
     pub jobs_failed: u64,
+    /// Times the agent switched matchmakers after a probe or redirect.
+    pub failovers: u64,
 }
 
 struct CaShared {
     cfg: CustomerConfig,
     contact: String,
+    /// The matchmaker currently advertised to — rewritten by
+    /// [`CaShared::ensure_matchmaker`] when the leader moves.
+    matchmaker: Mutex<String>,
     jobs: Mutex<Vec<Job>>,
     shutdown: AtomicBool,
     metrics: CaMetrics,
@@ -191,8 +210,14 @@ impl CustomerAgent {
         let user = cfg.user.clone();
         let observer = Observer::new(cfg.journal.clone())?;
         let metrics = CaMetrics::new(observer.registry());
+        let matchmaker = cfg
+            .matchmakers
+            .first()
+            .cloned()
+            .unwrap_or_else(|| cfg.matchmaker.clone());
         let shared = Arc::new(CaShared {
             contact: addr.to_string(),
+            matchmaker: Mutex::new(matchmaker),
             cfg,
             jobs: Mutex::new(Vec::new()),
             shutdown: AtomicBool::new(false),
@@ -272,7 +297,14 @@ impl CustomerAgent {
             claims_rejected: m.claims_rejected.get(),
             claim_dial_failures: m.claim_dial_failures.get(),
             jobs_failed: m.jobs_failed.get(),
+            failovers: m.failovers.get(),
         }
+    }
+
+    /// The matchmaker this agent currently advertises to (the leader it
+    /// last found, or the configured address).
+    pub fn matchmaker_contact(&self) -> String {
+        self.shared.current_matchmaker()
     }
 
     /// Release every established claim (dialing each provider), withdraw
@@ -310,7 +342,7 @@ impl CustomerAgent {
                             expires_at: wire::unix_now() + 1,
                         };
                         let _ = wire::send_oneway(
-                            &self.shared.cfg.matchmaker,
+                            &self.shared.current_matchmaker(),
                             &Message::Advertise(adv),
                             io,
                         );
@@ -338,6 +370,34 @@ impl CustomerAgent {
 impl Drop for CustomerAgent {
     fn drop(&mut self) {
         self.teardown(false);
+    }
+}
+
+impl CaShared {
+    /// The matchmaker this agent currently speaks to.
+    fn current_matchmaker(&self) -> String {
+        self.matchmaker.lock().clone()
+    }
+
+    /// Multi-matchmaker failover: probe the current contact and, if it no
+    /// longer answers like the leader (dead socket or a standby's
+    /// redirect), walk the configured set for whoever holds the lease.
+    /// Single-contact agents skip the probe entirely — the classic
+    /// single-matchmaker exchange pattern is untouched.
+    fn ensure_matchmaker(&self) {
+        if self.cfg.matchmakers.len() < 2 {
+            return;
+        }
+        let current = self.current_matchmaker();
+        if failover::probe(&current, &self.cfg.io) == Probe::Leader {
+            return;
+        }
+        if let Some(leader) = failover::find_leader(&self.cfg.matchmakers, &self.cfg.io) {
+            if leader != current {
+                *self.matchmaker.lock() = leader;
+                self.metrics.failovers.inc();
+            }
+        }
     }
 }
 
@@ -387,7 +447,7 @@ fn publish_self_ad(shared: &Arc<CaShared>) {
         expires_at: wire::unix_now() + (3 * shared.cfg.heartbeat.as_secs()).max(300),
     };
     if let Ok(n) = wire::send_oneway(
-        &shared.cfg.matchmaker,
+        &shared.current_matchmaker(),
         &Message::Advertise(adv),
         &shared.cfg.io,
     ) {
@@ -398,6 +458,7 @@ fn publish_self_ad(shared: &Arc<CaShared>) {
 
 fn advertise_loop(shared: &Arc<CaShared>) {
     loop {
+        shared.ensure_matchmaker();
         advertise_pending(shared);
         if shared.cfg.publish_self_ad {
             publish_self_ad(shared);
@@ -430,7 +491,7 @@ fn advertise_pending(shared: &Arc<CaShared>) {
     };
     for (adv, trace) in pending {
         match wire::send_oneway_traced(
-            &shared.cfg.matchmaker,
+            &shared.current_matchmaker(),
             &Message::Advertise(adv),
             Some(&trace),
             &shared.cfg.io,

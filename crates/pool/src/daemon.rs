@@ -20,8 +20,10 @@
 //! `other.MyType == "MatchmakerStats"` reads live daemon health over the
 //! same wire as any other query.
 
+use crate::failover::leader_redirect_detail;
 use crate::observe::{self_ad_name, Observer, WireCounters};
 use crate::wire::{self, IoConfig};
+use condor_ha::{recover_pool, Election, ElectionConfig, LeaseVerdict, PoolSnapshot, Tick};
 use condor_obs::{schema, Event, JournalConfig, TraceContext};
 use matchmaker::framing::FrameDecoder;
 use matchmaker::negotiate::NegotiatorConfig;
@@ -29,12 +31,52 @@ use matchmaker::protocol::{Advertisement, AdvertisingProtocol, EntityKind, Messa
 use matchmaker::service::Matchmaker;
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::io::{ErrorKind, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// High-availability tunables: run this daemon as one member of a
+/// matchmaker HA set instead of a lone leader.
+///
+/// An HA daemon boots as a *standby*: it listens one full [`lease`] for
+/// the incumbent's heartbeat before contending, redirects agents to the
+/// leader it observes, and negotiates only while it holds the lease
+/// itself (see `condor_ha::Election` for the protocol). Everything else —
+/// sockets, framing, journaling — is identical to a lone daemon.
+///
+/// [`lease`]: HaConfig::lease
+#[derive(Debug, Clone)]
+pub struct HaConfig {
+    /// Contact addresses of the *other* matchmakers in the set. May start
+    /// empty and be filled in with [`MatchmakerDaemon::set_ha_peers`] once
+    /// ephemeral ports are known.
+    pub peers: Vec<String>,
+    /// Leader-lease length. The leader heartbeats several times per
+    /// lease; a standby waits out a full lease before calling an
+    /// election, so failover completes within roughly one lease.
+    pub lease: Duration,
+    /// Journal to replay on inauguration (last checkpoint plus tail).
+    /// `None` replays this daemon's own [`DaemonConfig::journal`] — the
+    /// right choice when the HA set shares a journal path on a common
+    /// filesystem, and a no-op (recover by re-advertisement alone) when
+    /// each member journals privately.
+    pub recovery_path: Option<PathBuf>,
+}
+
+impl Default for HaConfig {
+    fn default() -> Self {
+        HaConfig {
+            peers: Vec::new(),
+            lease: Duration::from_secs(10),
+            recovery_path: None,
+        }
+    }
+}
 
 /// Daemon tunables.
 #[derive(Debug, Clone)]
@@ -60,6 +102,14 @@ pub struct DaemonConfig {
     pub name: String,
     /// Event-journal destination; `None` disables journaling.
     pub journal: Option<JournalConfig>,
+    /// Checkpoint the ad store into the journal every this many
+    /// negotiation cycles while leading (`0` disables). Only meaningful
+    /// with a journal; a restarting daemon resumes from the last
+    /// checkpoint plus the journal tail instead of an empty store.
+    pub checkpoint_every: u64,
+    /// Run as one member of a high-availability set; `None` (the
+    /// default) is the classic lone matchmaker, leader from birth.
+    pub ha: Option<HaConfig>,
 }
 
 impl Default for DaemonConfig {
@@ -82,6 +132,8 @@ impl Default for DaemonConfig {
             require_socket_contact: true,
             name: "matchmaker".into(),
             journal: None,
+            checkpoint_every: 10,
+            ha: None,
         }
     }
 }
@@ -102,6 +154,9 @@ struct DaemonMetrics {
     cycle_duration_ms: Arc<condor_obs::WindowedHistogram>,
     phase_queue_wait_ms: Arc<condor_obs::WindowedHistogram>,
     phase_negotiation_ms: Arc<condor_obs::WindowedHistogram>,
+    leader_redirects: Arc<condor_obs::Counter>,
+    elections_won: Arc<condor_obs::Counter>,
+    checkpoints_written: Arc<condor_obs::Counter>,
     wire: WireCounters,
 }
 
@@ -121,6 +176,9 @@ impl DaemonMetrics {
             cycle_duration_ms: reg.histogram(schema::CYCLE_DURATION_MS, window),
             phase_queue_wait_ms: reg.histogram(schema::PHASE_QUEUE_WAIT_MS, window),
             phase_negotiation_ms: reg.histogram(schema::PHASE_NEGOTIATION_MS, window),
+            leader_redirects: reg.counter(schema::LEADER_REDIRECTS),
+            elections_won: reg.counter(schema::ELECTIONS_WON),
+            checkpoints_written: reg.counter(schema::CHECKPOINTS_WRITTEN),
             wire: WireCounters::new(reg),
         }
     }
@@ -145,6 +203,12 @@ pub struct DaemonStatsSnapshot {
     pub notifications_sent: u64,
     /// Notification dials that failed (soft state: costs one cycle).
     pub notifications_failed: u64,
+    /// Agent requests answered with a leader redirect while standing by.
+    pub leader_redirects: u64,
+    /// Elections this daemon has won (inaugurations).
+    pub elections_won: u64,
+    /// Ad-store checkpoints written into the journal.
+    pub checkpoints_written: u64,
 }
 
 struct Shared {
@@ -164,6 +228,11 @@ struct Shared {
     /// [`rejections_line`]), advertised as `RejectionTopReasons` in the
     /// self-ad. Empty when the last cycle left nothing unmatched.
     last_rejections_line: Mutex<String>,
+    /// The leader-election state machine: [`Election::solo`] for a lone
+    /// matchmaker, a contending standby for an HA set member.
+    election: Mutex<Election>,
+    /// Standbys that acknowledged our last heartbeat round (leader only).
+    standby_count: AtomicUsize,
 }
 
 /// A live matchmaker listening on TCP.
@@ -173,6 +242,7 @@ pub struct MatchmakerDaemon {
     addr: SocketAddr,
     accept: Option<JoinHandle<()>>,
     ticker: Option<JoinHandle<()>>,
+    election: Option<JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for Shared {
@@ -194,22 +264,44 @@ impl MatchmakerDaemon {
         };
         let observer = Observer::new(cfg.journal.clone())?;
         let metrics = DaemonMetrics::new(observer.registry());
+        let contact = addr.to_string();
+        // A lone matchmaker leads from birth; an HA set member boots as a
+        // standby and earns the lease (see `condor_ha::Election`).
+        let election = match &cfg.ha {
+            None => Election::solo(contact.clone()),
+            Some(ha) => Election::new(
+                ElectionConfig {
+                    contact: contact.clone(),
+                    peers: ha.peers.clone(),
+                    lease_secs: ha.lease.as_secs().max(1),
+                },
+                wire::unix_now(),
+            ),
+        };
         let shared = Arc::new(Shared {
             service: Matchmaker::with_protocol(cfg.negotiator.clone(), protocol),
             cfg,
             metrics,
             observer,
-            contact: addr.to_string(),
+            contact,
             shutdown: AtomicBool::new(false),
             active: AtomicUsize::new(0),
             conns: Mutex::new(Vec::new()),
             queue_started: Mutex::new(HashMap::new()),
             last_rejections_line: Mutex::new(String::new()),
+            election: Mutex::new(election),
+            standby_count: AtomicUsize::new(0),
         });
         shared.observer.emit(Event::AgentRestarted {
             agent: "MatchmakerDaemon".into(),
             name: shared.cfg.name.clone(),
         });
+        // A lone matchmaker restarting over an existing journal resumes
+        // from its last checkpoint plus tail right now; an HA standby
+        // defers recovery until (if ever) it is inaugurated.
+        if shared.cfg.ha.is_none() {
+            shared.recover_from_journal();
+        }
         shared.publish_self_ad();
 
         let accept = {
@@ -224,11 +316,23 @@ impl MatchmakerDaemon {
                 .name("mm-ticker".into())
                 .spawn(move || ticker_loop(&shared))?
         };
+        let election = match shared.cfg.ha {
+            None => None,
+            Some(_) => {
+                let shared = Arc::clone(&shared);
+                Some(
+                    std::thread::Builder::new()
+                        .name("mm-election".into())
+                        .spawn(move || election_loop(&shared))?,
+                )
+            }
+        };
         Ok(MatchmakerDaemon {
             shared,
             addr,
             accept: Some(accept),
             ticker: Some(ticker),
+            election,
         })
     }
 
@@ -255,6 +359,37 @@ impl MatchmakerDaemon {
             cycles: m.cycles.get(),
             notifications_sent: m.notifications_sent.get(),
             notifications_failed: m.notifications_failed.get(),
+            leader_redirects: m.leader_redirects.get(),
+            elections_won: m.elections_won.get(),
+            checkpoints_written: m.checkpoints_written.get(),
+        }
+    }
+
+    /// `true` while this daemon holds the pool (always, without HA).
+    pub fn is_leader(&self) -> bool {
+        self.shared.election.lock().is_leader()
+    }
+
+    /// The highest election epoch this daemon has observed or won (0 for
+    /// a lone matchmaker).
+    pub fn leader_epoch(&self) -> u64 {
+        self.shared.election.lock().epoch()
+    }
+
+    /// The leader this daemon currently believes in — itself while
+    /// leading, the lease holder while standing by, `None` while an
+    /// election is unresolved.
+    pub fn leader_contact(&self) -> Option<String> {
+        self.shared.election.lock().leader().map(String::from)
+    }
+
+    /// Replace the HA peer list. HA sets whose members bind ephemeral
+    /// ports spawn first and exchange addresses afterwards; call this
+    /// within the boot grace (one lease) so the first election sees the
+    /// full set. A no-op for a daemon spawned without [`DaemonConfig::ha`].
+    pub fn set_ha_peers(&self, peers: Vec<String>) {
+        if self.shared.cfg.ha.is_some() {
+            self.shared.election.lock().set_peers(peers);
         }
     }
 
@@ -275,6 +410,9 @@ impl MatchmakerDaemon {
             let _ = h.join();
         }
         if let Some(h) = self.ticker.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.election.take() {
             let _ = h.join();
         }
         let conns = std::mem::take(&mut *self.shared.conns.lock());
@@ -304,6 +442,18 @@ impl Shared {
                 ad.set_str("RejectionTopReasons", &line);
             }
         }
+        {
+            let el = self.election.lock();
+            ad.set_bool("IsLeader", el.is_leader());
+            ad.set_int("LeaderEpoch", el.epoch() as i64);
+            if let Some(leader) = el.leader() {
+                ad.set_str("LeaderContact", leader);
+            }
+        }
+        ad.set_int(
+            "StandbyCount",
+            self.standby_count.load(Ordering::Relaxed) as i64,
+        );
         let lease = (3 * self.cfg.cycle_interval.as_secs()).max(300);
         let adv = Advertisement {
             kind: EntityKind::Provider,
@@ -315,6 +465,153 @@ impl Shared {
         // Failure here means the protocol rejected our own telemetry ad —
         // never fatal to matchmaking itself.
         let _ = self.service.publish_self_ad(adv, wire::unix_now());
+    }
+
+    /// Resume the ad store from the recovery journal's last checkpoint
+    /// plus tail (both sides of every post-checkpoint match withdrawn —
+    /// they are likely mid-claim). Quietly a no-op without a journal or
+    /// without a checkpoint in it: soft state recovers those pools by
+    /// re-advertisement alone.
+    fn recover_from_journal(&self) {
+        let path = self
+            .cfg
+            .ha
+            .as_ref()
+            .and_then(|ha| ha.recovery_path.clone())
+            .or_else(|| self.cfg.journal.as_ref().map(|j| j.path.clone()));
+        let Some(path) = path else { return };
+        match recover_pool(&path) {
+            Ok(rec) => {
+                if let Some(store) = rec.adjusted_store() {
+                    self.service.restore_state(&store);
+                }
+            }
+            // A missing journal is a first boot; a corrupt checkpoint is
+            // journaled so operators see the state loss, then the daemon
+            // proceeds empty — agents re-advertise within a heartbeat.
+            Err(e) if e.kind() == ErrorKind::NotFound => {}
+            Err(e) => self.observer.emit(Event::FrameRejected {
+                peer: path.display().to_string(),
+                reason: format!("journal recovery failed: {e}"),
+            }),
+        }
+    }
+}
+
+/// The election thread for an HA set member: tick the state machine a few
+/// times per lease, ship the heartbeats or bids it asks for, and fold the
+/// replies back in. Lone matchmakers never run this thread.
+fn election_loop(shared: &Arc<Shared>) {
+    let lease = shared
+        .cfg
+        .ha
+        .as_ref()
+        .map(|ha| ha.lease)
+        .unwrap_or(Duration::from_secs(10));
+    let tick_every = (lease / 5).max(Duration::from_millis(50));
+    // A deterministic per-daemon stagger applied before bidding breaks
+    // the symmetry of simultaneous elections: the less-staggered standby
+    // usually collects concessions before the other even bids. (A true
+    // tie still converges — the election tie-breaks on contact order.)
+    let stagger = {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        shared.contact.hash(&mut h);
+        Duration::from_millis(h.finish() % (tick_every.as_millis().max(1) as u64))
+    };
+    loop {
+        if wire::interruptible_sleep(&shared.shutdown, tick_every) {
+            return;
+        }
+        let action = shared.election.lock().tick(wire::unix_now());
+        match action {
+            Tick::Wait => {}
+            Tick::Lead { epoch, expires_at } => {
+                let (leader, peers) = {
+                    let el = shared.election.lock();
+                    (el.contact().to_string(), el.peers().to_vec())
+                };
+                let mut standbys = 0usize;
+                let mut stepped_down = false;
+                for peer in &peers {
+                    let heartbeat = Message::LeaderLease {
+                        epoch,
+                        leader: leader.clone(),
+                        expires_at,
+                    };
+                    // A standby acks with its own lease view; a peer
+                    // asserting a higher epoch unseats us on the spot.
+                    if let Ok(Message::LeaderLease {
+                        epoch: e,
+                        leader: l,
+                        expires_at: x,
+                    }) = wire::request_reply(peer, &heartbeat, &shared.cfg.io)
+                    {
+                        standbys += 1;
+                        if shared.election.lock().observe_lease(e, &l, x)
+                            == LeaseVerdict::SteppedDown
+                        {
+                            stepped_down = true;
+                            break;
+                        }
+                    }
+                }
+                shared
+                    .standby_count
+                    .store(if stepped_down { 0 } else { standbys }, Ordering::Relaxed);
+                if stepped_down {
+                    shared.publish_self_ad();
+                }
+            }
+            Tick::Contend { epoch } => {
+                if wire::interruptible_sleep(&shared.shutdown, stagger) {
+                    return;
+                }
+                // The stagger may have let a faster standby win: bid only
+                // if the lease is still lapsed.
+                if !matches!(
+                    shared.election.lock().tick(wire::unix_now()),
+                    Tick::Contend { .. }
+                ) {
+                    continue;
+                }
+                let (candidate, peers) = {
+                    let el = shared.election.lock();
+                    (el.contact().to_string(), el.peers().to_vec())
+                };
+                for peer in &peers {
+                    let bid = Message::ElectionBid {
+                        epoch,
+                        candidate: candidate.clone(),
+                    };
+                    // Dead peers and pre-HA matchmakers (structured
+                    // rejection of tag 11) are concessions: they cannot
+                    // out-vote a live candidate, so errors are ignored.
+                    if let Ok(Message::LeaderLease {
+                        epoch: e,
+                        leader: l,
+                        expires_at: x,
+                    }) = wire::request_reply(peer, &bid, &shared.cfg.io)
+                    {
+                        shared.election.lock().observe_lease(e, &l, x);
+                    }
+                }
+                let won = shared
+                    .election
+                    .lock()
+                    .try_inaugurate(epoch, wire::unix_now());
+                if won {
+                    shared.metrics.elections_won.inc();
+                    shared.observer.emit(Event::AgentRestarted {
+                        agent: "MatchmakerLeader".into(),
+                        name: format!("{} epoch {epoch}", shared.cfg.name),
+                    });
+                    // Inherit the pool: replay the recovery journal, then
+                    // advertise leadership so redirected agents find us.
+                    shared.recover_from_journal();
+                    shared.publish_self_ad();
+                }
+            }
+        }
     }
 }
 
@@ -381,6 +678,64 @@ fn serve_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
                 Ok(Some((msg, frame_trace))) => {
                     shared.metrics.frames_handled.inc();
                     shared.metrics.wire.frame_in();
+                    // HA traffic never reaches the matchmaking service:
+                    // election frames are folded into the state machine and
+                    // answered with our lease view, and while standing by
+                    // every agent-facing request is answered with a
+                    // leader-redirect error instead (the connection stays
+                    // open — a redirect is advice, not a violation).
+                    let ha_reply = match &msg {
+                        Message::ElectionBid { epoch, candidate } => {
+                            let (e, l, x) = shared.election.lock().observe_bid(
+                                *epoch,
+                                candidate,
+                                wire::unix_now(),
+                            );
+                            Some(Message::LeaderLease {
+                                epoch: e,
+                                leader: l,
+                                expires_at: x,
+                            })
+                        }
+                        Message::LeaderLease {
+                            epoch,
+                            leader,
+                            expires_at,
+                        } => {
+                            let mut el = shared.election.lock();
+                            el.observe_lease(*epoch, leader, *expires_at);
+                            Some(Message::LeaderLease {
+                                epoch: el.epoch(),
+                                leader: el.leader().unwrap_or_default().to_string(),
+                                expires_at: el.lease_expires(),
+                            })
+                        }
+                        // A solo daemon leads from birth — skip the
+                        // election lock on the hot advertise path.
+                        _ if shared.cfg.ha.is_none() => None,
+                        _ => {
+                            let el = shared.election.lock();
+                            if el.is_leader() {
+                                None
+                            } else {
+                                shared.metrics.leader_redirects.inc();
+                                shared.metrics.error_replies.inc();
+                                Some(Message::Error {
+                                    detail: leader_redirect_detail(
+                                        el.leader().filter(|l| *l != el.contact()),
+                                        el.epoch(),
+                                    ),
+                                })
+                            }
+                        }
+                    };
+                    if let Some(reply) = ha_reply {
+                        match wire::send(&mut stream, &reply) {
+                            Ok(n) => shared.metrics.wire.sent(n as u64),
+                            Err(_) => return,
+                        }
+                        continue;
+                    }
                     // Journal context, captured before the message moves.
                     let ad_info = match &msg {
                         Message::Advertise(adv) => Some((
@@ -524,9 +879,18 @@ fn rejections_line(outcome: &matchmaker::negotiate::CycleOutcome) -> String {
 }
 
 fn ticker_loop(shared: &Arc<Shared>) {
+    let mut cycles_since_checkpoint = 0u64;
     loop {
         if wire::interruptible_sleep(&shared.shutdown, shared.cfg.cycle_interval) {
             return;
+        }
+        // Standbys never negotiate — the pool's state lives with the
+        // leader — but they keep their own telemetry ad fresh so the
+        // in-process stats stay inspectable.
+        if !shared.election.lock().is_leader() {
+            cycles_since_checkpoint = 0;
+            shared.publish_self_ad();
+            continue;
         }
         let started = Instant::now();
         let outcome = shared.service.negotiate(wire::unix_now());
@@ -634,6 +998,22 @@ fn ticker_loop(shared: &Arc<Shared>) {
             .queue_started
             .lock()
             .retain(|_, t| t.elapsed() < Duration::from_secs(600));
+        // Checkpoint cadence: every N cycles the full ad store (plus this
+        // cycle's matches, for the record) lands in the journal, so a
+        // restart or takeover resumes from here instead of empty.
+        if shared.cfg.checkpoint_every > 0 && shared.observer.journal().is_some() {
+            cycles_since_checkpoint += 1;
+            if cycles_since_checkpoint >= shared.cfg.checkpoint_every {
+                cycles_since_checkpoint = 0;
+                let snap = PoolSnapshot {
+                    store: shared.service.snapshot_state(),
+                    matches: outcome.matches.clone(),
+                };
+                let epoch = shared.election.lock().epoch();
+                shared.observer.emit(snap.checkpoint_event(epoch));
+                shared.metrics.checkpoints_written.inc();
+            }
+        }
         // Renew the self-ad with this cycle folded in.
         shared.publish_self_ad();
     }

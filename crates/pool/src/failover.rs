@@ -1,0 +1,134 @@
+//! Leader discovery for agents in a high-availability pool.
+//!
+//! A standby matchmaker answers every advertisement, query, or analyze
+//! request with a structured [`Message::Error`] whose detail is a
+//! *leader redirect* — `leader-redirect: <host:port> epoch <n>` — or
+//! `no-leader epoch <n>` while an election is still converging. Agents
+//! configured with several matchmaker contacts use the helpers here to
+//! follow those redirects: probe the current contact with a trivial
+//! query, and on a redirect (or a dead socket) walk the contact list
+//! until something answers like a leader.
+//!
+//! The probe is a `Query` with constraint `false`: the leader answers an
+//! empty `QueryReply` (one cheap round trip), a standby answers its
+//! redirect, and a pre-HA matchmaker — which knows nothing of leases —
+//! answers the query too, so mixed pools degrade to "first contact
+//! wins", exactly the old single-matchmaker behavior.
+
+use crate::wire::{self, IoConfig, WireError};
+use matchmaker::protocol::Message;
+
+/// Render the redirect detail a standby embeds in its `Error` replies.
+pub fn leader_redirect_detail(leader: Option<&str>, epoch: u64) -> String {
+    match leader {
+        Some(l) => format!("leader-redirect: {l} epoch {epoch}"),
+        None => format!("no-leader epoch {epoch}"),
+    }
+}
+
+/// Parse the leader contact out of a standby's `Error` detail; `None`
+/// for anything that is not a leader redirect (including `no-leader`).
+pub fn parse_leader_redirect(detail: &str) -> Option<String> {
+    let rest = detail.strip_prefix("leader-redirect: ")?;
+    let addr = rest.split_whitespace().next()?;
+    (!addr.is_empty()).then(|| addr.to_string())
+}
+
+/// `true` when the error detail is any standby reply — a redirect or a
+/// `no-leader` — as opposed to an ordinary protocol rejection.
+pub fn is_standby_reply(detail: &str) -> bool {
+    detail.starts_with("leader-redirect: ") || detail.starts_with("no-leader")
+}
+
+/// The cheap leadership probe (constraint `false` matches nothing, so
+/// the reply is an empty ad list).
+pub fn probe_query() -> Message {
+    Message::Query {
+        constraint: "false".into(),
+        kind: None,
+        projection: vec![],
+    }
+}
+
+/// What one probed contact turned out to be.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Probe {
+    /// Answered the query: it serves the pool (the leader, or a pre-HA
+    /// matchmaker).
+    Leader,
+    /// Redirected to this contact.
+    RedirectTo(String),
+    /// A standby with no elected leader yet.
+    NoLeader,
+    /// Unreachable, or answered with a non-redirect error.
+    Dead,
+}
+
+/// Probe one matchmaker contact.
+pub fn probe(contact: &str, io: &IoConfig) -> Probe {
+    match wire::request_reply(contact, &probe_query(), io) {
+        Ok(Message::QueryReply { .. }) => Probe::Leader,
+        Ok(_) => Probe::Dead,
+        Err(WireError::Remote(detail)) => match parse_leader_redirect(&detail) {
+            Some(leader) => Probe::RedirectTo(leader),
+            None if is_standby_reply(&detail) => Probe::NoLeader,
+            None => Probe::Dead,
+        },
+        Err(_) => Probe::Dead,
+    }
+}
+
+/// Walk `contacts` until one answers like the leader or names it in a
+/// redirect. A redirect is trusted without a second probe: the standby
+/// heard the leader's heartbeat more recently than we heard anything.
+pub fn find_leader(contacts: &[String], io: &IoConfig) -> Option<String> {
+    for contact in contacts {
+        match probe(contact, io) {
+            Probe::Leader => return Some(contact.clone()),
+            Probe::RedirectTo(leader) => return Some(leader),
+            Probe::NoLeader | Probe::Dead => continue,
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn redirect_details_roundtrip() {
+        let detail = leader_redirect_detail(Some("127.0.0.1:9618"), 7);
+        assert_eq!(detail, "leader-redirect: 127.0.0.1:9618 epoch 7");
+        assert_eq!(
+            parse_leader_redirect(&detail).as_deref(),
+            Some("127.0.0.1:9618")
+        );
+        assert!(is_standby_reply(&detail));
+        let no_leader = leader_redirect_detail(None, 3);
+        assert_eq!(no_leader, "no-leader epoch 3");
+        assert_eq!(parse_leader_redirect(&no_leader), None);
+        assert!(is_standby_reply(&no_leader));
+    }
+
+    #[test]
+    fn ordinary_errors_are_not_redirects() {
+        assert_eq!(parse_leader_redirect("unknown tag 11"), None);
+        assert!(!is_standby_reply("matchmaker endpoint only accepts ..."));
+    }
+
+    #[test]
+    fn dead_contacts_are_skipped() {
+        // Bind-then-drop guarantees a dead port.
+        let dead = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let io = IoConfig {
+            connect_timeout: std::time::Duration::from_millis(200),
+            ..IoConfig::default()
+        };
+        assert_eq!(probe(&dead, &io), Probe::Dead);
+        assert_eq!(find_leader(&[dead], &io), None);
+    }
+}

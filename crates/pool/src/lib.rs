@@ -36,6 +36,7 @@
 
 pub mod customer;
 pub mod daemon;
+pub mod failover;
 pub(crate) mod observe;
 pub mod pool;
 pub mod resource;
@@ -43,7 +44,7 @@ pub mod retry;
 pub mod wire;
 
 pub use customer::{CustomerAgent, CustomerConfig, CustomerStatsSnapshot, JobStatus};
-pub use daemon::{DaemonConfig, DaemonStatsSnapshot, MatchmakerDaemon};
+pub use daemon::{DaemonConfig, DaemonStatsSnapshot, HaConfig, MatchmakerDaemon};
 pub use pool::{PoolBuilder, PoolHandle};
 pub use resource::{ResourceAgent, ResourceConfig, ResourceStatsSnapshot};
 pub use retry::Backoff;

@@ -12,6 +12,7 @@
 //! otherwise a claim racing an ad refresh would spuriously fail ticket
 //! verification.
 
+use crate::failover::{self, Probe};
 use crate::observe::{self_ad_name, Observer, WireCounters};
 use crate::retry::Backoff;
 use crate::wire::{self, IoConfig};
@@ -36,6 +37,16 @@ pub struct ResourceConfig {
     pub name: String,
     /// Matchmaker daemon address (`host:port`).
     pub matchmaker: String,
+    /// Every matchmaker in an HA set, preferred-first. Empty (the
+    /// default) means the lone [`matchmaker`] address and no probing.
+    /// With two or more contacts the agent probes its current matchmaker
+    /// each heartbeat and follows leader redirects (see
+    /// [`crate::failover`]), so advertisements chase the lease across
+    /// failovers while any established claim rides out the handover
+    /// untouched.
+    ///
+    /// [`matchmaker`]: ResourceConfig::matchmaker
+    pub matchmakers: Vec<String>,
     /// Listen address for direct claim connections; port 0 picks one.
     pub bind: String,
     /// Period between advertisement refreshes (lease renewals).
@@ -61,6 +72,7 @@ impl Default for ResourceConfig {
         ResourceConfig {
             name: "machine".into(),
             matchmaker: String::new(),
+            matchmakers: Vec::new(),
             bind: "127.0.0.1:0".into(),
             heartbeat: Duration::from_secs(60),
             lease: Duration::from_secs(300),
@@ -83,6 +95,7 @@ struct RaMetrics {
     claims_rejected: Arc<condor_obs::Counter>,
     notifications_seen: Arc<condor_obs::Counter>,
     releases: Arc<condor_obs::Counter>,
+    failovers: Arc<condor_obs::Counter>,
     claimed: Arc<condor_obs::Gauge>,
     phase_notify_claim_gap_ms: Arc<condor_obs::WindowedHistogram>,
     phase_reverify_ms: Arc<condor_obs::WindowedHistogram>,
@@ -100,6 +113,7 @@ impl RaMetrics {
             claims_rejected: reg.counter(schema::CLAIMS_REJECTED),
             notifications_seen: reg.counter(schema::NOTIFICATIONS_SEEN),
             releases: reg.counter(schema::RELEASES),
+            failovers: reg.counter(schema::MATCHMAKER_FAILOVERS),
             claimed: reg.gauge(schema::CLAIMED),
             phase_notify_claim_gap_ms: reg.histogram(schema::PHASE_NOTIFY_CLAIM_GAP_MS, window),
             phase_reverify_ms: reg.histogram(schema::PHASE_REVERIFY_MS, window),
@@ -123,11 +137,16 @@ pub struct ResourceStatsSnapshot {
     pub notifications_seen: u64,
     /// Release messages honored.
     pub releases: u64,
+    /// Times the agent switched matchmakers after a probe or redirect.
+    pub failovers: u64,
 }
 
 struct RaShared {
     cfg: ResourceConfig,
     contact: String,
+    /// The matchmaker currently advertised to — rewritten by
+    /// [`RaShared::ensure_matchmaker`] when the leader moves.
+    matchmaker: Mutex<String>,
     ad: Mutex<ClassAd>,
     claim: Mutex<ClaimHandler>,
     issuer: Mutex<TicketIssuer>,
@@ -167,8 +186,14 @@ impl ResourceAgent {
         ad.set_str("Name", &cfg.name);
         let observer = Observer::new(cfg.journal.clone())?;
         let metrics = RaMetrics::new(observer.registry());
+        let matchmaker = cfg
+            .matchmakers
+            .first()
+            .cloned()
+            .unwrap_or_else(|| cfg.matchmaker.clone());
         let shared = Arc::new(RaShared {
             contact: addr.to_string(),
+            matchmaker: Mutex::new(matchmaker),
             issuer: Mutex::new(TicketIssuer::new(cfg.ticket_seed)),
             cfg,
             ad: Mutex::new(ad),
@@ -227,7 +252,14 @@ impl ResourceAgent {
             claims_rejected: m.claims_rejected.get(),
             notifications_seen: m.notifications_seen.get(),
             releases: m.releases.get(),
+            failovers: m.failovers.get(),
         }
+    }
+
+    /// The matchmaker this agent currently advertises to (the leader it
+    /// last found, or the configured address).
+    pub fn matchmaker_contact(&self) -> String {
+        self.shared.current_matchmaker()
     }
 
     /// Mutate the machine's *current* state without re-advertising — the
@@ -251,7 +283,7 @@ impl ResourceAgent {
     pub fn shutdown(mut self) {
         let adv = self.shared.build_advertisement(1);
         let _ = wire::send_oneway(
-            &self.shared.cfg.matchmaker,
+            &self.shared.current_matchmaker(),
             &Message::Advertise(adv),
             &self.shared.cfg.io,
         );
@@ -319,17 +351,46 @@ impl RaShared {
             ticket: None,
             expires_at: wire::unix_now() + (3 * self.cfg.heartbeat.as_secs()).max(300),
         };
-        if let Ok(n) =
-            wire::send_oneway(&self.cfg.matchmaker, &Message::Advertise(adv), &self.cfg.io)
-        {
+        if let Ok(n) = wire::send_oneway(
+            &self.current_matchmaker(),
+            &Message::Advertise(adv),
+            &self.cfg.io,
+        ) {
             self.metrics.self_ads_sent.inc();
             self.metrics.wire.sent(n as u64);
+        }
+    }
+
+    /// The matchmaker this agent currently speaks to.
+    fn current_matchmaker(&self) -> String {
+        self.matchmaker.lock().clone()
+    }
+
+    /// Multi-matchmaker failover: probe the current contact and, if it no
+    /// longer answers like the leader (dead socket or a standby's
+    /// redirect), walk the configured set for whoever holds the lease.
+    /// Single-contact agents skip the probe entirely — the classic
+    /// single-matchmaker exchange pattern is untouched.
+    fn ensure_matchmaker(&self) {
+        if self.cfg.matchmakers.len() < 2 {
+            return;
+        }
+        let current = self.current_matchmaker();
+        if failover::probe(&current, &self.cfg.io) == Probe::Leader {
+            return;
+        }
+        if let Some(leader) = failover::find_leader(&self.cfg.matchmakers, &self.cfg.io) {
+            if leader != current {
+                *self.matchmaker.lock() = leader;
+                self.metrics.failovers.inc();
+            }
         }
     }
 }
 
 fn refresh_loop(shared: &Arc<RaShared>) {
     loop {
+        shared.ensure_matchmaker();
         // A claimed machine stops renewing: its ad was withdrawn at match
         // time and must not re-enter the pool until released.
         if !shared.claim.lock().is_claimed() {
@@ -351,7 +412,7 @@ fn advertise_with_retry(shared: &Arc<RaShared>) {
     loop {
         let adv = shared.build_advertisement(shared.cfg.lease.as_secs());
         match wire::send_oneway(
-            &shared.cfg.matchmaker,
+            &shared.current_matchmaker(),
             &Message::Advertise(adv),
             &shared.cfg.io,
         ) {
@@ -367,6 +428,8 @@ fn advertise_with_retry(shared: &Arc<RaShared>) {
                         if wire::interruptible_sleep(&shared.shutdown, d) {
                             return;
                         }
+                        // The dial failed: the leader may have moved.
+                        shared.ensure_matchmaker();
                     }
                     None => {
                         shared.metrics.ad_failures.inc();
@@ -555,6 +618,8 @@ fn message_kind(msg: &Message) -> &'static str {
         Message::Error { .. } => "Error",
         Message::Analyze { .. } => "Analyze",
         Message::AnalyzeReply { .. } => "AnalyzeReply",
+        Message::ElectionBid { .. } => "ElectionBid",
+        Message::LeaderLease { .. } => "LeaderLease",
     }
 }
 

@@ -2,9 +2,18 @@
 //!
 //! Everything an agent retries — re-dialing the matchmaker, resubmitting
 //! a request after a rejected or failed claim — is paced by a [`Backoff`]:
-//! deterministic (no jitter, so tests and simulations reproduce),
-//! exponentially growing, capped, and exhaustible.
+//! deterministic by default (no jitter, so tests and simulations
+//! reproduce), exponentially growing, capped, and exhaustible.
+//!
+//! Optional *decorrelated jitter* spreads a fleet's retries: when a
+//! matchmaker fails over, every live agent notices within the same
+//! heartbeat and would otherwise re-advertise to the new leader in one
+//! synchronized stampede. With [`Backoff::jitter`] enabled each agent's
+//! delay is drawn from `[delay × (1 − jitter), delay]` by a generator
+//! seeded per agent, so the schedule is still reproducible per seed but
+//! decorrelated across the pool.
 
+use rand::{Rng, SeedableRng};
 use std::time::Duration;
 
 /// Capped exponential backoff schedule.
@@ -18,6 +27,13 @@ pub struct Backoff {
     pub max_delay: Duration,
     /// Retries allowed before giving up (`u32::MAX` ≈ never give up).
     pub max_attempts: u32,
+    /// Jitter amplitude in `[0, 1]`: each delay is drawn uniformly from
+    /// `[delay × (1 − jitter), delay]`. `0` (the default) keeps the
+    /// schedule fully deterministic.
+    pub jitter: f64,
+    /// Seed for the jitter draws. Give every agent a distinct seed
+    /// (e.g. a hash of its name) so their schedules decorrelate.
+    pub jitter_seed: u64,
 }
 
 impl Default for Backoff {
@@ -27,6 +43,8 @@ impl Default for Backoff {
             multiplier: 2.0,
             max_delay: Duration::from_secs(5),
             max_attempts: 8,
+            jitter: 0.0,
+            jitter_seed: 0,
         }
     }
 }
@@ -52,7 +70,18 @@ impl Backoff {
         let factor = self
             .multiplier
             .powi(attempt.saturating_sub(1).min(63) as i32);
-        let secs = (self.initial.as_secs_f64() * factor).min(self.max_delay.as_secs_f64());
+        let mut secs = (self.initial.as_secs_f64() * factor).min(self.max_delay.as_secs_f64());
+        let jitter = self.jitter.clamp(0.0, 1.0);
+        if jitter > 0.0 {
+            // Stateless draw: seed ⊕ attempt keys the generator, so the
+            // same (seed, attempt) always yields the same delay — the
+            // schedule stays reproducible — while distinct seeds spread
+            // a fleet's synchronized retries apart.
+            let mut rng =
+                rand::rngs::SmallRng::seed_from_u64(self.jitter_seed ^ (attempt as u64) << 17);
+            let scale = 1.0 - jitter * rng.gen::<f64>();
+            secs *= scale;
+        }
         Some(Duration::from_secs_f64(secs.max(0.0)))
     }
 }
@@ -97,5 +126,59 @@ mod tests {
     fn unlimited_never_exhausts() {
         let b = Backoff::unlimited(Duration::from_millis(50), Duration::from_secs(1));
         assert_eq!(b.delay(1_000_000), Some(Duration::from_secs(1)));
+    }
+
+    #[test]
+    fn jitter_stays_in_band_and_reproduces_per_seed() {
+        let base = Backoff::default();
+        let jittered = Backoff {
+            jitter: 0.5,
+            jitter_seed: 7,
+            ..Backoff::default()
+        };
+        for attempt in 1..=base.max_attempts {
+            let d0 = base.delay(attempt).unwrap();
+            let d = jittered.delay(attempt).unwrap();
+            assert!(d <= d0, "jitter only shortens: {d:?} vs {d0:?}");
+            assert!(
+                d.as_secs_f64() >= d0.as_secs_f64() * 0.5 - 1e-9,
+                "within the amplitude band: {d:?} vs {d0:?}"
+            );
+            // Same seed, same attempt: identical draw.
+            assert_eq!(d, jittered.delay(attempt).unwrap());
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_decorrelate_the_fleet() {
+        let schedule = |seed: u64| -> Vec<Duration> {
+            let b = Backoff {
+                jitter: 0.9,
+                jitter_seed: seed,
+                ..Backoff::default()
+            };
+            (1..=8).map(|a| b.delay(a).unwrap()).collect()
+        };
+        assert_ne!(
+            schedule(1),
+            schedule(2),
+            "two agents with different seeds must not stampede in lockstep"
+        );
+    }
+
+    #[test]
+    fn zero_jitter_is_bit_for_bit_deterministic() {
+        let a = Backoff::default();
+        let b = Backoff {
+            jitter_seed: 999,
+            ..Backoff::default()
+        };
+        for attempt in 1..=8 {
+            assert_eq!(
+                a.delay(attempt),
+                b.delay(attempt),
+                "seed ignored at jitter 0"
+            );
+        }
     }
 }

@@ -1,0 +1,191 @@
+//! A high-availability matchmaker set, live on loopback: one leader, two
+//! standbys, agents that know the whole set — then the leader is killed
+//! and the demo narrates the takeover.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example pool_ha -- --demo
+//! ```
+//!
+//! The paper's weak-consistency design is what makes this scene short.
+//! Claims are direct agent-to-agent leases, so the dead leader takes no
+//! allocation with it; the standbys' lease election picks a successor at
+//! a higher epoch; and the agents' probes chase the `leader-redirect`
+//! error to the new leader, where ordinary soft-state re-advertisement
+//! rebuilds the ad store. Nothing is copied between matchmakers — the
+//! pool itself is the replica.
+//!
+//! Without `--demo` the example prints usage and exits (the demo kills a
+//! daemon, so it asks to be invoked deliberately).
+
+use classad::parse_classad;
+use condor_pool::{
+    Backoff, CustomerAgent, CustomerConfig, DaemonConfig, HaConfig, IoConfig, MatchmakerDaemon,
+    ResourceAgent, ResourceConfig,
+};
+use std::time::{Duration, Instant};
+
+const WAIT: Duration = Duration::from_secs(60);
+
+fn wait_until(what: &str, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + WAIT;
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+fn leader_of(daemons: &[Option<MatchmakerDaemon>]) -> Option<usize> {
+    let leaders: Vec<usize> = daemons
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| d.as_ref().is_some_and(|d| d.is_leader()))
+        .map(|(i, _)| i)
+        .collect();
+    (leaders.len() == 1).then(|| leaders[0])
+}
+
+fn main() {
+    if !std::env::args().any(|a| a == "--demo") {
+        println!("usage: cargo run --example pool_ha -- --demo");
+        println!("(spawns a 3-member HA matchmaker set on loopback, kills the leader,");
+        println!(" and narrates the failover; see docs/protocol.md §13)");
+        return;
+    }
+
+    // Three matchmakers, each an equal candidate with a 2-second lease.
+    let mut daemons: Vec<Option<MatchmakerDaemon>> = (0..3)
+        .map(|i| {
+            Some(
+                MatchmakerDaemon::spawn(DaemonConfig {
+                    name: format!("mm{i}"),
+                    cycle_interval: Duration::from_millis(200),
+                    io: IoConfig {
+                        connect_timeout: Duration::from_millis(500),
+                        read_timeout: Duration::from_millis(500),
+                        write_timeout: Duration::from_millis(500),
+                    },
+                    ha: Some(HaConfig {
+                        peers: Vec::new(),
+                        lease: Duration::from_secs(2),
+                        recovery_path: None,
+                    }),
+                    ..DaemonConfig::default()
+                })
+                .expect("spawn matchmaker"),
+            )
+        })
+        .collect();
+    let addrs: Vec<String> = daemons
+        .iter()
+        .map(|d| d.as_ref().unwrap().addr().to_string())
+        .collect();
+    for (i, d) in daemons.iter().enumerate() {
+        let peers = (0..3)
+            .filter(|j| *j != i)
+            .map(|j| addrs[j].clone())
+            .collect();
+        d.as_ref().unwrap().set_ha_peers(peers);
+    }
+    for (i, a) in addrs.iter().enumerate() {
+        println!("mm{i} listening on {a}");
+    }
+
+    wait_until("the first election", || leader_of(&daemons).is_some());
+    let first = leader_of(&daemons).unwrap();
+    let epoch = daemons[first].as_ref().unwrap().leader_epoch();
+    println!("elected: mm{first} leads at epoch {epoch}");
+
+    // Two machines and a two-job customer, all HA-aware: every agent is
+    // configured with the full contact list and probes for the leader.
+    let machine = |mips: i64| {
+        parse_classad(&format!(
+            r#"[ Type = "Machine"; Mips = {mips};
+                 Constraint = other.Type == "Job"; Rank = 0 ]"#
+        ))
+        .unwrap()
+    };
+    let job = || {
+        parse_classad(
+            r#"[ Type = "Job"; Constraint = other.Type == "Machine";
+                 Rank = other.Mips ]"#,
+        )
+        .unwrap()
+    };
+    let backoff = |seed| Backoff {
+        initial: Duration::from_millis(25),
+        max_delay: Duration::from_millis(250),
+        jitter: 0.5,
+        jitter_seed: seed,
+        ..Backoff::default()
+    };
+    let resources: Vec<ResourceAgent> = (0..2)
+        .map(|i| {
+            ResourceAgent::spawn(
+                ResourceConfig {
+                    name: format!("machine-{i}"),
+                    matchmakers: addrs.clone(),
+                    heartbeat: Duration::from_millis(150),
+                    backoff: backoff(i as u64 + 1),
+                    ticket_seed: i as u64 + 11,
+                    ..ResourceConfig::default()
+                },
+                machine(100 * (i as i64 + 1)),
+            )
+            .expect("spawn resource agent")
+        })
+        .collect();
+    let customer = CustomerAgent::spawn(
+        CustomerConfig {
+            user: "alice".into(),
+            matchmakers: addrs.clone(),
+            heartbeat: Duration::from_millis(150),
+            backoff: backoff(7),
+            ..CustomerConfig::default()
+        },
+        vec![("job-0".into(), job())],
+    )
+    .expect("spawn customer agent");
+
+    wait_until("the first placement", || customer.all_claimed());
+    println!("placed: job-0 claimed through the epoch-{epoch} leader");
+
+    // The outage. Nothing is flushed, handed over, or copied first.
+    println!("killing leader mm{first} ...");
+    let killed = Instant::now();
+    daemons[first].take().unwrap().shutdown();
+
+    wait_until("a successor", || {
+        leader_of(&daemons).is_some_and(|i| i != first)
+    });
+    let second = leader_of(&daemons).unwrap();
+    let new_epoch = daemons[second].as_ref().unwrap().leader_epoch();
+    println!(
+        "failover complete: mm{second} leads at epoch {new_epoch} after {:?}",
+        killed.elapsed()
+    );
+
+    // The claim predates the failover and survives it untouched.
+    assert!(customer.all_claimed(), "the live claim must survive");
+    println!("claims survived: job-0 still holds its machine");
+
+    // New work flows through the successor: the agents probe, follow the
+    // standby's redirect, re-advertise, and the next cycles match.
+    customer.add_job("job-1", job());
+    wait_until("a post-failover placement", || customer.all_claimed());
+    println!(
+        "re-matched: job-1 placed through epoch {new_epoch} (agent failovers: {})",
+        customer.stats().failovers
+    );
+
+    customer.shutdown();
+    for r in resources {
+        r.shutdown();
+    }
+    for d in daemons.iter_mut().filter_map(Option::take) {
+        let mut d = d;
+        d.shutdown();
+    }
+    println!("demo complete: zero claims lost across the failover");
+}

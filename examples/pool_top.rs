@@ -66,6 +66,30 @@ fn render_matchmaker(ads: &[ClassAd]) {
         ad.get_string("Name").unwrap_or("?"),
         int(ad, "UptimeSecs"),
     );
+    // Leadership: a lone daemon leads at epoch 0; HA members carry their
+    // elected epoch, standby count, and (when standing by) the leader's
+    // contact for the redirect.
+    if ad.contains("IsLeader") {
+        let leading = matches!(
+            ad.get("IsLeader").map(|e| e.as_ref()),
+            Some(Expr::Lit(Literal::Bool(true)))
+        );
+        let role = if leading { "leader" } else { "standby" };
+        print!(
+            "  ha: {role} epoch {}   standbys {}",
+            int(ad, "LeaderEpoch"),
+            int(ad, "StandbyCount"),
+        );
+        if let Some(contact) = ad.get_string("LeaderContact") {
+            print!("   leader at {contact}");
+        }
+        println!(
+            "   elections won {}  redirects {}  checkpoints {}",
+            int(ad, "ElectionsWon"),
+            int(ad, "LeaderRedirects"),
+            int(ad, "CheckpointsWritten"),
+        );
+    }
     println!(
         "  cycles {:<6} matches {:<6} requests {:<6} unmatched {:<6} expired {}",
         int(ad, "Cycles"),

@@ -25,6 +25,13 @@
 //! whole file first; `--for <secs>` exits after a fixed watch window
 //! (handy in scripts and CI).
 //!
+//! `--journal <journal.jsonl>` is the one-shot audit counterpart of
+//! `--tail`: replay the whole journal (rotated generations included),
+//! count records by kind, report replay health (torn lines, lines of an
+//! unknown future kind), and locate the recovery position — the last
+//! `Checkpoint` plus the tail a restarting or newly elected matchmaker
+//! would replay (see `docs/protocol.md` §13).
+//!
 //! `--analyze <job>` asks "why doesn't my job run?" — the paper §5
 //! diagnosis question. Against a live daemon it sends the `Analyze` wire
 //! message and renders the `MatchAnalysis` reply; locally it runs the same
@@ -322,6 +329,70 @@ fn print_record(r: &Record) {
 /// Follow a journal file like `tail -f`, decoding each appended line.
 /// Torn trailing lines are retried on the next poll; a shrinking file
 /// (rotation) resets the read position to the new start.
+/// `--journal`: replay the whole journal once and print an audit digest —
+/// counts by event kind, replay health, and the recovery position a
+/// restarting (or newly elected) matchmaker would resume from.
+fn summarize_journal(path: &str) {
+    use condor_obs::journal::{replay_with_stats, Event};
+
+    let (records, stats) = match replay_with_stats(path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cannot replay {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("journal {path}");
+    println!(
+        "  records decoded: {}  (torn lines skipped: {}, unknown kinds skipped: {})",
+        stats.records, stats.torn, stats.unknown_kind
+    );
+    if let (Some(first), Some(last)) = (records.first(), records.last()) {
+        println!(
+            "  span: seq {}..{}, {} seconds of pool history",
+            first.seq,
+            last.seq,
+            last.unix.saturating_sub(first.unix)
+        );
+    }
+
+    let mut by_kind = std::collections::BTreeMap::<&'static str, u64>::new();
+    for r in &records {
+        *by_kind.entry(r.event.kind()).or_default() += 1;
+    }
+    for (kind, n) in &by_kind {
+        println!("  {kind:<17} {n}");
+    }
+
+    // The recovery position: what `condor-ha` would rebuild on restart.
+    match records
+        .iter()
+        .enumerate()
+        .rev()
+        .find(|(_, r)| matches!(r.event, Event::Checkpoint { .. }))
+    {
+        Some((i, r)) => {
+            if let Event::Checkpoint {
+                epoch,
+                ads,
+                matches,
+                ..
+            } = &r.event
+            {
+                println!(
+                    "  last checkpoint: seq {} (epoch {epoch}, {ads} ads, {matches} open matches)",
+                    r.seq
+                );
+                println!(
+                    "  recovery = that snapshot + a {}-record tail",
+                    records.len() - i - 1
+                );
+            }
+        }
+        None => println!("  no checkpoint: a restart would rebuild from re-advertisement alone"),
+    }
+}
+
 fn tail_journal(path: &str, from_start: bool, watch_for: Option<Duration>) {
     let mut file = std::fs::File::open(path).unwrap_or_else(|e| {
         eprintln!("cannot open {path}: {e}");
@@ -384,7 +455,8 @@ fn main() {
             eprintln!(
                 "usage: status_query [--connect host:port] [--stats] \
                  [--analyze request-name] \
-                 [--tail journal.jsonl [--from-start] [--for secs]]"
+                 [--tail journal.jsonl [--from-start] [--for secs]] \
+                 [--journal journal.jsonl]"
             );
             std::process::exit(2);
         })
@@ -400,6 +472,14 @@ fn main() {
             None => analyze_local(name),
         };
         print_analysis(name, &ad);
+        return;
+    }
+    if let Some(i) = args.iter().position(|a| a == "--journal") {
+        let Some(path) = args.get(i + 1) else {
+            eprintln!("--journal takes a journal path");
+            std::process::exit(2);
+        };
+        summarize_journal(path);
         return;
     }
     if let Some(i) = args.iter().position(|a| a == "--tail") {

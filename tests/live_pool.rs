@@ -231,6 +231,141 @@ fn daemon_answers_garbage_with_structured_errors() {
     pool.shutdown();
 }
 
+/// Soft state heals a *matchmaker* restart too (weak consistency, the
+/// other direction): kill the lone matchmaker and bring a new one up at
+/// the same address over the same journal. The incarnation is journaled
+/// as a second `AgentRestarted`, the store resumes from the last
+/// checkpoint plus tail, the free machine's heartbeat re-advertisements
+/// land in the new daemon, and a job submitted after the restart matches.
+#[test]
+fn lone_matchmaker_restart_recovers_and_rematches() {
+    use condor_obs::journal::{replay, Event, JournalConfig};
+    use condor_pool::{
+        CustomerAgent, CustomerConfig, DaemonConfig, MatchmakerDaemon, ResourceAgent,
+        ResourceConfig,
+    };
+
+    let dir = std::env::temp_dir().join(format!("condor-live-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let journal = JournalConfig::new(dir.join("journal.jsonl"));
+    let daemon_cfg = |bind: String| DaemonConfig {
+        name: "lone".into(),
+        bind,
+        cycle_interval: Duration::from_millis(150),
+        journal: Some(journal.clone()),
+        checkpoint_every: 2,
+        ..DaemonConfig::default()
+    };
+
+    let mut mm = MatchmakerDaemon::spawn(daemon_cfg("127.0.0.1:0".into())).unwrap();
+    let addr = mm.addr().to_string();
+
+    // `busy` is claimed before the restart; `idle` stays free and keeps
+    // heartbeating its ad into whatever listens at the contact address.
+    let busy = ResourceAgent::spawn(
+        ResourceConfig {
+            name: "busy".into(),
+            matchmaker: addr.clone(),
+            heartbeat: Duration::from_millis(100),
+            ..ResourceConfig::default()
+        },
+        machine_ad(1000),
+    )
+    .unwrap();
+    let idle = ResourceAgent::spawn(
+        ResourceConfig {
+            name: "idle".into(),
+            matchmaker: addr.clone(),
+            heartbeat: Duration::from_millis(100),
+            ticket_seed: 2,
+            ..ResourceConfig::default()
+        },
+        machine_ad(100),
+    )
+    .unwrap();
+    let ca = CustomerAgent::spawn(
+        CustomerConfig {
+            user: "alice".into(),
+            matchmaker: addr.clone(),
+            heartbeat: Duration::from_millis(100),
+            ..CustomerConfig::default()
+        },
+        vec![("j0".into(), job_ad())],
+    )
+    .unwrap();
+
+    let deadline = Instant::now() + WAIT;
+    while !ca.all_claimed() || mm.stats().checkpoints_written < 1 {
+        assert!(
+            Instant::now() < deadline,
+            "pool never converged before the restart: {:?}",
+            ca.jobs()
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    assert!(busy.is_claimed());
+
+    // Restart: same address, same journal, no agent cooperation asked.
+    mm.shutdown();
+    let restart_deadline = Instant::now() + WAIT;
+    let mm = loop {
+        // The freed port can linger in TIME_WAIT for a moment.
+        match MatchmakerDaemon::spawn(daemon_cfg(addr.clone())) {
+            Ok(d) => break d,
+            Err(e) => {
+                assert!(Instant::now() < restart_deadline, "rebind failed: {e}");
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    };
+
+    // A post-restart job matches the surviving free machine — which
+    // requires `idle`'s re-advertisement to have reached the new daemon.
+    ca.add_job("j1", job_ad());
+    let deadline = Instant::now() + WAIT;
+    while !ca.all_claimed() {
+        assert!(
+            Instant::now() < deadline,
+            "job never re-matched after the restart: {:?}",
+            ca.jobs()
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    match &ca.jobs()[1].1 {
+        condor_pool::JobStatus::Claimed { provider_name, .. } => {
+            assert_eq!(provider_name, "idle");
+        }
+        s => panic!("{s:?}"),
+    }
+    // The pre-restart claim was never disturbed.
+    assert!(busy.is_claimed());
+    assert_eq!(busy.stats().releases, 0);
+
+    ca.shutdown();
+    busy.shutdown();
+    idle.shutdown();
+    let mut mm = mm;
+    mm.shutdown();
+
+    // Both incarnations left their restart marker in the shared journal.
+    let records = replay(&journal.path).unwrap();
+    let restarts = records
+        .iter()
+        .filter(|r| {
+            matches!(&r.event, Event::AgentRestarted { agent, .. } if agent == "MatchmakerDaemon")
+        })
+        .count();
+    assert_eq!(restarts, 2, "one marker per incarnation");
+    assert!(
+        records
+            .iter()
+            .any(|r| matches!(&r.event, Event::Checkpoint { .. })),
+        "the first incarnation checkpointed its store"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Status tools query the live daemon over TCP exactly like the in-memory
 /// facade (paper §4's `condor_status` analogue; see
 /// `examples/status_query.rs --connect`).
