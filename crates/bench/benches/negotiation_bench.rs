@@ -346,6 +346,44 @@ fn bench_attribution_ablation(c: &mut Criterion) {
     g.finish();
 }
 
+/// Flocking's negotiator-side hook on vs off over the same half-
+/// unmatchable workload. With `flocking: true` the cycle additionally
+/// groups unmatched requests by autocluster and clones one representative
+/// per cluster into `unmatched_clusters` (the forwarding itself lives in
+/// the pool daemon, off the cycle path); with `flocking: false` — the
+/// default — the hook must cost nothing, keeping non-federated pools at
+/// seed speed.
+fn bench_flocking_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flocking_ablation");
+    g.sample_size(10);
+    let proto = AdvertisingProtocol::default();
+    let mut store = AdStore::new();
+    for i in 0..512 {
+        store.advertise(machine_adv(i), 0, &proto).unwrap();
+    }
+    for i in 0..32 {
+        store.advertise(job_adv(i), 0, &proto).unwrap();
+        store.advertise(unmatchable_job_adv(i), 0, &proto).unwrap();
+    }
+    for flocking in [true, false] {
+        let label = if flocking {
+            "flocking_on"
+        } else {
+            "flocking_off"
+        };
+        g.bench_with_input(BenchmarkId::new(label, "512x64"), &store, |b, store| {
+            b.iter(|| {
+                let mut neg = Negotiator::new(NegotiatorConfig {
+                    flocking,
+                    ..Default::default()
+                });
+                neg.negotiate(store, 0)
+            })
+        });
+    }
+    g.finish();
+}
+
 /// Export every measurement (plus the derived clustered-workload speedup)
 /// as machine-readable JSON next to the human-readable criterion lines.
 fn write_bench_json(path: &str) {
@@ -360,6 +398,12 @@ fn write_bench_json(path: &str) {
     let attr_on = find("attribution_ablation/attribution_on/512x64");
     let attr_off = find("attribution_ablation/attribution_off/512x64");
     let overhead = match (attr_on, attr_off) {
+        (Some(on), Some(off)) if off > 0.0 => on / off,
+        _ => 0.0,
+    };
+    let flock_on = find("flocking_ablation/flocking_on/512x64");
+    let flock_off = find("flocking_ablation/flocking_off/512x64");
+    let flock_overhead = match (flock_on, flock_off) {
         (Some(on), Some(off)) if off > 0.0 => on / off,
         _ => 0.0,
     };
@@ -402,6 +446,12 @@ fn write_bench_json(path: &str) {
         overhead
     ));
     let fmt = |v: Option<f64>| v.map_or("null".to_string(), |v| format!("{v:.1}"));
+    json.push_str(&format!(
+        "  \"flocking_512x64\": {{\"flocking_on_ns\": {}, \"flocking_off_ns\": {}, \"overhead\": {:.2}}},\n",
+        fmt(flock_on),
+        fmt(flock_off),
+        flock_overhead
+    ));
     json.push_str(&format!(
         "  \"parallel_scan_4096\": {{\"threads1_ns\": {}, \"threads8_ns\": {}, \"speedup\": {:.2}}},\n",
         fmt(t1),
@@ -456,7 +506,7 @@ criterion_group!(
         .measurement_time(std::time::Duration::from_secs(2));
     targets = bench_pool_size_scaling, bench_job_batch_scaling, bench_parallel_ablation,
         bench_sharded_vs_unsharded, bench_incremental_small_delta,
-        bench_clustered_workload, bench_attribution_ablation
+        bench_clustered_workload, bench_attribution_ablation, bench_flocking_ablation
 );
 
 fn main() {

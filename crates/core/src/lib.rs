@@ -67,6 +67,7 @@ pub mod negotiate;
 pub mod priority;
 pub mod protocol;
 pub mod query;
+pub mod retry;
 pub mod service;
 pub mod ticket;
 
@@ -77,7 +78,7 @@ pub use framing::{encode_framed, frame_body, FrameDecoder, MAX_FRAME_LEN};
 pub use matcher::{Candidate, MatchEngine};
 pub use negotiate::{
     ClusterRejections, CycleOutcome, CycleStats, MatchRecord, Negotiator, NegotiatorConfig,
-    RejectionTable,
+    RejectionTable, UnmatchedCluster,
 };
 pub use priority::{PriorityConfig, PriorityTracker};
 pub use protocol::{
@@ -85,6 +86,7 @@ pub use protocol::{
     MatchNotification, Message, ProtocolError, Timestamp,
 };
 pub use query::Query;
+pub use retry::Backoff;
 pub use service::{FrameRejection, Matchmaker, ServiceStats, StatsSnapshot};
 pub use ticket::{Ticket, TicketIssuer};
 

@@ -84,6 +84,12 @@ pub struct NegotiatorConfig {
     /// [`crate::admanager::AdStore`]). The negotiator itself adapts to
     /// whatever layout the store has.
     pub shards: usize,
+    /// After the rounds, collect one [`UnmatchedCluster`] per autocluster
+    /// left entirely unmatched — the post-cycle hook pool federation
+    /// (flocking) forwards to peer pools. Off by default: a pool with no
+    /// flock peers pays nothing, not even the grouping pass. Match
+    /// outcomes are identical either way.
+    pub flocking: bool,
 }
 
 impl Default for NegotiatorConfig {
@@ -97,6 +103,7 @@ impl Default for NegotiatorConfig {
             attribution: false,
             incremental: true,
             shards: 0,
+            flocking: false,
         }
     }
 }
@@ -419,6 +426,36 @@ pub struct CycleOutcome {
     /// Per-cluster rejection tables for clusters left with unmatched
     /// requests (empty unless [`NegotiatorConfig::attribution`] is on).
     pub rejections: Vec<ClusterRejections>,
+    /// One entry per autocluster left with unmatched requests, each
+    /// represented by its first unmatched member (empty unless
+    /// [`NegotiatorConfig::flocking`] is on). The flocking hook forwards
+    /// these representatives to peer pools after the cycle.
+    pub unmatched_clusters: Vec<UnmatchedCluster>,
+}
+
+/// An autocluster a completed cycle could not serve, reduced to the one
+/// representative ad flocking forwards to peer pools. The representative
+/// is the cluster's first unmatched member in request order — the same
+/// rule the attribution pass uses, and deterministic because request
+/// order is seq order. Cluster signatures guarantee every member shares
+/// the representative's constraint text, so a peer's verdict on the
+/// representative holds for the whole cluster.
+#[derive(Debug, Clone)]
+pub struct UnmatchedCluster {
+    /// The cluster's id within its cycle.
+    pub cluster: usize,
+    /// The representative request's `Name`.
+    pub rep_name: String,
+    /// The representative request's ad.
+    pub rep_ad: Arc<ClassAd>,
+    /// The representative's customer contact — where a remote grant is
+    /// delivered as an ordinary `Notify`.
+    pub customer_contact: String,
+    /// The trace the representative's match lifecycle belongs to; carried
+    /// on flock frames so a cross-pool match stitches into one span tree.
+    pub trace: Option<crate::protocol::TraceContext>,
+    /// How many unmatched requests the representative stands for.
+    pub members: usize,
 }
 
 /// Everything one provider shard contributes to a cycle, computed once
@@ -803,6 +840,14 @@ impl Negotiator {
                 &unmatched_reqs,
             );
         }
+        if self.config.flocking && !unmatched_reqs.is_empty() {
+            collect_unmatched_clusters(
+                &mut outcome,
+                &requests,
+                clustering.as_ref().map(|c| c.cluster_of.as_slice()),
+                &unmatched_reqs,
+            );
+        }
         outcome
     }
 
@@ -1079,6 +1124,9 @@ impl Negotiator {
                 &unmatched_reqs,
             );
         }
+        if self.config.flocking && !unmatched_reqs.is_empty() {
+            collect_unmatched_clusters(&mut outcome, &requests, Some(&cluster_of), &unmatched_reqs);
+        }
         outcome
     }
 
@@ -1099,17 +1147,7 @@ impl Negotiator {
     ) {
         let preemption_on = self.config.preemption;
         let margin = self.config.preemption_rank_margin;
-        // Unmatched request indices per cluster, in request order. With
-        // autoclustering off every request is its own singleton cluster.
-        let mut unmatched_by_cluster: Vec<(usize, Vec<usize>)> = Vec::new();
-        for &ri in unmatched_reqs {
-            let cid = cluster_of.map_or(ri, |c| c[ri]);
-            match unmatched_by_cluster.iter_mut().find(|(c, _)| *c == cid) {
-                Some((_, members)) => members.push(ri),
-                None => unmatched_by_cluster.push((cid, vec![ri])),
-            }
-        }
-        unmatched_by_cluster.sort_by_key(|(cid, _)| *cid);
+        let unmatched_by_cluster = group_unmatched_by_cluster(cluster_of, unmatched_reqs);
 
         for (cid, members) in unmatched_by_cluster {
             // Signatures make match verdicts and reject reasons cluster-
@@ -1170,6 +1208,53 @@ impl Negotiator {
                 table,
             });
         }
+    }
+}
+
+/// Unmatched request indices per cluster, in request order, sorted by
+/// cluster id. With autoclustering off every request is its own singleton
+/// cluster. Shared by attribution and flocking so both see the same
+/// clusters and the same first-member representative.
+fn group_unmatched_by_cluster(
+    cluster_of: Option<&[usize]>,
+    unmatched_reqs: &[usize],
+) -> Vec<(usize, Vec<usize>)> {
+    let mut unmatched_by_cluster: Vec<(usize, Vec<usize>)> = Vec::new();
+    for &ri in unmatched_reqs {
+        let cid = cluster_of.map_or(ri, |c| c[ri]);
+        match unmatched_by_cluster.iter_mut().find(|(c, _)| *c == cid) {
+            Some((_, members)) => members.push(ri),
+            None => unmatched_by_cluster.push((cid, vec![ri])),
+        }
+    }
+    // `unmatched_reqs` arrives in fair-share round order (priority-ordered
+    // users interleaved), not request order; restore request order so the
+    // first member — the representative — is the seq-lowest one.
+    for (_, members) in &mut unmatched_by_cluster {
+        members.sort_unstable();
+    }
+    unmatched_by_cluster.sort_by_key(|(cid, _)| *cid);
+    unmatched_by_cluster
+}
+
+/// Populate [`CycleOutcome::unmatched_clusters`] with one representative
+/// per unmatched cluster (flocking's forwarding unit).
+fn collect_unmatched_clusters(
+    outcome: &mut CycleOutcome,
+    requests: &[StoredAd],
+    cluster_of: Option<&[usize]>,
+    unmatched_reqs: &[usize],
+) {
+    for (cid, members) in group_unmatched_by_cluster(cluster_of, unmatched_reqs) {
+        let rep = &requests[members[0]];
+        outcome.unmatched_clusters.push(UnmatchedCluster {
+            cluster: cid,
+            rep_name: rep.name.clone(),
+            rep_ad: rep.ad.clone(),
+            customer_contact: rep.contact.clone(),
+            trace: rep.trace,
+            members: members.len(),
+        });
     }
 }
 

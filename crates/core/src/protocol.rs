@@ -313,29 +313,111 @@ pub enum Message {
         /// When the lease lapses if not refreshed (absolute, seconds).
         expires_at: Timestamp,
     },
+    /// A matchmaker forwards one representative request ad from an
+    /// unmatched autocluster to a peer pool's matchmaker (flocking; see
+    /// `docs/protocol.md` §14). The representative ad carries the
+    /// anti-loop state as ordinary attributes (`FlockHops` — remaining
+    /// hop budget — and `FlockVisited` — pools already consulted). A
+    /// pre-flock matchmaker answers [`Message::Error`] (`unknown tag
+    /// 13`), which the sender treats as "peer does not flock" — no
+    /// framing desync, normal traffic undisturbed.
+    FlockQuery {
+        /// The originating pool's matchmaker contact (`host:port`).
+        origin: String,
+        /// How many requests the forwarded representative stands for.
+        members: u32,
+        /// The representative request ad (constraint shared verbatim by
+        /// every member of the autocluster).
+        rep: ClassAd,
+    },
+    /// A peer matchmaker's answer to a [`Message::FlockQuery`]: either a
+    /// delegation grant — the matched provider's full [`Advertisement`],
+    /// whose contact and authorization ticket let the *origin* pool's
+    /// customer claim the remote provider directly, with no state
+    /// replicated between matchmakers — or no grant (healthy peer, no
+    /// matching resource free right now).
+    FlockOffer {
+        /// The answering pool's matchmaker contact (`host:port`).
+        pool: String,
+        /// The matched provider's advertisement, if any.
+        grant: Option<Advertisement>,
+    },
 }
 
-const TAG_ADVERTISE: u8 = 1;
-const TAG_NOTIFY: u8 = 2;
-const TAG_CLAIM: u8 = 3;
-const TAG_CLAIM_REPLY: u8 = 4;
-const TAG_RELEASE: u8 = 5;
-const TAG_QUERY: u8 = 6;
-const TAG_QUERY_REPLY: u8 = 7;
-const TAG_ERROR: u8 = 8;
-const TAG_ANALYZE: u8 = 9;
-const TAG_ANALYZE_REPLY: u8 = 10;
-const TAG_ELECTION_BID: u8 = 11;
-const TAG_LEADER_LEASE: u8 = 12;
+/// The wire tag assigned to each [`Message`] variant — the first byte of
+/// every encoded frame. Collected here (rather than scattered through the
+/// encoder) so the full tag space is auditable at a glance and tools can
+/// name tags without re-deriving them.
+///
+/// Tag `0` is deliberately never assigned: a zero first byte is the most
+/// common corruption pattern, and keeping it unknown means such frames
+/// fail decoding immediately.
+pub mod tag {
+    /// Step 1: an entity advertises ([`super::Message::Advertise`]).
+    pub const ADVERTISE: u8 = 1;
+    /// Step 3: match notification ([`super::Message::Notify`]).
+    pub const NOTIFY: u8 = 2;
+    /// Step 4a: direct claim ([`super::Message::Claim`]).
+    pub const CLAIM: u8 = 3;
+    /// Step 4b: claim answer ([`super::Message::ClaimReply`]).
+    pub const CLAIM_REPLY: u8 = 4;
+    /// Claim release ([`super::Message::Release`]).
+    pub const RELEASE: u8 = 5;
+    /// Status-tool query ([`super::Message::Query`]).
+    pub const QUERY: u8 = 6;
+    /// Query answer ([`super::Message::QueryReply`]).
+    pub const QUERY_REPLY: u8 = 7;
+    /// Structured rejection ([`super::Message::Error`]).
+    pub const ERROR: u8 = 8;
+    /// Match-failure analysis request ([`super::Message::Analyze`]).
+    pub const ANALYZE: u8 = 9;
+    /// Analysis answer ([`super::Message::AnalyzeReply`]).
+    pub const ANALYZE_REPLY: u8 = 10;
+    /// HA leadership bid ([`super::Message::ElectionBid`]).
+    pub const ELECTION_BID: u8 = 11;
+    /// HA leadership lease ([`super::Message::LeaderLease`]).
+    pub const LEADER_LEASE: u8 = 12;
+    /// Cross-pool representative-ad forward ([`super::Message::FlockQuery`]).
+    pub const FLOCK_QUERY: u8 = 13;
+    /// Cross-pool delegation answer ([`super::Message::FlockOffer`]).
+    pub const FLOCK_OFFER: u8 = 14;
+
+    /// Every assigned tag, in order. Exhaustiveness tests iterate this so
+    /// a new variant cannot land without joining the round-trip suite.
+    pub const ALL: [u8; 14] = [
+        ADVERTISE,
+        NOTIFY,
+        CLAIM,
+        CLAIM_REPLY,
+        RELEASE,
+        QUERY,
+        QUERY_REPLY,
+        ERROR,
+        ANALYZE,
+        ANALYZE_REPLY,
+        ELECTION_BID,
+        LEADER_LEASE,
+        FLOCK_QUERY,
+        FLOCK_OFFER,
+    ];
+}
 
 /// Whether a tag may carry the optional trace-context trailer (the five
-/// match-lifecycle messages; see `docs/protocol.md` §11). Queries and
-/// releases stay trailer-free: they are not part of any match's causal
-/// chain.
-fn tag_carries_trace(tag: u8) -> bool {
+/// match-lifecycle messages plus the two flock messages; see
+/// `docs/protocol.md` §11 and §14). Queries and releases stay
+/// trailer-free: they are not part of any match's causal chain. Flock
+/// frames *do* carry it so a cross-pool match stitches into the same span
+/// tree as a local one.
+fn tag_carries_trace(t: u8) -> bool {
     matches!(
-        tag,
-        TAG_ADVERTISE | TAG_NOTIFY | TAG_CLAIM | TAG_CLAIM_REPLY | TAG_ERROR
+        t,
+        tag::ADVERTISE
+            | tag::NOTIFY
+            | tag::CLAIM
+            | tag::CLAIM_REPLY
+            | tag::ERROR
+            | tag::FLOCK_QUERY
+            | tag::FLOCK_OFFER
     )
 }
 
@@ -437,7 +519,7 @@ impl Message {
         let mut buf = BytesMut::with_capacity(256);
         match self {
             Message::Advertise(adv) => {
-                buf.put_u8(TAG_ADVERTISE);
+                buf.put_u8(tag::ADVERTISE);
                 buf.put_u8(match adv.kind {
                     EntityKind::Provider => 0,
                     EntityKind::Customer => 1,
@@ -448,20 +530,20 @@ impl Message {
                 buf.put_u64(adv.expires_at);
             }
             Message::Notify(n) => {
-                buf.put_u8(TAG_NOTIFY);
+                buf.put_u8(tag::NOTIFY);
                 put_ad(&mut buf, &n.own_ad);
                 put_ad(&mut buf, &n.peer_ad);
                 put_string(&mut buf, &n.peer_contact);
                 put_opt_ticket(&mut buf, &n.ticket);
             }
             Message::Claim(c) => {
-                buf.put_u8(TAG_CLAIM);
+                buf.put_u8(tag::CLAIM);
                 buf.put_u128(c.ticket.raw());
                 put_ad(&mut buf, &c.customer_ad);
                 put_string(&mut buf, &c.customer_contact);
             }
             Message::ClaimReply(r) => {
-                buf.put_u8(TAG_CLAIM_REPLY);
+                buf.put_u8(tag::CLAIM_REPLY);
                 buf.put_u8(r.accepted as u8);
                 buf.put_u8(match r.rejection {
                     None => 0,
@@ -473,7 +555,7 @@ impl Message {
                 put_ad(&mut buf, &r.provider_ad);
             }
             Message::Release { ticket } => {
-                buf.put_u8(TAG_RELEASE);
+                buf.put_u8(tag::RELEASE);
                 buf.put_u128(ticket.raw());
             }
             Message::Query {
@@ -481,7 +563,7 @@ impl Message {
                 kind,
                 projection,
             } => {
-                buf.put_u8(TAG_QUERY);
+                buf.put_u8(tag::QUERY);
                 buf.put_u8(match kind {
                     None => 0,
                     Some(EntityKind::Provider) => 1,
@@ -494,26 +576,26 @@ impl Message {
                 }
             }
             Message::QueryReply { ads } => {
-                buf.put_u8(TAG_QUERY_REPLY);
+                buf.put_u8(tag::QUERY_REPLY);
                 buf.put_u32(ads.len() as u32);
                 for ad in ads {
                     put_ad(&mut buf, ad);
                 }
             }
             Message::Error { detail } => {
-                buf.put_u8(TAG_ERROR);
+                buf.put_u8(tag::ERROR);
                 put_string(&mut buf, detail);
             }
             Message::Analyze { name } => {
-                buf.put_u8(TAG_ANALYZE);
+                buf.put_u8(tag::ANALYZE);
                 put_string(&mut buf, name);
             }
             Message::AnalyzeReply { ad } => {
-                buf.put_u8(TAG_ANALYZE_REPLY);
+                buf.put_u8(tag::ANALYZE_REPLY);
                 put_ad(&mut buf, ad);
             }
             Message::ElectionBid { epoch, candidate } => {
-                buf.put_u8(TAG_ELECTION_BID);
+                buf.put_u8(tag::ELECTION_BID);
                 buf.put_u64(*epoch);
                 put_string(&mut buf, candidate);
             }
@@ -522,10 +604,38 @@ impl Message {
                 leader,
                 expires_at,
             } => {
-                buf.put_u8(TAG_LEADER_LEASE);
+                buf.put_u8(tag::LEADER_LEASE);
                 buf.put_u64(*epoch);
                 put_string(&mut buf, leader);
                 buf.put_u64(*expires_at);
+            }
+            Message::FlockQuery {
+                origin,
+                members,
+                rep,
+            } => {
+                buf.put_u8(tag::FLOCK_QUERY);
+                put_string(&mut buf, origin);
+                buf.put_u32(*members);
+                put_ad(&mut buf, rep);
+            }
+            Message::FlockOffer { pool, grant } => {
+                buf.put_u8(tag::FLOCK_OFFER);
+                put_string(&mut buf, pool);
+                match grant {
+                    None => buf.put_u8(0),
+                    Some(adv) => {
+                        buf.put_u8(1);
+                        buf.put_u8(match adv.kind {
+                            EntityKind::Provider => 0,
+                            EntityKind::Customer => 1,
+                        });
+                        put_ad(&mut buf, &adv.ad);
+                        put_string(&mut buf, &adv.contact);
+                        put_opt_ticket(&mut buf, &adv.ticket);
+                        buf.put_u64(adv.expires_at);
+                    }
+                }
             }
         }
         if let Some(ctx) = trace {
@@ -551,7 +661,7 @@ impl Message {
         let mut r = Reader { buf: bytes };
         let tag = r.u8()?;
         let msg = match tag {
-            TAG_ADVERTISE => {
+            tag::ADVERTISE => {
                 let kind = match r.u8()? {
                     0 => EntityKind::Provider,
                     1 => EntityKind::Customer,
@@ -565,18 +675,18 @@ impl Message {
                     expires_at: r.u64()?,
                 })
             }
-            TAG_NOTIFY => Message::Notify(MatchNotification {
+            tag::NOTIFY => Message::Notify(MatchNotification {
                 own_ad: r.ad()?,
                 peer_ad: r.ad()?,
                 peer_contact: r.string()?,
                 ticket: r.opt_ticket()?,
             }),
-            TAG_CLAIM => Message::Claim(ClaimRequest {
+            tag::CLAIM => Message::Claim(ClaimRequest {
                 ticket: Ticket::from_raw(r.u128()?),
                 customer_ad: r.ad()?,
                 customer_contact: r.string()?,
             }),
-            TAG_CLAIM_REPLY => {
+            tag::CLAIM_REPLY => {
                 let accepted = r.u8()? != 0;
                 let rejection = match r.u8()? {
                     0 => None,
@@ -592,10 +702,10 @@ impl Message {
                     provider_ad: r.ad()?,
                 })
             }
-            TAG_RELEASE => Message::Release {
+            tag::RELEASE => Message::Release {
                 ticket: Ticket::from_raw(r.u128()?),
             },
-            TAG_QUERY => {
+            tag::QUERY => {
                 let kind = match r.u8()? {
                     0 => None,
                     1 => Some(EntityKind::Provider),
@@ -617,7 +727,7 @@ impl Message {
                     projection,
                 }
             }
-            TAG_QUERY_REPLY => {
+            tag::QUERY_REPLY => {
                 let n = r.u32()? as usize;
                 if n > 1_000_000 {
                     return Err(ProtocolError::BadFrame(format!("reply of {n} ads")));
@@ -628,20 +738,49 @@ impl Message {
                 }
                 Message::QueryReply { ads }
             }
-            TAG_ERROR => Message::Error {
+            tag::ERROR => Message::Error {
                 detail: r.string()?,
             },
-            TAG_ANALYZE => Message::Analyze { name: r.string()? },
-            TAG_ANALYZE_REPLY => Message::AnalyzeReply { ad: r.ad()? },
-            TAG_ELECTION_BID => Message::ElectionBid {
+            tag::ANALYZE => Message::Analyze { name: r.string()? },
+            tag::ANALYZE_REPLY => Message::AnalyzeReply { ad: r.ad()? },
+            tag::ELECTION_BID => Message::ElectionBid {
                 epoch: r.u64()?,
                 candidate: r.string()?,
             },
-            TAG_LEADER_LEASE => Message::LeaderLease {
+            tag::LEADER_LEASE => Message::LeaderLease {
                 epoch: r.u64()?,
                 leader: r.string()?,
                 expires_at: r.u64()?,
             },
+            tag::FLOCK_QUERY => Message::FlockQuery {
+                origin: r.string()?,
+                members: r.u32()?,
+                rep: r.ad()?,
+            },
+            tag::FLOCK_OFFER => {
+                let pool = r.string()?;
+                let grant = match r.u8()? {
+                    0 => None,
+                    1 => {
+                        let kind = match r.u8()? {
+                            0 => EntityKind::Provider,
+                            1 => EntityKind::Customer,
+                            k => {
+                                return Err(ProtocolError::BadFrame(format!("bad entity kind {k}")))
+                            }
+                        };
+                        Some(Advertisement {
+                            kind,
+                            ad: r.ad()?,
+                            contact: r.string()?,
+                            ticket: r.opt_ticket()?,
+                            expires_at: r.u64()?,
+                        })
+                    }
+                    k => return Err(ProtocolError::BadFrame(format!("bad grant flag {k}"))),
+                };
+                Message::FlockOffer { pool, grant }
+            }
             other => return Err(ProtocolError::BadFrame(format!("unknown tag {other}"))),
         };
         let trace = if tag_carries_trace(tag) && r.buf.has_remaining() {
@@ -903,13 +1042,151 @@ mod tests {
             epoch: 1,
             candidate: "mm:1".into(),
         };
-        assert_eq!(bid.encode()[0], TAG_ELECTION_BID);
+        assert_eq!(bid.encode()[0], tag::ELECTION_BID);
         let lease = Message::LeaderLease {
             epoch: 1,
             leader: "mm:1".into(),
             expires_at: 99,
         };
-        assert_eq!(lease.encode()[0], TAG_LEADER_LEASE);
+        assert_eq!(lease.encode()[0], tag::LEADER_LEASE);
+    }
+
+    fn sample_message_for(t: u8) -> Message {
+        match t {
+            tag::ADVERTISE => Message::Advertise(sample_adv()),
+            tag::NOTIFY => Message::Notify(MatchNotification {
+                own_ad: sample_ad(),
+                peer_ad: sample_ad(),
+                peer_contact: "ca:1".into(),
+                ticket: Some(Ticket::from_raw(3)),
+            }),
+            tag::CLAIM => Message::Claim(ClaimRequest {
+                ticket: Ticket::from_raw(42),
+                customer_ad: sample_ad(),
+                customer_contact: "ca:1".into(),
+            }),
+            tag::CLAIM_REPLY => Message::ClaimReply(ClaimResponse {
+                accepted: false,
+                rejection: Some(ClaimRejection::Busy),
+                provider_ad: sample_ad(),
+            }),
+            tag::RELEASE => Message::Release {
+                ticket: Ticket::from_raw(7),
+            },
+            tag::QUERY => Message::Query {
+                constraint: "other.Mips > 10".into(),
+                kind: Some(EntityKind::Customer),
+                projection: vec!["Name".into()],
+            },
+            tag::QUERY_REPLY => Message::QueryReply {
+                ads: vec![sample_ad()],
+            },
+            tag::ERROR => Message::Error {
+                detail: "nope".into(),
+            },
+            tag::ANALYZE => Message::Analyze {
+                name: "job-17".into(),
+            },
+            tag::ANALYZE_REPLY => Message::AnalyzeReply { ad: sample_ad() },
+            tag::ELECTION_BID => Message::ElectionBid {
+                epoch: 9,
+                candidate: "mm:1".into(),
+            },
+            tag::LEADER_LEASE => Message::LeaderLease {
+                epoch: 9,
+                leader: "mm:1".into(),
+                expires_at: 1_700_000_000,
+            },
+            tag::FLOCK_QUERY => Message::FlockQuery {
+                origin: "127.0.0.1:9614".into(),
+                members: 12,
+                rep: sample_ad(),
+            },
+            tag::FLOCK_OFFER => Message::FlockOffer {
+                pool: "127.0.0.1:9615".into(),
+                grant: Some(sample_adv()),
+            },
+            other => panic!("no sample message for tag {other}"),
+        }
+    }
+
+    #[test]
+    fn every_assigned_tag_round_trips_through_encode_decode() {
+        // Exhaustive over the tag space: a new Message variant cannot ship
+        // without registering in tag::ALL and round-tripping here.
+        for (i, &t) in tag::ALL.iter().enumerate() {
+            assert_eq!(t, i as u8 + 1, "tags are dense starting at 1");
+            let msg = sample_message_for(t);
+            let bytes = msg.encode();
+            assert_eq!(bytes[0], t, "first frame byte is the tag");
+            assert_eq!(Message::decode(bytes).unwrap(), msg);
+        }
+        // Tag 0 stays unassigned: a zeroed frame must fail, not parse.
+        assert!(Message::decode(Bytes::from_static(&[0])).is_err());
+        let next_free = *tag::ALL.iter().max().unwrap() + 1;
+        assert!(Message::decode(Bytes::from(vec![next_free])).is_err());
+    }
+
+    #[test]
+    fn flock_messages_roundtrip() {
+        let query = Message::FlockQuery {
+            origin: "127.0.0.1:9614".into(),
+            members: 3,
+            rep: parse_classad(
+                r#"[ Name = "job-1"; Type = "Job"; FlockHops = 2;
+                     FlockVisited = "127.0.0.1:9614";
+                     Constraint = other.Type == "Machine"; Rank = other.Mips ]"#,
+            )
+            .unwrap(),
+        };
+        assert_eq!(Message::decode(query.encode()).unwrap(), query);
+        // A grant carries the provider's full advertisement — contact and
+        // delegation ticket included — so the origin pool's customer can
+        // claim directly.
+        let offer = Message::FlockOffer {
+            pool: "127.0.0.1:9615".into(),
+            grant: Some(sample_adv()),
+        };
+        assert_eq!(Message::decode(offer.encode()).unwrap(), offer);
+        // And a healthy "no resource free" answer is an empty grant.
+        let dry = Message::FlockOffer {
+            pool: "127.0.0.1:9615".into(),
+            grant: None,
+        };
+        assert_eq!(Message::decode(dry.encode()).unwrap(), dry);
+    }
+
+    #[test]
+    fn flock_tags_carry_trace_trailers() {
+        // Cross-pool matches must stitch into one span tree, so flock
+        // frames carry the same optional trailer as the lifecycle tags.
+        let ctx = TraceContext {
+            trace_id: 0xFACE,
+            parent_span_id: 0xB00C,
+        };
+        for t in [tag::FLOCK_QUERY, tag::FLOCK_OFFER] {
+            let msg = sample_message_for(t);
+            let (back, trace) = Message::decode_traced(msg.encode_traced(Some(&ctx))).unwrap();
+            assert_eq!(back, msg);
+            assert_eq!(trace, Some(ctx));
+            // Traceless flock frames stay trailer-free and decode with None.
+            let (_, none) = Message::decode_traced(msg.encode()).unwrap();
+            assert_eq!(none, None);
+        }
+    }
+
+    #[test]
+    fn pre_flock_peers_reject_the_tags_cleanly() {
+        // An old decoder sees tags 13/14 as unknown and raises BadFrame;
+        // its daemon replies with a structured Error (`unknown tag 13`),
+        // which the flock manager reads as "peer does not flock".
+        let query = sample_message_for(tag::FLOCK_QUERY);
+        assert_eq!(query.encode()[0], tag::FLOCK_QUERY);
+        let err = match Message::decode(Bytes::from_static(&[29])) {
+            Err(ProtocolError::BadFrame(m)) => m,
+            other => panic!("expected BadFrame, got {other:?}"),
+        };
+        assert!(err.contains("unknown tag 29"), "{err}");
     }
 
     #[test]
@@ -918,8 +1195,8 @@ mod tests {
         // unknown, so it raises BadFrame (and a daemon turns that into a
         // structured Error reply) instead of desyncing.
         let bytes = Message::Analyze { name: "j".into() }.encode();
-        assert_eq!(bytes[0], TAG_ANALYZE);
-        let err = match Message::decode(Bytes::from_static(&[TAG_ANALYZE_REPLY + 90])) {
+        assert_eq!(bytes[0], tag::ANALYZE);
+        let err = match Message::decode(Bytes::from_static(&[tag::ANALYZE_REPLY + 90])) {
             Err(ProtocolError::BadFrame(m)) => m,
             other => panic!("expected BadFrame, got {other:?}"),
         };
@@ -949,7 +1226,7 @@ mod tests {
     fn decode_rejects_garbage() {
         assert!(Message::decode(Bytes::from_static(&[])).is_err());
         assert!(Message::decode(Bytes::from_static(&[99])).is_err());
-        assert!(Message::decode(Bytes::from_static(&[TAG_RELEASE, 1, 2])).is_err());
+        assert!(Message::decode(Bytes::from_static(&[tag::RELEASE, 1, 2])).is_err());
         // Trailing bytes after a valid message.
         let mut good = Message::Release {
             ticket: Ticket::from_raw(7),

@@ -14,8 +14,8 @@
 //! relaxed atomics: they are monotone counters with no ordering
 //! requirements.
 
-use crate::admanager::{AdStore, StoreSnapshot};
-use crate::matcher::MatchEngine;
+use crate::admanager::{AdStore, StoreSnapshot, StoredAd};
+use crate::matcher::{Candidate, MatchEngine};
 use crate::negotiate::{
     ClusterRejections, CycleOutcome, Negotiator, NegotiatorConfig, RejectionTable,
 };
@@ -452,6 +452,79 @@ impl Matchmaker {
         out
     }
 
+    /// Serve a peer pool's `FlockQuery`: scan the live offers for the
+    /// best free provider the forwarded representative mutually matches,
+    /// withdraw it from the store, and return its full advertisement —
+    /// contact and authorization ticket included — as the delegation
+    /// grant. The origin pool relays the grant to its customer as an
+    /// ordinary `Notify`, and the customer claims the provider directly;
+    /// this matchmaker never hears about the claim.
+    ///
+    /// Two deliberate restrictions keep local autonomy intact:
+    ///
+    /// * claimed providers are never granted — flocked jobs do not
+    ///   preempt this pool's own claimants, whatever the ranks say;
+    /// * selection uses the same deterministic order as a local cycle
+    ///   (request rank, then offer rank, then oldest ad), so a flocked
+    ///   representative gets exactly what a local job with the same ad
+    ///   would have gotten from the free pool.
+    ///
+    /// Withdrawing the granted ad is soft state, not a reservation: if
+    /// the remote claim never arrives, the provider's next heartbeat
+    /// re-advertises it and it rejoins local negotiation a cycle later.
+    pub fn flock_match(&self, rep: &ClassAd, now: Timestamp) -> Option<Advertisement> {
+        // Same lock discipline as `analyze`: copy the engine out of the
+        // negotiator, snapshot the store, scan lock-free.
+        let engine = self.match_engine();
+        let offers: Vec<StoredAd> = {
+            let store = self.store.read();
+            store
+                .snapshot(EntityKind::Provider, now)
+                .into_iter()
+                .filter(|o| !condor_obs::is_daemon_ad(&o.ad))
+                .collect()
+        };
+        let mut best: Option<Candidate> = None;
+        for (oi, offer) in offers.iter().enumerate() {
+            let Some(c) = engine.score_keyed(rep, &offer.ad, oi, offer.seq) else {
+                continue;
+            };
+            let claimed = matches!(
+                offer.ad.eval_attr("State", &engine.policy),
+                Value::Str(ref s) if s.as_ref() == "Claimed"
+            );
+            if claimed {
+                continue;
+            }
+            match &best {
+                Some(b) if !c.better_than(b) => {}
+                _ => best = Some(c),
+            }
+        }
+        let grant = &offers[best?.index];
+        self.store
+            .write()
+            .withdraw(EntityKind::Provider, &grant.name);
+        Some(Advertisement {
+            kind: EntityKind::Provider,
+            ad: (*grant.ad).clone(),
+            contact: grant.contact.clone(),
+            ticket: grant.ticket,
+            expires_at: grant.expires_at,
+        })
+    }
+
+    /// A point-in-time copy of the negotiator's match engine — its policy
+    /// and evaluation conventions — for out-of-cycle scoring (analyze
+    /// scans, flock grant ranking). Cheap: both members are clone-light.
+    pub fn match_engine(&self) -> MatchEngine {
+        let negotiator = self.negotiator.lock();
+        MatchEngine {
+            policy: negotiator.engine.policy.clone(),
+            conventions: negotiator.engine.conventions.clone(),
+        }
+    }
+
     /// Serve a one-way query.
     pub fn query(&self, q: &Query, now: Timestamp) -> Vec<ClassAd> {
         self.stats.queries.fetch_add(1, Ordering::Relaxed);
@@ -813,5 +886,53 @@ mod tests {
             s.matches,
             (0..threads * per_thread).filter(|i| i % 5 == 0).count() as u64
         );
+    }
+
+    #[test]
+    fn flock_match_grants_the_best_free_provider_and_withdraws_it() {
+        let svc = Matchmaker::new(NegotiatorConfig::default());
+        for i in 0..3 {
+            svc.advertise(machine_adv(i), 0).unwrap(); // Mips 50, 51, 52
+        }
+        let rep = parse_classad(
+            r#"[ Name = "remote-job"; Type = "Job";
+                 Constraint = other.Type == "Machine"; Rank = other.Mips ]"#,
+        )
+        .unwrap();
+        let grant = svc.flock_match(&rep, 10).expect("a grant");
+        assert_eq!(grant.ad.get_string("Name"), Some("m2"), "highest rank");
+        assert_eq!(grant.contact, "m2:1", "contact travels for direct claim");
+        // The granted ad left the store: a second identical query gets the
+        // next-best machine, not the same one twice.
+        assert_eq!(svc.ad_count(), 2);
+        let second = svc.flock_match(&rep, 10).expect("next grant");
+        assert_eq!(second.ad.get_string("Name"), Some("m1"));
+    }
+
+    #[test]
+    fn flock_match_never_grants_claimed_or_incompatible_providers() {
+        let svc = Matchmaker::new(NegotiatorConfig::default());
+        let mut claimed = machine_adv(0);
+        claimed.ad.set_str("State", "Claimed");
+        claimed.ad.set_real("CurrentRank", 0.0);
+        svc.advertise(claimed, 0).unwrap();
+        let rep = parse_classad(
+            r#"[ Name = "remote-job"; Type = "Job";
+                 Constraint = other.Type == "Machine"; Rank = other.Mips ]"#,
+        )
+        .unwrap();
+        assert_eq!(
+            svc.flock_match(&rep, 10),
+            None,
+            "flocked jobs never preempt local claimants"
+        );
+        let picky = parse_classad(
+            r#"[ Name = "picky"; Type = "Job";
+                 Constraint = other.Type == "Machine" && other.Mips > 9000;
+                 Rank = 0 ]"#,
+        )
+        .unwrap();
+        svc.advertise(machine_adv(1), 0).unwrap();
+        assert_eq!(svc.flock_match(&picky, 10), None);
     }
 }

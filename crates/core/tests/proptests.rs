@@ -619,6 +619,137 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------------
+// Flocking: representative-ad selection
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The flocking hook's forwarding unit, checked against an external
+    /// oracle. With `flocking` on, every autocluster a cycle leaves
+    /// unmatched is reduced to one representative ad, and forwarding just
+    /// that ad to a peer pool is sound only if
+    ///
+    /// 1. selection is deterministic — same store, same representatives,
+    ///    across repeated runs and across the serial / parallel /
+    ///    incremental negotiation paths;
+    /// 2. the representative is the cluster's *first unmatched member in
+    ///    request order*, and member counts cover the cycle's unmatched
+    ///    total exactly (recomputed here from `request_signature`, the
+    ///    same equivalence relation the negotiator clusters by);
+    /// 3. the representative's constraint is implied by every member of
+    ///    its cluster — each of its conjuncts appears among the member's
+    ///    conjuncts, and every attribute in its constraint's dependency
+    ///    closure has the same definition in the member — so a peer's
+    ///    verdict on the representative holds for the whole cluster.
+    #[test]
+    fn flock_representative_selection_is_deterministic_and_sound(
+        machines in proptest::collection::vec(arb_machine(), 0..12),
+        jobs in proptest::collection::vec(arb_job(), 0..16),
+    ) {
+        use classad::analyze::conjuncts_of;
+        use classad::deps::{dependency_closure, self_refs};
+        use matchmaker::autocluster::{offer_external_refs, request_signature};
+        use std::collections::{BTreeSet, HashMap as Map};
+
+        let store = build_store(&machines, &jobs);
+        let config = NegotiatorConfig { flocking: true, ..Default::default() };
+        let out = Negotiator::new(config.clone()).negotiate(&store, 0);
+
+        let reps = |o: &matchmaker::negotiate::CycleOutcome| -> Vec<(usize, String, usize)> {
+            o.unmatched_clusters
+                .iter()
+                .map(|c| (c.cluster, c.rep_name.clone(), c.members))
+                .collect()
+        };
+
+        // 1. Determinism, including across negotiation paths.
+        let again = Negotiator::new(config.clone()).negotiate(&store, 0);
+        prop_assert_eq!(reps(&out), reps(&again));
+        let parallel = Negotiator::new(NegotiatorConfig { threads: 3, ..config.clone() })
+            .negotiate(&store, 0);
+        prop_assert_eq!(reps(&out), reps(&parallel));
+        let full_scan = Negotiator::new(NegotiatorConfig { incremental: false, ..config })
+            .negotiate(&store, 0);
+        prop_assert_eq!(reps(&out), reps(&full_scan));
+
+        // 2. Recompute the clustering externally and derive the expected
+        //    representative set: group unmatched requests by signature in
+        //    request (seq) order; each group's first member represents it.
+        let conv = MatchConventions::default();
+        let offers: Vec<std::sync::Arc<ClassAd>> = store
+            .snapshot(EntityKind::Provider, 0)
+            .into_iter()
+            .map(|s| s.ad)
+            .collect();
+        let external = offer_external_refs(&conv, &offers);
+        // Request order is seq order — the same sort the negotiator
+        // applies before clustering (the snapshot itself is shard order).
+        let mut requests = store.snapshot(EntityKind::Customer, 0);
+        requests.sort_by_key(|r| r.seq);
+        let matched: std::collections::HashSet<String> =
+            out.matches.iter().map(|m| m.request_name.clone()).collect();
+        let mut sig_ids: Map<String, usize> = Map::new();
+        let mut expected: Vec<(usize, String, usize)> = Vec::new();
+        let mut members_of: Map<usize, Vec<std::sync::Arc<ClassAd>>> = Map::new();
+        for r in &requests {
+            let sig = request_signature(&conv, &r.ad, &external);
+            let next = sig_ids.len();
+            let cid = *sig_ids.entry(sig).or_insert(next);
+            if matched.contains(&r.name) {
+                continue;
+            }
+            match expected.iter_mut().find(|(c, _, _)| *c == cid) {
+                Some((_, _, count)) => *count += 1,
+                None => expected.push((cid, r.name.clone(), 1)),
+            }
+            members_of.entry(cid).or_default().push(r.ad.clone());
+        }
+        expected.sort_by_key(|(cid, _, _)| *cid);
+        prop_assert_eq!(reps(&out), expected);
+        let total: usize = out.unmatched_clusters.iter().map(|c| c.members).sum();
+        prop_assert_eq!(total, out.stats.unmatched_requests);
+
+        // 3. Implication: forwarding the representative speaks for every
+        //    member. Conjunct containment gives syntactic implication;
+        //    identical dependency-closure definitions make the peer's
+        //    evaluation of the representative transfer to each member.
+        for cluster in &out.unmatched_clusters {
+            let rep = &cluster.rep_ad;
+            let rep_constraint = rep.get("Constraint").expect("generated jobs have constraints");
+            let rep_conjuncts: BTreeSet<String> = conjuncts_of(rep_constraint)
+                .iter()
+                .map(|e| e.to_string())
+                .collect();
+            let mut seeds = BTreeSet::new();
+            self_refs(rep_constraint, &mut seeds);
+            let closure = dependency_closure(rep, seeds);
+            for member in &members_of[&cluster.cluster] {
+                let member_constraint = member.get("Constraint").unwrap();
+                let member_conjuncts: BTreeSet<String> = conjuncts_of(member_constraint)
+                    .iter()
+                    .map(|e| e.to_string())
+                    .collect();
+                prop_assert!(
+                    rep_conjuncts.is_subset(&member_conjuncts),
+                    "member lacks a representative conjunct: {:?} vs {:?}",
+                    rep_conjuncts,
+                    member_conjuncts
+                );
+                for attr in &closure {
+                    prop_assert_eq!(
+                        rep.get(attr.as_ref()).map(|e| e.to_string()),
+                        member.get(attr.as_ref()).map(|e| e.to_string()),
+                        "closure attribute {} diverges within the cluster",
+                        attr
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Rank tie-breaking is shard-count-independent
 // ---------------------------------------------------------------------------
 

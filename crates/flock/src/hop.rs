@@ -1,0 +1,171 @@
+//! The anti-loop hop budget carried *inside* the forwarded ad.
+//!
+//! A flocked representative ad travels with two ordinary attributes —
+//! nothing new on the wire, so any tool that prints classads shows the
+//! flocking state too:
+//!
+//! * `FlockHops` — how many further matchmaker hops the ad may make.
+//!   The origin stamps its configured budget; every chain-forward
+//!   decrements. A query arriving with `FlockHops < 1` is rejected.
+//! * `FlockVisited` — comma-joined matchmaker contacts that have already
+//!   seen this query. A pool finding itself in the list rejects the
+//!   query instead of looping it, and chain-forwards skip visited peers.
+//!
+//! Both checks live here (pure functions over [`ClassAd`]s) so the
+//! daemon-side handler is a thin shell around testable logic.
+
+use classad::ClassAd;
+
+/// Attribute holding the remaining hop budget of a flocked ad.
+pub const ATTR_HOPS: &str = "FlockHops";
+/// Attribute holding the comma-joined list of matchmaker contacts that
+/// have already handled this query.
+pub const ATTR_VISITED: &str = "FlockVisited";
+
+/// Why an incoming `FlockQuery` was refused admission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlockReject {
+    /// This matchmaker already appears in the ad's `FlockVisited` list —
+    /// forwarding again would loop.
+    Looped,
+    /// The ad arrived with no hop budget left (`FlockHops < 1`).
+    HopsExhausted,
+}
+
+impl std::fmt::Display for FlockReject {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlockReject::Looped => f.write_str("flock loop: this pool already handled the query"),
+            FlockReject::HopsExhausted => f.write_str("flock hop budget exhausted"),
+        }
+    }
+}
+
+/// What an admitted `FlockQuery` carries for further decisions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Admitted {
+    /// Hop budget remaining *after* this hop (0 = answer but never
+    /// chain-forward).
+    pub hops_left: u32,
+    /// Contacts that have handled the query, this pool excluded.
+    pub visited: Vec<String>,
+}
+
+fn visited_of(ad: &ClassAd) -> Vec<String> {
+    ad.get_string(ATTR_VISITED)
+        .map(|s| {
+            s.split(',')
+                .map(str::trim)
+                .filter(|p| !p.is_empty())
+                .map(str::to_string)
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Admission check a matchmaker runs on an incoming flocked ad.
+///
+/// `self_contact` is this pool's own matchmaker contact. Admission
+/// consumes one hop: an ad stamped with `FlockHops = 1` is admitted with
+/// `hops_left = 0` (it may be answered, not re-forwarded).
+pub fn admit(rep: &ClassAd, self_contact: &str) -> Result<Admitted, FlockReject> {
+    let visited = visited_of(rep);
+    if visited.iter().any(|v| v == self_contact) {
+        return Err(FlockReject::Looped);
+    }
+    let hops = rep.get_int(ATTR_HOPS).unwrap_or(0);
+    if hops < 1 {
+        return Err(FlockReject::HopsExhausted);
+    }
+    Ok(Admitted {
+        hops_left: (hops - 1) as u32,
+        visited,
+    })
+}
+
+/// Stamp a representative ad for its first hop out of the origin pool:
+/// sets `FlockHops` to the configured budget and starts `FlockVisited`
+/// with the origin's own contact.
+pub fn stamp_outbound(rep: &ClassAd, hop_budget: u32, self_contact: &str) -> ClassAd {
+    let mut out = rep.clone();
+    out.set_int(ATTR_HOPS, hop_budget as i64);
+    out.set_str(ATTR_VISITED, self_contact);
+    out
+}
+
+/// Re-stamp an admitted ad for a chain-forward to this pool's own peers:
+/// the decremented budget goes back in, and this pool joins the visited
+/// list. `None` when the budget is spent — the caller answers the query
+/// itself (grant or dry) but must not forward it.
+pub fn stamp_chain(rep: &ClassAd, admitted: &Admitted, self_contact: &str) -> Option<ClassAd> {
+    if admitted.hops_left == 0 {
+        return None;
+    }
+    let mut out = rep.clone();
+    out.set_int(ATTR_HOPS, admitted.hops_left as i64);
+    let mut visited = admitted.visited.clone();
+    visited.push(self_contact.to_string());
+    out.set_str(ATTR_VISITED, &visited.join(","));
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use classad::parse_classad;
+
+    fn rep() -> ClassAd {
+        parse_classad(r#"[ Name = "job-1"; Constraint = true; Rank = 0 ]"#).unwrap()
+    }
+
+    #[test]
+    fn outbound_stamp_then_admit_consumes_a_hop() {
+        let stamped = stamp_outbound(&rep(), 2, "poolA:9614");
+        assert_eq!(stamped.get_int(ATTR_HOPS), Some(2));
+        assert_eq!(stamped.get_string(ATTR_VISITED), Some("poolA:9614"));
+        let admitted = admit(&stamped, "poolB:9614").unwrap();
+        assert_eq!(admitted.hops_left, 1);
+        assert_eq!(admitted.visited, vec!["poolA:9614".to_string()]);
+    }
+
+    #[test]
+    fn own_pool_in_visited_is_a_loop() {
+        let stamped = stamp_outbound(&rep(), 2, "poolA:9614");
+        assert_eq!(admit(&stamped, "poolA:9614"), Err(FlockReject::Looped));
+    }
+
+    #[test]
+    fn unstamped_or_spent_ads_are_rejected() {
+        assert_eq!(admit(&rep(), "poolB:9614"), Err(FlockReject::HopsExhausted));
+        let mut spent = rep();
+        spent.set_int(ATTR_HOPS, 0);
+        assert_eq!(admit(&spent, "poolB:9614"), Err(FlockReject::HopsExhausted));
+    }
+
+    #[test]
+    fn chain_stamp_decrements_and_accumulates_visited() {
+        let stamped = stamp_outbound(&rep(), 2, "poolA:9614");
+        let admitted = admit(&stamped, "poolB:9614").unwrap();
+        let chained = stamp_chain(&stamped, &admitted, "poolB:9614").unwrap();
+        assert_eq!(chained.get_int(ATTR_HOPS), Some(1));
+        assert_eq!(
+            chained.get_string(ATTR_VISITED),
+            Some("poolA:9614,poolB:9614")
+        );
+        // Third pool: admitted with nothing left to forward.
+        let admitted_c = admit(&chained, "poolC:9614").unwrap();
+        assert_eq!(admitted_c.hops_left, 0);
+        assert_eq!(stamp_chain(&chained, &admitted_c, "poolC:9614"), None);
+        // And the chain cannot fold back on either earlier pool.
+        assert_eq!(admit(&chained, "poolA:9614"), Err(FlockReject::Looped));
+        assert_eq!(admit(&chained, "poolB:9614"), Err(FlockReject::Looped));
+    }
+
+    #[test]
+    fn budget_of_one_answers_but_never_forwards() {
+        let stamped = stamp_outbound(&rep(), 1, "poolA:9614");
+        let admitted = admit(&stamped, "poolB:9614").unwrap();
+        assert_eq!(admitted.hops_left, 0);
+        assert_eq!(stamp_chain(&stamped, &admitted, "poolB:9614"), None);
+    }
+}

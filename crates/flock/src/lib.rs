@@ -1,0 +1,141 @@
+//! # condor-flock — pool federation (flocking)
+//!
+//! One matchmaker brokers one pool; scaling past a pool means federating
+//! brokers. Flocking keeps the paper's architecture intact while doing
+//! so: when a negotiation cycle leaves an autocluster unmatched, the
+//! local matchmaker forwards **one representative ad** for the cluster
+//! (the same representative the failure-attribution pass analyzes) to
+//! configured peer matchmakers as a `FlockQuery`. A peer with a free,
+//! mutually-acceptable resource answers with a `FlockOffer` carrying the
+//! provider's full advertisement — contact address and authorization
+//! ticket included — and the *origin* matchmaker relays it to the job's
+//! customer agent as an ordinary `Notify`. The claim then runs directly
+//! between the customer and the remote resource agent, which re-verifies
+//! the delegated ticket exactly as it would a local one. No job or
+//! machine state is ever replicated between matchmakers; a wrong grant
+//! costs one rejected claim, never a wrong allocation.
+//!
+//! Like `condor-ha`, this crate is **socket-free**: it holds the pure
+//! decision state — the peer table with health and decorrelated-jitter
+//! backoff ([`matchmaker::retry::Backoff`]), per-peer in-flight caps,
+//! the anti-loop hop budget stamped into forwarded ads
+//! ([`hop`]), and delegation-grant ranking — while `condor-pool`'s
+//! daemon does the dialing. That keeps every transition unit-testable
+//! without a listener.
+//!
+//! Mixed pools degrade cleanly: a pre-flock peer rejects the unknown
+//! tag with a structured `Error`, which [`FlockManager::query_finished`]
+//! records as [`QueryOutcome::NonFlocking`] — the peer is never dialed
+//! for flocking again, and its normal traffic is untouched.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod hop;
+pub mod manager;
+
+pub use hop::{admit, stamp_chain, stamp_outbound, Admitted, FlockReject, ATTR_HOPS, ATTR_VISITED};
+pub use manager::{
+    FlockConfig, FlockCounters, FlockManager, PeerHealth, PeerSnapshot, QueryOutcome,
+};
+
+use classad::ClassAd;
+use matchmaker::matcher::MatchEngine;
+use matchmaker::protocol::Advertisement;
+
+/// Rank a set of delegation grants against the representative request and
+/// pick the best, re-verifying the symmetric constraints locally (the
+/// grantor scored against *its* view; the origin never trusts that
+/// blindly). Returns the index of the winning `(peer, grant)` pair.
+///
+/// Ranking uses the request's own `Rank` expression — the same quantity a
+/// local match would maximize — so a remote offer can never beat what a
+/// local cycle would have produced: flocking only runs for clusters the
+/// local cycle left unmatched, and among remote grants the highest
+/// request-rank wins with ties broken by configured peer order (earlier
+/// peer wins, keeping selection deterministic).
+pub fn select_grant(
+    rep: &ClassAd,
+    grants: &[(String, Advertisement)],
+    engine: &MatchEngine,
+) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, (_peer, adv)) in grants.iter().enumerate() {
+        let Some(cand) = engine.score(rep, &adv.ad, i) else {
+            continue;
+        };
+        match best {
+            Some((_, rank)) if cand.request_rank <= rank => {}
+            _ => best = Some((i, cand.request_rank)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use classad::parse_classad;
+    use matchmaker::protocol::EntityKind;
+
+    fn job() -> ClassAd {
+        parse_classad(
+            r#"[ Name = "job-1"; Type = "Job";
+                 Constraint = other.Type == "Machine" && other.Mips >= 50;
+                 Rank = other.Mips ]"#,
+        )
+        .unwrap()
+    }
+
+    fn machine(name: &str, mips: i64) -> Advertisement {
+        Advertisement {
+            kind: EntityKind::Provider,
+            ad: parse_classad(&format!(
+                r#"[ Name = "{name}"; Type = "Machine"; Mips = {mips};
+                     Constraint = other.Type == "Job"; Rank = 0 ]"#
+            ))
+            .unwrap(),
+            contact: format!("{name}:9700"),
+            ticket: None,
+            expires_at: 1000,
+        }
+    }
+
+    #[test]
+    fn select_grant_maximizes_request_rank() {
+        let grants = vec![
+            ("poolB:1".to_string(), machine("slow", 60)),
+            ("poolC:1".to_string(), machine("fast", 200)),
+        ];
+        let engine = MatchEngine::new();
+        assert_eq!(select_grant(&job(), &grants, &engine), Some(1));
+    }
+
+    #[test]
+    fn select_grant_reverifies_constraints_locally() {
+        // The grantor may have scored against stale state; an offer that
+        // fails the symmetric constraints here is dropped, not relayed.
+        let grants = vec![
+            ("poolB:1".to_string(), machine("weak", 10)), // Mips < 50
+            ("poolC:1".to_string(), machine("ok", 80)),
+        ];
+        let engine = MatchEngine::new();
+        assert_eq!(select_grant(&job(), &grants, &engine), Some(1));
+        let none = vec![("poolB:1".to_string(), machine("weak", 10))];
+        assert_eq!(select_grant(&job(), &none, &engine), None);
+    }
+
+    #[test]
+    fn select_grant_ties_break_by_peer_order() {
+        let grants = vec![
+            ("poolB:1".to_string(), machine("b", 100)),
+            ("poolC:1".to_string(), machine("c", 100)),
+        ];
+        let engine = MatchEngine::new();
+        assert_eq!(
+            select_grant(&job(), &grants, &engine),
+            Some(0),
+            "equal ranks: the earlier-configured peer wins"
+        );
+    }
+}

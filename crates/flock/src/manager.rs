@@ -1,0 +1,422 @@
+//! The peer table: health, backoff, and in-flight accounting per peer
+//! pool.
+//!
+//! A [`FlockManager`] owns the origin-side state of flocking: which peer
+//! pools are configured, which are currently reachable, which turned out
+//! to predate flocking entirely, and how many queries are outstanding to
+//! each. It never opens a socket — the pool daemon drives it with
+//! [`FlockManager::query_started`] / [`FlockManager::query_finished`]
+//! around each dial, and asks [`FlockManager::eligible`] which peers to
+//! consult for a given forwarded ad.
+//!
+//! Health states:
+//!
+//! * **Up** — the peer answered its last flock query (grant or dry).
+//! * **Down** — the last dial failed; the peer is skipped until its
+//!   decorrelated-jitter backoff deadline passes. Each peer's schedule is
+//!   seeded from its own name so a multi-peer origin never retries all
+//!   its peers in lockstep.
+//! * **NonFlocking** — the peer answered the query with a structured
+//!   `Error` (`unknown tag 13`): it speaks the wire protocol but predates
+//!   flocking. Permanent for the life of the manager; normal traffic to
+//!   the peer is unaffected.
+
+use matchmaker::retry::Backoff;
+use std::time::Duration;
+
+/// Federation knobs, carried by `DaemonConfig.flock` on the pool daemon.
+#[derive(Debug, Clone)]
+pub struct FlockConfig {
+    /// Peer pools to consult, in preference order (ties in grant rank
+    /// break toward earlier peers). Each entry lists one pool's
+    /// matchmaker contacts — leader first by convention, standbys after —
+    /// and the dialer probes for the current leader before each query.
+    pub peers: Vec<Vec<String>>,
+    /// How many matchmaker hops a forwarded ad may make (stamped as
+    /// `FlockHops`; see [`crate::hop`]). 1 = direct peers only.
+    pub hop_budget: u32,
+    /// Maximum outstanding flock queries per peer pool.
+    pub max_in_flight: u32,
+    /// Backoff schedule for unreachable peers. Re-seeded per peer from
+    /// the peer's name so retries decorrelate across the table.
+    pub backoff: Backoff,
+}
+
+impl Default for FlockConfig {
+    fn default() -> Self {
+        FlockConfig {
+            peers: Vec::new(),
+            hop_budget: 2,
+            max_in_flight: 2,
+            backoff: Backoff {
+                jitter: 0.3,
+                ..Backoff::unlimited(Duration::from_secs(1), Duration::from_secs(60))
+            },
+        }
+    }
+}
+
+/// A peer pool's reachability, as last observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeerHealth {
+    /// Answered its last flock query.
+    Up,
+    /// Unreachable; skipped until the backoff deadline (unix ms) passes.
+    Down {
+        /// When the peer becomes dialable again.
+        retry_at_ms: u64,
+    },
+    /// Speaks the wire protocol but rejected the flock tag — a pre-flock
+    /// peer. Never dialed for flocking again.
+    NonFlocking,
+}
+
+/// How one flock query to one peer ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryOutcome {
+    /// The peer granted a provider advertisement.
+    Granted,
+    /// The peer answered but had no matching resource free.
+    Dry,
+    /// The peer rejected the tag itself (structured `Error`): pre-flock.
+    NonFlocking,
+    /// The dial failed (connect/read/write error or timeout).
+    Failed,
+}
+
+#[derive(Debug)]
+struct PeerState {
+    contacts: Vec<String>,
+    health: PeerHealth,
+    in_flight: u32,
+    /// Consecutive failed dials (resets on any answer).
+    attempt: u32,
+    sent: u64,
+    grants: u64,
+    backoff: Backoff,
+}
+
+/// A read-only view of one peer's row for self-ads and status tools.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PeerSnapshot {
+    /// The peer's display name (its first configured contact).
+    pub name: String,
+    /// Current health.
+    pub health: PeerHealth,
+    /// Outstanding queries right now.
+    pub in_flight: u32,
+    /// Queries ever sent to this peer.
+    pub sent: u64,
+    /// Grants ever received from this peer.
+    pub grants: u64,
+}
+
+/// Aggregate counters for the matchmaker self-ad.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FlockCounters {
+    /// Peers currently `Up` (includes never-dialed peers, optimistically).
+    pub peers_up: u64,
+    /// Peers currently backing off.
+    pub peers_down: u64,
+    /// Peers marked pre-flock.
+    pub peers_non_flocking: u64,
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// The origin-side flocking state machine. Not internally synchronized —
+/// the daemon keeps it behind a mutex, like the negotiator.
+#[derive(Debug)]
+pub struct FlockManager {
+    config: FlockConfig,
+    peers: Vec<PeerState>,
+}
+
+impl FlockManager {
+    /// Build the peer table from the configuration. Peer entries with no
+    /// contacts are dropped.
+    pub fn new(config: FlockConfig) -> Self {
+        let peers = config
+            .peers
+            .iter()
+            .filter(|c| !c.is_empty())
+            .map(|contacts| PeerState {
+                backoff: Backoff {
+                    jitter_seed: config.backoff.jitter_seed ^ fnv1a(&contacts[0]),
+                    ..config.backoff.clone()
+                },
+                contacts: contacts.clone(),
+                health: PeerHealth::Up,
+                in_flight: 0,
+                attempt: 0,
+                sent: 0,
+                grants: 0,
+            })
+            .collect();
+        FlockManager { config, peers }
+    }
+
+    /// Whether any peers are configured at all.
+    pub fn is_enabled(&self) -> bool {
+        !self.peers.is_empty()
+    }
+
+    /// The configured hop budget for outbound stamps.
+    pub fn hop_budget(&self) -> u32 {
+        self.config.hop_budget
+    }
+
+    /// Peers worth dialing right now for an ad that has already visited
+    /// `visited` pools: healthy (or past their backoff deadline), under
+    /// their in-flight cap, not pre-flock, and not among the visited
+    /// contacts. Returned in configured (preference) order.
+    pub fn eligible(&self, now_ms: u64, visited: &[String]) -> Vec<usize> {
+        self.peers
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| match p.health {
+                PeerHealth::NonFlocking => false,
+                PeerHealth::Down { retry_at_ms } => now_ms >= retry_at_ms,
+                PeerHealth::Up => true,
+            })
+            .filter(|(_, p)| p.in_flight < self.config.max_in_flight)
+            .filter(|(_, p)| !p.contacts.iter().any(|c| visited.iter().any(|v| v == c)))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The peer's configured contacts (for leader probing).
+    pub fn contacts(&self, peer: usize) -> &[String] {
+        &self.peers[peer].contacts
+    }
+
+    /// The peer's display name (first configured contact).
+    pub fn name(&self, peer: usize) -> &str {
+        &self.peers[peer].contacts[0]
+    }
+
+    /// Record that a query to `peer` is going on the wire.
+    pub fn query_started(&mut self, peer: usize) {
+        let p = &mut self.peers[peer];
+        p.in_flight += 1;
+        p.sent += 1;
+    }
+
+    /// Record how the query ended and transition the peer's health.
+    pub fn query_finished(&mut self, peer: usize, outcome: QueryOutcome, now_ms: u64) {
+        let p = &mut self.peers[peer];
+        p.in_flight = p.in_flight.saturating_sub(1);
+        match outcome {
+            QueryOutcome::Granted => {
+                p.grants += 1;
+                p.attempt = 0;
+                p.health = PeerHealth::Up;
+            }
+            QueryOutcome::Dry => {
+                p.attempt = 0;
+                p.health = PeerHealth::Up;
+            }
+            QueryOutcome::NonFlocking => p.health = PeerHealth::NonFlocking,
+            QueryOutcome::Failed => {
+                p.attempt = p.attempt.saturating_add(1);
+                let delay = p
+                    .backoff
+                    .delay(p.attempt)
+                    .unwrap_or(p.backoff.max_delay)
+                    .as_millis() as u64;
+                p.health = PeerHealth::Down {
+                    retry_at_ms: now_ms + delay,
+                };
+            }
+        }
+    }
+
+    /// Per-peer rows for status tools.
+    pub fn snapshot(&self) -> Vec<PeerSnapshot> {
+        self.peers
+            .iter()
+            .map(|p| PeerSnapshot {
+                name: p.contacts[0].clone(),
+                health: p.health,
+                in_flight: p.in_flight,
+                sent: p.sent,
+                grants: p.grants,
+            })
+            .collect()
+    }
+
+    /// Aggregate health counters for the self-ad gauges.
+    pub fn counters(&self) -> FlockCounters {
+        let mut c = FlockCounters::default();
+        for p in &self.peers {
+            match p.health {
+                PeerHealth::Up => c.peers_up += 1,
+                PeerHealth::Down { .. } => c.peers_down += 1,
+                PeerHealth::NonFlocking => c.peers_non_flocking += 1,
+            }
+        }
+        c
+    }
+
+    /// The peer table as one self-ad string attribute
+    /// (`FlockPeerTable`), e.g.
+    /// `"mmB:9614 up sent=3 grants=1 | mmC:9614 non-flocking sent=1 grants=0"`.
+    pub fn peer_table(&self) -> String {
+        self.peers
+            .iter()
+            .map(|p| {
+                let state = match p.health {
+                    PeerHealth::Up => "up".to_string(),
+                    PeerHealth::Down { retry_at_ms } => format!("down(retry@{retry_at_ms}ms)"),
+                    PeerHealth::NonFlocking => "non-flocking".to_string(),
+                };
+                format!(
+                    "{} {} sent={} grants={}",
+                    p.contacts[0], state, p.sent, p.grants
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(" | ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manager(peers: &[&str]) -> FlockManager {
+        FlockManager::new(FlockConfig {
+            peers: peers.iter().map(|p| vec![p.to_string()]).collect(),
+            ..FlockConfig::default()
+        })
+    }
+
+    #[test]
+    fn empty_config_disables_flocking() {
+        let m = manager(&[]);
+        assert!(!m.is_enabled());
+        assert!(m.eligible(0, &[]).is_empty());
+    }
+
+    #[test]
+    fn fresh_peers_are_eligible_in_order() {
+        let m = manager(&["b:1", "c:1"]);
+        assert!(m.is_enabled());
+        assert_eq!(m.eligible(0, &[]), vec![0, 1]);
+        assert_eq!(m.name(0), "b:1");
+    }
+
+    #[test]
+    fn visited_pools_are_skipped() {
+        let m = manager(&["b:1", "c:1"]);
+        assert_eq!(m.eligible(0, &["b:1".to_string()]), vec![1]);
+    }
+
+    #[test]
+    fn in_flight_cap_holds() {
+        let mut m = FlockManager::new(FlockConfig {
+            peers: vec![vec!["b:1".to_string()]],
+            max_in_flight: 2,
+            ..FlockConfig::default()
+        });
+        m.query_started(0);
+        assert_eq!(m.eligible(0, &[]), vec![0]);
+        m.query_started(0);
+        assert!(m.eligible(0, &[]).is_empty(), "cap reached");
+        m.query_finished(0, QueryOutcome::Dry, 0);
+        assert_eq!(m.eligible(0, &[]), vec![0]);
+    }
+
+    #[test]
+    fn failure_backs_off_then_recovers() {
+        let mut m = manager(&["b:1"]);
+        m.query_started(0);
+        m.query_finished(0, QueryOutcome::Failed, 10_000);
+        let PeerHealth::Down { retry_at_ms } = m.snapshot()[0].health else {
+            panic!("expected Down");
+        };
+        assert!(retry_at_ms > 10_000);
+        assert!(m.eligible(retry_at_ms - 1, &[]).is_empty());
+        assert_eq!(m.eligible(retry_at_ms, &[]), vec![0], "deadline passed");
+        // A successful answer resets the attempt counter.
+        m.query_started(0);
+        m.query_finished(0, QueryOutcome::Granted, retry_at_ms + 1);
+        assert_eq!(m.snapshot()[0].health, PeerHealth::Up);
+        assert_eq!(m.snapshot()[0].grants, 1);
+    }
+
+    #[test]
+    fn consecutive_failures_grow_the_backoff() {
+        let mut m = FlockManager::new(FlockConfig {
+            peers: vec![vec!["b:1".to_string()]],
+            backoff: Backoff::unlimited(Duration::from_secs(1), Duration::from_secs(60)),
+            ..FlockConfig::default()
+        });
+        let mut last = 0;
+        for _ in 0..4 {
+            m.query_started(0);
+            m.query_finished(0, QueryOutcome::Failed, 0);
+            let PeerHealth::Down { retry_at_ms } = m.snapshot()[0].health else {
+                panic!("expected Down");
+            };
+            assert!(retry_at_ms > last, "{retry_at_ms} vs {last}");
+            last = retry_at_ms;
+        }
+    }
+
+    #[test]
+    fn peer_backoff_schedules_decorrelate_by_name() {
+        let mut m = FlockManager::new(FlockConfig {
+            peers: vec![vec!["b:1".to_string()], vec!["c:1".to_string()]],
+            backoff: Backoff {
+                jitter: 0.9,
+                ..Backoff::unlimited(Duration::from_secs(1), Duration::from_secs(60))
+            },
+            ..FlockConfig::default()
+        });
+        for peer in 0..2 {
+            for _ in 0..3 {
+                m.query_started(peer);
+                m.query_finished(peer, QueryOutcome::Failed, 0);
+            }
+        }
+        let snap = m.snapshot();
+        let (PeerHealth::Down { retry_at_ms: a }, PeerHealth::Down { retry_at_ms: b }) =
+            (snap[0].health, snap[1].health)
+        else {
+            panic!("both down");
+        };
+        assert_ne!(a, b, "two peers must not retry in lockstep");
+    }
+
+    #[test]
+    fn non_flocking_is_permanent() {
+        let mut m = manager(&["old:1", "new:1"]);
+        m.query_started(0);
+        m.query_finished(0, QueryOutcome::NonFlocking, 0);
+        assert_eq!(m.eligible(u64::MAX, &[]), vec![1]);
+        assert_eq!(m.counters().peers_non_flocking, 1);
+        assert!(m.peer_table().contains("old:1 non-flocking"));
+    }
+
+    #[test]
+    fn counters_and_table_reflect_the_rows() {
+        let mut m = manager(&["b:1", "c:1", "d:1"]);
+        m.query_started(0);
+        m.query_finished(0, QueryOutcome::Granted, 0);
+        m.query_started(1);
+        m.query_finished(1, QueryOutcome::Failed, 0);
+        let c = m.counters();
+        assert_eq!((c.peers_up, c.peers_down, c.peers_non_flocking), (2, 1, 0));
+        let table = m.peer_table();
+        assert!(table.contains("b:1 up sent=1 grants=1"), "{table}");
+        assert!(table.contains("down(retry@"), "{table}");
+    }
+}

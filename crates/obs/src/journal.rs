@@ -132,6 +132,28 @@ pub enum Event {
         /// The encoded snapshot payload (opaque to the journal).
         state: String,
     },
+    /// A request left unmatched by the local cycle was served by a peer
+    /// pool: the origin matchmaker relayed the peer's delegation grant to
+    /// the job's customer as an ordinary notification, and the claim
+    /// proceeds directly to the remote provider.
+    JobFlocked {
+        /// The flocked request's `Name` (the cluster representative).
+        request: String,
+        /// The granted remote provider's `Name`.
+        offer: String,
+        /// The granting peer pool's matchmaker contact.
+        peer: String,
+    },
+    /// This matchmaker granted one of its free providers to a peer pool's
+    /// flocked representative (the remote side of [`Event::JobFlocked`]).
+    FlockMatchMade {
+        /// The forwarded representative request's `Name`.
+        request: String,
+        /// The granted local provider's `Name`.
+        offer: String,
+        /// The originating pool's matchmaker contact.
+        origin: String,
+    },
     /// A negotiation cycle left requests unmatched and the attribution
     /// pass classified why (one event per cycle, covering every cluster
     /// with unmatched requests).
@@ -164,6 +186,8 @@ impl Event {
             Event::FrameRejected { .. } => "FrameRejected",
             Event::AgentRestarted { .. } => "AgentRestarted",
             Event::Checkpoint { .. } => "Checkpoint",
+            Event::JobFlocked { .. } => "JobFlocked",
+            Event::FlockMatchMade { .. } => "FlockMatchMade",
             Event::CycleRejections { .. } => "CycleRejections",
         }
     }
@@ -184,6 +208,8 @@ impl Event {
                 | "FrameRejected"
                 | "AgentRestarted"
                 | "Checkpoint"
+                | "JobFlocked"
+                | "FlockMatchMade"
                 | "CycleRejections"
         )
     }
@@ -259,6 +285,24 @@ impl Event {
                 ("matches", U64(*matches)),
                 ("state", Str(state.clone())),
             ],
+            Event::JobFlocked {
+                request,
+                offer,
+                peer,
+            } => vec![
+                ("request", Str(request.clone())),
+                ("offer", Str(offer.clone())),
+                ("peer", Str(peer.clone())),
+            ],
+            Event::FlockMatchMade {
+                request,
+                offer,
+                origin,
+            } => vec![
+                ("request", Str(request.clone())),
+                ("offer", Str(offer.clone())),
+                ("origin", Str(origin.clone())),
+            ],
             Event::CycleRejections {
                 cycle,
                 clusters,
@@ -323,6 +367,16 @@ impl Event {
                 ads: obj.u64("ads")?,
                 matches: obj.u64("matches")?,
                 state: obj.str("state")?,
+            },
+            "JobFlocked" => Event::JobFlocked {
+                request: obj.str("request")?,
+                offer: obj.str("offer")?,
+                peer: obj.str("peer")?,
+            },
+            "FlockMatchMade" => Event::FlockMatchMade {
+                request: obj.str("request")?,
+                offer: obj.str("offer")?,
+                origin: obj.str("origin")?,
             },
             "CycleRejections" => Event::CycleRejections {
                 cycle: obj.u64("cycle")?,
@@ -1055,6 +1109,16 @@ mod tests {
                 ads: 12,
                 matches: 1,
                 state: "snapshot v1\nad \"with\\quotes\"\tand tabs".into(),
+            },
+            Event::JobFlocked {
+                request: "job-1".into(),
+                offer: "remote-ra".into(),
+                peer: "10.0.0.9:9614".into(),
+            },
+            Event::FlockMatchMade {
+                request: "job-9".into(),
+                offer: "ra-3".into(),
+                origin: "10.0.0.2:9614".into(),
             },
             Event::CycleRejections {
                 cycle: 3,

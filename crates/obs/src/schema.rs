@@ -142,6 +142,30 @@ pub const CHECKPOINTS_WRITTEN: &str = "checkpoints_written";
 /// Times an agent switched matchmakers after a probe or redirect.
 pub const MATCHMAKER_FAILOVERS: &str = "matchmaker_failovers";
 
+// ---- flocking (cross-pool federation) ----
+
+/// Flock queries this matchmaker sent to peer pools.
+pub const FLOCK_QUERIES_SENT: &str = "flock_queries_sent";
+/// Flock queries this matchmaker received from peer pools.
+pub const FLOCK_QUERIES_RECEIVED: &str = "flock_queries_received";
+/// Remote grants this matchmaker relayed to its own customers
+/// (origin-side flocked matches).
+pub const FLOCK_MATCHES: &str = "flock_matches";
+/// Local providers this matchmaker granted to peer pools.
+pub const FLOCK_GRANTS: &str = "flock_grants";
+/// Inbound flock queries rejected (loop detected, hop budget exhausted,
+/// or no compatible free provider).
+pub const FLOCK_REJECTS: &str = "flock_rejects";
+/// Peer matchmakers currently reachable (gauge).
+pub const FLOCK_PEERS_UP: &str = "flock_peers_up";
+/// Peer matchmakers currently failed or backing off (gauge).
+pub const FLOCK_PEERS_DOWN: &str = "flock_peers_down";
+/// Peer matchmakers marked pre-flock (rejected the tags) and skipped
+/// permanently (gauge).
+pub const FLOCK_PEERS_NON_FLOCKING: &str = "flock_peers_non_flocking";
+/// Requests whose autocluster was served by a peer pool, over all cycles.
+pub const JOBS_FLOCKED: &str = "jobs_flocked";
+
 // ---- agents (live pool + simulator) ----
 
 /// Advertisements delivered to the matchmaker.

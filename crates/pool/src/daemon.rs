@@ -20,14 +20,18 @@
 //! `other.MyType == "MatchmakerStats"` reads live daemon health over the
 //! same wire as any other query.
 
-use crate::failover::leader_redirect_detail;
+use crate::failover::{find_leader, leader_redirect_detail};
 use crate::observe::{self_ad_name, Observer, WireCounters};
-use crate::wire::{self, IoConfig};
+use crate::wire::{self, IoConfig, WireError};
+use classad::ClassAd;
+use condor_flock::{FlockManager, QueryOutcome};
 use condor_ha::{recover_pool, Election, ElectionConfig, LeaseVerdict, PoolSnapshot, Tick};
 use condor_obs::{schema, Event, JournalConfig, TraceContext};
 use matchmaker::framing::FrameDecoder;
-use matchmaker::negotiate::NegotiatorConfig;
-use matchmaker::protocol::{Advertisement, AdvertisingProtocol, EntityKind, Message};
+use matchmaker::negotiate::{NegotiatorConfig, UnmatchedCluster};
+use matchmaker::protocol::{
+    Advertisement, AdvertisingProtocol, EntityKind, MatchNotification, Message,
+};
 use matchmaker::service::Matchmaker;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -36,7 +40,7 @@ use std::io::{ErrorKind, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -110,6 +114,12 @@ pub struct DaemonConfig {
     /// Run as one member of a high-availability set; `None` (the
     /// default) is the classic lone matchmaker, leader from birth.
     pub ha: Option<HaConfig>,
+    /// Pool federation (flocking): consult these peer pools when a
+    /// negotiation cycle leaves autoclusters unmatched, and grant free
+    /// local providers to peers' forwarded representatives. `None` (the
+    /// default) disables both directions; `Some` with an empty peer list
+    /// answers peers' queries without ever forwarding its own.
+    pub flock: Option<condor_flock::FlockConfig>,
 }
 
 impl Default for DaemonConfig {
@@ -134,6 +144,7 @@ impl Default for DaemonConfig {
             journal: None,
             checkpoint_every: 10,
             ha: None,
+            flock: None,
         }
     }
 }
@@ -157,6 +168,15 @@ struct DaemonMetrics {
     leader_redirects: Arc<condor_obs::Counter>,
     elections_won: Arc<condor_obs::Counter>,
     checkpoints_written: Arc<condor_obs::Counter>,
+    flock_queries_sent: Arc<condor_obs::Counter>,
+    flock_queries_received: Arc<condor_obs::Counter>,
+    flock_matches: Arc<condor_obs::Counter>,
+    flock_grants: Arc<condor_obs::Counter>,
+    flock_rejects: Arc<condor_obs::Counter>,
+    jobs_flocked: Arc<condor_obs::Counter>,
+    flock_peers_up: Arc<condor_obs::Gauge>,
+    flock_peers_down: Arc<condor_obs::Gauge>,
+    flock_peers_non_flocking: Arc<condor_obs::Gauge>,
     wire: WireCounters,
 }
 
@@ -179,6 +199,15 @@ impl DaemonMetrics {
             leader_redirects: reg.counter(schema::LEADER_REDIRECTS),
             elections_won: reg.counter(schema::ELECTIONS_WON),
             checkpoints_written: reg.counter(schema::CHECKPOINTS_WRITTEN),
+            flock_queries_sent: reg.counter(schema::FLOCK_QUERIES_SENT),
+            flock_queries_received: reg.counter(schema::FLOCK_QUERIES_RECEIVED),
+            flock_matches: reg.counter(schema::FLOCK_MATCHES),
+            flock_grants: reg.counter(schema::FLOCK_GRANTS),
+            flock_rejects: reg.counter(schema::FLOCK_REJECTS),
+            jobs_flocked: reg.counter(schema::JOBS_FLOCKED),
+            flock_peers_up: reg.gauge(schema::FLOCK_PEERS_UP),
+            flock_peers_down: reg.gauge(schema::FLOCK_PEERS_DOWN),
+            flock_peers_non_flocking: reg.gauge(schema::FLOCK_PEERS_NON_FLOCKING),
             wire: WireCounters::new(reg),
         }
     }
@@ -209,6 +238,17 @@ pub struct DaemonStatsSnapshot {
     pub elections_won: u64,
     /// Ad-store checkpoints written into the journal.
     pub checkpoints_written: u64,
+    /// Flock queries sent to peer pools.
+    pub flock_queries_sent: u64,
+    /// Flock queries received from peer pools.
+    pub flock_queries_received: u64,
+    /// Remote grants relayed to this pool's own customers.
+    pub flock_matches: u64,
+    /// Local providers granted to peer pools.
+    pub flock_grants: u64,
+    /// Inbound flock queries answered dry after a loop, hop-budget, or
+    /// no-free-provider rejection.
+    pub flock_rejects: u64,
 }
 
 struct Shared {
@@ -233,6 +273,13 @@ struct Shared {
     election: Mutex<Election>,
     /// Standbys that acknowledged our last heartbeat round (leader only).
     standby_count: AtomicUsize,
+    /// The flock peer table (empty and inert without
+    /// [`DaemonConfig::flock`]). Like the negotiator: not internally
+    /// synchronized, held behind the mutex.
+    flock: Mutex<FlockManager>,
+    /// Hands each cycle's unmatched clusters to the `mm-flock` dialer
+    /// thread; `None` when flocking is off (no thread to feed).
+    flock_tx: Mutex<Option<mpsc::Sender<Vec<UnmatchedCluster>>>>,
 }
 
 /// A live matchmaker listening on TCP.
@@ -243,6 +290,7 @@ pub struct MatchmakerDaemon {
     accept: Option<JoinHandle<()>>,
     ticker: Option<JoinHandle<()>>,
     election: Option<JoinHandle<()>>,
+    flock: Option<JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for Shared {
@@ -255,7 +303,15 @@ impl std::fmt::Debug for Shared {
 
 impl MatchmakerDaemon {
     /// Bind the listener and start the accept and negotiation threads.
-    pub fn spawn(cfg: DaemonConfig) -> std::io::Result<Self> {
+    pub fn spawn(mut cfg: DaemonConfig) -> std::io::Result<Self> {
+        // Flocking with peers configured needs the negotiator to hand
+        // back each cycle's unmatched clusters; pools without peers (or
+        // without flocking at all) keep the hook off and pay nothing.
+        let flock_peers = cfg.flock.as_ref().is_some_and(|f| !f.peers.is_empty());
+        if flock_peers {
+            cfg.negotiator.flocking = true;
+        }
+        let flock = FlockManager::new(cfg.flock.clone().unwrap_or_default());
         let listener = TcpListener::bind(&cfg.bind)?;
         let addr = listener.local_addr()?;
         let protocol = AdvertisingProtocol {
@@ -291,6 +347,8 @@ impl MatchmakerDaemon {
             last_rejections_line: Mutex::new(String::new()),
             election: Mutex::new(election),
             standby_count: AtomicUsize::new(0),
+            flock: Mutex::new(flock),
+            flock_tx: Mutex::new(None),
         });
         shared.observer.emit(Event::AgentRestarted {
             agent: "MatchmakerDaemon".into(),
@@ -327,12 +385,25 @@ impl MatchmakerDaemon {
                 )
             }
         };
+        let flock = if flock_peers {
+            let (tx, rx) = mpsc::channel();
+            *shared.flock_tx.lock() = Some(tx);
+            let shared = Arc::clone(&shared);
+            Some(
+                std::thread::Builder::new()
+                    .name("mm-flock".into())
+                    .spawn(move || flock_loop(&shared, rx))?,
+            )
+        } else {
+            None
+        };
         Ok(MatchmakerDaemon {
             shared,
             addr,
             accept: Some(accept),
             ticker: Some(ticker),
             election,
+            flock,
         })
     }
 
@@ -362,6 +433,11 @@ impl MatchmakerDaemon {
             leader_redirects: m.leader_redirects.get(),
             elections_won: m.elections_won.get(),
             checkpoints_written: m.checkpoints_written.get(),
+            flock_queries_sent: m.flock_queries_sent.get(),
+            flock_queries_received: m.flock_queries_received.get(),
+            flock_matches: m.flock_matches.get(),
+            flock_grants: m.flock_grants.get(),
+            flock_rejects: m.flock_rejects.get(),
         }
     }
 
@@ -393,6 +469,11 @@ impl MatchmakerDaemon {
         }
     }
 
+    /// Per-peer flocking rows (empty without [`DaemonConfig::flock`]).
+    pub fn flock_peers(&self) -> Vec<condor_flock::PeerSnapshot> {
+        self.shared.flock.lock().snapshot()
+    }
+
     /// How many events the daemon's journal has written (0 when
     /// journaling is off).
     pub fn journal_position(&self) -> u64 {
@@ -415,6 +496,12 @@ impl MatchmakerDaemon {
         if let Some(h) = self.election.take() {
             let _ = h.join();
         }
+        // Dropping the sender disconnects the dialer's queue so it exits
+        // even mid-backlog.
+        *self.shared.flock_tx.lock() = None;
+        if let Some(h) = self.flock.take() {
+            let _ = h.join();
+        }
         let conns = std::mem::take(&mut *self.shared.conns.lock());
         for h in conns {
             let _ = h.join();
@@ -433,9 +520,28 @@ impl Shared {
     /// outlives three cycle intervals (floor five minutes) so the ad
     /// survives quiet stretches; every refresh renews it.
     fn publish_self_ad(&self) {
+        // Fold the peer table into the gauges before the registry
+        // snapshot below bakes them into the ad.
+        let peer_table = {
+            let flock = self.flock.lock();
+            if flock.is_enabled() {
+                let c = flock.counters();
+                self.metrics.flock_peers_up.set(c.peers_up as i64);
+                self.metrics.flock_peers_down.set(c.peers_down as i64);
+                self.metrics
+                    .flock_peers_non_flocking
+                    .set(c.peers_non_flocking as i64);
+                Some(flock.peer_table())
+            } else {
+                None
+            }
+        };
         let mut ad = self
             .observer
             .build_self_ad(&self_ad_name(&self.cfg.name), schema::MATCHMAKER_STATS);
+        if let Some(table) = peer_table {
+            ad.set_str("FlockPeerTable", &table);
+        }
         {
             let line = self.last_rejections_line.lock();
             if !line.is_empty() {
@@ -736,6 +842,29 @@ fn serve_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
                         }
                         continue;
                     }
+                    // Flock traffic: a peer pool's forwarded representative,
+                    // answered here before service dispatch (the HA match
+                    // above already redirected standbys). A daemon with
+                    // flocking off falls through to the service instead and
+                    // rejects the message with a structured error — the
+                    // same degradation a truly pre-flock peer produces by
+                    // not decoding the tag at all.
+                    if shared.cfg.flock.is_some() {
+                        if let Message::FlockQuery {
+                            origin,
+                            members,
+                            rep,
+                        } = &msg
+                        {
+                            let (reply, reply_ctx) =
+                                answer_flock_query(shared, origin, *members, rep, frame_trace);
+                            match wire::send_traced(&mut stream, &reply, reply_ctx.as_ref()) {
+                                Ok(n) => shared.metrics.wire.sent(n as u64),
+                                Err(_) => return,
+                            }
+                            continue;
+                        }
+                    }
                     // Journal context, captured before the message moves.
                     let ad_info = match &msg {
                         Message::Advertise(adv) => Some((
@@ -878,6 +1007,244 @@ fn rejections_line(outcome: &matchmaker::negotiate::CycleOutcome) -> String {
     parts.join(" | ")
 }
 
+/// Serve one inbound `FlockQuery`: admit it past the anti-loop checks,
+/// try the local free pool, spend any remaining hop budget on this pool's
+/// own peers, and answer with a `FlockOffer` (a grant, or dry). The reply
+/// context chains the peer's trace so a cross-pool match stitches into
+/// one span tree.
+fn answer_flock_query(
+    shared: &Arc<Shared>,
+    origin: &str,
+    members: u32,
+    rep: &ClassAd,
+    trace: Option<TraceContext>,
+) -> (Message, Option<TraceContext>) {
+    shared.metrics.flock_queries_received.inc();
+    let span = trace.map(|ctx| ctx.begin_span());
+    let reply_ctx = span.map(|s| s.child_context());
+    let dry = Message::FlockOffer {
+        pool: shared.contact.clone(),
+        grant: None,
+    };
+    // Loops and spent hop budgets are answered dry rather than with an
+    // `Error`: the query was well-formed, this pool just declines it, and
+    // the origin's peer table keeps the pool Up.
+    let admitted = match condor_flock::admit(rep, &shared.contact) {
+        Ok(a) => a,
+        Err(_) => {
+            shared.metrics.flock_rejects.inc();
+            return (dry, reply_ctx);
+        }
+    };
+    let rep_name = rep.get_string("Name").unwrap_or("?").to_string();
+    if let Some(grant) = shared.service.flock_match(rep, wire::unix_now()) {
+        shared.metrics.flock_grants.inc();
+        shared.observer.emit_traced(
+            Event::FlockMatchMade {
+                request: rep_name,
+                offer: grant.ad.get_string("Name").unwrap_or("?").to_string(),
+                origin: origin.to_string(),
+            },
+            span,
+        );
+        return (
+            Message::FlockOffer {
+                pool: shared.contact.clone(),
+                grant: Some(grant),
+            },
+            reply_ctx,
+        );
+    }
+    // Nothing free here: chain-forward to our own peers if the hop
+    // budget allows, relaying any grant upstream in our own offer.
+    if let Some(chained) = condor_flock::stamp_chain(rep, &admitted, &shared.contact) {
+        let query_ctx = span.map(|s| s.child_context());
+        if let Some((_, grant)) = flock_dial(shared, &chained, members, query_ctx.as_ref()) {
+            shared.metrics.flock_grants.inc();
+            shared.observer.emit_traced(
+                Event::FlockMatchMade {
+                    request: rep_name,
+                    offer: grant.ad.get_string("Name").unwrap_or("?").to_string(),
+                    origin: origin.to_string(),
+                },
+                span,
+            );
+            return (
+                Message::FlockOffer {
+                    pool: shared.contact.clone(),
+                    grant: Some(grant),
+                },
+                reply_ctx,
+            );
+        }
+    }
+    shared.metrics.flock_rejects.inc();
+    (dry, reply_ctx)
+}
+
+/// Dial the eligible peers with an already-stamped representative ad and
+/// return the best grant, ranked by the representative's own `Rank`
+/// (ties break toward earlier-configured peers). Each dial probes the
+/// peer's contact list for its current leader first — a peer pool running
+/// HA answers flock queries only at its leader — and the peer table is
+/// updated around every exchange.
+fn flock_dial(
+    shared: &Arc<Shared>,
+    stamped: &ClassAd,
+    members: u32,
+    trace: Option<&TraceContext>,
+) -> Option<(String, Advertisement)> {
+    let visited: Vec<String> = stamped
+        .get_string(condor_flock::ATTR_VISITED)
+        .map(|s| {
+            s.split(',')
+                .map(|p| p.trim().to_string())
+                .filter(|p| !p.is_empty())
+                .collect()
+        })
+        .unwrap_or_default();
+    let eligible = shared.flock.lock().eligible(wire::unix_now_ms(), &visited);
+    let mut grants: Vec<(String, Advertisement)> = Vec::new();
+    for peer in eligible {
+        let (contacts, name) = {
+            let flock = shared.flock.lock();
+            (flock.contacts(peer).to_vec(), flock.name(peer).to_string())
+        };
+        shared.flock.lock().query_started(peer);
+        let outcome = match find_leader(&contacts, &shared.cfg.io) {
+            None => QueryOutcome::Failed,
+            Some(leader) => {
+                let query = Message::FlockQuery {
+                    origin: shared.contact.clone(),
+                    members,
+                    rep: stamped.clone(),
+                };
+                match wire::request_reply_traced(&leader, &query, trace, &shared.cfg.io) {
+                    Ok(exchange) => {
+                        shared.metrics.flock_queries_sent.inc();
+                        shared.metrics.wire.sent(exchange.bytes_out);
+                        shared.metrics.wire.read_bytes(exchange.bytes_in);
+                        shared.metrics.wire.frame_in();
+                        match exchange.msg {
+                            Message::FlockOffer {
+                                grant: Some(adv), ..
+                            } => {
+                                grants.push((name, adv));
+                                QueryOutcome::Granted
+                            }
+                            Message::FlockOffer { grant: None, .. } => QueryOutcome::Dry,
+                            _ => QueryOutcome::Failed,
+                        }
+                    }
+                    Err(WireError::Remote(detail)) => {
+                        shared.metrics.flock_queries_sent.inc();
+                        // A structured rejection of the tag itself marks a
+                        // pre-flock peer, permanently skipped; any other
+                        // remote error (a redirect mid-election, a protocol
+                        // complaint) is a transient failure.
+                        if detail.contains("unknown tag") {
+                            QueryOutcome::NonFlocking
+                        } else {
+                            QueryOutcome::Failed
+                        }
+                    }
+                    Err(_) => QueryOutcome::Failed,
+                }
+            }
+        };
+        shared
+            .flock
+            .lock()
+            .query_finished(peer, outcome, wire::unix_now_ms());
+    }
+    let engine = shared.service.match_engine();
+    let best = condor_flock::select_grant(stamped, &grants, &engine)?;
+    grants.into_iter().nth(best)
+}
+
+/// The `mm-flock` dialer thread: drains each cycle's unmatched clusters,
+/// forwards one representative per cluster to peer pools, and relays any
+/// delegation grant to the representative's customer as an ordinary
+/// `Notify` — the claim then runs directly, agent to remote agent.
+fn flock_loop(shared: &Arc<Shared>, rx: mpsc::Receiver<Vec<UnmatchedCluster>>) {
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let clusters = match rx.recv_timeout(Duration::from_millis(100)) {
+            Ok(c) => c,
+            Err(mpsc::RecvTimeoutError::Timeout) => continue,
+            Err(mpsc::RecvTimeoutError::Disconnected) => return,
+        };
+        for cluster in &clusters {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            flock_one_cluster(shared, cluster);
+        }
+        // Refresh the self-ad so the peer table reflects this round.
+        shared.publish_self_ad();
+    }
+}
+
+/// Flock one unmatched cluster: stamp its representative with the hop
+/// budget, consult the peers, and deliver any grant.
+fn flock_one_cluster(shared: &Arc<Shared>, cluster: &UnmatchedCluster) {
+    let hop_budget = shared.flock.lock().hop_budget();
+    let stamped = condor_flock::stamp_outbound(&cluster.rep_ad, hop_budget, &shared.contact);
+    // The flock attempt is a child of the representative's match
+    // lifecycle: the FlockQuery and the relayed Notify both carry this
+    // span's child context, so the remote grant and the eventual direct
+    // claim stitch into the same tree as a local match would.
+    let span = cluster.trace.map(|ctx| ctx.begin_span());
+    let query_ctx = span.map(|s| s.child_context());
+    let Some((peer, grant)) =
+        flock_dial(shared, &stamped, cluster.members as u32, query_ctx.as_ref())
+    else {
+        return;
+    };
+    let note = MatchNotification {
+        own_ad: (*cluster.rep_ad).clone(),
+        peer_ad: grant.ad.clone(),
+        peer_contact: grant.contact.clone(),
+        ticket: grant.ticket,
+    };
+    let notify_ctx = span.map(|s| s.child_context());
+    match wire::send_oneway_traced(
+        &cluster.customer_contact,
+        &Message::Notify(note),
+        notify_ctx.as_ref(),
+        &shared.cfg.io,
+    ) {
+        Ok(n) => {
+            shared.metrics.notifications_sent.inc();
+            shared.metrics.wire.sent(n as u64);
+        }
+        Err(_) => {
+            // Soft state, same as a local notification failure: the
+            // grantor's provider re-advertises on its next heartbeat and
+            // the customer retries; nothing to unwind.
+            shared.metrics.notifications_failed.inc();
+            return;
+        }
+    }
+    shared.metrics.flock_matches.inc();
+    shared.metrics.jobs_flocked.inc();
+    // The representative found its machine elsewhere: withdraw its ad,
+    // exactly as a local match would have.
+    shared
+        .service
+        .withdraw(EntityKind::Customer, &cluster.rep_name);
+    shared.observer.emit_traced(
+        Event::JobFlocked {
+            request: cluster.rep_name.clone(),
+            offer: grant.ad.get_string("Name").unwrap_or("?").to_string(),
+            peer,
+        },
+        span,
+    );
+}
+
 fn ticker_loop(shared: &Arc<Shared>) {
     let mut cycles_since_checkpoint = 0u64;
     loop {
@@ -893,7 +1260,7 @@ fn ticker_loop(shared: &Arc<Shared>) {
             continue;
         }
         let started = Instant::now();
-        let outcome = shared.service.negotiate(wire::unix_now());
+        let mut outcome = shared.service.negotiate(wire::unix_now());
         let duration_ms = started.elapsed().as_secs_f64() * 1000.0;
         // The cycle bridge bumps `cycles`, the totals, and the last-cycle
         // gauges; the duration histogram is ours to record.
@@ -929,6 +1296,14 @@ fn ticker_loop(shared: &Arc<Shared>) {
             });
         }
         *shared.last_rejections_line.lock() = rejections_line(&outcome);
+        // Flocking: clusters the cycle could not serve locally go to the
+        // dialer thread; the cycle itself never blocks on peer sockets.
+        // (The vec is empty unless `NegotiatorConfig::flocking` is on.)
+        if !outcome.unmatched_clusters.is_empty() {
+            if let Some(tx) = &*shared.flock_tx.lock() {
+                let _ = tx.send(std::mem::take(&mut outcome.unmatched_clusters));
+            }
+        }
         for m in &outcome.matches {
             // Span B: the match decision itself, a child of the request's
             // AdReceived span. Queue wait is measured here — ad accepted

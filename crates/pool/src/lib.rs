@@ -40,8 +40,14 @@ pub mod failover;
 pub(crate) mod observe;
 pub mod pool;
 pub mod resource;
-pub mod retry;
 pub mod wire;
+
+/// Re-export of the retry schedule, which moved to `matchmaker::retry` so
+/// socket-free crates (e.g. `condor-flock`) can pace their own retries.
+/// Existing `condor_pool::retry::Backoff` paths keep working.
+pub mod retry {
+    pub use matchmaker::retry::Backoff;
+}
 
 pub use customer::{CustomerAgent, CustomerConfig, CustomerStatsSnapshot, JobStatus};
 pub use daemon::{DaemonConfig, DaemonStatsSnapshot, HaConfig, MatchmakerDaemon};

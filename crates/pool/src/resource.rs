@@ -620,6 +620,8 @@ fn message_kind(msg: &Message) -> &'static str {
         Message::AnalyzeReply { .. } => "AnalyzeReply",
         Message::ElectionBid { .. } => "ElectionBid",
         Message::LeaderLease { .. } => "LeaderLease",
+        Message::FlockQuery { .. } => "FlockQuery",
+        Message::FlockOffer { .. } => "FlockOffer",
     }
 }
 

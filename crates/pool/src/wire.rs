@@ -23,6 +23,15 @@ pub fn unix_now() -> Timestamp {
         .unwrap_or(0)
 }
 
+/// Wall-clock milliseconds since the Unix epoch — the deadline clock for
+/// the flock peer table's backoff schedule.
+pub fn unix_now_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
 /// Connect/read/write deadlines applied to every socket operation.
 #[derive(Debug, Clone)]
 pub struct IoConfig {

@@ -1,0 +1,162 @@
+//! Pool federation (flocking), live on loopback: two pools with their
+//! own matchmakers, a job that pool A cannot serve, and the grant that
+//! brings it home from pool B — then pool A's matchmaker is killed to
+//! show the cross-pool claim is a direct lease nobody can take away.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example pool_flock -- --demo
+//! ```
+//!
+//! Flocking keeps the paper's architecture intact across pool
+//! boundaries: when a negotiation cycle leaves an autocluster unmatched,
+//! the origin matchmaker forwards one representative ad to its peers as
+//! a `FlockQuery`; a peer with a free, mutually-acceptable machine
+//! answers a `FlockOffer` carrying the provider's full advertisement —
+//! delegated ticket included — and the origin relays it to the customer
+//! as an ordinary `Notify`. The claim then runs agent-to-agent across
+//! the pools; no job or machine state is replicated between matchmakers.
+//!
+//! Without `--demo` the example prints usage and exits (the demo kills a
+//! daemon, so it asks to be invoked deliberately).
+
+use classad::parse_classad;
+use condor_flock::FlockConfig;
+use condor_pool::{
+    CustomerAgent, CustomerConfig, DaemonConfig, IoConfig, JobStatus, MatchmakerDaemon,
+    ResourceAgent, ResourceConfig,
+};
+use std::time::{Duration, Instant};
+
+const WAIT: Duration = Duration::from_secs(60);
+
+fn wait_until(what: &str, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + WAIT;
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+fn fast_io() -> IoConfig {
+    IoConfig {
+        connect_timeout: Duration::from_millis(500),
+        read_timeout: Duration::from_millis(500),
+        write_timeout: Duration::from_millis(500),
+    }
+}
+
+fn main() {
+    if !std::env::args().any(|a| a == "--demo") {
+        println!("usage: cargo run --example pool_flock -- --demo");
+        println!("(spawns two federated pools on loopback, flocks a job from pool A");
+        println!(" to pool B, and kills A's matchmaker; see docs/protocol.md §14)");
+        return;
+    }
+
+    // Pool B first: one matchmaker willing to answer flock queries (a
+    // FlockConfig with no peers grants but never forwards) and one free
+    // machine.
+    let mut mm_b = MatchmakerDaemon::spawn(DaemonConfig {
+        name: "mmB".into(),
+        cycle_interval: Duration::from_millis(200),
+        io: fast_io(),
+        flock: Some(FlockConfig::default()),
+        ..DaemonConfig::default()
+    })
+    .expect("spawn pool B matchmaker");
+    let addr_b = mm_b.addr().to_string();
+    let machine_b = ResourceAgent::spawn(
+        ResourceConfig {
+            name: "b-machine".into(),
+            matchmaker: addr_b.clone(),
+            heartbeat: Duration::from_millis(150),
+            ticket_seed: 42,
+            io: fast_io(),
+            ..ResourceConfig::default()
+        },
+        parse_classad(
+            r#"[ Type = "Machine"; Mips = 400;
+                 Constraint = other.Type == "Job"; Rank = 0 ]"#,
+        )
+        .unwrap(),
+    )
+    .expect("spawn pool B resource agent");
+    println!("pool B: matchmaker on {addr_b}, machine b-machine free");
+
+    // Pool A: a matchmaker configured to flock to B, and a customer with
+    // one job — but no machines at all, so every local cycle comes up
+    // empty and the unmatched cluster is forwarded.
+    let mut mm_a = MatchmakerDaemon::spawn(DaemonConfig {
+        name: "mmA".into(),
+        cycle_interval: Duration::from_millis(200),
+        io: fast_io(),
+        flock: Some(FlockConfig {
+            peers: vec![vec![addr_b.clone()]],
+            ..FlockConfig::default()
+        }),
+        ..DaemonConfig::default()
+    })
+    .expect("spawn pool A matchmaker");
+    let addr_a = mm_a.addr().to_string();
+    let customer = CustomerAgent::spawn(
+        CustomerConfig {
+            user: "alice".into(),
+            matchmaker: addr_a.clone(),
+            heartbeat: Duration::from_millis(150),
+            io: fast_io(),
+            ..CustomerConfig::default()
+        },
+        vec![(
+            "job-0".into(),
+            parse_classad(
+                r#"[ Type = "Job"; Constraint = other.Type == "Machine";
+                     Rank = other.Mips ]"#,
+            )
+            .unwrap(),
+        )],
+    )
+    .expect("spawn pool A customer agent");
+    println!("pool A: matchmaker on {addr_a} (peers: {addr_b}), job-0 idle, no machines");
+
+    // The job flocks: A's cycle leaves it unmatched, the representative
+    // crosses to B, B grants its machine, and the claim runs directly
+    // from A's customer to B's resource agent.
+    wait_until("the cross-pool placement", || {
+        matches!(
+            &customer.jobs()[0].1,
+            JobStatus::Claimed { provider_name, .. } if provider_name == "b-machine"
+        )
+    });
+    let a = mm_a.stats();
+    let b = mm_b.stats();
+    println!(
+        "flocked: job-0 claimed b-machine across the pool boundary \
+         (A sent {} queries, B granted {})",
+        a.flock_queries_sent, b.flock_grants
+    );
+    for peer in mm_a.flock_peers() {
+        println!(
+            "peer table: {} {:?} sent={} grants={}",
+            peer.name, peer.health, peer.sent, peer.grants
+        );
+    }
+
+    // Kill the origin matchmaker. The claim is a direct agent-to-agent
+    // lease — neither matchmaker holds it, so neither can lose it.
+    println!("killing pool A's matchmaker ...");
+    mm_a.shutdown();
+    std::thread::sleep(Duration::from_millis(500));
+    assert!(machine_b.is_claimed(), "the cross-pool claim must survive");
+    assert!(matches!(
+        &customer.jobs()[0].1,
+        JobStatus::Claimed { provider_name, .. } if provider_name == "b-machine"
+    ));
+    println!("claims survived: job-0 still holds b-machine with mmA gone");
+
+    customer.shutdown();
+    machine_b.shutdown();
+    mm_b.shutdown();
+    println!("demo complete: one job flocked, zero claims lost");
+}

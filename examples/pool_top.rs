@@ -90,6 +90,28 @@ fn render_matchmaker(ads: &[ClassAd]) {
             int(ad, "CheckpointsWritten"),
         );
     }
+    // Federation: the peer table summary plus both directions of flock
+    // traffic. A pool that neither forwards nor answers shows nothing.
+    if ad.contains("FlockPeerTable")
+        || int(ad, "FlockQueriesSent") > 0
+        || int(ad, "FlockQueriesReceived") > 0
+    {
+        println!(
+            "  flocking: peers {} up / {} down / {} pre-flock   flocked jobs {}   remote matches {}",
+            int(ad, "FlockPeersUp"),
+            int(ad, "FlockPeersDown"),
+            int(ad, "FlockPeersNonFlocking"),
+            int(ad, "JobsFlocked"),
+            int(ad, "FlockMatches"),
+        );
+        println!(
+            "    queries {} sent / {} received   grants {}   rejects {}",
+            int(ad, "FlockQueriesSent"),
+            int(ad, "FlockQueriesReceived"),
+            int(ad, "FlockGrants"),
+            int(ad, "FlockRejects"),
+        );
+    }
     println!(
         "  cycles {:<6} matches {:<6} requests {:<6} unmatched {:<6} expired {}",
         int(ad, "Cycles"),

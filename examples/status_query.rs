@@ -19,6 +19,11 @@
 //! itself (see `docs/observability.md`). Works in both modes; combine
 //! with `--connect` to inspect a live daemon's counters.
 //!
+//! `--peers` prints the federation view: the matchmaker's flock peer
+//! table (`FlockPeerTable` in its self-ad) and both directions of flock
+//! traffic. Combine with `--connect` to inspect a live federated pool;
+//! without it a demo self-ad shows the format.
+//!
 //! `--tail <journal.jsonl>` follows a daemon's event journal instead,
 //! pretty-printing each event with its trace/span ids as it is appended —
 //! `tail -f` for the pool's causal history. `--from-start` replays the
@@ -206,6 +211,67 @@ fn advertise_demo_self_ad(store: &mut AdStore, proto: &AdvertisingProtocol) {
             proto,
         )
         .unwrap();
+}
+
+/// `--peers`: render the federation view from a matchmaker self-ad —
+/// the aggregate flock counters plus the per-peer table the daemon
+/// publishes as `FlockPeerTable` (see `docs/protocol.md` §14).
+fn print_peers(ad: &ClassAd) {
+    let int = |attr: &str| ad.get_int(attr).unwrap_or(0);
+    println!(
+        "matchmaker {} — federation (flocking)",
+        ad.get_string("Name").unwrap_or("?")
+    );
+    println!(
+        "  peers: {} up / {} down / {} pre-flock",
+        int("FlockPeersUp"),
+        int("FlockPeersDown"),
+        int("FlockPeersNonFlocking"),
+    );
+    println!(
+        "  queries: {} sent / {} received   grants {}   rejects {}",
+        int("FlockQueriesSent"),
+        int("FlockQueriesReceived"),
+        int("FlockGrants"),
+        int("FlockRejects"),
+    );
+    println!(
+        "  jobs flocked {}   remote matches {}",
+        int("JobsFlocked"),
+        int("FlockMatches"),
+    );
+    match ad.get_string("FlockPeerTable") {
+        Some(table) if !table.is_empty() => {
+            println!("  peer table:");
+            for row in table.split(" | ") {
+                println!("    {row}");
+            }
+        }
+        _ => println!("  peer table: (no flock peers configured)"),
+    }
+}
+
+/// The demo self-ad for `--peers` without `--connect`: the counters and
+/// peer table a small federated pool would publish.
+fn demo_flock_self_ad() -> ClassAd {
+    use condor_obs::schema;
+    let registry = condor_obs::Registry::new();
+    registry.counter(schema::FLOCK_QUERIES_SENT).add(3);
+    registry.counter(schema::FLOCK_MATCHES).add(1);
+    registry.counter(schema::JOBS_FLOCKED).add(1);
+    registry.gauge(schema::FLOCK_PEERS_UP).set(1);
+    registry.gauge(schema::FLOCK_PEERS_NON_FLOCKING).set(1);
+    let mut ad = condor_obs::self_ad(
+        "matchmaker#stats",
+        schema::MATCHMAKER_STATS,
+        42,
+        &registry.snapshot(),
+    );
+    ad.set_str(
+        "FlockPeerTable",
+        "poolB:9614 up sent=3 grants=1 | poolC:9614 non-flocking sent=1 grants=0",
+    );
+    ad
 }
 
 /// Run one query against a live daemon over TCP.
@@ -453,7 +519,7 @@ fn main() {
     let connect = args.iter().position(|a| a == "--connect").map(|i| {
         args.get(i + 1).cloned().unwrap_or_else(|| {
             eprintln!(
-                "usage: status_query [--connect host:port] [--stats] \
+                "usage: status_query [--connect host:port] [--stats] [--peers] \
                  [--analyze request-name] \
                  [--tail journal.jsonl [--from-start] [--for secs]] \
                  [--journal journal.jsonl]"
@@ -462,6 +528,33 @@ fn main() {
         })
     });
     let stats = args.iter().any(|a| a == "--stats");
+    if args.iter().any(|a| a == "--peers") {
+        let ad = match &connect {
+            Some(addr) => {
+                let msg = Message::Query {
+                    constraint: condor_obs::self_ad_constraint(
+                        condor_obs::schema::MATCHMAKER_STATS,
+                    ),
+                    kind: None,
+                    projection: vec![],
+                };
+                match wire::request_reply(addr, &msg, &IoConfig::default()) {
+                    Ok(Message::QueryReply { ads }) if !ads.is_empty() => ads[0].clone(),
+                    Ok(_) => {
+                        eprintln!("no matchmaker self-ad published yet at {addr}");
+                        std::process::exit(1);
+                    }
+                    Err(e) => {
+                        eprintln!("query to {addr} failed: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            None => demo_flock_self_ad(),
+        };
+        print_peers(&ad);
+        return;
+    }
     if let Some(i) = args.iter().position(|a| a == "--analyze") {
         let Some(name) = args.get(i + 1) else {
             eprintln!("--analyze takes a request name");

@@ -1,0 +1,323 @@
+//! Acceptance tests for pool federation (flocking): two live pools, each
+//! with its own matchmaker, federated over `FlockQuery`/`FlockOffer`.
+//!
+//! The headline scenario is the issue's acceptance bar: a job that is
+//! unmatchable in pool A (which has no machines at all) flocks to pool B,
+//! claims B's machine *directly* — agent to remote agent, delegated
+//! ticket re-verified by B's resource agent — and the claim survives
+//! pool A's matchmaker dying, because no matchmaker holds claim state.
+//! The journals of all four daemons stitch into one span tree: the
+//! cross-pool lifecycle is a single causal chain.
+//!
+//! The second test pins the mixed-pool degradation path: a pre-flock
+//! peer (simulated at the wire level, the same way `tracing.rs` fakes an
+//! old provider) answers the flock tag with a structured `Error`, the
+//! origin marks it non-flocking permanently, and both normal traffic to
+//! the peer and local matching in the origin pool keep working.
+
+mod util;
+
+use condor_obs::{replay, schema, self_ad_constraint, Event, JournalConfig, TraceAssembler};
+use condor_pool::wire::{self, IoConfig};
+use condor_pool::{CustomerAgent, CustomerConfig, DaemonConfig, ResourceAgent, ResourceConfig};
+use matchmaker::framing::{frame_body, FrameDecoder};
+use matchmaker::protocol::Message;
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+use util::{fast_io, job_ad, machine_ad, wait_until};
+
+/// Journal directory shared with CI's flocking smoke run.
+fn journal_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("target")
+        .join("flocking-acceptance");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn self_ad(addr: &str) -> classad::ClassAd {
+    let reply = wire::request_reply(
+        addr,
+        &Message::Query {
+            constraint: self_ad_constraint(schema::MATCHMAKER_STATS),
+            kind: None,
+            projection: vec![],
+        },
+        &IoConfig::default(),
+    )
+    .unwrap();
+    let Message::QueryReply { ads } = reply else {
+        panic!("unexpected reply: {reply:?}")
+    };
+    ads.first().expect("matchmaker self-ad").clone()
+}
+
+/// The two-pool acceptance run: pool A has one job and zero machines;
+/// pool B has one machine and no jobs. A's cycle leaves the job's
+/// autocluster unmatched, the flock hook forwards its representative to
+/// B, B grants its machine with the delegated ticket, and the customer
+/// claims across the pool boundary. Then A's matchmaker is killed and
+/// the claim must not notice.
+#[test]
+fn job_flocks_to_peer_pool_and_claim_survives_origin_matchmaker_death() {
+    let dir = journal_dir();
+    let mm_a_journal = dir.join("mmA.jsonl");
+    let mm_b_journal = dir.join("mmB.jsonl");
+    let ra_journal = dir.join("ra.jsonl");
+    let ca_journal = dir.join("ca.jsonl");
+
+    // Pool B: grant-only flocking (FlockConfig with no peers answers
+    // inbound queries without forwarding any of its own).
+    let (mm_b, addr_b) = util::spawn_daemon(DaemonConfig {
+        journal: Some(JournalConfig::new(&mm_b_journal)),
+        flock: Some(condor_flock::FlockConfig::default()),
+        ..util::daemon_config("mmB")
+    });
+    let ra_b = ResourceAgent::spawn(
+        ResourceConfig {
+            name: "bm0".into(),
+            matchmaker: addr_b.clone(),
+            heartbeat: Duration::from_millis(100),
+            ticket_seed: 77,
+            io: fast_io(),
+            journal: Some(JournalConfig::new(&ra_journal)),
+            ..ResourceConfig::default()
+        },
+        machine_ad(400),
+    )
+    .unwrap();
+
+    // Pool A: flocks to B, owns the job, has no machines of its own.
+    let (mut mm_a, addr_a) = util::spawn_daemon(DaemonConfig {
+        journal: Some(JournalConfig::new(&mm_a_journal)),
+        flock: Some(condor_flock::FlockConfig {
+            peers: vec![vec![addr_b.clone()]],
+            ..condor_flock::FlockConfig::default()
+        }),
+        ..util::daemon_config("mmA")
+    });
+    let ca = CustomerAgent::spawn(
+        CustomerConfig {
+            user: "flo".into(),
+            matchmaker: addr_a.clone(),
+            heartbeat: Duration::from_millis(100),
+            io: fast_io(),
+            journal: Some(JournalConfig::new(&ca_journal)),
+            ..CustomerConfig::default()
+        },
+        vec![("flo-0".into(), job_ad())],
+    )
+    .unwrap();
+
+    // The job lands on pool B's machine, claimed directly.
+    wait_until("the job claims across the pool boundary", || {
+        matches!(
+            &ca.jobs()[0].1,
+            condor_pool::JobStatus::Claimed { provider_name, .. } if provider_name == "bm0"
+        )
+    });
+    assert!(ra_b.is_claimed(), "B's machine holds the direct claim");
+    assert_eq!(
+        ra_b.stats().claims_rejected,
+        0,
+        "the delegated ticket must verify on B's resource agent"
+    );
+
+    // Both sides counted the federation traffic.
+    let a = mm_a.stats();
+    assert!(a.flock_queries_sent >= 1, "{a:?}");
+    assert!(a.flock_matches >= 1, "{a:?}");
+    let b = mm_b.stats();
+    assert!(b.flock_queries_received >= 1, "{b:?}");
+    assert!(b.flock_grants >= 1, "{b:?}");
+    let peers = mm_a.flock_peers();
+    assert_eq!(peers.len(), 1);
+    assert_eq!(peers[0].name, addr_b);
+    assert_eq!(peers[0].health, condor_flock::PeerHealth::Up);
+    assert!(peers[0].grants >= 1, "{peers:?}");
+
+    // The peer table and counters surface in A's self-ad — the view
+    // `status_query --peers` and `pool_top` print.
+    let ad_a = self_ad(&addr_a);
+    let table = ad_a
+        .get_string("FlockPeerTable")
+        .unwrap_or_else(|| panic!("self-ad lacks FlockPeerTable: {ad_a}"));
+    assert!(table.contains(&addr_b), "{table}");
+    assert!(table.contains("up"), "{table}");
+    assert!(ad_a.get_int("FlockQueriesSent").unwrap_or(0) >= 1, "{ad_a}");
+    assert!(ad_a.get_int("JobsFlocked").unwrap_or(0) >= 1, "{ad_a}");
+
+    // Kill pool A's matchmaker mid-lease. The claim is a direct
+    // agent-to-agent lease between A's customer and B's resource agent —
+    // it must survive untouched.
+    mm_a.shutdown();
+    std::thread::sleep(Duration::from_millis(600));
+    assert!(
+        ra_b.is_claimed(),
+        "origin matchmaker death must not disturb the cross-pool claim"
+    );
+    assert_eq!(ra_b.stats().releases, 0);
+    assert!(matches!(
+        &ca.jobs()[0].1,
+        condor_pool::JobStatus::Claimed { provider_name, .. } if provider_name == "bm0"
+    ));
+
+    ca.shutdown();
+    ra_b.shutdown();
+    let mut mm_b = mm_b;
+    mm_b.shutdown();
+
+    // --- Journals: A relayed the grant, B made the remote match.
+    let a_records = replay(&mm_a_journal).unwrap();
+    assert!(
+        a_records.iter().any(|r| matches!(
+            &r.event,
+            Event::JobFlocked { request, offer, peer }
+                if request == "flo-0" && offer == "bm0" && peer == &addr_b
+        )),
+        "A's journal lacks JobFlocked: {a_records:?}"
+    );
+    let b_records = replay(&mm_b_journal).unwrap();
+    assert!(
+        b_records.iter().any(|r| matches!(
+            &r.event,
+            Event::FlockMatchMade { request, offer, origin }
+                if request == "flo-0" && offer == "bm0" && origin == &addr_a
+        )),
+        "B's journal lacks FlockMatchMade: {b_records:?}"
+    );
+
+    // --- The cross-pool lifecycle stitches into ONE span tree: the
+    // trace crosses two matchmakers and two agents, and the customer's
+    // ClaimEstablished descends from the origin's JobFlocked relay.
+    let mut asm = TraceAssembler::new();
+    asm.add_journal_file("mmA", &mm_a_journal).unwrap();
+    asm.add_journal_file("mmB", &mm_b_journal).unwrap();
+    asm.add_journal_file("ra", &ra_journal).unwrap();
+    asm.add_journal_file("ca", &ca_journal).unwrap();
+    let tree = asm
+        .trace_ids()
+        .into_iter()
+        .filter_map(|id| asm.assemble(id))
+        .find(|t| {
+            t.spans
+                .iter()
+                .any(|s| s.source == "ca" && s.event.kind() == "ClaimEstablished")
+        })
+        .expect("a trace holding the customer's ClaimEstablished span");
+    let has = |source: &str, kind: &str| {
+        tree.spans
+            .iter()
+            .any(|s| s.source == source && s.event.kind() == kind)
+    };
+    assert!(has("mmA", "JobFlocked"), "{}", tree.render());
+    assert!(has("mmB", "FlockMatchMade"), "{}", tree.render());
+    assert!(has("ra", "ClaimEstablished"), "{}", tree.render());
+    let claim_idx = tree
+        .spans
+        .iter()
+        .position(|s| s.source == "ca" && s.event.kind() == "ClaimEstablished")
+        .unwrap();
+    let chain: Vec<(&str, &str)> = tree
+        .ancestry(claim_idx)
+        .iter()
+        .map(|s| (s.source.as_str(), s.event.kind()))
+        .collect();
+    assert!(
+        chain.contains(&("mmA", "JobFlocked")),
+        "the claim must descend from the flock relay: {chain:?}\n{}",
+        tree.render()
+    );
+}
+
+/// Mixed-pool degradation: a pre-flock peer rejects the flock tag with a
+/// structured `Error` (`unknown tag 13` — exactly what an old decoder
+/// raises), the origin marks it non-flocking *permanently*, normal
+/// traffic to the peer still works, and the origin pool keeps matching
+/// locally as if nothing happened.
+#[test]
+fn pre_flock_peer_is_marked_non_flocking_without_disturbing_traffic() {
+    // A wire-level simulation of an old matchmaker: answers the leader
+    // probe (a plain Query) like any pre-HA daemon, and rejects every
+    // other tag the way an old decoder would.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let old_addr = listener.local_addr().unwrap().to_string();
+    std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            let Ok(mut stream) = conn else { continue };
+            let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+            let mut dec = FrameDecoder::new();
+            loop {
+                let deadline = Instant::now() + Duration::from_millis(500);
+                let reply = match wire::recv(&mut stream, &mut dec, deadline) {
+                    Ok(Message::Query { .. }) => Message::QueryReply { ads: vec![] },
+                    Ok(_) => Message::Error {
+                        detail: "malformed frame: unknown tag 13".into(),
+                    },
+                    Err(_) => break,
+                };
+                if std::io::Write::write_all(&mut stream, &frame_body(&reply.encode())).is_err() {
+                    break;
+                }
+            }
+        }
+    });
+
+    let (mut mm, addr) = util::spawn_daemon(DaemonConfig {
+        flock: Some(condor_flock::FlockConfig {
+            peers: vec![vec![old_addr.clone()]],
+            ..condor_flock::FlockConfig::default()
+        }),
+        ..util::daemon_config("mm-new")
+    });
+    // An unmatchable job (no machines yet) forces a flock attempt at the
+    // old peer every cycle.
+    let ca = util::spawn_customer("mixed", std::slice::from_ref(&addr), vec![("mix-0".into(), job_ad())]);
+
+    wait_until("the old peer is marked non-flocking", || {
+        mm.flock_peers()
+            .first()
+            .is_some_and(|p| p.health == condor_flock::PeerHealth::NonFlocking)
+    });
+    let stats = mm.stats();
+    assert!(stats.flock_queries_sent >= 1, "{stats:?}");
+    let peers = mm.flock_peers();
+    assert_eq!(peers[0].grants, 0, "{peers:?}");
+
+    // Non-flocking is permanent: the peer is never dialed for flocking
+    // again, so the sent counter freezes even though the job stays
+    // unmatched for further cycles.
+    let sent_frozen = mm.flock_peers()[0].sent;
+    std::thread::sleep(Duration::from_millis(600));
+    assert_eq!(
+        mm.flock_peers()[0].sent,
+        sent_frozen,
+        "a non-flocking peer must not be dialed again"
+    );
+
+    // Normal (non-flock) traffic to the old peer is untouched.
+    let reply = wire::request_reply(
+        &old_addr,
+        &condor_pool::failover::probe_query(),
+        &util::fast_io(),
+    )
+    .unwrap();
+    assert!(matches!(reply, Message::QueryReply { .. }), "{reply:?}");
+
+    // And the origin pool still matches locally: give it a machine and
+    // the stuck job lands on it.
+    let ra = util::spawn_resource("local-m", std::slice::from_ref(&addr), 5, machine_ad(100));
+    wait_until("the job matches locally after the flock failure", || {
+        ca.all_claimed()
+    });
+    assert!(matches!(
+        &ca.jobs()[0].1,
+        condor_pool::JobStatus::Claimed { provider_name, .. } if provider_name == "local-m"
+    ));
+
+    ca.shutdown();
+    ra.shutdown();
+    mm.shutdown();
+}

@@ -8,56 +8,25 @@
 //! leader lease: a standby notices the silence, wins the election, and
 //! the agents' probes chase the lease to the new leader.
 
-use classad::{parse_classad, ClassAd};
+mod util;
+
 use condor_obs::schema;
 use condor_pool::{
     wire, Backoff, CustomerAgent, CustomerConfig, DaemonConfig, HaConfig, IoConfig,
     MatchmakerDaemon, ResourceAgent, ResourceConfig,
 };
 use matchmaker::protocol::Message;
-use std::time::{Duration, Instant};
-
-const WAIT: Duration = Duration::from_secs(60);
-
-fn machine_ad(mips: i64) -> ClassAd {
-    parse_classad(&format!(
-        r#"[ Type = "Machine"; Mips = {mips};
-             Constraint = other.Type == "Job"; Rank = 0 ]"#
-    ))
-    .unwrap()
-}
-
-fn job_ad() -> ClassAd {
-    parse_classad(
-        r#"[ Type = "Job"; ImageSize = 8;
-             Constraint = other.Type == "Machine"; Rank = other.Mips ]"#,
-    )
-    .unwrap()
-}
-
-fn wait_until(what: &str, mut cond: impl FnMut() -> bool) {
-    let deadline = Instant::now() + WAIT;
-    while !cond() {
-        assert!(Instant::now() < deadline, "timed out waiting for {what}");
-        std::thread::sleep(Duration::from_millis(25));
-    }
-}
+use std::time::Duration;
+use util::{job_ad, machine_ad, wait_until};
 
 fn spawn_ha_member(name: &str) -> MatchmakerDaemon {
     MatchmakerDaemon::spawn(DaemonConfig {
-        name: name.into(),
-        cycle_interval: Duration::from_millis(150),
-        io: IoConfig {
-            connect_timeout: Duration::from_millis(500),
-            read_timeout: Duration::from_millis(500),
-            write_timeout: Duration::from_millis(500),
-        },
         ha: Some(HaConfig {
             peers: Vec::new(), // filled in via set_ha_peers below
             lease: Duration::from_secs(2),
             recovery_path: None,
         }),
-        ..DaemonConfig::default()
+        ..util::daemon_config(name)
     })
     .unwrap()
 }

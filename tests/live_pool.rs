@@ -3,7 +3,8 @@
 //! verify — over real loopback sockets, plus the fault cases weak
 //! consistency is designed to absorb (stale ads, agents dying mid-cycle).
 
-use classad::{parse_classad, ClassAd};
+mod util;
+
 use condor_pool::wire::{self, IoConfig};
 use condor_pool::{PoolBuilder, PoolHandle};
 use matchmaker::framing::{frame_body, FrameDecoder};
@@ -11,27 +12,7 @@ use matchmaker::protocol::{EntityKind, Message};
 use std::io::Write;
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
-
-const WAIT: Duration = Duration::from_secs(30);
-
-fn machine_ad(mips: i64) -> ClassAd {
-    parse_classad(&format!(
-        r#"[ Type = "Machine"; Mips = {mips}; KeyboardIdle = 1000;
-             Constraint = other.Type == "Job" && KeyboardIdle > 300;
-             Rank = 0 ]"#
-    ))
-    .unwrap()
-}
-
-/// A job that prefers faster machines — `Rank = other.Mips` makes match
-/// order deterministic when several machines are available.
-fn job_ad() -> ClassAd {
-    parse_classad(
-        r#"[ Type = "Job"; ImageSize = 8;
-             Constraint = other.Type == "Machine"; Rank = other.Mips ]"#,
-    )
-    .unwrap()
-}
+use util::{job_ad, machine_ad, WAIT};
 
 fn claimed_provider_names(pool: &PoolHandle) -> Vec<String> {
     let mut names = Vec::new();
