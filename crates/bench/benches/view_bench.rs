@@ -1,0 +1,143 @@
+//! Pool-history collector throughput: what one collection pass costs.
+//!
+//! Two measurements against the in-memory `condor_view::Collector`:
+//! ingesting a batch of daemon self-ads (one full sampling pass over a
+//! large pool — the steady-state load of the matchmaker's `mm-view`
+//! thread), and evaluating a `HistoryQuery` constraint across every
+//! retained series. The headline number exported to `BENCH_view.json`
+//! is self-ads ingested per second.
+
+use classad::ClassAd;
+use condor_view::{Collector, HistoryConfig, LOCAL_POOL};
+use criterion::{criterion_group, Criterion};
+
+/// Self-ads per simulated collection pass: one matchmaker plus a pool
+/// of resource and customer agents.
+const BATCH: usize = 512;
+
+fn stats_ad(my_type: &str, name: &str, fill: &[(&str, i64)]) -> ClassAd {
+    let mut ad = ClassAd::new();
+    ad.set_str("MyType", my_type);
+    ad.set_str("Name", &format!("{name}#stats"));
+    for (attr, v) in fill {
+        ad.set_int(*attr, *v);
+    }
+    ad
+}
+
+/// One pass worth of self-ads at sample time `t` (counters advance with
+/// `t` so the delta chain stays realistic).
+fn pass_ads(t: u64) -> Vec<ClassAd> {
+    let mut ads = vec![stats_ad(
+        "MatchmakerStats",
+        "mm",
+        &[
+            ("MatchesTotal", (t * 3) as i64),
+            ("AdsExpiredTotal", t as i64),
+            ("JobsFlocked", t as i64),
+            ("LeaderEpoch", 1),
+        ],
+    )];
+    for i in 0..(BATCH * 3 / 4) {
+        ads.push(stats_ad(
+            "ResourceAgentStats",
+            &format!("m{i}"),
+            &[("Claimed", ((t as usize + i) % 2) as i64)],
+        ));
+    }
+    while ads.len() < BATCH {
+        let i = ads.len();
+        ads.push(stats_ad(
+            "CustomerAgentStats",
+            &format!("u{i}"),
+            &[("JobsIdle", (i % 8) as i64)],
+        ));
+    }
+    ads
+}
+
+/// Ingest rate: one full sampling pass over a `BATCH`-daemon pool.
+fn bench_ingest_pass(c: &mut Criterion) {
+    let collector = Collector::in_memory(HistoryConfig::default());
+    let mut t = 1_000_000u64;
+    let mut g = c.benchmark_group("view");
+    g.sample_size(10);
+    g.bench_function("ingest_pass_512ads", |b| {
+        b.iter(|| {
+            t += 10; // one bucket per pass in the fine tier
+            collector.ingest(LOCAL_POOL, &pass_ads(t), t);
+            collector.observations()
+        })
+    });
+    g.finish();
+}
+
+/// Query cost: a classad constraint evaluated over every retained
+/// series — the per-request price of a wire `HistoryQuery`.
+fn bench_history_query(c: &mut Criterion) {
+    let collector = Collector::in_memory(HistoryConfig::default());
+    for t in 0..60u64 {
+        collector.ingest(
+            LOCAL_POOL,
+            &pass_ads(1_000_000 + t * 10),
+            1_000_000 + t * 10,
+        );
+    }
+    let mut g = c.benchmark_group("view");
+    g.sample_size(10);
+    g.bench_function("history_query_all_series", |b| {
+        b.iter(|| {
+            let ads = collector
+                .query(r#"other.Metric == "Claimed" && other.Tier == 0"#, 0)
+                .unwrap();
+            assert!(!ads.is_empty());
+            ads.len()
+        })
+    });
+    g.finish();
+}
+
+/// Export the measurements, with ads/second ingest as the headline.
+fn write_bench_json(path: &str) {
+    let results = criterion::take_results();
+    let find = |id: &str| results.iter().find(|r| r.id == id).map(|r| r.mean_ns);
+    let pass = find("view/ingest_pass_512ads");
+    let ads_per_sec = pass.map(|ns| BATCH as f64 * 1e9 / ns).unwrap_or(0.0);
+
+    let mut json = String::from("{\n");
+    json.push_str(&bench::provenance_fields());
+    json.push_str("  \"benchmark\": \"view\",\n  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"id\": \"{}\", \"mean_ns\": {:.1}, \"iterations\": {}}}{}\n",
+            r.id, r.mean_ns, r.iterations, comma
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"collector_ads_per_sec\": {:.0},\n  \"batch\": {}\n}}\n",
+        ads_per_sec, BATCH
+    ));
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path} (collector ingest: {ads_per_sec:.0} ads/sec)"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_ingest_pass, bench_history_query
+);
+
+fn main() {
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+    // Anchor at the workspace root regardless of cargo's bench CWD.
+    write_bench_json(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_view.json"
+    ));
+}

@@ -342,6 +342,27 @@ pub enum Message {
         /// The matched provider's advertisement, if any.
         grant: Option<Advertisement>,
     },
+    /// Ask a matchmaker's embedded view collector for retained time
+    /// series (see `docs/protocol.md` §15). The constraint is an ordinary
+    /// classad expression evaluated against each series' *metadata* ad
+    /// (`Metric`, `Source`, `Tier`, ...), keeping the "stats are just
+    /// ads" philosophy: history is browsed with the same language as the
+    /// pool itself. A pre-view matchmaker answers [`Message::Error`]
+    /// (`unknown tag 15`), which clients surface as a remote error — no
+    /// framing desync on either side.
+    HistoryQuery {
+        /// Constraint expression source selecting series metadata ads.
+        constraint: String,
+        /// Cap on returned samples per series; `0` = the whole tier.
+        limit: u32,
+    },
+    /// The view collector's answer to a [`Message::HistoryQuery`]: one
+    /// classad per matching series, carrying the series metadata plus its
+    /// samples rendered as attributes (see `docs/observability.md` §6).
+    HistoryReply {
+        /// The matching series ads.
+        ads: Vec<ClassAd>,
+    },
 }
 
 /// The wire tag assigned to each [`Message`] variant — the first byte of
@@ -381,10 +402,14 @@ pub mod tag {
     pub const FLOCK_QUERY: u8 = 13;
     /// Cross-pool delegation answer ([`super::Message::FlockOffer`]).
     pub const FLOCK_OFFER: u8 = 14;
+    /// Time-series history request ([`super::Message::HistoryQuery`]).
+    pub const HISTORY_QUERY: u8 = 15;
+    /// Time-series history answer ([`super::Message::HistoryReply`]).
+    pub const HISTORY_REPLY: u8 = 16;
 
     /// Every assigned tag, in order. Exhaustiveness tests iterate this so
     /// a new variant cannot land without joining the round-trip suite.
-    pub const ALL: [u8; 14] = [
+    pub const ALL: [u8; 16] = [
         ADVERTISE,
         NOTIFY,
         CLAIM,
@@ -399,6 +424,8 @@ pub mod tag {
         LEADER_LEASE,
         FLOCK_QUERY,
         FLOCK_OFFER,
+        HISTORY_QUERY,
+        HISTORY_REPLY,
     ];
 }
 
@@ -637,6 +664,18 @@ impl Message {
                     }
                 }
             }
+            Message::HistoryQuery { constraint, limit } => {
+                buf.put_u8(tag::HISTORY_QUERY);
+                put_string(&mut buf, constraint);
+                buf.put_u32(*limit);
+            }
+            Message::HistoryReply { ads } => {
+                buf.put_u8(tag::HISTORY_REPLY);
+                buf.put_u32(ads.len() as u32);
+                for ad in ads {
+                    put_ad(&mut buf, ad);
+                }
+            }
         }
         if let Some(ctx) = trace {
             if tag_carries_trace(buf[0]) {
@@ -780,6 +819,21 @@ impl Message {
                     k => return Err(ProtocolError::BadFrame(format!("bad grant flag {k}"))),
                 };
                 Message::FlockOffer { pool, grant }
+            }
+            tag::HISTORY_QUERY => Message::HistoryQuery {
+                constraint: r.string()?,
+                limit: r.u32()?,
+            },
+            tag::HISTORY_REPLY => {
+                let n = r.u32()? as usize;
+                if n > 1_000_000 {
+                    return Err(ProtocolError::BadFrame(format!("reply of {n} series")));
+                }
+                let mut ads = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    ads.push(r.ad()?);
+                }
+                Message::HistoryReply { ads }
             }
             other => return Err(ProtocolError::BadFrame(format!("unknown tag {other}"))),
         };
@@ -1106,6 +1160,13 @@ mod tests {
                 pool: "127.0.0.1:9615".into(),
                 grant: Some(sample_adv()),
             },
+            tag::HISTORY_QUERY => Message::HistoryQuery {
+                constraint: r#"other.Metric == "Utilization""#.into(),
+                limit: 360,
+            },
+            tag::HISTORY_REPLY => Message::HistoryReply {
+                ads: vec![sample_ad()],
+            },
             other => panic!("no sample message for tag {other}"),
         }
     }
@@ -1187,6 +1248,58 @@ mod tests {
             other => panic!("expected BadFrame, got {other:?}"),
         };
         assert!(err.contains("unknown tag 29"), "{err}");
+    }
+
+    #[test]
+    fn history_messages_roundtrip() {
+        let q = Message::HistoryQuery {
+            constraint: r#"other.Metric == "Utilization" && other.Tier == 0"#.into(),
+            limit: 0,
+        };
+        assert_eq!(Message::decode(q.encode()).unwrap(), q);
+        let reply = Message::HistoryReply {
+            ads: vec![
+                parse_classad(r#"[ MyType = "HistorySeries"; Metric = "Utilization" ]"#).unwrap(),
+                sample_ad(),
+            ],
+        };
+        assert_eq!(Message::decode(reply.encode()).unwrap(), reply);
+        let dry = Message::HistoryReply { ads: vec![] };
+        assert_eq!(Message::decode(dry.encode()).unwrap(), dry);
+    }
+
+    #[test]
+    fn history_tags_never_carry_trace_trailers() {
+        // History queries browse retained telemetry; like Query/Analyze
+        // they are not part of any match's causal chain and stay
+        // trailer-free even when the encoder holds a context.
+        let ctx = TraceContext {
+            trace_id: 1,
+            parent_span_id: 2,
+        };
+        let q = Message::HistoryQuery {
+            constraint: "true".into(),
+            limit: 0,
+        };
+        assert_eq!(q.encode(), q.encode_traced(Some(&ctx)));
+        let reply = Message::HistoryReply { ads: vec![] };
+        assert_eq!(reply.encode(), reply.encode_traced(Some(&ctx)));
+        // Trailing bytes after a history frame are rejected, not
+        // misparsed as a trailer.
+        let mut bytes = q.encode().to_vec();
+        bytes.push(1);
+        assert!(Message::decode(Bytes::from(bytes)).is_err());
+    }
+
+    #[test]
+    fn pre_view_peers_reject_the_history_tags_cleanly() {
+        // An old decoder sees tags 15/16 as unknown and raises BadFrame;
+        // its daemon replies with a structured Error (`unknown tag 15`),
+        // which history clients surface as a remote error.
+        let q = sample_message_for(tag::HISTORY_QUERY);
+        assert_eq!(q.encode()[0], tag::HISTORY_QUERY);
+        let reply = sample_message_for(tag::HISTORY_REPLY);
+        assert_eq!(reply.encode()[0], tag::HISTORY_REPLY);
     }
 
     #[test]

@@ -10,8 +10,11 @@
 //! Rotation is size-based: when the current file would exceed
 //! `rotate_bytes`, `journal.jsonl` becomes `journal.jsonl.1`, `.1`
 //! becomes `.2`, and so on up to `keep_rotated`; the oldest falls off.
-//! [`replay`] walks the rotated files oldest-first, then the current
-//! file, yielding records in sequence order.
+//! After every rotation a retention sweep deletes any generation past
+//! `max_rotated` (default: `keep_rotated`), so segments left behind by
+//! an earlier run with a looser config are reclaimed instead of growing
+//! without bound. [`replay`] walks the rotated files oldest-first, then
+//! the current file, yielding records in sequence order.
 //!
 //! ## Schema versions
 //!
@@ -536,6 +539,11 @@ pub struct JournalConfig {
     pub rotate_bytes: u64,
     /// How many rotated generations to keep (0 = delete on rotation).
     pub keep_rotated: usize,
+    /// Hard ceiling on rotated generations on disk. After every rotation
+    /// the journal sweeps `<path>.n` for `n` beyond this cap — deleting
+    /// even stale segments written by an earlier run with a larger
+    /// `keep_rotated`. `None` (the default) caps at `keep_rotated`.
+    pub max_rotated: Option<usize>,
 }
 
 impl JournalConfig {
@@ -546,6 +554,7 @@ impl JournalConfig {
             path: path.into(),
             rotate_bytes: 1 << 20,
             keep_rotated: 3,
+            max_rotated: None,
         }
     }
 }
@@ -668,6 +677,7 @@ impl Journal {
         if self.cfg.keep_rotated == 0 {
             inner.file = File::create(&self.cfg.path)?;
             inner.bytes = 0;
+            self.sweep_rotated()?;
             return Ok(());
         }
         let gen_path = |n: usize| -> PathBuf {
@@ -691,6 +701,39 @@ impl Journal {
             .append(true)
             .open(&self.cfg.path)?;
         inner.bytes = 0;
+        self.sweep_rotated()?;
+        Ok(())
+    }
+
+    /// Delete rotated generations beyond the retention cap
+    /// (`max_rotated`, defaulting to `keep_rotated`). The shift in
+    /// [`Journal::rotate`] only touches generations it created, so
+    /// without this sweep a journal reopened with a smaller
+    /// `keep_rotated` would carry its old tail forever.
+    fn sweep_rotated(&self) -> std::io::Result<()> {
+        let cap = self.cfg.max_rotated.unwrap_or(self.cfg.keep_rotated);
+        let dir = match self.cfg.path.parent() {
+            Some(d) if !d.as_os_str().is_empty() => d,
+            _ => std::path::Path::new("."),
+        };
+        let Some(name) = self.cfg.path.file_name().and_then(|n| n.to_str()) else {
+            return Ok(());
+        };
+        let prefix = format!("{name}.");
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            let file_name = entry.file_name();
+            let Some(file_name) = file_name.to_str() else {
+                continue;
+            };
+            let stale = file_name
+                .strip_prefix(&prefix)
+                .and_then(|suffix| suffix.parse::<usize>().ok())
+                .is_some_and(|n| n > cap);
+            if stale {
+                std::fs::remove_file(entry.path())?;
+            }
+        }
         Ok(())
     }
 
@@ -1211,6 +1254,7 @@ mod tests {
             path: path.clone(),
             rotate_bytes: 200,
             keep_rotated: 2,
+            max_rotated: None,
         };
         let j = Journal::open(cfg).unwrap();
         for i in 0..40 {
@@ -1232,6 +1276,43 @@ mod tests {
         assert!(recs.windows(2).all(|w| w[1].seq == w[0].seq + 1));
         assert_eq!(recs.last().unwrap().seq, 40);
         assert_eq!(j.io_errors(), 0);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn max_rotated_sweeps_stale_generations() {
+        let dir = temp_dir("sweep");
+        let path = dir.join("j.jsonl");
+        let gen = |n: usize| PathBuf::from(format!("{}.{n}", path.display()));
+        // A previous deployment ran with a looser keep_rotated and left
+        // six generations behind; this run caps retention at three.
+        for n in 1..=6 {
+            std::fs::write(gen(n), b"stale\n").unwrap();
+        }
+        std::fs::write(dir.join("unrelated.txt"), b"keep me\n").unwrap();
+        let j = Journal::open(JournalConfig {
+            path: path.clone(),
+            rotate_bytes: 200,
+            keep_rotated: 2,
+            max_rotated: Some(3),
+        })
+        .unwrap();
+        for i in 0..40 {
+            j.append(Event::LeaseExpired { expired: i });
+        }
+        // The shift window still maintains .1/.2; the sweep reclaimed
+        // every generation past the cap but spared unrelated siblings.
+        assert!(gen(1).exists() && gen(2).exists());
+        for n in 4..=6 {
+            assert!(!gen(n).exists(), "generation {n} must be swept");
+        }
+        assert!(dir.join("unrelated.txt").exists());
+        assert_eq!(j.io_errors(), 0);
+        // Replay still works: stale lines in surviving old generations
+        // are skipped as torn, and live records stay in order.
+        let recs = replay(&path).unwrap();
+        assert!(recs.windows(2).all(|w| w[1].seq == w[0].seq + 1));
+        assert_eq!(recs.last().unwrap().seq, 40);
         let _ = std::fs::remove_dir_all(dir);
     }
 

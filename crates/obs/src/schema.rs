@@ -166,6 +166,15 @@ pub const FLOCK_PEERS_NON_FLOCKING: &str = "flock_peers_non_flocking";
 /// Requests whose autocluster was served by a peer pool, over all cycles.
 pub const JOBS_FLOCKED: &str = "jobs_flocked";
 
+// ---- pool history (condor-view collector) ----
+
+/// Self-ad batches the embedded view collector has ingested.
+pub const VIEW_COLLECTIONS: &str = "view_collections";
+/// Observations the view collector's history store has recorded.
+pub const VIEW_SAMPLES: &str = "view_samples_total";
+/// Time series the history store currently retains (gauge).
+pub const VIEW_SERIES: &str = "view_series";
+
 // ---- agents (live pool + simulator) ----
 
 /// Advertisements delivered to the matchmaker.

@@ -201,6 +201,11 @@ pub struct TraceTree {
     /// `true` if any edge ran backwards in time beyond the assembler's
     /// skew tolerance (cross-daemon clock skew).
     pub skewed: bool,
+    /// How many spans referenced a parent span that never showed up — a
+    /// daemon's journal was missing or truncated mid-trace. Those spans
+    /// are promoted to roots (see [`TraceTree::roots`]) so the partial
+    /// tree still renders; this count says how much causality was lost.
+    pub missing_spans: usize,
 }
 
 impl TraceTree {
@@ -271,6 +276,12 @@ impl TraceTree {
         ));
         if self.skewed {
             out.push_str("  (warning: cross-journal clock skew detected)\n");
+        }
+        if self.missing_spans > 0 {
+            out.push_str(&format!(
+                "  (warning: {} span(s) reference parents missing from the supplied journals)\n",
+                self.missing_spans
+            ));
         }
         let mut stack: Vec<(usize, usize)> = self.roots.iter().rev().map(|&i| (i, 0)).collect();
         let mut seen = vec![false; self.spans.len()];
@@ -407,6 +418,7 @@ impl TraceAssembler {
         }
         let mut roots = Vec::new();
         let mut skewed = false;
+        let mut missing_spans = 0;
         let tolerance_ms = self.skew_tolerance.as_millis() as u64;
         for i in 0..spans.len() {
             let parent = spans[i].parent_span_id;
@@ -418,8 +430,15 @@ impl TraceAssembler {
                     spans[p].children.push(i);
                 }
                 // Parent 0 (a root) or a span journaled by a daemon whose
-                // journal we were not given: keep it as its own root.
-                _ => roots.push(i),
+                // journal we were not given: keep it as its own root. The
+                // latter is counted so callers can tell a complete trace
+                // from one assembled around a hole.
+                _ => {
+                    if parent != 0 {
+                        missing_spans += 1;
+                    }
+                    roots.push(i);
+                }
             }
         }
         Some(TraceTree {
@@ -427,6 +446,7 @@ impl TraceAssembler {
             spans,
             roots,
             skewed,
+            missing_spans,
         })
     }
 
@@ -594,6 +614,7 @@ mod tests {
         assert_eq!(tree.spans.len(), 5);
         assert_eq!(tree.roots.len(), 1);
         assert!(!tree.skewed);
+        assert_eq!(tree.missing_spans, 0);
         let leaf = tree
             .spans
             .iter()
@@ -634,8 +655,52 @@ mod tests {
         let tree = asm.assemble(0xABCD).unwrap();
         assert_eq!(tree.spans.len(), 4);
         // The CA span's parent (the RA claim span) is missing, so it
-        // surfaces as a second root instead of vanishing.
+        // surfaces as a second root instead of vanishing — and the hole
+        // is counted, so callers can tell partial evidence from a
+        // genuinely complete trace.
         assert_eq!(tree.roots.len(), 2);
+        assert_eq!(tree.missing_spans, 1);
+        assert!(tree.render().contains("missing from the supplied journals"));
+    }
+
+    #[test]
+    fn deleted_ra_journal_degrades_to_partial_tree() {
+        use crate::journal::{Journal, JournalConfig};
+        let dir =
+            std::env::temp_dir().join(format!("condor-obs-trace-partial-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let (mm, ra, ca) = lifecycle_records();
+        for (label, recs) in [("mm", &mm), ("ra", &ra), ("ca", &ca)] {
+            let j = Journal::open(JournalConfig::new(dir.join(format!("{label}.jsonl")))).unwrap();
+            for r in recs {
+                j.append_traced(r.event.clone(), r.span);
+            }
+        }
+        // The RA host died and took its journal with it.
+        std::fs::remove_file(dir.join("ra.jsonl")).unwrap();
+        let mut asm = TraceAssembler::new();
+        let mut lost_journals = 0;
+        for label in ["mm", "ra", "ca"] {
+            // replay() treats a vanished journal as empty rather than
+            // failing the whole assembly; zero traced records is the
+            // caller-visible signal that a daemon's evidence is gone.
+            let added = asm
+                .add_journal_file(label, dir.join(format!("{label}.jsonl")))
+                .unwrap_or(0);
+            if added == 0 {
+                lost_journals += 1;
+            }
+        }
+        assert_eq!(lost_journals, 1, "only the RA journal is gone");
+        let tree = asm.assemble(0xABCD).expect("surviving spans still stitch");
+        assert_eq!(tree.spans.len(), 4);
+        assert_eq!(tree.roots.len(), 2);
+        assert_eq!(tree.missing_spans, 1);
+        let rendered = tree.render();
+        assert!(rendered.contains("1 span(s) reference parents missing"));
+        assert!(rendered.contains("MatchNotified"), "partial tree renders");
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]

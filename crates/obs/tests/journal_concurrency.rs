@@ -39,6 +39,7 @@ fn concurrent_appends_with_rotation_replay_gap_free() {
             // Keep every generation: the assertion is about gaps, and a
             // generation falling off the end would create one by design.
             keep_rotated: 256,
+            max_rotated: None,
         })
         .unwrap(),
     );
@@ -112,6 +113,7 @@ fn concurrent_appends_interleave_with_readers() {
             path: path.clone(),
             rotate_bytes: 2048,
             keep_rotated: 64,
+            max_rotated: None,
         })
         .unwrap(),
     );

@@ -82,6 +82,47 @@ impl Default for HaConfig {
     }
 }
 
+/// Pool-history (CondorView) tunables: run an embedded view collector
+/// inside this matchmaker.
+///
+/// The collector polls the daemon's own ad store for self-ads every
+/// [`sample_interval`], folds them into a [`condor_view::HistoryStore`]
+/// (pool utilization, match/flock rates, leader epochs, per-daemon
+/// gauges, absent tombstones for departed agents), tails the daemon's
+/// event journal, and — when [`federate`] is on and flocking is
+/// configured — polls each flock peer's matchmaker self-ad so one store
+/// renders a multi-pool picture. [`Message::HistoryQuery`] reads the
+/// store over the wire; in an HA set every member collects (history
+/// survives failover) but standbys redirect queries to the leader.
+///
+/// [`sample_interval`]: ViewConfig::sample_interval
+/// [`federate`]: ViewConfig::federate
+#[derive(Debug, Clone)]
+pub struct ViewConfig {
+    /// Period between collection passes.
+    pub sample_interval: Duration,
+    /// Checkpoint journal for the history store; `None` keeps history in
+    /// memory only (lost on restart). With a journal, a restart recovers
+    /// everything up to the last completed pass — at most one
+    /// [`sample_interval`](ViewConfig::sample_interval) of loss.
+    pub journal: Option<JournalConfig>,
+    /// The store's downsampling tiers.
+    pub history: condor_view::HistoryConfig,
+    /// Also poll flock peers' matchmaker self-ads into per-peer series.
+    pub federate: bool,
+}
+
+impl Default for ViewConfig {
+    fn default() -> Self {
+        ViewConfig {
+            sample_interval: Duration::from_secs(10),
+            journal: None,
+            history: condor_view::HistoryConfig::default(),
+            federate: true,
+        }
+    }
+}
+
 /// Daemon tunables.
 #[derive(Debug, Clone)]
 pub struct DaemonConfig {
@@ -120,6 +161,10 @@ pub struct DaemonConfig {
     /// default) disables both directions; `Some` with an empty peer list
     /// answers peers' queries without ever forwarding its own.
     pub flock: Option<condor_flock::FlockConfig>,
+    /// Embedded pool-history collector (CondorView). `None` (the
+    /// default) keeps no history; `HistoryQuery` frames then get the
+    /// service's structured rejection, exactly like a pre-view peer.
+    pub view: Option<ViewConfig>,
 }
 
 impl Default for DaemonConfig {
@@ -145,6 +190,7 @@ impl Default for DaemonConfig {
             checkpoint_every: 10,
             ha: None,
             flock: None,
+            view: None,
         }
     }
 }
@@ -280,6 +326,10 @@ struct Shared {
     /// Hands each cycle's unmatched clusters to the `mm-flock` dialer
     /// thread; `None` when flocking is off (no thread to feed).
     flock_tx: Mutex<Option<mpsc::Sender<Vec<UnmatchedCluster>>>>,
+    /// The embedded pool-history collector (`None` without
+    /// [`DaemonConfig::view`]). Fed by the `mm-view` thread, read by
+    /// `HistoryQuery` connections.
+    view: Option<condor_view::Collector>,
 }
 
 /// A live matchmaker listening on TCP.
@@ -291,6 +341,7 @@ pub struct MatchmakerDaemon {
     ticker: Option<JoinHandle<()>>,
     election: Option<JoinHandle<()>>,
     flock: Option<JoinHandle<()>>,
+    view: Option<JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for Shared {
@@ -320,6 +371,14 @@ impl MatchmakerDaemon {
         };
         let observer = Observer::new(cfg.journal.clone())?;
         let metrics = DaemonMetrics::new(observer.registry());
+        // The history collector recovers its store from its checkpoint
+        // journal here, before any thread runs: a restarted view server
+        // resumes with at most one sample interval missing.
+        let view = cfg
+            .view
+            .as_ref()
+            .map(|vc| condor_view::Collector::new(vc.history.clone(), vc.journal.clone()))
+            .transpose()?;
         let contact = addr.to_string();
         // A lone matchmaker leads from birth; an HA set member boots as a
         // standby and earns the lease (see `condor_ha::Election`).
@@ -349,6 +408,7 @@ impl MatchmakerDaemon {
             standby_count: AtomicUsize::new(0),
             flock: Mutex::new(flock),
             flock_tx: Mutex::new(None),
+            view,
         });
         shared.observer.emit(Event::AgentRestarted {
             agent: "MatchmakerDaemon".into(),
@@ -397,6 +457,16 @@ impl MatchmakerDaemon {
         } else {
             None
         };
+        let view = if shared.view.is_some() {
+            let shared = Arc::clone(&shared);
+            Some(
+                std::thread::Builder::new()
+                    .name("mm-view".into())
+                    .spawn(move || view_loop(&shared))?,
+            )
+        } else {
+            None
+        };
         Ok(MatchmakerDaemon {
             shared,
             addr,
@@ -404,6 +474,7 @@ impl MatchmakerDaemon {
             ticker: Some(ticker),
             election,
             flock,
+            view,
         })
     }
 
@@ -474,6 +545,12 @@ impl MatchmakerDaemon {
         self.shared.flock.lock().snapshot()
     }
 
+    /// The embedded history collector, when [`DaemonConfig::view`] is on
+    /// (in-process inspection; remote parties send `HistoryQuery`).
+    pub fn view(&self) -> Option<&condor_view::Collector> {
+        self.shared.view.as_ref()
+    }
+
     /// How many events the daemon's journal has written (0 when
     /// journaling is off).
     pub fn journal_position(&self) -> u64 {
@@ -494,6 +571,9 @@ impl MatchmakerDaemon {
             let _ = h.join();
         }
         if let Some(h) = self.election.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.view.take() {
             let _ = h.join();
         }
         // Dropping the sender disconnects the dialer's queue so it exits
@@ -859,6 +939,28 @@ fn serve_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
                             let (reply, reply_ctx) =
                                 answer_flock_query(shared, origin, *members, rep, frame_trace);
                             match wire::send_traced(&mut stream, &reply, reply_ctx.as_ref()) {
+                                Ok(n) => shared.metrics.wire.sent(n as u64),
+                                Err(_) => return,
+                            }
+                            continue;
+                        }
+                    }
+                    // Pool history: answered from the embedded collector
+                    // (standbys were already redirected above, so only
+                    // the leader serves). With the view off the message
+                    // falls through to the service and earns the same
+                    // structured rejection a pre-view peer produces by
+                    // not decoding the tag at all.
+                    if let Message::HistoryQuery { constraint, limit } = &msg {
+                        if let Some(view) = &shared.view {
+                            let reply = match view.query(constraint, *limit) {
+                                Ok(ads) => Message::HistoryReply { ads },
+                                Err(detail) => {
+                                    shared.metrics.error_replies.inc();
+                                    Message::Error { detail }
+                                }
+                            };
+                            match wire::send(&mut stream, &reply) {
                                 Ok(n) => shared.metrics.wire.sent(n as u64),
                                 Err(_) => return,
                             }
@@ -1245,6 +1347,107 @@ fn flock_one_cluster(shared: &Arc<Shared>, cluster: &UnmatchedCluster) {
     );
 }
 
+/// The `mm-view` collector thread: every sample interval, poll the
+/// daemon's own ad store for self-ads, fold them (plus the tailed event
+/// journal and, when federating, each flock peer's matchmaker self-ad)
+/// into the history store, and checkpoint the store into its journal.
+///
+/// Every HA set member runs this loop — history must survive a failover,
+/// so standbys collect too — but the standby leader-redirect in
+/// `serve_connection` means only the leader ever *serves* the history.
+fn view_loop(shared: &Arc<Shared>) {
+    let Some(view) = &shared.view else { return };
+    let Some(vc) = shared.cfg.view.as_ref() else {
+        return;
+    };
+    let reg = shared.observer.registry();
+    let collections = reg.counter(schema::VIEW_COLLECTIONS);
+    let samples = reg.counter(schema::VIEW_SAMPLES);
+    let series = reg.gauge(schema::VIEW_SERIES);
+    let mut last_observations = view.observations();
+    loop {
+        if wire::interruptible_sleep(&shared.shutdown, vc.sample_interval) {
+            return;
+        }
+        // Refresh the self-ad first so this pass samples the counters as
+        // of now, not as of the last cycle.
+        shared.publish_self_ad();
+        let now = wire::unix_now();
+        let ads = daemon_self_ads(shared, now);
+        view.ingest(condor_view::LOCAL_POOL, &ads, now);
+        if let Some(jc) = &shared.cfg.journal {
+            // The daemon's own event journal: an independent,
+            // event-sourced view of the same activity the polled
+            // counters report.
+            let _ = view.tail_journal(condor_view::LOCAL_POOL, &jc.path, now);
+        }
+        if vc.federate {
+            collect_flock_peers(shared, view, now);
+        }
+        view.checkpoint(shared.election.lock().epoch());
+        // Fold collector health into the registry, so the next pass —
+        // and any operator query — sees the view watching itself.
+        collections.inc();
+        let observations = view.observations();
+        samples.add(observations.saturating_sub(last_observations));
+        last_observations = observations;
+        series.set(view.series_count() as i64);
+    }
+}
+
+/// All daemon self-ads currently in the matchmaker's own ad store.
+fn daemon_self_ads(shared: &Arc<Shared>, now: u64) -> Vec<ClassAd> {
+    let mut ads = Vec::new();
+    for ty in [
+        schema::MATCHMAKER_STATS,
+        schema::RESOURCE_AGENT_STATS,
+        schema::CUSTOMER_AGENT_STATS,
+    ] {
+        if let Ok(q) =
+            matchmaker::query::Query::from_constraint(&condor_obs::self_ad_constraint(ty))
+        {
+            ads.extend(shared.service.query(&q, now));
+        }
+    }
+    ads
+}
+
+/// Federated collection: poll each reachable flock peer's matchmaker
+/// self-ad into per-peer pool series, so one `HistoryQuery` renders a
+/// multi-pool picture. Reuses the flock peer table (and its failure
+/// backoff) but speaks plain `Query` — a pre-view peer serves it anyway.
+fn collect_flock_peers(shared: &Arc<Shared>, view: &condor_view::Collector, now: u64) {
+    let eligible = {
+        let flock = shared.flock.lock();
+        if !flock.is_enabled() {
+            return;
+        }
+        flock.eligible(wire::unix_now_ms(), &[])
+    };
+    for peer in eligible {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let (contacts, name) = {
+            let flock = shared.flock.lock();
+            (flock.contacts(peer).to_vec(), flock.name(peer).to_string())
+        };
+        let Some(leader) = find_leader(&contacts, &shared.cfg.io) else {
+            continue;
+        };
+        let query = Message::Query {
+            constraint: condor_obs::self_ad_constraint(schema::MATCHMAKER_STATS),
+            kind: None,
+            projection: Vec::new(),
+        };
+        if let Ok(Message::QueryReply { ads }) =
+            wire::request_reply(&leader, &query, &shared.cfg.io)
+        {
+            view.ingest(&name, &ads, now);
+        }
+    }
+}
+
 fn ticker_loop(shared: &Arc<Shared>) {
     let mut cycles_since_checkpoint = 0u64;
     loop {
@@ -1485,6 +1688,79 @@ mod tests {
         // Refreshed just before the query: our own connection is visible.
         assert_eq!(ad.get_int("ConnectionsAccepted"), Some(1), "{ad}");
         assert_eq!(ad.get_int("ActiveConnections"), Some(1), "{ad}");
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn history_query_over_tcp_returns_series_ads() {
+        let mut daemon = MatchmakerDaemon::spawn(DaemonConfig {
+            cycle_interval: Duration::from_secs(3600),
+            io: IoConfig {
+                read_timeout: Duration::from_millis(400),
+                ..IoConfig::default()
+            },
+            view: Some(ViewConfig {
+                sample_interval: Duration::from_millis(50),
+                ..ViewConfig::default()
+            }),
+            ..DaemonConfig::default()
+        })
+        .unwrap();
+        let addr = daemon.addr().to_string();
+        let io = IoConfig::default();
+        // Let the collector run a couple of passes over the self-ad.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while daemon.view().unwrap().collections() < 2 {
+            assert!(Instant::now() < deadline, "collector never ran");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let q = Message::HistoryQuery {
+            constraint: format!(
+                r#"other.Metric == "{}" && other.Tier == 0"#,
+                condor_view::metric::MATCH_RATE
+            ),
+            limit: 0,
+        };
+        let reply = wire::request_reply(&addr, &q, &io).unwrap();
+        let Message::HistoryReply { ads } = reply else {
+            panic!("{reply:?}")
+        };
+        assert_eq!(ads.len(), 1);
+        assert_eq!(ads[0].get_string("MyType"), Some("HistorySeries"));
+        assert_eq!(ads[0].get_string("Kind"), Some("Counter"));
+        // A malformed constraint earns a structured error, which the
+        // client surfaces as a remote failure.
+        let bad = Message::HistoryQuery {
+            constraint: "((".into(),
+            limit: 0,
+        };
+        match wire::request_reply(&addr, &bad, &io) {
+            Err(WireError::Remote(detail)) => {
+                assert!(detail.contains("bad history constraint"), "{detail}")
+            }
+            other => panic!("expected a structured rejection, got {other:?}"),
+        }
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn history_query_without_view_earns_structured_error() {
+        let mut daemon = quiet_daemon();
+        let addr = daemon.addr().to_string();
+        let q = Message::HistoryQuery {
+            constraint: "true".into(),
+            limit: 0,
+        };
+        let err = wire::request_reply(&addr, &q, &IoConfig::default());
+        match err {
+            Ok(Message::Error { detail }) => {
+                assert!(detail.contains("matchmaker endpoint"), "{detail}")
+            }
+            Err(WireError::Remote(detail)) => {
+                assert!(detail.contains("matchmaker endpoint"), "{detail}")
+            }
+            other => panic!("expected a structured rejection, got {other:?}"),
+        }
         daemon.shutdown();
     }
 

@@ -50,7 +50,7 @@ pub mod retry {
 }
 
 pub use customer::{CustomerAgent, CustomerConfig, CustomerStatsSnapshot, JobStatus};
-pub use daemon::{DaemonConfig, DaemonStatsSnapshot, HaConfig, MatchmakerDaemon};
+pub use daemon::{DaemonConfig, DaemonStatsSnapshot, HaConfig, MatchmakerDaemon, ViewConfig};
 pub use pool::{PoolBuilder, PoolHandle};
 pub use resource::{ResourceAgent, ResourceConfig, ResourceStatsSnapshot};
 pub use retry::Backoff;

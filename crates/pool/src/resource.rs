@@ -622,6 +622,8 @@ fn message_kind(msg: &Message) -> &'static str {
         Message::LeaderLease { .. } => "LeaderLease",
         Message::FlockQuery { .. } => "FlockQuery",
         Message::FlockOffer { .. } => "FlockOffer",
+        Message::HistoryQuery { .. } => "HistoryQuery",
+        Message::HistoryReply { .. } => "HistoryReply",
     }
 }
 

@@ -13,14 +13,37 @@
 //! or with no arguments to spawn a small demo pool in-process and watch
 //! it converge. `--interval <secs>` sets the refresh period (default 2);
 //! `--once` renders a single frame without clearing the screen — handy
-//! for scripts and CI logs.
+//! for scripts and CI logs; `--no-color` strips ANSI styling *and*
+//! cursor control, turning the live loop into an append-only log.
+//!
+//! Live frames are drawn by diffing against the previous frame and
+//! repainting only the lines that changed (cursor-addressed, no
+//! full-screen clear), so the display never flickers.
 
 use classad::{ClassAd, Expr, Literal};
 use condor_obs::{schema, self_ad_constraint};
 use condor_pool::wire::{self, IoConfig};
 use condor_pool::PoolBuilder;
 use matchmaker::protocol::Message;
+use std::fmt::Write as _;
 use std::time::Duration;
+
+/// Append one line (or, with no format args, a blank line) to the frame.
+macro_rules! wl {
+    ($out:expr) => {
+        $out.push('\n')
+    };
+    ($out:expr, $($t:tt)*) => {{
+        let _ = writeln!($out, $($t)*);
+    }};
+}
+
+/// Append without the newline.
+macro_rules! w {
+    ($out:expr, $($t:tt)*) => {{
+        let _ = write!($out, $($t)*);
+    }};
+}
 
 fn int(ad: &ClassAd, attr: &str) -> i64 {
     ad.get_int(attr).unwrap_or(0)
@@ -56,12 +79,13 @@ fn stats_ads(addr: &str, my_type: &str) -> Vec<ClassAd> {
     }
 }
 
-fn render_matchmaker(ads: &[ClassAd]) {
+fn render_matchmaker(out: &mut String, ads: &[ClassAd]) {
     let Some(ad) = ads.first() else {
-        println!("MATCHMAKER    (no self-ad yet)");
+        wl!(out, "MATCHMAKER    (no self-ad yet)");
         return;
     };
-    println!(
+    wl!(
+        out,
         "MATCHMAKER    {}   up {}s",
         ad.get_string("Name").unwrap_or("?"),
         int(ad, "UptimeSecs"),
@@ -75,15 +99,17 @@ fn render_matchmaker(ads: &[ClassAd]) {
             Some(Expr::Lit(Literal::Bool(true)))
         );
         let role = if leading { "leader" } else { "standby" };
-        print!(
+        w!(
+            out,
             "  ha: {role} epoch {}   standbys {}",
             int(ad, "LeaderEpoch"),
             int(ad, "StandbyCount"),
         );
         if let Some(contact) = ad.get_string("LeaderContact") {
-            print!("   leader at {contact}");
+            w!(out, "   leader at {contact}");
         }
-        println!(
+        wl!(
+            out,
             "   elections won {}  redirects {}  checkpoints {}",
             int(ad, "ElectionsWon"),
             int(ad, "LeaderRedirects"),
@@ -96,7 +122,7 @@ fn render_matchmaker(ads: &[ClassAd]) {
         || int(ad, "FlockQueriesSent") > 0
         || int(ad, "FlockQueriesReceived") > 0
     {
-        println!(
+        wl!(out,
             "  flocking: peers {} up / {} down / {} pre-flock   flocked jobs {}   remote matches {}",
             int(ad, "FlockPeersUp"),
             int(ad, "FlockPeersDown"),
@@ -104,7 +130,8 @@ fn render_matchmaker(ads: &[ClassAd]) {
             int(ad, "JobsFlocked"),
             int(ad, "FlockMatches"),
         );
-        println!(
+        wl!(
+            out,
             "    queries {} sent / {} received   grants {}   rejects {}",
             int(ad, "FlockQueriesSent"),
             int(ad, "FlockQueriesReceived"),
@@ -112,7 +139,8 @@ fn render_matchmaker(ads: &[ClassAd]) {
             int(ad, "FlockRejects"),
         );
     }
-    println!(
+    wl!(
+        out,
         "  cycles {:<6} matches {:<6} requests {:<6} unmatched {:<6} expired {}",
         int(ad, "Cycles"),
         int(ad, "MatchesTotal"),
@@ -120,7 +148,8 @@ fn render_matchmaker(ads: &[ClassAd]) {
         int(ad, "UnmatchedRequestsTotal"),
         int(ad, "AdsExpiredTotal"),
     );
-    println!(
+    wl!(
+        out,
         "  conns {} (active {})  frames {} ({} rejected)  notify {} sent / {} failed",
         int(ad, "ConnectionsAccepted"),
         int(ad, "ActiveConnections"),
@@ -129,7 +158,8 @@ fn render_matchmaker(ads: &[ClassAd]) {
         int(ad, "NotificationsSent"),
         int(ad, "NotificationsFailed"),
     );
-    print!(
+    w!(
+        out,
         "  last cycle: {} req / {} offers / {} matches",
         int(ad, "LastCycleRequests"),
         int(ad, "LastCycleOffers"),
@@ -139,18 +169,20 @@ fn render_matchmaker(ads: &[ClassAd]) {
         real(ad, "CycleDurationMsP50"),
         real(ad, "CycleDurationMsP99"),
     ) {
-        print!("   cycle p50 {p50:.2}ms p99 {p99:.2}ms");
+        w!(out, "   cycle p50 {p50:.2}ms p99 {p99:.2}ms");
     }
     if ad.contains("JournalPosition") {
-        print!(
+        w!(
+            out,
             "   journal seq {} ({} io errors, {} dropped)",
             int(ad, "JournalPosition"),
             int(ad, "JournalIoErrors"),
             int(ad, "JournalDropped"),
         );
     }
-    println!();
-    println!(
+    wl!(out);
+    wl!(
+        out,
         "  incremental: {} cycles   shards {} scanned / {} skipped   dirty resources {}",
         int(ad, "IncrementalCycles"),
         int(ad, "ShardsScanned"),
@@ -160,27 +192,32 @@ fn render_matchmaker(ads: &[ClassAd]) {
     // Attribution summary: why the last cycle's unmatched requests went
     // unmatched, straight from the negotiator's rejection tables.
     if let Some(reasons) = ad.get_string("RejectionTopReasons") {
-        println!("  rejections (top reasons): {reasons}");
+        wl!(out, "  rejections (top reasons): {reasons}");
     }
-    println!(
+    wl!(
+        out,
         "  wire: {} frames in / {} out   {} in / {} out",
         int(ad, "FramesIn"),
         int(ad, "FramesOut"),
         human_bytes(int(ad, "BytesIn")),
         human_bytes(int(ad, "BytesOut")),
     );
-    let phase = |label: &str, base: &str| {
+    let phase = |label: &str, base: &str| -> String {
         if let (Some(mean), Some(p99)) = (
             real(ad, &format!("{base}Mean")),
             real(ad, &format!("{base}P99")),
         ) {
-            print!("   {label} mean {mean:.1}ms p99 {p99:.1}ms");
+            format!("   {label} mean {mean:.1}ms p99 {p99:.1}ms")
+        } else {
+            String::new()
         }
     };
-    print!("  phases:");
-    phase("queue-wait", "PhaseQueueWaitMs");
-    phase("negotiation", "PhaseNegotiationMs");
-    println!();
+    wl!(
+        out,
+        "  phases:{}{}",
+        phase("queue-wait", "PhaseQueueWaitMs"),
+        phase("negotiation", "PhaseNegotiationMs")
+    );
 }
 
 /// Render a byte count with a binary-unit suffix (`14.2KiB`).
@@ -195,17 +232,25 @@ fn human_bytes(n: i64) -> String {
     }
 }
 
-fn render_resources(ads: &[ClassAd]) {
-    println!("RESOURCE AGENTS ({})", ads.len());
+fn render_resources(out: &mut String, ads: &[ClassAd]) {
+    wl!(out, "RESOURCE AGENTS ({})", ads.len());
     if ads.is_empty() {
         return;
     }
-    println!(
+    wl!(
+        out,
         "  {:<20}{:>8}{:>10}{:>10}{:>8}{:>12}{:>8}",
-        "NAME", "CLAIMED", "ACCEPTED", "REJECTED", "ADS", "FRAMES(I/O)", "UP"
+        "NAME",
+        "CLAIMED",
+        "ACCEPTED",
+        "REJECTED",
+        "ADS",
+        "FRAMES(I/O)",
+        "UP"
     );
     for ad in ads {
-        println!(
+        wl!(
+            out,
             "  {:<20}{:>8}{:>10}{:>10}{:>8}{:>12}{:>7}s",
             ad.get_string("Machine")
                 .or_else(|| ad.get_string("Name"))
@@ -220,17 +265,26 @@ fn render_resources(ads: &[ClassAd]) {
     }
 }
 
-fn render_customers(ads: &[ClassAd]) {
-    println!("CUSTOMER AGENTS ({})", ads.len());
+fn render_customers(out: &mut String, ads: &[ClassAd]) {
+    wl!(out, "CUSTOMER AGENTS ({})", ads.len());
     if ads.is_empty() {
         return;
     }
-    println!(
+    wl!(
+        out,
         "  {:<20}{:>10}{:>8}{:>9}{:>8}{:>8}{:>12}{:>8}",
-        "USER", "SUBMITTED", "IDLE", "CLAIMED", "FAILED", "ADS", "FRAMES(I/O)", "UP"
+        "USER",
+        "SUBMITTED",
+        "IDLE",
+        "CLAIMED",
+        "FAILED",
+        "ADS",
+        "FRAMES(I/O)",
+        "UP"
     );
     for ad in ads {
-        println!(
+        wl!(
+            out,
             "  {:<20}{:>10}{:>8}{:>9}{:>8}{:>8}{:>12}{:>7}s",
             ad.get_string("User")
                 .or_else(|| ad.get_string("Name"))
@@ -246,20 +300,62 @@ fn render_customers(ads: &[ClassAd]) {
     }
 }
 
-fn render_frame(addr: &str, clear: bool) {
+/// Build one complete frame as a string — no terminal control codes, so
+/// it can be printed verbatim (`--once`, `--no-color`) or diffed against
+/// the previous frame for a flicker-free live repaint.
+fn render_frame(addr: &str, color: bool) -> String {
     let mm = stats_ads(addr, schema::MATCHMAKER_STATS);
     let ras = stats_ads(addr, schema::RESOURCE_AGENT_STATS);
     let cas = stats_ads(addr, schema::CUSTOMER_AGENT_STATS);
-    if clear {
-        // Clear screen and home the cursor, like top(1).
-        print!("\x1b[2J\x1b[H");
+    let (bold, reset) = if color {
+        ("\x1b[1m", "\x1b[0m")
+    } else {
+        ("", "")
+    };
+    let mut out = String::new();
+    wl!(out, "{bold}pool_top — matchmaker at {addr}{reset}\n");
+    render_matchmaker(&mut out, &mm);
+    wl!(out);
+    render_resources(&mut out, &ras);
+    wl!(out);
+    render_customers(&mut out, &cas);
+    out
+}
+
+/// Flicker-free terminal painter: instead of `\x1b[2J` (clear + repaint,
+/// which blanks the screen every tick), diff the new frame against the
+/// previous one and rewrite only the lines that changed, addressing each
+/// by row and clearing to end-of-line.
+struct Screen {
+    prev: Vec<String>,
+}
+
+impl Screen {
+    fn new() -> Screen {
+        Screen { prev: Vec::new() }
     }
-    println!("pool_top — matchmaker at {addr}\n");
-    render_matchmaker(&mm);
-    println!();
-    render_resources(&ras);
-    println!();
-    render_customers(&cas);
+
+    fn draw(&mut self, frame: &str) {
+        let lines: Vec<String> = frame.lines().map(str::to_string).collect();
+        let mut out = String::new();
+        if self.prev.is_empty() {
+            out.push_str("\x1b[2J"); // first frame: start from a clean screen
+        }
+        for (i, line) in lines.iter().enumerate() {
+            if self.prev.get(i) != Some(line) {
+                w!(out, "\x1b[{};1H\x1b[K{line}", i + 1);
+            }
+        }
+        // A shorter frame leaves stale tails behind: blank them.
+        for i in lines.len()..self.prev.len() {
+            w!(out, "\x1b[{};1H\x1b[K", i + 1);
+        }
+        w!(out, "\x1b[{};1H", lines.len() + 1); // park below the frame
+        print!("{out}");
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        self.prev = lines;
+    }
 }
 
 fn demo_pool() -> condor_pool::PoolHandle {
@@ -293,12 +389,15 @@ fn main() {
     let flag_value = |flag: &str| {
         args.iter().position(|a| a == flag).map(|i| {
             args.get(i + 1).cloned().unwrap_or_else(|| {
-                eprintln!("usage: pool_top [--connect host:port] [--interval secs] [--once]");
+                eprintln!(
+                    "usage: pool_top [--connect host:port] [--interval secs] [--once] [--no-color]"
+                );
                 std::process::exit(2);
             })
         })
     };
     let once = args.iter().any(|a| a == "--once");
+    let color = !args.iter().any(|a| a == "--no-color");
     let interval = flag_value("--interval")
         .map(|s| s.parse::<f64>().expect("--interval takes seconds"))
         .unwrap_or(2.0);
@@ -316,12 +415,23 @@ fn main() {
     };
 
     if once {
-        render_frame(&addr, false);
+        print!("{}", render_frame(&addr, color));
         return;
     }
+    if !color {
+        // Append-only log mode: full frames, no cursor control — exactly
+        // what CI capture and `tee` want.
+        loop {
+            print!("{}", render_frame(&addr, false));
+            println!("\n--- (next frame in {interval}s — Ctrl-C to quit)");
+            std::thread::sleep(Duration::from_secs_f64(interval.max(0.1)));
+        }
+    }
+    let mut screen = Screen::new();
     loop {
-        render_frame(&addr, true);
-        println!("\n(refreshing every {interval}s — Ctrl-C to quit)");
+        let mut frame = render_frame(&addr, color);
+        wl!(frame, "\n(refreshing every {interval}s — Ctrl-C to quit)");
+        screen.draw(&frame);
         std::thread::sleep(Duration::from_secs_f64(interval.max(0.1)));
     }
 }

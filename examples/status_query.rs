@@ -37,6 +37,16 @@
 //! `Checkpoint` plus the tail a restarting or newly elected matchmaker
 //! would replay (see `docs/protocol.md` §13).
 //!
+//! `--history <metric>` reads the pool-history subsystem instead: a
+//! `HistoryQuery` frame (tag 15, a classad constraint over series
+//! metadata) fetches the matching retained time series and prints each
+//! tier's samples (`docs/observability.md` §6). Use a metric name like
+//! `Utilization` or `MatchRate`, or `all` for every series; `--limit N`
+//! caps samples per series. A daemon running without the view — or
+//! predating it — rejects the tag with a structured error, which
+//! surfaces here as a clean failure. Without `--connect` a demo store
+//! shows the format.
+//!
 //! `--analyze <job>` asks "why doesn't my job run?" — the paper §5
 //! diagnosis question. Against a live daemon it sends the `Analyze` wire
 //! message and renders the `MatchAnalysis` reply; locally it runs the same
@@ -335,6 +345,114 @@ fn print_analysis(name: &str, ad: &ClassAd) {
     println!();
 }
 
+/// `--history`: fetch and render retained time series. Live mode sends
+/// the `HistoryQuery` wire message; local mode fabricates a small store
+/// so the output format is inspectable offline.
+fn history_mode(connect: Option<&str>, metric: &str, limit: u32) {
+    let constraint = if metric == "all" {
+        "true".to_string()
+    } else {
+        format!(r#"other.Metric == "{metric}""#)
+    };
+    let ads = match connect {
+        Some(addr) => {
+            let msg = Message::HistoryQuery {
+                constraint: constraint.clone(),
+                limit,
+            };
+            match wire::request_reply(addr, &msg, &IoConfig::default()) {
+                Ok(Message::HistoryReply { ads }) => ads,
+                Ok(other) => {
+                    eprintln!("unexpected reply from {addr}: {other:?}");
+                    std::process::exit(1);
+                }
+                // A pre-view daemon rejects tag 15 itself ("unknown tag
+                // 15"); a view-less daemon rejects the message at the
+                // service. Either way: a clean refusal, not a hang.
+                Err(e) => {
+                    eprintln!("history at {addr} unavailable: {e}");
+                    eprintln!("(the daemon may predate pool history, or run without `view`)");
+                    std::process::exit(1);
+                }
+            }
+        }
+        None => demo_history_ads(&constraint, limit),
+    };
+    println!("$ condor_view -constraint '{constraint}'");
+    if ads.is_empty() {
+        println!("  (no series matched)");
+        return;
+    }
+    for ad in &ads {
+        print_series(ad);
+    }
+}
+
+/// Render one `HistorySeries` ad: identity line, then `time  value` rows
+/// (gauges add min/max so a downsampled bucket shows its spread).
+fn print_series(ad: &ClassAd) {
+    let int = |attr: &str| ad.get_int(attr).unwrap_or(0);
+    println!(
+        "  {} — {} ({}s buckets, tier {}, {} point(s){})",
+        ad.get_string("Name").unwrap_or("?"),
+        ad.get_string("Kind").unwrap_or("?"),
+        int("IntervalSecs"),
+        int("Tier"),
+        int("Points"),
+        match ad.get("Integral").map(|e| e.to_string()) {
+            Some(i) => format!(", integral {i}"),
+            None => String::new(),
+        }
+    );
+    let split = |attr: &str| -> Vec<String> {
+        ad.get_string(attr)
+            .map(|s| s.split(',').map(str::to_string).collect())
+            .unwrap_or_default()
+    };
+    let times = split("Times");
+    let data = split("Data");
+    let mins = split("DataMin");
+    let maxs = split("DataMax");
+    let absent = split("Absent");
+    let gauge = ad.get_string("Kind") == Some("Gauge");
+    for (i, t) in times.iter().enumerate() {
+        let v = data.get(i).map(String::as_str).unwrap_or("?");
+        let gone = absent.get(i).is_some_and(|a| a == "1");
+        if gauge {
+            println!(
+                "    {t}  {v:>12}  (min {} max {}){}",
+                mins.get(i).map(String::as_str).unwrap_or("?"),
+                maxs.get(i).map(String::as_str).unwrap_or("?"),
+                if gone { "  [absent]" } else { "" }
+            );
+        } else {
+            println!("    {t}  {v:>12}/s{}", if gone { "  [absent]" } else { "" });
+        }
+    }
+}
+
+/// The `--history` demo without a daemon: a minute of a small pool's
+/// life, downsampled by a real store.
+fn demo_history_ads(constraint: &str, limit: u32) -> Vec<ClassAd> {
+    use condor_view::{metric, HistoryConfig, HistoryStore, LOCAL_POOL, POOL_SOURCE};
+    let mut store = HistoryStore::new(HistoryConfig::single(10, 32));
+    let mut matches = 0.0;
+    for step in 0..12u64 {
+        let unix = 946684800 + step * 5;
+        let claimed = (step as f64 / 12.0).min(1.0);
+        store.record_gauge(LOCAL_POOL, metric::UTILIZATION, POOL_SOURCE, unix, claimed);
+        matches += if step % 3 == 0 { 2.0 } else { 0.0 };
+        store.record_counter(LOCAL_POOL, metric::MATCH_RATE, POOL_SOURCE, unix, matches);
+    }
+    // One machine left the pool mid-window: an absent tombstone.
+    store.record_gauge(LOCAL_POOL, metric::CLAIMED, "ra-splinter", 946684800, 1.0);
+    store.record_absent(LOCAL_POOL, "ra-splinter", 946684830);
+    store.query(constraint, limit).unwrap_or_else(|e| {
+        eprintln!("bad constraint: {e}");
+        std::process::exit(2);
+    })
+}
+
 /// `--analyze` against a live daemon: one `Analyze` frame, one
 /// `AnalyzeReply`. A pre-analysis daemon replies with a structured error
 /// (`unknown tag 9`), which surfaces here as a remote failure.
@@ -520,7 +638,7 @@ fn main() {
         args.get(i + 1).cloned().unwrap_or_else(|| {
             eprintln!(
                 "usage: status_query [--connect host:port] [--stats] [--peers] \
-                 [--analyze request-name] \
+                 [--history metric [--limit n]] [--analyze request-name] \
                  [--tail journal.jsonl [--from-start] [--for secs]] \
                  [--journal journal.jsonl]"
             );
@@ -565,6 +683,25 @@ fn main() {
             None => analyze_local(name),
         };
         print_analysis(name, &ad);
+        return;
+    }
+    if let Some(i) = args.iter().position(|a| a == "--history") {
+        let Some(metric) = args.get(i + 1) else {
+            eprintln!("--history takes a metric name (or `all`)");
+            std::process::exit(2);
+        };
+        let limit = args
+            .iter()
+            .position(|a| a == "--limit")
+            .and_then(|i| args.get(i + 1))
+            .map(|s| {
+                s.parse().unwrap_or_else(|_| {
+                    eprintln!("--limit takes a sample count");
+                    std::process::exit(2);
+                })
+            })
+            .unwrap_or(0);
+        history_mode(connect.as_deref(), metric, limit);
         return;
     }
     if let Some(i) = args.iter().position(|a| a == "--journal") {

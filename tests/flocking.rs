@@ -274,7 +274,11 @@ fn pre_flock_peer_is_marked_non_flocking_without_disturbing_traffic() {
     });
     // An unmatchable job (no machines yet) forces a flock attempt at the
     // old peer every cycle.
-    let ca = util::spawn_customer("mixed", std::slice::from_ref(&addr), vec![("mix-0".into(), job_ad())]);
+    let ca = util::spawn_customer(
+        "mixed",
+        std::slice::from_ref(&addr),
+        vec![("mix-0".into(), job_ad())],
+    );
 
     wait_until("the old peer is marked non-flocking", || {
         mm.flock_peers()
