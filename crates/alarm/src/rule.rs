@@ -1,0 +1,232 @@
+//! Alert rules as classads: parsing, validation, and the default pack.
+//!
+//! A rule ad is recognized by `AlertRuleAd = true` and carries:
+//!
+//! | attribute        | required | meaning                                        |
+//! |------------------|----------|------------------------------------------------|
+//! | `Name`           | yes      | stable rule identifier (journal key)           |
+//! | `Severity`       | yes      | `"critical"`, `"warning"`, or `"info"`         |
+//! | `Constraint`     | yes      | the alert condition, over `other.*` telemetry  |
+//! | `Subjects`       | no       | selector: which telemetry ads the rule watches |
+//! | `ForIntervals`   | no       | consecutive holding sweeps before a raise (1)  |
+//! | `ClearIntervals` | no       | consecutive quiet sweeps before a clear (1)    |
+//!
+//! `Subjects` scopes the rule (e.g. `other.MyType == "SourcePresence"`),
+//! so the `Constraint` holds only the *condition* — which keeps conjunct
+//! attribution crisp: the tripping conjunct is a threshold, never a type
+//! selector. A rule without `Subjects` watches every telemetry ad.
+
+use classad::{parse_classads, parse_expr, ClassAd, Expr};
+
+/// Marker attribute identifying a rule ad.
+pub const RULE_AD_MARKER: &str = "AlertRuleAd";
+
+/// `MyType` of the alert-state ads [`crate::Monitor`] serves.
+pub const ALERT_AD_TYPE: &str = "AlertState";
+
+/// Rank severities for sorting: higher is worse. Unknown severities rank
+/// below `"info"` so typos sink rather than masquerade as critical.
+pub fn severity_rank(severity: &str) -> u8 {
+    match severity {
+        "critical" => 3,
+        "warning" => 2,
+        "info" => 1,
+        _ => 0,
+    }
+}
+
+/// A validated alert rule, ready for evaluation.
+#[derive(Debug, Clone)]
+pub struct Rule {
+    /// Stable rule identifier (`Name`).
+    pub name: String,
+    /// `"critical"`, `"warning"`, or `"info"`.
+    pub severity: String,
+    /// Source text of the alert condition.
+    pub constraint: String,
+    /// Consecutive holding sweeps before a raise.
+    pub for_intervals: u32,
+    /// Consecutive quiet sweeps before a clear.
+    pub clear_intervals: u32,
+    /// The rule ad with `Constraint` = the `Subjects` selector (absent
+    /// when the rule has no selector — every ad is then in scope).
+    pub(crate) selector_ad: Option<ClassAd>,
+    /// The rule ad with `Constraint` = the alert condition.
+    pub(crate) condition_ad: ClassAd,
+}
+
+impl Rule {
+    /// Parse and validate one rule ad. Errors name the offending rule
+    /// where possible, so a bad rule in a pack is diagnosable.
+    pub fn from_ad(ad: &ClassAd) -> Result<Rule, String> {
+        if !is_rule_ad(ad) {
+            return Err("not a rule ad: AlertRuleAd != true".into());
+        }
+        let name = ad
+            .get_string("Name")
+            .ok_or("rule ad without a Name")?
+            .to_string();
+        let severity = ad
+            .get_string("Severity")
+            .ok_or_else(|| format!("rule {name}: missing Severity"))?
+            .to_string();
+        if severity_rank(&severity) == 0 {
+            return Err(format!(
+                "rule {name}: unknown Severity {severity:?} (critical/warning/info)"
+            ));
+        }
+        let constraint_expr = ad
+            .get("Constraint")
+            .ok_or_else(|| format!("rule {name}: missing Constraint"))?;
+        let constraint = constraint_expr.to_string();
+        // Re-parse the rendered text: guarantees the stored source round
+        // trips, so journal attribution text always re-parses.
+        parse_expr(&constraint).map_err(|e| format!("rule {name}: bad Constraint: {e}"))?;
+        let for_intervals = ad.get_int("ForIntervals").unwrap_or(1).max(1) as u32;
+        let clear_intervals = ad.get_int("ClearIntervals").unwrap_or(1).max(1) as u32;
+        let mut condition_ad = ad.clone();
+        condition_ad.set("Constraint", (**constraint_expr).clone());
+        let selector_ad = ad.get("Subjects").map(|sel| {
+            let mut s = ad.clone();
+            s.set("Constraint", (**sel).clone());
+            s
+        });
+        Ok(Rule {
+            name,
+            severity,
+            constraint,
+            for_intervals,
+            clear_intervals,
+            selector_ad,
+            condition_ad,
+        })
+    }
+
+    /// Parse every `AlertRuleAd = true` ad in `ads`; non-rule ads are
+    /// skipped, malformed rule ads are errors.
+    pub fn parse_all(ads: &[ClassAd]) -> Result<Vec<Rule>, String> {
+        let mut rules = Vec::new();
+        for ad in ads {
+            if is_rule_ad(ad) {
+                rules.push(Rule::from_ad(ad)?);
+            }
+        }
+        Ok(rules)
+    }
+}
+
+/// Whether `ad` carries the `AlertRuleAd = true` marker.
+fn is_rule_ad(ad: &ClassAd) -> bool {
+    ad.get(RULE_AD_MARKER)
+        .map(|e| matches!(**e, Expr::Lit(classad::Literal::Bool(true))))
+        .unwrap_or(false)
+}
+
+/// The built-in default rule pack. Every rule here predicates on ads the
+/// pool already publishes — matchmaker self-ads (`MyType ==
+/// "MatchmakerStats"`), and the presence / history-summary ads
+/// [`crate::view_telemetry`] derives from the view collector:
+///
+/// * **MatchmakerDown** (critical) — a federated peer pool's rollups grew
+///   an absent-tombstone tail: the peer matchmaker stopped answering.
+/// * **AgentAbsent** (warning) — a local daemon's series went absent: its
+///   ad expired or was withdrawn and the deadman tail is growing.
+/// * **UtilizationCollapse** (warning, 2 intervals) — the pool was at
+///   least half-claimed within the window but is now nearly empty.
+/// * **MatchRateStall** (warning, 3 intervals) — cycles keep leaving
+///   requests unmatched while producing no matches at all.
+/// * **LeaseExpiryStorm** (warning) — lease expiries in the recent window
+///   exceed a storm threshold: agents are failing to renew en masse.
+/// * **FlockPeerFlapping** (warning) — a peer pool's rollups carry absent
+///   tombstones *behind* live buckets: the peer keeps dying and coming
+///   back.
+pub fn default_pack() -> Vec<ClassAd> {
+    parse_classads(
+        r#"
+        [ AlertRuleAd = true; Name = "MatchmakerDown"; Severity = "critical";
+          Subjects = other.MyType == "SourcePresence" && other.Pool != "local"
+                     && other.Source == "pool";
+          Constraint = other.AbsentTail >= 1 ]
+
+        [ AlertRuleAd = true; Name = "AgentAbsent"; Severity = "warning";
+          Subjects = other.MyType == "SourcePresence" && other.Pool == "local"
+                     && other.Source != "pool" && other.Source != "journal";
+          Constraint = other.AbsentTail >= 1 ]
+
+        [ AlertRuleAd = true; Name = "UtilizationCollapse"; Severity = "warning";
+          ForIntervals = 2;
+          Subjects = other.MyType == "HistorySummary" && other.Pool == "local"
+                     && other.Metric == "Utilization" && other.Source == "pool";
+          Constraint = other.Points >= 2 && other.Max >= 0.5 && other.Last <= 0.1 ]
+
+        [ AlertRuleAd = true; Name = "MatchRateStall"; Severity = "warning";
+          ForIntervals = 3;
+          Subjects = other.MyType == "MatchmakerStats";
+          Constraint = other.LastCycleUnmatched > 0 && other.LastCycleMatches == 0 ]
+
+        [ AlertRuleAd = true; Name = "LeaseExpiryStorm"; Severity = "warning";
+          Subjects = other.MyType == "HistorySummary" && other.Pool == "local"
+                     && other.Metric == "LeaseExpiries" && other.Source == "pool";
+          Constraint = other.Integral >= 10 ]
+
+        [ AlertRuleAd = true; Name = "FlockPeerFlapping"; Severity = "warning";
+          Subjects = other.MyType == "SourcePresence" && other.Pool != "local"
+                     && other.Source == "pool";
+          Constraint = other.AbsentCount >= 2 && other.AbsentTail == 0 ]
+        "#,
+    )
+    .expect("default rule pack parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use classad::parse_classad;
+
+    #[test]
+    fn default_pack_parses_and_validates() {
+        let ads = default_pack();
+        assert_eq!(ads.len(), 6);
+        let rules = Rule::parse_all(&ads).unwrap();
+        assert_eq!(rules.len(), 6);
+        let down = rules.iter().find(|r| r.name == "MatchmakerDown").unwrap();
+        assert_eq!(down.severity, "critical");
+        assert_eq!(down.for_intervals, 1);
+        assert!(down.selector_ad.is_some());
+        let stall = rules.iter().find(|r| r.name == "MatchRateStall").unwrap();
+        assert_eq!(stall.for_intervals, 3);
+    }
+
+    #[test]
+    fn rule_validation_rejects_malformed_ads() {
+        // Missing marker.
+        let ad = parse_classad(r#"[ Name = "x"; Severity = "info"; Constraint = true ]"#).unwrap();
+        assert!(Rule::from_ad(&ad).is_err());
+        // Missing severity.
+        let ad = parse_classad(r#"[ AlertRuleAd = true; Name = "x"; Constraint = true ]"#).unwrap();
+        assert!(Rule::from_ad(&ad).unwrap_err().contains("Severity"));
+        // Unknown severity.
+        let ad = parse_classad(
+            r#"[ AlertRuleAd = true; Name = "x"; Severity = "fatal"; Constraint = true ]"#,
+        )
+        .unwrap();
+        assert!(Rule::from_ad(&ad).unwrap_err().contains("fatal"));
+        // Missing constraint.
+        let ad = parse_classad(r#"[ AlertRuleAd = true; Name = "x"; Severity = "info" ]"#).unwrap();
+        assert!(Rule::from_ad(&ad).unwrap_err().contains("Constraint"));
+    }
+
+    #[test]
+    fn parse_all_skips_non_rule_ads() {
+        let mut ads = default_pack();
+        ads.push(parse_classad(r#"[ Name = "not-a-rule"; Mips = 10 ]"#).unwrap());
+        assert_eq!(Rule::parse_all(&ads).unwrap().len(), 6);
+    }
+
+    #[test]
+    fn severity_ranks_sort_critical_first() {
+        let mut sevs = ["info", "critical", "bogus", "warning"];
+        sevs.sort_by_key(|s| std::cmp::Reverse(severity_rank(s)));
+        assert_eq!(sevs, ["critical", "warning", "info", "bogus"]);
+    }
+}

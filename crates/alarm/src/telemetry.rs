@@ -1,0 +1,137 @@
+//! Bridge `condor-view`'s history store into telemetry ads alert rules
+//! can predicate on.
+//!
+//! Two ad shapes come out of [`view_telemetry`]:
+//!
+//! * **presence ads** (`MyType = "SourcePresence"`) — one per distinct
+//!   `(pool, source)` the collector tracks. They carry the deadman
+//!   signals: `AbsentTail` (consecutive newest intervals the source's
+//!   series are tombstoned — a departed source grows this every sweep)
+//!   and `AbsentCount` (tombstones anywhere in the window — tombstones
+//!   *behind* live buckets mean the source keeps dying and returning).
+//! * **history summaries** (`MyType = "HistorySummary"`) — one per
+//!   series, carrying `Rate`, `Integral`, `Mean`, `Min`, `Max`, `Last`,
+//!   `Points`. These let a rule ask history questions ("utilization was
+//!   ≥ 0.5 in the window but is ≤ 0.1 now") as plain threshold
+//!   conjuncts, without the rule ever touching ring buffers.
+
+use classad::ClassAd;
+use condor_view::Collector;
+
+/// `MyType` of per-(pool, source) presence ads.
+pub const PRESENCE_AD_TYPE: &str = "SourcePresence";
+
+/// `MyType` of per-series history-summary ads.
+pub const HISTORY_SUMMARY_AD_TYPE: &str = "HistorySummary";
+
+/// Derive presence and history-summary ads from the collector's store,
+/// summarizing the newest `window` finest-tier buckets of every series.
+pub fn view_telemetry(view: &Collector, window: usize) -> Vec<ClassAd> {
+    let mut out = Vec::new();
+    let keys = view.series_keys();
+    // Presence: fold every series of a (pool, source) pair together,
+    // taking the worst (largest) absent tail — any series still being
+    // fed proves the source alive, but presence ads answer "has this
+    // source's telemetry gone dark", so the max is the deadman signal.
+    let mut presence: Vec<(String, String, usize, usize)> = Vec::new();
+    for (pool, metric, source) in &keys {
+        let Some(w) = view.recent_window(pool, metric, source, window) else {
+            continue;
+        };
+        match presence
+            .iter_mut()
+            .find(|(p, s, _, _)| p == pool && s == source)
+        {
+            Some((_, _, tail, count)) => {
+                *tail = (*tail).max(w.absent_tail);
+                *count = (*count).max(w.absent_count);
+            }
+            None => presence.push((pool.clone(), source.clone(), w.absent_tail, w.absent_count)),
+        }
+        let mut ad = ClassAd::new();
+        ad.set_str("MyType", HISTORY_SUMMARY_AD_TYPE);
+        ad.set_str("Name", &format!("{pool}/{metric}/{source}"));
+        ad.set_str("Pool", pool);
+        ad.set_str("Metric", metric);
+        ad.set_str("Source", source);
+        ad.set_int("Points", w.points as i64);
+        ad.set_int("IntervalSecs", w.interval_secs as i64);
+        ad.set_real("Rate", w.rate);
+        ad.set_real("Integral", w.integral);
+        ad.set_real("Mean", w.mean);
+        ad.set_real("Min", w.min);
+        ad.set_real("Max", w.max);
+        ad.set_real("Last", w.last);
+        ad.set_int("AbsentTail", w.absent_tail as i64);
+        out.push(ad);
+    }
+    for (pool, source, tail, count) in presence {
+        let mut ad = ClassAd::new();
+        ad.set_str("MyType", PRESENCE_AD_TYPE);
+        ad.set_str("Name", &format!("{pool}/{source}"));
+        ad.set_str("Pool", &pool);
+        ad.set_str("Source", &source);
+        ad.set_int("AbsentTail", tail as i64);
+        ad.set_int("AbsentCount", count as i64);
+        out.push(ad);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use condor_view::{Collector, HistoryConfig};
+
+    fn collector() -> Collector {
+        Collector::new(HistoryConfig::default(), None).unwrap()
+    }
+
+    #[test]
+    fn presence_and_summary_ads_cover_every_series() {
+        let c = collector();
+        for unix in [100u64, 110, 120] {
+            c.record_gauge("local", "Utilization", "pool", unix, 0.5);
+            c.record_counter("local", "MatchEvents", "pool", unix, unix as f64);
+        }
+        let ads = view_telemetry(&c, 6);
+        let summaries: Vec<_> = ads
+            .iter()
+            .filter(|a| a.get_string("MyType") == Some(HISTORY_SUMMARY_AD_TYPE))
+            .collect();
+        assert_eq!(summaries.len(), 2);
+        let util = summaries
+            .iter()
+            .find(|a| a.get_string("Metric") == Some("Utilization"))
+            .unwrap();
+        assert_eq!(util.get_string("Name"), Some("local/Utilization/pool"));
+        assert_eq!(util.get_int("AbsentTail"), Some(0));
+        let presence: Vec<_> = ads
+            .iter()
+            .filter(|a| a.get_string("MyType") == Some(PRESENCE_AD_TYPE))
+            .collect();
+        assert_eq!(presence.len(), 1, "one (pool, source) pair");
+        assert_eq!(presence[0].get_string("Name"), Some("local/pool"));
+        assert_eq!(presence[0].get_int("AbsentTail"), Some(0));
+    }
+
+    #[test]
+    fn tombstoned_pool_grows_a_presence_tail() {
+        let c = collector();
+        for unix in [100u64, 110, 120] {
+            c.record_gauge("peer:x", "Utilization", "pool", unix, 0.5);
+        }
+        c.record_pool_absent("peer:x", 130);
+        c.record_pool_absent("peer:x", 140);
+        let ads = view_telemetry(&c, 6);
+        let p = ads
+            .iter()
+            .find(|a| {
+                a.get_string("MyType") == Some(PRESENCE_AD_TYPE)
+                    && a.get_string("Pool") == Some("peer:x")
+            })
+            .unwrap();
+        assert!(p.get_int("AbsentTail").unwrap() >= 1, "deadman tail grows");
+        assert!(p.get_int("AbsentCount").unwrap() >= 1);
+    }
+}

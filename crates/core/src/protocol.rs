@@ -363,6 +363,26 @@ pub enum Message {
         /// The matching series ads.
         ads: Vec<ClassAd>,
     },
+    /// Ask a matchmaker's embedded alarm monitor for its alert state (see
+    /// `docs/protocol.md` §16). The constraint is an ordinary classad
+    /// expression evaluated against each alert-state ad (`Rule`,
+    /// `Severity`, `State`, ...), so alerts are browsed with the same
+    /// language that raised them. A pre-alarm matchmaker answers
+    /// [`Message::Error`] (`unknown tag 17`), which clients surface as a
+    /// remote error — no framing desync on either side.
+    AlertQuery {
+        /// Constraint expression source selecting alert-state ads
+        /// (`true` selects everything).
+        constraint: String,
+    },
+    /// The alarm monitor's answer to a [`Message::AlertQuery`]: one
+    /// classad per rule, carrying the rule's current state, hold/flap
+    /// counters, and last raise attribution (see `docs/observability.md`
+    /// §7).
+    AlertReply {
+        /// The matching alert-state ads.
+        ads: Vec<ClassAd>,
+    },
 }
 
 /// The wire tag assigned to each [`Message`] variant — the first byte of
@@ -406,10 +426,14 @@ pub mod tag {
     pub const HISTORY_QUERY: u8 = 15;
     /// Time-series history answer ([`super::Message::HistoryReply`]).
     pub const HISTORY_REPLY: u8 = 16;
+    /// Alert-state request ([`super::Message::AlertQuery`]).
+    pub const ALERT_QUERY: u8 = 17;
+    /// Alert-state answer ([`super::Message::AlertReply`]).
+    pub const ALERT_REPLY: u8 = 18;
 
     /// Every assigned tag, in order. Exhaustiveness tests iterate this so
     /// a new variant cannot land without joining the round-trip suite.
-    pub const ALL: [u8; 16] = [
+    pub const ALL: [u8; 18] = [
         ADVERTISE,
         NOTIFY,
         CLAIM,
@@ -426,6 +450,8 @@ pub mod tag {
         FLOCK_OFFER,
         HISTORY_QUERY,
         HISTORY_REPLY,
+        ALERT_QUERY,
+        ALERT_REPLY,
     ];
 }
 
@@ -676,6 +702,17 @@ impl Message {
                     put_ad(&mut buf, ad);
                 }
             }
+            Message::AlertQuery { constraint } => {
+                buf.put_u8(tag::ALERT_QUERY);
+                put_string(&mut buf, constraint);
+            }
+            Message::AlertReply { ads } => {
+                buf.put_u8(tag::ALERT_REPLY);
+                buf.put_u32(ads.len() as u32);
+                for ad in ads {
+                    put_ad(&mut buf, ad);
+                }
+            }
         }
         if let Some(ctx) = trace {
             if tag_carries_trace(buf[0]) {
@@ -834,6 +871,20 @@ impl Message {
                     ads.push(r.ad()?);
                 }
                 Message::HistoryReply { ads }
+            }
+            tag::ALERT_QUERY => Message::AlertQuery {
+                constraint: r.string()?,
+            },
+            tag::ALERT_REPLY => {
+                let n = r.u32()? as usize;
+                if n > 1_000_000 {
+                    return Err(ProtocolError::BadFrame(format!("reply of {n} alerts")));
+                }
+                let mut ads = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    ads.push(r.ad()?);
+                }
+                Message::AlertReply { ads }
             }
             other => return Err(ProtocolError::BadFrame(format!("unknown tag {other}"))),
         };
@@ -1167,6 +1218,12 @@ mod tests {
             tag::HISTORY_REPLY => Message::HistoryReply {
                 ads: vec![sample_ad()],
             },
+            tag::ALERT_QUERY => Message::AlertQuery {
+                constraint: r#"other.Severity == "critical""#.into(),
+            },
+            tag::ALERT_REPLY => Message::AlertReply {
+                ads: vec![sample_ad()],
+            },
             other => panic!("no sample message for tag {other}"),
         }
     }
@@ -1300,6 +1357,56 @@ mod tests {
         assert_eq!(q.encode()[0], tag::HISTORY_QUERY);
         let reply = sample_message_for(tag::HISTORY_REPLY);
         assert_eq!(reply.encode()[0], tag::HISTORY_REPLY);
+    }
+
+    #[test]
+    fn alert_messages_roundtrip() {
+        let q = Message::AlertQuery {
+            constraint: r#"other.State == "firing" && other.Severity == "critical""#.into(),
+        };
+        assert_eq!(Message::decode(q.encode()).unwrap(), q);
+        let reply = Message::AlertReply {
+            ads: vec![
+                parse_classad(r#"[ MyType = "AlertState"; Rule = "MatchmakerDown" ]"#).unwrap(),
+                sample_ad(),
+            ],
+        };
+        assert_eq!(Message::decode(reply.encode()).unwrap(), reply);
+        let quiet = Message::AlertReply { ads: vec![] };
+        assert_eq!(Message::decode(quiet.encode()).unwrap(), quiet);
+    }
+
+    #[test]
+    fn alert_tags_never_carry_trace_trailers() {
+        // Alert queries browse monitor state; like Query/History they are
+        // not part of any match's causal chain and stay trailer-free even
+        // when the encoder holds a context.
+        let ctx = TraceContext {
+            trace_id: 1,
+            parent_span_id: 2,
+        };
+        let q = Message::AlertQuery {
+            constraint: "true".into(),
+        };
+        assert_eq!(q.encode(), q.encode_traced(Some(&ctx)));
+        let reply = Message::AlertReply { ads: vec![] };
+        assert_eq!(reply.encode(), reply.encode_traced(Some(&ctx)));
+        // Trailing bytes after an alert frame are rejected, not misparsed
+        // as a trailer.
+        let mut bytes = q.encode().to_vec();
+        bytes.push(1);
+        assert!(Message::decode(Bytes::from(bytes)).is_err());
+    }
+
+    #[test]
+    fn pre_alarm_peers_reject_the_alert_tags_cleanly() {
+        // An old decoder sees tags 17/18 as unknown and raises BadFrame;
+        // its daemon replies with a structured Error (`unknown tag 17`),
+        // which alert clients surface as a remote error.
+        let q = sample_message_for(tag::ALERT_QUERY);
+        assert_eq!(q.encode()[0], tag::ALERT_QUERY);
+        let reply = sample_message_for(tag::ALERT_REPLY);
+        assert_eq!(reply.encode()[0], tag::ALERT_REPLY);
     }
 
     #[test]

@@ -157,6 +157,28 @@ pub enum Event {
         /// The originating pool's matchmaker contact.
         origin: String,
     },
+    /// The alarm monitor's hysteresis admitted a rule into the firing
+    /// state: its constraint held against live telemetry for the required
+    /// consecutive intervals. `detail` carries the rule-attribution text —
+    /// which conjunct of the rule's constraint tripped, in the same
+    /// `label()` format the match analyzer uses — so replay reconstructs
+    /// not just *that* an alert fired but *why*.
+    AlertRaised {
+        /// The firing rule's `Name`.
+        rule: String,
+        /// The rule's `Severity` (`"critical"`, `"warning"`, ...).
+        severity: String,
+        /// Attribution: the conjunct that tripped, clipped rule text.
+        detail: String,
+    },
+    /// A firing rule's constraint stopped holding for the required
+    /// consecutive intervals and the alarm monitor returned it to ok.
+    AlertCleared {
+        /// The cleared rule's `Name`.
+        rule: String,
+        /// The rule's `Severity`.
+        severity: String,
+    },
     /// A negotiation cycle left requests unmatched and the attribution
     /// pass classified why (one event per cycle, covering every cluster
     /// with unmatched requests).
@@ -191,6 +213,8 @@ impl Event {
             Event::Checkpoint { .. } => "Checkpoint",
             Event::JobFlocked { .. } => "JobFlocked",
             Event::FlockMatchMade { .. } => "FlockMatchMade",
+            Event::AlertRaised { .. } => "AlertRaised",
+            Event::AlertCleared { .. } => "AlertCleared",
             Event::CycleRejections { .. } => "CycleRejections",
         }
     }
@@ -213,6 +237,8 @@ impl Event {
                 | "Checkpoint"
                 | "JobFlocked"
                 | "FlockMatchMade"
+                | "AlertRaised"
+                | "AlertCleared"
                 | "CycleRejections"
         )
     }
@@ -306,6 +332,19 @@ impl Event {
                 ("offer", Str(offer.clone())),
                 ("origin", Str(origin.clone())),
             ],
+            Event::AlertRaised {
+                rule,
+                severity,
+                detail,
+            } => vec![
+                ("rule", Str(rule.clone())),
+                ("severity", Str(severity.clone())),
+                ("detail", Str(detail.clone())),
+            ],
+            Event::AlertCleared { rule, severity } => vec![
+                ("rule", Str(rule.clone())),
+                ("severity", Str(severity.clone())),
+            ],
             Event::CycleRejections {
                 cycle,
                 clusters,
@@ -380,6 +419,15 @@ impl Event {
                 request: obj.str("request")?,
                 offer: obj.str("offer")?,
                 origin: obj.str("origin")?,
+            },
+            "AlertRaised" => Event::AlertRaised {
+                rule: obj.str("rule")?,
+                severity: obj.str("severity")?,
+                detail: obj.str("detail")?,
+            },
+            "AlertCleared" => Event::AlertCleared {
+                rule: obj.str("rule")?,
+                severity: obj.str("severity")?,
             },
             "CycleRejections" => Event::CycleRejections {
                 cycle: obj.u64("cycle")?,
@@ -544,6 +592,14 @@ pub struct JournalConfig {
     /// even stale segments written by an earlier run with a larger
     /// `keep_rotated`. `None` (the default) caps at `keep_rotated`.
     pub max_rotated: Option<usize>,
+    /// Durability knob: when `true`, every append is `fsync`ed to disk
+    /// before returning, and a filling segment is synced once more before
+    /// it is renamed away at rotation. Appends already reach the OS
+    /// unbuffered (`write_all` + `flush`), which survives a daemon crash;
+    /// the sync additionally survives power loss, at the cost of one
+    /// `fsync` per event. Alerting daemons set this so a raise/clear
+    /// sequence can always be reconstructed from replay. Default `false`.
+    pub sync_on_rotate: bool,
 }
 
 impl JournalConfig {
@@ -555,6 +611,7 @@ impl JournalConfig {
             rotate_bytes: 1 << 20,
             keep_rotated: 3,
             max_rotated: None,
+            sync_on_rotate: false,
         }
     }
 }
@@ -654,10 +711,18 @@ impl Journal {
                 inner.io_errors += 1;
             }
         }
+        let synced = |file: &File| {
+            if self.cfg.sync_on_rotate {
+                file.sync_data()
+            } else {
+                Ok(())
+            }
+        };
         let written = match inner
             .file
             .write_all(line.as_bytes())
             .and_then(|()| inner.file.flush())
+            .and_then(|()| synced(&inner.file))
         {
             Ok(()) => {
                 inner.bytes += line.len() as u64;
@@ -674,6 +739,11 @@ impl Journal {
     /// Shift `<path>.(n)` → `<path>.(n+1)` (dropping the oldest) and start
     /// a fresh current file.
     fn rotate(&self, inner: &mut JournalInner) -> std::io::Result<()> {
+        // Make the outgoing segment durable before it is renamed away:
+        // after this, its records can never be lost to a crash mid-shift.
+        if self.cfg.sync_on_rotate {
+            inner.file.sync_all()?;
+        }
         if self.cfg.keep_rotated == 0 {
             inner.file = File::create(&self.cfg.path)?;
             inner.bytes = 0;
@@ -1170,6 +1240,15 @@ mod tests {
                 breakdown: "c0[j1+j2]: ReqFalse(request): other.Mips >= 1000=4 | c1[j9]: Busy=3"
                     .into(),
             },
+            Event::AlertRaised {
+                rule: "MatchmakerDown".into(),
+                severity: "critical".into(),
+                detail: "ReqFalse(rule): other.SourceAbsent == true".into(),
+            },
+            Event::AlertCleared {
+                rule: "MatchmakerDown".into(),
+                severity: "critical".into(),
+            },
         ]
     }
 
@@ -1255,6 +1334,7 @@ mod tests {
             rotate_bytes: 200,
             keep_rotated: 2,
             max_rotated: None,
+            sync_on_rotate: false,
         };
         let j = Journal::open(cfg).unwrap();
         for i in 0..40 {
@@ -1295,6 +1375,7 @@ mod tests {
             rotate_bytes: 200,
             keep_rotated: 2,
             max_rotated: Some(3),
+            sync_on_rotate: false,
         })
         .unwrap();
         for i in 0..40 {
@@ -1313,6 +1394,42 @@ mod tests {
         let recs = replay(&path).unwrap();
         assert!(recs.windows(2).all(|w| w[1].seq == w[0].seq + 1));
         assert_eq!(recs.last().unwrap().seq, 40);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn sync_on_rotate_keeps_rotation_and_replay_intact() {
+        // The durability knob must not perturb the journal's observable
+        // behavior: every record survives (sync happens before the rename
+        // window), generations stay bounded, and no I/O error is counted.
+        let dir = temp_dir("sync");
+        let path = dir.join("j.jsonl");
+        let j = Journal::open(JournalConfig {
+            path: path.clone(),
+            rotate_bytes: 256,
+            // Keep every generation: the assertion is that nothing is
+            // lost, and a generation falling off the end would lose
+            // records by design.
+            keep_rotated: 64,
+            max_rotated: None,
+            sync_on_rotate: true,
+        })
+        .unwrap();
+        for i in 0..30 {
+            let out = j.append_traced(
+                Event::AlertRaised {
+                    rule: format!("rule-{i}"),
+                    severity: "warning".into(),
+                    detail: "detail".into(),
+                },
+                None,
+            );
+            assert!(out.written, "synced append {i} must report written");
+        }
+        assert_eq!(j.io_errors(), 0);
+        let recs = replay(&path).unwrap();
+        assert_eq!(recs.len(), 30);
+        assert!(recs.windows(2).all(|w| w[1].seq == w[0].seq + 1));
         let _ = std::fs::remove_dir_all(dir);
     }
 

@@ -175,6 +175,25 @@ pub const VIEW_SAMPLES: &str = "view_samples_total";
 /// Time series the history store currently retains (gauge).
 pub const VIEW_SERIES: &str = "view_series";
 
+// ---- alerting (condor-alarm monitor) ----
+
+/// Alert rules currently in the firing state (gauge; surfaces as
+/// `ActiveAlerts`).
+pub const ACTIVE_ALERTS: &str = "active_alerts";
+/// Raise transitions the alarm monitor has journaled, over its lifetime
+/// (surfaces as `AlertsRaisedTotal`).
+pub const ALERTS_RAISED: &str = "alerts_raised_total";
+/// Clear transitions the alarm monitor has journaled, over its lifetime
+/// (surfaces as `AlertsClearedTotal`).
+pub const ALERTS_CLEARED: &str = "alerts_cleared_total";
+/// Alert rules the monitor is evaluating (gauge; default pack + extras).
+pub const ALERT_RULES: &str = "alert_rules";
+/// Raise/clear transitions swallowed by flap suppression, over the
+/// monitor's lifetime.
+pub const ALERT_FLAPS_SUPPRESSED: &str = "alert_flaps_suppressed_total";
+/// Evaluation sweeps the alarm monitor has completed.
+pub const ALERT_EVALUATIONS: &str = "alert_evaluations";
+
 // ---- agents (live pool + simulator) ----
 
 /// Advertisements delivered to the matchmaker.

@@ -40,6 +40,7 @@ fn concurrent_appends_with_rotation_replay_gap_free() {
             // generation falling off the end would create one by design.
             keep_rotated: 256,
             max_rotated: None,
+            sync_on_rotate: false,
         })
         .unwrap(),
     );
@@ -114,6 +115,7 @@ fn concurrent_appends_interleave_with_readers() {
             rotate_bytes: 2048,
             keep_rotated: 64,
             max_rotated: None,
+            sync_on_rotate: false,
         })
         .unwrap(),
     );

@@ -123,6 +123,53 @@ impl Default for ViewConfig {
     }
 }
 
+/// Alerting tunables: run an embedded [`condor_alarm::Monitor`] inside
+/// this matchmaker.
+///
+/// The monitor thread matches every alert rule (each an ordinary classad,
+/// see `condor_alarm::Rule`) against live telemetry — the daemon self-ads
+/// in the ad store plus, when [`DaemonConfig::view`] is on, the presence
+/// and history-summary ads derived from the view collector — every
+/// [`interval`]. Raise/clear transitions are journaled as `AlertRaised` /
+/// `AlertCleared`, the firing set is advertised in the matchmaker
+/// self-ad (`ActiveAlerts`, `ActiveAlertSummary`), and
+/// [`Message::AlertQuery`] reads the full alert state over the wire.
+///
+/// [`interval`]: AlarmConfig::interval
+#[derive(Debug, Clone)]
+pub struct AlarmConfig {
+    /// Period between evaluation sweeps. All rule hysteresis
+    /// (`ForIntervals` / `ClearIntervals`) counts in units of this.
+    pub interval: Duration,
+    /// Extra rule ads evaluated alongside (or instead of) the built-in
+    /// pack. Ads without the `AlertRuleAd = true` marker are ignored;
+    /// malformed rule ads fail the spawn.
+    pub rules: Vec<ClassAd>,
+    /// Start from `condor_alarm::default_pack()` (matchmaker down, agent
+    /// absent, utilization collapse, match-rate stall, lease-expiry
+    /// storm, flock peer flapping). Off means only [`rules`] apply.
+    ///
+    /// [`rules`]: AlarmConfig::rules
+    pub default_pack: bool,
+    /// How many finest-tier history buckets each presence / summary ad
+    /// aggregates when the view collector feeds the monitor.
+    pub history_window: usize,
+    /// Flap-suppression knobs (window and transition budget).
+    pub monitor: condor_alarm::MonitorConfig,
+}
+
+impl Default for AlarmConfig {
+    fn default() -> Self {
+        AlarmConfig {
+            interval: Duration::from_secs(10),
+            rules: Vec::new(),
+            default_pack: true,
+            history_window: 6,
+            monitor: condor_alarm::MonitorConfig::default(),
+        }
+    }
+}
+
 /// Daemon tunables.
 #[derive(Debug, Clone)]
 pub struct DaemonConfig {
@@ -165,6 +212,10 @@ pub struct DaemonConfig {
     /// default) keeps no history; `HistoryQuery` frames then get the
     /// service's structured rejection, exactly like a pre-view peer.
     pub view: Option<ViewConfig>,
+    /// Embedded pool health monitor (alerting). `None` (the default)
+    /// evaluates nothing; `AlertQuery` frames then get the service's
+    /// structured rejection, exactly like a pre-alarm peer.
+    pub alarm: Option<AlarmConfig>,
 }
 
 impl Default for DaemonConfig {
@@ -191,6 +242,7 @@ impl Default for DaemonConfig {
             ha: None,
             flock: None,
             view: None,
+            alarm: None,
         }
     }
 }
@@ -330,6 +382,10 @@ struct Shared {
     /// [`DaemonConfig::view`]). Fed by the `mm-view` thread, read by
     /// `HistoryQuery` connections.
     view: Option<condor_view::Collector>,
+    /// The embedded alert monitor (`None` without
+    /// [`DaemonConfig::alarm`]). Swept by the `mm-alarm` thread, read by
+    /// `AlertQuery` connections and the self-ad publisher.
+    alarm: Option<condor_alarm::Monitor>,
 }
 
 /// A live matchmaker listening on TCP.
@@ -342,6 +398,7 @@ pub struct MatchmakerDaemon {
     election: Option<JoinHandle<()>>,
     flock: Option<JoinHandle<()>>,
     view: Option<JoinHandle<()>>,
+    alarm: Option<JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for Shared {
@@ -379,6 +436,20 @@ impl MatchmakerDaemon {
             .as_ref()
             .map(|vc| condor_view::Collector::new(vc.history.clone(), vc.journal.clone()))
             .transpose()?;
+        // A malformed rule ad fails the spawn here, not the first sweep:
+        // a pool that boots with alerting on has validated rules.
+        let alarm = cfg
+            .alarm
+            .as_ref()
+            .map(|ac| {
+                if ac.default_pack {
+                    condor_alarm::Monitor::with_default_pack(&ac.rules, ac.monitor.clone())
+                } else {
+                    condor_alarm::Monitor::new(&ac.rules, ac.monitor.clone())
+                }
+                .map_err(|e| std::io::Error::new(ErrorKind::InvalidInput, e))
+            })
+            .transpose()?;
         let contact = addr.to_string();
         // A lone matchmaker leads from birth; an HA set member boots as a
         // standby and earns the lease (see `condor_ha::Election`).
@@ -409,6 +480,7 @@ impl MatchmakerDaemon {
             flock: Mutex::new(flock),
             flock_tx: Mutex::new(None),
             view,
+            alarm,
         });
         shared.observer.emit(Event::AgentRestarted {
             agent: "MatchmakerDaemon".into(),
@@ -467,6 +539,16 @@ impl MatchmakerDaemon {
         } else {
             None
         };
+        let alarm = if shared.alarm.is_some() {
+            let shared = Arc::clone(&shared);
+            Some(
+                std::thread::Builder::new()
+                    .name("mm-alarm".into())
+                    .spawn(move || alarm_loop(&shared))?,
+            )
+        } else {
+            None
+        };
         Ok(MatchmakerDaemon {
             shared,
             addr,
@@ -475,6 +557,7 @@ impl MatchmakerDaemon {
             election,
             flock,
             view,
+            alarm,
         })
     }
 
@@ -551,6 +634,12 @@ impl MatchmakerDaemon {
         self.shared.view.as_ref()
     }
 
+    /// The embedded alert monitor, when [`DaemonConfig::alarm`] is on
+    /// (in-process inspection; remote parties send `AlertQuery`).
+    pub fn alarm(&self) -> Option<&condor_alarm::Monitor> {
+        self.shared.alarm.as_ref()
+    }
+
     /// How many events the daemon's journal has written (0 when
     /// journaling is off).
     pub fn journal_position(&self) -> u64 {
@@ -574,6 +663,9 @@ impl MatchmakerDaemon {
             let _ = h.join();
         }
         if let Some(h) = self.view.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.alarm.take() {
             let _ = h.join();
         }
         // Dropping the sender disconnects the dialer's queue so it exits
@@ -626,6 +718,15 @@ impl Shared {
             let line = self.last_rejections_line.lock();
             if !line.is_empty() {
                 ad.set_str("RejectionTopReasons", &line);
+            }
+        }
+        // The firing set, severity-sorted. The numeric alert counters
+        // (`ActiveAlerts`, `AlertsRaisedTotal`, ...) ride in via the
+        // registry snapshot inside `build_self_ad`.
+        if let Some(monitor) = &self.alarm {
+            let summary = monitor.active_summary();
+            if !summary.is_empty() {
+                ad.set_str("ActiveAlertSummary", &summary);
             }
         }
         {
@@ -955,6 +1056,26 @@ fn serve_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
                         if let Some(view) = &shared.view {
                             let reply = match view.query(constraint, *limit) {
                                 Ok(ads) => Message::HistoryReply { ads },
+                                Err(detail) => {
+                                    shared.metrics.error_replies.inc();
+                                    Message::Error { detail }
+                                }
+                            };
+                            match wire::send(&mut stream, &reply) {
+                                Ok(n) => shared.metrics.wire.sent(n as u64),
+                                Err(_) => return,
+                            }
+                            continue;
+                        }
+                    }
+                    // Alerting: answered from the embedded monitor. With
+                    // the alarm off the message falls through to the
+                    // service and earns the same structured rejection a
+                    // pre-alarm peer produces by not decoding the tag.
+                    if let Message::AlertQuery { constraint } = &msg {
+                        if let Some(monitor) = &shared.alarm {
+                            let reply = match monitor.query(constraint) {
+                                Ok(ads) => Message::AlertReply { ads },
                                 Err(detail) => {
                                     shared.metrics.error_replies.inc();
                                     Message::Error { detail }
@@ -1395,6 +1516,67 @@ fn view_loop(shared: &Arc<Shared>) {
     }
 }
 
+/// The `mm-alarm` monitor thread: every alarm interval, gather the
+/// telemetry ads (daemon self-ads from the ad store, plus presence and
+/// history-summary ads derived from the view collector when it is on),
+/// run one monitor sweep, journal every raise/clear transition, and fold
+/// the monitor's counters into the registry so the self-ad advertises
+/// them.
+///
+/// The journal key for a transition is `rule@subject` — the same key the
+/// monitor tracks — so replaying the journal reconstructs the exact
+/// raise/clear sequence per alert.
+fn alarm_loop(shared: &Arc<Shared>) {
+    let Some(monitor) = &shared.alarm else { return };
+    let Some(ac) = shared.cfg.alarm.as_ref() else {
+        return;
+    };
+    let reg = shared.observer.registry();
+    let active = reg.gauge(schema::ACTIVE_ALERTS);
+    let raised = reg.counter(schema::ALERTS_RAISED);
+    let cleared = reg.counter(schema::ALERTS_CLEARED);
+    let rules = reg.gauge(schema::ALERT_RULES);
+    let flaps = reg.counter(schema::ALERT_FLAPS_SUPPRESSED);
+    let evaluations = reg.counter(schema::ALERT_EVALUATIONS);
+    rules.set(monitor.rule_count() as i64);
+    let mut last_flaps = 0u64;
+    loop {
+        if wire::interruptible_sleep(&shared.shutdown, ac.interval) {
+            return;
+        }
+        // Refresh the self-ad first so the sweep judges the matchmaker
+        // as of now — a stalled cycle counter, not a stale ad.
+        shared.publish_self_ad();
+        let now = wire::unix_now();
+        let mut telemetry = daemon_self_ads(shared, now);
+        if let Some(view) = &shared.view {
+            telemetry.extend(condor_alarm::view_telemetry(view, ac.history_window));
+        }
+        for t in monitor.evaluate(&telemetry, now) {
+            let key = format!("{}@{}", t.rule, t.subject);
+            if t.raised {
+                raised.inc();
+                shared.observer.emit(Event::AlertRaised {
+                    rule: key,
+                    severity: t.severity,
+                    detail: t.detail,
+                });
+            } else {
+                cleared.inc();
+                shared.observer.emit(Event::AlertCleared {
+                    rule: key,
+                    severity: t.severity,
+                });
+            }
+        }
+        evaluations.inc();
+        active.set(monitor.active() as i64);
+        let total_flaps = monitor.flaps_suppressed();
+        flaps.add(total_flaps.saturating_sub(last_flaps));
+        last_flaps = total_flaps;
+    }
+}
+
 /// All daemon self-ads currently in the matchmaker's own ad store.
 fn daemon_self_ads(shared: &Arc<Shared>, now: u64) -> Vec<ClassAd> {
     let mut ads = Vec::new();
@@ -1432,7 +1614,12 @@ fn collect_flock_peers(shared: &Arc<Shared>, view: &condor_view::Collector, now:
             let flock = shared.flock.lock();
             (flock.contacts(peer).to_vec(), flock.name(peer).to_string())
         };
+        // Either failure path below tombstones the peer's series: a dead
+        // peer's rollups must read as *departed*, not silently stale —
+        // otherwise the last sampled values linger as if fresh and the
+        // deadman alert never sees a growing absent tail.
         let Some(leader) = find_leader(&contacts, &shared.cfg.io) else {
+            view.record_pool_absent(&name, now);
             continue;
         };
         let query = Message::Query {
@@ -1440,10 +1627,9 @@ fn collect_flock_peers(shared: &Arc<Shared>, view: &condor_view::Collector, now:
             kind: None,
             projection: Vec::new(),
         };
-        if let Ok(Message::QueryReply { ads }) =
-            wire::request_reply(&leader, &query, &shared.cfg.io)
-        {
-            view.ingest(&name, &ads, now);
+        match wire::request_reply(&leader, &query, &shared.cfg.io) {
+            Ok(Message::QueryReply { ads }) => view.ingest(&name, &ads, now),
+            _ => view.record_pool_absent(&name, now),
         }
     }
 }
@@ -1762,6 +1948,112 @@ mod tests {
             other => panic!("expected a structured rejection, got {other:?}"),
         }
         daemon.shutdown();
+    }
+
+    #[test]
+    fn alert_query_over_tcp_returns_alert_state_ads() {
+        // One custom rule that trivially fires against the matchmaker's
+        // own self-ad, so the test needs no pool and no dead daemons.
+        let rule = classad::parse_classad(
+            r#"[ AlertRuleAd = true; Name = "SelfAware"; Severity = "info";
+                 Subjects = other.MyType == "MatchmakerStats";
+                 Constraint = other.Cycles >= 0 ]"#,
+        )
+        .unwrap();
+        let mut daemon = MatchmakerDaemon::spawn(DaemonConfig {
+            cycle_interval: Duration::from_secs(3600),
+            alarm: Some(AlarmConfig {
+                interval: Duration::from_millis(50),
+                rules: vec![rule],
+                default_pack: false,
+                ..AlarmConfig::default()
+            }),
+            ..DaemonConfig::default()
+        })
+        .unwrap();
+        let addr = daemon.addr().to_string();
+        let io = IoConfig::default();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while daemon.alarm().unwrap().sweeps() < 2 {
+            assert!(Instant::now() < deadline, "monitor never swept");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let q = Message::AlertQuery {
+            constraint: r#"other.State == "firing""#.into(),
+        };
+        let reply = wire::request_reply(&addr, &q, &io).unwrap();
+        let Message::AlertReply { ads } = reply else {
+            panic!("{reply:?}")
+        };
+        assert_eq!(ads.len(), 1, "{ads:?}");
+        assert_eq!(ads[0].get_string("MyType"), Some("AlertState"));
+        assert_eq!(ads[0].get_string("Rule"), Some("SelfAware"));
+        assert_eq!(ads[0].get_string("Severity"), Some("info"));
+        // The firing set is advertised in the self-ad too.
+        let sq = Message::Query {
+            constraint: condor_obs::self_ad_constraint(schema::MATCHMAKER_STATS),
+            kind: None,
+            projection: vec![],
+        };
+        let Ok(Message::QueryReply { ads }) = wire::request_reply(&addr, &sq, &io) else {
+            panic!("self-ad query failed")
+        };
+        assert!(
+            ads[0].get_int("ActiveAlerts").unwrap_or(0) >= 1,
+            "{}",
+            ads[0]
+        );
+        assert!(
+            ads[0]
+                .get_string("ActiveAlertSummary")
+                .unwrap_or("")
+                .contains("info:SelfAware"),
+            "{}",
+            ads[0]
+        );
+        // A malformed constraint earns a structured error.
+        let bad = Message::AlertQuery {
+            constraint: "((".into(),
+        };
+        match wire::request_reply(&addr, &bad, &io) {
+            Err(WireError::Remote(detail)) => {
+                assert!(detail.contains("bad alert constraint"), "{detail}")
+            }
+            other => panic!("expected a structured rejection, got {other:?}"),
+        }
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn alert_query_without_alarm_earns_structured_error() {
+        let mut daemon = quiet_daemon();
+        let addr = daemon.addr().to_string();
+        let q = Message::AlertQuery {
+            constraint: "true".into(),
+        };
+        match wire::request_reply(&addr, &q, &IoConfig::default()) {
+            Ok(Message::Error { detail }) | Err(WireError::Remote(detail)) => {
+                assert!(detail.contains("matchmaker endpoint"), "{detail}")
+            }
+            other => panic!("expected a structured rejection, got {other:?}"),
+        }
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn malformed_rule_ads_fail_the_spawn() {
+        let bad = classad::parse_classad(
+            r#"[ AlertRuleAd = true; Name = "broken"; Severity = "fatal"; Constraint = true ]"#,
+        )
+        .unwrap();
+        let err = MatchmakerDaemon::spawn(DaemonConfig {
+            alarm: Some(AlarmConfig {
+                rules: vec![bad],
+                ..AlarmConfig::default()
+            }),
+            ..DaemonConfig::default()
+        });
+        assert!(err.is_err(), "unknown severity must fail validation");
     }
 
     #[test]

@@ -50,7 +50,9 @@ pub mod retry {
 }
 
 pub use customer::{CustomerAgent, CustomerConfig, CustomerStatsSnapshot, JobStatus};
-pub use daemon::{DaemonConfig, DaemonStatsSnapshot, HaConfig, MatchmakerDaemon, ViewConfig};
+pub use daemon::{
+    AlarmConfig, DaemonConfig, DaemonStatsSnapshot, HaConfig, MatchmakerDaemon, ViewConfig,
+};
 pub use pool::{PoolBuilder, PoolHandle};
 pub use resource::{ResourceAgent, ResourceConfig, ResourceStatsSnapshot};
 pub use retry::Backoff;

@@ -279,7 +279,10 @@ impl ResourceAgent {
 
     /// Exit gracefully: collapse the lease (re-advertise with an
     /// expiry one second out, the closest the protocol has to a withdraw),
-    /// then stop all threads.
+    /// withdraw the stats self-ad the same way — its lease is minutes
+    /// long, and leaving it behind would keep the departed agent looking
+    /// alive to the view collector (and mute the deadman alert) until it
+    /// expired — then stop all threads.
     pub fn shutdown(mut self) {
         let adv = self.shared.build_advertisement(1);
         let _ = wire::send_oneway(
@@ -287,6 +290,9 @@ impl ResourceAgent {
             &Message::Advertise(adv),
             &self.shared.cfg.io,
         );
+        if self.shared.cfg.publish_self_ad {
+            self.shared.publish_self_ad(1);
+        }
         self.stop_threads();
     }
 
@@ -336,7 +342,9 @@ impl RaShared {
 
     /// Send the `ResourceAgentStats` self-ad to the matchmaker (best
     /// effort, no retry: the next heartbeat brings the next one).
-    fn publish_self_ad(&self) {
+    /// `lease_secs` is the advertised lease — heartbeats renew with a
+    /// generous one, the shutdown path withdraws with 1s.
+    fn publish_self_ad(&self, lease_secs: u64) {
         self.metrics
             .claimed
             .set(i64::from(self.claim.lock().is_claimed()));
@@ -349,7 +357,7 @@ impl RaShared {
             ad,
             contact: self.contact.clone(),
             ticket: None,
-            expires_at: wire::unix_now() + (3 * self.cfg.heartbeat.as_secs()).max(300),
+            expires_at: wire::unix_now() + lease_secs,
         };
         if let Ok(n) = wire::send_oneway(
             &self.current_matchmaker(),
@@ -399,7 +407,7 @@ fn refresh_loop(shared: &Arc<RaShared>) {
         // The self-ad renews even while claimed — a claimed machine is
         // exactly when an operator wants to see its telemetry.
         if shared.cfg.publish_self_ad {
-            shared.publish_self_ad();
+            shared.publish_self_ad((3 * shared.cfg.heartbeat.as_secs()).max(300));
         }
         if wire::interruptible_sleep(&shared.shutdown, shared.cfg.heartbeat) {
             return;
@@ -624,6 +632,8 @@ fn message_kind(msg: &Message) -> &'static str {
         Message::FlockOffer { .. } => "FlockOffer",
         Message::HistoryQuery { .. } => "HistoryQuery",
         Message::HistoryReply { .. } => "HistoryReply",
+        Message::AlertQuery { .. } => "AlertQuery",
+        Message::AlertReply { .. } => "AlertReply",
     }
 }
 

@@ -216,15 +216,16 @@ impl Collector {
                 unix,
                 ca_total as f64,
             );
-            if ra_total > 0 {
-                store.record_gauge(
-                    pool,
-                    metric::UTILIZATION,
-                    POOL_SOURCE,
-                    unix,
-                    ra_claimed as f64 / ra_total as f64,
-                );
-            }
+            // A pool with no resource agents reads utilization 0 — the
+            // series must keep advancing when the last agent departs,
+            // or it would freeze at its final value and read as
+            // healthy-but-idle forever (the deadman problem, §7).
+            let utilization = if ra_total > 0 {
+                ra_claimed as f64 / ra_total as f64
+            } else {
+                0.0
+            };
+            store.record_gauge(pool, metric::UTILIZATION, POOL_SOURCE, unix, utilization);
             // Tombstone every agent that advertised last round but not
             // this one: its ad expired or was withdrawn at the
             // matchmaker, so the daemon departed (rather than going
@@ -311,10 +312,54 @@ impl Collector {
             .written
     }
 
+    /// Record that an entire peer pool has stopped answering: drop an
+    /// absent tombstone into every one of `pool`'s series. The federated
+    /// sampler calls this when a flock peer is unreachable, so a dead
+    /// peer's rollups read as *departed* instead of silently stale.
+    pub fn record_pool_absent(&self, pool: &str, unix: u64) {
+        self.store.lock().record_pool_absent(pool, unix);
+    }
+
+    /// Record one gauge observation directly, bypassing ad ingestion
+    /// (embedding code and tests that synthesize series).
+    pub fn record_gauge(&self, pool: &str, metric: &str, source: &str, unix: u64, value: f64) {
+        self.store
+            .lock()
+            .record_gauge(pool, metric, source, unix, value);
+    }
+
+    /// Record one cumulative-counter observation directly (see
+    /// [`HistoryStore::record_counter`]).
+    pub fn record_counter(&self, pool: &str, metric: &str, source: &str, unix: u64, total: f64) {
+        self.store
+            .lock()
+            .record_counter(pool, metric, source, unix, total);
+    }
+
     /// Answer a history query: a classad constraint over series metadata
     /// ads (see [`HistoryStore::query`]).
     pub fn query(&self, constraint: &str, limit: u32) -> Result<Vec<ClassAd>, String> {
         self.store.lock().query(constraint, limit)
+    }
+
+    /// Summarize the newest `window` finest-tier buckets of one series
+    /// (see [`HistoryStore::recent_window`]) — the read path alerting
+    /// history predicates are answered from.
+    pub fn recent_window(
+        &self,
+        pool: &str,
+        metric: &str,
+        source: &str,
+        window: usize,
+    ) -> Option<crate::RecentWindow> {
+        self.store
+            .lock()
+            .recent_window(pool, metric, source, window)
+    }
+
+    /// Every `(pool, metric, source)` series key currently retained.
+    pub fn series_keys(&self) -> Vec<crate::store::SeriesKey> {
+        self.store.lock().series_keys()
     }
 
     /// Run `f` against the store (tests, in-process renderers).

@@ -31,4 +31,7 @@ pub mod collect;
 pub mod store;
 
 pub use collect::{metric, Collector, Resumption, LOCAL_POOL, POOL_SOURCE};
-pub use store::{Bucket, HistoryConfig, HistoryStore, SeriesKind, TierSpec, SERIES_AD_TYPE};
+pub use store::{
+    Bucket, HistoryConfig, HistoryStore, RecentWindow, SeriesKey, SeriesKind, TierSpec,
+    SERIES_AD_TYPE,
+};

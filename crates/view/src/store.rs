@@ -152,6 +152,42 @@ impl Bucket {
     }
 }
 
+/// What [`HistoryStore::recent_window`] distills from the newest buckets
+/// of one series' finest tier: the numbers history predicates (alert
+/// rules, `pool_doctor`) are written against.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecentWindow {
+    /// Buckets summarized (≤ the requested window).
+    pub points: usize,
+    /// The finest tier's bucket width, seconds.
+    pub interval_secs: u64,
+    /// Oldest summarized bucket's start (unix seconds).
+    pub start: u64,
+    /// Newest summarized bucket's start (unix seconds).
+    pub end: u64,
+    /// The newest raw observation.
+    pub last: f64,
+    /// Mean of per-bucket representative values.
+    pub mean: f64,
+    /// Smallest per-bucket representative value.
+    pub min: f64,
+    /// Largest per-bucket representative value.
+    pub max: f64,
+    /// Rate of change per second: for counters the mean event rate over
+    /// the window; for gauges the end-to-end slope.
+    pub rate: f64,
+    /// Counters: total events in the window (exact, from stored deltas).
+    /// Gauges: the time-integral of the value (value·seconds).
+    pub integral: f64,
+    /// How many of the *newest* buckets carry an absent tombstone — the
+    /// deadman signal: a departed source grows this tail every interval.
+    pub absent_tail: usize,
+    /// Absent tombstones anywhere in the window. A source with tombstones
+    /// behind live buckets (`absent_count > absent_tail`) kept dying and
+    /// coming back — the flapping signal.
+    pub absent_count: usize,
+}
+
 #[derive(Debug, Clone)]
 struct Tier {
     spec: TierSpec,
@@ -341,6 +377,19 @@ impl HistoryStore {
         }
     }
 
+    /// Drop an absent tombstone into **every** series of `pool`,
+    /// regardless of source: the whole pool stopped answering (an
+    /// unreachable flock peer), so all of its rollups are stale together.
+    /// Without this, a dead peer's series would simply stop advancing —
+    /// indistinguishable from a healthy-but-idle pool.
+    pub fn record_pool_absent(&mut self, pool: &str, unix: u64) {
+        for ((p, _, _), series) in self.series.iter_mut() {
+            if p == pool {
+                series.tombstone(unix);
+            }
+        }
+    }
+
     /// Run a classad constraint over every (series, tier) metadata ad and
     /// return the matching series ads, samples included. `limit` caps the
     /// samples returned per series (newest kept); `0` returns whole
@@ -466,6 +515,88 @@ impl HistoryStore {
             .get(&key)
             .and_then(|s| s.tiers.get(tier_idx))
             .map(|t| t.buckets.iter().copied().collect())
+    }
+
+    /// Every series key currently retained, in store order.
+    pub fn series_keys(&self) -> Vec<SeriesKey> {
+        self.series.keys().cloned().collect()
+    }
+
+    /// Summarize the newest `window` finest-tier buckets of one series
+    /// into the numbers alerting predicates are written against:
+    /// rate-of-change, integral, mean, and the absent-tombstone tail.
+    /// `None` when the series does not exist or has no buckets yet.
+    pub fn recent_window(
+        &self,
+        pool: &str,
+        metric: &str,
+        source: &str,
+        window: usize,
+    ) -> Option<RecentWindow> {
+        let key = (pool.to_string(), metric.to_string(), source.to_string());
+        let series = self.series.get(&key)?;
+        let tier = series.tiers.first()?;
+        let n = window.max(1).min(tier.buckets.len());
+        if n == 0 {
+            return None;
+        }
+        let interval = tier.spec.interval_secs.max(1);
+        let buckets: Vec<&Bucket> = tier.buckets.iter().rev().take(n).collect();
+        // `buckets` is newest-first; walk it once for the aggregates.
+        let newest = buckets.first()?;
+        let oldest = buckets.last()?;
+        let mut sum = 0.0;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut integral = 0.0;
+        let mut absent_tail = 0;
+        let mut absent_count = 0;
+        let mut tail_open = true;
+        for b in &buckets {
+            let v = b.value(series.kind, interval);
+            sum += v;
+            min = min.min(v);
+            max = max.max(v);
+            if series.kind == SeriesKind::Counter {
+                integral += b.sum;
+            } else {
+                integral += v * interval as f64;
+            }
+            if b.absent {
+                absent_count += 1;
+                if tail_open {
+                    absent_tail += 1;
+                }
+            } else {
+                tail_open = false;
+            }
+        }
+        let elapsed = (newest.start.saturating_sub(oldest.start)).max(interval) as f64;
+        let (first_v, last_v) = (
+            oldest.value(series.kind, interval),
+            newest.value(series.kind, interval),
+        );
+        let rate = match series.kind {
+            // Each counter bucket holds a delta over one interval, so the
+            // window's mean event rate divides the summed deltas by the
+            // time the buckets cover.
+            SeriesKind::Counter => integral / (n as u64 * interval) as f64,
+            SeriesKind::Gauge => (last_v - first_v) / elapsed,
+        };
+        Some(RecentWindow {
+            points: n,
+            interval_secs: interval,
+            start: oldest.start,
+            end: newest.start,
+            last: newest.last,
+            mean: sum / n as f64,
+            min,
+            max,
+            rate,
+            integral,
+            absent_tail,
+            absent_count,
+        })
     }
 
     // ---- checkpoint state ----
@@ -689,6 +820,71 @@ mod tests {
         assert!(gone.iter().any(|b| b.absent));
         let alive = store.buckets("local", "Claimed", "ra-2", 0).unwrap();
         assert!(alive.iter().all(|b| !b.absent));
+    }
+
+    #[test]
+    fn pool_absent_tombstones_mark_every_series_of_the_pool() {
+        // Regression: a flock peer that stops answering must tombstone
+        // *all* of its rollup series, while other pools stay untouched.
+        let mut store = HistoryStore::new(two_tier());
+        store.record_gauge("peer:1", "Utilization", "pool", 100, 0.5);
+        store.record_counter("peer:1", "MatchRate", "pool", 100, 3.0);
+        store.record_gauge("local", "Utilization", "pool", 100, 0.9);
+        store.record_pool_absent("peer:1", 112);
+        for metric in ["Utilization", "MatchRate"] {
+            let gone = store.buckets("peer:1", metric, "pool", 0).unwrap();
+            assert!(
+                gone.iter().any(|b| b.absent),
+                "{metric} must carry the pool tombstone"
+            );
+        }
+        let alive = store.buckets("local", "Utilization", "pool", 0).unwrap();
+        assert!(alive.iter().all(|b| !b.absent));
+    }
+
+    #[test]
+    fn recent_window_summarizes_rate_integral_and_absent_tail() {
+        let mut store = HistoryStore::new(two_tier());
+        // A counter growing 5 events per 10 s bucket: rate 0.5/s. The
+        // first observation only establishes the delta baseline, so four
+        // ingests make three buckets.
+        for i in 0..4u64 {
+            store.record_counter("local", "MatchRate", "mm", 100 + i * 10, (i * 5) as f64);
+        }
+        let w = store.recent_window("local", "MatchRate", "mm", 4).unwrap();
+        assert_eq!(w.points, 3);
+        assert_eq!(w.integral, 15.0, "sum of deltas is the counter's growth");
+        assert!((w.rate - 0.5).abs() < 1e-9, "rate = {}", w.rate);
+        assert_eq!(w.absent_tail, 0);
+        // A gauge sliding from 1.0 to 0.0 over 30 s: slope -1/30.
+        for i in 0..4u64 {
+            store.record_gauge(
+                "local",
+                "Utilization",
+                "pool",
+                100 + i * 10,
+                1.0 - i as f64 / 3.0,
+            );
+        }
+        let w = store
+            .recent_window("local", "Utilization", "pool", 4)
+            .unwrap();
+        assert!((w.rate - (-1.0 / 30.0)).abs() < 1e-9, "rate = {}", w.rate);
+        assert!((w.last - 0.0).abs() < 1e-9);
+        assert!((w.max - 1.0).abs() < 1e-9);
+        // Absent tombstones at the newest edge grow the deadman tail; an
+        // older tombstone behind a live bucket does not count.
+        store.record_absent("local", "pool", 142);
+        store.record_absent("local", "pool", 151);
+        let w = store
+            .recent_window("local", "Utilization", "pool", 6)
+            .unwrap();
+        assert_eq!(w.absent_tail, 2);
+        // Window larger than retention clamps; unknown series is None.
+        assert!(store
+            .recent_window("local", "Utilization", "pool", 99)
+            .is_some());
+        assert!(store.recent_window("local", "Nope", "pool", 4).is_none());
     }
 
     #[test]

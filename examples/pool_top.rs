@@ -79,7 +79,7 @@ fn stats_ads(addr: &str, my_type: &str) -> Vec<ClassAd> {
     }
 }
 
-fn render_matchmaker(out: &mut String, ads: &[ClassAd]) {
+fn render_matchmaker(out: &mut String, ads: &[ClassAd], color: bool) {
     let Some(ad) = ads.first() else {
         wl!(out, "MATCHMAKER    (no self-ad yet)");
         return;
@@ -115,6 +115,29 @@ fn render_matchmaker(out: &mut String, ads: &[ClassAd]) {
             int(ad, "LeaderRedirects"),
             int(ad, "CheckpointsWritten"),
         );
+    }
+    // Alerting: one line for the firing set, severity-sorted by the
+    // monitor itself (`ActiveAlertSummary`). Quiet pools with the alarm
+    // on show "alerts: none"; pools without it show nothing.
+    if ad.contains("ActiveAlerts") || ad.contains("AlertsRaisedTotal") {
+        let active = int(ad, "ActiveAlerts");
+        let (red, reset) = if color && active > 0 {
+            ("\x1b[1;31m", "\x1b[0m")
+        } else {
+            ("", "")
+        };
+        match ad.get_string("ActiveAlertSummary") {
+            Some(summary) if active > 0 => {
+                wl!(out, "  {red}alerts: {active} firing — {summary}{reset}")
+            }
+            _ => wl!(
+                out,
+                "  alerts: none   ({} raised / {} cleared over {} rules)",
+                int(ad, "AlertsRaisedTotal"),
+                int(ad, "AlertsClearedTotal"),
+                int(ad, "AlertRules"),
+            ),
+        }
     }
     // Federation: the peer table summary plus both directions of flock
     // traffic. A pool that neither forwards nor answers shows nothing.
@@ -314,7 +337,7 @@ fn render_frame(addr: &str, color: bool) -> String {
     };
     let mut out = String::new();
     wl!(out, "{bold}pool_top — matchmaker at {addr}{reset}\n");
-    render_matchmaker(&mut out, &mm);
+    render_matchmaker(&mut out, &mm, color);
     wl!(out);
     render_resources(&mut out, &ras);
     wl!(out);

@@ -47,6 +47,16 @@
 //! surfaces here as a clean failure. Without `--connect` a demo store
 //! shows the format.
 //!
+//! `--alerts [constraint]` reads the pool health monitor instead: an
+//! `AlertQuery` frame (tag 17, a classad constraint over alert-state
+//! ads) fetches the monitor's per-(rule, subject) state — firing and
+//! quiet — and prints one row per alert (`docs/observability.md` §7).
+//! The optional constraint defaults to `true`; try
+//! `'other.State == "firing"'` or `'other.Severity == "critical"'`. A
+//! daemon running without the alarm — or predating it — rejects the tag
+//! with a structured error, which surfaces here as a clean failure.
+//! Without `--connect` a demo monitor shows the format.
+//!
 //! `--analyze <job>` asks "why doesn't my job run?" — the paper §5
 //! diagnosis question. Against a live daemon it sends the `Analyze` wire
 //! message and renders the `MatchAnalysis` reply; locally it runs the same
@@ -453,6 +463,88 @@ fn demo_history_ads(constraint: &str, limit: u32) -> Vec<ClassAd> {
     })
 }
 
+/// `--alerts`: fetch and render the pool health monitor's alert state.
+/// Live mode sends the `AlertQuery` wire message; local mode runs a demo
+/// monitor over a synthetic dead flock peer so the output format is
+/// inspectable offline.
+fn alerts_mode(connect: Option<&str>, constraint: &str) {
+    let ads = match connect {
+        Some(addr) => {
+            let msg = Message::AlertQuery {
+                constraint: constraint.to_string(),
+            };
+            match wire::request_reply(addr, &msg, &IoConfig::default()) {
+                Ok(Message::AlertReply { ads }) => ads,
+                Ok(other) => {
+                    eprintln!("unexpected reply from {addr}: {other:?}");
+                    std::process::exit(1);
+                }
+                // A pre-alarm daemon rejects tag 17 itself ("unknown tag
+                // 17"); an alarm-less daemon rejects the message at the
+                // service. Either way: a clean refusal, not a hang.
+                Err(e) => {
+                    eprintln!("alerts at {addr} unavailable: {e}");
+                    eprintln!("(the daemon may predate alerting, or run without `alarm`)");
+                    std::process::exit(1);
+                }
+            }
+        }
+        None => demo_alert_ads(constraint),
+    };
+    println!("$ condor_alerts -constraint '{constraint}'");
+    if ads.is_empty() {
+        println!("  (no alerts matched)");
+        return;
+    }
+    for ad in &ads {
+        print_alert(ad);
+    }
+}
+
+/// Render one `AlertState` ad as a grep-friendly row: state, severity,
+/// rule@subject, then the attribution (the conjunct that tripped while
+/// firing, or the one currently holding the rule back).
+fn print_alert(ad: &ClassAd) {
+    let firing = ad.get_string("State") == Some("firing");
+    println!(
+        "  {:<7} {:<9} {}",
+        if firing { "FIRING" } else { "ok" },
+        ad.get_string("Severity").unwrap_or("?"),
+        ad.get_string("Name").unwrap_or("?"),
+    );
+    if let Some(detail) = ad.get_string("Detail") {
+        if !detail.is_empty() {
+            println!(
+                "          {} {detail}",
+                if firing { "tripped:" } else { "blocked:" }
+            );
+        }
+    }
+    if firing {
+        println!("          since {}", ad.get_int("Since").unwrap_or(0));
+    }
+}
+
+/// The `--alerts` demo without a daemon: a monitor running the default
+/// rule pack over a pool whose flock peer just stopped answering.
+fn demo_alert_ads(constraint: &str) -> Vec<ClassAd> {
+    let monitor =
+        condor_alarm::Monitor::with_default_pack(&[], condor_alarm::MonitorConfig::default())
+            .expect("default pack validates");
+    let mut peer = ClassAd::new();
+    peer.set_str("MyType", condor_alarm::PRESENCE_AD_TYPE);
+    peer.set_str("Name", "poolB/pool");
+    peer.set_str("Pool", "poolB");
+    peer.set_str("Source", "pool");
+    peer.set_int("AbsentTail", 3);
+    peer.set_int("AbsentCount", 3);
+    monitor.evaluate(&[peer], 946684800);
+    monitor.query(constraint).unwrap_or_else(|e| {
+        eprintln!("bad constraint: {e}");
+        std::process::exit(2);
+    })
+}
+
 /// `--analyze` against a live daemon: one `Analyze` frame, one
 /// `AnalyzeReply`. A pre-analysis daemon replies with a structured error
 /// (`unknown tag 9`), which surfaces here as a remote failure.
@@ -638,7 +730,8 @@ fn main() {
         args.get(i + 1).cloned().unwrap_or_else(|| {
             eprintln!(
                 "usage: status_query [--connect host:port] [--stats] [--peers] \
-                 [--history metric [--limit n]] [--analyze request-name] \
+                 [--history metric [--limit n]] [--alerts [constraint]] \
+                 [--analyze request-name] \
                  [--tail journal.jsonl [--from-start] [--for secs]] \
                  [--journal journal.jsonl]"
             );
@@ -702,6 +795,15 @@ fn main() {
             })
             .unwrap_or(0);
         history_mode(connect.as_deref(), metric, limit);
+        return;
+    }
+    if let Some(i) = args.iter().position(|a| a == "--alerts") {
+        let constraint = args
+            .get(i + 1)
+            .filter(|a| !a.starts_with("--"))
+            .map(String::as_str)
+            .unwrap_or("true");
+        alerts_mode(connect.as_deref(), constraint);
         return;
     }
     if let Some(i) = args.iter().position(|a| a == "--journal") {
